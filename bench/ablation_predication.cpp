@@ -1,0 +1,47 @@
+// Predication ablation: the three ways to handle short conditionals on a
+// TTA — branches (the paper's evaluated machines), mask-arithmetic
+// if-conversion (4 ops per merged value; a measured negative result), and
+// guarded moves (TCE's BOOLRF mechanism, Fig. 4: one conditional transport
+// per merged value on the g-tta variants).
+#include <cstdio>
+
+#include "opt/passes.hpp"
+#include "mach/configs.hpp"
+#include "report/driver.hpp"
+#include "tta/tta.hpp"
+
+int main() {
+  using namespace ttsc;
+  std::printf(
+      "PREDICATION ABLATION: cycles for branches vs mask if-conversion vs\n"
+      "guarded moves (g-tta machines add two 1-bit guard registers).\n\n");
+  std::printf("%-10s %10s %12s %12s %12s\n", "workload", "branches", "mask-ifconv",
+              "guarded", "guard/branch");
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    const ir::Module optimized = report::build_optimized(w);
+
+    const auto branches =
+        report::compile_and_run_prebuilt(optimized, w, mach::make_p_tta_2());
+
+    // Mask-based if-conversion on the unguarded machine.
+    ir::Module masked = optimized;
+    opt::if_convert(masked.function(workloads::entry_point()));
+    const auto mask =
+        report::compile_and_run_prebuilt(masked, w, mach::make_p_tta_2());
+
+    // Guarded moves (the driver if-converts to Select automatically).
+    const auto guarded =
+        report::compile_and_run_prebuilt(optimized, w, mach::make_g_tta_2());
+
+    std::printf("%-10s %10llu %11.2fx %11.2fx %11.2fx\n", w.name.c_str(),
+                static_cast<unsigned long long>(branches.cycles),
+                static_cast<double>(mask.cycles) / branches.cycles,
+                static_cast<double>(guarded.cycles) / branches.cycles,
+                static_cast<double>(guarded.cycles) / branches.cycles);
+  }
+  std::printf(
+      "\nInstruction-format cost of the guard field: p-tta-2 %db -> g-tta-2 %db.\n",
+      tta::instruction_bits(mach::make_p_tta_2()),
+      tta::instruction_bits(mach::make_g_tta_2()));
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Ablation A1: cycle-count contribution of each TTA scheduling freedom.
+#include <cstdio>
+
+#include "report/experiments.hpp"
+
+int main() {
+  std::fputs(ttsc::report::render_ablation_tta_freedoms().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Dictionary-based instruction compression (ref [24]; future work in the
+// paper's conclusions): unique-instruction dictionary + index stream per
+// workload and TTA machine.
+#include <cstdio>
+
+#include "codegen/lower.hpp"
+#include "mach/configs.hpp"
+#include "report/driver.hpp"
+#include "tta/binary.hpp"
+#include "tta/compress.hpp"
+
+int main() {
+  using namespace ttsc;
+  std::printf(
+      "INSTRUCTION COMPRESSION: full-instruction dictionary (ref [24]).\n"
+      "ratio = (indices + dictionary + pool) / (raw stream + pool).\n\n");
+  for (const char* name : {"m-tta-1", "m-tta-2", "bm-tta-2", "m-tta-3"}) {
+    const mach::Machine machine = mach::machine_by_name(name);
+    std::printf("-- %s (%db instructions) --\n", name, tta::instruction_bits(machine));
+    std::printf("%-10s %8s %8s %8s %9s %7s\n", "workload", "instrs", "uniq", "idx.b", "total.kb",
+                "ratio");
+    for (const workloads::Workload& w : workloads::all_workloads()) {
+      const ir::Module optimized = report::build_optimized(w);
+      const auto lowered = codegen::lower(optimized, "main", machine);
+      const auto prog = tta::schedule_tta(lowered.func, machine);
+      const auto encoded = tta::encode_program(prog, machine);
+      const auto c = tta::compress_dictionary(encoded);
+      std::printf("%-10s %8u %8u %8d %9.1f %7.2f\n", w.name.c_str(), encoded.instruction_count,
+                  c.dictionary_entries, c.index_bits,
+                  static_cast<double>(c.total_bits()) / 1000.0, c.ratio());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Greedy interconnect (bus-merging) exploration over the benchmark suite —
+// the procedure behind the paper's bm-tta design points (ref [25]).
+#include <cstdio>
+
+#include "explore/explore.hpp"
+#include "mach/configs.hpp"
+
+int main() {
+  using namespace ttsc;
+  std::printf(
+      "IC EXPLORATION: greedy bus merging from p-tta-2 / p-tta-3 with a +10%%\n"
+      "cycle budget (Section III-D; the bm-tta design points).\n\n");
+  for (const char* start : {"p-tta-2", "p-tta-3"}) {
+    std::printf("-- starting from %s --\n", start);
+    std::printf("%-18s %5s %8s %11s %10s %8s %6s %11s %s\n", "machine", "buses", "instr.b",
+                "geo.cycles", "geo.image", "coreLUT", "fmax", "geo.rt(us)", "status");
+    const auto trace = explore::explore_bus_merging(
+        mach::machine_by_name(start), workloads::all_workloads(), 0.10);
+    for (const auto& p : trace) {
+      std::printf("%-18s %5d %8d %11.0f %10llu %8d %6.0f %11.1f %s\n", p.machine.name.c_str(),
+                  p.buses, p.instruction_bits, p.geomean_cycles,
+                  static_cast<unsigned long long>(p.geomean_image_bits), p.core_lut, p.fmax_mhz,
+                  p.geomean_runtime_us, p.accepted ? "accepted" : "REJECTED");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

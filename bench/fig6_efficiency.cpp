@@ -1,0 +1,10 @@
+// Regenerates the corresponding artifact of the paper's evaluation section.
+#include <cstdio>
+
+#include "report/experiments.hpp"
+
+int main() {
+  const ttsc::report::Matrix matrix = ttsc::report::Matrix::run();
+  std::fputs(ttsc::report::render_fig6_efficiency(matrix).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Toolchain throughput microbenchmarks (google-benchmark): how fast the
+// optimizer, register allocator, schedulers, encoders and simulators run on
+// a representative workload. These guard against performance regressions in
+// the toolchain itself (the paper pipeline compiles 104 configurations).
+#include <benchmark/benchmark.h>
+
+#include "codegen/legalize.hpp"
+#include "codegen/lower.hpp"
+#include "mach/configs.hpp"
+#include "opt/passes.hpp"
+#include "report/driver.hpp"
+#include "scalar/scalar.hpp"
+#include "tta/tta.hpp"
+#include "vliw/vliw.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace ttsc;
+
+const workloads::Workload& bench_workload() {
+  static const workloads::Workload w = workloads::make_adpcm();
+  return w;
+}
+
+void BM_BuildAndVerify(benchmark::State& state) {
+  for (auto _ : state) {
+    ir::Module m;
+    bench_workload().build(m);
+    benchmark::DoNotOptimize(m.functions().size());
+  }
+}
+BENCHMARK(BM_BuildAndVerify);
+
+void BM_OptimizePipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    ir::Module m;
+    bench_workload().build(m);
+    opt::optimize(m, workloads::entry_point());
+    benchmark::DoNotOptimize(m.function(workloads::entry_point()).num_instrs());
+  }
+}
+BENCHMARK(BM_OptimizePipeline);
+
+void BM_LowerRegalloc(benchmark::State& state) {
+  const ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_m_tta_2();
+  for (auto _ : state) {
+    auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+    benchmark::DoNotOptimize(lowered.func.num_instrs());
+  }
+}
+BENCHMARK(BM_LowerRegalloc);
+
+void BM_ScheduleTta(benchmark::State& state) {
+  const ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_m_tta_2();
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  for (auto _ : state) {
+    auto prog = tta::schedule_tta(lowered.func, machine);
+    benchmark::DoNotOptimize(prog.instrs.size());
+  }
+}
+BENCHMARK(BM_ScheduleTta);
+
+void BM_ScheduleVliw(benchmark::State& state) {
+  const ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_m_vliw_2();
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  for (auto _ : state) {
+    auto prog = vliw::schedule_vliw(lowered.func, machine);
+    benchmark::DoNotOptimize(prog.bundles.size());
+  }
+}
+BENCHMARK(BM_ScheduleVliw);
+
+void BM_SimulateTta(benchmark::State& state) {
+  const ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_m_tta_2();
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  const auto prog = tta::schedule_tta(lowered.func, machine);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    ir::Memory mem = report::make_loaded_memory(optimized);
+    tta::TtaSim sim(prog, machine, mem);
+    cycles = sim.run().cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulateTta);
+
+void BM_SimulateScalar(benchmark::State& state) {
+  ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_mblaze3();
+  codegen::legalize_scalar_operands(optimized.function(workloads::entry_point()));
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  const auto prog = scalar::emit_scalar(lowered.func);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    ir::Memory mem = report::make_loaded_memory(optimized);
+    scalar::ScalarSim sim(prog, machine, mem);
+    cycles = sim.run().cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulateScalar);
+
+void BM_InterpreterGolden(benchmark::State& state) {
+  for (auto _ : state) {
+    ir::Module m;
+    bench_workload().build(m);
+    ir::Interpreter interp(m);
+    auto r = interp.run(workloads::entry_point(), {});
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_InterpreterGolden);
+
+}  // namespace
+
+BENCHMARK_MAIN();

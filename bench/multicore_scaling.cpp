@@ -1,0 +1,46 @@
+// Multicore scaling (Section V-D): "The storage in lower levels of the
+// memory hierarchy can be shared between several cores... The resource
+// consumption impact of a larger RF, on the other hand, is paid for each
+// core." This bench quantifies that: total FPGA cost of N-core arrays
+// where the program store is shared, for the monolithic VLIW (per-core RF
+// tax) vs the TTA (one-time instruction-memory tax).
+#include <cstdio>
+
+#include "fpga/imem.hpp"
+#include "fpga/model.hpp"
+#include "mach/configs.hpp"
+#include "report/driver.hpp"
+
+int main() {
+  using namespace ttsc;
+  // Use the largest workload's image as the shared program store.
+  const workloads::Workload w = workloads::make_jpeg();
+  const ir::Module optimized = report::build_optimized(w);
+
+  std::printf(
+      "MULTICORE SCALING (Section V-D): slices for N cores + one shared\n"
+      "program store (jpeg image), per machine. The VLIW pays its RF per\n"
+      "core; the TTA pays its wider instructions once.\n\n");
+  std::printf("%-10s %9s %9s %7s %7s %7s %7s\n", "machine", "core.slc", "imem.brm", "N=1",
+              "N=2", "N=4", "N=8");
+  for (const char* name : {"m-vliw-2", "p-vliw-2", "m-tta-2", "bm-tta-2", "m-vliw-3", "p-tta-3"}) {
+    const mach::Machine machine = mach::machine_by_name(name);
+    const auto r = report::compile_and_run_prebuilt(optimized, w, machine);
+    const auto area = fpga::estimate_area(machine);
+    const int brams = fpga::bram_blocks(r.image_bits, r.instruction_bits);
+    // A BRAM36 occupies roughly the fabric area of ~25 slices on Zynq-7.
+    const int imem_slices = brams * 25;
+    std::printf("%-10s %9d %9d", name, area.slices, brams);
+    for (int n : {1, 2, 4, 8}) {
+      std::printf(" %7d", n * area.slices + imem_slices);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nAt N=8 the m-tta-2 array costs %.0f%% of the m-vliw-2 array even\n"
+      "though a single TTA core's program store is larger.\n",
+      100.0 *
+          (8 * fpga::estimate_area(mach::make_m_tta_2()).slices + 2 * 25) /
+          (8 * fpga::estimate_area(mach::make_m_vliw_2()).slices + 1 * 25));
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "codegen/ddg.hpp"
+
+#include <map>
+
+namespace ttsc::codegen {
+
+using ir::Opcode;
+using mach::PhysReg;
+
+int access_bytes(Opcode op) {
+  switch (op) {
+    case Opcode::Ldw:
+    case Opcode::Stw:
+      return 4;
+    case Opcode::Ldh:
+    case Opcode::Ldhu:
+    case Opcode::Sth:
+      return 2;
+    case Opcode::Ldq:
+    case Opcode::Ldqu:
+    case Opcode::Stq:
+      return 1;
+    default:
+      TTSC_ASSERT(false, "not a memory opcode");
+      return 0;
+  }
+}
+
+bool may_alias(const MInstr& a, const MInstr& b) {
+  TTSC_ASSERT(ir::is_memory(a.op) && ir::is_memory(b.op), "may_alias on non-memory op");
+  const MOperand& addr_a = a.srcs[0];
+  const MOperand& addr_b = b.srcs[0];
+  if (!addr_a.is_imm() || !addr_b.is_imm()) return true;
+  const std::int64_t lo_a = addr_a.imm;
+  const std::int64_t hi_a = lo_a + access_bytes(a.op);
+  const std::int64_t lo_b = addr_b.imm;
+  const std::int64_t hi_b = lo_b + access_bytes(b.op);
+  return lo_a < hi_b && lo_b < hi_a;
+}
+
+void BlockDdg::add_edge(std::uint32_t from, std::uint32_t to, DepKind kind, PhysReg reg) {
+  const std::uint32_t index = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(DdgEdge{from, to, kind, reg});
+  succs_[from].push_back(index);
+  preds_[to].push_back(index);
+}
+
+BlockDdg::BlockDdg(const MBlock& block) {
+  const std::uint32_t n = static_cast<std::uint32_t>(block.instrs.size());
+  preds_.resize(n);
+  succs_.resize(n);
+
+  // Register dependences via last-def / uses-since-last-def tracking.
+  struct RegState {
+    std::int64_t last_def = -1;
+    std::vector<std::uint32_t> uses_since_def;
+  };
+  std::map<PhysReg, RegState> regs;
+
+  // Memory dependences: conservative pairwise scan over stores/loads.
+  std::vector<std::uint32_t> mem_ops;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const MInstr& in = block.instrs[i];
+
+    for (PhysReg u : uses_of(in)) {
+      RegState& st = regs[u];
+      if (st.last_def >= 0) {
+        add_edge(static_cast<std::uint32_t>(st.last_def), i, DepKind::Raw, u);
+      }
+      st.uses_since_def.push_back(i);
+    }
+    if (in.has_dst()) {
+      RegState& st = regs[in.dst];
+      if (st.last_def >= 0) {
+        add_edge(static_cast<std::uint32_t>(st.last_def), i, DepKind::Waw, in.dst);
+      }
+      for (std::uint32_t u : st.uses_since_def) {
+        if (u != i) add_edge(u, i, DepKind::War, in.dst);
+      }
+      st.last_def = i;
+      st.uses_since_def.clear();
+      // A same-instruction read of dst still forms its RAW edge above; the
+      // instruction reads before it writes.
+    }
+
+    if (ir::is_memory(in.op)) {
+      for (std::uint32_t j : mem_ops) {
+        const MInstr& prev = block.instrs[j];
+        const bool prev_store = ir::is_store(prev.op);
+        const bool cur_store = ir::is_store(in.op);
+        if (!prev_store && !cur_store) continue;  // load-load never conflicts
+        if (!may_alias(prev, in)) continue;
+        if (prev_store && cur_store) {
+          add_edge(j, i, DepKind::MemWaw);
+        } else if (prev_store) {
+          add_edge(j, i, DepKind::MemRaw);
+        } else {
+          add_edge(j, i, DepKind::MemWar);
+        }
+      }
+      mem_ops.push_back(i);
+    }
+  }
+}
+
+}  // namespace ttsc::codegen

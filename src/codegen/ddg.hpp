@@ -1,0 +1,59 @@
+// Per-block data dependence graph over machine instructions.
+//
+// Edges always point forward in program order. The DDG is shared by the
+// VLIW and TTA schedulers; each scheduler assigns model-specific minimum
+// delays to the edge kinds (e.g. a register RAW edge costs producer
+// latency + 1 through a register file without forwarding, but only the
+// producer latency over a TTA software bypass).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/minstr.hpp"
+
+namespace ttsc::codegen {
+
+enum class DepKind : std::uint8_t {
+  Raw,     // register true dependence
+  War,     // register anti dependence
+  Waw,     // register output dependence
+  MemRaw,  // store -> load (may alias)
+  MemWar,  // load -> store (may alias)
+  MemWaw,  // store -> store (may alias)
+};
+
+struct DdgEdge {
+  std::uint32_t from;
+  std::uint32_t to;
+  DepKind kind;
+  mach::PhysReg reg;  // valid for register dependences
+};
+
+class BlockDdg {
+ public:
+  explicit BlockDdg(const MBlock& block);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(preds_.size()); }
+  const std::vector<DdgEdge>& edges() const { return edges_; }
+  const std::vector<std::uint32_t>& pred_edges(std::uint32_t node) const { return preds_[node]; }
+  const std::vector<std::uint32_t>& succ_edges(std::uint32_t node) const { return succs_[node]; }
+  const DdgEdge& edge(std::uint32_t index) const { return edges_[index]; }
+
+ private:
+  void add_edge(std::uint32_t from, std::uint32_t to, DepKind kind, mach::PhysReg reg = {});
+
+  std::vector<DdgEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> preds_;  // edge indices into edges_
+  std::vector<std::vector<std::uint32_t>> succs_;
+};
+
+/// Conservative may-alias test between the address operands of two memory
+/// instructions: absolute (immediate) addresses with non-overlapping access
+/// ranges are independent, anything involving a register address may alias.
+bool may_alias(const MInstr& a, const MInstr& b);
+
+/// Access width in bytes of a load/store opcode.
+int access_bytes(ir::Opcode op);
+
+}  // namespace ttsc::codegen

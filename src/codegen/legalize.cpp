@@ -1,0 +1,52 @@
+#include "codegen/legalize.hpp"
+
+namespace ttsc::codegen {
+
+using namespace ir;
+
+void legalize_scalar_operands(Function& func) {
+  for (Block& block : func.blocks()) {
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      Instr& in = block.instrs[i];
+      const bool store_imm_data = is_store(in.op) && in.inputs[1].is_imm();
+      const bool branch_imm_cond = in.op == Opcode::Bnz && in.inputs[0].is_imm();
+      if (!store_imm_data && !branch_imm_cond) continue;
+      const std::size_t operand_index = store_imm_data ? 1 : 0;
+      Instr mov;
+      mov.op = Opcode::MovI;
+      mov.dst = func.new_vreg();
+      mov.inputs = {in.inputs[operand_index]};
+      const Vreg materialized = mov.dst;
+      block.instrs.insert(block.instrs.begin() + static_cast<std::ptrdiff_t>(i), std::move(mov));
+      block.instrs[i + 1].inputs[operand_index] = Operand(materialized);
+      ++i;  // skip the inserted MovI
+    }
+  }
+}
+
+void expand_selects(Function& func) {
+  for (Block& block : func.blocks()) {
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      if (block.instrs[i].op != Opcode::Select) continue;
+      const Instr sel = block.instrs[i];
+      std::vector<Instr> seq;
+      const Vreg is_zero = func.new_vreg();
+      seq.push_back(Instr(Opcode::Eq, is_zero, {sel.inputs[0], Operand(std::int64_t{0})}));
+      const Vreg mask = func.new_vreg();
+      seq.push_back(Instr(Opcode::Sub, mask, {Operand(is_zero), Operand(std::int64_t{1})}));
+      const Vreg then_masked = func.new_vreg();
+      seq.push_back(Instr(Opcode::And, then_masked, {sel.inputs[1], Operand(mask)}));
+      const Vreg inv = func.new_vreg();
+      seq.push_back(Instr(Opcode::Xor, inv, {Operand(mask), Operand(std::int64_t{-1})}));
+      const Vreg else_masked = func.new_vreg();
+      seq.push_back(Instr(Opcode::And, else_masked, {sel.inputs[2], Operand(inv)}));
+      seq.push_back(Instr(Opcode::Ior, sel.dst, {Operand(then_masked), Operand(else_masked)}));
+      block.instrs.erase(block.instrs.begin() + static_cast<std::ptrdiff_t>(i));
+      block.instrs.insert(block.instrs.begin() + static_cast<std::ptrdiff_t>(i),
+                          seq.begin(), seq.end());
+      i += seq.size() - 1;
+    }
+  }
+}
+
+}  // namespace ttsc::codegen

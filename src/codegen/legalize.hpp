@@ -1,0 +1,18 @@
+// Backend-specific IR legalization run after the optimizer, before lowering.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ttsc::codegen {
+
+/// Scalar (RISC-encoding) constraints: store data must live in a register
+/// and a conditional branch cannot test an immediate. TTA moves and the
+/// paper's VLIW slot encoding (two immediate-capable source fields) need no
+/// such rewrite.
+void legalize_scalar_operands(ir::Function& func);
+
+/// Expand ir::Select into mask arithmetic (eq/sub/and/xor/and/ior) for
+/// targets without predication support.
+void expand_selects(ir::Function& func);
+
+}  // namespace ttsc::codegen

@@ -1,0 +1,332 @@
+#include "codegen/lower.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/analysis.hpp"
+#include "support/bits.hpp"
+#include "support/strings.hpp"
+
+namespace ttsc::codegen {
+
+using ir::BlockId;
+using ir::Function;
+using ir::Instr;
+using ir::Opcode;
+using ir::Operand;
+using ir::Vreg;
+using mach::Machine;
+using mach::PhysReg;
+
+namespace {
+
+/// Live interval of a vreg over linearized positions (reads at 2p, writes
+/// at 2p+1, block boundaries at the enclosing positions).
+struct Interval {
+  std::uint32_t vreg = 0;
+  std::int64_t start = -1;
+  std::int64_t end = -1;
+  PhysReg assigned;
+  bool spilled = false;
+  std::int32_t spill_slot = -1;
+};
+
+struct Allocator {
+  const Machine& machine;
+  std::vector<std::vector<bool>> free_regs;  // per RF, per index
+  std::vector<PhysReg> scratch;
+
+  explicit Allocator(const Machine& m) : machine(m) {
+    for (const mach::RegisterFile& rf : m.rfs) {
+      free_regs.emplace_back(static_cast<std::size_t>(rf.size), true);
+    }
+    // Reserve two scratch registers for spill-code (highest indices, spread
+    // over the first two register files when partitioned).
+    const int rf_a = 0;
+    const int rf_b = m.rfs.size() > 1 ? 1 : 0;
+    PhysReg s0{static_cast<std::int16_t>(rf_a),
+               static_cast<std::int16_t>(m.rfs[static_cast<std::size_t>(rf_a)].size - 1)};
+    const int b_index = rf_b == rf_a ? m.rfs[static_cast<std::size_t>(rf_b)].size - 2
+                                     : m.rfs[static_cast<std::size_t>(rf_b)].size - 1;
+    PhysReg s1{static_cast<std::int16_t>(rf_b), static_cast<std::int16_t>(b_index)};
+    scratch = {s0, s1};
+    for (PhysReg s : scratch) {
+      free_regs[static_cast<std::size_t>(s.rf)][static_cast<std::size_t>(s.index)] = false;
+    }
+  }
+
+  /// Pick a register from the RF with the most free registers (balances
+  /// pressure across partitioned files).
+  PhysReg try_alloc() {
+    int best_rf = -1;
+    int best_free = 0;
+    for (std::size_t r = 0; r < free_regs.size(); ++r) {
+      const int n = static_cast<int>(std::count(free_regs[r].begin(), free_regs[r].end(), true));
+      if (n > best_free) {
+        best_free = n;
+        best_rf = static_cast<int>(r);
+      }
+    }
+    if (best_rf < 0) return PhysReg{};
+    auto& file = free_regs[static_cast<std::size_t>(best_rf)];
+    for (std::size_t i = 0; i < file.size(); ++i) {
+      if (file[i]) {
+        file[i] = false;
+        return PhysReg{static_cast<std::int16_t>(best_rf), static_cast<std::int16_t>(i)};
+      }
+    }
+    return PhysReg{};
+  }
+
+  void release(PhysReg r) {
+    free_regs[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)] = true;
+  }
+};
+
+}  // namespace
+
+LowerResult lower(const ir::Module& module, const std::string& root, const Machine& machine) {
+  const Function& f = module.function(root);
+  for (const ir::Block& b : f.blocks()) {
+    for (const Instr& in : b.instrs) {
+      if (in.op == Opcode::Call) {
+        throw Error("lower: calls must be inlined before lowering (" + f.name() + ")");
+      }
+    }
+  }
+
+  const ir::DataLayout layout = module.layout();
+  const ir::Cfg cfg(f);
+  const ir::Liveness live(f, cfg);
+
+  // ---- linear positions -----------------------------------------------------
+  std::vector<std::int64_t> block_start(f.num_blocks());
+  std::vector<std::int64_t> block_end(f.num_blocks());
+  std::int64_t pos = 0;
+  for (BlockId b = 0; b < f.num_blocks(); ++b) {
+    block_start[b] = pos;
+    pos += static_cast<std::int64_t>(f.block(b).instrs.size());
+    block_end[b] = pos - 1;
+  }
+
+  // ---- intervals --------------------------------------------------------------
+  std::map<std::uint32_t, Interval> by_vreg;
+  auto touch = [&](Vreg v, std::int64_t at) {
+    Interval& iv = by_vreg[v.id];
+    iv.vreg = v.id;
+    if (iv.start < 0 || at < iv.start) iv.start = at;
+    if (at > iv.end) iv.end = at;
+  };
+  for (std::uint32_t p = 0; p < f.num_params(); ++p) touch(Vreg(p), 0);
+  {
+    std::int64_t q = 0;
+    for (BlockId b = 0; b < f.num_blocks(); ++b) {
+      for (const Instr& in : f.block(b).instrs) {
+        for (Vreg u : ir::uses_of(in)) touch(u, 2 * q);
+        if (in.dst.valid()) touch(in.dst, 2 * q + 1);
+        ++q;
+      }
+      const std::uint32_t nv = f.num_vregs();
+      for (std::uint32_t v = 0; v < nv; ++v) {
+        if (live.live_in(b)[v]) touch(Vreg(v), 2 * block_start[b]);
+        if (live.live_out(b)[v]) touch(Vreg(v), 2 * block_end[b] + 1);
+      }
+    }
+  }
+
+  // ---- linear scan ------------------------------------------------------------
+  std::vector<Interval*> order;
+  order.reserve(by_vreg.size());
+  for (auto& [id, iv] : by_vreg) order.push_back(&iv);
+  std::sort(order.begin(), order.end(), [](const Interval* a, const Interval* b) {
+    return a->start != b->start ? a->start < b->start : a->vreg < b->vreg;
+  });
+
+  Allocator alloc(machine);
+  std::vector<Interval*> active;
+  std::int32_t next_spill_slot = 0;
+  int values_spilled = 0;
+
+  for (Interval* iv : order) {
+    // Expire finished intervals.
+    std::erase_if(active, [&](Interval* a) {
+      if (a->end < iv->start) {
+        alloc.release(a->assigned);
+        return true;
+      }
+      return false;
+    });
+    PhysReg reg = alloc.try_alloc();
+    if (reg.valid()) {
+      iv->assigned = reg;
+      active.push_back(iv);
+      continue;
+    }
+    // Spill the active interval with the furthest end (or this one).
+    Interval* victim = iv;
+    for (Interval* a : active) {
+      if (a->end > victim->end) victim = a;
+    }
+    ++values_spilled;
+    if (victim == iv) {
+      iv->spilled = true;
+      iv->spill_slot = next_spill_slot++;
+    } else {
+      iv->assigned = victim->assigned;
+      victim->spilled = true;
+      victim->spill_slot = next_spill_slot++;
+      victim->assigned = PhysReg{};
+      std::erase(active, victim);
+      active.push_back(iv);
+    }
+  }
+
+  // ---- rewrite ---------------------------------------------------------------
+  const std::uint32_t spill_base =
+      static_cast<std::uint32_t>(round_up(layout.end() + 64, 16));
+  auto slot_addr = [&](std::int32_t slot) {
+    return static_cast<std::int32_t>(spill_base + 4u * static_cast<std::uint32_t>(slot));
+  };
+
+  MFunction out;
+  out.blocks.resize(f.num_blocks());
+  out.spill_base = spill_base;
+  out.spill_slots = static_cast<std::uint32_t>(next_spill_slot);
+  int spills_inserted = 0;
+
+  auto resolve_imm = [&](const ir::Imm& imm) -> std::int32_t {
+    if (imm.is_global()) {
+      return static_cast<std::int32_t>(layout.address_of(imm.global) +
+                                       static_cast<std::uint32_t>(imm.value));
+    }
+    return static_cast<std::int32_t>(imm.value);
+  };
+
+  for (BlockId b = 0; b < f.num_blocks(); ++b) {
+    MBlock& mb = out.blocks[b];
+    for (const Instr& in : f.block(b).instrs) {
+      MInstr mi;
+      mi.op = in.op;
+      mi.targets.assign(in.targets.begin(), in.targets.end());
+
+      int scratch_used = 0;
+      for (const Operand& src : in.inputs) {
+        if (src.is_imm()) {
+          mi.srcs.push_back(MOperand::immediate(resolve_imm(src.imm)));
+          continue;
+        }
+        const Interval& iv = by_vreg.at(src.reg.id);
+        if (!iv.spilled) {
+          mi.srcs.push_back(MOperand(iv.assigned));
+          continue;
+        }
+        // Reload into a scratch register just before this instruction.
+        TTSC_ASSERT(scratch_used < 2, "more than two spilled sources in one instruction");
+        const PhysReg sc = alloc.scratch[static_cast<std::size_t>(scratch_used++)];
+        MInstr reload;
+        reload.op = Opcode::Ldw;
+        reload.dst = sc;
+        reload.srcs = {MOperand::immediate(slot_addr(iv.spill_slot))};
+        mb.instrs.push_back(std::move(reload));
+        ++spills_inserted;
+        mi.srcs.push_back(MOperand(sc));
+      }
+
+      bool store_after = false;
+      std::int32_t store_slot = 0;
+      if (in.dst.valid()) {
+        const Interval& iv = by_vreg.at(in.dst.id);
+        if (iv.spilled) {
+          mi.dst = alloc.scratch[0];
+          store_after = true;
+          store_slot = slot_addr(iv.spill_slot);
+        } else {
+          mi.dst = iv.assigned;
+        }
+      }
+
+      // Register allocation may map a copy's source and destination to the
+      // same physical register; such copies are complete no-ops.
+      const bool nop_copy = mi.op == Opcode::Copy && mi.dst.valid() && mi.srcs[0].is_reg() &&
+                            mi.srcs[0].reg == mi.dst;
+      if (!nop_copy) mb.instrs.push_back(std::move(mi));
+      if (store_after) {
+        MInstr spill;
+        spill.op = Opcode::Stw;
+        spill.srcs = {MOperand::immediate(store_slot), MOperand(alloc.scratch[0])};
+        mb.instrs.push_back(std::move(spill));
+        ++spills_inserted;
+      }
+    }
+    // The hardware bnz falls through when not taken; when the IR
+    // fallthrough target is not the next block, add an explicit jump.
+    if (!mb.instrs.empty() && mb.instrs.back().op == Opcode::Bnz &&
+        mb.instrs.back().targets[1] != b + 1) {
+      MInstr jmp;
+      jmp.op = Opcode::Jump;
+      jmp.targets = {mb.instrs.back().targets[1]};
+      mb.instrs.push_back(std::move(jmp));
+    }
+  }
+
+  LowerResult result;
+  result.func = std::move(out);
+  result.spills_inserted = spills_inserted;
+  result.values_spilled = values_spilled;
+  return result;
+}
+
+MLiveness::MLiveness(const MFunction& func, const Machine& machine) {
+  // Dense key space over all physical registers.
+  rf_base_.resize(machine.rfs.size() + 1, 0);
+  for (std::size_t r = 0; r < machine.rfs.size(); ++r) {
+    rf_base_[r + 1] = rf_base_[r] + static_cast<std::size_t>(machine.rfs[r].size);
+  }
+  const std::size_t nregs = rf_base_.back();
+  const std::size_t nb = func.blocks.size();
+  live_out_.assign(nb, std::vector<bool>(nregs, false));
+  std::vector<std::vector<bool>> live_in(nb, std::vector<bool>(nregs, false));
+  std::vector<std::vector<bool>> gen(nb, std::vector<bool>(nregs, false));
+  std::vector<std::vector<bool>> kill(nb, std::vector<bool>(nregs, false));
+  std::vector<std::vector<std::uint32_t>> succs(nb);
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (const MInstr& in : func.blocks[b].instrs) {
+      for (mach::PhysReg u : uses_of(in)) {
+        if (!kill[b][key(u)]) gen[b][key(u)] = true;
+      }
+      if (in.has_dst()) kill[b][key(in.dst)] = true;
+    }
+    // Lowered blocks may end with a Bnz/Jump pair; union the targets of
+    // every control instruction.
+    for (const MInstr& in : func.blocks[b].instrs) {
+      if (ir::is_branch(in.op)) {
+        succs[b].insert(succs[b].end(), in.targets.begin(), in.targets.end());
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = nb; b-- > 0;) {
+      for (std::uint32_t s : succs[b]) {
+        for (std::size_t k = 0; k < nregs; ++k) {
+          if (live_in[s][k] && !live_out_[b][k]) {
+            live_out_[b][k] = true;
+            changed = true;
+          }
+        }
+      }
+      for (std::size_t k = 0; k < nregs; ++k) {
+        const bool want = gen[b][k] || (live_out_[b][k] && !kill[b][k]);
+        if (want && !live_in[b][k]) {
+          live_in[b][k] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ttsc::codegen

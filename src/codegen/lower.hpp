@@ -1,0 +1,39 @@
+// IR -> MFunction lowering: register allocation + immediate resolution.
+#pragma once
+
+#include "codegen/minstr.hpp"
+#include "ir/module.hpp"
+
+namespace ttsc::codegen {
+
+struct LowerResult {
+  MFunction func;
+  int spills_inserted = 0;     // reload/store instructions added
+  int values_spilled = 0;      // live ranges sent to memory
+};
+
+/// Lower the (fully inlined, call-free) function `root` of `module` onto
+/// `machine`'s register files. Throws ttsc::Error if calls remain or if the
+/// machine cannot host the program.
+LowerResult lower(const ir::Module& module, const std::string& root,
+                  const mach::Machine& machine);
+
+/// Per-block liveness over physical registers (used by the TTA scheduler's
+/// dead-result-move elimination and by schedulers to bound block lengths).
+class MLiveness {
+ public:
+  MLiveness(const MFunction& func, const mach::Machine& machine);
+
+  bool live_out(std::uint32_t block, mach::PhysReg reg) const {
+    return live_out_[block][key(reg)];
+  }
+
+ private:
+  std::size_t key(mach::PhysReg r) const {
+    return rf_base_[static_cast<std::size_t>(r.rf)] + static_cast<std::size_t>(r.index);
+  }
+  std::vector<std::size_t> rf_base_;
+  std::vector<std::vector<bool>> live_out_;
+};
+
+}  // namespace ttsc::codegen

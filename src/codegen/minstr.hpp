@@ -1,0 +1,75 @@
+// Machine-level program form shared by all backends.
+//
+// Lowering (codegen/lower.cpp) turns the optimized, fully inlined IR of the
+// root function into an MFunction: same block structure, virtual registers
+// replaced by physical registers (register file + index) via linear scan
+// allocation with spilling, global immediates resolved to absolute
+// addresses. The scalar, VLIW and TTA backends consume this one form, so
+// every measured difference downstream comes from the programming model,
+// mirroring the paper's single-compiler methodology (Section IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "mach/machine.hpp"
+
+namespace ttsc::codegen {
+
+struct MOperand {
+  enum class Kind : std::uint8_t { Reg, Imm } kind = Kind::Reg;
+  mach::PhysReg reg;
+  std::int32_t imm = 0;
+
+  MOperand() = default;
+  /*implicit*/ MOperand(mach::PhysReg r) : kind(Kind::Reg), reg(r) {}
+  static MOperand immediate(std::int32_t v) {
+    MOperand o;
+    o.kind = Kind::Imm;
+    o.imm = v;
+    return o;
+  }
+  bool is_reg() const { return kind == Kind::Reg; }
+  bool is_imm() const { return kind == Kind::Imm; }
+  bool operator==(const MOperand&) const = default;
+};
+
+struct MInstr {
+  ir::Opcode op = ir::Opcode::MovI;
+  mach::PhysReg dst;               // invalid if none
+  std::vector<MOperand> srcs;
+  std::vector<std::uint32_t> targets;  // branch targets (block indices)
+
+  bool has_dst() const { return dst.valid(); }
+};
+
+struct MBlock {
+  std::vector<MInstr> instrs;
+};
+
+struct MFunction {
+  std::vector<MBlock> blocks;
+
+  // Spill bookkeeping (absolute addresses; the paper's LSU is
+  // absolute-addressed and the whole program is inlined, so spill slots are
+  // static).
+  std::uint32_t spill_base = 0;
+  std::uint32_t spill_slots = 0;
+
+  std::size_t num_instrs() const {
+    std::size_t n = 0;
+    for (const MBlock& b : blocks) n += b.instrs.size();
+    return n;
+  }
+};
+
+/// Registers read by a machine instruction.
+inline std::vector<mach::PhysReg> uses_of(const MInstr& in) {
+  std::vector<mach::PhysReg> uses;
+  for (const MOperand& s : in.srcs)
+    if (s.is_reg()) uses.push_back(s.reg);
+  return uses;
+}
+
+}  // namespace ttsc::codegen

@@ -1,0 +1,27 @@
+#include "fpga/imem.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+
+namespace ttsc::fpga {
+
+int bram_blocks(std::uint64_t image_bits, int instruction_bits) {
+  if (image_bits == 0) return 0;
+  const int width_blocks =
+      static_cast<int>((instruction_bits + kBram36MaxWidth - 1) / kBram36MaxWidth);
+  const int capacity_blocks = static_cast<int>((image_bits + kBram36Bits - 1) / kBram36Bits);
+  return std::max(width_blocks, capacity_blocks);
+}
+
+int bram_blocks_compressed(const tta::CompressionResult& compressed, int instruction_bits) {
+  // Index stream: narrow words, capacity-bound.
+  const int index_blocks = bram_blocks(compressed.compressed_bits,
+                                       std::max(1, compressed.index_bits));
+  // Dictionary ROM: full-width instruction patterns plus the literal pool.
+  const int dict_blocks =
+      bram_blocks(compressed.dictionary_bits + compressed.pool_bits, instruction_bits);
+  return index_blocks + dict_blocks;
+}
+
+}  // namespace ttsc::fpga

@@ -1,0 +1,31 @@
+// Instruction-memory cost model (Section V-D: "It is thus not typical to
+// include a large dedicated on-chip program memory per core...").
+//
+// On the Zynq Z7020 the on-chip program store is built from BRAM36 blocks
+// (36 Kib each, at most 72 bits wide per block). An instruction word of
+// width W therefore needs at least ceil(W/72) parallel blocks, and the
+// whole image at least ceil(bits/36Kib) blocks — whichever is larger. This
+// quantifies the paper's discussion of how the wider TTA instructions
+// translate into instruction-memory cost, and how compression (ref [24])
+// buys most of it back.
+#pragma once
+
+#include <cstdint>
+
+#include "tta/compress.hpp"
+
+namespace ttsc::fpga {
+
+constexpr std::uint64_t kBram36Bits = 36 * 1024;
+constexpr int kBram36MaxWidth = 72;
+
+/// BRAM36 blocks for a program store of `image_bits` total bits delivered
+/// `instruction_bits` per cycle.
+int bram_blocks(std::uint64_t image_bits, int instruction_bits);
+
+/// BRAM36 blocks for a dictionary-compressed store: the index stream plus
+/// the dictionary ROM (each sized and width-constrained separately; the
+/// literal pool rides in the dictionary's spare capacity or its own block).
+int bram_blocks_compressed(const tta::CompressionResult& compressed, int instruction_bits);
+
+}  // namespace ttsc::fpga

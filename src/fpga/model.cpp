@@ -1,0 +1,288 @@
+#include "fpga/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/bits.hpp"
+
+namespace ttsc::fpga {
+
+using mach::Machine;
+using mach::PortRef;
+
+namespace {
+
+// ---- calibration constants (global, tuned once against Table III) ----------
+
+// Register files.
+constexpr double kRamLutPerBitBank = 0.70;   // LUT per register bit per replica (d <= 64)
+constexpr double kDeepRamExtraPerBit = 0.5;  // extra output muxing per bit beyond 64 deep
+constexpr double kLvtLutPerEntry = 2.2;      // live-value table upkeep per entry per extra W
+constexpr double kLvtMuxPerBit = 0.9;        // read-side bank select per bit per extra W
+
+// Interconnect.
+constexpr double kMuxLutPerBitPerInput = 1.0 / 3.0;  // LUT6 ~ 4:1 mux per bit
+constexpr double kBusDecodeLut = 14.0;               // per-bus control decode
+constexpr double kVliwOperandRouteLut = 40.0;        // per FU input port: imm/operand routing
+
+// Function units (32-bit datapath).
+constexpr int kAdderLut = 37;
+constexpr int kLogicLut = 50;       // and/ior/xor shared LUT fabric
+constexpr int kCompareLut = 52;     // eq/gt/gtu
+constexpr int kExtendLut = 12;      // sxhw/sxqw
+constexpr int kBarrelLut = 175;     // shl/shr/shru
+constexpr int kMulGlueLut = 28;     // DSP cascade glue
+constexpr int kResultMuxLutPerOpClass = 16;
+constexpr int kLsuLut = 140;        // byte lane align/extend + address path
+constexpr int kCuLut = 110;         // PC, branch target, fetch control
+constexpr int kFuPipelineFf = 150;  // operand/trigger/result + valid bits
+constexpr int kLsuFf = 120;
+constexpr int kCuFf = 90;
+constexpr int kScalarControlLut = 240;  // operation-triggered decode/hazard unit
+constexpr int kScalarControlFf = 120;
+constexpr int kScalarForwardLutPerStage = 55;
+
+// Timing (ns).
+constexpr double kBasePathNs = 3.55;
+constexpr double kRfDepthNsPer64 = 0.40;  // beyond native 64-deep LUT RAM
+constexpr double kRfReadPortNs = 0.33;    // per read port beyond the first
+constexpr double kRfWritePortNs = 0.50;   // per write port beyond the first
+constexpr double kIcMuxNsPerInputLog = 0.30;
+constexpr double kScalarControlNs = 1.55;
+constexpr double kVliwDecodeBaseNs = 0.30;   // slot decode + operand fetch
+constexpr double kVliwDecodePerSlotNs = 0.15;
+constexpr double kDeepPipelineBonusNs = 0.18;  // 5-stage balancing
+
+int mux_lut(int inputs, int width) {
+  if (inputs <= 1) return 0;
+  return static_cast<int>(std::lround(width * (inputs - 1) * kMuxLutPerBitPerInput));
+}
+
+}  // namespace
+
+RfCost rf_cost(const mach::RegisterFile& rf) {
+  RfCost cost;
+  const int banks = rf.write_ports;
+  const int replicas_per_bank = rf.read_ports;
+  double per_replica = rf.size * rf.width / 32.0 * kRamLutPerBitBank;
+  if (rf.size > 64) {
+    per_replica += rf.width * kDeepRamExtraPerBit * (static_cast<double>(rf.size) / 32.0 - 2.0);
+  }
+  cost.lut_as_ram = static_cast<int>(std::lround(per_replica * banks * replicas_per_bank));
+
+  int logic = 0;
+  if (rf.write_ports > 1) {
+    logic += static_cast<int>(std::lround(rf.size * (rf.write_ports - 1) * kLvtLutPerEntry));
+    logic += static_cast<int>(
+        std::lround(rf.read_ports * rf.width * (rf.write_ports - 1) * kLvtMuxPerBit));
+    cost.ff = rf.size * bits_for_codes(static_cast<std::uint64_t>(rf.write_ports));
+  }
+  cost.lut_total = cost.lut_as_ram + logic;
+  return cost;
+}
+
+namespace {
+
+int fu_lut_cost(const mach::FunctionUnit& fu, bool barrel_shifter) {
+  if (fu.is_control_unit()) return kCuLut;
+  bool has_add = false;
+  bool has_logic = false;
+  bool has_cmp = false;
+  bool has_ext = false;
+  bool has_shift = false;
+  bool has_mul = false;
+  bool has_mem = false;
+  for (const mach::Operation& op : fu.ops) {
+    using ir::Opcode;
+    switch (op.opcode) {
+      case Opcode::Add:
+      case Opcode::Sub: has_add = true; break;
+      case Opcode::And:
+      case Opcode::Ior:
+      case Opcode::Xor: has_logic = true; break;
+      case Opcode::Eq:
+      case Opcode::Gt:
+      case Opcode::Gtu: has_cmp = true; break;
+      case Opcode::Sxhw:
+      case Opcode::Sxqw: has_ext = true; break;
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Shru: has_shift = true; break;
+      case Opcode::Mul: has_mul = true; break;
+      default:
+        if (ir::is_memory(op.opcode)) has_mem = true;
+        break;
+    }
+  }
+  if (has_mem) return kLsuLut;
+  int lut = 0;
+  int classes = 0;
+  if (has_add) lut += kAdderLut, ++classes;
+  if (has_logic) lut += kLogicLut, ++classes;
+  if (has_cmp) lut += kCompareLut, ++classes;
+  if (has_ext) lut += kExtendLut, ++classes;
+  if (has_shift && barrel_shifter) lut += kBarrelLut, ++classes;
+  if (has_shift && !barrel_shifter) lut += kAdderLut / 2, ++classes;  // 1-bit shift path
+  if (has_mul) lut += kMulGlueLut, ++classes;
+  lut += classes * kResultMuxLutPerOpClass;
+  return lut;
+}
+
+int fu_ff_cost(const mach::FunctionUnit& fu) {
+  if (fu.is_control_unit()) return kCuFf;
+  for (const mach::Operation& op : fu.ops) {
+    if (ir::is_memory(op.opcode)) return kLsuFf;
+  }
+  // Extra pipeline registers for multi-cycle ops (shifter/multiplier).
+  int max_lat = 1;
+  for (const mach::Operation& op : fu.ops) max_lat = std::max(max_lat, op.latency);
+  return kFuPipelineFf + (max_lat - 1) * 34;
+}
+
+/// Interconnect cost from the connectivity graph: every bus is a mux over
+/// its sources; every destination port is a mux over the buses that reach
+/// it; VLIW/scalar machines additionally pay per-input operand routing.
+int ic_lut_cost(const Machine& m) {
+  double lut = 0.0;
+  const int width = 32;
+  for (const mach::Bus& bus : m.buses) {
+    int inputs = 1;  // immediate injection
+    for (const PortRef& s : bus.sources) {
+      inputs += s.kind == PortRef::Kind::RfRead
+                    ? m.rfs[static_cast<std::size_t>(s.unit)].read_ports
+                    : 1;
+    }
+    lut += mux_lut(inputs, width);
+    lut += kBusDecodeLut;
+  }
+  // Destination-side bus selection.
+  auto dest_fanin = [&](PortRef p) {
+    int n = 0;
+    for (const mach::Bus& bus : m.buses) {
+      if (bus.has_dest(p)) ++n;
+    }
+    return n;
+  };
+  for (int f = 0; f < static_cast<int>(m.fus.size()); ++f) {
+    lut += mux_lut(dest_fanin({PortRef::Kind::FuOperand, f}), width);
+    lut += mux_lut(dest_fanin({PortRef::Kind::FuTrigger, f}), width);
+  }
+  for (int r = 0; r < static_cast<int>(m.rfs.size()); ++r) {
+    lut += mux_lut(dest_fanin({PortRef::Kind::RfWrite, r}), width) *
+           m.rfs[static_cast<std::size_t>(r)].write_ports;
+  }
+  if (m.model == mach::Model::Vliw) {
+    // Operation-triggered datapaths route operands/immediates per FU input.
+    for (const mach::FunctionUnit& fu : m.fus) {
+      (void)fu;
+      lut += 2 * kVliwOperandRouteLut;
+    }
+  } else if (m.model == mach::Model::Scalar) {
+    lut *= 0.45;  // single-issue operand routing folds into the pipeline
+  }
+  return static_cast<int>(std::lround(lut));
+}
+
+int ic_ff_cost(const Machine& m) {
+  // Socket/bus pipeline registers (TTA) or operand staging (VLIW/scalar).
+  return static_cast<int>(m.buses.size()) * 8;
+}
+
+}  // namespace
+
+AreaReport estimate_area(const Machine& m) {
+  AreaReport a;
+  for (const mach::RegisterFile& rf : m.rfs) {
+    const RfCost c = rf_cost(rf);
+    a.rf_lut += c.lut_total;
+    a.rf_lut_as_ram += c.lut_as_ram;
+    a.ff += c.ff;
+    // Port staging registers (read data / write data+address per port).
+    a.ff += static_cast<int>(std::lround((rf.read_ports + rf.write_ports) * rf.width * 0.9));
+  }
+  for (const mach::FunctionUnit& fu : m.fus) {
+    const bool barrel = m.model != mach::Model::Scalar || m.scalar.barrel_shifter;
+    a.fu_lut += fu_lut_cost(fu, barrel);
+    a.ff += fu_ff_cost(fu);
+    for (const mach::Operation& op : fu.ops) {
+      if (op.opcode == ir::Opcode::Mul) {
+        a.dsp += 3;  // 32x32 multiplier on Zynq DSP48E1 slices
+        break;
+      }
+    }
+  }
+  a.ic_lut = ic_lut_cost(m);
+  a.ff += ic_ff_cost(m);
+
+  // Control: instruction fetch/dispatch for operation-triggered models is
+  // heavier (decode + hazard handling); TTA decode is near-trivial
+  // (Section III: "requires only a little hardware logic to decode").
+  if (m.model == mach::Model::Scalar) {
+    a.control_lut = kScalarControlLut + (m.scalar.pipeline_stages > 3
+                                             ? kScalarForwardLutPerStage *
+                                                   (m.scalar.pipeline_stages - 3)
+                                             : 0);
+    a.ff += kScalarControlFf + 40 * (m.scalar.pipeline_stages - 3);
+  } else if (m.model == mach::Model::Vliw) {
+    a.control_lut = 90 + 45 * static_cast<int>(m.vliw_slots.size());
+    a.ff += 80;
+  } else {
+    a.control_lut = 40 + 6 * static_cast<int>(m.buses.size());
+    a.ff += 40;
+    // Guard registers + per-bus squash gating.
+    a.control_lut += m.guard_regs * (4 + 2 * static_cast<int>(m.buses.size()));
+    a.ff += m.guard_regs * 2;
+  }
+
+  a.core_lut = a.rf_lut + a.ic_lut + a.fu_lut + a.control_lut;
+  a.slices = static_cast<int>(std::lround(
+      std::max(a.core_lut / 4.0, a.ff / 8.0) * 1.35));
+  return a;
+}
+
+TimingReport estimate_timing(const Machine& m) {
+  double ns = kBasePathNs;
+
+  // Register file access dominates with many ports / deep files.
+  double rf_ns = 0.0;
+  for (const mach::RegisterFile& rf : m.rfs) {
+    double t = kRfDepthNsPer64 * (std::ceil(rf.size / 64.0) - 1.0) +
+               kRfReadPortNs * (rf.read_ports - 1) + kRfWritePortNs * (rf.write_ports - 1);
+    rf_ns = std::max(rf_ns, t);
+  }
+  ns += rf_ns;
+
+  // Interconnect depth: widest destination mux (log scale).
+  int max_fanin = 1;
+  auto dest_fanin = [&](PortRef p) {
+    int n = 0;
+    for (const mach::Bus& bus : m.buses) {
+      if (bus.has_dest(p)) ++n;
+    }
+    return n;
+  };
+  for (int f = 0; f < static_cast<int>(m.fus.size()); ++f) {
+    max_fanin = std::max(max_fanin, dest_fanin({PortRef::Kind::FuOperand, f}));
+    max_fanin = std::max(max_fanin, dest_fanin({PortRef::Kind::FuTrigger, f}));
+  }
+  int max_bus_sources = 1;
+  for (const mach::Bus& bus : m.buses) {
+    max_bus_sources = std::max(max_bus_sources, static_cast<int>(bus.sources.size()) + 1);
+  }
+  ns += kIcMuxNsPerInputLog * bits_for_codes(static_cast<std::uint64_t>(max_fanin)) +
+        0.5 * kIcMuxNsPerInputLog * bits_for_codes(static_cast<std::uint64_t>(max_bus_sources));
+
+  if (m.model == mach::Model::Scalar) {
+    ns += kScalarControlNs;
+    if (m.scalar.pipeline_stages >= 5) ns -= kDeepPipelineBonusNs;
+  } else if (m.model == mach::Model::Vliw) {
+    ns += kVliwDecodeBaseNs + kVliwDecodePerSlotNs * static_cast<double>(m.vliw_slots.size());
+  }
+
+  TimingReport t;
+  t.critical_path_ns = ns;
+  t.fmax_mhz = 1000.0 / ns;
+  return t;
+}
+
+}  // namespace ttsc::fpga

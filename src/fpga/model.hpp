@@ -1,0 +1,51 @@
+// Analytical FPGA resource and timing model (the offline substitute for the
+// paper's Vivado 2017.2 synthesis runs on the Zynq Z7020, speed grade -1).
+//
+// The model is structural: every estimate is derived from the machine
+// description — register file geometry and port counts (LaForest–Steffan
+// style distributed-RAM multiporting: one bank per write port, one replica
+// per read port, plus live-value-table bookkeeping for multi-write files),
+// interconnect multiplexer fan-ins counted from the bus/socket connectivity
+// graph, per-operation function unit costs, and a critical-path estimate
+// over the same structures. Coefficients are calibrated once, globally,
+// against Table III; per-machine deviations are expected and are reported
+// in EXPERIMENTS.md rather than tuned away.
+#pragma once
+
+#include "mach/machine.hpp"
+
+namespace ttsc::fpga {
+
+struct RfCost {
+  int lut_total = 0;    // LUTs including RAM LUTs
+  int lut_as_ram = 0;   // LUTs used as distributed RAM
+  int ff = 0;           // live-value table + output registers
+};
+
+struct AreaReport {
+  int core_lut = 0;
+  int rf_lut = 0;
+  int rf_lut_as_ram = 0;
+  int ic_lut = 0;
+  int fu_lut = 0;
+  int control_lut = 0;
+  int ff = 0;
+  int dsp = 0;
+  int slices = 0;  // for the Fig. 6 efficiency scatter
+};
+
+struct TimingReport {
+  double critical_path_ns = 0.0;
+  double fmax_mhz = 0.0;
+};
+
+/// Distributed-RAM register file cost (LaForest & Steffan [28]).
+RfCost rf_cost(const mach::RegisterFile& rf);
+
+/// Full machine area breakdown.
+AreaReport estimate_area(const mach::Machine& machine);
+
+/// Critical-path / fmax estimate.
+TimingReport estimate_timing(const mach::Machine& machine);
+
+}  // namespace ttsc::fpga

@@ -1,0 +1,189 @@
+#include "ir/analysis.hpp"
+
+#include <algorithm>
+
+namespace ttsc::ir {
+
+Cfg::Cfg(const Function& f) {
+  const std::uint32_t n = f.num_blocks();
+  succs_.resize(n);
+  preds_.resize(n);
+  reachable_.assign(n, false);
+  for (BlockId b = 0; b < n; ++b) {
+    const Instr& term = f.block(b).terminator();
+    for (BlockId t : term.targets) {
+      succs_[b].push_back(t);
+    }
+  }
+  // Deduplicate successor edges (bnz with identical targets) for preds.
+  for (BlockId b = 0; b < n; ++b) {
+    std::vector<BlockId> uniq = succs_[b];
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (BlockId t : uniq) preds_[t].push_back(b);
+  }
+  // Depth-first post-order from entry, then reverse.
+  std::vector<BlockId> post;
+  std::vector<std::uint8_t> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  stack.emplace_back(Function::kEntry, 0);
+  state[Function::kEntry] = 1;
+  reachable_[Function::kEntry] = true;
+  while (!stack.empty()) {
+    auto& [b, idx] = stack.back();
+    if (idx < succs_[b].size()) {
+      const BlockId next = succs_[b][idx++];
+      if (state[next] == 0) {
+        state[next] = 1;
+        reachable_[next] = true;
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      state[b] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+}
+
+Dominators::Dominators(const Function& f, const Cfg& cfg) {
+  const std::uint32_t n = f.num_blocks();
+  idom_.assign(n, kInvalidBlock);
+  rpo_index_.assign(n, 0);
+  const std::vector<BlockId>& rpo = cfg.rpo();
+  for (std::uint32_t i = 0; i < rpo.size(); ++i) rpo_index_[rpo[i]] = i;
+  idom_[Function::kEntry] = Function::kEntry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index_[a] > rpo_index_[b]) a = idom_[a];
+      while (rpo_index_[b] > rpo_index_[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == Function::kEntry) continue;
+      BlockId new_idom = kInvalidBlock;
+      for (BlockId p : cfg.preds(b)) {
+        if (!cfg.reachable(p) || idom_[p] == kInvalidBlock) continue;
+        new_idom = new_idom == kInvalidBlock ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kInvalidBlock && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(BlockId a, BlockId b) const {
+  if (idom_[b] == kInvalidBlock) return false;  // unreachable
+  BlockId cur = b;
+  while (true) {
+    if (cur == a) return true;
+    if (cur == Function::kEntry) return false;
+    cur = idom_[cur];
+  }
+}
+
+std::vector<Loop> find_loops(const Function& f, const Cfg& cfg, const Dominators& dom) {
+  std::vector<Loop> loops;
+  const std::uint32_t n = f.num_blocks();
+  // A back edge latch->header exists when header dominates latch.
+  for (BlockId header = 0; header < n; ++header) {
+    if (!cfg.reachable(header)) continue;
+    std::vector<BlockId> latches;
+    for (BlockId p : cfg.preds(header)) {
+      if (cfg.reachable(p) && dom.dominates(header, p)) latches.push_back(p);
+    }
+    if (latches.empty()) continue;
+    // Collect the loop body: blocks that can reach a latch without passing
+    // through the header (standard natural-loop construction).
+    Loop loop;
+    loop.header = header;
+    loop.latches = latches;
+    std::vector<bool> in_loop(n, false);
+    in_loop[header] = true;
+    std::vector<BlockId> work = latches;
+    for (BlockId l : latches) in_loop[l] = true;
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      if (b == header) continue;  // the walk stops at the header
+      for (BlockId p : cfg.preds(b)) {
+        if (cfg.reachable(p) && !in_loop[p]) {
+          in_loop[p] = true;
+          work.push_back(p);
+        }
+      }
+    }
+    for (BlockId b = 0; b < n; ++b)
+      if (in_loop[b]) loop.blocks.push_back(b);
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+std::vector<Vreg> uses_of(const Instr& in) {
+  std::vector<Vreg> uses;
+  for (const Operand& opnd : in.inputs) {
+    if (opnd.is_reg()) uses.push_back(opnd.reg);
+  }
+  return uses;
+}
+
+Liveness::Liveness(const Function& f, const Cfg& cfg) {
+  const std::uint32_t nb = f.num_blocks();
+  const std::uint32_t nv = f.num_vregs();
+  live_in_.assign(nb, std::vector<bool>(nv, false));
+  live_out_.assign(nb, std::vector<bool>(nv, false));
+
+  // Per-block gen (upward-exposed uses) and kill (defs).
+  std::vector<std::vector<bool>> gen(nb, std::vector<bool>(nv, false));
+  std::vector<std::vector<bool>> kill(nb, std::vector<bool>(nv, false));
+  for (BlockId b = 0; b < nb; ++b) {
+    for (const Instr& in : f.block(b).instrs) {
+      for (Vreg u : uses_of(in)) {
+        if (!kill[b][u.id]) gen[b][u.id] = true;
+      }
+      if (in.dst.valid()) kill[b][in.dst.id] = true;
+    }
+  }
+
+  // Iterate to fixpoint over reverse RPO (fast convergence for reducible CFGs).
+  std::vector<BlockId> order(cfg.rpo().rbegin(), cfg.rpo().rend());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : order) {
+      std::vector<bool>& out = live_out_[b];
+      for (BlockId s : cfg.succs(b)) {
+        const std::vector<bool>& sin = live_in_[s];
+        for (std::uint32_t v = 0; v < nv; ++v) {
+          if (sin[v] && !out[v]) {
+            out[v] = true;
+            changed = true;
+          }
+        }
+      }
+      std::vector<bool>& in = live_in_[b];
+      for (std::uint32_t v = 0; v < nv; ++v) {
+        const bool want = gen[b][v] || (out[v] && !kill[b][v]);
+        if (want && !in[v]) {
+          in[v] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  // Function parameters are live-in to the entry by definition; model them
+  // as gen so allocators reserve their intervals even if unused.
+  for (std::uint32_t p = 0; p < f.num_params(); ++p) live_in_[Function::kEntry][p] = true;
+}
+
+}  // namespace ttsc::ir

@@ -1,0 +1,85 @@
+// Dataflow and control-flow analyses over the (non-SSA) ttsc IR.
+//
+// These back the optimizer (DCE, LICM), the register allocator (liveness)
+// and the TTA scheduler (dead-result-move elimination requires block
+// live-out information on allocated registers; that variant lives in
+// codegen and reuses the same algorithm over physical ids).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace ttsc::ir {
+
+/// Predecessor / successor lists per block.
+class Cfg {
+ public:
+  explicit Cfg(const Function& f);
+
+  const std::vector<BlockId>& succs(BlockId b) const { return succs_[b]; }
+  const std::vector<BlockId>& preds(BlockId b) const { return preds_[b]; }
+
+  /// Blocks in reverse post-order from the entry (unreachable blocks absent).
+  const std::vector<BlockId>& rpo() const { return rpo_; }
+
+  bool reachable(BlockId b) const { return reachable_[b]; }
+
+ private:
+  std::vector<std::vector<BlockId>> succs_;
+  std::vector<std::vector<BlockId>> preds_;
+  std::vector<BlockId> rpo_;
+  std::vector<bool> reachable_;
+};
+
+/// Immediate dominators computed by iterative RPO dataflow
+/// (Cooper/Harvey/Kennedy).
+class Dominators {
+ public:
+  Dominators(const Function& f, const Cfg& cfg);
+
+  /// Immediate dominator; entry's idom is itself. Unreachable -> kInvalidBlock.
+  BlockId idom(BlockId b) const { return idom_[b]; }
+  bool dominates(BlockId a, BlockId b) const;
+
+ private:
+  std::vector<BlockId> idom_;
+  std::vector<std::uint32_t> rpo_index_;
+};
+
+/// A natural loop: header plus body blocks (header included).
+struct Loop {
+  BlockId header = kInvalidBlock;
+  std::vector<BlockId> blocks;           // includes header
+  std::vector<BlockId> latches;          // sources of back edges
+  bool contains(BlockId b) const {
+    for (BlockId x : blocks)
+      if (x == b) return true;
+    return false;
+  }
+};
+
+/// All natural loops (one per header; multiple back edges merged).
+std::vector<Loop> find_loops(const Function& f, const Cfg& cfg, const Dominators& dom);
+
+/// Per-block virtual-register liveness.
+class Liveness {
+ public:
+  Liveness(const Function& f, const Cfg& cfg);
+
+  const std::vector<bool>& live_in(BlockId b) const { return live_in_[b]; }
+  const std::vector<bool>& live_out(BlockId b) const { return live_out_[b]; }
+  bool live_out(BlockId b, Vreg v) const { return live_out_[b][v.id]; }
+
+ private:
+  std::vector<std::vector<bool>> live_in_;
+  std::vector<std::vector<bool>> live_out_;
+};
+
+/// Registers read by an instruction.
+std::vector<Vreg> uses_of(const Instr& in);
+/// Register written by an instruction (invalid Vreg if none).
+inline Vreg def_of(const Instr& in) { return in.dst.valid() ? in.dst : Vreg(); }
+
+}  // namespace ttsc::ir

@@ -1,0 +1,166 @@
+// IRBuilder: the front end of the ttsc toolchain.
+//
+// Workloads (src/workloads) are written directly against this API, playing
+// the role the CHStone C sources + LLVM front end play in the paper. The
+// builder appends instructions to an insertion block and provides composed
+// helpers for the comparison forms Table I does not provide directly
+// (less-than via swapped gt, not-equal via eq + xor, ...).
+#pragma once
+
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace ttsc::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Function& func) : func_(func) {}
+
+  Function& function() { return func_; }
+
+  BlockId create_block(std::string name) { return func_.add_block(std::move(name)); }
+
+  void set_insert_point(BlockId block) { insert_ = block; }
+  BlockId insert_point() const { return insert_; }
+
+  /// True when the insertion block already ends in a terminator.
+  bool block_terminated() const {
+    const Block& b = func_.block(insert_);
+    return !b.instrs.empty() && is_terminator(b.instrs.back().op);
+  }
+
+  // ---- raw emission ------------------------------------------------------
+
+  Vreg emit(Opcode op, std::vector<Operand> inputs) {
+    TTSC_ASSERT(has_result(op), "emit() requires an opcode with a result");
+    Vreg dst = func_.new_vreg();
+    append(Instr(op, dst, std::move(inputs)));
+    return dst;
+  }
+
+  /// Emit with an explicit destination (used for loop-carried variables in
+  /// the non-SSA IR).
+  void emit_into(Vreg dst, Opcode op, std::vector<Operand> inputs) {
+    TTSC_ASSERT(has_result(op), "emit_into() requires an opcode with a result");
+    append(Instr(op, dst, std::move(inputs)));
+  }
+
+  void emit_void(Opcode op, std::vector<Operand> inputs) {
+    TTSC_ASSERT(!has_result(op) && !is_terminator(op), "emit_void() misuse");
+    append(Instr(op, Vreg(), std::move(inputs)));
+  }
+
+  // ---- arithmetic / logic --------------------------------------------------
+
+  Vreg add(Operand a, Operand b) { return emit(Opcode::Add, {a, b}); }
+  Vreg sub(Operand a, Operand b) { return emit(Opcode::Sub, {a, b}); }
+  Vreg mul(Operand a, Operand b) { return emit(Opcode::Mul, {a, b}); }
+  Vreg band(Operand a, Operand b) { return emit(Opcode::And, {a, b}); }
+  Vreg bior(Operand a, Operand b) { return emit(Opcode::Ior, {a, b}); }
+  Vreg bxor(Operand a, Operand b) { return emit(Opcode::Xor, {a, b}); }
+  Vreg shl(Operand a, Operand b) { return emit(Opcode::Shl, {a, b}); }
+  Vreg shr(Operand a, Operand b) { return emit(Opcode::Shr, {a, b}); }
+  Vreg shru(Operand a, Operand b) { return emit(Opcode::Shru, {a, b}); }
+  Vreg sxhw(Operand a) { return emit(Opcode::Sxhw, {a}); }
+  Vreg sxqw(Operand a) { return emit(Opcode::Sxqw, {a}); }
+
+  Vreg eq(Operand a, Operand b) { return emit(Opcode::Eq, {a, b}); }
+  Vreg gt(Operand a, Operand b) { return emit(Opcode::Gt, {a, b}); }
+  Vreg gtu(Operand a, Operand b) { return emit(Opcode::Gtu, {a, b}); }
+  Vreg lt(Operand a, Operand b) { return emit(Opcode::Gt, {b, a}); }
+  Vreg ltu(Operand a, Operand b) { return emit(Opcode::Gtu, {b, a}); }
+  /// a >= b  ==  !(b > a)
+  Vreg ge(Operand a, Operand b) { return bxor(gt(b, a), 1); }
+  Vreg geu(Operand a, Operand b) { return bxor(gtu(b, a), 1); }
+  Vreg le(Operand a, Operand b) { return bxor(gt(a, b), 1); }
+  Vreg leu(Operand a, Operand b) { return bxor(gtu(a, b), 1); }
+  Vreg ne(Operand a, Operand b) { return bxor(eq(a, b), 1); }
+  /// Two's-complement negation.
+  Vreg neg(Operand a) { return sub(0, a); }
+  /// Bitwise complement.
+  Vreg bnot(Operand a) { return bxor(a, -1); }
+
+  Vreg movi(Imm imm) { return emit(Opcode::MovI, {Operand(std::move(imm))}); }
+  /// Address of `global` plus a byte offset.
+  Vreg ga(const std::string& global, std::int64_t offset = 0) {
+    return movi(Imm(global, offset));
+  }
+  Vreg copy(Operand a) { return emit(Opcode::Copy, {a}); }
+  /// (cond != 0) ? a : b.
+  Vreg select(Operand cond, Operand a, Operand b) {
+    return emit(Opcode::Select, {cond, a, b});
+  }
+  void copy_into(Vreg dst, Operand a) { emit_into(dst, Opcode::Copy, {a}); }
+
+  // ---- memory --------------------------------------------------------------
+
+  Vreg ldw(Operand addr) { return emit(Opcode::Ldw, {addr}); }
+  Vreg ldh(Operand addr) { return emit(Opcode::Ldh, {addr}); }
+  Vreg ldhu(Operand addr) { return emit(Opcode::Ldhu, {addr}); }
+  Vreg ldq(Operand addr) { return emit(Opcode::Ldq, {addr}); }
+  Vreg ldqu(Operand addr) { return emit(Opcode::Ldqu, {addr}); }
+  void stw(Operand addr, Operand value) { emit_void(Opcode::Stw, {addr, value}); }
+  void sth(Operand addr, Operand value) { emit_void(Opcode::Sth, {addr, value}); }
+  void stq(Operand addr, Operand value) { emit_void(Opcode::Stq, {addr, value}); }
+
+  // ---- control flow ----------------------------------------------------------
+
+  void jump(BlockId target) {
+    Instr in;
+    in.op = Opcode::Jump;
+    in.targets = {target};
+    append(std::move(in));
+  }
+
+  void bnz(Operand cond, BlockId taken, BlockId fallthrough) {
+    Instr in;
+    in.op = Opcode::Bnz;
+    in.inputs = {cond};
+    in.targets = {taken, fallthrough};
+    append(std::move(in));
+  }
+
+  Vreg call(const std::string& callee, std::vector<Operand> args) {
+    Instr in;
+    in.op = Opcode::Call;
+    in.dst = func_.new_vreg();
+    in.inputs = std::move(args);
+    in.callee = callee;
+    Vreg dst = in.dst;
+    append(std::move(in));
+    return dst;
+  }
+
+  void call_void(const std::string& callee, std::vector<Operand> args) {
+    Instr in;
+    in.op = Opcode::Call;
+    in.inputs = std::move(args);
+    in.callee = callee;
+    append(std::move(in));
+  }
+
+  void ret(Operand value) {
+    Instr in;
+    in.op = Opcode::Ret;
+    in.inputs = {value};
+    append(std::move(in));
+  }
+
+  void ret() {
+    Instr in;
+    in.op = Opcode::Ret;
+    append(std::move(in));
+  }
+
+ private:
+  void append(Instr in) {
+    TTSC_ASSERT(insert_ != kInvalidBlock, "no insertion block set");
+    TTSC_ASSERT(!block_terminated(), "appending to a terminated block in " + func_.name());
+    func_.block(insert_).instrs.push_back(std::move(in));
+  }
+
+  Function& func_;
+  BlockId insert_ = kInvalidBlock;
+};
+
+}  // namespace ttsc::ir

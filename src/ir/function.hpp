@@ -1,0 +1,81 @@
+// Function and basic block containers of the ttsc IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+
+namespace ttsc::ir {
+
+struct Block {
+  std::string name;
+  std::vector<Instr> instrs;
+
+  /// The terminator is the last instruction; the verifier enforces that a
+  /// block has exactly one terminator and that it is last.
+  const Instr& terminator() const {
+    TTSC_ASSERT(!instrs.empty(), "block has no terminator");
+    return instrs.back();
+  }
+  Instr& terminator() {
+    TTSC_ASSERT(!instrs.empty(), "block has no terminator");
+    return instrs.back();
+  }
+};
+
+class Function {
+ public:
+  Function(std::string name, std::uint32_t num_params)
+      : name_(std::move(name)), num_params_(num_params), next_vreg_(num_params) {}
+
+  const std::string& name() const { return name_; }
+  std::uint32_t num_params() const { return num_params_; }
+
+  /// Incoming argument `i` lives in vreg i on entry.
+  Vreg param(std::uint32_t i) const {
+    TTSC_ASSERT(i < num_params_, "param index out of range");
+    return Vreg(i);
+  }
+
+  Vreg new_vreg() { return Vreg(next_vreg_++); }
+  std::uint32_t num_vregs() const { return next_vreg_; }
+  /// Used by passes that renumber registers (e.g. the inliner).
+  void set_num_vregs(std::uint32_t n) { next_vreg_ = n; }
+
+  BlockId add_block(std::string block_name) {
+    blocks_.push_back(Block{std::move(block_name), {}});
+    return static_cast<BlockId>(blocks_.size() - 1);
+  }
+
+  Block& block(BlockId id) {
+    TTSC_ASSERT(id < blocks_.size(), "block id out of range");
+    return blocks_[id];
+  }
+  const Block& block(BlockId id) const {
+    TTSC_ASSERT(id < blocks_.size(), "block id out of range");
+    return blocks_[id];
+  }
+
+  std::vector<Block>& blocks() { return blocks_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::uint32_t num_blocks() const { return static_cast<std::uint32_t>(blocks_.size()); }
+
+  static constexpr BlockId kEntry = 0;
+
+  /// Total instruction count over all blocks (used in reports/tests).
+  std::size_t num_instrs() const {
+    std::size_t n = 0;
+    for (const Block& b : blocks_) n += b.instrs.size();
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t num_params_;
+  std::uint32_t next_vreg_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace ttsc::ir

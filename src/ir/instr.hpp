@@ -1,0 +1,32 @@
+// IR instruction: opcode, optional destination register, inputs, branch
+// targets, and (for Call) the callee name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "ir/value.hpp"
+
+namespace ttsc::ir {
+
+/// Index of a basic block within its function.
+using BlockId = std::uint32_t;
+constexpr BlockId kInvalidBlock = 0xffffffffu;
+
+struct Instr {
+  Opcode op = Opcode::MovI;
+  Vreg dst;                        // invalid when the opcode has no result
+  std::vector<Operand> inputs;     // operand order per ir/opcode.hpp comments
+  std::vector<BlockId> targets;    // Jump: {target}; Bnz: {taken, fallthrough}
+  std::string callee;              // Call only
+
+  Instr() = default;
+  Instr(Opcode op_, Vreg dst_, std::vector<Operand> inputs_)
+      : op(op_), dst(dst_), inputs(std::move(inputs_)) {}
+
+  bool has_dst() const { return dst.valid(); }
+};
+
+}  // namespace ttsc::ir

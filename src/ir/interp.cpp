@@ -1,0 +1,124 @@
+#include "ir/interp.hpp"
+
+#include "support/bits.hpp"
+
+namespace ttsc::ir {
+
+Interpreter::Interpreter(const Module& module, std::size_t mem_size)
+    : module_(module), layout_(module.layout()), mem_(mem_size) {
+  for (const Global& g : module.globals()) {
+    if (!g.init.empty()) mem_.write_block(layout_.address_of(g.name), g.init);
+  }
+}
+
+std::uint32_t Interpreter::resolve(const Imm& imm) const {
+  if (imm.is_global()) {
+    return layout_.address_of(imm.global) + static_cast<std::uint32_t>(imm.value);
+  }
+  return static_cast<std::uint32_t>(imm.value);
+}
+
+Interpreter::Result Interpreter::run(const std::string& func,
+                                     const std::vector<std::uint32_t>& args) {
+  executed_ = 0;
+  const std::uint32_t value = eval_call(module_.function(func), args, 0);
+  return Result{value, executed_};
+}
+
+std::uint32_t Interpreter::eval_call(const Function& f, const std::vector<std::uint32_t>& args,
+                                     int depth) {
+  if (depth > 64) throw Error("interpreter: call depth exceeded in " + f.name());
+  TTSC_ASSERT(args.size() == f.num_params(), "argument count mismatch calling " + f.name());
+
+  std::vector<std::uint32_t> regs(f.num_vregs(), 0);
+  for (std::size_t i = 0; i < args.size(); ++i) regs[i] = args[i];
+
+  auto value_of = [&](const Operand& opnd) -> std::uint32_t {
+    return opnd.is_reg() ? regs[opnd.reg.id] : resolve(opnd.imm);
+  };
+
+  BlockId bb = Function::kEntry;
+  while (true) {
+    const Block& block = f.block(bb);
+    for (std::size_t pc = 0; pc < block.instrs.size(); ++pc) {
+      const Instr& in = block.instrs[pc];
+      if (++executed_ > fuel_) throw Error("interpreter: fuel exhausted in " + f.name());
+      switch (in.op) {
+        case Opcode::Add: regs[in.dst.id] = value_of(in.inputs[0]) + value_of(in.inputs[1]); break;
+        case Opcode::Sub: regs[in.dst.id] = value_of(in.inputs[0]) - value_of(in.inputs[1]); break;
+        case Opcode::Mul: regs[in.dst.id] = value_of(in.inputs[0]) * value_of(in.inputs[1]); break;
+        case Opcode::And: regs[in.dst.id] = value_of(in.inputs[0]) & value_of(in.inputs[1]); break;
+        case Opcode::Ior: regs[in.dst.id] = value_of(in.inputs[0]) | value_of(in.inputs[1]); break;
+        case Opcode::Xor: regs[in.dst.id] = value_of(in.inputs[0]) ^ value_of(in.inputs[1]); break;
+        case Opcode::Shl: regs[in.dst.id] = value_of(in.inputs[0]) << (value_of(in.inputs[1]) & 31); break;
+        case Opcode::Shru:
+          regs[in.dst.id] = value_of(in.inputs[0]) >> (value_of(in.inputs[1]) & 31);
+          break;
+        case Opcode::Shr:
+          regs[in.dst.id] = static_cast<std::uint32_t>(
+              static_cast<std::int32_t>(value_of(in.inputs[0])) >>
+              (value_of(in.inputs[1]) & 31));
+          break;
+        case Opcode::Eq:
+          regs[in.dst.id] = value_of(in.inputs[0]) == value_of(in.inputs[1]) ? 1u : 0u;
+          break;
+        case Opcode::Gt:
+          regs[in.dst.id] = static_cast<std::int32_t>(value_of(in.inputs[0])) >
+                                    static_cast<std::int32_t>(value_of(in.inputs[1]))
+                                ? 1u
+                                : 0u;
+          break;
+        case Opcode::Gtu:
+          regs[in.dst.id] = value_of(in.inputs[0]) > value_of(in.inputs[1]) ? 1u : 0u;
+          break;
+        case Opcode::Sxhw:
+          regs[in.dst.id] = static_cast<std::uint32_t>(sign_extend(value_of(in.inputs[0]), 16));
+          break;
+        case Opcode::Sxqw:
+          regs[in.dst.id] = static_cast<std::uint32_t>(sign_extend(value_of(in.inputs[0]), 8));
+          break;
+        case Opcode::Ldw: regs[in.dst.id] = mem_.load32(value_of(in.inputs[0])); break;
+        case Opcode::Ldh:
+          regs[in.dst.id] =
+              static_cast<std::uint32_t>(sign_extend(mem_.load16(value_of(in.inputs[0])), 16));
+          break;
+        case Opcode::Ldhu: regs[in.dst.id] = mem_.load16(value_of(in.inputs[0])); break;
+        case Opcode::Ldq:
+          regs[in.dst.id] =
+              static_cast<std::uint32_t>(sign_extend(mem_.load8(value_of(in.inputs[0])), 8));
+          break;
+        case Opcode::Ldqu: regs[in.dst.id] = mem_.load8(value_of(in.inputs[0])); break;
+        case Opcode::Stw: mem_.store32(value_of(in.inputs[0]),
+                                       value_of(in.inputs[1])); break;
+        case Opcode::Sth:
+          mem_.store16(value_of(in.inputs[0]), static_cast<std::uint16_t>(value_of(in.inputs[1])));
+          break;
+        case Opcode::Stq:
+          mem_.store8(value_of(in.inputs[0]), static_cast<std::uint8_t>(value_of(in.inputs[1])));
+          break;
+        case Opcode::MovI: regs[in.dst.id] = resolve(in.inputs[0].as_imm()); break;
+        case Opcode::Copy: regs[in.dst.id] = value_of(in.inputs[0]); break;
+        case Opcode::Select:
+          regs[in.dst.id] =
+              value_of(in.inputs[0]) != 0 ? value_of(in.inputs[1]) : value_of(in.inputs[2]);
+          break;
+        case Opcode::Jump: bb = in.targets[0]; goto next_block;
+        case Opcode::Bnz: bb = value_of(in.inputs[0]) != 0 ? in.targets[0] : in.targets[1];
+          goto next_block;
+        case Opcode::Call: {
+          std::vector<std::uint32_t> call_args;
+          call_args.reserve(in.inputs.size());
+          for (const Operand& a : in.inputs) call_args.push_back(value_of(a));
+          const std::uint32_t rv = eval_call(module_.function(in.callee), call_args, depth + 1);
+          if (in.dst.valid()) regs[in.dst.id] = rv;
+          break;
+        }
+        case Opcode::Ret: return in.inputs.empty() ? 0u : value_of(in.inputs[0]);
+      }
+    }
+    TTSC_UNREACHABLE("block fell through without terminator");
+  next_block:;
+  }
+}
+
+}  // namespace ttsc::ir

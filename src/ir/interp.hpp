@@ -1,0 +1,47 @@
+// Reference interpreter: the golden functional model.
+//
+// Every backend (scalar, VLIW, TTA) must produce the same return value and
+// the same final memory contents as this interpreter on every workload;
+// the end-to-end tests assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/memory.hpp"
+#include "ir/module.hpp"
+
+namespace ttsc::ir {
+
+class Interpreter {
+ public:
+  struct Result {
+    std::uint32_t value = 0;
+    std::uint64_t instrs_executed = 0;
+  };
+
+  explicit Interpreter(const Module& module, std::size_t mem_size = 1u << 20);
+
+  /// Execute `func` with the given arguments. Throws ttsc::Error if the
+  /// fuel limit is exceeded (runaway loop in a workload).
+  Result run(const std::string& func, const std::vector<std::uint32_t>& args);
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+  const DataLayout& layout() const { return layout_; }
+
+  void set_fuel(std::uint64_t fuel) { fuel_ = fuel; }
+
+ private:
+  std::uint32_t eval_call(const Function& f, const std::vector<std::uint32_t>& args, int depth);
+  std::uint32_t resolve(const Imm& imm) const;
+
+  const Module& module_;
+  DataLayout layout_;
+  Memory mem_;
+  std::uint64_t fuel_ = 2'000'000'000ull;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ttsc::ir

@@ -1,0 +1,84 @@
+// Byte-addressable little-endian memory shared by the IR interpreter and
+// every instruction-set simulator, so all backends agree on data semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace ttsc::ir {
+
+class Memory {
+ public:
+  explicit Memory(std::size_t size) : bytes_(size, 0) {}
+
+  std::size_t size() const { return bytes_.size(); }
+
+  std::uint8_t load8(std::uint32_t addr) const {
+    check(addr, 1);
+    return bytes_[addr];
+  }
+  std::uint16_t load16(std::uint32_t addr) const {
+    check(addr, 2);
+    return static_cast<std::uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+  }
+  std::uint32_t load32(std::uint32_t addr) const {
+    check(addr, 4);
+    return static_cast<std::uint32_t>(bytes_[addr]) |
+           (static_cast<std::uint32_t>(bytes_[addr + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[addr + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[addr + 3]) << 24);
+  }
+
+  void store8(std::uint32_t addr, std::uint8_t value) {
+    check(addr, 1);
+    bytes_[addr] = value;
+  }
+  void store16(std::uint32_t addr, std::uint16_t value) {
+    check(addr, 2);
+    bytes_[addr] = static_cast<std::uint8_t>(value);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+  }
+  void store32(std::uint32_t addr, std::uint32_t value) {
+    check(addr, 4);
+    bytes_[addr] = static_cast<std::uint8_t>(value);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    bytes_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    bytes_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+  }
+
+  void write_block(std::uint32_t addr, std::span<const std::uint8_t> data) {
+    check(addr, static_cast<std::uint32_t>(data.size()));
+    for (std::size_t i = 0; i < data.size(); ++i) bytes_[addr + i] = data[i];
+  }
+
+  std::span<const std::uint8_t> view(std::uint32_t addr, std::uint32_t len) const {
+    check(addr, len);
+    return {bytes_.data() + addr, len};
+  }
+
+  /// FNV-1a over a range; used by workloads/tests to compare backend results.
+  std::uint64_t checksum(std::uint32_t addr, std::uint32_t len) const {
+    check(addr, len);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      h ^= bytes_[addr + i];
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+
+ private:
+  void check(std::uint32_t addr, std::uint32_t len) const {
+    TTSC_ASSERT(static_cast<std::uint64_t>(addr) + len <= bytes_.size(),
+                format("memory access out of range: addr=0x%x len=%u size=%zu", addr, len,
+                       bytes_.size()));
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace ttsc::ir

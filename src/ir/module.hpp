@@ -1,0 +1,122 @@
+// Module: the compilation unit — functions plus global data.
+//
+// Memory map used by every backend and the interpreter:
+//   [0, kDataBase)                  reserved (null-guard + I/O scratch)
+//   [kDataBase, ...)                globals, laid out by DataLayout
+//   [spill_base, ...)               compiler spill slots (assigned by the
+//                                   register allocator; absolute addresses,
+//                                   valid because the paper's LSU addresses
+//                                   are absolute and all calls are inlined)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace ttsc::ir {
+
+struct Global {
+  std::string name;
+  std::uint32_t size = 0;            // bytes
+  std::uint32_t align = 4;           // power of two
+  std::vector<std::uint8_t> init;    // empty or exactly `size` bytes
+  bool read_only = false;
+};
+
+/// Resolved addresses for the module's globals.
+class DataLayout {
+ public:
+  static constexpr std::uint32_t kDataBase = 0x1000;
+
+  DataLayout() = default;
+
+  std::uint32_t address_of(const std::string& global) const {
+    auto it = addresses_.find(global);
+    TTSC_ASSERT(it != addresses_.end(), "unknown global: " + global);
+    return it->second;
+  }
+  bool has(const std::string& global) const { return addresses_.count(global) != 0; }
+
+  /// First free address after all globals; spill slots start here (rounded).
+  std::uint32_t end() const { return end_; }
+
+ private:
+  friend class Module;
+  std::map<std::string, std::uint32_t> addresses_;
+  std::uint32_t end_ = kDataBase;
+};
+
+class Module {
+ public:
+  Function& add_function(std::string name, std::uint32_t num_params) {
+    TTSC_ASSERT(find_function(name) == nullptr, "duplicate function: " + name);
+    functions_.emplace_back(std::move(name), num_params);
+    return functions_.back();
+  }
+
+  Function* find_function(const std::string& name) {
+    for (Function& f : functions_)
+      if (f.name() == name) return &f;
+    return nullptr;
+  }
+  const Function* find_function(const std::string& name) const {
+    for (const Function& f : functions_)
+      if (f.name() == name) return &f;
+    return nullptr;
+  }
+  Function& function(const std::string& name) {
+    Function* f = find_function(name);
+    TTSC_ASSERT(f != nullptr, "unknown function: " + name);
+    return *f;
+  }
+  const Function& function(const std::string& name) const {
+    const Function* f = find_function(name);
+    TTSC_ASSERT(f != nullptr, "unknown function: " + name);
+    return *f;
+  }
+
+  // A deque keeps Function references stable across add_function calls
+  // (front ends hold IRBuilder references while adding helper functions).
+  std::deque<Function>& functions() { return functions_; }
+  const std::deque<Function>& functions() const { return functions_; }
+
+  void add_global(Global g) {
+    TTSC_ASSERT(g.size > 0, "global must have nonzero size: " + g.name);
+    TTSC_ASSERT(g.init.empty() || g.init.size() == g.size,
+                "global init size mismatch: " + g.name);
+    TTSC_ASSERT(find_global(g.name) == nullptr, "duplicate global: " + g.name);
+    globals_.push_back(std::move(g));
+  }
+
+  const Global* find_global(const std::string& name) const {
+    for (const Global& g : globals_)
+      if (g.name == name) return &g;
+    return nullptr;
+  }
+  const std::vector<Global>& globals() const { return globals_; }
+
+  /// Compute addresses for all globals, in declaration order.
+  DataLayout layout() const {
+    DataLayout dl;
+    std::uint32_t cursor = DataLayout::kDataBase;
+    for (const Global& g : globals_) {
+      const std::uint32_t align = g.align == 0 ? 1 : g.align;
+      cursor = static_cast<std::uint32_t>((cursor + align - 1) / align * align);
+      dl.addresses_[g.name] = cursor;
+      cursor += g.size;
+    }
+    dl.end_ = cursor;
+    return dl;
+  }
+
+ private:
+  std::deque<Function> functions_;
+  std::vector<Global> globals_;
+};
+
+}  // namespace ttsc::ir

@@ -1,0 +1,42 @@
+#include "ir/opcode.hpp"
+
+#include "support/assert.hpp"
+
+namespace ttsc::ir {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::And: return "and";
+    case Opcode::Eq: return "eq";
+    case Opcode::Gt: return "gt";
+    case Opcode::Gtu: return "gtu";
+    case Opcode::Ior: return "ior";
+    case Opcode::Mul: return "mul";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Shru: return "shru";
+    case Opcode::Sub: return "sub";
+    case Opcode::Sxhw: return "sxhw";
+    case Opcode::Sxqw: return "sxqw";
+    case Opcode::Xor: return "xor";
+    case Opcode::Ldw: return "ldw";
+    case Opcode::Ldh: return "ldh";
+    case Opcode::Ldq: return "ldq";
+    case Opcode::Ldqu: return "ldqu";
+    case Opcode::Ldhu: return "ldhu";
+    case Opcode::Stw: return "stw";
+    case Opcode::Sth: return "sth";
+    case Opcode::Stq: return "stq";
+    case Opcode::MovI: return "movi";
+    case Opcode::Copy: return "copy";
+    case Opcode::Select: return "select";
+    case Opcode::Jump: return "jump";
+    case Opcode::Bnz: return "bnz";
+    case Opcode::Call: return "call";
+    case Opcode::Ret: return "ret";
+  }
+  TTSC_UNREACHABLE("unknown opcode");
+}
+
+}  // namespace ttsc::ir

@@ -1,0 +1,168 @@
+// Opcode set of the ttsc intermediate representation.
+//
+// The compute opcodes mirror Table I of the paper exactly: the minimal set
+// of 32-bit integer operations the TCE C compiler requires, plus integer
+// multiplication. Memory operations address absolute byte addresses.
+// Control flow (jump / conditional branch / call / return) and the two
+// pseudo operations (MovI, Copy) complete the set; pseudo ops are lowered
+// or folded before scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ttsc::ir {
+
+enum class Opcode : std::uint8_t {
+  // ALU (Table I, left column).
+  Add,   // dst = a + b
+  And,   // dst = a & b
+  Eq,    // dst = (a == b) ? 1 : 0
+  Gt,    // dst = (signed a > signed b) ? 1 : 0
+  Gtu,   // dst = (unsigned a > unsigned b) ? 1 : 0
+  Ior,   // dst = a | b
+  Mul,   // dst = low 32 bits of a * b
+  Shl,   // dst = a << (b & 31)
+  Shr,   // dst = signed a >> (b & 31)
+  Shru,  // dst = unsigned a >> (b & 31)
+  Sub,   // dst = a - b
+  Sxhw,  // dst = sign-extend low 16 bits of a
+  Sxqw,  // dst = sign-extend low 8 bits of a
+  Xor,   // dst = a ^ b
+
+  // LSU (Table I, right column). Address operand is a byte address.
+  Ldw,   // dst = mem32[a + offset-imm]
+  Ldh,   // dst = sext16(mem16[a])
+  Ldq,   // dst = sext8(mem8[a])
+  Ldqu,  // dst = zext8(mem8[a])
+  Ldhu,  // dst = zext16(mem16[a])
+  Stw,   // mem32[a] = b
+  Sth,   // mem16[a] = low16(b)
+  Stq,   // mem8[a] = low8(b)
+
+  // Pseudo operations.
+  MovI,    // dst = immediate (possibly a global address)
+  Copy,    // dst = a
+  Select,  // dst = (a != 0) ? b : c — lowered to guarded moves on machines
+           // with predication support, expanded to mask arithmetic elsewhere
+
+  // Control flow (block terminators except Call).
+  Jump,  // unconditional branch to targets[0]
+  Bnz,   // if (a != 0) goto targets[0] else goto targets[1]
+  Call,  // dst? = callee(operands...)
+  Ret,   // return operand[0] if present
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::Ret) + 1;
+
+std::string_view opcode_name(Opcode op);
+
+constexpr bool is_load(Opcode op) {
+  return op == Opcode::Ldw || op == Opcode::Ldh || op == Opcode::Ldq || op == Opcode::Ldqu ||
+         op == Opcode::Ldhu;
+}
+
+constexpr bool is_store(Opcode op) {
+  return op == Opcode::Stw || op == Opcode::Sth || op == Opcode::Stq;
+}
+
+constexpr bool is_memory(Opcode op) { return is_load(op) || is_store(op); }
+
+constexpr bool is_terminator(Opcode op) {
+  return op == Opcode::Jump || op == Opcode::Bnz || op == Opcode::Ret;
+}
+
+constexpr bool is_branch(Opcode op) { return op == Opcode::Jump || op == Opcode::Bnz; }
+
+/// Operations whose result only depends on the operands (candidates for
+/// constant folding, CSE and LICM).
+constexpr bool is_pure(Opcode op) {
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::And:
+    case Opcode::Eq:
+    case Opcode::Gt:
+    case Opcode::Gtu:
+    case Opcode::Ior:
+    case Opcode::Mul:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Shru:
+    case Opcode::Sub:
+    case Opcode::Sxhw:
+    case Opcode::Sxqw:
+    case Opcode::Xor:
+    case Opcode::MovI:
+    case Opcode::Copy:
+    case Opcode::Select:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_commutative(Opcode op) {
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::And:
+    case Opcode::Eq:
+    case Opcode::Ior:
+    case Opcode::Mul:
+    case Opcode::Xor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Number of register/immediate inputs the opcode consumes.
+/// Call and Ret are variadic and return -1.
+constexpr int num_inputs(Opcode op) {
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::And:
+    case Opcode::Eq:
+    case Opcode::Gt:
+    case Opcode::Gtu:
+    case Opcode::Ior:
+    case Opcode::Mul:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Shru:
+    case Opcode::Sub:
+    case Opcode::Xor:
+      return 2;
+    case Opcode::Sxhw:
+    case Opcode::Sxqw:
+    case Opcode::Copy:
+      return 1;
+    case Opcode::Select:
+      return 3;
+    case Opcode::Ldw:
+    case Opcode::Ldh:
+    case Opcode::Ldq:
+    case Opcode::Ldqu:
+    case Opcode::Ldhu:
+      return 1;  // address
+    case Opcode::Stw:
+    case Opcode::Sth:
+    case Opcode::Stq:
+      return 2;  // address, value
+    case Opcode::MovI:
+      return 1;  // the immediate operand
+    case Opcode::Jump:
+      return 0;
+    case Opcode::Bnz:
+      return 1;  // condition
+    case Opcode::Call:
+    case Opcode::Ret:
+      return -1;
+  }
+  return -1;
+}
+
+constexpr bool has_result(Opcode op) {
+  return !is_store(op) && !is_terminator(op) && op != Opcode::Call;
+}
+
+}  // namespace ttsc::ir

@@ -1,0 +1,54 @@
+#include "ir/print.hpp"
+
+#include "support/strings.hpp"
+
+namespace ttsc::ir {
+
+std::string to_string(const Operand& opnd) {
+  if (opnd.is_reg()) return format("v%u", opnd.reg.id);
+  if (opnd.imm.is_global()) {
+    if (opnd.imm.value != 0) return format("@%s+%lld", opnd.imm.global.c_str(),
+                                           static_cast<long long>(opnd.imm.value));
+    return format("@%s", opnd.imm.global.c_str());
+  }
+  return format("%lld", static_cast<long long>(opnd.imm.value));
+}
+
+std::string to_string(const Instr& in, const Function& f) {
+  std::string out;
+  if (in.dst.valid()) out += format("v%u = ", in.dst.id);
+  out += std::string(opcode_name(in.op));
+  if (in.op == Opcode::Call) out += " @" + in.callee;
+  for (std::size_t i = 0; i < in.inputs.size(); ++i) {
+    out += i == 0 ? " " : ", ";
+    out += to_string(in.inputs[i]);
+  }
+  for (std::size_t i = 0; i < in.targets.size(); ++i) {
+    out += (i == 0 && in.inputs.empty()) ? " " : ", ";
+    out += format("%%%s", f.block(in.targets[i]).name.c_str());
+  }
+  return out;
+}
+
+std::string to_string(const Function& f) {
+  std::string out = format("func %s(%u) {\n", f.name().c_str(), f.num_params());
+  for (BlockId id = 0; id < f.num_blocks(); ++id) {
+    const Block& b = f.block(id);
+    out += format("%s:  ; #%u\n", b.name.c_str(), id);
+    for (const Instr& in : b.instrs) out += "  " + to_string(in, f) + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_string(const Module& m) {
+  std::string out;
+  for (const Global& g : m.globals()) {
+    out += format("global %s: %u bytes align %u%s%s\n", g.name.c_str(), g.size, g.align,
+                  g.init.empty() ? "" : " (init)", g.read_only ? " const" : "");
+  }
+  for (const Function& f : m.functions()) out += to_string(f);
+  return out;
+}
+
+}  // namespace ttsc::ir

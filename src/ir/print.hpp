@@ -1,0 +1,15 @@
+// Textual dump of IR for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace ttsc::ir {
+
+std::string to_string(const Operand& opnd);
+std::string to_string(const Instr& in, const Function& f);
+std::string to_string(const Function& f);
+std::string to_string(const Module& m);
+
+}  // namespace ttsc::ir

@@ -1,0 +1,77 @@
+// Operand kinds of the ttsc IR: virtual registers and immediates.
+//
+// The IR is not SSA: a virtual register may be redefined (loop induction
+// variables are plain redefinitions, there are no phi nodes). The analyses
+// in ir/analysis.hpp provide liveness over this form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace ttsc::ir {
+
+/// A function-local virtual register. v0..v(params-1) hold the incoming
+/// arguments on entry.
+struct Vreg {
+  std::uint32_t id = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr Vreg() = default;
+  constexpr explicit Vreg(std::uint32_t id_) : id(id_) {}
+
+  constexpr bool valid() const { return id != kInvalid; }
+  constexpr bool operator==(const Vreg&) const = default;
+  constexpr auto operator<=>(const Vreg&) const = default;
+};
+
+/// An immediate: a literal 32-bit value, optionally the address of a global
+/// plus a byte offset. Global addresses are resolved by DataLayout when a
+/// module is finalized.
+struct Imm {
+  std::int64_t value = 0;     // literal, or offset when `global` is set
+  std::string global;         // empty for plain literals
+
+  Imm() = default;
+  /*implicit*/ Imm(std::int64_t v) : value(v) {}
+  Imm(std::string global_name, std::int64_t offset) : value(offset), global(std::move(global_name)) {}
+
+  bool is_global() const { return !global.empty(); }
+  bool operator==(const Imm&) const = default;
+};
+
+/// An instruction input: either a virtual register or an immediate.
+struct Operand {
+  enum class Kind : std::uint8_t { Reg, Imm } kind = Kind::Reg;
+  Vreg reg;
+  Imm imm;
+
+  Operand() = default;
+  /*implicit*/ Operand(Vreg r) : kind(Kind::Reg), reg(r) {}
+  /*implicit*/ Operand(Imm i) : kind(Kind::Imm), imm(std::move(i)) {}
+  /*implicit*/ Operand(std::int64_t v) : kind(Kind::Imm), imm(v) {}
+  /*implicit*/ Operand(int v) : kind(Kind::Imm), imm(v) {}
+
+  bool is_reg() const { return kind == Kind::Reg; }
+  bool is_imm() const { return kind == Kind::Imm; }
+  bool is_literal() const { return is_imm() && !imm.is_global(); }
+
+  Vreg as_reg() const {
+    TTSC_ASSERT(is_reg(), "operand is not a register");
+    return reg;
+  }
+  const Imm& as_imm() const {
+    TTSC_ASSERT(is_imm(), "operand is not an immediate");
+    return imm;
+  }
+  std::int64_t literal() const {
+    TTSC_ASSERT(is_literal(), "operand is not a literal immediate");
+    return imm.value;
+  }
+
+  bool operator==(const Operand&) const = default;
+};
+
+}  // namespace ttsc::ir

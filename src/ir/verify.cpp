@@ -1,0 +1,98 @@
+#include "ir/verify.hpp"
+
+#include "support/strings.hpp"
+
+namespace ttsc::ir {
+
+namespace {
+
+[[noreturn]] void fail(const Function& f, const std::string& what) {
+  throw Error(format("IR verification failed in '%s': %s", f.name().c_str(), what.c_str()));
+}
+
+void check_operand_counts(const Function& f, const Instr& in) {
+  const int want = num_inputs(in.op);
+  if (want >= 0 && static_cast<int>(in.inputs.size()) != want) {
+    fail(f, format("%s expects %d inputs, got %zu", std::string(opcode_name(in.op)).c_str(),
+                   want, in.inputs.size()));
+  }
+  if (in.op == Opcode::Ret && in.inputs.size() > 1) fail(f, "ret takes at most one input");
+}
+
+}  // namespace
+
+void verify(const Function& f) {
+  if (f.num_blocks() == 0) fail(f, "function has no blocks");
+  for (BlockId id = 0; id < f.num_blocks(); ++id) {
+    const Block& b = f.block(id);
+    if (b.instrs.empty()) fail(f, format("block %u (%s) is empty", id, b.name.c_str()));
+    for (std::size_t i = 0; i < b.instrs.size(); ++i) {
+      const Instr& in = b.instrs[i];
+      const bool last = i + 1 == b.instrs.size();
+      if (is_terminator(in.op) != last) {
+        fail(f, format("block %u (%s): terminator placement at instr %zu", id, b.name.c_str(), i));
+      }
+      check_operand_counts(f, in);
+      if (has_result(in.op) && !in.dst.valid()) {
+        fail(f, format("%s must define a result", std::string(opcode_name(in.op)).c_str()));
+      }
+      if (!has_result(in.op) && in.op != Opcode::Call && in.dst.valid()) {
+        fail(f, format("%s must not define a result", std::string(opcode_name(in.op)).c_str()));
+      }
+      if (in.dst.valid() && in.dst.id >= f.num_vregs()) fail(f, "dst vreg out of range");
+      for (const Operand& opnd : in.inputs) {
+        if (opnd.is_reg()) {
+          if (!opnd.reg.valid() || opnd.reg.id >= f.num_vregs()) fail(f, "input vreg out of range");
+        }
+      }
+      if (in.op == Opcode::MovI && !in.inputs[0].is_imm()) fail(f, "movi input must be immediate");
+      // Branch target arity and range.
+      const std::size_t want_targets = in.op == Opcode::Jump ? 1 : in.op == Opcode::Bnz ? 2 : 0;
+      if (in.targets.size() != want_targets) {
+        fail(f, format("%s has %zu targets, expected %zu",
+                       std::string(opcode_name(in.op)).c_str(), in.targets.size(), want_targets));
+      }
+      for (BlockId t : in.targets) {
+        if (t >= f.num_blocks()) fail(f, "branch target out of range");
+      }
+      if (in.op == Opcode::Call && in.callee.empty()) fail(f, "call without callee");
+    }
+  }
+}
+
+void verify(const Module& m) {
+  for (const Function& f : m.functions()) {
+    verify(f);
+    // Calls must name existing functions with matching arity.
+    for (const Block& b : f.blocks()) {
+      for (const Instr& in : b.instrs) {
+        if (in.op != Opcode::Call) continue;
+        const Function* callee = m.find_function(in.callee);
+        if (callee == nullptr) {
+          throw Error(format("call to unknown function '%s' in '%s'", in.callee.c_str(),
+                             f.name().c_str()));
+        }
+        if (callee->num_params() != in.inputs.size()) {
+          throw Error(format("call to '%s' with %zu args, expected %u", in.callee.c_str(),
+                             in.inputs.size(), callee->num_params()));
+        }
+      }
+    }
+  }
+  // Immediate global references must resolve.
+  const DataLayout dl = m.layout();
+  for (const Function& f : m.functions()) {
+    for (const Block& b : f.blocks()) {
+      for (const Instr& in : b.instrs) {
+        for (const Operand& opnd : in.inputs) {
+          if (opnd.is_imm() && opnd.imm.is_global() && !dl.has(opnd.imm.global)) {
+            throw Error(format("reference to unknown global '%s' in '%s'",
+                               opnd.imm.global.c_str(), f.name().c_str()));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ttsc::ir

@@ -1,0 +1,13 @@
+// IR verifier: structural validity checks run after construction and after
+// every optimization pass (in debug pipelines).
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace ttsc::ir {
+
+/// Throws ttsc::Error describing the first violation found.
+void verify(const Function& func);
+void verify(const Module& module);
+
+}  // namespace ttsc::ir

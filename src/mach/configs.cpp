@@ -1,0 +1,313 @@
+#include "mach/configs.hpp"
+
+#include "support/strings.hpp"
+
+namespace ttsc::mach {
+
+using ir::Opcode;
+
+namespace {
+
+/// Table I ALU: integer arithmetic/logic with the listed latencies,
+/// including the 3-cycle multiplier (mapped to DSP blocks on the FPGA).
+FunctionUnit make_alu(std::string name) {
+  FunctionUnit fu;
+  fu.name = std::move(name);
+  fu.ops = {
+      {Opcode::Add, 1},  {Opcode::And, 1},  {Opcode::Eq, 1},   {Opcode::Gt, 1},
+      {Opcode::Gtu, 1},  {Opcode::Ior, 1},  {Opcode::Mul, 3},  {Opcode::Shl, 2},
+      {Opcode::Shr, 2},  {Opcode::Shru, 2}, {Opcode::Sub, 1},  {Opcode::Sxhw, 1},
+      {Opcode::Sxqw, 1}, {Opcode::Xor, 1},
+  };
+  return fu;
+}
+
+/// Table I LSU: 3-cycle loads, 0-latency stores, absolute addresses.
+FunctionUnit make_lsu(std::string name) {
+  FunctionUnit fu;
+  fu.name = std::move(name);
+  fu.ops = {
+      {Opcode::Ldw, 3}, {Opcode::Ldh, 3}, {Opcode::Ldq, 3}, {Opcode::Ldqu, 3},
+      {Opcode::Ldhu, 3}, {Opcode::Stw, 0}, {Opcode::Sth, 0}, {Opcode::Stq, 0},
+  };
+  return fu;
+}
+
+/// Control unit: absolute jump, conditional branch, call with return
+/// address saving, and return. The `latency` is 1 + delay slots.
+FunctionUnit make_cu() {
+  FunctionUnit fu;
+  fu.name = "cu";
+  fu.ops = {
+      {Opcode::Jump, 3}, {Opcode::Bnz, 3}, {Opcode::Call, 3}, {Opcode::Ret, 3},
+  };
+  return fu;
+}
+
+/// Fully connected TTA interconnect: every bus can move from any FU result
+/// or RF read to any FU input or RF write (monolithic-style IC, Fig. 4a/b).
+void add_full_buses(Machine& m, int count, int simm_bits) {
+  for (int b = 0; b < count; ++b) {
+    Bus bus;
+    bus.name = format("B%d", b);
+    bus.simm_bits = simm_bits;
+    for (int f = 0; f < static_cast<int>(m.fus.size()); ++f) {
+      if (!m.fus[f].is_control_unit()) bus.sources.push_back({PortRef::Kind::FuResult, f});
+      bus.dests.push_back({PortRef::Kind::FuOperand, f});
+      bus.dests.push_back({PortRef::Kind::FuTrigger, f});
+    }
+    for (int r = 0; r < static_cast<int>(m.rfs.size()); ++r) {
+      bus.sources.push_back({PortRef::Kind::RfRead, r});
+      bus.dests.push_back({PortRef::Kind::RfWrite, r});
+    }
+    m.buses.push_back(std::move(bus));
+  }
+}
+
+/// Point-to-point connections of an operation-triggered datapath (Fig. 4a):
+/// one bus per FU input port (fed by all RF read ports and able to inject an
+/// immediate) and one bus per FU result (to all RF write ports). Used by
+/// VLIW and scalar machines for FPGA interconnect modelling; their
+/// schedulers do not consult buses.
+void add_p2p_buses(Machine& m, int simm_bits) {
+  int counter = 0;
+  for (int f = 0; f < static_cast<int>(m.fus.size()); ++f) {
+    for (PortRef::Kind kind : {PortRef::Kind::FuOperand, PortRef::Kind::FuTrigger}) {
+      Bus bus;
+      bus.name = format("P%d", counter++);
+      bus.simm_bits = simm_bits;
+      for (int r = 0; r < static_cast<int>(m.rfs.size()); ++r) {
+        bus.sources.push_back({PortRef::Kind::RfRead, r});
+      }
+      bus.dests.push_back({kind, f});
+      m.buses.push_back(std::move(bus));
+    }
+    if (!m.fus[f].is_control_unit()) {
+      Bus bus;
+      bus.name = format("P%d", counter++);
+      bus.simm_bits = 0;
+      bus.sources.push_back({PortRef::Kind::FuResult, f});
+      for (int r = 0; r < static_cast<int>(m.rfs.size()); ++r) {
+        bus.dests.push_back({PortRef::Kind::RfWrite, r});
+      }
+      m.buses.push_back(std::move(bus));
+    }
+  }
+}
+
+void add_rf(Machine& m, std::string name, int size, int read_ports, int write_ports) {
+  RegisterFile rf;
+  rf.name = std::move(name);
+  rf.size = size;
+  rf.read_ports = read_ports;
+  rf.write_ports = write_ports;
+  m.rfs.push_back(rf);
+}
+
+constexpr int kSimmBits = 8;
+
+Machine base_2issue(const std::string& name, Model model) {
+  Machine m;
+  m.name = name;
+  m.model = model;
+  m.fus = {make_lsu("lsu"), make_alu("alu"), make_cu()};
+  return m;
+}
+
+Machine base_3issue(const std::string& name, Model model) {
+  Machine m;
+  m.name = name;
+  m.model = model;
+  m.fus = {make_lsu("lsu"), make_alu("alu0"), make_alu("alu1"), make_cu()};
+  return m;
+}
+
+/// VLIW issue slots: the memory slot also hosts control flow (the encoding
+/// has one opcode field per slot; Section IV).
+void set_vliw_slots(Machine& m) {
+  const int cu = m.control_unit();
+  std::vector<int> mem_slot = {0, cu};
+  m.vliw_slots.push_back(mem_slot);
+  for (int f = 1; f < static_cast<int>(m.fus.size()); ++f) {
+    if (f != cu) m.vliw_slots.push_back({f});
+  }
+}
+
+}  // namespace
+
+Machine make_mblaze3() {
+  Machine m;
+  m.name = "mblaze-3";
+  m.model = Model::Scalar;
+  m.fus = {make_lsu("lsu"), make_alu("alu"), make_cu()};
+  add_rf(m, "rf", 32, 2, 1);
+  add_p2p_buses(m, 16);
+  m.scalar = ScalarTiming{.pipeline_stages = 3,
+                          .forwarding = true,
+                          .load_use_stall = 2,
+                          .mul_stall = 2,
+                          .shift_stall = 0,
+                          .branch_penalty = 2,
+                          .barrel_shifter = false};
+  m.validate();
+  return m;
+}
+
+Machine make_mblaze5() {
+  Machine m = make_mblaze3();
+  m.name = "mblaze-5";
+  // The deeper pipeline resolves hazards with forwarding stages: cheaper
+  // dependent-use stalls at a slightly higher resource cost (Table III).
+  m.scalar = ScalarTiming{.pipeline_stages = 5,
+                          .forwarding = true,
+                          .load_use_stall = 1,
+                          .mul_stall = 0,
+                          .shift_stall = 0,
+                          .branch_penalty = 2,
+                          .barrel_shifter = false};
+  m.validate();
+  return m;
+}
+
+Machine make_m_tta_1() {
+  Machine m;
+  m.name = "m-tta-1";
+  m.model = Model::Tta;
+  m.fus = {make_lsu("lsu"), make_alu("alu"), make_cu()};
+  add_rf(m, "rf", 32, 1, 1);
+  add_full_buses(m, 3, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_m_vliw_2() {
+  Machine m = base_2issue("m-vliw-2", Model::Vliw);
+  add_rf(m, "rf", 64, 4, 2);
+  set_vliw_slots(m);
+  add_p2p_buses(m, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_p_vliw_2() {
+  Machine m = base_2issue("p-vliw-2", Model::Vliw);
+  add_rf(m, "rf0", 32, 2, 1);
+  add_rf(m, "rf1", 32, 2, 1);
+  set_vliw_slots(m);
+  add_p2p_buses(m, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_m_tta_2() {
+  Machine m = base_2issue("m-tta-2", Model::Tta);
+  add_rf(m, "rf", 64, 1, 1);
+  add_full_buses(m, 5, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_p_tta_2() {
+  Machine m = base_2issue("p-tta-2", Model::Tta);
+  add_rf(m, "rf0", 32, 1, 1);
+  add_rf(m, "rf1", 32, 1, 1);
+  add_full_buses(m, 5, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_bm_tta_2() {
+  Machine m = base_2issue("bm-tta-2", Model::Tta);
+  add_rf(m, "rf0", 32, 1, 1);
+  add_rf(m, "rf1", 32, 1, 1);
+  add_full_buses(m, 4, kSimmBits);  // merged interconnect (Fig. 4d)
+  m.validate();
+  return m;
+}
+
+Machine make_m_vliw_3() {
+  Machine m = base_3issue("m-vliw-3", Model::Vliw);
+  add_rf(m, "rf", 96, 6, 3);
+  set_vliw_slots(m);
+  add_p2p_buses(m, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_p_vliw_3() {
+  Machine m = base_3issue("p-vliw-3", Model::Vliw);
+  add_rf(m, "rf0", 32, 2, 1);
+  add_rf(m, "rf1", 32, 2, 1);
+  add_rf(m, "rf2", 32, 2, 1);
+  set_vliw_slots(m);
+  add_p2p_buses(m, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_m_tta_3() {
+  Machine m = base_3issue("m-tta-3", Model::Tta);
+  add_rf(m, "rf", 96, 2, 1);
+  add_full_buses(m, 8, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_p_tta_3() {
+  Machine m = base_3issue("p-tta-3", Model::Tta);
+  add_rf(m, "rf0", 32, 1, 1);
+  add_rf(m, "rf1", 32, 1, 1);
+  add_rf(m, "rf2", 32, 1, 1);
+  add_full_buses(m, 8, kSimmBits);
+  m.validate();
+  return m;
+}
+
+Machine make_bm_tta_3() {
+  Machine m = base_3issue("bm-tta-3", Model::Tta);
+  add_rf(m, "rf0", 32, 1, 1);
+  add_rf(m, "rf1", 32, 1, 1);
+  add_rf(m, "rf2", 32, 1, 1);
+  add_full_buses(m, 6, kSimmBits);  // merged interconnect (Fig. 4d)
+  m.validate();
+  return m;
+}
+
+Machine make_g_tta_2() {
+  Machine m = make_p_tta_2();
+  m.name = "g-tta-2";
+  m.guard_regs = 2;
+  m.validate();
+  return m;
+}
+
+Machine make_g_tta_3() {
+  Machine m = make_p_tta_3();
+  m.name = "g-tta-3";
+  m.guard_regs = 2;
+  m.validate();
+  return m;
+}
+
+std::vector<Machine> all_machines() {
+  return {make_mblaze3(),  make_mblaze5(),  make_m_tta_1(), make_m_vliw_2(), make_p_vliw_2(),
+          make_m_tta_2(),  make_p_tta_2(),  make_bm_tta_2(), make_m_vliw_3(), make_p_vliw_3(),
+          make_m_tta_3(),  make_p_tta_3(),  make_bm_tta_3()};
+}
+
+Machine machine_by_name(const std::string& name) {
+  for (Machine& m : all_machines()) {
+    if (m.name == name) return m;
+  }
+  if (name == "g-tta-2") return make_g_tta_2();
+  if (name == "g-tta-3") return make_g_tta_3();
+  throw Error("unknown machine: " + name);
+}
+
+int issue_width(const Machine& machine) {
+  if (machine.model == Model::Scalar) return 1;
+  int width = static_cast<int>(machine.datapath_fus().size());
+  return machine.model == Model::Tta && width == 2 && machine.buses.size() <= 3 ? 1 : width;
+}
+
+}  // namespace ttsc::mach

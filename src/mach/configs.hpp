@@ -1,0 +1,52 @@
+// The thirteen machine configurations evaluated in the paper (Section IV).
+//
+//   1-issue:  mblaze-3, mblaze-5 (MicroBlaze stand-ins), m-tta-1
+//   2-issue:  m-vliw-2, p-vliw-2, m-tta-2, p-tta-2, bm-tta-2
+//   3-issue:  m-vliw-3, p-vliw-3, m-tta-3, p-tta-3, bm-tta-3
+//
+// All machines share the FU operation set of Table I (two fully pipelined
+// datapath FUs in the 2-issue case, plus a second ALU in the 3-issue case).
+// Register file geometry follows Section IV: monolithic VLIW RFs with
+// 2R+1W per issue, TTA RFs reduced to 1R1W (2R1W for the 96-register
+// monolithic 3-issue TTA), partitioned variants with one 32-register file
+// per partition. "Bus-merged" (bm) TTAs keep partitioned RFs but merge the
+// interconnect to fewer, fully connected buses (Fig. 4d).
+#pragma once
+
+#include <vector>
+
+#include "mach/machine.hpp"
+
+namespace ttsc::mach {
+
+Machine make_mblaze3();
+Machine make_mblaze5();
+Machine make_m_tta_1();
+
+Machine make_m_vliw_2();
+Machine make_p_vliw_2();
+Machine make_m_tta_2();
+Machine make_p_tta_2();
+Machine make_bm_tta_2();
+
+Machine make_m_vliw_3();
+Machine make_p_vliw_3();
+Machine make_m_tta_3();
+Machine make_p_tta_3();
+Machine make_bm_tta_3();
+
+/// Guarded-execution variants (not part of the paper's 13; used by the
+/// predication ablation): partitioned TTAs with two 1-bit guard registers.
+Machine make_g_tta_2();
+Machine make_g_tta_3();
+
+/// All 13 configurations in the paper's reporting order.
+std::vector<Machine> all_machines();
+
+/// Look up by paper name (e.g. "m-tta-2"). Throws ttsc::Error if unknown.
+Machine machine_by_name(const std::string& name);
+
+/// 1, 2 or 3 parallel datapath issues (for report grouping).
+int issue_width(const Machine& machine);
+
+}  // namespace ttsc::mach

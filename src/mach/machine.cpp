@@ -1,0 +1,114 @@
+#include "mach/machine.hpp"
+
+#include "support/strings.hpp"
+
+namespace ttsc::mach {
+
+namespace {
+
+[[noreturn]] void fail(const Machine& m, const std::string& what) {
+  throw Error(format("machine '%s' invalid: %s", m.name.c_str(), what.c_str()));
+}
+
+}  // namespace
+
+void Machine::validate() const {
+  if (fus.empty()) fail(*this, "no function units");
+  int cus = 0;
+  for (const FunctionUnit& fu : fus) {
+    if (fu.is_control_unit()) ++cus;
+    if (fu.ops.empty()) fail(*this, "FU " + fu.name + " has no operations");
+    for (const Operation& op : fu.ops) {
+      if (op.latency < 0) fail(*this, "negative latency in " + fu.name);
+      if (ir::is_store(op.opcode) && op.latency != 0) {
+        fail(*this, "stores must have latency 0 (Table I) in " + fu.name);
+      }
+      if (ir::is_load(op.opcode) && op.latency < 1) {
+        fail(*this, "loads need latency >= 1 in " + fu.name);
+      }
+    }
+  }
+  if (cus != 1) fail(*this, format("expected exactly one control unit, found %d", cus));
+
+  for (const RegisterFile& rf : rfs) {
+    if (rf.size <= 0 || rf.width <= 0) fail(*this, "bad RF geometry in " + rf.name);
+    if (rf.read_ports < 1 || rf.write_ports < 1) fail(*this, "RF needs ports: " + rf.name);
+  }
+
+  for (const Bus& bus : buses) {
+    for (const PortRef& p : bus.sources) {
+      if (p.kind != PortRef::Kind::FuResult && p.kind != PortRef::Kind::RfRead) {
+        fail(*this, "bus " + bus.name + " has a non-source endpoint in sources");
+      }
+      const int limit = p.kind == PortRef::Kind::FuResult ? static_cast<int>(fus.size())
+                                                          : static_cast<int>(rfs.size());
+      if (p.unit < 0 || p.unit >= limit) fail(*this, "bus " + bus.name + " source out of range");
+    }
+    for (const PortRef& p : bus.dests) {
+      if (p.kind == PortRef::Kind::FuResult || p.kind == PortRef::Kind::RfRead) {
+        fail(*this, "bus " + bus.name + " has a non-dest endpoint in dests");
+      }
+      const int limit = (p.kind == PortRef::Kind::RfWrite) ? static_cast<int>(rfs.size())
+                                                           : static_cast<int>(fus.size());
+      if (p.unit < 0 || p.unit >= limit) fail(*this, "bus " + bus.name + " dest out of range");
+    }
+  }
+
+  if (model == Model::Tta) {
+    if (buses.empty()) fail(*this, "TTA machine needs buses");
+    // Every FU port and every RF must be reachable through some bus.
+    auto any_source = [&](PortRef p) {
+      for (const Bus& b : buses)
+        if (b.has_source(p)) return true;
+      return false;
+    };
+    auto any_dest = [&](PortRef p) {
+      for (const Bus& b : buses)
+        if (b.has_dest(p)) return true;
+      return false;
+    };
+    for (int f = 0; f < static_cast<int>(fus.size()); ++f) {
+      if (!any_dest({PortRef::Kind::FuTrigger, f})) {
+        fail(*this, "FU " + fus[f].name + " trigger port unconnected");
+      }
+      // Result ports: CU has no result consumers; compute FUs need one.
+      if (!fus[f].is_control_unit() && !any_source({PortRef::Kind::FuResult, f})) {
+        fail(*this, "FU " + fus[f].name + " result port unconnected");
+      }
+      // Operand port required for 2-input operations.
+      bool needs_operand = false;
+      for (const Operation& op : fus[f].ops) {
+        needs_operand |= ir::num_inputs(op.opcode) >= 2 ||
+                         (fus[f].is_control_unit() && op.opcode == ir::Opcode::Bnz);
+      }
+      if (needs_operand && !any_dest({PortRef::Kind::FuOperand, f})) {
+        fail(*this, "FU " + fus[f].name + " operand port unconnected");
+      }
+    }
+    for (int r = 0; r < static_cast<int>(rfs.size()); ++r) {
+      if (!any_source({PortRef::Kind::RfRead, r}) || !any_dest({PortRef::Kind::RfWrite, r})) {
+        fail(*this, "RF " + rfs[r].name + " unconnected");
+      }
+    }
+  }
+
+  if (model == Model::Vliw) {
+    if (vliw_slots.empty()) fail(*this, "VLIW machine needs issue slots");
+    std::vector<bool> seen(fus.size(), false);
+    for (const auto& slot : vliw_slots) {
+      if (slot.empty()) fail(*this, "empty VLIW slot");
+      for (int f : slot) {
+        if (f < 0 || f >= static_cast<int>(fus.size())) fail(*this, "slot FU out of range");
+        seen[static_cast<std::size_t>(f)] = true;
+      }
+    }
+    for (std::size_t f = 0; f < fus.size(); ++f) {
+      if (!seen[f]) fail(*this, "FU " + fus[f].name + " not assigned to any VLIW slot");
+    }
+  }
+
+  if (rfs.empty()) fail(*this, "machine needs at least one register file");
+  if (delay_slots < 0) fail(*this, "negative delay slots");
+}
+
+}  // namespace ttsc::mach

@@ -1,0 +1,186 @@
+// Architecture description: the ttsc equivalent of TCE's ADF.
+//
+// A Machine describes datapath resources — function units with their
+// operation sets and latencies (Table I), register files with explicit
+// read/write port counts, and the interconnection network as a list of
+// transport buses with per-bus source/destination connectivity (Section
+// III-A's bus/socket structure, at unit granularity).
+//
+// One Machine type describes all three programming models evaluated in the
+// paper. For VLIW machines the bus list mirrors the point-to-point
+// RF-to-FU connections of Fig. 4a (used by the FPGA area model), while the
+// VLIW scheduler works from `vliw_slots`. For scalar (MicroBlaze stand-in)
+// machines `scalar` carries the pipeline timing parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "support/assert.hpp"
+
+namespace ttsc::mach {
+
+/// A hardware operation: an IR opcode plus its FU latency in cycles.
+/// Latency 0 (stores, Table I) means the side effect commits in the trigger
+/// cycle and there is no result to read.
+struct Operation {
+  ir::Opcode opcode;
+  int latency;
+};
+
+/// Function unit with the paper's port discipline: one operand input port
+/// ("o"), one trigger input port ("t", writing it starts the operation) and
+/// one result output port ("r"). The control unit is a FunctionUnit whose
+/// operations are the control-flow opcodes.
+struct FunctionUnit {
+  std::string name;
+  std::vector<Operation> ops;
+
+  bool supports(ir::Opcode op) const {
+    for (const Operation& o : ops)
+      if (o.opcode == op) return true;
+    return false;
+  }
+  int latency(ir::Opcode op) const {
+    for (const Operation& o : ops)
+      if (o.opcode == op) return o.latency;
+    TTSC_ASSERT(false, "FU " + name + " does not support opcode");
+    return -1;
+  }
+  bool is_control_unit() const {
+    return supports(ir::Opcode::Jump) || supports(ir::Opcode::Bnz);
+  }
+};
+
+struct RegisterFile {
+  std::string name;
+  int size = 32;        // number of registers
+  int width = 32;       // bits
+  int read_ports = 1;
+  int write_ports = 1;
+};
+
+/// Endpoint of a bus connection, at unit granularity: an FU port role or a
+/// register file (any of its registers, subject to the RF's port capacity).
+struct PortRef {
+  enum class Kind : std::uint8_t { FuOperand, FuTrigger, FuResult, RfRead, RfWrite };
+  Kind kind;
+  int unit;  // index into Machine::fus or Machine::rfs
+
+  bool operator==(const PortRef&) const = default;
+};
+
+/// A transport bus: which endpoints it can read from / write to, and the
+/// width of the short immediate its source field can carry directly.
+struct Bus {
+  std::string name;
+  int simm_bits = 8;                 // signed short-immediate width
+  std::vector<PortRef> sources;      // FuResult / RfRead
+  std::vector<PortRef> dests;        // FuOperand / FuTrigger / RfWrite
+
+  bool has_source(PortRef p) const {
+    for (const PortRef& s : sources)
+      if (s == p) return true;
+    return false;
+  }
+  bool has_dest(PortRef p) const {
+    for (const PortRef& d : dests)
+      if (d == p) return true;
+    return false;
+  }
+};
+
+/// Pipeline timing parameters for the scalar (MicroBlaze stand-in) model.
+struct ScalarTiming {
+  int pipeline_stages = 3;
+  bool forwarding = false;  // results forwarded to the next instruction
+  int load_use_stall = 2;   // extra cycles when a load feeds the next use
+  int mul_stall = 2;        // extra cycles when a mul feeds the next use
+  int shift_stall = 1;      // extra cycles when a shift feeds the next use
+  int branch_penalty = 2;   // bubbles after a taken branch
+  /// The paper evaluates the *minimum* MicroBlaze configuration (Section
+  /// IV), which omits the optional barrel shifter: a shift by a constant k
+  /// becomes a sequence of single-bit shift instructions (capped — the
+  /// compiler falls back to byte-extraction tricks for large k) and a
+  /// shift by a register amount becomes a loop.
+  bool barrel_shifter = false;
+  int max_unrolled_shift = 8;    // single-bit instructions before the cap
+  int variable_shift_setup = 4;  // loop prologue cycles
+  int variable_shift_per_bit = 2;
+};
+
+enum class Model : std::uint8_t { Tta, Vliw, Scalar };
+
+struct Machine {
+  std::string name;
+  Model model = Model::Tta;
+  std::vector<FunctionUnit> fus;
+  std::vector<RegisterFile> rfs;
+  std::vector<Bus> buses;
+
+  /// VLIW only: issue slots; slot i may host an operation on any FU whose
+  /// index appears in vliw_slots[i] (the paper's encoding has one opcode +
+  /// two sources + one destination per slot).
+  std::vector<std::vector<int>> vliw_slots;
+
+  /// TTA/VLIW: delay slots after a control-flow trigger (TCE default GCU:
+  /// 3-cycle jump latency = 2 delay slots).
+  int delay_slots = 2;
+
+  /// TTA guarded execution (the BOOLRF of Fig. 4): number of 1-bit guard
+  /// registers moves can predicate on. A guard is written by moving any
+  /// value to it (latched as value != 0, readable the next cycle); a
+  /// guarded move is squashed when its guard disagrees. 0 = no predication
+  /// (the paper's evaluated machines; the g-tta variants enable it).
+  int guard_regs = 0;
+  bool has_guards() const { return guard_regs > 0; }
+
+  ScalarTiming scalar;
+
+  int control_unit() const {
+    for (std::size_t i = 0; i < fus.size(); ++i)
+      if (fus[i].is_control_unit()) return static_cast<int>(i);
+    TTSC_ASSERT(false, "machine " + name + " has no control unit");
+    return -1;
+  }
+
+  /// Indices of non-CU function units.
+  std::vector<int> datapath_fus() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < fus.size(); ++i)
+      if (!fus[i].is_control_unit()) out.push_back(static_cast<int>(i));
+    return out;
+  }
+
+  /// First FU (by index) that supports `op`; -1 if none.
+  int fu_for(ir::Opcode op) const {
+    for (std::size_t i = 0; i < fus.size(); ++i)
+      if (fus[i].supports(op)) return static_cast<int>(i);
+    return -1;
+  }
+
+  int total_registers() const {
+    int n = 0;
+    for (const RegisterFile& rf : rfs) n += rf.size;
+    return n;
+  }
+
+  /// Throws ttsc::Error on structural problems (missing CU, unconnected
+  /// ports on TTA machines, empty slots on VLIW machines, ...).
+  void validate() const;
+};
+
+/// A physical register after allocation: register file index + register
+/// index within that file.
+struct PhysReg {
+  std::int16_t rf = -1;
+  std::int16_t index = -1;
+
+  bool valid() const { return rf >= 0; }
+  bool operator==(const PhysReg&) const = default;
+  auto operator<=>(const PhysReg&) const = default;
+};
+
+}  // namespace ttsc::mach

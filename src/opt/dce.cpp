@@ -1,0 +1,39 @@
+// Global dead-code elimination over the non-SSA IR using block liveness.
+#include "ir/analysis.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+
+using namespace ir;
+
+bool eliminate_dead_code(Function& func) {
+  bool changed_any = false;
+  // Removing one instruction can make another dead; iterate to fixpoint.
+  while (true) {
+    const Cfg cfg(func);
+    const Liveness live(func, cfg);
+    bool changed = false;
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      Block& block = func.block(b);
+      std::vector<bool> alive = live.live_out(b);
+      // Backward scan: an instruction is removable when pure and its dst is
+      // not live below it.
+      for (std::size_t i = block.instrs.size(); i-- > 0;) {
+        Instr& in = block.instrs[i];
+        const bool removable = is_pure(in.op) && in.dst.valid() && !alive[in.dst.id];
+        if (removable) {
+          block.instrs.erase(block.instrs.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+          continue;
+        }
+        if (in.dst.valid()) alive[in.dst.id] = false;
+        for (Vreg u : uses_of(in)) alive[u.id] = true;
+      }
+    }
+    changed_any |= changed;
+    if (!changed) break;
+  }
+  return changed_any;
+}
+
+}  // namespace ttsc::opt

@@ -1,0 +1,187 @@
+// If-conversion: small, side-effect-free branch diamonds/triangles are
+// flattened into straight-line code with branch-free selects.
+//
+// TCE's code generator predicates short conditionals on the exposed
+// datapath (guarded moves); the multi-issue backends (VLIW and TTA) call
+// this pass to get the equivalent effect, while the scalar (MicroBlaze)
+// pipeline keeps its branches — mirroring the compilers in the paper's
+// experimental setup.
+#include <map>
+
+#include "ir/analysis.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+
+using namespace ir;
+
+namespace {
+
+constexpr std::size_t kMaxSideOps = 10;
+
+/// A side block is convertible when it is pure straight-line code: only
+/// pure ops, ending in an unconditional jump.
+bool convertible_side(const Block& block) {
+  if (block.instrs.empty() || block.instrs.size() > kMaxSideOps + 1) return false;
+  if (block.terminator().op != Opcode::Jump) return false;
+  for (std::size_t i = 0; i + 1 < block.instrs.size(); ++i) {
+    const Instr& in = block.instrs[i];
+    if (!is_pure(in.op) || !in.dst.valid()) return false;
+  }
+  return true;
+}
+
+/// Clone `side`'s body into `out` with fresh destination registers,
+/// returning the final renamed register for each original destination.
+std::map<std::uint32_t, Vreg> clone_renamed(Function& f, const Block& side,
+                                            std::vector<Instr>& out) {
+  std::map<std::uint32_t, Vreg> rename;
+  for (std::size_t i = 0; i + 1 < side.instrs.size(); ++i) {
+    Instr copy = side.instrs[i];
+    for (Operand& opnd : copy.inputs) {
+      if (opnd.is_reg()) {
+        auto it = rename.find(opnd.reg.id);
+        if (it != rename.end()) opnd.reg = it->second;
+      }
+    }
+    const Vreg fresh = f.new_vreg();
+    rename[copy.dst.id] = fresh;
+    copy.dst = fresh;
+    out.push_back(std::move(copy));
+  }
+  return rename;
+}
+
+/// Append `merged = cond != 0 ? then_val : else_val` built from bitwise ops.
+void emit_select(Function& f, std::vector<Instr>& out, Vreg cond_mask, Vreg dst, Operand then_val,
+                 Operand else_val) {
+  const Vreg then_masked = f.new_vreg();
+  out.push_back(Instr(Opcode::And, then_masked, {then_val, Operand(cond_mask)}));
+  const Vreg inv_mask = f.new_vreg();
+  out.push_back(Instr(Opcode::Xor, inv_mask, {Operand(cond_mask), Operand(std::int64_t{-1})}));
+  const Vreg else_masked = f.new_vreg();
+  out.push_back(Instr(Opcode::And, else_masked, {else_val, Operand(inv_mask)}));
+  out.push_back(Instr(Opcode::Ior, dst, {Operand(then_masked), Operand(else_masked)}));
+}
+
+bool if_convert_impl(Function& func, bool use_select_ops);
+
+}  // namespace
+
+bool if_convert(Function& func) { return if_convert_impl(func, false); }
+
+bool if_convert_selects(Function& func) { return if_convert_impl(func, true); }
+
+namespace {
+
+bool if_convert_impl(Function& func, bool use_select_ops) {
+  bool changed = false;
+  for (int round = 0; round < 16; ++round) {
+    const Cfg cfg(func);
+    bool round_changed = false;
+    for (BlockId b = 0; b < func.num_blocks() && !round_changed; ++b) {
+      Block& head = func.block(b);
+      Instr& term = head.terminator();
+      if (term.op != Opcode::Bnz) continue;
+      const BlockId t_taken = term.targets[0];
+      const BlockId t_fall = term.targets[1];
+      if (t_taken == t_fall || t_taken == b || t_fall == b) continue;
+
+      auto is_side = [&](BlockId side, BlockId join) {
+        return side != join && cfg.preds(side).size() == 1 &&
+               convertible_side(func.block(side)) &&
+               func.block(side).terminator().targets[0] == join;
+      };
+
+      // Triangle with the side on the taken edge, triangle on the
+      // fallthrough edge, or a full diamond.
+      BlockId then_side = kInvalidBlock;
+      BlockId else_side = kInvalidBlock;
+      BlockId join = kInvalidBlock;
+      if (is_side(t_taken, t_fall)) {
+        then_side = t_taken;
+        join = t_fall;
+      } else if (is_side(t_fall, t_taken)) {
+        else_side = t_fall;
+        join = t_taken;
+      } else if (cfg.succs(t_taken).size() == 1 && is_side(t_taken, cfg.succs(t_taken)[0]) &&
+                 is_side(t_fall, cfg.succs(t_taken)[0])) {
+        then_side = t_taken;
+        else_side = t_fall;
+        join = cfg.succs(t_taken)[0];
+      } else {
+        continue;
+      }
+      // The join must not be a side block itself (loop headers are fine).
+      if (join == b) continue;
+
+      const Operand cond = term.inputs[0];
+      std::vector<Instr> merged;
+
+      // cond_mask = (cond != 0) ? ~0 : 0, built as eq(cond,0) - 1 (mask
+      // expansion only; the Select form takes the condition directly).
+      Vreg cond_mask;
+      if (!use_select_ops) {
+        const Vreg is_zero = func.new_vreg();
+        merged.push_back(Instr(Opcode::Eq, is_zero, {cond, Operand(std::int64_t{0})}));
+        cond_mask = func.new_vreg();
+        merged.push_back(Instr(Opcode::Sub, cond_mask, {Operand(is_zero), Operand(std::int64_t{1})}));
+      }
+
+      std::map<std::uint32_t, Vreg> then_rename;
+      std::map<std::uint32_t, Vreg> else_rename;
+      if (then_side != kInvalidBlock) {
+        then_rename = clone_renamed(func, func.block(then_side), merged);
+      }
+      if (else_side != kInvalidBlock) {
+        else_rename = clone_renamed(func, func.block(else_side), merged);
+      }
+
+      // Merge every register defined on either side.
+      std::map<std::uint32_t, std::pair<Operand, Operand>> merges;
+      for (const auto& [orig, fresh] : then_rename) {
+        merges[orig] = {Operand(fresh), Operand(Vreg(orig))};
+      }
+      for (const auto& [orig, fresh] : else_rename) {
+        auto it = merges.find(orig);
+        if (it != merges.end()) {
+          it->second.second = Operand(fresh);
+        } else {
+          merges[orig] = {Operand(Vreg(orig)), Operand(fresh)};
+        }
+      }
+      for (const auto& [orig, vals] : merges) {
+        if (use_select_ops) {
+          merged.push_back(Instr(Opcode::Select, Vreg(orig), {cond, vals.first, vals.second}));
+        } else {
+          emit_select(func, merged, cond_mask, Vreg(orig), vals.first, vals.second);
+        }
+      }
+
+      // Replace the branch with the merged body + jump to the join.
+      head.instrs.pop_back();
+      for (Instr& in : merged) head.instrs.push_back(std::move(in));
+      Instr jmp;
+      jmp.op = Opcode::Jump;
+      jmp.targets = {join};
+      head.instrs.push_back(std::move(jmp));
+
+      round_changed = true;
+      changed = true;
+    }
+    if (!round_changed) break;
+    simplify_cfg(func);
+  }
+  if (changed) {
+    fold_constants(func);
+    propagate_copies(func);
+    eliminate_common_subexpressions(func);
+    eliminate_dead_code(func);
+    simplify_cfg(func);
+  }
+  return changed;
+}
+
+}  // namespace
+
+}  // namespace ttsc::opt

@@ -1,0 +1,118 @@
+#include "support/strings.hpp"
+#include "ir/verify.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Inline one call site: blocks_ of `caller` gain a remapped copy of
+/// `callee`'s body; the containing block is split at the call.
+/// Returns true if a call was found and inlined.
+bool inline_one(Function& caller, const Function& callee) {
+  for (BlockId b = 0; b < caller.num_blocks(); ++b) {
+    Block& block = caller.block(b);
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      if (block.instrs[i].op != Opcode::Call || block.instrs[i].callee != callee.name()) continue;
+
+      const Instr call = block.instrs[i];
+
+      // Remap bases for the cloned callee.
+      const std::uint32_t vreg_base = caller.num_vregs();
+      caller.set_num_vregs(vreg_base + callee.num_vregs());
+      const BlockId block_base = caller.num_blocks();
+
+      // Tail block receives everything after the call.
+      const BlockId tail =
+          caller.add_block(format("%s.tail%zu", caller.block(b).name.c_str(), i));
+      {
+        Block& from = caller.block(b);  // re-fetch: add_block may reallocate
+        Block& to = caller.block(tail);
+        to.instrs.assign(from.instrs.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                         from.instrs.end());
+        from.instrs.erase(from.instrs.begin() + static_cast<std::ptrdiff_t>(i),
+                          from.instrs.end());
+      }
+
+      // Clone callee blocks.
+      for (BlockId cb = 0; cb < callee.num_blocks(); ++cb) {
+        const BlockId nb = caller.add_block(callee.name() + "." + callee.block(cb).name);
+        Block& dst = caller.block(nb);
+        for (const Instr& cin : callee.block(cb).instrs) {
+          if (cin.op == Opcode::Ret) {
+            // ret v  ->  copy call.dst, v ; jump tail
+            if (call.dst.valid()) {
+              Instr cp;
+              cp.op = Opcode::Copy;
+              cp.dst = call.dst;
+              Operand src = cin.inputs.empty() ? Operand(std::int64_t{0}) : cin.inputs[0];
+              if (src.is_reg()) src = Operand(Vreg(src.reg.id + vreg_base));
+              cp.inputs = {src};
+              dst.instrs.push_back(std::move(cp));
+            }
+            Instr jmp;
+            jmp.op = Opcode::Jump;
+            jmp.targets = {tail};
+            dst.instrs.push_back(std::move(jmp));
+            continue;
+          }
+          Instr copy = cin;
+          if (copy.dst.valid()) copy.dst = Vreg(copy.dst.id + vreg_base);
+          for (Operand& opnd : copy.inputs) {
+            if (opnd.is_reg()) opnd.reg = Vreg(opnd.reg.id + vreg_base);
+          }
+          for (BlockId& t : copy.targets) t = t + block_base + 1;  // +1 for tail block
+          dst.instrs.push_back(std::move(copy));
+        }
+      }
+
+      // Bind arguments: callee param p lives in cloned vreg (vreg_base + p).
+      Block& head = caller.block(b);
+      for (std::uint32_t p = 0; p < callee.num_params(); ++p) {
+        Instr cp;
+        cp.op = Opcode::Copy;
+        cp.dst = Vreg(vreg_base + p);
+        cp.inputs = {call.inputs[p]};
+        head.instrs.push_back(std::move(cp));
+      }
+      Instr enter;
+      enter.op = Opcode::Jump;
+      enter.targets = {block_base + 1 + Function::kEntry};
+      head.instrs.push_back(std::move(enter));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void inline_all(Module& module, const std::string& root) {
+  Function& caller = module.function(root);
+  // Inline innermost-last: repeatedly scan for any remaining call. The
+  // iteration bound catches (unsupported) recursion.
+  for (int iteration = 0; iteration < 10000; ++iteration) {
+    bool found = false;
+    for (BlockId b = 0; b < caller.num_blocks() && !found; ++b) {
+      for (const Instr& in : caller.block(b).instrs) {
+        if (in.op == Opcode::Call) {
+          const Function* callee = module.find_function(in.callee);
+          TTSC_ASSERT(callee != nullptr, "call to unknown function " + in.callee);
+          if (callee == &caller) throw Error("inline_all: direct recursion in " + root);
+          found = inline_one(caller, *callee);
+          TTSC_ASSERT(found, "inline_one failed to find the call it was given");
+          break;
+        }
+      }
+    }
+    if (!found) {
+      ir::verify(caller);
+      return;
+    }
+  }
+  throw Error("inline_all: iteration limit exceeded (recursive call graph?) in " + root);
+}
+
+}  // namespace ttsc::opt

@@ -1,0 +1,168 @@
+// Loop-invariant code motion over the non-SSA IR.
+//
+// Legality here is stricter than in SSA form: hoisting the single loop
+// definition of vreg d to a preheader is safe when
+//   * the instruction is pure,
+//   * d has exactly one definition inside the loop,
+//   * every operand is a literal or defined only outside the loop (or is
+//     itself an already-hoisted invariant),
+//   * d is not live-in at the loop header (no use of the previous-iteration
+//     or pre-loop value), and
+//   * the defining block dominates every latch, every in-loop use and every
+//     loop exit block (so observable values are unchanged on all paths).
+#include <map>
+#include <set>
+
+#include "ir/analysis.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Create (or find) a preheader: the unique block outside the loop that
+/// jumps unconditionally to the header, receiving all non-latch edges.
+/// Returns kInvalidBlock when the header is the function entry (no edge to
+/// redirect would exist).
+BlockId make_preheader(Function& func, const Loop& loop) {
+  if (loop.header == Function::kEntry) return kInvalidBlock;
+  const Cfg cfg(func);
+  std::vector<BlockId> outside_preds;
+  for (BlockId p : cfg.preds(loop.header)) {
+    if (!loop.contains(p)) outside_preds.push_back(p);
+  }
+  if (outside_preds.empty()) return kInvalidBlock;
+  // Reuse an existing dedicated preheader.
+  if (outside_preds.size() == 1) {
+    const Block& candidate = func.block(outside_preds[0]);
+    if (candidate.terminator().op == Opcode::Jump && cfg.succs(outside_preds[0]).size() == 1) {
+      return outside_preds[0];
+    }
+  }
+  const BlockId ph = func.add_block(func.block(loop.header).name + ".preheader");
+  {
+    Instr jmp;
+    jmp.op = Opcode::Jump;
+    jmp.targets = {loop.header};
+    func.block(ph).instrs.push_back(std::move(jmp));
+  }
+  for (BlockId p : outside_preds) {
+    for (BlockId& t : func.block(p).terminator().targets) {
+      if (t == loop.header) t = ph;
+    }
+  }
+  return ph;
+}
+
+}  // namespace
+
+bool hoist_loop_invariants(Function& func) {
+  bool changed = false;
+  // Loops are recomputed after each loop's processing because preheader
+  // insertion renumbers nothing but adds blocks.
+  const Cfg cfg0(func);
+  const Dominators dom0(func, cfg0);
+  std::vector<Loop> loops = find_loops(func, cfg0, dom0);
+
+  for (const Loop& loop : loops) {
+    const Cfg cfg(func);
+    const Dominators dom(func, cfg);
+    const Liveness live(func, cfg);
+
+    // Count in-loop definitions per vreg.
+    std::map<std::uint32_t, int> def_count;
+    for (BlockId b : loop.blocks) {
+      if (b >= func.num_blocks()) continue;
+      for (const Instr& in : func.block(b).instrs) {
+        if (in.dst.valid()) ++def_count[in.dst.id];
+      }
+    }
+
+    // Blocks with an edge out of the loop.
+    std::vector<BlockId> exit_blocks;
+    for (BlockId b : loop.blocks) {
+      for (BlockId s : cfg.succs(b)) {
+        if (!loop.contains(s)) {
+          exit_blocks.push_back(b);
+          break;
+        }
+      }
+    }
+
+    // Use blocks per vreg (inside loop only).
+    std::map<std::uint32_t, std::vector<BlockId>> use_blocks;
+    for (BlockId b : loop.blocks) {
+      for (const Instr& in : func.block(b).instrs) {
+        for (Vreg u : uses_of(in)) use_blocks[u.id].push_back(b);
+      }
+    }
+
+    std::set<std::uint32_t> hoisted;  // vregs whose defs moved to preheader
+    BlockId preheader = kInvalidBlock;
+
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (BlockId b : loop.blocks) {
+        Block& block = func.block(b);
+        for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+          const Instr& in = block.instrs[i];
+          if (!is_pure(in.op) || !in.dst.valid()) continue;
+          if (def_count[in.dst.id] != 1) continue;
+          if (live.live_in(loop.header)[in.dst.id]) continue;
+          if (hoisted.count(in.dst.id)) continue;
+
+          bool invariant = true;
+          for (const Operand& opnd : in.inputs) {
+            if (!opnd.is_reg()) continue;
+            const bool defined_in_loop = def_count.count(opnd.reg.id) != 0 &&
+                                         def_count[opnd.reg.id] > 0;
+            if (defined_in_loop && !hoisted.count(opnd.reg.id)) {
+              invariant = false;
+              break;
+            }
+          }
+          if (!invariant) continue;
+
+          // Dominance conditions.
+          bool dominates_all = true;
+          for (BlockId l : loop.latches) dominates_all &= dom.dominates(b, l);
+          for (BlockId e : exit_blocks) dominates_all &= dom.dominates(b, e);
+          for (BlockId u : use_blocks[in.dst.id]) {
+            if (u == b) continue;  // same-block order checked below
+            dominates_all &= dom.dominates(b, u);
+          }
+          if (!dominates_all) continue;
+          // Same-block uses must come after the def.
+          bool use_before_def = false;
+          for (std::size_t j = 0; j < i; ++j) {
+            for (Vreg u : uses_of(block.instrs[j])) {
+              if (u == in.dst) use_before_def = true;
+            }
+          }
+          if (use_before_def) continue;
+
+          if (preheader == kInvalidBlock) {
+            preheader = make_preheader(func, loop);
+            if (preheader == kInvalidBlock) goto next_loop;
+          }
+          // Move the instruction before the preheader's jump.
+          Block& ph = func.block(preheader);
+          ph.instrs.insert(ph.instrs.end() - 1, in);
+          hoisted.insert(in.dst.id);
+          def_count[in.dst.id] = 0;
+          block.instrs.erase(block.instrs.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+          progress = true;
+          --i;
+        }
+      }
+    }
+  next_loop:;
+  }
+  return changed;
+}
+
+}  // namespace ttsc::opt

@@ -1,0 +1,300 @@
+// Local (per-block) scalar optimizations: constant propagation + folding,
+// copy propagation, and common-subexpression elimination.
+#include <map>
+#include <optional>
+
+#include "support/bits.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Fold a pure binary/unary op over literal operands.
+std::optional<std::uint32_t> fold_literal(Opcode op, std::uint32_t a, std::uint32_t b) {
+  switch (op) {
+    case Opcode::Add: return a + b;
+    case Opcode::Sub: return a - b;
+    case Opcode::Mul: return a * b;
+    case Opcode::And: return a & b;
+    case Opcode::Ior: return a | b;
+    case Opcode::Xor: return a ^ b;
+    case Opcode::Shl: return a << (b & 31);
+    case Opcode::Shru: return a >> (b & 31);
+    case Opcode::Shr:
+      return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+    case Opcode::Eq: return a == b ? 1u : 0u;
+    case Opcode::Gt:
+      return static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b) ? 1u : 0u;
+    case Opcode::Gtu: return a > b ? 1u : 0u;
+    case Opcode::Sxhw: return static_cast<std::uint32_t>(sign_extend(a, 16));
+    case Opcode::Sxqw: return static_cast<std::uint32_t>(sign_extend(a, 8));
+    default: return std::nullopt;
+  }
+}
+
+bool is_lit(const Operand& o, std::int64_t v) { return o.is_literal() && o.imm.value == v; }
+
+/// Rewrite `in` using algebraic identities. Returns true on change.
+bool simplify_algebraic(Instr& in) {
+  auto to_copy = [&](const Operand& src) {
+    in.op = Opcode::Copy;
+    in.inputs = {src};
+    return true;
+  };
+  auto to_movi = [&](std::int64_t v) {
+    in.op = Opcode::MovI;
+    in.inputs = {Operand(Imm(v))};
+    return true;
+  };
+  switch (in.op) {
+    case Opcode::Add:
+      if (is_lit(in.inputs[0], 0)) return to_copy(in.inputs[1]);
+      if (is_lit(in.inputs[1], 0)) return to_copy(in.inputs[0]);
+      break;
+    case Opcode::Sub:
+      if (is_lit(in.inputs[1], 0)) return to_copy(in.inputs[0]);
+      if (in.inputs[0] == in.inputs[1] && in.inputs[0].is_reg()) return to_movi(0);
+      break;
+    case Opcode::Mul: {
+      if (is_lit(in.inputs[0], 1)) return to_copy(in.inputs[1]);
+      if (is_lit(in.inputs[1], 1)) return to_copy(in.inputs[0]);
+      if (is_lit(in.inputs[0], 0) || is_lit(in.inputs[1], 0)) return to_movi(0);
+      // Strength reduction: multiply by a power of two becomes a shift
+      // (2-cycle shifter beats the 3-cycle multiplier on every machine).
+      auto power_of_two = [](const Operand& o) -> int {
+        if (!o.is_literal()) return -1;
+        const std::uint32_t v = static_cast<std::uint32_t>(o.imm.value);
+        if (v == 0 || (v & (v - 1)) != 0) return -1;
+        int k = 0;
+        while ((v >> k) != 1) ++k;
+        return k;
+      };
+      for (int side = 0; side < 2; ++side) {
+        const int k = power_of_two(in.inputs[static_cast<std::size_t>(side)]);
+        if (k > 0) {
+          const Operand value = in.inputs[static_cast<std::size_t>(1 - side)];
+          in.op = Opcode::Shl;
+          in.inputs = {value, Operand(std::int64_t{k})};
+          return true;
+        }
+      }
+      break;
+    }
+    case Opcode::And:
+      if (is_lit(in.inputs[0], 0) || is_lit(in.inputs[1], 0)) return to_movi(0);
+      if (is_lit(in.inputs[0], -1)) return to_copy(in.inputs[1]);
+      if (is_lit(in.inputs[1], -1)) return to_copy(in.inputs[0]);
+      if (in.inputs[0] == in.inputs[1] && in.inputs[0].is_reg()) return to_copy(in.inputs[0]);
+      break;
+    case Opcode::Ior:
+      if (is_lit(in.inputs[0], 0)) return to_copy(in.inputs[1]);
+      if (is_lit(in.inputs[1], 0)) return to_copy(in.inputs[0]);
+      if (in.inputs[0] == in.inputs[1] && in.inputs[0].is_reg()) return to_copy(in.inputs[0]);
+      break;
+    case Opcode::Xor:
+      if (is_lit(in.inputs[0], 0)) return to_copy(in.inputs[1]);
+      if (is_lit(in.inputs[1], 0)) return to_copy(in.inputs[0]);
+      if (in.inputs[0] == in.inputs[1] && in.inputs[0].is_reg()) return to_movi(0);
+      break;
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Shru:
+      if (is_lit(in.inputs[1], 0)) return to_copy(in.inputs[0]);
+      break;
+    default:
+      break;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool fold_constants(Function& func) {
+  bool changed = false;
+  for (Block& block : func.blocks()) {
+    // Known literal / global-immediate values per vreg within the block.
+    std::map<std::uint32_t, Imm> known;
+    for (Instr& in : block.instrs) {
+      // Substitute known register values into operands.
+      for (Operand& opnd : in.inputs) {
+        if (!opnd.is_reg()) continue;
+        auto it = known.find(opnd.reg.id);
+        if (it != known.end()) {
+          opnd = Operand(it->second);
+          changed = true;
+        }
+      }
+
+      changed |= simplify_algebraic(in);
+
+      // Global-address arithmetic: add/sub of a global immediate and a
+      // literal folds into a relocated immediate.
+      if ((in.op == Opcode::Add || in.op == Opcode::Sub) && in.inputs[0].is_imm() &&
+          in.inputs[1].is_literal() && in.inputs[0].imm.is_global()) {
+        const std::int64_t off = in.inputs[1].imm.value;
+        Imm folded = in.inputs[0].imm;
+        folded.value += in.op == Opcode::Add ? off : -off;
+        in.op = Opcode::MovI;
+        in.inputs = {Operand(folded)};
+        changed = true;
+      } else if (in.op == Opcode::Add && in.inputs[1].is_imm() && in.inputs[1].imm.is_global() &&
+                 in.inputs[0].is_literal()) {
+        Imm folded = in.inputs[1].imm;
+        folded.value += in.inputs[0].imm.value;
+        in.op = Opcode::MovI;
+        in.inputs = {Operand(folded)};
+        changed = true;
+      }
+
+      // Full literal folding.
+      if (is_pure(in.op) && in.op != Opcode::MovI && in.op != Opcode::Copy) {
+        bool all_literal = true;
+        for (const Operand& opnd : in.inputs) all_literal &= opnd.is_literal();
+        if (all_literal) {
+          const std::uint32_t a = static_cast<std::uint32_t>(in.inputs[0].literal());
+          const std::uint32_t b = in.inputs.size() > 1
+                                      ? static_cast<std::uint32_t>(in.inputs[1].literal())
+                                      : 0u;
+          if (auto v = fold_literal(in.op, a, b)) {
+            in.op = Opcode::MovI;
+            in.inputs = {Operand(Imm(static_cast<std::int64_t>(static_cast<std::int32_t>(*v))))};
+            changed = true;
+          }
+        }
+      }
+
+      // Copy of an immediate is a MovI.
+      if (in.op == Opcode::Copy && in.inputs[0].is_imm()) {
+        in.op = Opcode::MovI;
+        changed = true;
+      }
+
+      // Constant branch -> unconditional jump.
+      if (in.op == Opcode::Bnz && in.inputs[0].is_literal()) {
+        const BlockId target = in.inputs[0].literal() != 0 ? in.targets[0] : in.targets[1];
+        in.op = Opcode::Jump;
+        in.inputs.clear();
+        in.targets = {target};
+        changed = true;
+      }
+
+      // Update known-values map.
+      if (in.dst.valid()) {
+        if (in.op == Opcode::MovI) {
+          known[in.dst.id] = in.inputs[0].as_imm();
+        } else {
+          known.erase(in.dst.id);
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+bool propagate_copies(Function& func) {
+  bool changed = false;
+  for (Block& block : func.blocks()) {
+    // copy_of[v] = operand whose value v currently holds.
+    std::map<std::uint32_t, Operand> copy_of;
+    auto invalidate = [&](Vreg v) {
+      copy_of.erase(v.id);
+      for (auto it = copy_of.begin(); it != copy_of.end();) {
+        if (it->second.is_reg() && it->second.reg == v) {
+          it = copy_of.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    for (Instr& in : block.instrs) {
+      for (Operand& opnd : in.inputs) {
+        if (!opnd.is_reg()) continue;
+        auto it = copy_of.find(opnd.reg.id);
+        if (it != copy_of.end()) {
+          opnd = it->second;
+          changed = true;
+        }
+      }
+      if (in.dst.valid()) {
+        invalidate(in.dst);
+        if (in.op == Opcode::Copy && !(in.inputs[0].is_reg() && in.inputs[0].reg == in.dst)) {
+          copy_of[in.dst.id] = in.inputs[0];
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+bool eliminate_common_subexpressions(Function& func) {
+  bool changed = false;
+  for (Block& block : func.blocks()) {
+    struct Entry {
+      Opcode op;
+      std::vector<Operand> inputs;
+      Vreg dst;
+    };
+    std::vector<Entry> available;
+    auto invalidate_reg = [&](Vreg v) {
+      std::erase_if(available, [&](const Entry& e) {
+        if (e.dst == v) return true;
+        for (const Operand& opnd : e.inputs)
+          if (opnd.is_reg() && opnd.reg == v) return true;
+        return false;
+      });
+    };
+    auto invalidate_loads = [&] {
+      std::erase_if(available, [&](const Entry& e) { return is_load(e.op); });
+    };
+
+    for (Instr& in : block.instrs) {
+      const bool candidate =
+          (is_pure(in.op) && in.op != Opcode::MovI && in.op != Opcode::Copy) || is_load(in.op);
+      if (candidate) {
+        // Canonicalize commutative operand order for better hit rates.
+        std::vector<Operand> key_inputs = in.inputs;
+        if (is_commutative(in.op) && key_inputs.size() == 2) {
+          const auto rank = [](const Operand& o) {
+            return o.is_reg() ? std::pair<int, std::int64_t>{0, o.reg.id}
+                              : std::pair<int, std::int64_t>{1, o.imm.value};
+          };
+          if (rank(key_inputs[1]) < rank(key_inputs[0])) std::swap(key_inputs[0], key_inputs[1]);
+        }
+        bool hit = false;
+        for (const Entry& e : available) {
+          if (e.op == in.op && e.inputs == key_inputs) {
+            in.op = Opcode::Copy;
+            in.inputs = {Operand(e.dst)};
+            changed = true;
+            hit = true;
+            break;
+          }
+        }
+        if (!hit && in.dst.valid()) {
+          invalidate_reg(in.dst);
+          // An expression that overwrites one of its own inputs (x = x+1)
+          // must not be recorded: the key would name the pre-update value.
+          bool self_referential = false;
+          for (const Operand& opnd : key_inputs) {
+            if (opnd.is_reg() && opnd.reg == in.dst) self_referential = true;
+          }
+          if (!self_referential) {
+            available.push_back(Entry{in.op, std::move(key_inputs), in.dst});
+          }
+          continue;  // dst invalidation already handled
+        }
+      }
+      if (is_store(in.op)) invalidate_loads();
+      if (in.op == Opcode::Call) {
+        available.clear();  // calls may write memory and clobber anything
+      }
+      if (in.dst.valid()) invalidate_reg(in.dst);
+    }
+  }
+  return changed;
+}
+
+}  // namespace ttsc::opt

@@ -1,0 +1,58 @@
+// Optimization passes of the ttsc compiler.
+//
+// The pipeline stands in for the LLVM middle end the paper's TCE compiler
+// uses (Section V-A attributes part of the TTA code-size advantage to
+// LLVM's aggressive whole-program optimization). All passes are
+// model-agnostic: the same optimized IR feeds the scalar, VLIW and TTA
+// backends so measured differences come from the programming models alone.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace ttsc::opt {
+
+/// Inline every call reachable from `root` (whole-program inlining; the
+/// evaluated workloads are non-recursive). Throws ttsc::Error if calls
+/// remain after the iteration limit (recursion).
+void inline_all(ir::Module& module, const std::string& root);
+
+/// Local constant propagation + folding + algebraic simplification.
+/// Returns true if anything changed.
+bool fold_constants(ir::Function& func);
+
+/// Local copy propagation (forwards Copy sources into uses).
+bool propagate_copies(ir::Function& func);
+
+/// Local common-subexpression elimination over pure ops and loads
+/// (loads invalidated by stores).
+bool eliminate_common_subexpressions(ir::Function& func);
+
+/// Global dead-code elimination of pure instructions whose results are
+/// never used.
+bool eliminate_dead_code(ir::Function& func);
+
+/// CFG cleanup: constant branches, unreachable blocks, jump threading,
+/// straight-line block merging.
+bool simplify_cfg(ir::Function& func);
+
+/// Loop-invariant code motion with conservative non-SSA legality rules.
+bool hoist_loop_invariants(ir::Function& func);
+
+/// Flatten small pure branch triangles/diamonds into branch-free code.
+/// if_convert expands the merges into 4-op mask arithmetic (profitable
+/// only with abundant issue slots); if_convert_selects emits ir::Select
+/// ops for machines with predication (guarded moves), where a merge costs
+/// a single conditional transport.
+bool if_convert(ir::Function& func);
+bool if_convert_selects(ir::Function& func);
+
+struct PipelineOptions {
+  bool enable_licm = true;
+  int max_iterations = 10;
+};
+
+/// Run the standard pipeline: inline_all(root) followed by iterated local
+/// cleanup and LICM until fixpoint. Verifies the module afterwards.
+void optimize(ir::Module& module, const std::string& root, const PipelineOptions& options = {});
+
+}  // namespace ttsc::opt

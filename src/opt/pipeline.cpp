@@ -1,0 +1,36 @@
+#include "ir/verify.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+
+void optimize(ir::Module& module, const std::string& root, const PipelineOptions& options) {
+  inline_all(module, root);
+  ir::Function& func = module.function(root);
+
+  auto local_cleanup = [&] {
+    bool any = false;
+    for (int i = 0; i < options.max_iterations; ++i) {
+      bool changed = false;
+      changed |= fold_constants(func);
+      changed |= propagate_copies(func);
+      changed |= eliminate_common_subexpressions(func);
+      changed |= eliminate_dead_code(func);
+      changed |= simplify_cfg(func);
+      any |= changed;
+      if (!changed) break;
+    }
+    return any;
+  };
+
+  local_cleanup();
+  if (options.enable_licm) {
+    for (int i = 0; i < 4; ++i) {
+      const bool hoisted = hoist_loop_invariants(func);
+      const bool cleaned = local_cleanup();
+      if (!hoisted && !cleaned) break;
+    }
+  }
+  ir::verify(func);
+}
+
+}  // namespace ttsc::opt

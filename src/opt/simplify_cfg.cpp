@@ -1,0 +1,132 @@
+// CFG cleanup: constant branches, jump threading, unreachable-block removal
+// and straight-line merging. Keeps block ids dense (renumbers).
+#include <map>
+
+#include "ir/analysis.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Redirect all branch targets according to `redirect` (applied transitively
+/// by the caller).
+void retarget(Function& func, const std::map<BlockId, BlockId>& redirect) {
+  for (Block& block : func.blocks()) {
+    for (BlockId& t : block.terminator().targets) {
+      auto it = redirect.find(t);
+      if (it != redirect.end()) t = it->second;
+    }
+  }
+}
+
+/// Remove blocks not reachable from entry; renumber the rest.
+bool remove_unreachable(Function& func) {
+  const Cfg cfg(func);
+  bool any_unreachable = false;
+  for (BlockId b = 0; b < func.num_blocks(); ++b) {
+    if (!cfg.reachable(b)) {
+      any_unreachable = true;
+      break;
+    }
+  }
+  if (!any_unreachable) return false;
+
+  std::vector<Block> kept;
+  std::map<BlockId, BlockId> remap;
+  for (BlockId b = 0; b < func.num_blocks(); ++b) {
+    if (cfg.reachable(b)) {
+      remap[b] = static_cast<BlockId>(kept.size());
+      kept.push_back(std::move(func.block(b)));
+    }
+  }
+  for (Block& block : kept) {
+    for (BlockId& t : block.terminator().targets) t = remap.at(t);
+  }
+  func.blocks() = std::move(kept);
+  return true;
+}
+
+}  // namespace
+
+bool simplify_cfg(Function& func) {
+  bool changed = false;
+
+  // 1. bnz with identical targets -> jump.
+  for (Block& block : func.blocks()) {
+    Instr& term = block.terminator();
+    if (term.op == Opcode::Bnz && term.targets[0] == term.targets[1]) {
+      term.op = Opcode::Jump;
+      term.inputs.clear();
+      term.targets = {term.targets[0]};
+      changed = true;
+    }
+  }
+
+  // 2. Jump threading: a block that contains only `jump T` can be bypassed.
+  {
+    std::map<BlockId, BlockId> redirect;
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      const Block& block = func.block(b);
+      if (b != Function::kEntry && block.instrs.size() == 1 &&
+          block.instrs[0].op == Opcode::Jump && block.instrs[0].targets[0] != b) {
+        redirect[b] = block.instrs[0].targets[0];
+      }
+    }
+    // Resolve chains (a->b->c) with a cycle guard.
+    for (auto& [from, to] : redirect) {
+      BlockId t = to;
+      for (int hops = 0; hops < 64; ++hops) {
+        auto it = redirect.find(t);
+        if (it == redirect.end() || it->second == from) break;
+        t = it->second;
+      }
+      to = t;
+    }
+    if (!redirect.empty()) {
+      retarget(func, redirect);
+      changed = true;
+    }
+  }
+
+  // 3. Remove unreachable blocks.
+  changed |= remove_unreachable(func);
+
+  // 4. Merge a block into its unique predecessor when that predecessor ends
+  //    in an unconditional jump to it.
+  {
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      const Cfg cfg(func);
+      for (BlockId b = 0; b < func.num_blocks(); ++b) {
+        if (b == Function::kEntry) continue;
+        const auto& preds = cfg.preds(b);
+        if (preds.size() != 1) continue;
+        const BlockId p = preds[0];
+        if (p == b) continue;
+        Block& pred = func.block(p);
+        if (pred.terminator().op != Opcode::Jump) continue;
+        // Splice b's instructions after p (dropping p's jump).
+        Block& victim = func.block(b);
+        pred.instrs.pop_back();
+        pred.instrs.insert(pred.instrs.end(), victim.instrs.begin(), victim.instrs.end());
+        victim.instrs.clear();
+        // Leave the victim as an unreachable stub and clean it up below.
+        Instr stub;
+        stub.op = Opcode::Ret;
+        victim.instrs.push_back(std::move(stub));
+        merged = true;
+        changed = true;
+        break;  // CFG changed; recompute
+      }
+      if (merged) remove_unreachable(func);
+    }
+  }
+
+  return changed;
+}
+
+}  // namespace ttsc::opt

@@ -1,0 +1,160 @@
+#include "report/driver.hpp"
+
+#include "codegen/legalize.hpp"
+#include "codegen/lower.hpp"
+#include "ir/verify.hpp"
+#include "opt/passes.hpp"
+#include "scalar/scalar.hpp"
+#include "support/strings.hpp"
+#include "tta/binary.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::report {
+
+using workloads::Workload;
+
+ir::Memory make_loaded_memory(const ir::Module& module, std::size_t size) {
+  ir::Memory mem(size);
+  const ir::DataLayout layout = module.layout();
+  for (const ir::Global& g : module.globals()) {
+    if (!g.init.empty()) mem.write_block(layout.address_of(g.name), g.init);
+  }
+  return mem;
+}
+
+namespace {
+
+std::uint64_t output_checksum(const ir::Module& module, const Workload& workload,
+                              const ir::Memory& mem) {
+  const ir::DataLayout layout = module.layout();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::string& name : workload.output_globals) {
+    const ir::Global* g = module.find_global(name);
+    TTSC_ASSERT(g != nullptr, "workload output global missing: " + name);
+    h ^= mem.checksum(layout.address_of(name), g->size);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+GoldenOutcome run_golden(const Workload& workload) {
+  // Workloads are deterministic; memoize (the driver cross-checks every
+  // machine run against the golden outcome).
+  static std::map<std::string, GoldenOutcome> cache;
+  auto it = cache.find(workload.name);
+  if (it != cache.end()) return it->second;
+  ir::Module module;
+  workload.build(module);
+  ir::verify(module);
+  ir::Interpreter interp(module);
+  const ir::Interpreter::Result r = interp.run(workloads::entry_point(), {});
+  GoldenOutcome out;
+  out.ret = r.value;
+  out.instrs_executed = r.instrs_executed;
+  out.output_checksum = output_checksum(module, workload, interp.memory());
+  cache[workload.name] = out;
+  return out;
+}
+
+ir::Module build_optimized(const Workload& workload) {
+  ir::Module module;
+  workload.build(module);
+  ir::verify(module);
+  opt::optimize(module, workloads::entry_point());
+  return module;
+}
+
+RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload& workload,
+                                    const mach::Machine& machine,
+                                    const tta::TtaOptions& tta_options) {
+  // Backend-specific IR preparation on a copy of the shared optimized
+  // module: the scalar model legalizes RISC operand constraints.
+  // (opt::if_convert is deliberately NOT applied: without hardware
+  // predication the 4-op select expansion costs more than the branch it
+  // removes on every machine here — see bench/ablation_tta_freedoms.)
+  ir::Module module = optimized;
+  if (machine.model == mach::Model::Tta && machine.has_guards()) {
+    // Guarded TTAs predicate short conditionals: if-convert to Select ops,
+    // which the scheduler lowers to guarded moves (one conditional
+    // transport per merged value instead of 4-op mask arithmetic).
+    opt::if_convert_selects(module.function(workloads::entry_point()));
+  } else {
+    codegen::expand_selects(module.function(workloads::entry_point()));
+  }
+  if (machine.model == mach::Model::Scalar) {
+    codegen::legalize_scalar_operands(module.function(workloads::entry_point()));
+  }
+
+  const codegen::LowerResult lowered = codegen::lower(module, workloads::entry_point(), machine);
+
+  RunOutcome out;
+  out.machine = machine.name;
+  out.workload = workload.name;
+  out.spills = lowered.spills_inserted;
+
+  ir::Memory mem = make_loaded_memory(module);
+  switch (machine.model) {
+    case mach::Model::Scalar: {
+      const scalar::ScalarProgram prog = scalar::emit_scalar(lowered.func);
+      scalar::ScalarSim sim(prog, machine, mem);
+      const scalar::ExecResult r = sim.run();
+      out.cycles = r.cycles;
+      out.ret = r.ret;
+      out.instruction_bits = scalar::ScalarProgram::kInstrBits;
+      out.instruction_count = prog.code_words(machine.scalar);
+      out.image_bits = prog.image_bits(machine.scalar);
+      break;
+    }
+    case mach::Model::Vliw: {
+      const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine);
+      vliw::VliwSim sim(prog, machine, mem);
+      const vliw::ExecResult r = sim.run();
+      out.cycles = r.cycles;
+      out.ret = r.ret;
+      out.instruction_bits = vliw::instruction_bits(machine);
+      out.instruction_count = prog.num_bundles();
+      out.image_bits = vliw::image_bits(prog, machine);
+      break;
+    }
+    case mach::Model::Tta: {
+      tta::TtaScheduleStats stats;
+      const tta::TtaProgram prog = tta::schedule_tta(lowered.func, machine, tta_options, &stats);
+      tta::TtaSim sim(prog, machine, mem);
+      const tta::ExecResult r = sim.run();
+      out.cycles = r.cycles;
+      out.ret = r.ret;
+      out.instruction_bits = tta::instruction_bits(machine);
+      out.instruction_count = prog.instrs.size();
+      // Image size from the real binary encoder (instruction stream plus
+      // the literal pool holding wide constants and far branch targets).
+      out.image_bits = tta::encode_program(prog, machine).image_bits();
+      out.moves = stats.moves;
+      out.bypassed_operands = stats.bypassed_operands;
+      out.eliminated_result_moves = stats.eliminated_result_moves;
+      out.shared_operands = stats.shared_operands;
+      break;
+    }
+  }
+  out.output_checksum = output_checksum(module, workload, mem);
+
+  // Cross-check against the golden model.
+  const GoldenOutcome golden = run_golden(workload);
+  if (golden.ret != out.ret || golden.output_checksum != out.output_checksum) {
+    throw Error(format(
+        "backend result diverges from reference: %s on %s (ret %u vs %u, checksum %llx vs %llx)",
+        workload.name.c_str(), machine.name.c_str(), out.ret, golden.ret,
+        static_cast<unsigned long long>(out.output_checksum),
+        static_cast<unsigned long long>(golden.output_checksum)));
+  }
+  return out;
+}
+
+RunOutcome compile_and_run(const Workload& workload, const mach::Machine& machine,
+                           const tta::TtaOptions& tta_options) {
+  const ir::Module optimized = build_optimized(workload);
+  return compile_and_run_prebuilt(optimized, workload, machine, tta_options);
+}
+
+}  // namespace ttsc::report

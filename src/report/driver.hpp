@@ -1,0 +1,68 @@
+// Experiment driver: the full toolchain pipeline for one (workload,
+// machine) pair — front end, optimizer, register allocation, the
+// model-specific scheduler/code emitter, and the matching cycle-accurate
+// simulator — with the result cross-checked against the reference
+// interpreter (return value and output-global checksums must match
+// exactly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/interp.hpp"
+#include "mach/machine.hpp"
+#include "tta/tta.hpp"
+#include "workloads/workload.hpp"
+
+namespace ttsc::report {
+
+/// Memory image with globals loaded, as every simulator expects it.
+ir::Memory make_loaded_memory(const ir::Module& module, std::size_t size = 1u << 20);
+
+struct RunOutcome {
+  std::string machine;
+  std::string workload;
+  std::uint64_t cycles = 0;
+  std::uint32_t ret = 0;
+  std::uint64_t output_checksum = 0;
+
+  // Static code properties.
+  int instruction_bits = 0;
+  std::uint64_t instruction_count = 0;  // bundles / TTA instructions / words
+  std::uint64_t image_bits = 0;
+
+  // Dynamic/scheduler statistics (model-dependent; zero when n/a).
+  std::uint64_t moves = 0;
+  std::uint64_t bypassed_operands = 0;
+  std::uint64_t eliminated_result_moves = 0;
+  std::uint64_t shared_operands = 0;
+  int spills = 0;
+};
+
+/// Reference-interpreter outcome for a workload (golden model).
+struct GoldenOutcome {
+  std::uint32_t ret = 0;
+  std::uint64_t output_checksum = 0;
+  std::uint64_t instrs_executed = 0;
+};
+
+GoldenOutcome run_golden(const workloads::Workload& workload);
+
+/// Compile and simulate `workload` on `machine`. Throws ttsc::Error if the
+/// simulated result diverges from the reference interpreter.
+RunOutcome compile_and_run(const workloads::Workload& workload, const mach::Machine& machine,
+                           const tta::TtaOptions& tta_options = {});
+
+/// Build + optimize a workload once (shared across machines). The returned
+/// module contains the fully inlined, optimized entry function.
+ir::Module build_optimized(const workloads::Workload& workload);
+
+/// As compile_and_run, but reusing a pre-optimized module.
+RunOutcome compile_and_run_prebuilt(const ir::Module& optimized,
+                                    const workloads::Workload& workload,
+                                    const mach::Machine& machine,
+                                    const tta::TtaOptions& tta_options = {});
+
+}  // namespace ttsc::report

@@ -1,0 +1,58 @@
+// Experiment matrix and paper-artifact renderers.
+//
+// Each render_* function regenerates one table or figure from the paper's
+// evaluation section (Section V) in the same layout: absolute numbers for
+// the baseline rows (MicroBlaze for the 1-issue group, m-vliw-2/3 for the
+// multi-issue groups) and relative factors for everything else.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fpga/model.hpp"
+#include "report/driver.hpp"
+
+namespace ttsc::report {
+
+struct MachineResults {
+  mach::Machine machine;
+  fpga::AreaReport area;
+  fpga::TimingReport timing;
+  std::map<std::string, RunOutcome> by_workload;  // workload name -> outcome
+};
+
+/// Full evaluation matrix: all 13 machines x all 8 workloads, each run
+/// cross-checked against the reference interpreter.
+class Matrix {
+ public:
+  /// Runs the full matrix (compiles and simulates 104 configurations).
+  static Matrix run();
+
+  const MachineResults& machine(const std::string& name) const;
+  const std::vector<MachineResults>& machines() const { return machines_; }
+  const std::vector<std::string>& workload_names() const { return workload_names_; }
+
+  /// Cycles for (machine, workload).
+  std::uint64_t cycles(const std::string& machine, const std::string& workload) const;
+  /// Runtime in microseconds at the machine's modelled fmax.
+  double runtime_us(const std::string& machine, const std::string& workload) const;
+
+ private:
+  std::vector<MachineResults> machines_;
+  std::vector<std::string> workload_names_;
+};
+
+std::string render_table2_program_size(const Matrix& m);
+std::string render_table3_synthesis(const Matrix& m);
+std::string render_table4_cycles(const Matrix& m);
+std::string render_fig5_runtime(const Matrix& m);
+std::string render_fig6_efficiency(const Matrix& m);
+
+/// Ablation: per-freedom cycle contribution on the TTA machines (A1).
+std::string render_ablation_tta_freedoms();
+
+/// Ablation: RF partitioning — ports vs serialization vs area (A2).
+std::string render_ablation_rf_partitioning(const Matrix& m);
+
+}  // namespace ttsc::report

@@ -1,0 +1,193 @@
+#include "scalar/scalar.hpp"
+
+#include "support/bits.hpp"
+
+namespace ttsc::scalar {
+
+using codegen::MInstr;
+using codegen::MOperand;
+using ir::Opcode;
+
+bool fits_short_imm(std::int32_t value) { return fits_signed(value, 16); }
+
+namespace {
+
+bool is_shift(Opcode op) { return op == Opcode::Shl || op == Opcode::Shr || op == Opcode::Shru; }
+
+/// Static code size of a shift without a barrel shifter: one single-bit
+/// shift instruction per position (capped), or a small loop for register
+/// shift amounts.
+int shift_words(const mach::ScalarTiming& t, const MInstr& in) {
+  if (t.barrel_shifter) return 1;
+  if (in.srcs[1].is_imm()) {
+    const int amount = in.srcs[1].imm & 31;
+    return std::max(1, std::min(amount, t.max_unrolled_shift));
+  }
+  return t.variable_shift_setup;  // compare/branch/shift/decrement loop body
+}
+
+/// Instruction words for one operation: 1 plus an IMM prefix when any
+/// immediate operand does not fit the 16-bit immediate field; shifts may
+/// expand into multi-instruction sequences (see shift_words).
+int words_for(const mach::ScalarTiming& t, const MInstr& in) {
+  // Branch targets are PC-relative label fields, not data immediates.
+  if (ir::is_branch(in.op)) return 1;
+  if (is_shift(in.op)) return shift_words(t, in);
+  for (const MOperand& s : in.srcs) {
+    if (s.is_imm() && !fits_short_imm(s.imm)) return 2;
+  }
+  return 1;
+}
+
+int dependent_use_stall(const mach::ScalarTiming& t, Opcode op) {
+  if (ir::is_load(op)) return t.load_use_stall;
+  if (op == Opcode::Mul) return t.mul_stall;
+  if (op == Opcode::Shl || op == Opcode::Shr || op == Opcode::Shru) return t.shift_stall;
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t ScalarProgram::code_words(const mach::ScalarTiming& timing) const {
+  std::uint64_t words = 0;
+  for (const MInstr& in : instrs) words += static_cast<std::uint64_t>(words_for(timing, in));
+  return words;
+}
+
+ScalarProgram emit_scalar(const codegen::MFunction& func) {
+  ScalarProgram out;
+  out.spill_base = func.spill_base;
+  out.block_entry.resize(func.blocks.size());
+  for (std::size_t b = 0; b < func.blocks.size(); ++b) {
+    out.block_entry[b] = static_cast<std::uint32_t>(out.instrs.size());
+    const auto& instrs = func.blocks[b].instrs;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const MInstr& in = instrs[i];
+      // Elide a trailing jump to the next block (fallthrough layout).
+      if (in.op == Opcode::Jump && i + 1 == instrs.size() && in.targets[0] == b + 1) continue;
+      out.instrs.push_back(in);
+    }
+    // A block whose only instruction was an elided jump still needs a
+    // landing pad for branches; block_entry correctly points at the next
+    // block's first instruction in that case.
+  }
+  return out;
+}
+
+ScalarSim::ScalarSim(const ScalarProgram& program, const mach::Machine& machine,
+                     ir::Memory& memory)
+    : program_(program), machine_(machine), mem_(memory) {
+  TTSC_ASSERT(machine.model == mach::Model::Scalar, "ScalarSim needs a scalar machine");
+}
+
+ExecResult ScalarSim::run(std::uint64_t max_cycles) {
+  const mach::ScalarTiming& timing = machine_.scalar;
+
+  // Register state, indexed [rf][index].
+  std::vector<std::vector<std::uint32_t>> regs;
+  std::vector<std::vector<std::uint64_t>> ready;
+  for (const mach::RegisterFile& rf : machine_.rfs) {
+    regs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
+    ready.emplace_back(static_cast<std::size_t>(rf.size), 0ull);
+  }
+
+  auto read = [&](const MOperand& s, std::uint64_t& at) -> std::uint32_t {
+    if (s.is_imm()) return static_cast<std::uint32_t>(s.imm);
+    const auto& r = s.reg;
+    at = std::max(at, ready[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)]);
+    return regs[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)];
+  };
+
+  ExecResult result;
+  std::uint64_t cycle = static_cast<std::uint64_t>(timing.pipeline_stages - 1);  // fill
+  std::uint32_t pc = 0;
+
+  while (true) {
+    TTSC_ASSERT(pc < program_.instrs.size(), "scalar PC out of range");
+    const MInstr& in = program_.instrs[pc];
+    ++result.instrs;
+
+    std::uint64_t issue = cycle;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    if (!in.srcs.empty()) a = read(in.srcs[0], issue);
+    if (in.srcs.size() > 1) b = read(in.srcs[1], issue);
+    // Multi-word expansions: IMM prefixes, and (without a barrel shifter)
+    // single-bit shift sequences or the variable-shift loop.
+    if (is_shift(in.op) && !timing.barrel_shifter && in.srcs.size() > 1 &&
+        in.srcs[1].is_reg()) {
+      issue += static_cast<std::uint64_t>(timing.variable_shift_setup) +
+               static_cast<std::uint64_t>(timing.variable_shift_per_bit) * (b & 31);
+    } else {
+      issue += static_cast<std::uint64_t>(words_for(timing, in) - 1);
+    }
+    if (issue + 1 > max_cycles) throw Error("scalar simulation exceeded cycle limit");
+
+    std::uint32_t value = 0;
+    bool writes = in.has_dst();
+    switch (in.op) {
+      case Opcode::Add: value = a + b; break;
+      case Opcode::Sub: value = a - b; break;
+      case Opcode::Mul: value = a * b; break;
+      case Opcode::And: value = a & b; break;
+      case Opcode::Ior: value = a | b; break;
+      case Opcode::Xor: value = a ^ b; break;
+      case Opcode::Shl: value = a << (b & 31); break;
+      case Opcode::Shru: value = a >> (b & 31); break;
+      case Opcode::Shr:
+        value = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+        break;
+      case Opcode::Eq: value = a == b ? 1 : 0; break;
+      case Opcode::Gt:
+        value = static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b) ? 1 : 0;
+        break;
+      case Opcode::Gtu: value = a > b ? 1 : 0; break;
+      case Opcode::Sxhw: value = static_cast<std::uint32_t>(sign_extend(a, 16)); break;
+      case Opcode::Sxqw: value = static_cast<std::uint32_t>(sign_extend(a, 8)); break;
+      case Opcode::MovI:
+      case Opcode::Copy: value = a; break;
+      case Opcode::Ldw: value = mem_.load32(a); break;
+      case Opcode::Ldh: value = static_cast<std::uint32_t>(sign_extend(mem_.load16(a), 16)); break;
+      case Opcode::Ldhu: value = mem_.load16(a); break;
+      case Opcode::Ldq: value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8)); break;
+      case Opcode::Ldqu: value = mem_.load8(a); break;
+      case Opcode::Stw: mem_.store32(a, b); break;
+      case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
+      case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+      case Opcode::Jump: {
+        cycle = issue + 1 + static_cast<std::uint64_t>(timing.branch_penalty);
+        pc = program_.block_entry[in.targets[0]];
+        result.cycles = cycle;
+        continue;
+      }
+      case Opcode::Bnz: {
+        const bool taken = a != 0;
+        cycle = issue + 1 +
+                (taken ? static_cast<std::uint64_t>(timing.branch_penalty) : 0ull);
+        pc = taken ? program_.block_entry[in.targets[0]] : pc + 1;
+        result.cycles = cycle;
+        continue;
+      }
+      case Opcode::Ret: {
+        result.cycles = issue + 1;
+        result.ret = in.srcs.empty() ? 0u : a;
+        return result;
+      }
+      case Opcode::Call:
+        TTSC_UNREACHABLE("calls must be inlined before scalar emission");
+    }
+
+    cycle = issue + 1;
+    if (writes) {
+      auto& r = in.dst;
+      regs[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)] = value;
+      const int stall = dependent_use_stall(timing, in.op);
+      const std::uint64_t visible =
+          issue + 1 + static_cast<std::uint64_t>(stall) + (timing.forwarding ? 0 : 1);
+      ready[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)] = visible;
+    }
+    ++pc;
+  }
+}
+
+}  // namespace ttsc::scalar

@@ -1,0 +1,61 @@
+// Scalar (single-issue, operation-triggered) backend: the MicroBlaze
+// stand-in. Sequential code generation from the shared machine-level form,
+// a 32-bit fixed-width encoder with an IMM-prefix word for wide immediates
+// (as MicroBlaze does), and an in-order pipeline timing simulator
+// parameterized by mach::ScalarTiming (3-stage vs 5-stage models).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/lower.hpp"
+#include "ir/memory.hpp"
+#include "ir/module.hpp"
+#include "mach/machine.hpp"
+
+namespace ttsc::scalar {
+
+struct ScalarProgram {
+  std::vector<codegen::MInstr> instrs;
+  std::vector<std::uint32_t> block_entry;  // block id -> instruction index
+  std::uint32_t spill_base = 0;
+
+  /// Number of 32-bit instruction words, including IMM prefixes and
+  /// (without a barrel shifter) expanded shift sequences.
+  std::uint64_t code_words(const mach::ScalarTiming& timing) const;
+  /// Program image size in bits (Table II reports total program bits).
+  std::uint64_t image_bits(const mach::ScalarTiming& timing) const {
+    return code_words(timing) * 32;
+  }
+  static constexpr int kInstrBits = 32;
+};
+
+/// Immediates representable without an IMM prefix word.
+bool fits_short_imm(std::int32_t value);
+
+/// Linearize an MFunction into a scalar instruction stream. Jumps to the
+/// immediately following block are elided (fallthrough).
+ScalarProgram emit_scalar(const codegen::MFunction& func);
+
+struct ExecResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instrs = 0;
+  std::uint32_t ret = 0;
+};
+
+/// Cycle-approximate in-order pipeline simulation: functional execution plus
+/// the hazard/penalty model of mach::ScalarTiming (forwarding, load-use /
+/// multiply / shift stalls, taken-branch penalty, IMM prefix cycles).
+class ScalarSim {
+ public:
+  ScalarSim(const ScalarProgram& program, const mach::Machine& machine, ir::Memory& memory);
+
+  ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
+
+ private:
+  const ScalarProgram& program_;
+  const mach::Machine& machine_;
+  ir::Memory& mem_;
+};
+
+}  // namespace ttsc::scalar

@@ -1,0 +1,38 @@
+// Diagnostics for the ttsc toolchain.
+//
+// The toolchain is a compiler: internal invariant violations should abort
+// loudly with context (TTSC_ASSERT), while malformed user input (a machine
+// description that cannot be validated, an IR module that fails
+// verification) raises ttsc::Error which callers may catch and report.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ttsc {
+
+/// Error raised for invalid user-visible input (bad machine description,
+/// unverifiable IR, unschedulable program). Internal bugs use TTSC_ASSERT.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+[[noreturn]] inline void fatal(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "ttsc fatal: %s:%d: %s\n", file, line, message.c_str());
+  std::abort();
+}
+
+}  // namespace ttsc
+
+/// Always-on invariant check. The toolchain is not performance critical
+/// enough to justify compiling assertions out, and a silently-corrupt
+/// schedule is far more expensive than the branch.
+#define TTSC_ASSERT(cond, msg)                                  \
+  do {                                                          \
+    if (!(cond)) ::ttsc::fatal(__FILE__, __LINE__, (msg));      \
+  } while (false)
+
+#define TTSC_UNREACHABLE(msg) ::ttsc::fatal(__FILE__, __LINE__, (msg))

@@ -1,0 +1,49 @@
+// Small bit-manipulation helpers shared by encoders and simulators.
+#pragma once
+
+#include <cstdint>
+
+namespace ttsc {
+
+/// Number of bits needed to represent `count` distinct codes.
+/// bits_for_codes(0) == 0, bits_for_codes(1) == 0 (a single code needs no
+/// selector), bits_for_codes(2) == 1, bits_for_codes(5) == 3.
+constexpr int bits_for_codes(std::uint64_t count) {
+  if (count <= 1) return 0;
+  int bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < count) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Ceil(log2(value)) for value >= 1; index width of a `value`-entry table.
+constexpr int index_bits(std::uint64_t value) { return bits_for_codes(value); }
+
+/// Smallest signed value representable in `bits` two's-complement bits.
+constexpr std::int64_t min_signed(int bits) { return bits == 0 ? 0 : -(std::int64_t{1} << (bits - 1)); }
+
+/// Largest signed value representable in `bits` two's-complement bits.
+constexpr std::int64_t max_signed(int bits) { return bits == 0 ? 0 : (std::int64_t{1} << (bits - 1)) - 1; }
+
+/// Whether `value` fits in `bits` two's-complement bits.
+constexpr bool fits_signed(std::int64_t value, int bits) {
+  return value >= min_signed(bits) && value <= max_signed(bits);
+}
+
+/// Sign-extend the low `bits` of `value` to 32 bits.
+constexpr std::int32_t sign_extend(std::uint32_t value, int bits) {
+  const std::uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1u);
+  value &= mask;
+  const std::uint32_t sign = bits == 0 ? 0u : (1u << (bits - 1));
+  return static_cast<std::int32_t>((value ^ sign) - sign);
+}
+
+/// Round `value` up to the next multiple of `unit` (unit > 0).
+constexpr std::uint64_t round_up(std::uint64_t value, std::uint64_t unit) {
+  return (value + unit - 1) / unit * unit;
+}
+
+}  // namespace ttsc

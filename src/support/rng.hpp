@@ -1,0 +1,35 @@
+// Deterministic pseudo-random generator for workload input synthesis.
+//
+// Workload inputs must be bit-identical across runs and platforms so that
+// simulator checksums can be asserted exactly in tests; std::mt19937 would
+// work but splitmix64 is smaller and unambiguous.
+#pragma once
+
+#include <cstdint>
+
+namespace ttsc {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound) for bound >= 1.
+  constexpr std::uint32_t next_below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(next() % bound);
+  }
+
+  constexpr std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ttsc

@@ -1,0 +1,23 @@
+// Small statistics helpers for the experiment harnesses.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "support/assert.hpp"
+
+namespace ttsc {
+
+/// Geometric mean of strictly positive values (the paper uses geomean over
+/// the eight CHStone benchmarks in Fig. 6).
+inline double geomean(std::span<const double> values) {
+  TTSC_ASSERT(!values.empty(), "geomean of empty set");
+  double log_sum = 0.0;
+  for (double v : values) {
+    TTSC_ASSERT(v > 0.0, "geomean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace ttsc

@@ -1,0 +1,35 @@
+// String formatting helpers used by printers and table renderers.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ttsc {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] inline std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
+  if (size > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+/// Join elements with a separator.
+inline std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace ttsc

@@ -1,0 +1,342 @@
+#include "tta/binary.hpp"
+
+#include <map>
+
+#include "support/bits.hpp"
+#include "support/strings.hpp"
+
+namespace ttsc::tta {
+
+using mach::Machine;
+using mach::PortRef;
+
+namespace {
+
+/// Per-bus code tables derived from the connectivity graph (the same
+/// enumeration instruction_bits() counts).
+struct BusCodec {
+  std::vector<MoveSrc> src_codes;
+  std::vector<MoveDst> dst_codes;  // index 0 is NOP (default constructed)
+  int src_payload_bits = 0;
+  int dst_bits = 0;
+  int slot_bits() const { return 2 + src_payload_bits + dst_bits; }
+};
+
+BusCodec make_codec(const Machine& m, int bus_index) {
+  const mach::Bus& bus = m.buses[static_cast<std::size_t>(bus_index)];
+  BusCodec c;
+  for (const PortRef& s : bus.sources) {
+    if (s.kind == PortRef::Kind::FuResult) {
+      c.src_codes.push_back(MoveSrc::fu_result(s.unit));
+    } else {
+      const int size = m.rfs[static_cast<std::size_t>(s.unit)].size;
+      for (int i = 0; i < size; ++i) c.src_codes.push_back(MoveSrc::rf_read(s.unit, i));
+    }
+  }
+  c.dst_codes.emplace_back();  // NOP
+  for (int g = 0; g < m.guard_regs; ++g) c.dst_codes.push_back(MoveDst::guard_write(g));
+  for (const PortRef& d : bus.dests) {
+    switch (d.kind) {
+      case PortRef::Kind::FuOperand:
+        c.dst_codes.push_back(MoveDst::fu_operand(d.unit));
+        break;
+      case PortRef::Kind::FuTrigger:
+        for (const mach::Operation& op : m.fus[static_cast<std::size_t>(d.unit)].ops) {
+          c.dst_codes.push_back(MoveDst::fu_trigger(d.unit, op.opcode));
+        }
+        break;
+      case PortRef::Kind::RfWrite: {
+        const int size = m.rfs[static_cast<std::size_t>(d.unit)].size;
+        for (int i = 0; i < size; ++i) c.dst_codes.push_back(MoveDst::rf_write(d.unit, i));
+        break;
+      }
+      default:
+        TTSC_UNREACHABLE("source endpoint in dests");
+    }
+  }
+  c.src_payload_bits = std::max(bits_for_codes(c.src_codes.size()), bus.simm_bits);
+  c.dst_bits = bits_for_codes(c.dst_codes.size());
+  return c;
+}
+
+std::vector<BusCodec> make_codecs(const Machine& m) {
+  std::vector<BusCodec> out;
+  for (std::size_t b = 0; b < m.buses.size(); ++b) {
+    out.push_back(make_codec(m, static_cast<int>(b)));
+  }
+  return out;
+}
+
+class BitWriter {
+ public:
+  void put(std::uint32_t value, int bits) {
+    for (int i = 0; i < bits; ++i) {
+      if (pos_ == 0) bytes_.push_back(0);
+      if ((value >> i) & 1) bytes_.back() |= static_cast<std::uint8_t>(1u << pos_);
+      pos_ = (pos_ + 1) & 7;
+    }
+  }
+  void align_instruction(std::size_t instr_index, int bits_per_instruction) {
+    // Pad to the exact bit offset so random access per instruction works.
+    const std::size_t want = instr_index * static_cast<std::size_t>(bits_per_instruction);
+    TTSC_ASSERT(bit_count() <= want, "encoder overflowed the instruction width");
+    while (bit_count() < want) put(0, 1);
+  }
+  std::size_t bit_count() const { return bytes_.size() * 8 - (pos_ == 0 ? 0 : (8 - pos_)); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  void seek(std::size_t bit) { bit_ = bit; }
+  std::uint32_t get(int bits) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      const std::size_t byte = bit_ >> 3;
+      TTSC_ASSERT(byte < bytes_.size(), "bit reader out of range");
+      if ((bytes_[byte] >> (bit_ & 7)) & 1) value |= 1u << i;
+      ++bit_;
+    }
+    return value;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t bit_ = 0;
+};
+
+bool same_src(const MoveSrc& a, const MoveSrc& b) {
+  return a.kind == b.kind && a.unit == b.unit && a.reg_index == b.reg_index;
+}
+bool same_dst(const MoveDst& a, const MoveDst& b) {
+  return a.kind == b.kind && a.unit == b.unit && a.reg_index == b.reg_index &&
+         (a.kind != MoveDst::Kind::FuTrigger || a.opcode == b.opcode);
+}
+
+int guard_field_bits(const Machine& m) {
+  return m.guard_regs > 0 ? bits_for_codes(1 + 2 * static_cast<std::uint64_t>(m.guard_regs)) : 0;
+}
+
+enum SrcType : std::uint32_t { kSocket = 0, kShortImm = 1, kPoolImm = 2 };
+
+}  // namespace
+
+EncodedProgram encode_program(const TtaProgram& program, const Machine& machine) {
+  const std::vector<BusCodec> codecs = make_codecs(machine);
+  EncodedProgram out;
+  out.instruction_count = static_cast<std::uint32_t>(program.instrs.size());
+  out.bits_per_instruction = instruction_bits(machine);
+  out.block_entry = program.block_entry;
+
+  std::map<std::uint32_t, std::uint32_t> pool_index;
+  auto pool_ref = [&](std::uint32_t value) {
+    auto it = pool_index.find(value);
+    if (it != pool_index.end()) return it->second;
+    const std::uint32_t idx = static_cast<std::uint32_t>(out.pool.size());
+    out.pool.push_back(value);
+    pool_index[value] = idx;
+    return idx;
+  };
+
+  BitWriter writer;
+  for (std::size_t pc = 0; pc < program.instrs.size(); ++pc) {
+    writer.align_instruction(pc, out.bits_per_instruction);
+    const TtaInstruction& instr = program.instrs[pc];
+    for (std::size_t b = 0; b < machine.buses.size(); ++b) {
+      const BusCodec& codec = codecs[b];
+      const Move* move = nullptr;
+      for (const Move& mv : instr.moves) {
+        if (mv.bus == static_cast<int>(b)) move = &mv;
+      }
+      if (move == nullptr) {
+        writer.put(0, codec.dst_bits);  // NOP
+        writer.put(0, 2 + codec.src_payload_bits);
+        writer.put(0, guard_field_bits(machine));
+        continue;
+      }
+      // Destination code.
+      std::uint32_t dst_code = 0;
+      bool found = false;
+      for (std::size_t i = 1; i < codec.dst_codes.size(); ++i) {
+        if (same_dst(codec.dst_codes[i], move->dst)) {
+          dst_code = static_cast<std::uint32_t>(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw Error(format("encode: destination unreachable from bus %zu at pc %zu", b, pc));
+      }
+      writer.put(dst_code, codec.dst_bits);
+      // Source field.
+      switch (move->src.kind) {
+        case MoveSrc::Kind::Imm: {
+          const std::int32_t value =
+              move->is_control ? static_cast<std::int32_t>(move->target) : move->src.imm;
+          if (fits_signed(value, codec.src_payload_bits)) {
+            writer.put(kShortImm, 2);
+            writer.put(static_cast<std::uint32_t>(value) &
+                           ((codec.src_payload_bits >= 32 ? ~0u
+                                                          : ((1u << codec.src_payload_bits) - 1))),
+                       codec.src_payload_bits);
+          } else {
+            const std::uint32_t idx = pool_ref(static_cast<std::uint32_t>(value));
+            if (!fits_signed(static_cast<std::int64_t>(idx), codec.src_payload_bits)) {
+              throw Error("encode: literal pool overflow");
+            }
+            writer.put(kPoolImm, 2);
+            writer.put(idx, codec.src_payload_bits);
+          }
+          break;
+        }
+        default: {
+          std::uint32_t src_code = 0;
+          bool src_found = false;
+          for (std::size_t i = 0; i < codec.src_codes.size(); ++i) {
+            if (same_src(codec.src_codes[i], move->src)) {
+              src_code = static_cast<std::uint32_t>(i);
+              src_found = true;
+              break;
+            }
+          }
+          if (!src_found) {
+            throw Error(format("encode: source unreachable from bus %zu at pc %zu", b, pc));
+          }
+          writer.put(kSocket, 2);
+          writer.put(src_code, codec.src_payload_bits);
+          break;
+        }
+      }
+      // Guard field: 0 = unconditional, then (true,false) per guard reg.
+      if (machine.guard_regs > 0) {
+        std::uint32_t code = 0;
+        if (move->guard >= 0) {
+          code = 1 + 2 * static_cast<std::uint32_t>(move->guard) + (move->guard_negate ? 1 : 0);
+        }
+        writer.put(code, guard_field_bits(machine));
+      }
+    }
+  }
+  writer.align_instruction(program.instrs.size(), out.bits_per_instruction);
+  out.bits = writer.take();
+  return out;
+}
+
+TtaProgram decode_program(const EncodedProgram& encoded, const Machine& machine) {
+  const std::vector<BusCodec> codecs = make_codecs(machine);
+  TtaProgram out;
+  out.block_entry = encoded.block_entry;
+  BitReader reader(encoded.bits);
+
+  for (std::uint32_t pc = 0; pc < encoded.instruction_count; ++pc) {
+    reader.seek(static_cast<std::size_t>(pc) *
+                static_cast<std::size_t>(encoded.bits_per_instruction));
+    TtaInstruction instr;
+    for (std::size_t b = 0; b < machine.buses.size(); ++b) {
+      const BusCodec& codec = codecs[b];
+      const std::uint32_t dst_code = reader.get(codec.dst_bits);
+      const std::uint32_t src_type = reader.get(2);
+      const std::uint32_t payload = reader.get(codec.src_payload_bits);
+      std::uint32_t guard_code = 0;
+      if (machine.guard_regs > 0) guard_code = reader.get(guard_field_bits(machine));
+      if (dst_code == 0) continue;  // NOP slot
+      TTSC_ASSERT(dst_code < codec.dst_codes.size(), "decode: bad destination code");
+      Move mv;
+      mv.bus = static_cast<int>(b);
+      mv.dst = codec.dst_codes[dst_code];
+      mv.is_control = mv.dst.kind == MoveDst::Kind::FuTrigger &&
+                      (ir::is_branch(mv.dst.opcode) || mv.dst.opcode == ir::Opcode::Ret ||
+                       mv.dst.opcode == ir::Opcode::Call);
+      std::int32_t imm_value = 0;
+      switch (src_type) {
+        case kSocket:
+          TTSC_ASSERT(payload < codec.src_codes.size(), "decode: bad source code");
+          mv.src = codec.src_codes[payload];
+          break;
+        case kShortImm:
+          imm_value = sign_extend(payload, codec.src_payload_bits);
+          mv.src = MoveSrc::immediate(imm_value);
+          break;
+        case kPoolImm:
+          TTSC_ASSERT(payload < encoded.pool.size(), "decode: bad pool index");
+          imm_value = static_cast<std::int32_t>(encoded.pool[payload]);
+          mv.src = MoveSrc::immediate(imm_value);
+          mv.long_imm = !mv.is_control;
+          break;
+        default:
+          throw Error("decode: reserved source type");
+      }
+      if (mv.is_control) {
+        mv.target = static_cast<std::uint32_t>(imm_value);
+        mv.src = MoveSrc::immediate(0);
+      }
+      if (guard_code > 0) {
+        mv.guard = static_cast<int>((guard_code - 1) / 2);
+        mv.guard_negate = ((guard_code - 1) % 2) != 0;
+      }
+      instr.moves.push_back(mv);
+    }
+    out.instrs.push_back(std::move(instr));
+  }
+  return out;
+}
+
+std::string disassemble(const TtaProgram& program, const Machine& machine) {
+  std::string out;
+  auto src_str = [&](const Move& mv) -> std::string {
+    if (mv.is_control) return format("-> @%u", mv.target);
+    switch (mv.src.kind) {
+      case MoveSrc::Kind::Imm: return format("#%d", mv.src.imm);
+      case MoveSrc::Kind::FuResult:
+        return machine.fus[static_cast<std::size_t>(mv.src.unit)].name + ".r";
+      case MoveSrc::Kind::RfRead:
+        return format("%s.%d", machine.rfs[static_cast<std::size_t>(mv.src.unit)].name.c_str(),
+                      mv.src.reg_index);
+    }
+    return "?";
+  };
+  auto dst_str = [&](const Move& mv) -> std::string {
+    switch (mv.dst.kind) {
+      case MoveDst::Kind::FuOperand:
+        return machine.fus[static_cast<std::size_t>(mv.dst.unit)].name + ".o";
+      case MoveDst::Kind::FuTrigger:
+        return format("%s.t:%s", machine.fus[static_cast<std::size_t>(mv.dst.unit)].name.c_str(),
+                      std::string(ir::opcode_name(mv.dst.opcode)).c_str());
+      case MoveDst::Kind::RfWrite:
+        return format("%s.%d", machine.rfs[static_cast<std::size_t>(mv.dst.unit)].name.c_str(),
+                      mv.dst.reg_index);
+      case MoveDst::Kind::GuardWrite:
+        return format("guard.%d", mv.dst.unit);
+    }
+    return "?";
+  };
+
+  // Reverse block-entry map for labels.
+  std::map<std::uint32_t, std::uint32_t> labels;
+  for (std::size_t blk = 0; blk < program.block_entry.size(); ++blk) {
+    labels.emplace(program.block_entry[blk], static_cast<std::uint32_t>(blk));
+  }
+  for (std::size_t pc = 0; pc < program.instrs.size(); ++pc) {
+    auto lab = labels.find(static_cast<std::uint32_t>(pc));
+    if (lab != labels.end()) out += format("B%u:\n", lab->second);
+    out += format("%5zu:", pc);
+    if (program.instrs[pc].moves.empty()) {
+      out += "  (nop)";
+    }
+    for (const Move& mv : program.instrs[pc].moves) {
+      std::string guard;
+      if (mv.guard >= 0) guard = format(" ?%sg%d", mv.guard_negate ? "!" : "", mv.guard);
+      out += format("  [%d]%s %s -> %s%s;", mv.bus, guard.c_str(), src_str(mv).c_str(),
+                    dst_str(mv).c_str(), mv.long_imm ? " (limm)" : "");
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ttsc::tta

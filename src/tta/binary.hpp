@@ -1,0 +1,57 @@
+// Bit-exact binary encoding of TTA programs in the automatically generated
+// instruction format, plus the decoder that reconstructs an executable
+// program from the bits — the proof that the format generator is real.
+//
+// Format (per instruction, fixed width = instruction_bits(machine)):
+//   for each bus, in index order, one move slot:
+//     [dst field]  bits_for_codes(1 + #destination codes); code 0 = NOP,
+//                  then one code per operand port, per (trigger port,
+//                  operation), and per writable register, in connectivity
+//                  order.
+//     [src field]  2-bit source type + payload:
+//                  type 0 = socket code (FU results, then RF registers),
+//                  type 1 = short immediate (sign-extended payload),
+//                  type 2 = literal-pool reference (payload = pool index).
+//   Wide immediates and far control-transfer targets live in a per-program
+//   literal pool (deduplicated 32-bit words, reported as part of the
+//   program image; on hardware this is the instruction ROM's literal
+//   section). The transport cost of wide immediates (the extra bus slot
+//   the scheduler charges) is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tta/tta.hpp"
+
+namespace ttsc::tta {
+
+struct EncodedProgram {
+  std::vector<std::uint8_t> bits;          // packed little-endian bitstream
+  std::uint32_t instruction_count = 0;
+  int bits_per_instruction = 0;
+  std::vector<std::uint32_t> pool;         // literal pool (constants + targets)
+  std::vector<std::uint32_t> block_entry;  // block -> instruction index
+
+  /// Total program image: instruction stream + literal pool.
+  std::uint64_t image_bits() const {
+    return static_cast<std::uint64_t>(instruction_count) *
+               static_cast<std::uint64_t>(bits_per_instruction) +
+           static_cast<std::uint64_t>(pool.size()) * 32;
+  }
+};
+
+/// Encode a scheduled program. Throws ttsc::Error if a move cannot be
+/// represented (it always can for programs produced by schedule_tta on the
+/// same machine).
+EncodedProgram encode_program(const TtaProgram& program, const mach::Machine& machine);
+
+/// Rebuild an executable TtaProgram from the bits. decode(encode(p)) is
+/// semantically identical to p (same moves per cycle; scheduler-internal
+/// bookkeeping like the immediate-extension bus is not represented).
+TtaProgram decode_program(const EncodedProgram& encoded, const mach::Machine& machine);
+
+/// Human-readable disassembly of a scheduled program.
+std::string disassemble(const TtaProgram& program, const mach::Machine& machine);
+
+}  // namespace ttsc::tta

@@ -1,0 +1,42 @@
+#include "tta/compress.hpp"
+
+#include <map>
+#include <vector>
+
+#include "support/bits.hpp"
+
+namespace ttsc::tta {
+
+CompressionResult compress_dictionary(const EncodedProgram& encoded) {
+  CompressionResult out;
+  out.original_bits = static_cast<std::uint64_t>(encoded.instruction_count) *
+                      static_cast<std::uint64_t>(encoded.bits_per_instruction);
+  out.pool_bits = static_cast<std::uint64_t>(encoded.pool.size()) * 32;
+
+  // Extract each instruction's bit pattern and count unique ones.
+  std::map<std::vector<std::uint8_t>, std::uint32_t> dictionary;
+  const int width = encoded.bits_per_instruction;
+  for (std::uint32_t pc = 0; pc < encoded.instruction_count; ++pc) {
+    std::vector<std::uint8_t> pattern((static_cast<std::size_t>(width) + 7) / 8, 0);
+    const std::size_t base = static_cast<std::size_t>(pc) * static_cast<std::size_t>(width);
+    for (int i = 0; i < width; ++i) {
+      const std::size_t bit = base + static_cast<std::size_t>(i);
+      const std::size_t byte = bit >> 3;
+      if (byte < encoded.bits.size() && ((encoded.bits[byte] >> (bit & 7)) & 1)) {
+        pattern[static_cast<std::size_t>(i) >> 3] |=
+            static_cast<std::uint8_t>(1u << (i & 7));
+      }
+    }
+    dictionary.emplace(std::move(pattern), static_cast<std::uint32_t>(dictionary.size()));
+  }
+
+  out.dictionary_entries = static_cast<std::uint32_t>(dictionary.size());
+  out.index_bits = bits_for_codes(dictionary.size());
+  out.compressed_bits = static_cast<std::uint64_t>(encoded.instruction_count) *
+                        static_cast<std::uint64_t>(out.index_bits);
+  out.dictionary_bits = static_cast<std::uint64_t>(out.dictionary_entries) *
+                        static_cast<std::uint64_t>(width);
+  return out;
+}
+
+}  // namespace ttsc::tta

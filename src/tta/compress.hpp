@@ -1,0 +1,36 @@
+// Dictionary-based program compression (Heikkinen, Takala & Corporaal
+// [24]; listed as future work in the paper's conclusions).
+//
+// TTA instruction streams are wide but highly repetitive — the same move
+// combinations recur across loop iterations. Dictionary compression stores
+// each *unique* instruction word once in an on-chip dictionary and replaces
+// the program stream with ceil(log2(#unique)) -bit indices, trading a small
+// decode ROM for a large instruction-memory reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "tta/binary.hpp"
+
+namespace ttsc::tta {
+
+struct CompressionResult {
+  std::uint64_t original_bits = 0;       // instruction stream before
+  std::uint64_t compressed_bits = 0;     // index stream
+  std::uint64_t dictionary_bits = 0;     // unique patterns * instruction width
+  std::uint64_t pool_bits = 0;           // literal pool (uncompressed)
+  std::uint32_t dictionary_entries = 0;
+  int index_bits = 0;
+
+  std::uint64_t total_bits() const { return compressed_bits + dictionary_bits + pool_bits; }
+  /// Compression ratio including the dictionary (< 1 means smaller).
+  double ratio() const {
+    const double before = static_cast<double>(original_bits + pool_bits);
+    return before > 0 ? static_cast<double>(total_bits()) / before : 1.0;
+  }
+};
+
+/// Compress an encoded program with a full-instruction dictionary.
+CompressionResult compress_dictionary(const EncodedProgram& encoded);
+
+}  // namespace ttsc::tta

@@ -1,0 +1,71 @@
+// Automatic instruction-format generation from the machine's connectivity,
+// following TCE's scheme (Section IV): per bus, the source field selects
+// among all readable endpoints reachable on that bus (each RF register is
+// an individual code, each FU result one code) or a short immediate; the
+// destination field addresses all writable endpoints (RF registers
+// individually, one code per triggerable operation, one per operand port)
+// plus a NOP code. One extra bit selects the long-immediate template.
+#include "support/bits.hpp"
+#include "tta/tta.hpp"
+
+namespace ttsc::tta {
+
+using mach::Machine;
+using mach::PortRef;
+
+int bus_slot_bits(const Machine& machine, int bus_index) {
+  const mach::Bus& bus = machine.buses[static_cast<std::size_t>(bus_index)];
+
+  std::uint64_t src_codes = 0;
+  for (const PortRef& s : bus.sources) {
+    if (s.kind == PortRef::Kind::FuResult) {
+      src_codes += 1;
+    } else {
+      src_codes += static_cast<std::uint64_t>(machine.rfs[static_cast<std::size_t>(s.unit)].size);
+    }
+  }
+  // 2-bit source type (socket / short immediate / literal-pool reference,
+  // see tta/binary.hpp) plus the payload.
+  const int src_bits = 2 + std::max(bits_for_codes(src_codes), bus.simm_bits);
+
+  std::uint64_t dst_codes = 1;  // NOP
+  dst_codes += static_cast<std::uint64_t>(machine.guard_regs);  // guard writes
+  for (const PortRef& d : bus.dests) {
+    switch (d.kind) {
+      case PortRef::Kind::FuOperand:
+        dst_codes += 1;
+        break;
+      case PortRef::Kind::FuTrigger:
+        dst_codes += machine.fus[static_cast<std::size_t>(d.unit)].ops.size();
+        break;
+      case PortRef::Kind::RfWrite:
+        dst_codes += static_cast<std::uint64_t>(machine.rfs[static_cast<std::size_t>(d.unit)].size);
+        break;
+      default:
+        TTSC_UNREACHABLE("source endpoint in bus dests");
+    }
+  }
+  const int dst_bits = bits_for_codes(dst_codes);
+  // Guarded machines spend a guard field per slot: unconditional, or
+  // true/false per guard register.
+  const int guard_bits =
+      machine.guard_regs > 0
+          ? bits_for_codes(1 + 2 * static_cast<std::uint64_t>(machine.guard_regs))
+          : 0;
+  return src_bits + dst_bits + guard_bits;
+}
+
+int instruction_bits(const Machine& machine) {
+  int bits = 0;
+  for (std::size_t b = 0; b < machine.buses.size(); ++b) {
+    bits += bus_slot_bits(machine, static_cast<int>(b));
+  }
+  return bits;
+}
+
+std::uint64_t image_bits(const TtaProgram& program, const Machine& machine) {
+  return static_cast<std::uint64_t>(program.instrs.size()) *
+         static_cast<std::uint64_t>(instruction_bits(machine));
+}
+
+}  // namespace ttsc::tta

@@ -1,0 +1,1048 @@
+// TTA move scheduler.
+//
+// Per block, instructions are expanded into data-transport moves and placed
+// greedily in dependence order (critical-path priority). The key mechanism
+// is *deferred result materialization*: when an operation is triggered, its
+// result move to the register file is NOT scheduled immediately — the value
+// stays in the FU result register. Consumers try to bypass straight from
+// the result register; a consumer that cannot bypass forces the result move
+// to materialize; a redefinition of the destination register or the end of
+// the block decides between materializing (value live) and eliminating the
+// move entirely (dead-result-move elimination). MovI values propagate as
+// immediates directly into consumer ports.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "codegen/ddg.hpp"
+#include "support/bits.hpp"
+#include "support/strings.hpp"
+#include "tta/tta.hpp"
+
+namespace ttsc::tta {
+
+using codegen::BlockDdg;
+using codegen::DepKind;
+using codegen::MInstr;
+using codegen::MOperand;
+using ir::Opcode;
+using mach::Machine;
+using mach::PhysReg;
+using mach::PortRef;
+
+namespace {
+
+constexpr std::int64_t kNoCycle = -1;
+
+/// Set TTSC_TTA_TRACE=1 to stream scheduler decisions to stderr (debugging).
+bool trace_enabled() {
+  static const bool on = std::getenv("TTSC_TTA_TRACE") != nullptr;
+  return on;
+}
+
+#define TTA_TRACE(...)                       \
+  do {                                       \
+    if (trace_enabled()) {                   \
+      std::fprintf(stderr, __VA_ARGS__);     \
+      std::fputc('\n', stderr);              \
+    }                                        \
+  } while (false)
+
+int fu_latency(const Machine& m, int fu, Opcode op) {
+  return m.fus[static_cast<std::size_t>(fu)].latency(op);
+}
+
+/// Operand-port/trigger-port split of an instruction's inputs:
+/// index of the source operand that goes to the trigger port.
+/// (Binary ops: operand port carries srcs[0], trigger carries srcs[1];
+/// loads and unary ops trigger with srcs[0]; stores trigger with the
+/// address srcs[0] and carry the data srcs[1] on the operand port.)
+int trigger_operand_index(const MInstr& in) {
+  switch (in.op) {
+    case Opcode::Sxhw:
+    case Opcode::Sxqw:
+    case Opcode::Ldw:
+    case Opcode::Ldh:
+    case Opcode::Ldq:
+    case Opcode::Ldqu:
+    case Opcode::Ldhu:
+      return 0;
+    case Opcode::Stw:
+    case Opcode::Sth:
+    case Opcode::Stq:
+      return 0;  // address triggers, data rides the operand port
+    default:
+      return static_cast<int>(in.srcs.size()) - 1;
+  }
+}
+
+struct PlannedMove {
+  MoveSrc src;
+  MoveDst dst;
+  std::int64_t cycle = kNoCycle;
+  int bus = -1;
+  int extra_bus = -1;  // long-immediate extension slot
+  bool is_control = false;
+  std::uint32_t target = 0;
+  int guard = -1;  // predication (guarded moves)
+  bool guard_negate = false;
+};
+
+class BlockScheduler {
+ public:
+  BlockScheduler(const Machine& m, const codegen::MBlock& block, const TtaOptions& opt,
+                 const codegen::MLiveness& live, std::uint32_t block_id, TtaScheduleStats& stats)
+      : machine_(m),
+        block_(block),
+        options_(opt),
+        live_(live),
+        block_id_(block_id),
+        stats_(stats),
+        ddg_(block) {
+    fu_state_.resize(machine_.fus.size());
+    guards_.resize(static_cast<std::size_t>(machine_.guard_regs));
+    // Producer map: (consumer node, operand index) -> producer node.
+    const std::uint32_t n = ddg_.size();
+    producers_.assign(n, {});
+    for (std::uint32_t i = 0; i < n; ++i) {
+      producers_[i].assign(block_.instrs[i].srcs.size(), -1);
+    }
+    for (const auto& e : ddg_.edges()) {
+      if (e.kind != DepKind::Raw) continue;
+      const MInstr& cons = block_.instrs[e.to];
+      for (std::size_t s = 0; s < cons.srcs.size(); ++s) {
+        if (cons.srcs[s].is_reg() && cons.srcs[s].reg == e.reg) {
+          producers_[e.to][s] = static_cast<std::int64_t>(e.from);
+        }
+      }
+    }
+    // Last definition per register (for live-out materialization decisions).
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (block_.instrs[i].has_dst()) last_def_[block_.instrs[i].dst] = i;
+    }
+  }
+
+  struct Result {
+    std::vector<std::pair<std::int64_t, Move>> moves;  // (cycle, move)
+    std::int64_t length = 0;
+  };
+
+  Result run();
+
+ private:
+  // ---- per-cycle transport resources ---------------------------------------
+
+  struct CycleState {
+    std::vector<bool> bus_used;
+    std::vector<int> rf_reads;
+    std::vector<int> rf_writes;
+  };
+
+  CycleState& cycle_state(std::int64_t c) {
+    auto [it, inserted] = cycles_.try_emplace(c);
+    if (inserted) {
+      it->second.bus_used.assign(machine_.buses.size(), false);
+      it->second.rf_reads.assign(machine_.rfs.size(), 0);
+      it->second.rf_writes.assign(machine_.rfs.size(), 0);
+    }
+    return it->second;
+  }
+
+  bool src_matches(const mach::Bus& bus, const MoveSrc& src) const {
+    switch (src.kind) {
+      case MoveSrc::Kind::FuResult: return bus.has_source({PortRef::Kind::FuResult, src.unit});
+      case MoveSrc::Kind::RfRead: return bus.has_source({PortRef::Kind::RfRead, src.unit});
+      case MoveSrc::Kind::Imm: return true;
+    }
+    return false;
+  }
+  bool dst_matches(const mach::Bus& bus, const MoveDst& dst) const {
+    switch (dst.kind) {
+      case MoveDst::Kind::FuOperand: return bus.has_dest({PortRef::Kind::FuOperand, dst.unit});
+      case MoveDst::Kind::FuTrigger: return bus.has_dest({PortRef::Kind::FuTrigger, dst.unit});
+      case MoveDst::Kind::RfWrite: return bus.has_dest({PortRef::Kind::RfWrite, dst.unit});
+      case MoveDst::Kind::GuardWrite: return true;  // guard regs listen to every bus
+    }
+    return false;
+  }
+
+  /// Find a bus (and extension bus for wide immediates) for a move at a
+  /// cycle; returns false if transport resources are unavailable. Does not
+  /// commit.
+  bool find_bus(const PlannedMove& mv, std::int64_t c, int& bus_out, int& extra_out) {
+    CycleState& cs = cycle_state(c);
+    for (std::size_t b = 0; b < machine_.buses.size(); ++b) {
+      if (cs.bus_used[b]) continue;
+      if (!src_matches(machine_.buses[b], mv.src) || !dst_matches(machine_.buses[b], mv.dst)) {
+        continue;
+      }
+      if (mv.src.kind == MoveSrc::Kind::Imm && !mv.is_control &&
+          !fits_signed(mv.src.imm, machine_.buses[b].simm_bits)) {
+        // Needs a long-immediate template: one extra free bus.
+        int extra = -1;
+        for (std::size_t b2 = 0; b2 < machine_.buses.size(); ++b2) {
+          if (b2 != b && !cs.bus_used[b2]) {
+            extra = static_cast<int>(b2);
+            break;
+          }
+        }
+        if (extra < 0) continue;
+        bus_out = static_cast<int>(b);
+        extra_out = extra;
+        return true;
+      }
+      bus_out = static_cast<int>(b);
+      extra_out = -1;
+      return true;
+    }
+    return false;
+  }
+
+  void commit_move(PlannedMove& mv) {
+    CycleState& cs = cycle_state(mv.cycle);
+    TTSC_ASSERT(mv.bus >= 0 && !cs.bus_used[static_cast<std::size_t>(mv.bus)], "bus double-booked");
+    cs.bus_used[static_cast<std::size_t>(mv.bus)] = true;
+    if (mv.extra_bus >= 0) cs.bus_used[static_cast<std::size_t>(mv.extra_bus)] = true;
+    if (mv.src.kind == MoveSrc::Kind::RfRead) {
+      ++cs.rf_reads[static_cast<std::size_t>(mv.src.unit)];
+      last_rf_read_[PhysReg{static_cast<std::int16_t>(mv.src.unit),
+                            static_cast<std::int16_t>(mv.src.reg_index)}] =
+          std::max(last_rf_read_[PhysReg{static_cast<std::int16_t>(mv.src.unit),
+                                         static_cast<std::int16_t>(mv.src.reg_index)}],
+                   mv.cycle);
+    }
+    if (mv.dst.kind == MoveDst::Kind::RfWrite) {
+      ++cs.rf_writes[static_cast<std::size_t>(mv.dst.unit)];
+    }
+    Move out;
+    out.bus = mv.bus;
+    out.src = mv.src;
+    out.dst = mv.dst;
+    out.target = mv.target;
+    out.is_control = mv.is_control;
+    out.long_imm = mv.extra_bus >= 0;
+    out.extra_bus = mv.extra_bus;
+    out.guard = mv.guard;
+    out.guard_negate = mv.guard_negate;
+    moves_.emplace_back(mv.cycle, out);
+    max_move_cycle_ = std::max(max_move_cycle_, mv.cycle);
+    ++stats_.moves;
+  }
+
+  bool rf_read_ok(std::int64_t c, int rf) {
+    return cycle_state(c).rf_reads[static_cast<std::size_t>(rf)] <
+           machine_.rfs[static_cast<std::size_t>(rf)].read_ports;
+  }
+  bool rf_write_ok(std::int64_t c, int rf) {
+    return cycle_state(c).rf_writes[static_cast<std::size_t>(rf)] <
+           machine_.rfs[static_cast<std::size_t>(rf)].write_ports;
+  }
+
+  // ---- FU state --------------------------------------------------------------
+
+  struct OperandWrite {
+    std::int64_t cycle;
+    bool is_imm = false;
+    std::int32_t imm = 0;
+    std::int64_t hold_until;  // last trigger relying on this value
+  };
+
+  struct FuState {
+    std::set<std::int64_t> triggers;
+    std::map<std::int64_t, std::uint32_t> completions;  // completion -> node
+    std::vector<OperandWrite> operand_writes;
+    std::int64_t pending_node = -1;  // op whose result move is deferred
+  };
+
+  struct OpSched {
+    bool scheduled = false;
+    std::int64_t trigger = kNoCycle;
+    int fu = -1;
+    std::int64_t comp = kNoCycle;
+    std::int64_t rf_write = kNoCycle;  // materialized result-move cycle
+    std::int64_t last_result_read = kNoCycle;
+    bool write_done = false;
+    bool eliminated = false;
+  };
+
+  std::int64_t next_completion_after(const FuState& fs, std::int64_t comp) const {
+    auto it = fs.completions.upper_bound(comp);
+    return it == fs.completions.end() ? INT64_MAX : it->first;
+  }
+
+  /// Whether node p's result register can be read at cycle c.
+  bool bypass_window_open(std::uint32_t p, std::int64_t c) const {
+    const OpSched& ps = sched_[p];
+    if (ps.fu < 0 || ps.comp == kNoCycle) return false;
+    if (c < ps.comp) return false;
+    const FuState& fs = fu_state_[static_cast<std::size_t>(ps.fu)];
+    return c < next_completion_after(fs, ps.comp);
+  }
+
+  void record_result_read(std::uint32_t p, std::int64_t c) {
+    sched_[p].last_result_read = std::max(sched_[p].last_result_read, c);
+  }
+
+  /// Materialize node p's deferred result move to the register file.
+  /// Returns the write cycle.
+  std::int64_t materialize(std::uint32_t p) {
+    OpSched& ps = sched_[p];
+    TTSC_ASSERT(!ps.eliminated, "materializing an eliminated result");
+    if (ps.write_done) return ps.rf_write;
+    const MInstr& in = block_.instrs[p];
+    TTSC_ASSERT(in.has_dst(), "materializing an op with no destination");
+    const PhysReg r = in.dst;
+
+    std::int64_t lower = 0;
+    PlannedMove mv;
+    if (ps.fu >= 0) {
+      lower = ps.comp;
+      mv.src = MoveSrc::fu_result(ps.fu);
+    } else {
+      // Deferred MovI: the move carries the immediate.
+      TTSC_ASSERT(in.op == Opcode::MovI && in.srcs[0].is_imm(), "deferred non-imm pseudo op");
+      mv.src = MoveSrc::immediate(in.srcs[0].imm);
+    }
+    mv.dst = MoveDst::rf_write(r.rf, r.index);
+
+    auto lw = last_rf_write_.find(r);
+    if (lw != last_rf_write_.end()) lower = std::max(lower, lw->second + 1);
+    auto lr = last_rf_read_.find(r);
+    if (lr != last_rf_read_.end()) lower = std::max(lower, lr->second);
+
+    for (std::int64_t c = lower;; ++c) {
+      TTSC_ASSERT(c < lower + 100000,
+                  format("materialize: no feasible cycle (node=%u fu=%d comp=%lld lower=%lld "
+                         "next_comp=%lld rf=%d)",
+                         p, ps.fu, static_cast<long long>(ps.comp), static_cast<long long>(lower),
+                         static_cast<long long>(
+                             ps.fu >= 0 ? next_completion_after(
+                                              fu_state_[static_cast<std::size_t>(ps.fu)], ps.comp)
+                                        : -1),
+                         static_cast<int>(r.rf)));
+      if (!rf_write_ok(c, r.rf)) continue;
+      // The result move reads the FU result register: the bypass window
+      // must still be open (it always is — new completions check reads).
+      if (ps.fu >= 0 && !bypass_window_open(p, c)) continue;
+      int bus = -1;
+      int extra = -1;
+      if (!find_bus(mv, c, bus, extra)) continue;
+      mv.cycle = c;
+      mv.bus = bus;
+      mv.extra_bus = extra;
+      commit_move(mv);
+      if (ps.fu >= 0) record_result_read(p, c);
+      TTA_TRACE("materialize node=%u fu=%d w=%lld", p, ps.fu, static_cast<long long>(c));
+      ps.rf_write = c;
+      ps.write_done = true;
+      last_rf_write_[r] = std::max(last_rf_write_[r], c);
+      if (ps.fu >= 0) {
+        FuState& fs = fu_state_[static_cast<std::size_t>(ps.fu)];
+        if (fs.pending_node == static_cast<std::int64_t>(p)) fs.pending_node = -1;
+      }
+      if (pending_def_.count(r) && pending_def_[r] == p) pending_def_.erase(r);
+      return c;
+    }
+  }
+
+  void eliminate(std::uint32_t p) {
+    OpSched& ps = sched_[p];
+    TTSC_ASSERT(!ps.write_done, "eliminating a materialized result");
+    TTA_TRACE("eliminate node=%u", p);
+    ps.eliminated = true;
+    ++stats_.eliminated_result_moves;
+    if (ps.fu >= 0) {
+      FuState& fs = fu_state_[static_cast<std::size_t>(ps.fu)];
+      if (fs.pending_node == static_cast<std::int64_t>(p)) fs.pending_node = -1;
+    }
+    const PhysReg r = block_.instrs[p].dst;
+    if (pending_def_.count(r) && pending_def_[r] == p) pending_def_.erase(r);
+  }
+
+  // ---- source resolution -----------------------------------------------------
+
+  struct ResolvedSrc {
+    MoveSrc src;
+    std::int64_t bypass_of = -1;  // producer node when bypassing
+    bool shared = false;          // operand-sharing hit: no move needed
+  };
+
+  /// Try to resolve operand `index` of node `node` as a move source readable
+  /// at cycle `c`. May materialize the producer (a persistent but safe side
+  /// effect). Returns nullopt if the value cannot be read at `c`.
+  std::optional<ResolvedSrc> resolve_src(std::uint32_t node, std::size_t index, std::int64_t c) {
+    const MOperand& opnd = block_.instrs[node].srcs[index];
+    ResolvedSrc out;
+    if (opnd.is_imm()) {
+      out.src = MoveSrc::immediate(opnd.imm);
+      return out;
+    }
+    const PhysReg r = opnd.reg;
+    const std::int64_t p = producers_[node][index];
+    if (p < 0) {
+      // Live-in: read from the RF (value present since block entry).
+      if (!rf_read_ok(c, r.rf)) return std::nullopt;
+      out.src = MoveSrc::rf_read(r.rf, r.index);
+      return out;
+    }
+    const std::uint32_t prod = static_cast<std::uint32_t>(p);
+    const MInstr& pin = block_.instrs[prod];
+    // Immediate propagation: a MovI value is a constant; feed it straight
+    // into the port (TCE folds immediates into moves the same way).
+    if (options_.software_bypass && pin.op == Opcode::MovI && pin.srcs[0].is_imm()) {
+      out.src = MoveSrc::immediate(pin.srcs[0].imm);
+      out.bypass_of = p;
+      return out;
+    }
+    if (options_.software_bypass && bypass_window_open(prod, c)) {
+      out.src = MoveSrc::fu_result(sched_[prod].fu);
+      out.bypass_of = p;
+      return out;
+    }
+    // Fall back to the RF: force the producer's result move.
+    if (sched_[prod].eliminated) {
+      throw Error("TTA scheduler: consumer of an eliminated result");
+    }
+    const std::int64_t w = materialize(prod);
+    if (c < w + 1) return std::nullopt;
+    if (!rf_read_ok(c, r.rf)) return std::nullopt;
+    out.src = MoveSrc::rf_read(r.rf, r.index);
+    return out;
+  }
+
+  // ---- operand sharing ---------------------------------------------------------
+
+  /// Whether writing the operand port at cycle `write_cycle` and relying on
+  /// the value until `hold_until` is legal: the write must not clobber an
+  /// existing held value, and no existing write may clobber ours before the
+  /// trigger consumes it.
+  bool operand_hold_ok(int fu, std::int64_t write_cycle, std::int64_t hold_until) const {
+    for (const OperandWrite& w : fu_state_[static_cast<std::size_t>(fu)].operand_writes) {
+      if (w.cycle == write_cycle) return false;  // one write per port per cycle
+      if (w.cycle < write_cycle && write_cycle <= w.hold_until) return false;
+      if (write_cycle < w.cycle && w.cycle <= hold_until) return false;
+    }
+    return true;
+  }
+
+  /// Operand sharing: if the port already holds this immediate at cycle t
+  /// (latest write at or before t), reuse it and extend the hold.
+  bool try_share_operand(int fu, std::int64_t t, const MoveSrc& src) {
+    if (!options_.operand_share || src.kind != MoveSrc::Kind::Imm) return false;
+    FuState& fs = fu_state_[static_cast<std::size_t>(fu)];
+    OperandWrite* latest = nullptr;
+    for (OperandWrite& w : fs.operand_writes) {
+      if (w.cycle <= t && (latest == nullptr || w.cycle > latest->cycle)) latest = &w;
+    }
+    if (latest == nullptr || !latest->is_imm || latest->imm != src.imm) return false;
+    // No other write may sit between the hold start and t.
+    for (const OperandWrite& w : fs.operand_writes) {
+      if (w.cycle > latest->cycle && w.cycle <= t) return false;
+    }
+    latest->hold_until = std::max(latest->hold_until, t);
+    ++stats_.shared_operands;
+    return true;
+  }
+
+  // ---- main loop ---------------------------------------------------------------
+
+  std::int64_t edge_delay(const codegen::DdgEdge& e) const {
+    switch (e.kind) {
+      case DepKind::Raw: {
+        const MInstr& pin = block_.instrs[e.from];
+        if (pin.op == Opcode::MovI || pin.op == Opcode::Copy) return 1;
+        const int fu = machine_.fu_for(pin.op);
+        return fu >= 0 ? fu_latency(machine_, fu, pin.op) : 1;
+      }
+      case DepKind::War: return 0;
+      case DepKind::Waw: return 1;
+      case DepKind::MemRaw: return 1;
+      case DepKind::MemWar: return 0;
+      case DepKind::MemWaw: return 1;
+    }
+    return 0;
+  }
+
+  /// Trigger-cycle lower bound from memory ordering edges (register flow is
+  /// handled by source resolution).
+  std::int64_t mem_lower_bound(std::uint32_t node) const {
+    std::int64_t lower = 0;
+    for (std::uint32_t e : ddg_.pred_edges(node)) {
+      const auto& edge = ddg_.edge(e);
+      if (edge.kind == DepKind::MemRaw || edge.kind == DepKind::MemWar ||
+          edge.kind == DepKind::MemWaw) {
+        TTSC_ASSERT(sched_[edge.from].trigger != kNoCycle, "memory pred not scheduled");
+        lower = std::max(lower, sched_[edge.from].trigger + edge_delay(edge));
+      }
+    }
+    return lower;
+  }
+
+  void schedule_pseudo(std::uint32_t node);
+  void schedule_copy(std::uint32_t node);
+  void schedule_select(std::uint32_t node);
+  void schedule_fu_op(std::uint32_t node, std::int64_t extra_lower);
+  void handle_redefinition(std::uint32_t node);
+  void finalize_pending();
+
+  const Machine& machine_;
+  const codegen::MBlock& block_;
+  const TtaOptions& options_;
+  const codegen::MLiveness& live_;
+  std::uint32_t block_id_;
+  TtaScheduleStats& stats_;
+  BlockDdg ddg_;
+
+  std::map<std::int64_t, CycleState> cycles_;
+  std::vector<FuState> fu_state_;
+  std::vector<OpSched> sched_;
+  std::vector<std::vector<std::int64_t>> producers_;
+  std::map<PhysReg, std::uint32_t> last_def_;
+  std::map<PhysReg, std::int64_t> last_rf_read_;
+  std::map<PhysReg, std::int64_t> last_rf_write_;
+  std::map<PhysReg, std::uint32_t> pending_def_;
+  std::vector<std::pair<std::int64_t, Move>> moves_;
+  std::int64_t max_move_cycle_ = -1;
+
+  /// Guard register occupancy: write cycle and the last cycle a guarded
+  /// move still relies on the value.
+  struct GuardState {
+    std::int64_t last_write = kNoCycle;
+    std::int64_t last_use = kNoCycle;
+  };
+  std::vector<GuardState> guards_;
+};
+
+/// A value definition is needed after this block if the register is live
+/// out and this is the last in-block definition of it.
+bool needed_after_block(const codegen::MLiveness& live, std::uint32_t block_id,
+                        const std::map<PhysReg, std::uint32_t>& last_def, std::uint32_t node,
+                        const MInstr& in) {
+  if (!in.has_dst()) return false;
+  auto it = last_def.find(in.dst);
+  if (it == last_def.end() || it->second != node) return false;
+  return live.live_out(block_id, in.dst);
+}
+
+void BlockScheduler::handle_redefinition(std::uint32_t node) {
+  // Called at commit time, after the redefining instruction resolved its
+  // own sources: every consumer of the pending value is then scheduled
+  // (readers are anti-dependence predecessors of the redefinition, plus
+  // possibly the redefinition itself) and none forced a materialization,
+  // so the old result move is dead.
+  const MInstr& in = block_.instrs[node];
+  if (!in.has_dst()) return;
+  auto it = pending_def_.find(in.dst);
+  if (it == pending_def_.end() || it->second == node) return;
+  if (options_.dead_result_elim) {
+    eliminate(it->second);
+  } else {
+    materialize(it->second);
+  }
+}
+
+void BlockScheduler::schedule_pseudo(std::uint32_t node) {
+  // MovI: defer the write; consumers receive the immediate directly.
+  handle_redefinition(node);
+  OpSched& s = sched_[node];
+  s.scheduled = true;
+  if (!options_.software_bypass) {
+    // Without bypassing the immediate must land in the RF right away.
+    pending_def_[block_.instrs[node].dst] = node;
+    materialize(node);
+    return;
+  }
+  pending_def_[block_.instrs[node].dst] = node;
+}
+
+void BlockScheduler::schedule_copy(std::uint32_t node) {
+  // Copy: a single RF->RF (or result->RF) move, scheduled immediately so
+  // its source read is recorded before any redefinition of the source.
+  handle_redefinition(node);
+  const MInstr& in = block_.instrs[node];
+  const PhysReg d = in.dst;
+
+  std::int64_t lower = 0;
+  auto lw = last_rf_write_.find(d);
+  if (lw != last_rf_write_.end()) lower = std::max(lower, lw->second + 1);
+  auto lr = last_rf_read_.find(d);
+  if (lr != last_rf_read_.end()) lower = std::max(lower, lr->second);
+
+  for (std::int64_t c = lower;; ++c) {
+    TTSC_ASSERT(c < lower + 100000, "copy: no feasible cycle");
+    auto src = resolve_src(node, 0, c);
+    if (!src.has_value()) continue;
+    if (!rf_write_ok(c, d.rf)) continue;
+    PlannedMove mv;
+    mv.src = src->src;
+    mv.dst = MoveDst::rf_write(d.rf, d.index);
+    int bus = -1;
+    int extra = -1;
+    if (!find_bus(mv, c, bus, extra)) continue;
+    mv.cycle = c;
+    mv.bus = bus;
+    mv.extra_bus = extra;
+    commit_move(mv);
+    if (src->bypass_of >= 0) {
+      if (src->src.kind == MoveSrc::Kind::FuResult) {
+        record_result_read(static_cast<std::uint32_t>(src->bypass_of), c);
+        ++stats_.bypassed_operands;
+      }
+    }
+    OpSched& s = sched_[node];
+    s.scheduled = true;
+    s.rf_write = c;
+    s.write_done = true;
+    last_rf_write_[d] = std::max(last_rf_write_[d], c);
+    return;
+  }
+}
+
+void BlockScheduler::schedule_select(std::uint32_t node) {
+  // Select lowers to guarded moves (the BOOLRF path of Fig. 4): the
+  // condition moves into a guard register, then the two value moves write
+  // the same destination register under opposite guards — only one
+  // commits. Machines without guard registers never see Select (the
+  // driver expands it to mask arithmetic before lowering).
+  TTSC_ASSERT(machine_.has_guards(), "Select reached a machine without guard registers");
+  const MInstr& in = block_.instrs[node];
+  const PhysReg d = in.dst;
+
+  // 1. Condition -> guard register.
+  int guard = -1;
+  std::int64_t guard_write = kNoCycle;
+  for (std::int64_t c = 0;; ++c) {
+    TTSC_ASSERT(c < 100000, "select: no feasible guard-write cycle");
+    auto cond = resolve_src(node, 0, c);
+    if (!cond.has_value()) continue;
+    // A guard register whose previous value has no uses after this write.
+    int g = -1;
+    for (std::size_t i = 0; i < guards_.size(); ++i) {
+      if (guards_[i].last_use <= c && guards_[i].last_write != c) {
+        g = static_cast<int>(i);
+        break;
+      }
+    }
+    if (g < 0) continue;
+    PlannedMove mv;
+    mv.src = cond->src;
+    mv.dst = MoveDst::guard_write(g);
+    int bus = -1;
+    int extra = -1;
+    if (!find_bus(mv, c, bus, extra)) continue;
+    mv.cycle = c;
+    mv.bus = bus;
+    mv.extra_bus = extra;
+    commit_move(mv);
+    if (cond->bypass_of >= 0 && cond->src.kind == MoveSrc::Kind::FuResult) {
+      record_result_read(static_cast<std::uint32_t>(cond->bypass_of), c);
+      ++stats_.bypassed_operands;
+    }
+    guard = g;
+    guard_write = c;
+    guards_[static_cast<std::size_t>(g)].last_write = c;
+    break;
+  }
+
+  // 2. The two guarded writes (readable from guard_write + 1 on).
+  std::int64_t lower = guard_write + 1;
+  auto lw = last_rf_write_.find(d);
+  if (lw != last_rf_write_.end()) lower = std::max(lower, lw->second + 1);
+  auto lr = last_rf_read_.find(d);
+  if (lr != last_rf_read_.end()) lower = std::max(lower, lr->second);
+
+  std::int64_t last_write = kNoCycle;
+  for (int side = 0; side < 2; ++side) {
+    const std::size_t src_index = side == 0 ? 1 : 2;
+    for (std::int64_t c = lower;; ++c) {
+      TTSC_ASSERT(c < lower + 100000, "select: no feasible guarded-write cycle");
+      auto src = resolve_src(node, src_index, c);
+      if (!src.has_value()) continue;
+      if (!rf_write_ok(c, d.rf)) continue;
+      PlannedMove mv;
+      mv.src = src->src;
+      mv.dst = MoveDst::rf_write(d.rf, d.index);
+      int bus = -1;
+      int extra = -1;
+      if (!find_bus(mv, c, bus, extra)) continue;
+      mv.cycle = c;
+      mv.bus = bus;
+      mv.extra_bus = extra;
+      mv.guard = guard;
+      mv.guard_negate = side == 1;
+      commit_move(mv);
+      if (src->bypass_of >= 0 && src->src.kind == MoveSrc::Kind::FuResult) {
+        record_result_read(static_cast<std::uint32_t>(src->bypass_of), c);
+        ++stats_.bypassed_operands;
+      }
+      guards_[static_cast<std::size_t>(guard)].last_use =
+          std::max(guards_[static_cast<std::size_t>(guard)].last_use, c);
+      last_write = std::max(last_write, c);
+      break;
+    }
+    lower = last_write;  // the second write may share the cycle on another port
+  }
+
+  handle_redefinition(node);
+  OpSched& st = sched_[node];
+  st.scheduled = true;
+  st.rf_write = last_write;
+  st.write_done = true;
+  last_rf_write_[d] = std::max(last_rf_write_[d], last_write);
+  ++stats_.guarded_selects;
+}
+
+void BlockScheduler::schedule_fu_op(std::uint32_t node, std::int64_t extra_lower) {
+  const MInstr& in = block_.instrs[node];
+  const bool control = ir::is_branch(in.op) || in.op == Opcode::Ret;
+
+  // Candidate function units (3-issue machines have two ALUs).
+  std::vector<int> candidates;
+  for (std::size_t f = 0; f < machine_.fus.size(); ++f) {
+    if (machine_.fus[f].supports(in.op)) candidates.push_back(static_cast<int>(f));
+  }
+  TTSC_ASSERT(!candidates.empty(),
+              format("no FU for %s on %s", std::string(ir::opcode_name(in.op)).c_str(),
+                     machine_.name.c_str()));
+
+  // Without dead-result elimination a superseded pending definition will be
+  // materialized anyway; do it before placement so its result-register read
+  // cannot land after our completion.
+  if (in.has_dst() && !options_.dead_result_elim) {
+    auto it = pending_def_.find(in.dst);
+    if (it != pending_def_.end() && it->second != node) materialize(it->second);
+  }
+
+  // If every candidate carries a deferred result (which a new completion
+  // would clobber), settle one so progress is guaranteed; candidates with
+  // pending results are otherwise skipped to preserve their bypass windows.
+  if (in.has_dst()) {
+    bool any_clear = false;
+    for (int f : candidates) {
+      any_clear |= fu_state_[static_cast<std::size_t>(f)].pending_node < 0;
+    }
+    if (!any_clear) {
+      materialize(
+          static_cast<std::uint32_t>(fu_state_[static_cast<std::size_t>(candidates[0])].pending_node));
+    }
+  }
+
+  const int trig_idx = control ? 0 : trigger_operand_index(in);
+  const int oper_idx = (!control && in.srcs.size() > 1) ? (trig_idx == 0 ? 1 : 0) : -1;
+
+  std::int64_t lower = std::max<std::int64_t>(mem_lower_bound(node), extra_lower);
+  // Producers' completions give a cheap lower bound on the trigger cycle.
+  for (std::size_t i = 0; i < in.srcs.size(); ++i) {
+    const std::int64_t p = producers_[node][i];
+    if (p >= 0 && sched_[p].fu >= 0) lower = std::max(lower, sched_[p].comp);
+  }
+
+  for (std::int64_t t = lower;; ++t) {
+    TTSC_ASSERT(t < lower + 100000, "fu op: no feasible cycle");
+    for (int fu : candidates) {
+      FuState& fs = fu_state_[static_cast<std::size_t>(fu)];
+      if (fs.triggers.count(t)) continue;
+      const int lat = fu_latency(machine_, fu, in.op);
+      const std::int64_t comp = t + lat;
+      if (in.has_dst()) {
+        if (fs.pending_node >= 0) continue;  // keep that bypass window open
+        // Completions stay monotonic per FU so every result gets an open
+        // window starting at its completion (a new result may never slip in
+        // front of an existing one — the older result's window would
+        // collapse before its reads / write-back happened).
+        if (!fs.completions.empty() && comp <= fs.completions.rbegin()->first) continue;
+        // The previous completion's readers must all be earlier than ours.
+        if (!fs.completions.empty() &&
+            sched_[fs.completions.rbegin()->second].last_result_read >= comp) {
+          continue;
+        }
+      }
+
+      // Resolve the trigger source at t (control triggers carry the target
+      // label; the condition / return value rides the operand port).
+      ResolvedSrc trig_src;
+      if (control) {
+        trig_src.src = MoveSrc::immediate(0);
+      } else {
+        auto resolved = resolve_src(node, static_cast<std::size_t>(trig_idx), t);
+        if (!resolved.has_value()) break;  // cycle too early; no FU will do
+        trig_src = *resolved;
+      }
+
+      PlannedMove trig_mv;
+      trig_mv.dst = MoveDst::fu_trigger(fu, in.op);
+      trig_mv.is_control = control;
+      trig_mv.src = trig_src.src;
+      if (control && !in.targets.empty()) trig_mv.target = in.targets[0];
+      int trig_bus = -1;
+      int trig_extra = -1;
+      trig_mv.cycle = t;
+      if (!find_bus(trig_mv, t, trig_bus, trig_extra)) continue;
+      trig_mv.bus = trig_bus;
+      trig_mv.extra_bus = trig_extra;
+      // Tentatively claim the trigger bus (and RF read port) while placing
+      // the operand move, so the two moves cannot oversubscribe a port.
+      cycle_state(t).bus_used[static_cast<std::size_t>(trig_bus)] = true;
+      if (trig_extra >= 0) cycle_state(t).bus_used[static_cast<std::size_t>(trig_extra)] = true;
+      const bool trig_reads_rf = trig_mv.src.kind == MoveSrc::Kind::RfRead;
+      if (trig_reads_rf) ++cycle_state(t).rf_reads[static_cast<std::size_t>(trig_mv.src.unit)];
+      auto release_tentative = [&] {
+        cycle_state(t).bus_used[static_cast<std::size_t>(trig_bus)] = false;
+        if (trig_extra >= 0) cycle_state(t).bus_used[static_cast<std::size_t>(trig_extra)] = false;
+        if (trig_reads_rf) --cycle_state(t).rf_reads[static_cast<std::size_t>(trig_mv.src.unit)];
+      };
+
+      bool need_operand = false;
+      std::size_t operand_src_index = 0;
+      if (control) {
+        if ((in.op == Opcode::Bnz || in.op == Opcode::Ret) && !in.srcs.empty()) {
+          need_operand = true;
+        }
+      } else if (oper_idx >= 0) {
+        need_operand = true;
+        operand_src_index = static_cast<std::size_t>(oper_idx);
+      }
+
+      PlannedMove oper_mv;
+      bool operand_shared = false;
+      bool operand_ok = !need_operand;
+      std::int64_t oper_bypass_of = -1;
+      if (need_operand) {
+        // Try the trigger cycle first, then a few earlier cycles (the
+        // operand port is a register; the value stays until overwritten).
+        const std::int64_t earliest = std::max<std::int64_t>(0, t - 6);
+        for (std::int64_t oc = t; oc >= earliest && !operand_ok; --oc) {
+          auto src = resolve_src(node, operand_src_index, oc);
+          if (!src.has_value()) continue;
+          if (try_share_operand(fu, t, src->src)) {
+            operand_shared = true;
+            operand_ok = true;
+            oper_bypass_of = -1;  // no move, no result-register read
+            break;
+          }
+          if (!operand_hold_ok(fu, oc, t)) continue;
+          oper_mv.src = src->src;
+          oper_mv.dst = MoveDst::fu_operand(fu);
+          oper_mv.cycle = oc;
+          int ob = -1;
+          int oe = -1;
+          if (!find_bus(oper_mv, oc, ob, oe)) continue;
+          oper_mv.bus = ob;
+          oper_mv.extra_bus = oe;
+          oper_bypass_of = src->bypass_of;
+          operand_ok = true;
+        }
+      }
+
+      if (!operand_ok) {
+        release_tentative();
+        continue;
+      }
+
+      // Commit. Release the tentative claims; commit_move re-claims them.
+      release_tentative();
+      commit_move(trig_mv);
+      if (!control && trig_src.bypass_of >= 0 && trig_src.src.kind == MoveSrc::Kind::FuResult) {
+        record_result_read(static_cast<std::uint32_t>(trig_src.bypass_of), t);
+        ++stats_.bypassed_operands;
+      }
+      if (need_operand && !operand_shared) {
+        commit_move(oper_mv);
+        OperandWrite ow;
+        ow.cycle = oper_mv.cycle;
+        ow.is_imm = oper_mv.src.kind == MoveSrc::Kind::Imm;
+        ow.imm = oper_mv.src.imm;
+        ow.hold_until = t;
+        fs.operand_writes.push_back(ow);
+        if (oper_bypass_of >= 0 && oper_mv.src.kind == MoveSrc::Kind::FuResult) {
+          record_result_read(static_cast<std::uint32_t>(oper_bypass_of), oper_mv.cycle);
+          ++stats_.bypassed_operands;
+        }
+      }
+
+      fs.triggers.insert(t);
+      OpSched& s = sched_[node];
+      s.scheduled = true;
+      s.trigger = t;
+      s.fu = fu;
+      TTA_TRACE("fu_op node=%u op=%s fu=%d t=%lld comp=%lld", node,
+                std::string(ir::opcode_name(in.op)).c_str(), fu,
+                static_cast<long long>(t), static_cast<long long>(t + fu_latency(machine_, fu, in.op)));
+      if (in.has_dst()) {
+        // Settle a superseded pending definition of our destination now
+        // that our own reads of its value are resolved and recorded.
+        handle_redefinition(node);
+        TTSC_ASSERT(fs.pending_node < 0, "clobbering a pending result");
+        s.comp = comp;
+        fs.completions[comp] = node;
+        fs.pending_node = node;
+        pending_def_[in.dst] = node;
+      }
+      return;
+    }
+  }
+}
+
+void BlockScheduler::finalize_pending() {
+  for (std::uint32_t i = 0; i < ddg_.size(); ++i) {
+    OpSched& s = sched_[i];
+    if (!s.scheduled || s.write_done || s.eliminated) continue;
+    const MInstr& in = block_.instrs[i];
+    if (!in.has_dst()) continue;
+    // A not-yet-scheduled consumer (the block's control operation) still
+    // needs this value from the RF.
+    bool consumer_remaining = false;
+    for (std::uint32_t e : ddg_.succ_edges(i)) {
+      const auto& edge = ddg_.edge(e);
+      if (edge.kind == DepKind::Raw && !sched_[edge.to].scheduled) consumer_remaining = true;
+    }
+    const bool live = needed_after_block(live_, block_id_, last_def_, i, in);
+    // Another pending def may have superseded this one.
+    auto it = pending_def_.find(in.dst);
+    const bool superseded = it == pending_def_.end() || it->second != i;
+    if (live && !superseded) {
+      materialize(i);
+    } else if (consumer_remaining &&
+               (options_.dead_result_elim ||
+                (in.op == Opcode::MovI && options_.software_bypass))) {
+      // At this point only the block's control operations are unscheduled,
+      // so the remaining consumer is the branch: leave the value pending —
+      // the branch bypasses the result register (or takes the immediate)
+      // and the second finalize_pending() pass eliminates the dead write.
+    } else if (consumer_remaining) {
+      materialize(i);
+    } else if (options_.dead_result_elim || in.op == Opcode::MovI) {
+      eliminate(i);
+    } else {
+      materialize(i);
+    }
+  }
+}
+
+BlockScheduler::Result BlockScheduler::run() {
+  const std::uint32_t n = ddg_.size();
+  sched_.assign(n, OpSched{});
+  Result out;
+  if (n == 0) return out;
+
+  // Critical-path priorities.
+  std::vector<std::int64_t> height(n, 0);
+  for (std::uint32_t i = n; i-- > 0;) {
+    for (std::uint32_t e : ddg_.succ_edges(i)) {
+      const auto& edge = ddg_.edge(e);
+      height[i] = std::max(height[i], edge_delay(edge) + height[edge.to]);
+    }
+  }
+
+  std::vector<bool> is_control(n, false);
+  std::uint32_t remaining_datapath = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Opcode op = block_.instrs[i].op;
+    is_control[i] = ir::is_branch(op) || op == Opcode::Ret;
+    if (!is_control[i]) ++remaining_datapath;
+  }
+
+  auto preds_done = [&](std::uint32_t i) {
+    for (std::uint32_t e : ddg_.pred_edges(i)) {
+      if (!sched_[ddg_.edge(e).from].scheduled) return false;
+    }
+    return true;
+  };
+
+  while (remaining_datapath > 0) {
+    std::uint32_t best = n;
+    std::int64_t best_height = -1;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (is_control[i] || sched_[i].scheduled) continue;
+      if (!preds_done(i)) continue;
+      if (height[i] > best_height) {
+        best_height = height[i];
+        best = i;
+      }
+    }
+    TTSC_ASSERT(best < n, "TTA scheduler: no ready datapath node");
+    const MInstr& in = block_.instrs[best];
+    if (in.op == Opcode::MovI) {
+      schedule_pseudo(best);
+    } else if (in.op == Opcode::Copy) {
+      schedule_copy(best);
+    } else if (in.op == Opcode::Select) {
+      schedule_select(best);
+    } else {
+      schedule_fu_op(best, 0);
+    }
+    --remaining_datapath;
+  }
+
+  // Live-out values must reach the RF before control leaves the block.
+  finalize_pending();
+
+  // Control operations, in program order (Bnz then trailing Jump).
+  std::int64_t last_control = kNoCycle;
+  bool is_ret = false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!is_control[i]) continue;
+    std::int64_t lower = 0;
+    if (options_.early_control) {
+      lower = std::max<std::int64_t>(0, max_move_cycle_ - machine_.delay_slots);
+      if (block_.instrs[i].op == Opcode::Ret) lower = std::max(lower, max_move_cycle_);
+    } else {
+      lower = max_move_cycle_ + 1;
+    }
+    if (last_control != kNoCycle) lower = std::max(lower, last_control + 1);
+    schedule_fu_op(i, lower);
+    last_control = sched_[i].trigger;
+    is_ret = block_.instrs[i].op == Opcode::Ret;
+  }
+
+  // Settle pseudo ops that were left pending for the control operations.
+  finalize_pending();
+
+  if (last_control != kNoCycle) {
+    out.length = last_control + 1 + (is_ret ? 0 : machine_.delay_slots);
+    TTSC_ASSERT(max_move_cycle_ <= last_control + machine_.delay_slots,
+                "moves scheduled past the control transfer");
+  } else {
+    out.length = max_move_cycle_ + 1;
+  }
+  out.moves = std::move(moves_);
+  return out;
+}
+
+}  // namespace
+
+TtaProgram schedule_tta(const codegen::MFunction& func, const Machine& machine,
+                        const TtaOptions& options, TtaScheduleStats* stats) {
+  TTSC_ASSERT(machine.model == mach::Model::Tta, "schedule_tta needs a TTA machine");
+  TtaScheduleStats local_stats;
+  TtaScheduleStats& st = stats != nullptr ? *stats : local_stats;
+
+  const codegen::MLiveness live(func, machine);
+
+  TtaProgram prog;
+  prog.block_entry.resize(func.blocks.size());
+  for (std::size_t b = 0; b < func.blocks.size(); ++b) {
+    prog.block_entry[b] = static_cast<std::uint32_t>(prog.instrs.size());
+
+    codegen::MBlock block = func.blocks[b];
+    if (!block.instrs.empty() && block.instrs.back().op == ir::Opcode::Jump &&
+        block.instrs.back().targets[0] == b + 1) {
+      block.instrs.pop_back();
+    }
+    if (block.instrs.empty()) continue;
+
+    BlockScheduler sched(machine, block, options, live, static_cast<std::uint32_t>(b), st);
+    BlockScheduler::Result r = sched.run();
+
+    const std::size_t base = prog.instrs.size();
+    prog.instrs.resize(base + static_cast<std::size_t>(r.length));
+    for (auto& [cycle, mv] : r.moves) {
+      TTSC_ASSERT(cycle >= 0 && cycle < r.length, "move outside block window");
+      prog.instrs[base + static_cast<std::size_t>(cycle)].moves.push_back(mv);
+    }
+  }
+  st.instructions = prog.instrs.size();
+  return prog;
+}
+
+}  // namespace ttsc::tta

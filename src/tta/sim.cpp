@@ -1,0 +1,236 @@
+// Cycle-accurate transport simulator.
+//
+// Per cycle: (1) FU pipelines deliver results whose latency elapsed into
+// the result registers, (2) register-file writes from the previous cycle
+// become readable, (3) all of the instruction's moves sample their sources,
+// (4) destinations are written — operand ports first, then trigger ports
+// fire operations (semi-virtual time latching: an operation starts when its
+// trigger port is written and uses the operand port contents of that
+// cycle).
+#include <queue>
+
+#include "support/bits.hpp"
+#include "tta/tta.hpp"
+
+namespace ttsc::tta {
+
+using ir::Opcode;
+
+TtaSim::TtaSim(const TtaProgram& program, const mach::Machine& machine, ir::Memory& memory)
+    : program_(program), machine_(machine), mem_(memory) {
+  TTSC_ASSERT(machine.model == mach::Model::Tta, "TtaSim needs a TTA machine");
+}
+
+namespace {
+
+struct FuRuntime {
+  std::uint32_t operand = 0;
+  std::uint32_t result = 0;
+  // In-flight operations: (completion cycle, value).
+  std::priority_queue<std::pair<std::uint64_t, std::uint32_t>,
+                      std::vector<std::pair<std::uint64_t, std::uint32_t>>, std::greater<>>
+      in_flight;
+};
+
+struct RfWritePending {
+  std::uint64_t visible_at;
+  int rf;
+  int index;
+  std::uint32_t value;
+  bool operator>(const RfWritePending& o) const { return visible_at > o.visible_at; }
+};
+
+std::uint32_t compute(Opcode op, std::uint32_t a, std::uint32_t b, ir::Memory& mem) {
+  switch (op) {
+    case Opcode::Add: return a + b;
+    case Opcode::Sub: return a - b;
+    case Opcode::Mul: return a * b;
+    case Opcode::And: return a & b;
+    case Opcode::Ior: return a | b;
+    case Opcode::Xor: return a ^ b;
+    case Opcode::Shl: return a << (b & 31);
+    case Opcode::Shru: return a >> (b & 31);
+    case Opcode::Shr: return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+    case Opcode::Eq: return a == b ? 1 : 0;
+    case Opcode::Gt: return static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b) ? 1 : 0;
+    case Opcode::Gtu: return a > b ? 1 : 0;
+    case Opcode::Sxhw: return static_cast<std::uint32_t>(sign_extend(a, 16));
+    case Opcode::Sxqw: return static_cast<std::uint32_t>(sign_extend(a, 8));
+    case Opcode::Ldw: return mem.load32(a);
+    case Opcode::Ldh: return static_cast<std::uint32_t>(sign_extend(mem.load16(a), 16));
+    case Opcode::Ldhu: return mem.load16(a);
+    case Opcode::Ldq: return static_cast<std::uint32_t>(sign_extend(mem.load8(a), 8));
+    case Opcode::Ldqu: return mem.load8(a);
+    default: TTSC_UNREACHABLE("compute: unsupported opcode");
+  }
+}
+
+}  // namespace
+
+ExecResult TtaSim::run(std::uint64_t max_cycles) {
+  std::vector<std::vector<std::uint32_t>> rfs;
+  for (const mach::RegisterFile& rf : machine_.rfs) {
+    rfs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
+  }
+  std::vector<FuRuntime> fus(machine_.fus.size());
+  std::priority_queue<RfWritePending, std::vector<RfWritePending>, std::greater<>> rf_pending;
+
+  ExecResult result;
+  result.bus_moves.assign(machine_.buses.size(), 0);
+  // Guard registers: current values plus next-cycle updates.
+  std::vector<bool> guard_regs(static_cast<std::size_t>(machine_.guard_regs), false);
+  std::vector<std::pair<int, bool>> guard_pending;  // applied at next cycle
+  std::uint64_t cycle = 0;
+  std::size_t pc = 0;
+  int transfer_in = -1;
+  std::size_t transfer_target = 0;
+
+  // Trigger port writes collected per cycle, fired after operand writes.
+  struct TriggerFire {
+    int fu;
+    Opcode op;
+    std::uint32_t value;
+    std::uint32_t target_block;
+    bool is_control;
+  };
+
+  while (cycle < max_cycles) {
+    // 1. Results whose latency elapsed land in the result registers.
+    for (FuRuntime& fu : fus) {
+      while (!fu.in_flight.empty() && fu.in_flight.top().first <= cycle) {
+        fu.result = fu.in_flight.top().second;
+        fu.in_flight.pop();
+      }
+    }
+    // 2. RF writes from earlier cycles become readable.
+    while (!rf_pending.empty() && rf_pending.top().visible_at <= cycle) {
+      const RfWritePending& w = rf_pending.top();
+      rfs[static_cast<std::size_t>(w.rf)][static_cast<std::size_t>(w.index)] = w.value;
+      rf_pending.pop();
+    }
+    // 2b. Guard writes from the previous cycle latch in.
+    for (const auto& [g, v] : guard_pending) guard_regs[static_cast<std::size_t>(g)] = v;
+    guard_pending.clear();
+
+    TTSC_ASSERT(pc < program_.instrs.size() || transfer_in >= 0,
+                "TTA PC ran off the end of the program");
+    if (pc < program_.instrs.size()) {
+      const TtaInstruction& instr = program_.instrs[pc];
+      // 3. Sample all sources.
+      std::vector<std::uint32_t> values(instr.moves.size());
+      for (std::size_t m = 0; m < instr.moves.size(); ++m) {
+        const Move& mv = instr.moves[m];
+        switch (mv.src.kind) {
+          case MoveSrc::Kind::Imm: values[m] = static_cast<std::uint32_t>(mv.src.imm); break;
+          case MoveSrc::Kind::FuResult:
+            values[m] = fus[static_cast<std::size_t>(mv.src.unit)].result;
+            break;
+          case MoveSrc::Kind::RfRead:
+            values[m] = rfs[static_cast<std::size_t>(mv.src.unit)]
+                           [static_cast<std::size_t>(mv.src.reg_index)];
+            break;
+        }
+      }
+      result.moves += instr.moves.size();
+      for (const Move& mv : instr.moves) {
+        if (mv.bus >= 0 && static_cast<std::size_t>(mv.bus) < result.bus_moves.size()) {
+          ++result.bus_moves[static_cast<std::size_t>(mv.bus)];
+        }
+      }
+
+      // 4a. Non-trigger destinations. A guarded move whose guard register
+      // disagrees is squashed (semi-virtual time latching keeps everything
+      // else untouched).
+      std::vector<TriggerFire> fires;
+      for (std::size_t m = 0; m < instr.moves.size(); ++m) {
+        const Move& mv = instr.moves[m];
+        if (mv.guard >= 0) {
+          const bool g = guard_regs[static_cast<std::size_t>(mv.guard)];
+          if (g == mv.guard_negate) continue;  // squashed
+        }
+        switch (mv.dst.kind) {
+          case MoveDst::Kind::FuOperand:
+            fus[static_cast<std::size_t>(mv.dst.unit)].operand = values[m];
+            break;
+          case MoveDst::Kind::RfWrite:
+            rf_pending.push(RfWritePending{cycle + 1, mv.dst.unit, mv.dst.reg_index, values[m]});
+            break;
+          case MoveDst::Kind::GuardWrite:
+            guard_pending.emplace_back(mv.dst.unit, values[m] != 0);
+            break;
+          case MoveDst::Kind::FuTrigger:
+            fires.push_back(
+                TriggerFire{mv.dst.unit, mv.dst.opcode, values[m], mv.target, mv.is_control});
+            break;
+        }
+      }
+      // 4b. Triggers fire using this cycle's operand port contents.
+      for (const TriggerFire& f : fires) {
+        FuRuntime& fu = fus[static_cast<std::size_t>(f.fu)];
+        if (f.is_control) {
+          if (transfer_in >= 0) continue;  // squashed in a transfer shadow
+          switch (f.op) {
+            case Opcode::Jump:
+              transfer_in = machine_.delay_slots;
+              transfer_target = program_.block_entry[f.target_block];
+              break;
+            case Opcode::Bnz:
+              if (fu.operand != 0) {
+                transfer_in = machine_.delay_slots;
+                transfer_target = program_.block_entry[f.target_block];
+              }
+              break;
+            case Opcode::Ret:
+              result.cycles = cycle + 1;
+              result.ret = fu.operand;
+              return result;
+            case Opcode::Call:
+              TTSC_UNREACHABLE("calls must be inlined before TTA scheduling");
+            default:
+              TTSC_UNREACHABLE("bad control trigger opcode");
+          }
+          continue;
+        }
+        const int lat = machine_.fus[static_cast<std::size_t>(f.fu)].latency(f.op);
+        switch (f.op) {
+          // Stores commit their side effect in the trigger cycle.
+          case Opcode::Stw: mem_.store32(f.value, fu.operand); break;
+          case Opcode::Sth: mem_.store16(f.value, static_cast<std::uint16_t>(fu.operand)); break;
+          case Opcode::Stq: mem_.store8(f.value, static_cast<std::uint8_t>(fu.operand)); break;
+          default: {
+            // Binary ops: operand port is the first input, trigger the
+            // second — except loads/unary where the trigger is the input,
+            // and stores (above) where the trigger is the address.
+            std::uint32_t a;
+            std::uint32_t b;
+            if (ir::is_load(f.op) || f.op == Opcode::Sxhw || f.op == Opcode::Sxqw) {
+              a = f.value;
+              b = 0;
+            } else {
+              a = fu.operand;
+              b = f.value;
+            }
+            fu.in_flight.push({cycle + static_cast<std::uint64_t>(lat), compute(f.op, a, b, mem_)});
+            break;
+          }
+        }
+      }
+    }
+
+    ++cycle;
+    if (transfer_in >= 0) {
+      if (transfer_in == 0) {
+        pc = transfer_target;
+        transfer_in = -1;
+      } else {
+        --transfer_in;
+        ++pc;
+      }
+    } else {
+      ++pc;
+    }
+  }
+  throw Error("TTA simulation exceeded cycle limit");
+}
+
+}  // namespace ttsc::tta

@@ -1,0 +1,116 @@
+#include "tta/verify.hpp"
+
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/strings.hpp"
+
+namespace ttsc::tta {
+
+using mach::Machine;
+using mach::PortRef;
+
+void verify_program(const TtaProgram& program, const Machine& machine) {
+  const std::size_t num_buses = machine.buses.size();
+  for (std::size_t pc = 0; pc < program.instrs.size(); ++pc) {
+    const TtaInstruction& instr = program.instrs[pc];
+    std::vector<int> bus_claims(num_buses, 0);
+    std::vector<int> rf_reads(machine.rfs.size(), 0);
+    std::vector<int> rf_writes(machine.rfs.size(), 0);
+    std::vector<int> triggers(machine.fus.size(), 0);
+    std::vector<int> operand_writes(machine.fus.size(), 0);
+
+    auto fail = [&](const std::string& what) {
+      throw Error(format("TTA program invalid at instruction %zu: %s", pc, what.c_str()));
+    };
+
+    for (const Move& mv : instr.moves) {
+      if (mv.bus < 0 || static_cast<std::size_t>(mv.bus) >= num_buses) fail("bus out of range");
+      const mach::Bus& bus = machine.buses[static_cast<std::size_t>(mv.bus)];
+      ++bus_claims[static_cast<std::size_t>(mv.bus)];
+
+      // Source connectivity.
+      switch (mv.src.kind) {
+        case MoveSrc::Kind::FuResult:
+          if (!bus.has_source({PortRef::Kind::FuResult, mv.src.unit})) {
+            fail("bus cannot read FU result " + machine.fus[static_cast<std::size_t>(mv.src.unit)].name);
+          }
+          break;
+        case MoveSrc::Kind::RfRead: {
+          if (!bus.has_source({PortRef::Kind::RfRead, mv.src.unit})) fail("bus cannot read RF");
+          const mach::RegisterFile& rf = machine.rfs[static_cast<std::size_t>(mv.src.unit)];
+          if (mv.src.reg_index < 0 || mv.src.reg_index >= rf.size) fail("RF read index range");
+          ++rf_reads[static_cast<std::size_t>(mv.src.unit)];
+          break;
+        }
+        case MoveSrc::Kind::Imm:
+          if (!mv.is_control && !mv.long_imm && !fits_signed(mv.src.imm, bus.simm_bits)) {
+            fail(format("immediate %d does not fit %d-bit field", mv.src.imm, bus.simm_bits));
+          }
+          break;
+      }
+
+      // Destination connectivity.
+      switch (mv.dst.kind) {
+        case MoveDst::Kind::FuOperand:
+          if (!bus.has_dest({PortRef::Kind::FuOperand, mv.dst.unit})) fail("operand port unreachable");
+          ++operand_writes[static_cast<std::size_t>(mv.dst.unit)];
+          break;
+        case MoveDst::Kind::FuTrigger: {
+          if (!bus.has_dest({PortRef::Kind::FuTrigger, mv.dst.unit})) fail("trigger port unreachable");
+          const mach::FunctionUnit& fu = machine.fus[static_cast<std::size_t>(mv.dst.unit)];
+          if (!fu.supports(mv.dst.opcode)) fail("FU does not implement the triggered operation");
+          ++triggers[static_cast<std::size_t>(mv.dst.unit)];
+          break;
+        }
+        case MoveDst::Kind::RfWrite: {
+          if (!bus.has_dest({PortRef::Kind::RfWrite, mv.dst.unit})) fail("RF write unreachable");
+          const mach::RegisterFile& rf = machine.rfs[static_cast<std::size_t>(mv.dst.unit)];
+          if (mv.dst.reg_index < 0 || mv.dst.reg_index >= rf.size) fail("RF write index range");
+          ++rf_writes[static_cast<std::size_t>(mv.dst.unit)];
+          break;
+        }
+        case MoveDst::Kind::GuardWrite:
+          if (mv.dst.unit < 0 || mv.dst.unit >= machine.guard_regs) {
+            fail("guard register out of range");
+          }
+          break;
+      }
+
+      if (mv.guard >= 0 && mv.guard >= machine.guard_regs) fail("guarded move without guard regs");
+
+      if (mv.is_control) {
+        if (mv.dst.kind != MoveDst::Kind::FuTrigger) fail("control move must trigger the CU");
+        if (ir::is_branch(mv.dst.opcode) &&
+            static_cast<std::size_t>(mv.target) >= program.block_entry.size()) {
+          fail("branch target out of range");
+        }
+      }
+    }
+
+    // Long immediates claim one extra bus slot each.
+    int long_imm_count = 0;
+    for (const Move& mv : instr.moves) {
+      if (mv.long_imm) ++long_imm_count;
+    }
+    int total_claims = long_imm_count;
+    for (std::size_t b = 0; b < num_buses; ++b) {
+      if (bus_claims[b] > 1) fail(format("bus %zu carries %d moves", b, bus_claims[b]));
+      total_claims += bus_claims[b];
+    }
+    if (total_claims > static_cast<int>(num_buses)) {
+      fail("more transports (incl. long-immediate slots) than buses");
+    }
+
+    for (std::size_t r = 0; r < machine.rfs.size(); ++r) {
+      if (rf_reads[r] > machine.rfs[r].read_ports) fail("RF read ports oversubscribed");
+      if (rf_writes[r] > machine.rfs[r].write_ports) fail("RF write ports oversubscribed");
+    }
+    for (std::size_t f = 0; f < machine.fus.size(); ++f) {
+      if (triggers[f] > 1) fail("multiple triggers on one FU");
+      if (operand_writes[f] > 1) fail("multiple operand writes on one FU port");
+    }
+  }
+}
+
+}  // namespace ttsc::tta

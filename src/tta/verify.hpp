@@ -1,0 +1,19 @@
+// Static legality checks for scheduled TTA programs.
+#pragma once
+
+#include "tta/tta.hpp"
+
+namespace ttsc::tta {
+
+/// Verifies that every move in `program` is legal on `machine`:
+///  * each move's bus exists and connects its source to its destination,
+///  * at most one move per bus per instruction (long immediates occupy a
+///    second bus slot),
+///  * register file read/write port capacities are respected per cycle,
+///  * at most one trigger and one operand write per FU per cycle,
+///  * short immediates fit the bus immediate field unless flagged long,
+///  * control moves carry resolvable block targets.
+/// Throws ttsc::Error on the first violation.
+void verify_program(const TtaProgram& program, const mach::Machine& machine);
+
+}  // namespace ttsc::tta

@@ -1,0 +1,56 @@
+#include <map>
+
+#include "support/strings.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::vliw {
+
+using codegen::MOperand;
+
+namespace {
+
+std::string operand_str(const mach::Machine& m, const MOperand& opnd) {
+  if (opnd.is_imm()) return format("#%d", opnd.imm);
+  return format("%s.%d", m.rfs[static_cast<std::size_t>(opnd.reg.rf)].name.c_str(),
+                opnd.reg.index);
+}
+
+}  // namespace
+
+std::string disassemble(const VliwProgram& program, const mach::Machine& machine) {
+  std::string out;
+  // Reverse block-entry map for labels.
+  std::map<std::uint32_t, std::uint32_t> labels;
+  for (std::size_t blk = 0; blk < program.block_entry.size(); ++blk) {
+    labels.emplace(program.block_entry[blk], static_cast<std::uint32_t>(blk));
+  }
+  for (std::size_t pc = 0; pc < program.bundles.size(); ++pc) {
+    auto lab = labels.find(static_cast<std::uint32_t>(pc));
+    if (lab != labels.end()) out += format("B%u:\n", lab->second);
+    out += format("%5zu:", pc);
+    for (const auto& slot : program.bundles[pc].slots) {
+      if (!slot.has_value()) {
+        out += "  [nop]";
+        continue;
+      }
+      std::string ops;
+      for (std::size_t i = 0; i < slot->instr.srcs.size(); ++i) {
+        ops += (i == 0 ? " " : ", ") + operand_str(machine, slot->instr.srcs[i]);
+      }
+      std::string dst;
+      if (slot->instr.has_dst()) {
+        dst = " -> " + operand_str(machine, MOperand(slot->instr.dst));
+      }
+      std::string tgt;
+      for (std::uint32_t t : slot->instr.targets) tgt += format(" @B%u", t);
+      out += format("  [%s %s%s%s%s]",
+                    machine.fus[static_cast<std::size_t>(slot->fu)].name.c_str(),
+                    std::string(ir::opcode_name(slot->instr.op)).c_str(), ops.c_str(),
+                    dst.c_str(), tgt.c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ttsc::vliw

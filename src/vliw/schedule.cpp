@@ -1,0 +1,346 @@
+#include <algorithm>
+#include <map>
+
+#include "codegen/ddg.hpp"
+#include "support/bits.hpp"
+#include "support/strings.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::vliw {
+
+using codegen::BlockDdg;
+using codegen::DepKind;
+using codegen::MInstr;
+using codegen::MOperand;
+using ir::Opcode;
+using mach::Machine;
+
+namespace {
+
+constexpr int kVliwSimmBits = 8;
+
+/// Latency used for scheduling: pseudo ops (MovI/Copy) execute on an ALU as
+/// single-cycle operations in the operation-triggered models.
+int op_latency(const Machine& m, Opcode op) {
+  if (op == Opcode::MovI || op == Opcode::Copy) return 1;
+  const int fu = m.fu_for(op);
+  TTSC_ASSERT(fu >= 0, format("machine %s lacks an FU for %s", m.name.c_str(),
+                              std::string(ir::opcode_name(op)).c_str()));
+  return m.fus[static_cast<std::size_t>(fu)].latency(op);
+}
+
+bool fu_can_execute(const mach::FunctionUnit& fu, Opcode op) {
+  if (op == Opcode::MovI || op == Opcode::Copy) return fu.supports(Opcode::Add);
+  return fu.supports(op);
+}
+
+/// Minimum issue-cycle distance consumer - producer for a dependence edge
+/// in the VLIW (no-forwarding) timing model.
+int edge_delay(const Machine& m, const codegen::DdgEdge& e, const codegen::MBlock& block) {
+  const Opcode prod = block.instrs[e.from].op;
+  const Opcode cons = block.instrs[e.to].op;
+  switch (e.kind) {
+    case DepKind::Raw:
+      return op_latency(m, prod) + 1;  // through the RF, no forwarding
+    case DepKind::War:
+      return 0;
+    case DepKind::Waw:
+      return std::max(1, op_latency(m, prod) - op_latency(m, cons) + 1);
+    case DepKind::MemRaw:
+    case DepKind::MemWaw:
+      return 1;
+    case DepKind::MemWar:
+      return 0;
+  }
+  (void)cons;
+  return 0;
+}
+
+struct CycleResources {
+  std::vector<bool> slot_used;
+  std::vector<bool> fu_used;
+  std::vector<int> rf_reads;
+  std::vector<int> rf_writes;
+};
+
+class BlockScheduler {
+ public:
+  BlockScheduler(const Machine& m, const codegen::MBlock& block)
+      : machine_(m), block_(block), ddg_(block) {}
+
+  /// Schedules every instruction; returns per-instruction cycles plus the
+  /// block length in cycles.
+  struct Result {
+    std::vector<std::int64_t> cycle;  // per instruction
+    std::vector<int> fu;              // chosen FU
+    std::vector<int> slot;            // chosen slot
+    std::int64_t length = 0;
+  };
+
+  Result run();
+
+ private:
+  CycleResources& res(std::int64_t cycle) {
+    auto [it, inserted] = resources_.try_emplace(cycle);
+    if (inserted) {
+      it->second.slot_used.assign(machine_.vliw_slots.size(), false);
+      it->second.fu_used.assign(machine_.fus.size(), false);
+      it->second.rf_reads.assign(machine_.rfs.size(), 0);
+      it->second.rf_writes.assign(machine_.rfs.size(), 0);
+    }
+    return it->second;
+  }
+
+  bool needs_wide_imm(const MInstr& in) const {
+    if (ir::is_branch(in.op) || in.op == Opcode::Ret) return false;
+    for (const MOperand& s : in.srcs) {
+      if (s.is_imm() && !fits_signed(s.imm, kVliwSimmBits)) return true;
+    }
+    return false;
+  }
+
+  /// Try to place instruction `node` at `cycle`; returns (slot, fu) or
+  /// nullopt without mutating resources unless successful.
+  std::optional<std::pair<int, int>> try_place(std::uint32_t node, std::int64_t cycle) {
+    const MInstr& in = block_.instrs[node];
+    CycleResources& r = res(cycle);
+
+    // Register-file read ports.
+    std::vector<int> reads(machine_.rfs.size(), 0);
+    for (const MOperand& s : in.srcs) {
+      if (s.is_reg()) ++reads[static_cast<std::size_t>(s.reg.rf)];
+    }
+    for (std::size_t f = 0; f < machine_.rfs.size(); ++f) {
+      if (r.rf_reads[f] + reads[f] > machine_.rfs[f].read_ports) return std::nullopt;
+    }
+    // Write port at commit time.
+    std::int64_t commit = -1;
+    if (in.has_dst()) {
+      commit = cycle + op_latency(machine_, in.op);
+      CycleResources& w = res(commit);
+      if (w.rf_writes[static_cast<std::size_t>(in.dst.rf)] >=
+          machine_.rfs[static_cast<std::size_t>(in.dst.rf)].write_ports) {
+        return std::nullopt;
+      }
+    }
+    // Issue slot hosting a capable, free FU.
+    int chosen_slot = -1;
+    int chosen_fu = -1;
+    for (std::size_t s = 0; s < machine_.vliw_slots.size() && chosen_slot < 0; ++s) {
+      if (r.slot_used[s]) continue;
+      for (int f : machine_.vliw_slots[s]) {
+        if (r.fu_used[static_cast<std::size_t>(f)]) continue;
+        if (!fu_can_execute(machine_.fus[static_cast<std::size_t>(f)], in.op)) continue;
+        chosen_slot = static_cast<int>(s);
+        chosen_fu = f;
+        break;
+      }
+    }
+    if (chosen_slot < 0) return std::nullopt;
+    // A wide immediate is spread over one additional (otherwise idle) slot.
+    int imm_slot = -1;
+    if (needs_wide_imm(in)) {
+      for (std::size_t s = 0; s < machine_.vliw_slots.size(); ++s) {
+        if (static_cast<int>(s) != chosen_slot && !r.slot_used[s]) {
+          imm_slot = static_cast<int>(s);
+          break;
+        }
+      }
+      if (imm_slot < 0) return std::nullopt;
+    }
+
+    // Commit resources.
+    r.slot_used[static_cast<std::size_t>(chosen_slot)] = true;
+    r.fu_used[static_cast<std::size_t>(chosen_fu)] = true;
+    if (imm_slot >= 0) r.slot_used[static_cast<std::size_t>(imm_slot)] = true;
+    for (std::size_t f = 0; f < machine_.rfs.size(); ++f) r.rf_reads[f] += reads[f];
+    if (commit >= 0) ++res(commit).rf_writes[static_cast<std::size_t>(in.dst.rf)];
+    return std::make_pair(chosen_slot, chosen_fu);
+  }
+
+  const Machine& machine_;
+  const codegen::MBlock& block_;
+  BlockDdg ddg_;
+  std::map<std::int64_t, CycleResources> resources_;
+};
+
+BlockScheduler::Result BlockScheduler::run() {
+  const std::uint32_t n = ddg_.size();
+  Result out;
+  out.cycle.assign(n, -1);
+  out.fu.assign(n, -1);
+  out.slot.assign(n, -1);
+  if (n == 0) return out;
+
+  // Critical-path heights (edges always point forward in program order).
+  std::vector<std::int64_t> height(n, 0);
+  for (std::uint32_t i = n; i-- > 0;) {
+    for (std::uint32_t e : ddg_.succ_edges(i)) {
+      const auto& edge = ddg_.edge(e);
+      height[i] = std::max(height[i], edge_delay(machine_, edge, block_) + height[edge.to]);
+    }
+  }
+
+  std::vector<bool> is_control(n, false);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Opcode op = block_.instrs[i].op;
+    is_control[i] = ir::is_branch(op) || op == Opcode::Ret;
+  }
+
+  auto dep_ready = [&](std::uint32_t i) {
+    std::int64_t ready = 0;
+    for (std::uint32_t e : ddg_.pred_edges(i)) {
+      const auto& edge = ddg_.edge(e);
+      TTSC_ASSERT(out.cycle[edge.from] >= 0, "scheduling before predecessor");
+      ready = std::max(ready, out.cycle[edge.from] + edge_delay(machine_, edge, block_));
+    }
+    return ready;
+  };
+
+  auto place = [&](std::uint32_t i, std::int64_t earliest) {
+    for (std::int64_t c = earliest;; ++c) {
+      TTSC_ASSERT(c < earliest + 100000, "scheduler failed to place op (resource deadlock)");
+      if (auto sf = try_place(i, c)) {
+        out.cycle[i] = c;
+        out.slot[i] = sf->first;
+        out.fu[i] = sf->second;
+        return;
+      }
+    }
+  };
+
+  // List-schedule the datapath operations by critical-path priority.
+  std::uint32_t remaining = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!is_control[i]) ++remaining;
+  }
+  while (remaining > 0) {
+    std::int64_t best_height = -1;
+    std::uint32_t best = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (is_control[i] || out.cycle[i] >= 0) continue;
+      bool ready = true;
+      for (std::uint32_t e : ddg_.pred_edges(i)) {
+        // Control ops are last in program order, so every predecessor here
+        // is a datapath op.
+        if (out.cycle[ddg_.edge(e).from] < 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      if (height[i] > best_height) {
+        best_height = height[i];
+        best = i;
+      }
+    }
+    TTSC_ASSERT(best < n, "no ready node (dependence cycle?)");
+    place(best, dep_ready(best));
+    --remaining;
+  }
+
+  // Completion bound: every result must be committed (and thus readable)
+  // before control leaves the block.
+  std::int64_t max_completion = 0;  // cycle by which all side effects commit
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (is_control[i]) continue;
+    const std::int64_t done =
+        out.cycle[i] + (block_.instrs[i].has_dst() ? op_latency(machine_, block_.instrs[i].op) : 0);
+    max_completion = std::max(max_completion, done);
+  }
+
+  // Place control operations (at most Bnz then Jump / a single Ret).
+  std::int64_t last_control = -1;
+  bool have_control = false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!is_control[i]) continue;
+    const Opcode op = block_.instrs[i].op;
+    std::int64_t lower = dep_ready(i);
+    if (op == Opcode::Ret) {
+      lower = std::max(lower, max_completion);
+    } else {
+      lower = std::max(lower, max_completion - machine_.delay_slots);
+    }
+    if (last_control >= 0) lower = std::max(lower, last_control + 1);
+    place(i, std::max<std::int64_t>(lower, 0));
+    last_control = out.cycle[i];
+    have_control = true;
+  }
+
+  if (have_control) {
+    const bool is_ret = block_.instrs[n - 1].op == Opcode::Ret;
+    out.length = last_control + 1 + (is_ret ? 0 : machine_.delay_slots);
+  } else {
+    out.length = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::int64_t readable =
+          out.cycle[i] +
+          (block_.instrs[i].has_dst() ? op_latency(machine_, block_.instrs[i].op) + 1 : 1);
+      out.length = std::max(out.length, readable);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine) {
+  TTSC_ASSERT(machine.model == mach::Model::Vliw, "schedule_vliw needs a VLIW machine");
+  VliwProgram prog;
+  prog.num_slots = static_cast<int>(machine.vliw_slots.size());
+  prog.block_entry.resize(func.blocks.size());
+
+  for (std::size_t b = 0; b < func.blocks.size(); ++b) {
+    prog.block_entry[b] = static_cast<std::uint32_t>(prog.bundles.size());
+
+    // Fallthrough elision: drop a trailing jump to the next block.
+    codegen::MBlock block = func.blocks[b];
+    if (!block.instrs.empty() && block.instrs.back().op == Opcode::Jump &&
+        block.instrs.back().targets[0] == b + 1) {
+      block.instrs.pop_back();
+    }
+    if (block.instrs.empty()) continue;
+
+    BlockScheduler sched(machine, block);
+    const BlockScheduler::Result r = sched.run();
+
+    const std::size_t base = prog.bundles.size();
+    prog.bundles.resize(base + static_cast<std::size_t>(r.length));
+    for (std::size_t i = base; i < prog.bundles.size(); ++i) {
+      prog.bundles[i].slots.resize(static_cast<std::size_t>(prog.num_slots));
+    }
+    for (std::uint32_t i = 0; i < block.instrs.size(); ++i) {
+      TTSC_ASSERT(r.cycle[i] >= 0 && r.cycle[i] < r.length, "op outside block window");
+      Bundle& bun = prog.bundles[base + static_cast<std::size_t>(r.cycle[i])];
+      auto& slot = bun.slots[static_cast<std::size_t>(r.slot[i])];
+      TTSC_ASSERT(!slot.has_value(), "slot double-booked");
+      slot = SlotOp{block.instrs[i], r.fu[i]};
+    }
+  }
+  return prog;
+}
+
+ScheduleStats stats_of(const VliwProgram& program) {
+  ScheduleStats s;
+  s.bundles = program.bundles.size();
+  for (const Bundle& b : program.bundles) {
+    for (const auto& slot : b.slots) {
+      if (slot.has_value()) ++s.ops;
+    }
+  }
+  const double capacity = static_cast<double>(s.bundles) * program.num_slots;
+  s.fill_rate = capacity > 0 ? static_cast<double>(s.ops) / capacity : 0.0;
+  return s;
+}
+
+int instruction_bits(const Machine& machine) {
+  const int regbits = index_bits(static_cast<std::uint64_t>(machine.total_registers()));
+  const int slot_bits = 4 + 2 * (regbits + 1) + regbits;
+  return slot_bits * static_cast<int>(machine.vliw_slots.size());
+}
+
+std::uint64_t image_bits(const VliwProgram& program, const Machine& machine) {
+  return program.num_bundles() * static_cast<std::uint64_t>(instruction_bits(machine));
+}
+
+}  // namespace ttsc::vliw

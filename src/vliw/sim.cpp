@@ -1,0 +1,156 @@
+#include <queue>
+
+#include "support/bits.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::vliw {
+
+using codegen::MInstr;
+using codegen::MOperand;
+using ir::Opcode;
+
+VliwSim::VliwSim(const VliwProgram& program, const mach::Machine& machine, ir::Memory& memory)
+    : program_(program), machine_(machine), mem_(memory) {}
+
+namespace {
+
+int latency_of(const mach::Machine& m, Opcode op) {
+  if (op == Opcode::MovI || op == Opcode::Copy) return 1;
+  const int fu = m.fu_for(op);
+  TTSC_ASSERT(fu >= 0, "no FU for opcode in simulator");
+  return m.fus[static_cast<std::size_t>(fu)].latency(op);
+}
+
+struct PendingWrite {
+  std::uint64_t visible_at;
+  mach::PhysReg reg;
+  std::uint32_t value;
+  std::uint64_t seq;  // commit order tie-break
+  bool operator>(const PendingWrite& o) const {
+    return visible_at != o.visible_at ? visible_at > o.visible_at : seq > o.seq;
+  }
+};
+
+}  // namespace
+
+ExecResult VliwSim::run(std::uint64_t max_cycles) {
+  std::vector<std::vector<std::uint32_t>> regs;
+  for (const mach::RegisterFile& rf : machine_.rfs) {
+    regs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
+  }
+  std::priority_queue<PendingWrite, std::vector<PendingWrite>, std::greater<>> pending;
+  std::uint64_t seq = 0;
+
+  auto reg_ref = [&](mach::PhysReg r) -> std::uint32_t& {
+    return regs[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)];
+  };
+  auto value_of = [&](const MOperand& s) -> std::uint32_t {
+    return s.is_imm() ? static_cast<std::uint32_t>(s.imm) : reg_ref(s.reg);
+  };
+
+  ExecResult result;
+  std::uint64_t cycle = 0;
+  std::size_t pc = 0;
+  // Pending control transfer: counts down delay slots.
+  int transfer_in = -1;
+  std::size_t transfer_target = 0;
+
+  while (cycle < max_cycles) {
+    // Writes committed in earlier cycles become visible before this cycle's
+    // reads (readable one cycle after write-back).
+    while (!pending.empty() && pending.top().visible_at <= cycle) {
+      reg_ref(pending.top().reg) = pending.top().value;
+      pending.pop();
+    }
+
+    TTSC_ASSERT(pc < program_.bundles.size() || transfer_in >= 0,
+                "VLIW PC ran off the end of the program");
+    if (pc < program_.bundles.size()) {
+      const Bundle& bundle = program_.bundles[pc];
+      for (const auto& slot : bundle.slots) {
+        if (!slot.has_value()) continue;
+        const MInstr& in = slot->instr;
+        const bool is_control = ir::is_branch(in.op) || in.op == Opcode::Ret;
+        // A resolved transfer squashes younger control ops in its shadow.
+        if (is_control && transfer_in >= 0) continue;
+        ++result.ops;
+
+        const std::uint32_t a = in.srcs.empty() ? 0 : value_of(in.srcs[0]);
+        const std::uint32_t b = in.srcs.size() > 1 ? value_of(in.srcs[1]) : 0;
+        std::uint32_t value = 0;
+        bool writes = in.has_dst();
+        switch (in.op) {
+          case Opcode::Add: value = a + b; break;
+          case Opcode::Sub: value = a - b; break;
+          case Opcode::Mul: value = a * b; break;
+          case Opcode::And: value = a & b; break;
+          case Opcode::Ior: value = a | b; break;
+          case Opcode::Xor: value = a ^ b; break;
+          case Opcode::Shl: value = a << (b & 31); break;
+          case Opcode::Shru: value = a >> (b & 31); break;
+          case Opcode::Shr:
+            value = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+            break;
+          case Opcode::Eq: value = a == b ? 1 : 0; break;
+          case Opcode::Gt:
+            value = static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b) ? 1 : 0;
+            break;
+          case Opcode::Gtu: value = a > b ? 1 : 0; break;
+          case Opcode::Sxhw: value = static_cast<std::uint32_t>(sign_extend(a, 16)); break;
+          case Opcode::Sxqw: value = static_cast<std::uint32_t>(sign_extend(a, 8)); break;
+          case Opcode::MovI:
+          case Opcode::Copy: value = a; break;
+          case Opcode::Ldw: value = mem_.load32(a); break;
+          case Opcode::Ldh:
+            value = static_cast<std::uint32_t>(sign_extend(mem_.load16(a), 16));
+            break;
+          case Opcode::Ldhu: value = mem_.load16(a); break;
+          case Opcode::Ldq:
+            value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8));
+            break;
+          case Opcode::Ldqu: value = mem_.load8(a); break;
+          case Opcode::Stw: mem_.store32(a, b); break;
+          case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
+          case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+          case Opcode::Jump:
+            transfer_in = machine_.delay_slots;
+            transfer_target = program_.block_entry[in.targets[0]];
+            break;
+          case Opcode::Bnz:
+            if (a != 0) {
+              transfer_in = machine_.delay_slots;
+              transfer_target = program_.block_entry[in.targets[0]];
+            }
+            break;
+          case Opcode::Ret:
+            result.cycles = cycle + 1;
+            result.ret = in.srcs.empty() ? 0 : a;
+            return result;
+          case Opcode::Call:
+            TTSC_UNREACHABLE("calls must be inlined before VLIW scheduling");
+        }
+        if (writes) {
+          pending.push(PendingWrite{
+              cycle + static_cast<std::uint64_t>(latency_of(machine_, in.op)) + 1, in.dst, value,
+              seq++});
+        }
+      }
+    }
+
+    ++cycle;
+    if (transfer_in >= 0) {
+      if (transfer_in == 0) {
+        pc = transfer_target;
+        transfer_in = -1;
+      } else {
+        --transfer_in;
+        ++pc;
+      }
+    } else {
+      ++pc;
+    }
+  }
+  throw Error("VLIW simulation exceeded cycle limit");
+}
+
+}  // namespace ttsc::vliw

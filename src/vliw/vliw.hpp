@@ -1,0 +1,88 @@
+// Operation-triggered VLIW backend.
+//
+// The scheduler is a DDG-driven list scheduler with the paper's VLIW
+// constraints: operations issue atomically into issue slots, all register
+// operands are read from the RF in the issue cycle (counting read ports),
+// results are written back `latency` cycles later (counting write ports)
+// and become readable one cycle after that — the paper's VLIW RTL has no
+// forwarding network (Section V-B), which is exactly the +1 the TTA model
+// saves by software bypassing. Control transfers expose
+// machine.delay_slots delay slots which the scheduler fills.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codegen/lower.hpp"
+#include "ir/memory.hpp"
+#include "mach/machine.hpp"
+
+namespace ttsc::vliw {
+
+struct SlotOp {
+  codegen::MInstr instr;
+  int fu = -1;
+};
+
+struct Bundle {
+  std::vector<std::optional<SlotOp>> slots;  // one entry per issue slot
+};
+
+struct VliwProgram {
+  std::vector<Bundle> bundles;
+  std::vector<std::uint32_t> block_entry;  // block -> first bundle index
+  int num_slots = 0;
+
+  std::uint64_t num_bundles() const { return bundles.size(); }
+};
+
+struct ScheduleStats {
+  std::uint64_t bundles = 0;
+  std::uint64_t ops = 0;
+  double fill_rate = 0.0;  // scheduled ops / (bundles * slots)
+};
+
+/// Schedule `func` for the VLIW `machine`. Throws ttsc::Error when an
+/// instruction cannot be mapped (missing FU).
+VliwProgram schedule_vliw(const codegen::MFunction& func, const mach::Machine& machine);
+
+ScheduleStats stats_of(const VliwProgram& program);
+
+/// Instruction width in bits per the paper's manual VLIW encoding
+/// (Section IV): per slot a 4-bit opcode, two source fields of
+/// (register-address bits + 1 immediate-select bit) and a destination
+/// register address; register addresses cover the machine's total register
+/// count.
+int instruction_bits(const mach::Machine& machine);
+
+/// Program image bits: instruction width times bundle count (the VLIW has
+/// no NOP compression, matching the paper's encoding).
+std::uint64_t image_bits(const VliwProgram& program, const mach::Machine& machine);
+
+struct ExecResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t ops = 0;   // non-nop operations executed
+  std::uint32_t ret = 0;
+};
+
+/// Human-readable listing of a scheduled bundle program.
+std::string disassemble(const VliwProgram& program, const mach::Machine& machine);
+
+/// Cycle-accurate bundle-stepping simulator. Models RF write-back latency
+/// (a result is readable one cycle after its write-back commits), delayed
+/// control transfer with delay-slot execution, and squashing of younger
+/// control operations once a transfer is pending.
+class VliwSim {
+ public:
+  VliwSim(const VliwProgram& program, const mach::Machine& machine, ir::Memory& memory);
+
+  ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
+
+ private:
+  const VliwProgram& program_;
+  const mach::Machine& machine_;
+  ir::Memory& mem_;
+};
+
+}  // namespace ttsc::vliw

@@ -1,0 +1,140 @@
+// CHStone "adpcm" equivalent: IMA ADPCM encode of a synthesized 16-bit PCM
+// waveform followed by decode of the produced nibble stream. Exercises the
+// compare/select/shift-heavy integer style of the original benchmark plus
+// table lookups for the step-size adaptation.
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace ttsc::workloads {
+
+namespace {
+
+constexpr int kSamples = 512;
+
+const std::int32_t kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+const std::int32_t kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,    19,    21,    23,
+    25,    28,    31,    34,    37,    41,    45,    50,    55,    60,    66,    73,    80,
+    88,    97,    107,   118,   130,   143,   157,   173,   190,   209,   230,   253,   279,
+    307,   337,   371,   408,   449,   494,   544,   598,   658,   724,   796,   876,   963,
+    1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,  3024,  3327,
+    3660,  4026,  4428,  4871,  5358,  5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+std::vector<std::uint16_t> make_pcm() {
+  std::vector<std::uint16_t> pcm(kSamples);
+  SplitMix64 rng(0x41445043);  // "ADPC"
+  for (int i = 0; i < kSamples; ++i) {
+    const double t = static_cast<double>(i);
+    double v = 9000.0 * std::sin(t * 0.081) + 4500.0 * std::sin(t * 0.353 + 1.1);
+    v += static_cast<double>(rng.next_below(801)) - 400.0;
+    pcm[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>(static_cast<std::int16_t>(v));
+  }
+  return pcm;
+}
+
+/// One ADPCM step-size adaptation + predictor update, shared between the
+/// encoder and decoder bodies. Updates valpred/index/step in place.
+void update_predictor(IRBuilder& b, Vreg delta, Vreg sign, Vreg step, Vreg valpred, Vreg index,
+                      const char* index_table) {
+  // vpdiff = (delta_bits ? ...) + step>>3
+  Vreg vpdiff = b.shr(step, 3);
+  if_then(b, b.band(delta, 4), [&] { b.emit_into(vpdiff, ir::Opcode::Add, {vpdiff, step}); });
+  if_then(b, b.band(delta, 2),
+          [&] { b.emit_into(vpdiff, ir::Opcode::Add, {vpdiff, b.shr(step, 1)}); });
+  if_then(b, b.band(delta, 1),
+          [&] { b.emit_into(vpdiff, ir::Opcode::Add, {vpdiff, b.shr(step, 2)}); });
+
+  if_else(
+      b, sign, [&] { b.emit_into(valpred, ir::Opcode::Sub, {valpred, vpdiff}); },
+      [&] { b.emit_into(valpred, ir::Opcode::Add, {valpred, vpdiff}); });
+  Vreg clamped = clamp(b, valpred, -32768, 32767);
+  b.copy_into(valpred, clamped);
+
+  // index += index_table[delta]; clamp to [0, 88]; step = step_table[index]
+  Vreg tbl = b.ldw(b.add(b.ga(index_table), b.shl(b.band(delta, 15), 2)));
+  b.emit_into(index, ir::Opcode::Add, {index, tbl});
+  Vreg iclamped = clamp(b, index, 0, 88);
+  b.copy_into(index, iclamped);
+  Vreg new_step = b.ldw(b.add(b.ga("step_table"), b.shl(index, 2)));
+  b.copy_into(step, new_step);
+}
+
+}  // namespace
+
+Workload make_adpcm() {
+  Workload w;
+  w.name = "adpcm";
+  w.output_globals = {"encoded", "decoded"};
+  w.build = [](ir::Module& m) {
+    m.add_global(bytes_global("pcm", pack_u16(make_pcm())));
+    m.add_global(words_global(
+        "index_table", std::vector<std::uint32_t>(reinterpret_cast<const std::uint32_t*>(kIndexTable),
+                                                  reinterpret_cast<const std::uint32_t*>(kIndexTable) + 16)));
+    m.add_global(words_global(
+        "step_table", std::vector<std::uint32_t>(reinterpret_cast<const std::uint32_t*>(kStepTable),
+                                                 reinterpret_cast<const std::uint32_t*>(kStepTable) + 89)));
+    m.add_global(buffer_global("encoded", kSamples));      // one nibble per byte
+    m.add_global(buffer_global("decoded", kSamples * 2));  // 16-bit samples
+
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    b.set_insert_point(b.create_block("entry"));
+
+    // ---- encoder ----------------------------------------------------------
+    Vreg valpred = b.movi(0);
+    Vreg index = b.movi(0);
+    Vreg step = b.movi(7);
+    for_range(b, 0, kSamples, [&](Vreg i) {
+      Vreg sample = b.ldh(b.add(b.ga("pcm"), b.shl(i, 1)));
+      Vreg diff = b.sub(sample, valpred);
+      Vreg sign = b.gt(0, diff);
+      if_then(b, sign, [&] { b.emit_into(diff, ir::Opcode::Sub, {0, diff}); });
+
+      Vreg delta = b.movi(0);
+      Vreg d = b.copy(diff);
+      Vreg s = b.copy(step);
+      if_then(b, b.geu(d, s), [&] {
+        b.emit_into(delta, ir::Opcode::Ior, {delta, 4});
+        b.emit_into(d, ir::Opcode::Sub, {d, s});
+      });
+      b.emit_into(s, ir::Opcode::Shr, {s, 1});
+      if_then(b, b.geu(d, s), [&] {
+        b.emit_into(delta, ir::Opcode::Ior, {delta, 2});
+        b.emit_into(d, ir::Opcode::Sub, {d, s});
+      });
+      b.emit_into(s, ir::Opcode::Shr, {s, 1});
+      if_then(b, b.geu(d, s), [&] { b.emit_into(delta, ir::Opcode::Ior, {delta, 1}); });
+
+      Vreg sign_bit = b.shl(sign, 3);
+      Vreg code = b.bior(delta, sign_bit);
+      b.stq(b.add(b.ga("encoded"), i), code);
+
+      update_predictor(b, delta, sign, step, valpred, index, "index_table");
+    });
+
+    // ---- decoder ----------------------------------------------------------
+    Vreg dv = b.movi(0);
+    Vreg di = b.movi(0);
+    Vreg ds = b.movi(7);
+    Vreg checksum = b.movi(0);
+    for_range(b, 0, kSamples, [&](Vreg i) {
+      Vreg code = b.ldqu(b.add(b.ga("encoded"), i));
+      Vreg sign = b.shru(code, 3);
+      Vreg delta = b.band(code, 7);
+      update_predictor(b, delta, sign, ds, dv, di, "index_table");
+      b.sth(b.add(b.ga("decoded"), b.shl(i, 1)), dv);
+      b.emit_into(checksum, ir::Opcode::Add, {checksum, dv});
+    });
+
+    b.ret(checksum);
+  };
+  return w;
+}
+
+}  // namespace ttsc::workloads

@@ -1,0 +1,221 @@
+// CHStone "aes" equivalent: AES-128 ECB encryption of 8 blocks, including
+// the key expansion, with S-box / permutation / round constants as constant
+// global tables (computed host-side from the GF(2^8) definition, not typed
+// in). Byte-granular loads/stores and GF arithmetic via shifts and masks.
+#include "support/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace ttsc::workloads {
+
+namespace {
+
+constexpr int kBlocks = 8;
+
+// GF(2^8) helpers (host side) to synthesize the S-box.
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> make_sbox() {
+  // Multiplicative inverse table by brute force, then the affine transform.
+  std::uint8_t inv[256] = {0};
+  for (int a = 1; a < 256; ++a) {
+    for (int x = 1; x < 256; ++x) {
+      if (gf_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(x)) == 1) {
+        inv[a] = static_cast<std::uint8_t>(x);
+        break;
+      }
+    }
+  }
+  std::vector<std::uint8_t> sbox(256);
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t x = inv[i];
+    std::uint8_t y = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      const int v = ((x >> bit) & 1) ^ ((x >> ((bit + 4) & 7)) & 1) ^ ((x >> ((bit + 5) & 7)) & 1) ^
+                    ((x >> ((bit + 6) & 7)) & 1) ^ ((x >> ((bit + 7) & 7)) & 1) ^
+                    ((0x63 >> bit) & 1);
+      y = static_cast<std::uint8_t>(y | (v << bit));
+    }
+    sbox[static_cast<std::size_t>(i)] = y;
+  }
+  return sbox;
+}
+
+/// Combined SubBytes+ShiftRows permutation: out[r + 4c] = in[r + 4((c+r)%4)].
+std::vector<std::uint8_t> make_shift_perm() {
+  std::vector<std::uint8_t> perm(16);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      perm[static_cast<std::size_t>(r + 4 * c)] = static_cast<std::uint8_t>(r + 4 * ((c + r) % 4));
+    }
+  }
+  return perm;
+}
+
+std::vector<std::uint8_t> make_rcon() {
+  std::vector<std::uint8_t> rcon(10);
+  std::uint8_t v = 1;
+  for (int i = 0; i < 10; ++i) {
+    rcon[static_cast<std::size_t>(i)] = v;
+    v = gf_mul(v, 2);
+  }
+  return rcon;
+}
+
+std::vector<std::uint8_t> make_input(std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint8_t> data(n);
+  SplitMix64 rng(seed);
+  for (auto& x : data) x = static_cast<std::uint8_t>(rng.next() & 0xff);
+  return data;
+}
+
+}  // namespace
+
+Workload make_aes() {
+  Workload w;
+  w.name = "aes";
+  w.output_globals = {"cipher"};
+  w.build = [](ir::Module& m) {
+    m.add_global(bytes_global("sbox", make_sbox()));
+    m.add_global(bytes_global("shift_perm", make_shift_perm()));
+    m.add_global(bytes_global("rcon", make_rcon()));
+    m.add_global(bytes_global("key", make_input(0x4145534b, 16)));
+    m.add_global(bytes_global("plain", make_input(0x41455350, kBlocks * 16)));
+    m.add_global(buffer_global("rk", 176));      // 11 round keys, byte layout
+    m.add_global(buffer_global("state", 16));
+    m.add_global(buffer_global("tmp", 16));
+    m.add_global(buffer_global("cipher", kBlocks * 16));
+
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    b.set_insert_point(b.create_block("entry"));
+
+    auto sbox_at = [&](Vreg x) { return b.ldqu(b.add(b.ga("sbox"), x)); };
+    auto xtime = [&](Vreg x) {
+      Vreg doubled = b.shl(x, 1);
+      Vreg hi = b.band(b.shru(x, 7), 1);
+      Vreg poly = b.band(b.neg(hi), 0x1b);
+      return b.band(b.bxor(doubled, poly), 0xff);
+    };
+
+    // ---- key expansion ------------------------------------------------------
+    for_range(b, 0, 16, [&](Vreg i) {
+      b.stq(b.add(b.ga("rk"), i), b.ldqu(b.add(b.ga("key"), i)));
+    });
+    // Expand 4 bytes at a time: words 4..43.
+    Vreg rcon_idx = b.movi(0);
+    for_range(b, 4, 44, [&](Vreg word) {
+      Vreg prev = b.shl(b.sub(word, 1), 2);   // byte offset of word-1
+      Vreg back4 = b.shl(b.sub(word, 4), 2);  // byte offset of word-4
+      Vreg t0 = b.ldqu(b.add(b.ga("rk"), prev));
+      Vreg t1 = b.ldqu(b.add(b.ga("rk"), b.add(prev, 1)));
+      Vreg t2 = b.ldqu(b.add(b.ga("rk"), b.add(prev, 2)));
+      Vreg t3 = b.ldqu(b.add(b.ga("rk"), b.add(prev, 3)));
+      // word % 4 == 0: RotWord + SubWord + Rcon.
+      Vreg is_head = b.eq(b.band(word, 3), 0);
+      if_then(b, is_head, [&] {
+        Vreg s0 = sbox_at(t1);
+        Vreg s1 = sbox_at(t2);
+        Vreg s2 = sbox_at(t3);
+        Vreg s3 = sbox_at(t0);
+        Vreg rc = b.ldqu(b.add(b.ga("rcon"), rcon_idx));
+        b.copy_into(t0, b.bxor(s0, rc));
+        b.copy_into(t1, s1);
+        b.copy_into(t2, s2);
+        b.copy_into(t3, s3);
+        b.emit_into(rcon_idx, ir::Opcode::Add, {rcon_idx, 1});
+      });
+      Vreg out = b.shl(word, 2);
+      b.stq(b.add(b.ga("rk"), out),
+            b.bxor(t0, b.ldqu(b.add(b.ga("rk"), back4))));
+      b.stq(b.add(b.ga("rk"), b.add(out, 1)),
+            b.bxor(t1, b.ldqu(b.add(b.ga("rk"), b.add(back4, 1)))));
+      b.stq(b.add(b.ga("rk"), b.add(out, 2)),
+            b.bxor(t2, b.ldqu(b.add(b.ga("rk"), b.add(back4, 2)))));
+      b.stq(b.add(b.ga("rk"), b.add(out, 3)),
+            b.bxor(t3, b.ldqu(b.add(b.ga("rk"), b.add(back4, 3)))));
+    });
+
+    auto add_round_key = [&](Vreg round) {
+      Vreg rk_base = b.add(b.ga("rk"), b.shl(round, 4));
+      for_range(b, 0, 16, [&](Vreg i) {
+        Vreg sv = b.ldqu(b.add(b.ga("state"), i));
+        Vreg kv = b.ldqu(b.add(rk_base, i));
+        b.stq(b.add(b.ga("state"), i), b.bxor(sv, kv));
+      });
+    };
+
+    auto sub_shift = [&] {
+      // tmp[i] = sbox[state[perm[i]]], then copy back.
+      for_range(b, 0, 16, [&](Vreg i) {
+        Vreg p = b.ldqu(b.add(b.ga("shift_perm"), i));
+        Vreg sv = b.ldqu(b.add(b.ga("state"), p));
+        b.stq(b.add(b.ga("tmp"), i), sbox_at(sv));
+      });
+      for_range(b, 0, 16, [&](Vreg i) {
+        b.stq(b.add(b.ga("state"), i), b.ldqu(b.add(b.ga("tmp"), i)));
+      });
+    };
+
+    auto mix_columns = [&] {
+      for_range(b, 0, 4, [&](Vreg col) {
+        Vreg base = b.add(b.ga("state"), b.shl(col, 2));
+        Vreg a0 = b.ldqu(base);
+        Vreg a1 = b.ldqu(b.add(base, 1));
+        Vreg a2 = b.ldqu(b.add(base, 2));
+        Vreg a3 = b.ldqu(b.add(base, 3));
+        Vreg x0 = xtime(a0);
+        Vreg x1 = xtime(a1);
+        Vreg x2 = xtime(a2);
+        Vreg x3 = xtime(a3);
+        // r0 = 2a0 ^ 3a1 ^ a2 ^ a3, and rotations thereof.
+        Vreg r0 = b.bxor(b.bxor(x0, b.bxor(x1, a1)), b.bxor(a2, a3));
+        Vreg r1 = b.bxor(b.bxor(x1, b.bxor(x2, a2)), b.bxor(a0, a3));
+        Vreg r2 = b.bxor(b.bxor(x2, b.bxor(x3, a3)), b.bxor(a0, a1));
+        Vreg r3 = b.bxor(b.bxor(x3, b.bxor(x0, a0)), b.bxor(a1, a2));
+        b.stq(base, r0);
+        b.stq(b.add(base, 1), r1);
+        b.stq(b.add(base, 2), r2);
+        b.stq(b.add(base, 3), r3);
+      });
+    };
+
+    // ---- encrypt blocks --------------------------------------------------------
+    Vreg digest = b.movi(0);
+    for_range(b, 0, kBlocks, [&](Vreg blk) {
+      Vreg src = b.add(b.ga("plain"), b.shl(blk, 4));
+      for_range(b, 0, 16, [&](Vreg i) {
+        b.stq(b.add(b.ga("state"), i), b.ldqu(b.add(src, i)));
+      });
+      add_round_key(b.movi(0));
+      for_range(b, 1, 10, [&](Vreg round) {
+        sub_shift();
+        mix_columns();
+        add_round_key(round);
+      });
+      sub_shift();
+      add_round_key(b.movi(10));
+      Vreg dst = b.add(b.ga("cipher"), b.shl(blk, 4));
+      for_range(b, 0, 16, [&](Vreg i) {
+        Vreg c = b.ldqu(b.add(b.ga("state"), i));
+        b.stq(b.add(dst, i), c);
+        b.emit_into(digest, ir::Opcode::Add, {b.bxor(digest, c), 1});
+      });
+    });
+
+    b.ret(digest);
+  };
+  return w;
+}
+
+}  // namespace ttsc::workloads

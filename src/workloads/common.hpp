@@ -1,0 +1,144 @@
+// Structured control-flow helpers for writing workloads against the
+// IRBuilder: counted loops, if/else, branch-free select/clamp, and host-side
+// data packing for global initializers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace ttsc::workloads {
+
+using ir::IRBuilder;
+using ir::Operand;
+using ir::Vreg;
+
+/// Counted loop: for (i = start; i < bound; i += step) body(i).
+/// The body receives the induction register and may itself build nested
+/// control flow, as long as it leaves the insertion point in a block that
+/// falls through. Assumes at least one iteration executes bound > start
+/// checks up front (a pre-test is emitted, so zero-trip counts are fine).
+inline void for_range(IRBuilder& b, std::int32_t start, Operand bound, std::int32_t step,
+                      const std::function<void(Vreg)>& body) {
+  ir::Function& f = b.function();
+  const ir::BlockId head = b.create_block("for.head");
+  const ir::BlockId body_bb = b.create_block("for.body");
+  const ir::BlockId exit = b.create_block("for.exit");
+  (void)f;
+
+  Vreg i = b.copy(start);
+  b.jump(head);
+
+  b.set_insert_point(head);
+  Vreg enter = b.gt(bound, i);
+  b.bnz(enter, body_bb, exit);
+
+  b.set_insert_point(body_bb);
+  body(i);
+  b.emit_into(i, ir::Opcode::Add, {i, step});
+  b.jump(head);
+
+  b.set_insert_point(exit);
+}
+
+inline void for_range(IRBuilder& b, std::int32_t start, std::int32_t bound,
+                      const std::function<void(Vreg)>& body) {
+  for_range(b, start, Operand(bound), 1, body);
+}
+
+/// if (cond != 0) then_body(); else else_body();  Bodies must leave their
+/// insertion point in a falling-through block.
+inline void if_else(IRBuilder& b, Operand cond, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body) {
+  const ir::BlockId then_bb = b.create_block("if.then");
+  const ir::BlockId else_bb = b.create_block("if.else");
+  const ir::BlockId join = b.create_block("if.join");
+  b.bnz(cond, then_bb, else_bb);
+  b.set_insert_point(then_bb);
+  then_body();
+  b.jump(join);
+  b.set_insert_point(else_bb);
+  else_body();
+  b.jump(join);
+  b.set_insert_point(join);
+}
+
+inline void if_then(IRBuilder& b, Operand cond, const std::function<void()>& then_body) {
+  if_else(b, cond, then_body, [] {});
+}
+
+/// Branch-free select: cond (0/1) ? a : b.
+inline Vreg select01(IRBuilder& b, Operand cond01, Operand a, Operand bv) {
+  Vreg mask = b.neg(cond01);  // 0 -> 0, 1 -> 0xffffffff
+  Vreg lhs = b.band(a, mask);
+  Vreg rhs = b.band(bv, b.bnot(mask));
+  return b.bior(lhs, rhs);
+}
+
+/// Branch-free clamp of x into [lo, hi] (signed).
+inline Vreg clamp(IRBuilder& b, Vreg x, std::int32_t lo, std::int32_t hi) {
+  Vreg too_low = b.gt(lo, x);
+  Vreg v = select01(b, too_low, lo, x);
+  Vreg too_high = b.gt(v, hi);
+  return select01(b, too_high, hi, v);
+}
+
+// ---- host-side initializer packing ------------------------------------------
+
+inline std::vector<std::uint8_t> pack_u32(const std::vector<std::uint32_t>& words) {
+  std::vector<std::uint8_t> out;
+  out.reserve(words.size() * 4);
+  for (std::uint32_t w : words) {
+    out.push_back(static_cast<std::uint8_t>(w));
+    out.push_back(static_cast<std::uint8_t>(w >> 8));
+    out.push_back(static_cast<std::uint8_t>(w >> 16));
+    out.push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+  return out;
+}
+
+inline std::vector<std::uint8_t> pack_u16(const std::vector<std::uint16_t>& halves) {
+  std::vector<std::uint8_t> out;
+  out.reserve(halves.size() * 2);
+  for (std::uint16_t h : halves) {
+    out.push_back(static_cast<std::uint8_t>(h));
+    out.push_back(static_cast<std::uint8_t>(h >> 8));
+  }
+  return out;
+}
+
+/// Global holding `words.size()` little-endian 32-bit words.
+inline ir::Global words_global(std::string name, const std::vector<std::uint32_t>& words,
+                               bool read_only = true) {
+  ir::Global g;
+  g.name = std::move(name);
+  g.size = static_cast<std::uint32_t>(words.size() * 4);
+  g.align = 4;
+  g.init = pack_u32(words);
+  g.read_only = read_only;
+  return g;
+}
+
+inline ir::Global bytes_global(std::string name, std::vector<std::uint8_t> bytes,
+                               bool read_only = true) {
+  ir::Global g;
+  g.name = std::move(name);
+  g.size = static_cast<std::uint32_t>(bytes.size());
+  g.align = 4;
+  g.init = std::move(bytes);
+  g.read_only = read_only;
+  return g;
+}
+
+/// Uninitialized (zeroed) output buffer.
+inline ir::Global buffer_global(std::string name, std::uint32_t size) {
+  ir::Global g;
+  g.name = std::move(name);
+  g.size = size;
+  g.align = 4;
+  return g;
+}
+
+}  // namespace ttsc::workloads

@@ -1,0 +1,154 @@
+// CHStone "gsm" equivalent: GSM 06.10 LPC analysis front end —
+// autocorrelation over a 160-sample speech window, Schur recursion yielding
+// eight reflection coefficients (with the shift-subtract fixed-point
+// division GSM uses, since the datapath has no divider), and the
+// piecewise-linear transformation to log-area ratios.
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace ttsc::workloads {
+
+namespace {
+
+constexpr int kFrameLen = 160;
+constexpr int kFrames = 4;
+constexpr int kOrder = 8;
+
+std::vector<std::uint16_t> make_speech() {
+  std::vector<std::uint16_t> s(static_cast<std::size_t>(kFrameLen * kFrames));
+  SplitMix64 rng(0x47534d21);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double t = static_cast<double>(i);
+    double v = 5000.0 * std::sin(t * 0.117) + 2100.0 * std::sin(t * 0.041 + 0.7) +
+               900.0 * std::sin(t * 0.551);
+    v += static_cast<double>(rng.next_below(501)) - 250.0;
+    s[i] = static_cast<std::uint16_t>(static_cast<std::int16_t>(v));
+  }
+  return s;
+}
+
+}  // namespace
+
+Workload make_gsm() {
+  Workload w;
+  w.name = "gsm";
+  w.output_globals = {"lar_out", "acf_out"};
+  w.build = [](ir::Module& m) {
+    m.add_global(bytes_global("speech", pack_u16(make_speech())));
+    m.add_global(buffer_global("acf", (kOrder + 1) * 4));        // scratch per frame
+    m.add_global(buffer_global("pp", (kOrder + 1) * 4));         // Schur scratch
+    m.add_global(buffer_global("kk", (kOrder + 1) * 4));         // Schur scratch
+    m.add_global(buffer_global("acf_out", kFrames * (kOrder + 1) * 4));
+    m.add_global(buffer_global("lar_out", kFrames * kOrder * 4));
+
+    // gsm_div(num, denom): Q15 division by shift-subtract, 0 <= num < denom.
+    ir::Function& divf = m.add_function("gsm_div", 2);
+    {
+      IRBuilder db(divf);
+      db.set_insert_point(db.create_block("entry"));
+      Vreg num = db.copy(divf.param(0));
+      Vreg denom = db.copy(divf.param(1));
+      Vreg div = db.movi(0);
+      for_range(db, 0, 15, [&](Vreg) {
+        db.emit_into(div, ir::Opcode::Shl, {div, 1});
+        db.emit_into(num, ir::Opcode::Shl, {num, 1});
+        if_then(db, db.geu(num, denom), [&] {
+          db.emit_into(num, ir::Opcode::Sub, {num, denom});
+          db.emit_into(div, ir::Opcode::Add, {div, 1});
+        });
+      });
+      db.ret(div);
+    }
+
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    b.set_insert_point(b.create_block("entry"));
+
+    auto abs_of = [&](Vreg x) {
+      Vreg isneg = b.gt(0, x);
+      return select01(b, isneg, b.neg(x), x);
+    };
+
+    Vreg digest = b.movi(0);
+    for_range(b, 0, kFrames, [&](Vreg frame) {
+      Vreg sbase = b.add(b.ga("speech"), b.mul(frame, kFrameLen * 2));
+
+      // ---- autocorrelation (samples pre-scaled >> 3 against overflow) ----
+      for_range(b, 0, kOrder + 1, [&](Vreg k) {
+        Vreg acc = b.movi(0);
+        for_range(b, 0, Operand(kFrameLen), 1, [&](Vreg i) {
+          Vreg in_range = b.geu(i, k);  // i >= k (both non-negative)
+          if_then(b, in_range, [&] {
+            Vreg si = b.shr(b.ldh(b.add(sbase, b.shl(i, 1))), 3);
+            Vreg sk = b.shr(b.ldh(b.add(sbase, b.shl(b.sub(i, k), 1))), 3);
+            b.emit_into(acc, ir::Opcode::Add, {acc, b.mul(si, sk)});
+          });
+        });
+        b.stw(b.add(b.ga("acf"), b.shl(k, 2)), acc);
+        Vreg out_off = b.add(b.mul(frame, (kOrder + 1) * 4), b.shl(k, 2));
+        b.stw(b.add(b.ga("acf_out"), out_off), acc);
+      });
+
+      // ---- Schur recursion -> reflection coefficients (Q15) ----
+      // p[0..8] = acf[0..8]; k_arr unneeded beyond the loop.
+      for_range(b, 0, kOrder + 1, [&](Vreg i) {
+        Vreg v = b.ldw(b.add(b.ga("acf"), b.shl(i, 2)));
+        b.stw(b.add(b.ga("pp"), b.shl(i, 2)), v);
+        b.stw(b.add(b.ga("kk"), b.shl(i, 2)), v);
+      });
+
+      for_range(b, 0, kOrder, [&](Vreg n) {
+        Vreg p0 = b.ldw(b.ga("pp"));
+        Vreg p1 = b.ldw(b.ga("pp", 4));
+        Vreg ap1 = abs_of(p1);
+        // r = p1 >= p0 ? +-32767 : +-gsm_div(|p1|, p0)
+        Vreg r = b.movi(0);
+        if_then(b, b.gt(p0, 0), [&] {
+          Vreg sat = b.geu(ap1, p0);
+          if_else(
+              b, sat, [&] { b.copy_into(r, 32767); },
+              [&] {
+                Vreg q = b.call("gsm_div", {ap1, p0});
+                b.copy_into(r, q);
+              });
+          if_then(b, b.gt(0, p1), [&] { b.emit_into(r, ir::Opcode::Sub, {0, r}); });
+        });
+        // store reflection coefficient as LAR surrogate below
+        // p[i] += (k[i+1] * r) >> 15 ; k[i+1] += (p[i] * r) >> 15
+        for_range(b, 0, Operand(b.sub(kOrder, n)), 1, [&](Vreg i) {
+          Vreg pi = b.ldw(b.add(b.ga("pp"), b.shl(i, 2)));
+          Vreg ki1 = b.ldw(b.add(b.ga("kk"), b.shl(b.add(i, 1), 2)));
+          Vreg pi_new = b.add(pi, b.shr(b.mul(ki1, r), 15));
+          Vreg ki_new = b.add(ki1, b.shr(b.mul(pi, r), 15));
+          b.stw(b.add(b.ga("pp"), b.shl(i, 2)), pi_new);
+          b.stw(b.add(b.ga("kk"), b.shl(b.add(i, 1), 2)), ki_new);
+        });
+        // Actually GSM shifts p by one each iteration: p[i] = p[i+1] pattern.
+        for_range(b, 0, Operand(kOrder), 1, [&](Vreg i) {
+          Vreg nxt = b.ldw(b.add(b.ga("pp"), b.shl(b.add(i, 1), 2)));
+          b.stw(b.add(b.ga("pp"), b.shl(i, 2)), nxt);
+        });
+
+        // ---- reflection coefficient -> LAR (piecewise linear) ----
+        Vreg ar = abs_of(r);
+        Vreg lar = b.copy(ar);
+        Vreg seg2 = b.geu(ar, 22118);  // 0.675 in Q15
+        Vreg seg3 = b.geu(ar, 31130);  // 0.950 in Q15
+        if_then(b, seg2, [&] { b.copy_into(lar, b.add(b.shr(ar, 1), 11059)); });
+        if_then(b, seg3, [&] { b.copy_into(lar, b.add(b.shl(ar, 2), -26112)); });
+        if_then(b, b.gt(0, r), [&] { b.copy_into(lar, b.neg(lar)); });
+
+        Vreg lar_off = b.add(b.mul(frame, kOrder * 4), b.shl(n, 2));
+        b.stw(b.add(b.ga("lar_out"), lar_off), lar);
+        b.emit_into(digest, ir::Opcode::Add, {digest, b.bxor(lar, n)});
+      });
+    });
+    b.ret(digest);
+  };
+  return w;
+}
+
+}  // namespace ttsc::workloads

@@ -1,0 +1,129 @@
+// CHStone "jpeg" equivalent: the decoder's arithmetic core — dequantization
+// and 2-D 8x8 inverse DCT (fixed-point Q14 basis matrix, row pass + column
+// pass) over 16 coefficient blocks, with final level shift and clamp to
+// 8-bit samples. Multiplier-heavy with strided byte/word memory traffic.
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace ttsc::workloads {
+
+namespace {
+
+constexpr int kBlocks = 16;
+
+std::vector<std::uint32_t> make_idct_matrix() {
+  // basis[i][j] = c(i) * cos((2j+1) i pi / 16) in Q14, laid out row-major.
+  std::vector<std::uint32_t> mat(64);
+  const double pi = 3.14159265358979323846;
+  for (int i = 0; i < 8; ++i) {
+    const double ci = i == 0 ? std::sqrt(0.5) : 1.0;
+    for (int j = 0; j < 8; ++j) {
+      const double v = 0.5 * ci * std::cos((2 * j + 1) * i * pi / 16.0);
+      mat[static_cast<std::size_t>(i * 8 + j)] =
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(std::lround(v * 16384.0)));
+    }
+  }
+  return mat;
+}
+
+std::vector<std::uint32_t> make_quant_table() {
+  // Luminance-like table: larger steps at high frequencies.
+  std::vector<std::uint32_t> q(64);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      q[static_cast<std::size_t>(i * 8 + j)] = static_cast<std::uint32_t>(8 + 2 * (i + j));
+    }
+  }
+  return q;
+}
+
+std::vector<std::uint32_t> make_coefficients() {
+  // Sparse quantized coefficients, as a real entropy decoder would emit.
+  std::vector<std::uint32_t> c(static_cast<std::size_t>(kBlocks) * 64);
+  SplitMix64 rng(0x4a504547);
+  for (int blk = 0; blk < kBlocks; ++blk) {
+    for (int k = 0; k < 64; ++k) {
+      const bool keep = k == 0 || rng.next_below(100) < (k < 16 ? 70u : 15u);
+      std::int32_t v = 0;
+      if (keep) v = static_cast<std::int32_t>(rng.next_below(61)) - 30;
+      if (k == 0) v = static_cast<std::int32_t>(rng.next_below(120)) - 20;
+      c[static_cast<std::size_t>(blk * 64 + k)] = static_cast<std::uint32_t>(v);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Workload make_jpeg() {
+  Workload w;
+  w.name = "jpeg";
+  w.output_globals = {"pixels"};
+  w.build = [](ir::Module& m) {
+    m.add_global(words_global("idct_mat", make_idct_matrix()));
+    m.add_global(words_global("qtab", make_quant_table()));
+    m.add_global(words_global("coeffs", make_coefficients()));
+    m.add_global(buffer_global("work", 64 * 4));   // dequantized block
+    m.add_global(buffer_global("inter", 64 * 4));  // after row pass
+    m.add_global(buffer_global("pixels", kBlocks * 64));
+
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    b.set_insert_point(b.create_block("entry"));
+
+    Vreg digest = b.movi(0);
+    for_range(b, 0, kBlocks, [&](Vreg blk) {
+      Vreg cbase = b.add(b.ga("coeffs"), b.shl(b.mul(blk, 64), 2));
+
+      // Dequantize into work[].
+      for_range(b, 0, 64, [&](Vreg k) {
+        Vreg coef = b.ldw(b.add(cbase, b.shl(k, 2)));
+        Vreg q = b.ldw(b.add(b.ga("qtab"), b.shl(k, 2)));
+        b.stw(b.add(b.ga("work"), b.shl(k, 2)), b.mul(coef, q));
+      });
+
+      // Row pass: inter[r][j] = sum_i work[r][i] * mat[i][j] >> 14.
+      for_range(b, 0, 8, [&](Vreg r) {
+        Vreg rbase = b.add(b.ga("work"), b.shl(b.shl(r, 3), 2));
+        for_range(b, 0, 8, [&](Vreg j) {
+          Vreg acc = b.movi(8192);  // rounding bias (0.5 in Q14)
+          for_range(b, 0, 8, [&](Vreg i) {
+            Vreg x = b.ldw(b.add(rbase, b.shl(i, 2)));
+            Vreg cidx = b.add(b.shl(i, 3), j);
+            Vreg cv = b.ldw(b.add(b.ga("idct_mat"), b.shl(cidx, 2)));
+            b.emit_into(acc, ir::Opcode::Add, {acc, b.mul(x, cv)});
+          });
+          Vreg out_idx = b.add(b.shl(r, 3), j);
+          b.stw(b.add(b.ga("inter"), b.shl(out_idx, 2)), b.shr(acc, 14));
+        });
+      });
+
+      // Column pass + level shift + clamp into pixels.
+      Vreg pbase = b.add(b.ga("pixels"), b.mul(blk, 64));
+      for_range(b, 0, 8, [&](Vreg cgrid) {
+        for_range(b, 0, 8, [&](Vreg j) {
+          Vreg acc = b.movi(8192);
+          for_range(b, 0, 8, [&](Vreg i) {
+            Vreg idx = b.add(b.shl(i, 3), cgrid);
+            Vreg x = b.ldw(b.add(b.ga("inter"), b.shl(idx, 2)));
+            Vreg cidx = b.add(b.shl(i, 3), j);
+            Vreg cv = b.ldw(b.add(b.ga("idct_mat"), b.shl(cidx, 2)));
+            b.emit_into(acc, ir::Opcode::Add, {acc, b.mul(x, cv)});
+          });
+          Vreg sample = b.add(b.shr(acc, 14), 128);
+          Vreg px = clamp(b, sample, 0, 255);
+          Vreg out_idx = b.add(b.shl(j, 3), cgrid);
+          b.stq(b.add(pbase, out_idx), px);
+          b.emit_into(digest, ir::Opcode::Add, {digest, px});
+        });
+      });
+    });
+    b.ret(digest);
+  };
+  return w;
+}
+
+}  // namespace ttsc::workloads

@@ -1,0 +1,244 @@
+// CHStone "mips" equivalent: an instruction-set interpreter for a MIPS
+// subset (R-type add/sub/slt/sll, addiu, lw/sw, beq/bne, j, halt) executing
+// an embedded bubble-sort guest program over 16 words. Decode is a chain of
+// compares and masks — the branchiest workload in the suite, which is why
+// the paper sees the smallest TTA gains on it.
+#include <map>
+
+#include "support/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace ttsc::workloads {
+
+namespace {
+
+constexpr int kSortN = 16;
+
+// ---- tiny two-pass MIPS assembler (host side) -------------------------------
+
+class MipsAsm {
+ public:
+  void label(const std::string& name) { labels_[name] = static_cast<int>(code_.size()); }
+
+  void r_type(int funct, int rd, int rs, int rt, int shamt = 0) {
+    code_.push_back(static_cast<std::uint32_t>((rs << 21) | (rt << 16) | (rd << 11) |
+                                               (shamt << 6) | funct));
+  }
+  void addiu(int rt, int rs, int imm) { i_type(8, rs, rt, imm); }
+  void lw(int rt, int rs, int imm) { i_type(0x23, rs, rt, imm); }
+  void sw(int rt, int rs, int imm) { i_type(0x2b, rs, rt, imm); }
+  void beq(int rs, int rt, const std::string& target) { branch(4, rs, rt, target); }
+  void bne(int rs, int rt, const std::string& target) { branch(5, rs, rt, target); }
+  void j(const std::string& target) {
+    fixups_.push_back({static_cast<int>(code_.size()), target, true});
+    code_.push_back(2u << 26);
+  }
+  void halt() { code_.push_back(0x3fu << 26); }
+
+  std::vector<std::uint32_t> finish() {
+    for (const Fixup& fx : fixups_) {
+      const int target = labels_.at(fx.label);
+      if (fx.is_jump) {
+        code_[static_cast<std::size_t>(fx.index)] |= static_cast<std::uint32_t>(target) & 0x3ffffff;
+      } else {
+        const int offset = target - (fx.index + 1);
+        code_[static_cast<std::size_t>(fx.index)] |=
+            static_cast<std::uint32_t>(offset) & 0xffff;
+      }
+    }
+    return code_;
+  }
+
+ private:
+  struct Fixup {
+    int index;
+    std::string label;
+    bool is_jump;
+  };
+  void i_type(int op, int rs, int rt, int imm) {
+    code_.push_back(static_cast<std::uint32_t>((op << 26) | (rs << 21) | (rt << 16) |
+                                               (imm & 0xffff)));
+  }
+  void branch(int op, int rs, int rt, const std::string& target) {
+    fixups_.push_back({static_cast<int>(code_.size()), target, false});
+    code_.push_back(static_cast<std::uint32_t>((op << 26) | (rs << 21) | (rt << 16)));
+  }
+
+  std::vector<std::uint32_t> code_;
+  std::map<std::string, int> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+std::vector<std::uint32_t> make_guest_program() {
+  // Bubble sort of kSortN words at guest address 0.
+  constexpr int kAdd = 0x20;
+  constexpr int kSub = 0x22;
+  constexpr int kSlt = 0x2a;
+  MipsAsm a;
+  a.addiu(1, 0, 0);        // r1 = data base (guest address 0)
+  a.addiu(2, 0, kSortN);   // r2 = n
+  a.addiu(3, 0, 0);        // r3 = i
+  a.label("outer");
+  a.r_type(kSlt, 8, 3, 2);  // r8 = i < n
+  a.beq(8, 0, "done");
+  a.r_type(kSub, 9, 2, 3);  // r9 = n - i
+  a.addiu(9, 9, -1);        // r9 = n - i - 1
+  a.addiu(4, 0, 0);         // r4 = j
+  a.label("inner");
+  a.r_type(kSlt, 8, 4, 9);
+  a.beq(8, 0, "end_inner");
+  a.r_type(0, 5, 0, 4, 2);  // sll r5 = j << 2
+  a.r_type(kAdd, 5, 5, 1);
+  a.lw(6, 5, 0);
+  a.lw(7, 5, 4);
+  a.r_type(kSlt, 8, 7, 6);  // r8 = a[j+1] < a[j]
+  a.beq(8, 0, "noswap");
+  a.sw(7, 5, 0);
+  a.sw(6, 5, 4);
+  a.label("noswap");
+  a.addiu(4, 4, 1);
+  a.j("inner");
+  a.label("end_inner");
+  a.addiu(3, 3, 1);
+  a.j("outer");
+  a.label("done");
+  a.halt();
+  return a.finish();
+}
+
+std::vector<std::uint32_t> make_guest_data() {
+  std::vector<std::uint32_t> data(kSortN);
+  SplitMix64 rng(0x4d495053);
+  for (auto& x : data) x = rng.next_below(100000);
+  return data;
+}
+
+}  // namespace
+
+Workload make_mips() {
+  Workload w;
+  w.name = "mips";
+  w.output_globals = {"guest_mem"};
+  w.build = [](ir::Module& m) {
+    m.add_global(words_global("imem", make_guest_program()));
+    m.add_global(words_global("guest_mem", make_guest_data(), false));
+    m.add_global(buffer_global("regs", 32 * 4));
+
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    const auto entry = b.create_block("entry");
+    const auto fetch = b.create_block("fetch");
+    const auto done = b.create_block("done");
+    b.set_insert_point(entry);
+
+    Vreg pc = b.movi(0);
+    Vreg executed = b.movi(0);
+    Vreg halted = b.movi(0);
+    b.jump(fetch);
+
+    b.set_insert_point(fetch);
+    Vreg instr = b.ldw(b.add(b.ga("imem"), pc));
+    b.emit_into(pc, ir::Opcode::Add, {pc, 4});
+    b.emit_into(executed, ir::Opcode::Add, {executed, 1});
+    Vreg op = b.shru(instr, 26);
+    Vreg rs = b.band(b.shru(instr, 21), 31);
+    Vreg rt = b.band(b.shru(instr, 16), 31);
+    Vreg rd = b.band(b.shru(instr, 11), 31);
+    Vreg shamt = b.band(b.shru(instr, 6), 31);
+    Vreg imm = b.sxhw(instr);
+
+    auto reg_read = [&](Vreg idx) { return b.ldw(b.add(b.ga("regs"), b.shl(idx, 2))); };
+    auto reg_write = [&](Vreg idx, Vreg value) {
+      // r0 is hardwired to zero: squash writes with a select on idx != 0.
+      Vreg keep = b.ne(idx, 0);
+      Vreg masked = b.band(value, b.neg(keep));
+      b.stw(b.add(b.ga("regs"), b.shl(idx, 2)), masked);
+    };
+
+    if_else(
+        b, b.eq(op, 0),
+        [&] {
+          // R-type dispatch on funct.
+          Vreg funct = b.band(instr, 63);
+          Vreg a = reg_read(rs);
+          Vreg c = reg_read(rt);
+          if_else(
+              b, b.eq(funct, 0x20), [&] { reg_write(rd, b.add(a, c)); },
+              [&] {
+                if_else(
+                    b, b.eq(funct, 0x22), [&] { reg_write(rd, b.sub(a, c)); },
+                    [&] {
+                      if_else(
+                          b, b.eq(funct, 0x2a), [&] { reg_write(rd, b.gt(c, a)); },
+                          [&] {
+                            // funct 0: sll rd, rt, shamt
+                            reg_write(rd, b.shl(c, shamt));
+                          });
+                    });
+              });
+        },
+        [&] {
+          if_else(
+              b, b.eq(op, 8), [&] { reg_write(rt, b.add(reg_read(rs), imm)); },
+              [&] {
+                if_else(
+                    b, b.eq(op, 0x23),
+                    [&] {
+                      Vreg addr = b.add(reg_read(rs), imm);
+                      reg_write(rt, b.ldw(b.add(b.ga("guest_mem"), addr)));
+                    },
+                    [&] {
+                      if_else(
+                          b, b.eq(op, 0x2b),
+                          [&] {
+                            Vreg addr = b.add(reg_read(rs), imm);
+                            b.stw(b.add(b.ga("guest_mem"), addr), reg_read(rt));
+                          },
+                          [&] {
+                            if_else(
+                                b, b.eq(op, 4),
+                                [&] {
+                                  Vreg taken = b.eq(reg_read(rs), reg_read(rt));
+                                  if_then(b, taken, [&] {
+                                    b.emit_into(pc, ir::Opcode::Add, {pc, b.shl(imm, 2)});
+                                  });
+                                },
+                                [&] {
+                                  if_else(
+                                      b, b.eq(op, 5),
+                                      [&] {
+                                        Vreg taken = b.ne(reg_read(rs), reg_read(rt));
+                                        if_then(b, taken, [&] {
+                                          b.emit_into(pc, ir::Opcode::Add,
+                                                      {pc, b.shl(imm, 2)});
+                                        });
+                                      },
+                                      [&] {
+                                        if_else(
+                                            b, b.eq(op, 2),
+                                            [&] {
+                                              Vreg target =
+                                                  b.band(instr, 0x3ffffff);
+                                              b.copy_into(pc, b.shl(target, 2));
+                                            },
+                                            [&] {
+                                              // halt (or unknown opcode)
+                                              b.copy_into(halted, 1);
+                                            });
+                                      });
+                                });
+                          });
+                    });
+              });
+        });
+
+    b.bnz(halted, done, fetch);
+
+    b.set_insert_point(done);
+    b.ret(executed);
+  };
+  return w;
+}
+
+}  // namespace ttsc::workloads

@@ -1,0 +1,13 @@
+#include "workloads/workload.hpp"
+
+namespace ttsc::workloads {
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> suite = {
+      make_adpcm(), make_aes(),  make_blowfish(), make_gsm(),
+      make_jpeg(),  make_mips(), make_motion(),   make_sha(),
+  };
+  return suite;
+}
+
+}  // namespace ttsc::workloads

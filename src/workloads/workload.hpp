@@ -1,0 +1,43 @@
+// CHStone-equivalent workload suite.
+//
+// The paper evaluates eight CHStone programs (adpcm, aes, blowfish, gsm,
+// jpeg, mips, motion, sha; SoftFloat excluded for lack of double support in
+// TCE). Each ttsc workload builds the same algorithm class directly in IR
+// through the IRBuilder front end, with deterministic inputs embedded as
+// global data and outputs written to named global arrays so every backend
+// run can be checksummed against the reference interpreter.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace ttsc::workloads {
+
+struct Workload {
+  std::string name;
+  /// Populates the module: globals plus a parameterless function "main"
+  /// returning a 32-bit result digest.
+  std::function<void(ir::Module&)> build;
+  /// Globals whose final contents constitute the observable output.
+  std::vector<std::string> output_globals;
+};
+
+Workload make_adpcm();
+Workload make_aes();
+Workload make_blowfish();
+Workload make_gsm();
+Workload make_jpeg();
+Workload make_mips();
+Workload make_motion();
+Workload make_sha();
+
+/// All eight workloads in the paper's reporting order.
+const std::vector<Workload>& all_workloads();
+
+/// Entry-point function name used by every workload.
+inline const char* entry_point() { return "main"; }
+
+}  // namespace ttsc::workloads

@@ -1,0 +1,318 @@
+// Shared backend infrastructure: lowering / register allocation / spilling,
+// dependence graphs, machine-level liveness.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "codegen/ddg.hpp"
+#include "codegen/legalize.hpp"
+#include "codegen/lower.hpp"
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "mach/configs.hpp"
+#include "report/driver.hpp"
+#include "scalar/scalar.hpp"
+
+namespace ttsc::codegen {
+namespace {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Operand;
+using ir::Vreg;
+
+ir::Module make_module(const std::function<void(ir::Function&, IRBuilder&)>& body) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  b.set_insert_point(b.create_block("entry"));
+  body(f, b);
+  return m;
+}
+
+// ---- lowering basics -------------------------------------------------------------
+
+TEST(Lower, ResolvesGlobalsToAbsoluteAddresses) {
+  ir::Module m = make_module([](ir::Function&, IRBuilder& b) {
+    b.ret(b.ldw(b.ga("g", 8)));
+  });
+  m.add_global(ir::Global{.name = "g", .size = 16});
+  const auto r = lower(m, "main", mach::make_m_tta_1());
+  bool found = false;
+  for (const MBlock& blk : r.func.blocks) {
+    for (const MInstr& in : blk.instrs) {
+      for (const MOperand& s : in.srcs) {
+        if (s.is_imm() && s.imm == static_cast<std::int32_t>(ir::DataLayout::kDataBase + 8)) {
+          found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, RejectsRemainingCalls) {
+  ir::Module m = make_module([](ir::Function&, IRBuilder& b) {
+    b.call_void("main", {});
+    b.ret();
+  });
+  EXPECT_THROW(lower(m, "main", mach::make_m_tta_1()), Error);
+}
+
+TEST(Lower, AppendsJumpWhenFallthroughIsNotNextBlock) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto other = b.create_block("other");   // becomes block 1
+  const auto target = b.create_block("target");  // block 2
+  b.set_insert_point(entry);
+  Vreg x = b.ldw(b.ga("g"));
+  b.bnz(x, other, target);  // fallthrough (targets[1]) is block 2, not 1
+  b.set_insert_point(other);
+  b.ret(b.movi(1));
+  b.set_insert_point(target);
+  b.ret(b.movi(2));
+  m.add_global(ir::Global{.name = "g", .size = 4});
+
+  const auto r = lower(m, "main", mach::make_m_tta_1());
+  const auto& instrs = r.func.blocks[0].instrs;
+  ASSERT_GE(instrs.size(), 2u);
+  EXPECT_EQ(instrs[instrs.size() - 2].op, Opcode::Bnz);
+  EXPECT_EQ(instrs.back().op, Opcode::Jump);
+  EXPECT_EQ(instrs.back().targets[0], 2u);
+}
+
+TEST(Lower, NoSpillsForSmallPrograms) {
+  ir::Module m = make_module([](ir::Function&, IRBuilder& b) {
+    Vreg a = b.movi(1);
+    Vreg c = b.add(a, 2);
+    b.ret(c);
+  });
+  const auto r = lower(m, "main", mach::make_m_tta_1());
+  EXPECT_EQ(r.values_spilled, 0);
+  EXPECT_EQ(r.spills_inserted, 0);
+}
+
+TEST(Lower, AllRegistersWithinFileBounds) {
+  // A workload with substantial pressure on the smallest machine.
+  const workloads::Workload w = workloads::make_sha();
+  const ir::Module optimized = report::build_optimized(w);
+  const mach::Machine machine = mach::make_m_tta_1();
+  const auto r = lower(optimized, "main", machine);
+  for (const MBlock& blk : r.func.blocks) {
+    for (const MInstr& in : blk.instrs) {
+      auto check = [&](mach::PhysReg reg) {
+        ASSERT_GE(reg.rf, 0);
+        ASSERT_LT(reg.rf, static_cast<int>(machine.rfs.size()));
+        EXPECT_GE(reg.index, 0);
+        EXPECT_LT(reg.index, machine.rfs[static_cast<std::size_t>(reg.rf)].size);
+      };
+      if (in.has_dst()) check(in.dst);
+      for (const MOperand& s : in.srcs) {
+        if (s.is_reg()) check(s.reg);
+      }
+    }
+  }
+}
+
+TEST(Lower, SpillingUnderExtremePressure) {
+  // 40 simultaneously-live values on a 32-register machine force spills,
+  // and the spilled program must still compute the right answer.
+  ir::Module m = make_module([](ir::Function&, IRBuilder& b) {
+    std::vector<Vreg> vals;
+    for (int i = 0; i < 40; ++i) vals.push_back(b.ldw(b.ga("g", 4 * i)));
+    Vreg acc = b.movi(0);
+    for (int i = 0; i < 40; ++i) {
+      b.emit_into(acc, Opcode::Add, {acc, vals[static_cast<std::size_t>(i)]});
+    }
+    b.ret(acc);
+  });
+  std::vector<std::uint8_t> init;
+  std::uint32_t expect = 0;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    const std::uint32_t v = 3 * i + 1;
+    expect += v;
+    for (int k = 0; k < 4; ++k) init.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+  }
+  m.add_global(ir::Global{.name = "g", .size = 160, .align = 4, .init = init});
+
+  const mach::Machine machine = mach::make_mblaze3();
+  const auto r = lower(m, "main", machine);
+  EXPECT_GT(r.values_spilled, 0);
+  EXPECT_GT(r.spills_inserted, 0);
+
+  const auto prog = scalar::emit_scalar(r.func);
+  ir::Memory mem = report::make_loaded_memory(m);
+  scalar::ScalarSim sim(prog, machine, mem);
+  EXPECT_EQ(sim.run().ret, expect);
+}
+
+TEST(Lower, NopCopiesDropped) {
+  // copy v -> v after allocation to the same register must disappear.
+  ir::Module m = make_module([](ir::Function&, IRBuilder& b) {
+    Vreg a = b.ldw(b.ga("g"));
+    Vreg c = b.copy(a);
+    // `a` dies here, so linear scan may give c the same register.
+    b.ret(c);
+  });
+  m.add_global(ir::Global{.name = "g", .size = 4});
+  const auto r = lower(m, "main", mach::make_m_tta_1());
+  for (const MBlock& blk : r.func.blocks) {
+    for (const MInstr& in : blk.instrs) {
+      if (in.op == Opcode::Copy) {
+        EXPECT_FALSE(in.srcs[0].is_reg() && in.srcs[0].reg == in.dst);
+      }
+    }
+  }
+}
+
+// ---- scalar legalization -----------------------------------------------------------
+
+TEST(Legalize, StoresGetRegisterData) {
+  ir::Module m = make_module([](ir::Function&, IRBuilder& b) {
+    b.stw(b.ga("g"), 1234);  // immediate store data
+    b.ret();
+  });
+  m.add_global(ir::Global{.name = "g", .size = 4});
+  legalize_scalar_operands(m.function("main"));
+  for (const ir::Block& blk : m.function("main").blocks()) {
+    for (const ir::Instr& in : blk.instrs) {
+      if (ir::is_store(in.op)) EXPECT_TRUE(in.inputs[1].is_reg());
+    }
+  }
+  ir::Interpreter interp(m);
+  interp.run("main", {});
+  EXPECT_EQ(interp.memory().load32(interp.layout().address_of("g")), 1234u);
+}
+
+// ---- dependence graph ---------------------------------------------------------------
+
+MBlock block_of(std::vector<MInstr> instrs) {
+  MBlock b;
+  b.instrs = std::move(instrs);
+  return b;
+}
+
+MInstr mi(Opcode op, mach::PhysReg dst, std::vector<MOperand> srcs) {
+  MInstr in;
+  in.op = op;
+  in.dst = dst;
+  in.srcs = std::move(srcs);
+  return in;
+}
+
+constexpr mach::PhysReg R(int i) { return mach::PhysReg{0, static_cast<std::int16_t>(i)}; }
+
+TEST(Ddg, RawWarWawEdges) {
+  // r1 = r0 + 1 ; r2 = r1 + r1 ; r1 = 5
+  MBlock blk = block_of({
+      mi(Opcode::Add, R(1), {MOperand(R(0)), MOperand::immediate(1)}),
+      mi(Opcode::Add, R(2), {MOperand(R(1)), MOperand(R(1))}),
+      mi(Opcode::MovI, R(1), {MOperand::immediate(5)}),
+  });
+  const BlockDdg ddg(blk);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> raw, war, waw;
+  for (const DdgEdge& e : ddg.edges()) {
+    if (e.kind == DepKind::Raw) raw.insert({e.from, e.to});
+    if (e.kind == DepKind::War) war.insert({e.from, e.to});
+    if (e.kind == DepKind::Waw) waw.insert({e.from, e.to});
+  }
+  EXPECT_TRUE(raw.count({0, 1}));
+  EXPECT_TRUE(war.count({1, 2}));
+  EXPECT_TRUE(waw.count({0, 2}));
+}
+
+TEST(Ddg, MemoryEdgesConservative) {
+  // store [r0] ; load [r1]  -> may alias -> MemRaw edge
+  MBlock blk = block_of({
+      mi(Opcode::Stw, {}, {MOperand(R(0)), MOperand(R(2))}),
+      mi(Opcode::Ldw, R(3), {MOperand(R(1))}),
+  });
+  const BlockDdg ddg(blk);
+  bool mem_raw = false;
+  for (const DdgEdge& e : ddg.edges()) mem_raw |= e.kind == DepKind::MemRaw;
+  EXPECT_TRUE(mem_raw);
+}
+
+TEST(Ddg, DisjointAbsoluteAddressesIndependent) {
+  MBlock blk = block_of({
+      mi(Opcode::Stw, {}, {MOperand::immediate(0x1000), MOperand(R(0))}),
+      mi(Opcode::Ldw, R(1), {MOperand::immediate(0x1004)}),
+  });
+  const BlockDdg ddg(blk);
+  for (const DdgEdge& e : ddg.edges()) {
+    EXPECT_NE(e.kind, DepKind::MemRaw);
+  }
+}
+
+TEST(Ddg, OverlappingAbsoluteAddressesConflict) {
+  // A word store at 0x1000 overlaps a byte load at 0x1003.
+  MBlock blk = block_of({
+      mi(Opcode::Stw, {}, {MOperand::immediate(0x1000), MOperand(R(0))}),
+      mi(Opcode::Ldqu, R(1), {MOperand::immediate(0x1003)}),
+  });
+  const BlockDdg ddg(blk);
+  bool mem_raw = false;
+  for (const DdgEdge& e : ddg.edges()) mem_raw |= e.kind == DepKind::MemRaw;
+  EXPECT_TRUE(mem_raw);
+}
+
+TEST(Ddg, LoadsDoNotConflict) {
+  MBlock blk = block_of({
+      mi(Opcode::Ldw, R(0), {MOperand(R(5))}),
+      mi(Opcode::Ldw, R(1), {MOperand(R(6))}),
+  });
+  const BlockDdg ddg(blk);
+  EXPECT_TRUE(ddg.edges().empty());
+}
+
+TEST(Ddg, AccessBytes) {
+  EXPECT_EQ(access_bytes(Opcode::Ldw), 4);
+  EXPECT_EQ(access_bytes(Opcode::Sth), 2);
+  EXPECT_EQ(access_bytes(Opcode::Ldqu), 1);
+}
+
+TEST(Ddg, EdgesPointForward) {
+  const workloads::Workload w = workloads::make_blowfish();
+  const ir::Module optimized = report::build_optimized(w);
+  const auto r = lower(optimized, "main", mach::make_m_tta_2());
+  for (const MBlock& blk : r.func.blocks) {
+    const BlockDdg ddg(blk);
+    for (const DdgEdge& e : ddg.edges()) EXPECT_LT(e.from, e.to);
+  }
+}
+
+// ---- machine-level liveness ----------------------------------------------------------
+
+TEST(MLiveness, SeesThroughBnzJumpPairs) {
+  // Block 0 ends with [bnz -> 2, jump -> 1]; a value consumed only in
+  // block 2 must be live out of block 0.
+  MFunction f;
+  f.blocks.resize(3);
+  {
+    MInstr def = mi(Opcode::MovI, R(7), {MOperand::immediate(1)});
+    MInstr bnz = mi(Opcode::Bnz, {}, {MOperand(R(0))});
+    bnz.targets = {2, 1};
+    MInstr jmp;
+    jmp.op = Opcode::Jump;
+    jmp.targets = {1};
+    f.blocks[0].instrs = {def, bnz, jmp};
+  }
+  {
+    MInstr ret;
+    ret.op = Opcode::Ret;
+    f.blocks[1].instrs = {ret};
+  }
+  {
+    MInstr ret = mi(Opcode::Ret, {}, {MOperand(R(7))});
+    f.blocks[2].instrs = {ret};
+  }
+  const MLiveness live(f, mach::make_m_tta_1());
+  EXPECT_TRUE(live.live_out(0, R(7)));
+  EXPECT_FALSE(live.live_out(1, R(7)));
+}
+
+}  // namespace
+}  // namespace ttsc::codegen

@@ -1,0 +1,146 @@
+// FPGA area/timing model: structural monotonicity properties plus the
+// orderings the paper's Table III establishes.
+#include <gtest/gtest.h>
+
+#include "fpga/model.hpp"
+#include "mach/configs.hpp"
+
+namespace ttsc::fpga {
+namespace {
+
+using mach::Machine;
+using mach::RegisterFile;
+
+RegisterFile rf(int size, int r, int w) {
+  RegisterFile f;
+  f.size = size;
+  f.read_ports = r;
+  f.write_ports = w;
+  return f;
+}
+
+// ---- register file cost model ------------------------------------------------------
+
+TEST(RfCost, GrowsWithReadPorts) {
+  EXPECT_LT(rf_cost(rf(32, 1, 1)).lut_as_ram, rf_cost(rf(32, 2, 1)).lut_as_ram);
+  EXPECT_LT(rf_cost(rf(32, 2, 1)).lut_as_ram, rf_cost(rf(32, 4, 1)).lut_as_ram);
+}
+
+TEST(RfCost, WritePortsNeedBankingAndLvt) {
+  const RfCost one_w = rf_cost(rf(64, 4, 1));
+  const RfCost two_w = rf_cost(rf(64, 4, 2));
+  EXPECT_GT(two_w.lut_as_ram, one_w.lut_as_ram);  // bank replication
+  EXPECT_GT(two_w.lut_total - two_w.lut_as_ram, 0);  // LVT logic appears
+  EXPECT_GT(two_w.ff, 0);                            // LVT state
+  EXPECT_EQ(one_w.ff, 0);
+}
+
+TEST(RfCost, GrowsWithDepth) {
+  EXPECT_LT(rf_cost(rf(32, 1, 1)).lut_as_ram, rf_cost(rf(64, 1, 1)).lut_as_ram);
+  EXPECT_LT(rf_cost(rf(64, 1, 1)).lut_as_ram, rf_cost(rf(96, 1, 1)).lut_as_ram);
+}
+
+TEST(RfCost, PaperScaleSanity) {
+  // Table III anchors: a 32x32 1R1W file is a couple dozen LUTs; the
+  // 96x32 6R3W monolithic VLIW file is two orders of magnitude bigger.
+  const int small = rf_cost(rf(32, 1, 1)).lut_total;
+  const int huge = rf_cost(rf(96, 6, 3)).lut_total;
+  EXPECT_GE(small, 10);
+  EXPECT_LE(small, 40);
+  EXPECT_GT(huge, 25 * small);
+}
+
+// ---- paper orderings (Table III) ------------------------------------------------------
+
+TEST(TableIII, MonolithicVliwRfDominatesArea) {
+  const auto vliw2 = estimate_area(mach::make_m_vliw_2());
+  const auto tta2 = estimate_area(mach::make_m_tta_2());
+  // "6 to 14 times more logic" for the RF (Section V-B).
+  EXPECT_GT(vliw2.rf_lut, 6 * tta2.rf_lut);
+  // Whole core: TTA needs roughly two-thirds of the VLIW's resources.
+  EXPECT_LT(tta2.core_lut, 0.8 * vliw2.core_lut);
+}
+
+TEST(TableIII, ThreeIssueVliwRfExplosion) {
+  const auto vliw3 = estimate_area(mach::make_m_vliw_3());
+  const auto tta3 = estimate_area(mach::make_p_tta_3());
+  // "9 to 27 times more resources for the RF" (Section V-B).
+  EXPECT_GT(vliw3.rf_lut, 9 * tta3.rf_lut);
+  EXPECT_LT(tta3.core_lut, 0.75 * vliw3.core_lut);
+}
+
+TEST(TableIII, MonolithicVliwSlowest) {
+  const double f_mvliw3 = estimate_timing(mach::make_m_vliw_3()).fmax_mhz;
+  for (const Machine& m : mach::all_machines()) {
+    if (m.name == "m-vliw-3") continue;
+    EXPECT_GT(estimate_timing(m).fmax_mhz, f_mvliw3) << m.name;
+  }
+}
+
+TEST(TableIII, SingleIssueTtaFastest) {
+  const double f_tta1 = estimate_timing(mach::make_m_tta_1()).fmax_mhz;
+  EXPECT_GT(f_tta1, estimate_timing(mach::make_mblaze3()).fmax_mhz * 1.15);
+  EXPECT_GT(f_tta1, estimate_timing(mach::make_mblaze5()).fmax_mhz * 1.10);
+}
+
+TEST(TableIII, PartitioningHelpsVliwClock) {
+  EXPECT_GT(estimate_timing(mach::make_p_vliw_2()).fmax_mhz,
+            estimate_timing(mach::make_m_vliw_2()).fmax_mhz);
+  EXPECT_GT(estimate_timing(mach::make_p_vliw_3()).fmax_mhz,
+            estimate_timing(mach::make_m_vliw_3()).fmax_mhz);
+}
+
+TEST(TableIII, PartitionedVliwAndTtaSimilarArea) {
+  // "Partitioning ... resulting in a very similar FPGA resource usage"
+  // (abstract).
+  const auto pv = estimate_area(mach::make_p_vliw_2());
+  const auto pt = estimate_area(mach::make_p_tta_2());
+  EXPECT_LT(std::abs(pv.core_lut - pt.core_lut), pv.core_lut / 3);
+}
+
+TEST(TableIII, BusMergingSavesAreaAndWidth) {
+  const auto p2 = estimate_area(mach::make_p_tta_2());
+  const auto bm2 = estimate_area(mach::make_bm_tta_2());
+  EXPECT_LT(bm2.core_lut, p2.core_lut);
+  EXPECT_LT(bm2.ic_lut, p2.ic_lut);
+}
+
+TEST(TableIII, DspCountThreePerMultiplier) {
+  EXPECT_EQ(estimate_area(mach::make_m_tta_2()).dsp, 3);
+  EXPECT_EQ(estimate_area(mach::make_m_tta_3()).dsp, 6);  // two ALUs
+}
+
+TEST(TableIII, FmaxWithinZynqRange) {
+  for (const Machine& m : mach::all_machines()) {
+    const auto t = estimate_timing(m);
+    EXPECT_GT(t.fmax_mhz, 100.0) << m.name;
+    EXPECT_LT(t.fmax_mhz, 300.0) << m.name;
+    EXPECT_NEAR(t.fmax_mhz * t.critical_path_ns, 1000.0, 1e-6) << m.name;
+  }
+}
+
+TEST(Area, SlicesTrackLuts) {
+  for (const Machine& m : mach::all_machines()) {
+    const auto a = estimate_area(m);
+    EXPECT_GT(a.slices, a.core_lut / 8) << m.name;
+    EXPECT_LT(a.slices, a.core_lut) << m.name;
+    EXPECT_EQ(a.core_lut, a.rf_lut + a.ic_lut + a.fu_lut + a.control_lut) << m.name;
+  }
+}
+
+TEST(Area, ScalarMinimumConfigSmallerThanBarrelConfig) {
+  // The paper's minimum MicroBlaze omits the barrel shifter.
+  Machine with_barrel = mach::make_mblaze3();
+  with_barrel.scalar.barrel_shifter = true;
+  EXPECT_GT(estimate_area(with_barrel).core_lut, estimate_area(mach::make_mblaze3()).core_lut);
+}
+
+TEST(Timing, MoreBusesSlowerClock) {
+  // Destination fan-in grows with bus count.
+  Machine narrow = mach::make_bm_tta_2();  // 4 buses
+  Machine wide = mach::make_m_tta_2();     // 5 buses
+  EXPECT_GE(estimate_timing(narrow).fmax_mhz, estimate_timing(wide).fmax_mhz);
+}
+
+}  // namespace
+}  // namespace ttsc::fpga

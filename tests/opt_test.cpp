@@ -1,0 +1,536 @@
+// Optimizer passes: each pass is checked structurally and for semantic
+// preservation against the interpreter.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "ir/analysis.hpp"
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/verify.hpp"
+#include "opt/passes.hpp"
+
+namespace ttsc::opt {
+namespace {
+
+using namespace ir;
+
+Module with_main(const std::function<void(Function&, IRBuilder&)>& body) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  b.set_insert_point(b.create_block("entry"));
+  body(f, b);
+  return m;
+}
+
+std::uint32_t run(Module& m, const std::vector<std::uint32_t>& args = {}) {
+  Interpreter interp(m);
+  return interp.run("main", args).value;
+}
+
+std::size_t count_op(const Function& f, Opcode op) {
+  std::size_t n = 0;
+  for (const Block& b : f.blocks()) {
+    for (const Instr& in : b.instrs) {
+      if (in.op == op) ++n;
+    }
+  }
+  return n;
+}
+
+// ---- constant folding ---------------------------------------------------------
+
+TEST(ConstFold, FoldsLiteralChains) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg x = b.add(2, 3);
+    Vreg y = b.mul(x, x);
+    b.ret(b.sub(y, 5));
+  });
+  const std::uint32_t before = run(m);
+  while (fold_constants(m.function("main"))) {
+  }
+  verify(m.function("main"));
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Add), 0u);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Mul), 0u);
+}
+
+TEST(ConstFold, AlgebraicIdentities) {
+  Module m = with_main([](Function& f, IRBuilder& b) {
+    // The parameter-free main has no unknowns, so route through a load to
+    // keep values opaque to the folder.
+    (void)f;
+    Vreg x = b.ldw(b.ga("g"));
+    Vreg a = b.add(x, 0);     // -> copy
+    Vreg mu = b.mul(a, 1);    // -> copy
+    Vreg z = b.bxor(mu, mu);  // -> 0 (same reg)
+    Vreg o = b.bior(x, 0);    // -> copy
+    b.ret(b.add(z, o));
+  });
+  m.add_global(Global{.name = "g", .size = 4, .init = {0x2a, 0, 0, 0}});
+  const std::uint32_t before = run(m);
+  while (fold_constants(m.function("main")) || propagate_copies(m.function("main"))) {
+  }
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Mul), 0u);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Xor), 0u);
+}
+
+TEST(ConstFold, GlobalAddressArithmetic) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg base = b.ga("arr");
+    Vreg addr = b.add(base, 8);
+    b.ret(b.ldw(addr));
+  });
+  std::vector<std::uint8_t> init(16, 0);
+  init[8] = 0x2a;
+  m.add_global(Global{.name = "arr", .size = 16, .init = init});
+  while (fold_constants(m.function("main")) || propagate_copies(m.function("main"))) {
+  }
+  eliminate_dead_code(m.function("main"));
+  // The add folded into a relocated immediate: only movi + ldw + ret remain.
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Add), 0u);
+  EXPECT_EQ(run(m), 0x2au);
+}
+
+TEST(ConstFold, ConstantBranchBecomesJump) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto yes = b.create_block("yes");
+  const auto no = b.create_block("no");
+  b.set_insert_point(entry);
+  b.bnz(Operand(1), yes, no);
+  b.set_insert_point(yes);
+  b.ret(b.movi(1));
+  b.set_insert_point(no);
+  b.ret(b.movi(2));
+  EXPECT_TRUE(fold_constants(f));
+  EXPECT_EQ(f.block(entry).terminator().op, Opcode::Jump);
+  EXPECT_EQ(run(m), 1u);
+}
+
+TEST(ConstFold, StrengthReducesPowerOfTwoMultiplies) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    Vreg a = b.mul(x, 8);    // -> shl x, 3
+    Vreg c = b.mul(4, x);    // -> shl x, 2
+    Vreg d = b.mul(x, 3);    // stays a multiply
+    b.ret(b.add(a, b.add(c, d)));
+  });
+  m.add_global(Global{.name = "g", .size = 4, .init = {5, 0, 0, 0}});
+  const std::uint32_t before = run(m);
+  while (fold_constants(m.function("main"))) {
+  }
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Mul), 1u);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Shl), 2u);
+  EXPECT_EQ(before, 5u * 8 + 4 * 5 + 5 * 3);
+}
+
+// ---- copy propagation / CSE / DCE ------------------------------------------------
+
+TEST(CopyProp, ForwardsThroughChains) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    Vreg c1 = b.copy(x);
+    Vreg c2 = b.copy(c1);
+    b.ret(b.add(c2, c1));
+  });
+  m.add_global(Global{.name = "g", .size = 4, .init = {5, 0, 0, 0}});
+  const std::uint32_t before = run(m);
+  EXPECT_TRUE(propagate_copies(m.function("main")));
+  eliminate_dead_code(m.function("main"));
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Copy), 0u);
+}
+
+TEST(CopyProp, StopsAtRedefinition) {
+  Module m = with_main([](Function& f, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    Vreg c = b.copy(x);
+    b.emit_into(x, Opcode::Add, {x, 1});  // x redefined: c must keep old value
+    b.ret(b.sub(x, c));
+    (void)f;
+  });
+  m.add_global(Global{.name = "g", .size = 4, .init = {9, 0, 0, 0}});
+  const std::uint32_t before = run(m);
+  propagate_copies(m.function("main"));
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(before, 1u);
+}
+
+TEST(Cse, SharesPureExpressions) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    Vreg a = b.mul(x, x);
+    Vreg bb = b.mul(x, x);
+    b.ret(b.sub(a, bb));  // always 0
+  });
+  m.add_global(Global{.name = "g", .size = 4, .init = {7, 0, 0, 0}});
+  EXPECT_TRUE(eliminate_common_subexpressions(m.function("main")));
+  propagate_copies(m.function("main"));
+  eliminate_dead_code(m.function("main"));
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Mul), 1u);
+  EXPECT_EQ(run(m), 0u);
+}
+
+TEST(Cse, CommutativeOperandsCanonicalized) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    Vreg y = b.ldw(b.ga("g", 4));
+    Vreg a = b.add(x, y);
+    Vreg bb = b.add(y, x);  // same value
+    b.ret(b.sub(a, bb));
+  });
+  m.add_global(Global{.name = "g", .size = 8, .init = {1, 0, 0, 0, 2, 0, 0, 0}});
+  EXPECT_TRUE(eliminate_common_subexpressions(m.function("main")));
+  propagate_copies(m.function("main"));
+  eliminate_dead_code(m.function("main"));
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Add), 1u);
+}
+
+TEST(Cse, LoadsInvalidatedByStores) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg a = b.ldw(b.ga("g"));
+    b.stw(b.ga("g"), b.add(a, 1));
+    Vreg c = b.ldw(b.ga("g"));  // must NOT be CSEd with the first load
+    b.ret(b.sub(c, a));
+  });
+  m.add_global(Global{.name = "g", .size = 4, .init = {3, 0, 0, 0}});
+  eliminate_common_subexpressions(m.function("main"));
+  propagate_copies(m.function("main"));
+  EXPECT_EQ(run(m), 1u);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Ldw), 2u);
+}
+
+TEST(Cse, RepeatedLoadsWithoutStoresShared) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg a = b.ldw(b.ga("g"));
+    Vreg c = b.ldw(b.ga("g"));
+    b.ret(b.sub(c, a));
+  });
+  m.add_global(Global{.name = "g", .size = 4, .init = {3, 0, 0, 0}});
+  // Fold the two address movi's into identical immediate operands first
+  // (as the pipeline does), so the loads become textually equal.
+  while (fold_constants(m.function("main"))) {
+  }
+  EXPECT_TRUE(eliminate_common_subexpressions(m.function("main")));
+  propagate_copies(m.function("main"));
+  eliminate_dead_code(m.function("main"));
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Ldw), 1u);
+}
+
+TEST(Dce, RemovesDeadPureCode) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    Vreg dead1 = b.mul(3, 3);
+    Vreg dead2 = b.add(dead1, 5);
+    (void)dead2;
+    b.ret(b.movi(1));
+  });
+  EXPECT_TRUE(eliminate_dead_code(m.function("main")));
+  EXPECT_EQ(m.function("main").num_instrs(), 2u);  // movi + ret
+}
+
+TEST(Dce, KeepsStoresAndLoadsWithUses) {
+  Module m = with_main([](Function&, IRBuilder& b) {
+    b.stw(b.ga("g"), 42);
+    Vreg v = b.ldw(b.ga("g"));
+    b.ret(v);
+  });
+  m.add_global(Global{.name = "g", .size = 4});
+  eliminate_dead_code(m.function("main"));
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Stw), 1u);
+  EXPECT_EQ(run(m), 42u);
+}
+
+// ---- CFG simplification --------------------------------------------------------
+
+TEST(SimplifyCfg, RemovesUnreachableAndThreadsJumps) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto hop = b.create_block("hop");     // only a jump
+  const auto tail = b.create_block("tail");
+  const auto dead = b.create_block("dead");   // unreachable
+  b.set_insert_point(entry);
+  b.jump(hop);
+  b.set_insert_point(hop);
+  b.jump(tail);
+  b.set_insert_point(tail);
+  b.ret(b.movi(5));
+  b.set_insert_point(dead);
+  b.ret(b.movi(9));
+  EXPECT_TRUE(simplify_cfg(f));
+  verify(f);
+  EXPECT_EQ(run(m), 5u);
+  EXPECT_EQ(f.num_blocks(), 1u);  // all merged into entry
+}
+
+TEST(SimplifyCfg, BnzSameTargetsBecomesJump) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto next = b.create_block("next");
+  b.set_insert_point(entry);
+  Vreg x = b.ldw(b.ga("g"));
+  b.bnz(x, next, next);
+  b.set_insert_point(next);
+  b.ret(b.movi(3));
+  m.add_global(Global{.name = "g", .size = 4});
+  EXPECT_TRUE(simplify_cfg(f));
+  EXPECT_EQ(count_op(f, Opcode::Bnz), 0u);
+  EXPECT_EQ(run(m), 3u);
+}
+
+// ---- inlining --------------------------------------------------------------------
+
+TEST(Inline, FlattensCallGraph) {
+  Module m;
+  Function& leaf = m.add_function("leaf", 1);
+  {
+    IRBuilder b(leaf);
+    b.set_insert_point(b.create_block("entry"));
+    b.ret(b.mul(leaf.param(0), 3));
+  }
+  Function& mid = m.add_function("mid", 1);
+  {
+    IRBuilder b(mid);
+    b.set_insert_point(b.create_block("entry"));
+    Vreg v = b.call("leaf", {mid.param(0)});
+    b.ret(b.add(v, 1));
+  }
+  Function& f = m.add_function("main", 0);
+  {
+    IRBuilder b(f);
+    b.set_insert_point(b.create_block("entry"));
+    b.ret(b.call("mid", {Operand(5)}));
+  }
+  const std::uint32_t before = run(m);
+  inline_all(m, "main");
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Call), 0u);
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(before, 16u);
+}
+
+TEST(Inline, CalleeWithControlFlow) {
+  Module m;
+  Function& absf = m.add_function("absf", 1);
+  {
+    IRBuilder b(absf);
+    const auto entry = b.create_block("entry");
+    const auto neg = b.create_block("neg");
+    const auto pos = b.create_block("pos");
+    b.set_insert_point(entry);
+    b.bnz(b.gt(0, absf.param(0)), neg, pos);
+    b.set_insert_point(neg);
+    b.ret(b.neg(absf.param(0)));
+    b.set_insert_point(pos);
+    b.ret(absf.param(0));
+  }
+  Function& f = m.add_function("main", 0);
+  {
+    IRBuilder b(f);
+    b.set_insert_point(b.create_block("entry"));
+    Vreg a = b.call("absf", {Operand(-7)});
+    Vreg c = b.call("absf", {Operand(9)});
+    b.ret(b.add(a, c));
+  }
+  inline_all(m, "main");
+  verify(m.function("main"));
+  EXPECT_EQ(run(m), 16u);
+}
+
+TEST(Inline, RejectsRecursion) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  b.set_insert_point(b.create_block("entry"));
+  b.ret(b.call("main", {}));
+  EXPECT_THROW(inline_all(m, "main"), Error);
+}
+
+// ---- LICM ------------------------------------------------------------------------
+
+TEST(Licm, HoistsInvariantComputation) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto loop = b.create_block("loop");
+  const auto exit = b.create_block("exit");
+  b.set_insert_point(entry);
+  Vreg n = b.ldw(b.ga("g"));
+  Vreg i = b.movi(0);
+  Vreg acc = b.movi(0);
+  b.jump(loop);
+  b.set_insert_point(loop);
+  Vreg inv = b.mul(n, n);  // loop-invariant
+  b.emit_into(acc, Opcode::Add, {acc, inv});
+  b.emit_into(i, Opcode::Add, {i, 1});
+  b.bnz(b.eq(i, 10), exit, loop);
+  b.set_insert_point(exit);
+  b.ret(acc);
+  m.add_global(Global{.name = "g", .size = 4, .init = {4, 0, 0, 0}});
+
+  const std::uint32_t before = run(m);
+  EXPECT_TRUE(hoist_loop_invariants(f));
+  verify(f);
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(before, 160u);
+  // The multiply left the loop body.
+  const Cfg cfg(f);
+  const Dominators dom(f, cfg);
+  const auto loops = find_loops(f, cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  for (BlockId blk : loops[0].blocks) {
+    EXPECT_EQ(count_op(f, Opcode::Mul), 1u);
+    for (const Instr& in : f.block(blk).instrs) EXPECT_NE(in.op, Opcode::Mul);
+  }
+}
+
+TEST(Licm, DoesNotHoistVariantCode) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto loop = b.create_block("loop");
+  const auto exit = b.create_block("exit");
+  b.set_insert_point(entry);
+  Vreg i = b.movi(0);
+  Vreg acc = b.movi(0);
+  b.jump(loop);
+  b.set_insert_point(loop);
+  Vreg sq = b.mul(i, i);  // depends on i: must stay
+  b.emit_into(acc, Opcode::Add, {acc, sq});
+  b.emit_into(i, Opcode::Add, {i, 1});
+  b.bnz(b.eq(i, 5), exit, loop);
+  b.set_insert_point(exit);
+  b.ret(acc);
+  const std::uint32_t before = run(m);
+  hoist_loop_invariants(f);
+  verify(f);
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(before, 0u + 1 + 4 + 9 + 16);
+}
+
+// ---- if-conversion ------------------------------------------------------------------
+
+TEST(IfConvert, TriangleBecomesStraightLine) {
+  Module m;
+  Function& f = m.add_function("main", 1);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto then_bb = b.create_block("then");
+  const auto join = b.create_block("join");
+  b.set_insert_point(entry);
+  Vreg v = b.copy(f.param(0));
+  b.bnz(b.gt(0, v), then_bb, join);
+  b.set_insert_point(then_bb);
+  b.emit_into(v, Opcode::Sub, {0, v});  // abs
+  b.jump(join);
+  b.set_insert_point(join);
+  b.ret(v);
+
+  EXPECT_TRUE(if_convert(f));
+  verify(f);
+  EXPECT_EQ(count_op(f, Opcode::Bnz), 0u);
+  Interpreter interp(m);
+  EXPECT_EQ(interp.run("main", {static_cast<std::uint32_t>(-5)}).value, 5u);
+  EXPECT_EQ(interp.run("main", {7}).value, 7u);
+  EXPECT_EQ(interp.run("main", {0}).value, 0u);
+}
+
+TEST(IfConvert, DiamondMergesBothSides) {
+  Module m;
+  Function& f = m.add_function("main", 1);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto t = b.create_block("t");
+  const auto e = b.create_block("e");
+  const auto join = b.create_block("join");
+  b.set_insert_point(entry);
+  Vreg out = b.movi(0);
+  b.bnz(f.param(0), t, e);
+  b.set_insert_point(t);
+  b.emit_into(out, Opcode::Add, {f.param(0), 100});
+  b.jump(join);
+  b.set_insert_point(e);
+  b.emit_into(out, Opcode::Add, {f.param(0), 200});
+  b.jump(join);
+  b.set_insert_point(join);
+  b.ret(out);
+
+  EXPECT_TRUE(if_convert(f));
+  EXPECT_EQ(count_op(f, Opcode::Bnz), 0u);
+  Interpreter interp(m);
+  EXPECT_EQ(interp.run("main", {1}).value, 101u);
+  EXPECT_EQ(interp.run("main", {0}).value, 200u);
+}
+
+TEST(IfConvert, RefusesSideEffects) {
+  Module m;
+  m.add_global(Global{.name = "g", .size = 4});
+  Function& f = m.add_function("main", 1);
+  IRBuilder b(f);
+  const auto entry = b.create_block("entry");
+  const auto t = b.create_block("t");
+  const auto join = b.create_block("join");
+  b.set_insert_point(entry);
+  b.bnz(f.param(0), t, join);
+  b.set_insert_point(t);
+  b.stw(b.ga("g"), 1);  // store: not speculatable
+  b.jump(join);
+  b.set_insert_point(join);
+  b.ret(b.ldw(b.ga("g")));
+  EXPECT_FALSE(if_convert(f));
+  Interpreter interp(m);
+  EXPECT_EQ(interp.run("main", {0}).value, 0u);
+  EXPECT_EQ(interp.run("main", {1}).value, 1u);
+}
+
+// ---- full pipeline ---------------------------------------------------------------
+
+TEST(Pipeline, OptimizePreservesSemanticsAndShrinksCode) {
+  Module m;
+  Function& helper = m.add_function("helper", 2);
+  {
+    IRBuilder b(helper);
+    b.set_insert_point(b.create_block("entry"));
+    Vreg t = b.add(helper.param(0), helper.param(1));
+    b.ret(b.mul(t, 2));
+  }
+  Function& f = m.add_function("main", 0);
+  {
+    IRBuilder b(f);
+    const auto entry = b.create_block("entry");
+    const auto loop = b.create_block("loop");
+    const auto exit = b.create_block("exit");
+    b.set_insert_point(entry);
+    Vreg i = b.movi(0);
+    Vreg acc = b.movi(0);
+    b.jump(loop);
+    b.set_insert_point(loop);
+    Vreg v = b.call("helper", {i, Operand(3)});
+    Vreg dead = b.mul(v, 0);  // folds to 0, then dies
+    (void)dead;
+    b.emit_into(acc, Opcode::Add, {acc, v});
+    b.emit_into(i, Opcode::Add, {i, 1});
+    b.bnz(b.eq(i, 8), exit, loop);
+    b.set_insert_point(exit);
+    b.ret(acc);
+  }
+  const std::uint32_t before = run(m);
+  optimize(m, "main");
+  EXPECT_EQ(run(m), before);
+  EXPECT_EQ(count_op(m.function("main"), Opcode::Call), 0u);
+  // acc = sum over i<8 of 2*(i+3) = 2*(28 + 24) = 104
+  EXPECT_EQ(before, 104u);
+}
+
+}  // namespace
+}  // namespace ttsc::opt

@@ -1,0 +1,243 @@
+// End-to-end pipeline tests: small programs built with the IRBuilder are
+// compiled to every machine configuration; the simulated return value and
+// memory contents must match the reference interpreter bit-exactly.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "mach/configs.hpp"
+#include "report/driver.hpp"
+
+namespace ttsc {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Vreg;
+using workloads::Workload;
+
+/// Sum of i*i for i in [0, n) plus a few memory round trips.
+Workload make_sum_squares() {
+  Workload w;
+  w.name = "sum_squares";
+  w.output_globals = {"out"};
+  w.build = [](Module& m) {
+    m.add_global(ir::Global{.name = "out", .size = 64, .align = 4});
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    const auto entry = b.create_block("entry");
+    const auto loop = b.create_block("loop");
+    const auto exit = b.create_block("exit");
+
+    b.set_insert_point(entry);
+    Vreg i = b.movi(0);
+    Vreg sum = b.movi(0);
+    b.jump(loop);
+
+    b.set_insert_point(loop);
+    Vreg sq = b.mul(i, i);
+    b.emit_into(sum, ir::Opcode::Add, {sum, sq});
+    b.emit_into(i, ir::Opcode::Add, {i, 1});
+    Vreg done = b.gt(i, 40);
+    b.bnz(done, exit, loop);
+
+    b.set_insert_point(exit);
+    b.stw(b.ga("out"), sum);
+    Vreg reloaded = b.ldw(b.ga("out"));
+    b.stw(b.ga("out", 4), b.add(reloaded, 7));
+    b.ret(sum);
+  };
+  return w;
+}
+
+/// Branch-heavy collatz-style iteration.
+Workload make_collatz() {
+  Workload w;
+  w.name = "collatz";
+  w.output_globals = {"steps"};
+  w.build = [](Module& m) {
+    m.add_global(ir::Global{.name = "steps", .size = 4, .align = 4});
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    const auto entry = b.create_block("entry");
+    const auto loop = b.create_block("loop");
+    const auto odd = b.create_block("odd");
+    const auto even = b.create_block("even");
+    const auto next = b.create_block("next");
+    const auto exit = b.create_block("exit");
+
+    b.set_insert_point(entry);
+    Vreg x = b.movi(27);
+    Vreg steps = b.movi(0);
+    b.jump(loop);
+
+    b.set_insert_point(loop);
+    Vreg is_one = b.eq(x, 1);
+    b.bnz(is_one, exit, odd);
+
+    b.set_insert_point(odd);
+    Vreg bit = b.band(x, 1);
+    b.bnz(bit, even, next);  // taken when odd: x = 3x + 1
+
+    b.set_insert_point(even);
+    Vreg tripled = b.mul(x, 3);
+    b.emit_into(x, ir::Opcode::Add, {tripled, 1});
+    b.emit_into(steps, ir::Opcode::Add, {steps, 1});
+    b.jump(loop);
+
+    b.set_insert_point(next);
+    b.emit_into(x, ir::Opcode::Shru, {x, 1});
+    b.emit_into(steps, ir::Opcode::Add, {steps, 1});
+    b.jump(loop);
+
+    b.set_insert_point(exit);
+    b.stw(b.ga("steps"), steps);
+    b.ret(steps);
+  };
+  return w;
+}
+
+/// Byte/halfword memory traffic with sign extension.
+Workload make_memops() {
+  Workload w;
+  w.name = "memops";
+  w.output_globals = {"dst"};
+  w.build = [](Module& m) {
+    std::vector<std::uint8_t> init(64);
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      init[i] = static_cast<std::uint8_t>(17 * i + 3);
+    }
+    m.add_global(ir::Global{.name = "src", .size = 64, .align = 4, .init = init});
+    m.add_global(ir::Global{.name = "dst", .size = 128, .align = 4});
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    const auto entry = b.create_block("entry");
+    const auto loop = b.create_block("loop");
+    const auto exit = b.create_block("exit");
+
+    b.set_insert_point(entry);
+    Vreg i = b.movi(0);
+    Vreg acc = b.movi(0);
+    b.jump(loop);
+
+    b.set_insert_point(loop);
+    Vreg saddr = b.add(b.ga("src"), i);
+    Vreg byte_s = b.ldq(saddr);
+    Vreg byte_u = b.ldqu(saddr);
+    Vreg mixed = b.sub(byte_u, byte_s);
+    Vreg daddr = b.add(b.ga("dst"), b.shl(i, 1));
+    b.sth(daddr, mixed);
+    Vreg h = b.ldh(daddr);
+    b.emit_into(acc, ir::Opcode::Xor, {acc, h});
+    b.emit_into(i, ir::Opcode::Add, {i, 1});
+    Vreg done = b.eq(i, 64);
+    b.bnz(done, exit, loop);
+
+    b.set_insert_point(exit);
+    b.stw(b.ga("dst", 124), acc);
+    b.ret(acc);
+  };
+  return w;
+}
+
+/// Function calls (exercises the inliner) computing a polynomial hash.
+Workload make_calls() {
+  Workload w;
+  w.name = "calls";
+  w.output_globals = {"out"};
+  w.build = [](Module& m) {
+    m.add_global(ir::Global{.name = "out", .size = 4, .align = 4});
+
+    ir::Function& h = m.add_function("mix", 2);
+    {
+      IRBuilder b(h);
+      const auto entry = b.create_block("entry");
+      b.set_insert_point(entry);
+      Vreg x = b.mul(h.param(0), 31);
+      Vreg y = b.bxor(x, h.param(1));
+      b.ret(b.add(y, 11));
+    }
+
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    const auto entry = b.create_block("entry");
+    const auto loop = b.create_block("loop");
+    const auto exit = b.create_block("exit");
+
+    b.set_insert_point(entry);
+    Vreg i = b.movi(0);
+    Vreg acc = b.movi(5381);
+    b.jump(loop);
+
+    b.set_insert_point(loop);
+    Vreg mixed = b.call("mix", {acc, i});
+    b.copy_into(acc, mixed);
+    b.emit_into(i, ir::Opcode::Add, {i, 1});
+    Vreg done = b.eq(i, 20);
+    b.bnz(done, exit, loop);
+
+    b.set_insert_point(exit);
+    b.stw(b.ga("out"), acc);
+    b.ret(acc);
+  };
+  return w;
+}
+
+class PipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineTest, SumSquares) {
+  const mach::Machine m = mach::machine_by_name(GetParam());
+  const auto r = report::compile_and_run(make_sum_squares(), m);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_P(PipelineTest, Collatz) {
+  const mach::Machine m = mach::machine_by_name(GetParam());
+  const auto r = report::compile_and_run(make_collatz(), m);
+  EXPECT_EQ(r.ret, 111u);  // collatz(27) takes 111 steps
+}
+
+TEST_P(PipelineTest, MemOps) {
+  const mach::Machine m = mach::machine_by_name(GetParam());
+  const auto r = report::compile_and_run(make_memops(), m);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_P(PipelineTest, Calls) {
+  const mach::Machine m = mach::machine_by_name(GetParam());
+  const auto r = report::compile_and_run(make_calls(), m);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, PipelineTest,
+                         ::testing::Values("mblaze-3", "mblaze-5", "m-tta-1", "m-vliw-2",
+                                           "p-vliw-2", "m-tta-2", "p-tta-2", "bm-tta-2",
+                                           "m-vliw-3", "p-vliw-3", "m-tta-3", "p-tta-3",
+                                           "bm-tta-3"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+/// The TTA freedoms must never change results, only cycle counts.
+TEST(PipelineAblation, FreedomTogglesPreserveSemantics) {
+  const mach::Machine m = mach::machine_by_name("m-tta-2");
+  for (int mask = 0; mask < 16; ++mask) {
+    tta::TtaOptions opt;
+    opt.software_bypass = (mask & 1) != 0;
+    opt.dead_result_elim = (mask & 2) != 0;
+    opt.operand_share = (mask & 4) != 0;
+    opt.early_control = (mask & 8) != 0;
+    try {
+      const auto r = report::compile_and_run(make_memops(), m, opt);
+      EXPECT_GT(r.cycles, 0u) << "mask=" << mask;
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "mask=" << mask << ": " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ttsc

@@ -1,0 +1,143 @@
+// Random structured-program generator shared by the property tests and
+// debugging tools.
+#pragma once
+
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/module.hpp"
+#include "support/rng.hpp"
+#include "workloads/common.hpp"
+
+namespace ttsc::propgen {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Operand;
+using ir::Vreg;
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  ir::Module generate() {
+    ir::Module m;
+    std::vector<std::uint8_t> init(256);
+    for (auto& x : init) x = static_cast<std::uint8_t>(rng_.next());
+    m.add_global(ir::Global{.name = "data", .size = 256, .align = 4, .init = init});
+    m.add_global(ir::Global{.name = "out", .size = 256, .align = 4});
+
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    b.set_insert_point(b.create_block("entry"));
+
+    pool_.clear();
+    pool_.push_back(b.movi(static_cast<std::int32_t>(rng_.next_u32())));
+    pool_.push_back(b.ldw(b.ga("data")));
+    emit_body(b, /*budget=*/12 + static_cast<int>(rng_.next_below(20)), /*depth=*/0);
+
+    Vreg result = pool_[0];
+    for (std::size_t i = 1; i < pool_.size(); ++i) result = b.bxor(result, pool_[i]);
+    b.stw(b.ga("out", 252), result);
+    b.ret(result);
+    return m;
+  }
+
+ private:
+  Operand random_operand(IRBuilder& b) {
+    (void)b;
+    if (rng_.next_below(4) == 0) {
+      // Mix of short and wide immediates to stress both encodings.
+      return rng_.next_below(2) == 0
+                 ? Operand(static_cast<std::int32_t>(rng_.next_below(256)) - 128)
+                 : Operand(static_cast<std::int32_t>(rng_.next_u32()));
+    }
+    return Operand(pool_[rng_.next_below(static_cast<std::uint32_t>(pool_.size()))]);
+  }
+
+  Vreg random_reg(IRBuilder&) {
+    return pool_[rng_.next_below(static_cast<std::uint32_t>(pool_.size()))];
+  }
+
+  void emit_op(IRBuilder& b) {
+    static constexpr Opcode kOps[] = {Opcode::Add, Opcode::Sub,  Opcode::Mul, Opcode::And,
+                                      Opcode::Ior, Opcode::Xor,  Opcode::Shl, Opcode::Shr,
+                                      Opcode::Shru, Opcode::Eq,  Opcode::Gt,  Opcode::Gtu};
+    switch (rng_.next_below(10)) {
+      case 0: {  // load (address masked into the data global)
+        Vreg offset = b.band(random_reg(b), 0xfc);
+        Vreg addr = b.add(b.ga("data"), offset);
+        switch (rng_.next_below(5)) {
+          case 0: pool_.push_back(b.ldw(addr)); break;
+          case 1: pool_.push_back(b.ldh(addr)); break;
+          case 2: pool_.push_back(b.ldhu(addr)); break;
+          case 3: pool_.push_back(b.ldq(addr)); break;
+          default: pool_.push_back(b.ldqu(addr)); break;
+        }
+        break;
+      }
+      case 1: {  // store (masked into the out global)
+        Vreg offset = b.band(random_reg(b), 0xfc);
+        Vreg addr = b.add(b.ga("out"), offset);
+        switch (rng_.next_below(3)) {
+          case 0: b.stw(addr, random_operand(b)); break;
+          case 1: b.sth(addr, random_operand(b)); break;
+          default: b.stq(addr, random_operand(b)); break;
+        }
+        break;
+      }
+      case 2: {  // unary
+        pool_.push_back(rng_.next_below(2) == 0 ? b.sxhw(random_reg(b))
+                                                : b.sxqw(random_reg(b)));
+        break;
+      }
+      case 3: {  // redefinition of an existing pool register
+        Vreg target = random_reg(b);
+        b.emit_into(target, Opcode::Add, {random_operand(b), random_operand(b)});
+        break;
+      }
+      default: {
+        const Opcode op = kOps[rng_.next_below(std::size(kOps))];
+        pool_.push_back(b.emit(op, {random_operand(b), random_operand(b)}));
+        break;
+      }
+    }
+    // Bound the live pool.
+    if (pool_.size() > 24) pool_.erase(pool_.begin() + 1);
+  }
+
+  void emit_body(IRBuilder& b, int budget, int depth) {
+    while (budget > 0) {
+      if (depth < 2 && rng_.next_below(6) == 0) {
+        // Bounded counted loop.
+        const int trips = 2 + static_cast<int>(rng_.next_below(7));
+        const int inner = 3 + static_cast<int>(rng_.next_below(6));
+        workloads::for_range(b, 0, trips, [&](Vreg i) {
+          // Expose the induction value through a copy: random redefinitions
+          // of pool registers must not touch the loop counter itself.
+          const Vreg snapshot = b.copy(i);
+          pool_.push_back(snapshot);
+          emit_body(b, inner, depth + 1);
+          std::erase(pool_, snapshot);  // dies with the loop
+        });
+        budget -= 3;
+      } else if (depth < 2 && rng_.next_below(6) == 0) {
+        // Branchy diamond.
+        Vreg cond = b.band(random_reg(b), 1);
+        workloads::if_else(
+            b, cond, [&] { emit_body(b, 3, depth + 1); },
+            [&] { emit_body(b, 3, depth + 1); });
+        budget -= 2;
+      } else {
+        emit_op(b);
+        --budget;
+      }
+    }
+  }
+
+  SplitMix64 rng_;
+  std::vector<Vreg> pool_;
+};
+
+
+}  // namespace ttsc::propgen

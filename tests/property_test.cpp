@@ -1,0 +1,173 @@
+// Property-based end-to-end testing: randomly generated structured
+// programs must produce identical results on the reference interpreter
+// (unoptimized IR) and on every backend (optimized, register-allocated,
+// scheduled, simulated). This sweeps the whole toolchain — optimizer
+// soundness, allocator correctness, scheduler legality and simulator
+// fidelity — across program shapes no hand-written test covers.
+#include <gtest/gtest.h>
+
+#include "codegen/legalize.hpp"
+#include "codegen/lower.hpp"
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/verify.hpp"
+#include "mach/configs.hpp"
+#include "opt/passes.hpp"
+#include "report/driver.hpp"
+#include "scalar/scalar.hpp"
+#include "support/rng.hpp"
+#include "tta/tta.hpp"
+#include "tta/binary.hpp"
+#include "tta/verify.hpp"
+#include "vliw/vliw.hpp"
+#include "workloads/common.hpp"
+
+#include "program_generator.hpp"
+
+namespace ttsc {
+namespace {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Operand;
+using ir::Vreg;
+
+using propgen::ProgramGenerator;
+
+struct Observed {
+  std::uint32_t ret;
+  std::uint64_t out_checksum;
+};
+
+Observed observe_interp(const ir::Module& m) {
+  ir::Interpreter interp(m);
+  const auto r = interp.run("main", {});
+  return {r.value, interp.memory().checksum(m.layout().address_of("out"), 256)};
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackendEquivalence, AllBackendsMatchInterpreter) {
+  ProgramGenerator gen(GetParam());
+  ir::Module original = gen.generate();
+  ir::verify(original);
+  const Observed golden = observe_interp(original);
+
+  // Optimizer soundness: optimized IR behaves identically.
+  ir::Module optimized = original;
+  opt::optimize(optimized, "main");
+  const Observed after_opt = observe_interp(optimized);
+  EXPECT_EQ(after_opt.ret, golden.ret) << "optimizer broke seed " << GetParam();
+  EXPECT_EQ(after_opt.out_checksum, golden.out_checksum);
+
+  // If-conversion soundness (library feature, off by default in the driver).
+  {
+    ir::Module converted = optimized;
+    opt::if_convert(converted.function("main"));
+    const Observed after_ic = observe_interp(converted);
+    EXPECT_EQ(after_ic.ret, golden.ret) << "if-conversion broke seed " << GetParam();
+    EXPECT_EQ(after_ic.out_checksum, golden.out_checksum);
+  }
+
+  for (const char* name :
+       {"mblaze-3", "mblaze-5", "m-tta-1", "m-vliw-2", "p-tta-2", "m-vliw-3", "bm-tta-3"}) {
+    const mach::Machine machine = mach::machine_by_name(name);
+    ir::Module prepared = optimized;
+    if (machine.model == mach::Model::Scalar) {
+      codegen::legalize_scalar_operands(prepared.function("main"));
+    }
+    const auto lowered = codegen::lower(prepared, "main", machine);
+    ir::Memory mem = report::make_loaded_memory(prepared);
+    std::uint32_t ret = 0;
+    switch (machine.model) {
+      case mach::Model::Scalar: {
+        const auto prog = scalar::emit_scalar(lowered.func);
+        ret = scalar::ScalarSim(prog, machine, mem).run().ret;
+        break;
+      }
+      case mach::Model::Vliw: {
+        const auto prog = vliw::schedule_vliw(lowered.func, machine);
+        ret = vliw::VliwSim(prog, machine, mem).run().ret;
+        break;
+      }
+      case mach::Model::Tta: {
+        const auto prog = tta::schedule_tta(lowered.func, machine);
+        tta::verify_program(prog, machine);
+        ret = tta::TtaSim(prog, machine, mem).run().ret;
+        break;
+      }
+    }
+    EXPECT_EQ(ret, golden.ret) << name << " seed " << GetParam();
+    EXPECT_EQ(mem.checksum(prepared.layout().address_of("out"), 256), golden.out_checksum)
+        << name << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, BackendEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+/// The TTA freedoms individually toggled must preserve random-program
+/// semantics too (beyond the fixed workloads).
+class FreedomEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FreedomEquivalence, EveryOptionMaskMatches) {
+  ProgramGenerator gen(GetParam() * 977);
+  ir::Module original = gen.generate();
+  const Observed golden = observe_interp(original);
+  ir::Module optimized = original;
+  opt::optimize(optimized, "main");
+  const mach::Machine machine = mach::machine_by_name("p-tta-3");
+  const auto lowered = codegen::lower(optimized, "main", machine);
+
+  for (int mask = 0; mask < 16; ++mask) {
+    tta::TtaOptions opt;
+    opt.software_bypass = (mask & 1) != 0;
+    opt.dead_result_elim = (mask & 2) != 0;
+    opt.operand_share = (mask & 4) != 0;
+    opt.early_control = (mask & 8) != 0;
+    const auto prog = tta::schedule_tta(lowered.func, machine, opt);
+    tta::verify_program(prog, machine);
+    ir::Memory mem = report::make_loaded_memory(optimized);
+    const auto r = tta::TtaSim(prog, machine, mem).run();
+    EXPECT_EQ(r.ret, golden.ret) << "mask " << mask << " seed " << GetParam();
+    EXPECT_EQ(mem.checksum(optimized.layout().address_of("out"), 256), golden.out_checksum)
+        << "mask " << mask << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, FreedomEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/// Binary encode/decode must be a semantic identity on random programs too.
+class RoundTripEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripEquivalence, DecodedProgramBehavesIdentically) {
+  ProgramGenerator gen(GetParam() * 31337);
+  ir::Module original = gen.generate();
+  ir::Module optimized = original;
+  opt::optimize(optimized, "main");
+  for (const char* name : {"m-tta-2", "bm-tta-2", "g-tta-2"}) {
+    const mach::Machine machine = mach::machine_by_name(name);
+    ir::Module prepared = optimized;
+    if (machine.has_guards()) {
+      opt::if_convert_selects(prepared.function("main"));
+    }
+    const auto lowered = codegen::lower(prepared, "main", machine);
+    const auto prog = tta::schedule_tta(lowered.func, machine);
+    const auto decoded = tta::decode_program(tta::encode_program(prog, machine), machine);
+    tta::verify_program(decoded, machine);
+    ir::Memory mem_a = report::make_loaded_memory(prepared);
+    ir::Memory mem_b = report::make_loaded_memory(prepared);
+    const auto a = tta::TtaSim(prog, machine, mem_a).run();
+    const auto b = tta::TtaSim(decoded, machine, mem_b).run();
+    EXPECT_EQ(a.ret, b.ret) << name << " seed " << GetParam();
+    EXPECT_EQ(a.cycles, b.cycles) << name << " seed " << GetParam();
+    EXPECT_EQ(mem_a.checksum(0, 4096), mem_b.checksum(0, 4096)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, RoundTripEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ttsc

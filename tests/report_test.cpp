@@ -1,0 +1,125 @@
+// Experiment harness: the full 13x8 matrix and the table/figure renderers
+// that every bench binary prints. Running the matrix here means every
+// configuration in the paper is exercised (and interpreter-verified) on
+// every `ctest` run.
+#include <gtest/gtest.h>
+
+#include "report/experiments.hpp"
+
+namespace ttsc::report {
+namespace {
+
+const Matrix& matrix() {
+  static const Matrix m = Matrix::run();
+  return m;
+}
+
+TEST(Matrix, CoversAllMachinesAndWorkloads) {
+  EXPECT_EQ(matrix().machines().size(), 13u);
+  EXPECT_EQ(matrix().workload_names().size(), 8u);
+  for (const MachineResults& r : matrix().machines()) {
+    EXPECT_EQ(r.by_workload.size(), 8u) << r.machine.name;
+    for (const auto& [w, outcome] : r.by_workload) {
+      EXPECT_GT(outcome.cycles, 0u) << r.machine.name << "/" << w;
+      EXPECT_GT(outcome.image_bits, 0u) << r.machine.name << "/" << w;
+    }
+  }
+}
+
+TEST(Matrix, PaperShapeTtaBeatsVliwCycles) {
+  // Table IV's headline: every TTA variant needs no more cycles than its
+  // VLIW counterpart on every benchmark.
+  for (const std::string& w : matrix().workload_names()) {
+    EXPECT_LE(matrix().cycles("m-tta-2", w), matrix().cycles("m-vliw-2", w)) << w;
+    EXPECT_LE(matrix().cycles("p-tta-2", w), matrix().cycles("p-vliw-2", w)) << w;
+    EXPECT_LE(matrix().cycles("m-tta-3", w), matrix().cycles("m-vliw-3", w)) << w;
+    EXPECT_LE(matrix().cycles("p-tta-3", w), matrix().cycles("p-vliw-3", w)) << w;
+  }
+}
+
+TEST(Matrix, PaperShapePartitionedVliwSameCycles) {
+  // p-vliw stays within a few percent of m-vliw (paper: 0.95-1.05x).
+  for (const std::string& w : matrix().workload_names()) {
+    const double ratio = static_cast<double>(matrix().cycles("p-vliw-2", w)) /
+                         static_cast<double>(matrix().cycles("m-vliw-2", w));
+    EXPECT_GT(ratio, 0.93) << w;
+    EXPECT_LT(ratio, 1.07) << w;
+  }
+}
+
+TEST(Matrix, PaperShapeTta1BeatsMicroBlazeRuntime) {
+  // Fig. 5, 1-issue group: the single-issue TTA is faster than both
+  // MicroBlaze configurations at the modelled clocks on every benchmark.
+  for (const std::string& w : matrix().workload_names()) {
+    EXPECT_LT(matrix().runtime_us("m-tta-1", w), matrix().runtime_us("mblaze-3", w)) << w;
+    EXPECT_LT(matrix().runtime_us("m-tta-1", w), matrix().runtime_us("mblaze-5", w)) << w;
+  }
+}
+
+TEST(Matrix, PaperShapeMblaze5NotSlowerThanMblaze3) {
+  for (const std::string& w : matrix().workload_names()) {
+    // +4 cycles of slack: the deeper pipeline's longer fill can outweigh
+    // its hazard savings on stall-free code (motion), a wash otherwise.
+    EXPECT_LE(matrix().cycles("mblaze-5", w), matrix().cycles("mblaze-3", w) + 4) << w;
+  }
+}
+
+TEST(Render, Table2ContainsAllMachinesAndRatios) {
+  const std::string t = render_table2_program_size(matrix());
+  for (const char* name : {"mblaze-3", "m-tta-1", "m-vliw-2", "bm-tta-2", "m-vliw-3", "bm-tta-3"}) {
+    EXPECT_NE(t.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(t.find("1-issue"), std::string::npos);
+  EXPECT_NE(t.find("kb"), std::string::npos);
+  EXPECT_NE(t.find("x"), std::string::npos);
+}
+
+TEST(Render, Table3ListsPortsAndFmax) {
+  const std::string t = render_table3_synthesis(matrix());
+  EXPECT_NE(t.find("fmax"), std::string::npos);
+  EXPECT_NE(t.find("lutRAM"), std::string::npos);
+  EXPECT_NE(t.find("m-vliw-3"), std::string::npos);
+}
+
+TEST(Render, Table4HasBaselineAbsolutes) {
+  const std::string t = render_table4_cycles(matrix());
+  EXPECT_NE(t.find("baseline mblaze-3"), std::string::npos);
+  EXPECT_NE(t.find("baseline m-vliw-2"), std::string::npos);
+  EXPECT_NE(t.find("baseline m-vliw-3"), std::string::npos);
+}
+
+TEST(Render, Fig5NormalizedToOne) {
+  const std::string t = render_fig5_runtime(matrix());
+  // The baseline rows are exactly 1.00 everywhere.
+  EXPECT_NE(t.find("1.00"), std::string::npos);
+}
+
+TEST(Render, Fig6HasScatterAndLegend) {
+  const std::string t = render_fig6_efficiency(matrix());
+  EXPECT_NE(t.find("scatter"), std::string::npos);
+  EXPECT_NE(t.find("a = mblaze-3"), std::string::npos);
+  EXPECT_NE(t.find("rel.runtime"), std::string::npos);
+}
+
+TEST(Render, RfPartitioningAblation) {
+  const std::string t = render_ablation_rf_partitioning(matrix());
+  EXPECT_NE(t.find("geo.runtime"), std::string::npos);
+  EXPECT_NE(t.find("bm-tta-3"), std::string::npos);
+}
+
+TEST(Matrix, RuntimeConsistentWithCyclesAndFmax) {
+  for (const MachineResults& r : matrix().machines()) {
+    for (const std::string& w : matrix().workload_names()) {
+      const double expected =
+          static_cast<double>(r.by_workload.at(w).cycles) / r.timing.fmax_mhz;
+      EXPECT_NEAR(matrix().runtime_us(r.machine.name, w), expected, 1e-9);
+    }
+  }
+}
+
+TEST(Matrix, UnknownMachineThrows) {
+  EXPECT_THROW(matrix().machine("pdp-11"), Error);
+}
+
+}  // namespace
+}  // namespace ttsc::report

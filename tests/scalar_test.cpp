@@ -1,0 +1,206 @@
+// Scalar (MicroBlaze stand-in) backend: emission, encoding and the
+// pipeline timing model.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "codegen/lower.hpp"
+#include "ir/builder.hpp"
+#include "mach/configs.hpp"
+#include "report/driver.hpp"
+#include "scalar/scalar.hpp"
+
+namespace ttsc::scalar {
+namespace {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Vreg;
+
+struct Built {
+  ir::Module module;
+  ScalarProgram program;
+  mach::Machine machine;
+};
+
+Built build(const std::function<void(ir::Function&, IRBuilder&)>& body,
+            mach::Machine machine = mach::make_mblaze3()) {
+  Built out{.module = {}, .program = {}, .machine = std::move(machine)};
+  // Shared scratch global used by the timing bodies: word 0 = 1, word 1 = 20.
+  std::vector<std::uint8_t> init(64, 0);
+  init[0] = 1;
+  init[4] = 20;
+  out.module.add_global(ir::Global{.name = "g", .size = 64, .align = 4, .init = init});
+  ir::Function& f = out.module.add_function("main", 0);
+  IRBuilder b(f);
+  b.set_insert_point(b.create_block("entry"));
+  body(f, b);
+  const auto lowered = codegen::lower(out.module, "main", out.machine);
+  out.program = emit_scalar(lowered.func);
+  return out;
+}
+
+ExecResult run(Built& built) {
+  ir::Memory mem = report::make_loaded_memory(built.module);
+  ScalarSim sim(built.program, built.machine, mem);
+  return sim.run();
+}
+
+TEST(Emit, FallthroughJumpElided) {
+  Built built = build([](ir::Function& f, IRBuilder& b) {
+    const auto next = b.create_block("next");
+    b.jump(next);  // jump to the immediately following block
+    b.set_insert_point(next);
+    b.ret(b.movi(1));
+    (void)f;
+  });
+  for (const auto& in : built.program.instrs) EXPECT_NE(in.op, Opcode::Jump);
+  EXPECT_EQ(run(built).ret, 1u);
+}
+
+TEST(Emit, ShortImmediateBoundary) {
+  EXPECT_TRUE(fits_short_imm(32767));
+  EXPECT_FALSE(fits_short_imm(32768));
+  EXPECT_TRUE(fits_short_imm(-32768));
+  EXPECT_FALSE(fits_short_imm(-32769));
+}
+
+TEST(Encoding, ImmPrefixCostsAWord) {
+  Built small = build([](ir::Function&, IRBuilder& b) { b.ret(b.movi(100)); });
+  Built large = build([](ir::Function&, IRBuilder& b) { b.ret(b.movi(0x123456)); });
+  EXPECT_EQ(large.program.code_words(large.machine.scalar),
+            small.program.code_words(small.machine.scalar) + 1);
+}
+
+TEST(Encoding, NoBarrelShifterExpandsConstantShifts) {
+  Built s1 = build([](ir::Function&, IRBuilder& b) { b.ret(b.shl(b.movi(3), 1)); });
+  Built s7 = build([](ir::Function&, IRBuilder& b) { b.ret(b.shl(b.movi(3), 7)); });
+  // Six extra single-bit shift instructions.
+  EXPECT_EQ(s7.program.code_words(s7.machine.scalar),
+            s1.program.code_words(s1.machine.scalar) + 6);
+  // With a barrel shifter the programs are the same size.
+  mach::ScalarTiming barrel = s7.machine.scalar;
+  barrel.barrel_shifter = true;
+  EXPECT_EQ(s7.program.code_words(barrel), s1.program.code_words(barrel));
+}
+
+TEST(Encoding, UnrolledShiftCapped) {
+  Built s31 = build([](ir::Function&, IRBuilder& b) { b.ret(b.shru(b.movi(-1), 31)); });
+  Built s8 = build([](ir::Function&, IRBuilder& b) { b.ret(b.shru(b.movi(-1), 8)); });
+  EXPECT_EQ(s31.program.code_words(s31.machine.scalar),
+            s8.program.code_words(s8.machine.scalar));
+}
+
+// ---- timing model -----------------------------------------------------------------
+
+std::uint64_t cycles_of(const std::function<void(ir::Function&, IRBuilder&)>& body,
+                        mach::Machine machine = mach::make_mblaze3()) {
+  Built built = build(body, std::move(machine));
+  return run(built).cycles;
+}
+
+TEST(Timing, DependentAddsSingleCycleWithForwarding) {
+  // 8 extra dependent adds cost exactly 8 extra cycles (full forwarding).
+  const auto base = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg x = b.movi(1);
+    b.ret(x);
+  });
+  const auto chain = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg x = b.movi(1);
+    for (int i = 0; i < 8; ++i) x = b.add(x, x);
+    b.ret(x);
+  });
+  EXPECT_EQ(chain, base + 8);
+}
+
+TEST(Timing, LoadUseStallCharged) {
+  // mblaze-3 charges 2 stall cycles when a load feeds the next instruction.
+  const auto dependent = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg v = b.ldw(b.ga("g"));
+    b.ret(b.add(v, 1));
+  });
+  const auto independent = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg v = b.ldw(b.ga("g"));
+    Vreg pad1 = b.add(1, 2);
+    Vreg pad2 = b.add(pad1, 3);
+    b.ret(b.add(v, pad2));
+  });
+  // Two pad instructions hide the two stall cycles exactly.
+  EXPECT_EQ(dependent, independent);
+}
+
+TEST(Timing, Mblaze5FasterOnLoadChains) {
+  auto body = [](ir::Function&, IRBuilder& b) {
+    Vreg acc = b.movi(0);
+    for (int i = 0; i < 16; ++i) {
+      Vreg v = b.ldw(b.ga("g", 4 * (i % 4)));
+      acc = b.add(acc, v);
+    }
+    b.ret(acc);
+  };
+  EXPECT_LT(cycles_of(body, mach::make_mblaze5()), cycles_of(body, mach::make_mblaze3()));
+}
+
+TEST(Timing, TakenBranchPenalty) {
+  // A taken loop back edge costs 1 (branch) + penalty cycles per iteration.
+  const auto looped = cycles_of([](ir::Function& f, IRBuilder& b) {
+    const auto loop = b.create_block("loop");
+    const auto exit = b.create_block("exit");
+    Vreg i = b.movi(0);
+    b.jump(loop);
+    b.set_insert_point(loop);
+    b.emit_into(i, Opcode::Add, {i, 1});
+    b.bnz(b.gt(16, i), loop, exit);
+    b.set_insert_point(exit);
+    b.ret(i);
+    (void)f;
+  });
+  // 16 iterations: add + gt + taken bnz(1+2) = 5 cycles, last iteration
+  // not taken = 3; plus movi+jump prologue and ret + pipeline fill.
+  EXPECT_GT(looped, 16u * 4);
+  EXPECT_LT(looped, 16u * 6 + 12);
+}
+
+TEST(Timing, VariableShiftCostsPerBit) {
+  const auto small = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg amt = b.ldw(b.ga("g"));  // 1
+    b.ret(b.shl(b.movi(1), amt));
+  });
+  const auto large = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg amt = b.ldw(b.ga("g", 4));  // 20
+    b.ret(b.shl(b.movi(1), amt));
+  });
+  EXPECT_GT(large, small + 30);  // 19 extra bits at 2 cycles each
+}
+
+TEST(Timing, ResultsMatchGoldenOnBranchyCode) {
+  Built built = build([](ir::Function& f, IRBuilder& b) {
+    const auto loop = b.create_block("loop");
+    const auto odd = b.create_block("odd");
+    const auto even = b.create_block("even");
+    const auto next = b.create_block("next");
+    const auto exit = b.create_block("exit");
+    Vreg x = b.movi(7);
+    Vreg n = b.movi(0);
+    b.jump(loop);
+    b.set_insert_point(loop);
+    b.bnz(b.eq(x, 1), exit, odd);
+    b.set_insert_point(odd);
+    b.bnz(b.band(x, 1), even, next);
+    b.set_insert_point(even);
+    b.emit_into(x, Opcode::Add, {b.mul(x, 3), 1});
+    b.emit_into(n, Opcode::Add, {n, 1});
+    b.jump(loop);
+    b.set_insert_point(next);
+    b.emit_into(x, Opcode::Shru, {x, 1});
+    b.emit_into(n, Opcode::Add, {n, 1});
+    b.jump(loop);
+    b.set_insert_point(exit);
+    b.ret(n);
+    (void)f;
+  });
+  EXPECT_EQ(run(built).ret, 16u);  // collatz(7) = 16 steps
+}
+
+}  // namespace
+}  // namespace ttsc::scalar

@@ -1,0 +1,309 @@
+// Direct simulator-semantics tests: hand-assembled TTA and VLIW programs
+// (no compiler involved) pinning the timing rules the schedulers rely on —
+// operand-port latching, result-register persistence, RF write visibility,
+// delay-slot execution, branch squashing, guard latching.
+#include <gtest/gtest.h>
+
+#include "mach/configs.hpp"
+#include "tta/tta.hpp"
+#include "tta/verify.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc {
+namespace {
+
+using tta::Move;
+using tta::MoveDst;
+using tta::MoveSrc;
+using tta::TtaInstruction;
+using tta::TtaProgram;
+
+/// m-tta-1 layout: fu0 = lsu, fu1 = alu, fu2 = cu; rf0 = 32x32.
+struct Asm {
+  TtaProgram prog;
+
+  Asm() { prog.block_entry = {0}; }
+
+  TtaInstruction& at(std::size_t pc) {
+    if (prog.instrs.size() <= pc) prog.instrs.resize(pc + 1);
+    return prog.instrs[pc];
+  }
+  void mv(std::size_t pc, int bus, MoveSrc src, MoveDst dst) {
+    Move m;
+    m.bus = bus;
+    m.src = src;
+    m.dst = dst;
+    at(pc).moves.push_back(m);
+  }
+  void ret(std::size_t pc, int bus_val, int bus_trig, MoveSrc value) {
+    Move v;
+    v.bus = bus_val;
+    v.src = value;
+    v.dst = MoveDst::fu_operand(2);
+    at(pc).moves.push_back(v);
+    Move t;
+    t.bus = bus_trig;
+    t.src = MoveSrc::immediate(0);
+    t.dst = MoveDst::fu_trigger(2, ir::Opcode::Ret);
+    t.is_control = true;
+    at(pc).moves.push_back(t);
+  }
+};
+
+tta::ExecResult run_tta(const TtaProgram& prog, const mach::Machine& machine,
+                        ir::Memory* mem_out = nullptr) {
+  tta::verify_program(prog, machine);
+  ir::Memory mem(1 << 16);
+  tta::TtaSim sim(prog, machine, mem);
+  auto r = sim.run(100000);
+  if (mem_out != nullptr) *mem_out = mem;
+  return r;
+}
+
+TEST(TtaSemantics, AddLatencyOne) {
+  // cycle 0: 5 -> alu.o ; 7 -> alu.t(add)
+  // cycle 1: alu.r readable -> return 12
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(5), MoveDst::fu_operand(1));
+  a.mv(0, 1, MoveSrc::immediate(7), MoveDst::fu_trigger(1, ir::Opcode::Add));
+  a.ret(1, 0, 1, MoveSrc::fu_result(1));
+  const auto r = run_tta(a.prog, m);
+  EXPECT_EQ(r.ret, 12u);
+  EXPECT_EQ(r.cycles, 2u);
+}
+
+TEST(TtaSemantics, ResultRegisterPersistsUntilReplaced) {
+  // The add result stays in alu.r for later cycles (semi-virtual time
+  // latching): read it 3 cycles after completion.
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(20), MoveDst::fu_operand(1));
+  a.mv(0, 1, MoveSrc::immediate(22), MoveDst::fu_trigger(1, ir::Opcode::Add));
+  a.ret(4, 0, 1, MoveSrc::fu_result(1));
+  EXPECT_EQ(run_tta(a.prog, m).ret, 42u);
+}
+
+TEST(TtaSemantics, OperandPortLatchesAcrossCycles) {
+  // Operand moved at cycle 0, trigger at cycle 2: the port held the value.
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(100), MoveDst::fu_operand(1));
+  a.mv(2, 1, MoveSrc::immediate(-58), MoveDst::fu_trigger(1, ir::Opcode::Add));
+  a.ret(3, 0, 1, MoveSrc::fu_result(1));
+  EXPECT_EQ(run_tta(a.prog, m).ret, 42u);
+}
+
+TEST(TtaSemantics, RfWriteVisibleNextCycle) {
+  // Write rf.3 at cycle 0; read it at cycle 1 into the return.
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(77), MoveDst::rf_write(0, 3));
+  a.ret(1, 0, 1, MoveSrc::rf_read(0, 3));
+  EXPECT_EQ(run_tta(a.prog, m).ret, 77u);
+}
+
+TEST(TtaSemantics, RfReadInWriteCycleSeesOldValue) {
+  // cycle 0: write rf.3 = 11 ; cycle 1: write rf.3 = 99 AND read rf.3 into
+  // the ALU — the read must see 11 (write visible next cycle).
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(11), MoveDst::rf_write(0, 3));
+  a.mv(1, 0, MoveSrc::immediate(99), MoveDst::rf_write(0, 3));
+  a.mv(1, 1, MoveSrc::rf_read(0, 3), MoveDst::fu_operand(1));
+  a.mv(2, 0, MoveSrc::immediate(0), MoveDst::fu_trigger(1, ir::Opcode::Add));
+  a.ret(3, 0, 1, MoveSrc::fu_result(1));
+  EXPECT_EQ(run_tta(a.prog, m).ret, 11u);
+}
+
+TEST(TtaSemantics, StoreCommitsInTriggerCycle) {
+  // store 42 to 0x100 at cycle 0; load it back (trigger cycle 1).
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(42), MoveDst::fu_operand(0));
+  a.mv(0, 1, MoveSrc::immediate(0x70), MoveDst::fu_trigger(0, ir::Opcode::Stw));
+  a.mv(1, 0, MoveSrc::immediate(0x70), MoveDst::fu_trigger(0, ir::Opcode::Ldw));
+  a.ret(4, 0, 1, MoveSrc::fu_result(0));  // load latency 3
+  ir::Memory mem(1);
+  const auto r = run_tta(a.prog, m, &mem);
+  EXPECT_EQ(r.ret, 42u);
+  EXPECT_EQ(mem.load32(0x70), 42u);
+}
+
+TEST(TtaSemantics, DelaySlotsExecuteAfterJump) {
+  // jump at cycle 0 (2 delay slots): moves at cycles 1 and 2 still execute;
+  // the instruction at the fallthrough cycle 3 must NOT execute.
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.prog.block_entry = {0, 4};
+  Move jmp;
+  jmp.bus = 0;
+  jmp.src = MoveSrc::immediate(0);
+  jmp.dst = MoveDst::fu_trigger(2, ir::Opcode::Jump);
+  jmp.is_control = true;
+  jmp.target = 1;  // block 1 -> pc 4
+  a.at(0).moves.push_back(jmp);
+  a.mv(1, 0, MoveSrc::immediate(10), MoveDst::rf_write(0, 1));  // delay slot 1
+  a.mv(2, 0, MoveSrc::immediate(20), MoveDst::rf_write(0, 2));  // delay slot 2
+  a.mv(3, 0, MoveSrc::immediate(99), MoveDst::rf_write(0, 1));  // skipped
+  a.at(4);  // landing pad
+  // return rf.1 + rf.2 = 30
+  a.mv(5, 0, MoveSrc::rf_read(0, 1), MoveDst::fu_operand(1));
+  a.mv(6, 0, MoveSrc::rf_read(0, 2), MoveDst::fu_trigger(1, ir::Opcode::Add));
+  a.ret(7, 0, 1, MoveSrc::fu_result(1));
+  EXPECT_EQ(run_tta(a.prog, m).ret, 30u);
+}
+
+TEST(TtaSemantics, BnzNotTakenFallsThrough) {
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.prog.block_entry = {0, 5};
+  a.mv(0, 0, MoveSrc::immediate(0), MoveDst::fu_operand(2));  // cond = 0
+  Move bnz;
+  bnz.bus = 1;
+  bnz.src = MoveSrc::immediate(0);
+  bnz.dst = MoveDst::fu_trigger(2, ir::Opcode::Bnz);
+  bnz.is_control = true;
+  bnz.target = 1;
+  a.at(0).moves.push_back(bnz);
+  a.ret(3, 0, 1, MoveSrc::immediate(7));   // fallthrough path
+  a.ret(5, 0, 1, MoveSrc::immediate(13));  // taken path
+  EXPECT_EQ(run_tta(a.prog, m).ret, 7u);
+}
+
+TEST(TtaSemantics, GuardSquashesMove) {
+  const mach::Machine m = mach::make_g_tta_2();
+  Asm a;
+  // cycle 0: guard0 = 1 (nonzero); then opposite-guarded writes to rf0.4
+  // on consecutive cycles (the 1W port serializes them, as the scheduler
+  // does): only the guard-true write commits.
+  a.mv(0, 0, MoveSrc::immediate(1), MoveDst::guard_write(0));
+  {
+    Move t;
+    t.bus = 0;
+    t.src = MoveSrc::immediate(111);
+    t.dst = MoveDst::rf_write(0, 4);
+    t.guard = 0;
+    a.at(1).moves.push_back(t);
+    Move f;
+    f.bus = 1;
+    f.src = MoveSrc::immediate(99);
+    f.dst = MoveDst::rf_write(0, 4);
+    f.guard = 0;
+    f.guard_negate = true;
+    a.at(2).moves.push_back(f);
+  }
+  a.ret(3, 0, 1, MoveSrc::rf_read(0, 4));
+  EXPECT_EQ(run_tta(a.prog, m).ret, 111u);
+}
+
+TEST(TtaSemantics, GuardVisibleNextCycleOnly) {
+  // Guard written at cycle 0 is NOT visible to a guarded move at cycle 0
+  // (it still reads the old value: false), only from cycle 1 on.
+  const mach::Machine m = mach::make_g_tta_2();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(1), MoveDst::guard_write(1));
+  {
+    Move same_cycle;
+    same_cycle.bus = 1;
+    same_cycle.src = MoveSrc::immediate(50);
+    same_cycle.dst = MoveDst::rf_write(0, 6);
+    same_cycle.guard = 1;  // old value false -> squashed
+    a.at(0).moves.push_back(same_cycle);
+    Move next_cycle;
+    next_cycle.bus = 0;
+    next_cycle.src = MoveSrc::immediate(60);
+    next_cycle.dst = MoveDst::rf_write(0, 7);
+    next_cycle.guard = 1;  // new value true -> executes
+    a.at(1).moves.push_back(next_cycle);
+  }
+  // return rf.6 + rf.7 = 0 + 60
+  a.mv(2, 0, MoveSrc::rf_read(0, 6), MoveDst::fu_operand(1));
+  a.mv(3, 0, MoveSrc::rf_read(0, 7), MoveDst::fu_trigger(1, ir::Opcode::Add));
+  a.ret(4, 0, 1, MoveSrc::fu_result(1));
+  EXPECT_EQ(run_tta(a.prog, m).ret, 60u);
+}
+
+// ---- VLIW simulator semantics -------------------------------------------------------
+
+vliw::VliwProgram vliw_program(int slots) {
+  vliw::VliwProgram p;
+  p.num_slots = slots;
+  p.block_entry = {0};
+  return p;
+}
+
+codegen::MInstr vop(ir::Opcode op, mach::PhysReg dst, std::vector<codegen::MOperand> srcs) {
+  codegen::MInstr in;
+  in.op = op;
+  in.dst = dst;
+  in.srcs = std::move(srcs);
+  return in;
+}
+
+constexpr mach::PhysReg VR(int i) { return mach::PhysReg{0, static_cast<std::int16_t>(i)}; }
+
+TEST(VliwSemantics, ResultReadableOneCycleAfterWriteback) {
+  // add at cycle 0 (latency 1, write-back cycle 1): a read at cycle 1
+  // still sees the OLD register value; a read at cycle 2 sees the sum.
+  const mach::Machine m = mach::make_m_vliw_2();
+  vliw::VliwProgram p = vliw_program(2);
+  p.bundles.resize(4);
+  for (auto& b : p.bundles) b.slots.resize(2);
+  p.bundles[0].slots[1] = vliw::SlotOp{
+      vop(ir::Opcode::Add, VR(1),
+          {codegen::MOperand::immediate(40), codegen::MOperand::immediate(2)}),
+      1};
+  // cycle 1: r2 = r1 + 0 (sees old r1 == 0)
+  p.bundles[1].slots[1] = vliw::SlotOp{
+      vop(ir::Opcode::Add, VR(2), {codegen::MOperand(VR(1)), codegen::MOperand::immediate(0)}),
+      1};
+  // cycle 3: ret r1 (read at 3 >= 2: sees 42)
+  {
+    codegen::MInstr ret;
+    ret.op = ir::Opcode::Ret;
+    ret.srcs = {codegen::MOperand(VR(1))};
+    p.bundles[3].slots[0] = vliw::SlotOp{ret, 2};
+  }
+  ir::Memory mem(1 << 12);
+  vliw::VliwSim sim(p, m, mem);
+  const auto r = sim.run(1000);
+  EXPECT_EQ(r.ret, 42u);
+  EXPECT_EQ(r.cycles, 4u);
+}
+
+TEST(VliwSemantics, TakenBranchSquashesYoungerControl) {
+  // jump A at cycle 0; a second jump B sits in A's delay slot and must be
+  // squashed (otherwise it would redirect to the wrong target).
+  const mach::Machine m = mach::make_m_vliw_2();
+  vliw::VliwProgram p = vliw_program(2);
+  p.block_entry = {0, 4, 6};
+  p.bundles.resize(8);
+  for (auto& b : p.bundles) b.slots.resize(2);
+  {
+    codegen::MInstr jmp_a;
+    jmp_a.op = ir::Opcode::Jump;
+    jmp_a.targets = {1};  // block 1 -> pc 4
+    p.bundles[0].slots[0] = vliw::SlotOp{jmp_a, 2};
+    codegen::MInstr jmp_b;
+    jmp_b.op = ir::Opcode::Jump;
+    jmp_b.targets = {2};  // block 2 -> pc 6 (must be squashed)
+    p.bundles[1].slots[0] = vliw::SlotOp{jmp_b, 2};
+  }
+  {
+    codegen::MInstr ret4;
+    ret4.op = ir::Opcode::Ret;
+    ret4.srcs = {codegen::MOperand::immediate(1)};
+    p.bundles[4].slots[0] = vliw::SlotOp{ret4, 2};
+    codegen::MInstr ret6;
+    ret6.op = ir::Opcode::Ret;
+    ret6.srcs = {codegen::MOperand::immediate(2)};
+    p.bundles[6].slots[0] = vliw::SlotOp{ret6, 2};
+  }
+  ir::Memory mem(1 << 12);
+  vliw::VliwSim sim(p, m, mem);
+  EXPECT_EQ(sim.run(1000).ret, 1u);
+}
+
+}  // namespace
+}  // namespace ttsc

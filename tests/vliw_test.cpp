@@ -1,0 +1,196 @@
+// VLIW backend: scheduling constraints, encoding, simulation timing.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "codegen/lower.hpp"
+#include "ir/builder.hpp"
+#include "mach/configs.hpp"
+#include "report/driver.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::vliw {
+namespace {
+
+using codegen::MOperand;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Vreg;
+
+struct Built {
+  ir::Module module;
+  VliwProgram program;
+  mach::Machine machine;
+};
+
+Built build(const std::function<void(ir::Function&, IRBuilder&)>& body,
+            mach::Machine machine = mach::make_m_vliw_2()) {
+  Built out{.module = {}, .program = {}, .machine = std::move(machine)};
+  std::vector<std::uint8_t> init(64, 0);
+  init[0] = 5;
+  init[4] = 9;
+  out.module.add_global(ir::Global{.name = "g", .size = 64, .align = 4, .init = init});
+  ir::Function& f = out.module.add_function("main", 0);
+  IRBuilder b(f);
+  b.set_insert_point(b.create_block("entry"));
+  body(f, b);
+  const auto lowered = codegen::lower(out.module, "main", out.machine);
+  out.program = schedule_vliw(lowered.func, out.machine);
+  return out;
+}
+
+ExecResult run(Built& built) {
+  ir::Memory mem = report::make_loaded_memory(built.module);
+  VliwSim sim(built.program, built.machine, mem);
+  return sim.run();
+}
+
+// ---- encoding -------------------------------------------------------------------
+
+TEST(Encoding, PaperInstructionWidths) {
+  // Section IV: 2-issue slots use 6-bit register addresses -> 48b total.
+  EXPECT_EQ(instruction_bits(mach::make_m_vliw_2()), 48);
+  EXPECT_EQ(instruction_bits(mach::make_p_vliw_2()), 48);
+  // 3-issue machines address 96 registers (7 bits) -> 27b slots, 81b total
+  // (the paper's own text computes 73b with an inconsistent slot size; we
+  // use the honest formula — see EXPERIMENTS.md).
+  EXPECT_EQ(instruction_bits(mach::make_m_vliw_3()), 81);
+  EXPECT_EQ(instruction_bits(mach::make_p_vliw_3()), 81);
+}
+
+TEST(Encoding, ImageBitsAreWidthTimesBundles) {
+  Built built = build([](ir::Function&, IRBuilder& b) { b.ret(b.movi(1)); });
+  EXPECT_EQ(image_bits(built.program, built.machine),
+            built.program.num_bundles() * 48);
+}
+
+// ---- schedule structure -------------------------------------------------------------
+
+TEST(Schedule, SlotAndFuConstraintsHold) {
+  const workloads::Workload w = workloads::make_adpcm();
+  const ir::Module optimized = report::build_optimized(w);
+  for (const char* name : {"m-vliw-2", "p-vliw-2", "m-vliw-3", "p-vliw-3"}) {
+    const mach::Machine machine = mach::machine_by_name(name);
+    const auto lowered = codegen::lower(optimized, "main", machine);
+    const auto prog = schedule_vliw(lowered.func, machine);
+    for (const Bundle& bundle : prog.bundles) {
+      ASSERT_EQ(bundle.slots.size(), machine.vliw_slots.size());
+      std::vector<int> fu_use(machine.fus.size(), 0);
+      std::vector<int> rf_reads(machine.rfs.size(), 0);
+      for (std::size_t s = 0; s < bundle.slots.size(); ++s) {
+        if (!bundle.slots[s].has_value()) continue;
+        const SlotOp& op = *bundle.slots[s];
+        // The executing FU must belong to this slot.
+        bool fu_in_slot = false;
+        for (int f : machine.vliw_slots[s]) fu_in_slot |= f == op.fu;
+        EXPECT_TRUE(fu_in_slot) << name;
+        ++fu_use[static_cast<std::size_t>(op.fu)];
+        for (const MOperand& src : op.instr.srcs) {
+          if (src.is_reg()) ++rf_reads[static_cast<std::size_t>(src.reg.rf)];
+        }
+      }
+      for (std::size_t f = 0; f < fu_use.size(); ++f) EXPECT_LE(fu_use[f], 1);
+      for (std::size_t r = 0; r < rf_reads.size(); ++r) {
+        EXPECT_LE(rf_reads[r], machine.rfs[r].read_ports) << name;
+      }
+    }
+  }
+}
+
+TEST(Schedule, DualIssuePacksIndependentOps) {
+  // On a real workload a meaningful fraction of bundles must dual-issue a
+  // memory and an arithmetic operation.
+  const workloads::Workload w = workloads::make_aes();
+  const ir::Module optimized = report::build_optimized(w);
+  const mach::Machine machine = mach::make_m_vliw_2();
+  const auto lowered = codegen::lower(optimized, "main", machine);
+  const auto prog = schedule_vliw(lowered.func, machine);
+  std::uint64_t packed = 0;
+  for (const Bundle& bundle : prog.bundles) {
+    int ops = 0;
+    for (const auto& s : bundle.slots) ops += s.has_value() ? 1 : 0;
+    if (ops >= 2) ++packed;
+  }
+  EXPECT_GT(packed, prog.bundles.size() / 20);  // >5% dual-issue
+}
+
+// ---- timing semantics ----------------------------------------------------------------
+
+std::uint64_t cycles_of(const std::function<void(ir::Function&, IRBuilder&)>& body) {
+  Built built = build(body);
+  return run(built).cycles;
+}
+
+TEST(Timing, RawChainCostsLatencyPlusOne) {
+  // Without forwarding each dependent add costs 2 cycles (write-back + read).
+  const auto base = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    b.ret(x);
+  });
+  const auto chain = cycles_of([](ir::Function&, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    for (int i = 0; i < 6; ++i) x = b.add(x, x);
+    b.ret(x);
+  });
+  EXPECT_EQ(chain, base + 6 * 2);
+}
+
+TEST(Timing, SimulatorMatchesGolden) {
+  Built built = build([](ir::Function& f, IRBuilder& b) {
+    const auto loop = b.create_block("loop");
+    const auto exit = b.create_block("exit");
+    Vreg i = b.movi(0);
+    Vreg acc = b.movi(0);
+    b.jump(loop);
+    b.set_insert_point(loop);
+    Vreg v = b.ldw(b.add(b.ga("g"), b.band(b.shl(i, 2), 63)));
+    b.emit_into(acc, Opcode::Add, {acc, b.mul(v, i)});
+    b.emit_into(i, Opcode::Add, {i, 1});
+    b.bnz(b.eq(i, 20), exit, loop);
+    b.set_insert_point(exit);
+    b.stw(b.ga("g", 60), acc);
+    b.ret(acc);
+    (void)f;
+  });
+  ir::Interpreter interp(built.module);
+  const auto golden = interp.run("main", {});
+  EXPECT_EQ(run(built).ret, golden.value);
+}
+
+TEST(Timing, DelaySlotsExecuted) {
+  // Ops scheduled into branch delay slots still take effect.
+  Built built = build([](ir::Function& f, IRBuilder& b) {
+    const auto tail = b.create_block("tail");
+    Vreg a = b.ldw(b.ga("g"));
+    Vreg c = b.add(a, 37);
+    b.stw(b.ga("g", 16), c);  // likely lands in the jump's delay slots
+    b.jump(tail);
+    b.set_insert_point(tail);
+    b.ret(b.ldw(b.ga("g", 16)));
+    (void)f;
+  });
+  EXPECT_EQ(run(built).ret, 42u);
+}
+
+TEST(Timing, ThreeIssueNotSlowerThanTwoIssue) {
+  const workloads::Workload w = workloads::make_sha();
+  const ir::Module optimized = report::build_optimized(w);
+  const auto r2 = report::compile_and_run_prebuilt(optimized, w, mach::make_m_vliw_2());
+  const auto r3 = report::compile_and_run_prebuilt(optimized, w, mach::make_m_vliw_3());
+  EXPECT_LE(r3.cycles, r2.cycles);
+}
+
+TEST(Stats, FillRateBounded) {
+  Built built = build([](ir::Function&, IRBuilder& b) {
+    Vreg x = b.ldw(b.ga("g"));
+    for (int i = 0; i < 4; ++i) x = b.add(x, i);
+    b.ret(x);
+  });
+  const ScheduleStats s = stats_of(built.program);
+  EXPECT_GT(s.ops, 0u);
+  EXPECT_GT(s.fill_rate, 0.0);
+  EXPECT_LE(s.fill_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace ttsc::vliw
