@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predication.dir/ablation_predication.cpp.o"
+  "CMakeFiles/ablation_predication.dir/ablation_predication.cpp.o.d"
+  "ablation_predication"
+  "ablation_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rf_partitioning.dir/ablation_rf_partitioning.cpp.o"
+  "CMakeFiles/ablation_rf_partitioning.dir/ablation_rf_partitioning.cpp.o.d"
+  "ablation_rf_partitioning"
+  "ablation_rf_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rf_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

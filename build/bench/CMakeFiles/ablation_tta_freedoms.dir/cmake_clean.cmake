@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tta_freedoms.dir/ablation_tta_freedoms.cpp.o"
+  "CMakeFiles/ablation_tta_freedoms.dir/ablation_tta_freedoms.cpp.o.d"
+  "ablation_tta_freedoms"
+  "ablation_tta_freedoms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tta_freedoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression.dir/compression.cpp.o"
+  "CMakeFiles/compression.dir/compression.cpp.o.d"
+  "compression"
+  "compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploration_ic.dir/exploration_ic.cpp.o"
+  "CMakeFiles/exploration_ic.dir/exploration_ic.cpp.o.d"
+  "exploration_ic"
+  "exploration_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploration_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imem_hierarchy.dir/imem_hierarchy.cpp.o"
+  "CMakeFiles/imem_hierarchy.dir/imem_hierarchy.cpp.o.d"
+  "imem_hierarchy"
+  "imem_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imem_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

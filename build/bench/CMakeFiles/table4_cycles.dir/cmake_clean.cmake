@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cycles.dir/table4_cycles.cpp.o"
+  "CMakeFiles/table4_cycles.dir/table4_cycles.cpp.o.d"
+  "table4_cycles"
+  "table4_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/ddg.cpp" "src/CMakeFiles/ttsc.dir/codegen/ddg.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/codegen/ddg.cpp.o.d"
+  "/root/repo/src/codegen/legalize.cpp" "src/CMakeFiles/ttsc.dir/codegen/legalize.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/codegen/legalize.cpp.o.d"
+  "/root/repo/src/codegen/lower.cpp" "src/CMakeFiles/ttsc.dir/codegen/lower.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/codegen/lower.cpp.o.d"
+  "/root/repo/src/explore/explore.cpp" "src/CMakeFiles/ttsc.dir/explore/explore.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/explore/explore.cpp.o.d"
+  "/root/repo/src/fpga/imem.cpp" "src/CMakeFiles/ttsc.dir/fpga/imem.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/fpga/imem.cpp.o.d"
+  "/root/repo/src/fpga/model.cpp" "src/CMakeFiles/ttsc.dir/fpga/model.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/fpga/model.cpp.o.d"
+  "/root/repo/src/ir/analysis.cpp" "src/CMakeFiles/ttsc.dir/ir/analysis.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/ir/analysis.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/CMakeFiles/ttsc.dir/ir/interp.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/ir/interp.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/CMakeFiles/ttsc.dir/ir/opcode.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/ir/opcode.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "src/CMakeFiles/ttsc.dir/ir/print.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/ir/print.cpp.o.d"
+  "/root/repo/src/ir/verify.cpp" "src/CMakeFiles/ttsc.dir/ir/verify.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/ir/verify.cpp.o.d"
+  "/root/repo/src/mach/configs.cpp" "src/CMakeFiles/ttsc.dir/mach/configs.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/mach/configs.cpp.o.d"
+  "/root/repo/src/mach/machine.cpp" "src/CMakeFiles/ttsc.dir/mach/machine.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/mach/machine.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/CMakeFiles/ttsc.dir/opt/dce.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/opt/dce.cpp.o.d"
+  "/root/repo/src/opt/ifconvert.cpp" "src/CMakeFiles/ttsc.dir/opt/ifconvert.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/opt/ifconvert.cpp.o.d"
+  "/root/repo/src/opt/inline.cpp" "src/CMakeFiles/ttsc.dir/opt/inline.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/opt/inline.cpp.o.d"
+  "/root/repo/src/opt/licm.cpp" "src/CMakeFiles/ttsc.dir/opt/licm.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/opt/licm.cpp.o.d"
+  "/root/repo/src/opt/local.cpp" "src/CMakeFiles/ttsc.dir/opt/local.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/opt/local.cpp.o.d"
+  "/root/repo/src/opt/pipeline.cpp" "src/CMakeFiles/ttsc.dir/opt/pipeline.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/opt/pipeline.cpp.o.d"
+  "/root/repo/src/opt/simplify_cfg.cpp" "src/CMakeFiles/ttsc.dir/opt/simplify_cfg.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/opt/simplify_cfg.cpp.o.d"
+  "/root/repo/src/report/driver.cpp" "src/CMakeFiles/ttsc.dir/report/driver.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/report/driver.cpp.o.d"
+  "/root/repo/src/report/experiments.cpp" "src/CMakeFiles/ttsc.dir/report/experiments.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/report/experiments.cpp.o.d"
+  "/root/repo/src/scalar/scalar.cpp" "src/CMakeFiles/ttsc.dir/scalar/scalar.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/scalar/scalar.cpp.o.d"
+  "/root/repo/src/tta/binary.cpp" "src/CMakeFiles/ttsc.dir/tta/binary.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/tta/binary.cpp.o.d"
+  "/root/repo/src/tta/compress.cpp" "src/CMakeFiles/ttsc.dir/tta/compress.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/tta/compress.cpp.o.d"
+  "/root/repo/src/tta/encode.cpp" "src/CMakeFiles/ttsc.dir/tta/encode.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/tta/encode.cpp.o.d"
+  "/root/repo/src/tta/schedule.cpp" "src/CMakeFiles/ttsc.dir/tta/schedule.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/tta/schedule.cpp.o.d"
+  "/root/repo/src/tta/sim.cpp" "src/CMakeFiles/ttsc.dir/tta/sim.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/tta/sim.cpp.o.d"
+  "/root/repo/src/tta/verify.cpp" "src/CMakeFiles/ttsc.dir/tta/verify.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/tta/verify.cpp.o.d"
+  "/root/repo/src/vliw/print.cpp" "src/CMakeFiles/ttsc.dir/vliw/print.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/vliw/print.cpp.o.d"
+  "/root/repo/src/vliw/schedule.cpp" "src/CMakeFiles/ttsc.dir/vliw/schedule.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/vliw/schedule.cpp.o.d"
+  "/root/repo/src/vliw/sim.cpp" "src/CMakeFiles/ttsc.dir/vliw/sim.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/vliw/sim.cpp.o.d"
+  "/root/repo/src/workloads/adpcm.cpp" "src/CMakeFiles/ttsc.dir/workloads/adpcm.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/adpcm.cpp.o.d"
+  "/root/repo/src/workloads/aes.cpp" "src/CMakeFiles/ttsc.dir/workloads/aes.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/aes.cpp.o.d"
+  "/root/repo/src/workloads/blowfish.cpp" "src/CMakeFiles/ttsc.dir/workloads/blowfish.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/blowfish.cpp.o.d"
+  "/root/repo/src/workloads/gsm.cpp" "src/CMakeFiles/ttsc.dir/workloads/gsm.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/gsm.cpp.o.d"
+  "/root/repo/src/workloads/jpeg.cpp" "src/CMakeFiles/ttsc.dir/workloads/jpeg.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/jpeg.cpp.o.d"
+  "/root/repo/src/workloads/mips.cpp" "src/CMakeFiles/ttsc.dir/workloads/mips.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/mips.cpp.o.d"
+  "/root/repo/src/workloads/motion.cpp" "src/CMakeFiles/ttsc.dir/workloads/motion.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/motion.cpp.o.d"
+  "/root/repo/src/workloads/sha.cpp" "src/CMakeFiles/ttsc.dir/workloads/sha.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/sha.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/ttsc.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/ttsc.dir/workloads/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tta_test.dir/tta_test.cpp.o"
+  "CMakeFiles/tta_test.dir/tta_test.cpp.o.d"
+  "tta_test"
+  "tta_test.pdb"
+  "tta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/mach_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/scalar_test[1]_include.cmake")
+include("/root/repo/build/tests/vliw_test[1]_include.cmake")
+include("/root/repo/build/tests/tta_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_test[1]_include.cmake")
+include("/root/repo/build/tests/guards_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
