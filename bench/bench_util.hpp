@@ -1,0 +1,58 @@
+// Shared command-line handling for the table/figure harnesses.
+//
+// Every paper-artifact binary accepts the same flags:
+//   --threads N   worker threads for the parallel experiment engine
+//                 (default: TTSC_THREADS env var, else hardware concurrency)
+//   --serial      run the serial reference driver instead of the engine
+//   --stats       append the per-stage timing/counter section to the output
+//
+// Both paths produce byte-identical table text (the engine's determinism
+// contract, locked in by tests/parallel_runner_test.cpp).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "report/parallel_runner.hpp"
+#include "support/timeline.hpp"
+
+namespace ttsc::bench {
+
+struct Options {
+  int threads = 0;  // <= 0: hardware concurrency
+  bool serial = false;
+  bool stats = false;
+};
+
+inline Options parse_args(int argc, char** argv) {
+  Options opts;
+  if (const char* env = std::getenv("TTSC_THREADS")) opts.threads = std::atoi(env);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serial") == 0) {
+      opts.serial = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opts.stats = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N] [--serial] [--stats]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// The full evaluation matrix through the chosen engine, accumulating
+/// stage timings/counters into `timeline`.
+inline report::Matrix run_matrix(const Options& opts, support::Timeline* timeline) {
+  if (opts.serial) return report::Matrix::run(timeline);
+  report::ParallelRunner runner({.threads = opts.threads, .timeline = timeline});
+  return runner.run();
+}
+
+inline void print_stats(const Options& opts, const support::Timeline& timeline) {
+  if (opts.stats) std::fputs(("\n" + timeline.render()).c_str(), stdout);
+}
+
+}  // namespace ttsc::bench

@@ -1,10 +1,15 @@
-// Regenerates the corresponding artifact of the paper's evaluation section.
+// Regenerates the corresponding artifact of the paper's evaluation section
+// through the parallel experiment engine (see bench_util.hpp for flags).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "report/experiments.hpp"
 
-int main() {
-  const ttsc::report::Matrix matrix = ttsc::report::Matrix::run();
+int main(int argc, char** argv) {
+  const ttsc::bench::Options opts = ttsc::bench::parse_args(argc, argv);
+  ttsc::support::Timeline timeline;
+  const ttsc::report::Matrix matrix = ttsc::bench::run_matrix(opts, &timeline);
   std::fputs(ttsc::report::render_fig5_runtime(matrix).c_str(), stdout);
+  ttsc::bench::print_stats(opts, timeline);
   return 0;
 }

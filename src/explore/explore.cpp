@@ -8,7 +8,8 @@
 namespace ttsc::explore {
 
 DesignPoint evaluate(const mach::Machine& machine,
-                     const std::vector<workloads::Workload>& suite) {
+                     const std::vector<workloads::Workload>& suite,
+                     report::ModuleCache* cache, support::ThreadPool* pool) {
   TTSC_ASSERT(machine.model == mach::Model::Tta, "exploration targets TTA machines");
   DesignPoint point;
   point.machine = machine;
@@ -20,12 +21,25 @@ DesignPoint evaluate(const mach::Machine& machine,
   point.core_lut = area.core_lut;
   point.fmax_mhz = timing.fmax_mhz;
 
+  report::ModuleCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  // Per-suite-index slots, reduced in order below: deterministic whether
+  // the cells run serially or on the pool.
+  std::vector<report::RunOutcome> outcomes(suite.size());
+  auto run_cell = [&](std::size_t i) {
+    outcomes[i] = report::compile_and_run_prebuilt(cache->get(suite[i]), suite[i], machine);
+  };
+  if (pool != nullptr) {
+    support::parallel_for(*pool, suite.size(), run_cell);
+  } else {
+    for (std::size_t i = 0; i < suite.size(); ++i) run_cell(i);
+  }
+
   std::vector<double> cycles;
   std::vector<double> runtimes;
   std::vector<double> images;
-  for (const workloads::Workload& w : suite) {
-    const ir::Module optimized = report::build_optimized(w);
-    const report::RunOutcome r = report::compile_and_run_prebuilt(optimized, w, machine);
+  for (const report::RunOutcome& r : outcomes) {
     cycles.push_back(static_cast<double>(r.cycles));
     runtimes.push_back(static_cast<double>(r.cycles) / timing.fmax_mhz);
     images.push_back(static_cast<double>(r.image_bits));
@@ -39,8 +53,12 @@ DesignPoint evaluate(const mach::Machine& machine,
 std::vector<DesignPoint> explore_bus_merging(const mach::Machine& start,
                                              const std::vector<workloads::Workload>& suite,
                                              double max_cycle_overhead) {
+  // One module build per workload and one thread pool for the whole greedy
+  // walk: every candidate machine re-evaluates the same suite.
+  report::ModuleCache cache;
+  support::ThreadPool pool;
   std::vector<DesignPoint> trace;
-  DesignPoint baseline = evaluate(start, suite);
+  DesignPoint baseline = evaluate(start, suite, &cache, &pool);
   baseline.accepted = true;
   const double budget = baseline.geomean_cycles * (1.0 + max_cycle_overhead);
   trace.push_back(baseline);
@@ -55,7 +73,7 @@ std::vector<DesignPoint> explore_bus_merging(const mach::Machine& start,
     candidate.name = start.name + "-merged" + std::to_string(candidate.buses.size());
     try {
       candidate.validate();
-      DesignPoint point = evaluate(candidate, suite);
+      DesignPoint point = evaluate(candidate, suite, &cache, &pool);
       point.accepted = point.geomean_cycles <= budget;
       trace.push_back(point);
       if (!point.accepted) break;

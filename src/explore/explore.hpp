@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "mach/machine.hpp"
+#include "report/parallel_runner.hpp"
+#include "support/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 namespace ttsc::explore {
@@ -30,9 +32,15 @@ struct DesignPoint {
 };
 
 /// Evaluate one machine over a workload suite (all runs cross-checked
-/// against the reference interpreter).
+/// against the reference interpreter). With `cache` the per-workload
+/// optimized modules are reused across evaluations (exploration evaluates
+/// the same suite on dozens of candidate machines); with `pool` the suite
+/// is fanned out across its threads. The reduction order is the suite
+/// order, so results are identical with or without a pool.
 DesignPoint evaluate(const mach::Machine& machine,
-                     const std::vector<workloads::Workload>& suite);
+                     const std::vector<workloads::Workload>& suite,
+                     report::ModuleCache* cache = nullptr,
+                     support::ThreadPool* pool = nullptr);
 
 /// Greedy bus-merging exploration: drop one bus per step (rebuilding full
 /// connectivity over the remaining buses) while the geomean cycle count

@@ -1,5 +1,8 @@
 #include "report/driver.hpp"
 
+#include <chrono>
+#include <mutex>
+
 #include "codegen/legalize.hpp"
 #include "codegen/lower.hpp"
 #include "ir/verify.hpp"
@@ -37,14 +40,24 @@ std::uint64_t output_checksum(const ir::Module& module, const Workload& workload
   return h;
 }
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
 }  // namespace
 
 GoldenOutcome run_golden(const Workload& workload) {
   // Workloads are deterministic; memoize (the driver cross-checks every
-  // machine run against the golden outcome).
+  // machine run against the golden outcome). The cache is shared by every
+  // thread of a parallel sweep; a workload interpreted concurrently by two
+  // threads is computed twice but stored consistently.
+  static std::mutex cache_mutex;
   static std::map<std::string, GoldenOutcome> cache;
-  auto it = cache.find(workload.name);
-  if (it != cache.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    auto it = cache.find(workload.name);
+    if (it != cache.end()) return it->second;
+  }
   ir::Module module;
   workload.build(module);
   ir::verify(module);
@@ -54,26 +67,43 @@ GoldenOutcome run_golden(const Workload& workload) {
   out.ret = r.value;
   out.instrs_executed = r.instrs_executed;
   out.output_checksum = output_checksum(module, workload, interp.memory());
+  std::lock_guard<std::mutex> lock(cache_mutex);
   cache[workload.name] = out;
   return out;
 }
 
-ir::Module build_optimized(const Workload& workload) {
+ir::Module build_optimized(const Workload& workload, support::Timeline* timeline,
+                           support::StageSeconds* build_times) {
   ir::Module module;
+  const auto t0 = std::chrono::steady_clock::now();
   workload.build(module);
   ir::verify(module);
+  const double frontend_s = seconds_since(t0);
+  const auto t1 = std::chrono::steady_clock::now();
   opt::optimize(module, workloads::entry_point());
+  const double opt_s = seconds_since(t1);
+  if (timeline != nullptr) {
+    timeline->add_seconds(support::Stage::kFrontend, frontend_s);
+    timeline->add_seconds(support::Stage::kOpt, opt_s);
+    timeline->bump("modules_built");
+  }
+  if (build_times != nullptr) {
+    build_times->frontend = frontend_s;
+    build_times->opt = opt_s;
+  }
   return module;
 }
 
 RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload& workload,
                                     const mach::Machine& machine,
-                                    const tta::TtaOptions& tta_options) {
+                                    const tta::TtaOptions& tta_options,
+                                    support::Timeline* timeline) {
   // Backend-specific IR preparation on a copy of the shared optimized
   // module: the scalar model legalizes RISC operand constraints.
   // (opt::if_convert is deliberately NOT applied: without hardware
   // predication the 4-op select expansion costs more than the branch it
   // removes on every machine here — see bench/ablation_tta_freedoms.)
+  const auto t_regalloc = std::chrono::steady_clock::now();
   ir::Module module = optimized;
   if (machine.model == mach::Model::Tta && machine.has_guards()) {
     // Guarded TTAs predicate short conditionals: if-convert to Select ops,
@@ -93,13 +123,18 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
   out.machine = machine.name;
   out.workload = workload.name;
   out.spills = lowered.spills_inserted;
+  out.stage_seconds.regalloc = seconds_since(t_regalloc);
 
   ir::Memory mem = make_loaded_memory(module);
+  const auto t_schedule = std::chrono::steady_clock::now();
   switch (machine.model) {
     case mach::Model::Scalar: {
       const scalar::ScalarProgram prog = scalar::emit_scalar(lowered.func);
+      out.stage_seconds.schedule = seconds_since(t_schedule);
+      const auto t_sim = std::chrono::steady_clock::now();
       scalar::ScalarSim sim(prog, machine, mem);
       const scalar::ExecResult r = sim.run();
+      out.stage_seconds.simulate = seconds_since(t_sim);
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = scalar::ScalarProgram::kInstrBits;
@@ -109,8 +144,11 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
     }
     case mach::Model::Vliw: {
       const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine);
+      out.stage_seconds.schedule = seconds_since(t_schedule);
+      const auto t_sim = std::chrono::steady_clock::now();
       vliw::VliwSim sim(prog, machine, mem);
       const vliw::ExecResult r = sim.run();
+      out.stage_seconds.simulate = seconds_since(t_sim);
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = vliw::instruction_bits(machine);
@@ -121,15 +159,18 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
     case mach::Model::Tta: {
       tta::TtaScheduleStats stats;
       const tta::TtaProgram prog = tta::schedule_tta(lowered.func, machine, tta_options, &stats);
+      // Image size from the real binary encoder (instruction stream plus
+      // the literal pool holding wide constants and far branch targets).
+      out.image_bits = tta::encode_program(prog, machine).image_bits();
+      out.stage_seconds.schedule = seconds_since(t_schedule);
+      const auto t_sim = std::chrono::steady_clock::now();
       tta::TtaSim sim(prog, machine, mem);
       const tta::ExecResult r = sim.run();
+      out.stage_seconds.simulate = seconds_since(t_sim);
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = tta::instruction_bits(machine);
       out.instruction_count = prog.instrs.size();
-      // Image size from the real binary encoder (instruction stream plus
-      // the literal pool holding wide constants and far branch targets).
-      out.image_bits = tta::encode_program(prog, machine).image_bits();
       out.moves = stats.moves;
       out.bypassed_operands = stats.bypassed_operands;
       out.eliminated_result_moves = stats.eliminated_result_moves;
@@ -138,6 +179,14 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
     }
   }
   out.output_checksum = output_checksum(module, workload, mem);
+  if (timeline != nullptr) {
+    timeline->add_seconds(support::Stage::kRegalloc, out.stage_seconds.regalloc);
+    timeline->add_seconds(support::Stage::kSchedule, out.stage_seconds.schedule);
+    timeline->add_seconds(support::Stage::kSimulate, out.stage_seconds.simulate);
+    timeline->bump("cells_run");
+    timeline->bump("cycles_simulated", out.cycles);
+    timeline->bump("spills", static_cast<std::uint64_t>(out.spills));
+  }
 
   // Cross-check against the golden model.
   const GoldenOutcome golden = run_golden(workload);

@@ -13,6 +13,7 @@
 
 #include "ir/interp.hpp"
 #include "mach/machine.hpp"
+#include "support/timeline.hpp"
 #include "tta/tta.hpp"
 #include "workloads/workload.hpp"
 
@@ -39,6 +40,13 @@ struct RunOutcome {
   std::uint64_t eliminated_result_moves = 0;
   std::uint64_t shared_operands = 0;
   int spills = 0;
+
+  // Wall time per pipeline stage. compile_and_run_prebuilt fills regalloc/
+  // schedule/simulate; frontend/opt belong to the shared build_optimized
+  // call and are filled in by whoever owns that call (the experiment
+  // engine's module cache reports the one-time build cost of the cell's
+  // workload there).
+  support::StageSeconds stage_seconds;
 };
 
 /// Reference-interpreter outcome for a workload (golden model).
@@ -55,14 +63,24 @@ GoldenOutcome run_golden(const workloads::Workload& workload);
 RunOutcome compile_and_run(const workloads::Workload& workload, const mach::Machine& machine,
                            const tta::TtaOptions& tta_options = {});
 
-/// Build + optimize a workload once (shared across machines). The returned
-/// module contains the fully inlined, optimized entry function.
-ir::Module build_optimized(const workloads::Workload& workload);
+/// Build + optimize a workload once (shared across machines — reuse the
+/// result via compile_and_run_prebuilt or, across a whole sweep, via
+/// report::ModuleCache). The returned module contains the fully inlined,
+/// optimized entry function. When given, `timeline` accrues the frontend
+/// and opt stages plus a "modules_built" counter, and `build_times`
+/// receives this call's frontend/opt wall time.
+ir::Module build_optimized(const workloads::Workload& workload,
+                           support::Timeline* timeline = nullptr,
+                           support::StageSeconds* build_times = nullptr);
 
-/// As compile_and_run, but reusing a pre-optimized module.
+/// As compile_and_run, but reusing a pre-optimized module. When given,
+/// `timeline` accrues the regalloc/schedule/simulate stages and the
+/// "cells_run" / "cycles_simulated" / "spills" counters; the same stage
+/// times are always reported in the outcome's stage_seconds.
 RunOutcome compile_and_run_prebuilt(const ir::Module& optimized,
                                     const workloads::Workload& workload,
                                     const mach::Machine& machine,
-                                    const tta::TtaOptions& tta_options = {});
+                                    const tta::TtaOptions& tta_options = {},
+                                    support::Timeline* timeline = nullptr);
 
 }  // namespace ttsc::report

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mach/configs.hpp"
+#include "report/parallel_runner.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 
@@ -24,19 +25,22 @@ std::string header_row(const std::vector<std::string>& workloads) {
 
 }  // namespace
 
-Matrix Matrix::run() {
+Matrix Matrix::run(support::Timeline* timeline) {
   Matrix m;
   for (const workloads::Workload& w : workloads::all_workloads()) {
     m.workload_names_.push_back(w.name);
   }
+  // Each workload's optimized module is machine-independent: build it once
+  // and share it across all 13 machines (the cache is what the parallel
+  // runner uses too, so serial and parallel sweeps compile identically).
+  ModuleCache cache;
   for (const mach::Machine& machine : mach::all_machines()) {
     MachineResults r;
     r.machine = machine;
     r.area = fpga::estimate_area(machine);
     r.timing = fpga::estimate_timing(machine);
     for (const workloads::Workload& w : workloads::all_workloads()) {
-      const ir::Module optimized = build_optimized(w);
-      r.by_workload[w.name] = compile_and_run_prebuilt(optimized, w, machine);
+      r.by_workload[w.name] = compile_and_run_prebuilt(cache.get(w, timeline), w, machine, {}, timeline);
     }
     m.machines_.push_back(std::move(r));
   }
@@ -261,6 +265,7 @@ std::string render_ablation_tta_freedoms() {
     variants.push_back({"all-off", o});
   }
 
+  ModuleCache cache;  // one build per workload across all machine/variant rows
   for (const std::string& mname : machines) {
     const mach::Machine machine = mach::machine_by_name(mname);
     out += "-- " + mname + " --\n";
@@ -273,8 +278,7 @@ std::string render_ablation_tta_freedoms() {
     for (const Variant& v : variants) {
       out += format("%-10s", v.name);
       for (const workloads::Workload& w : workloads::all_workloads()) {
-        const ir::Module optimized = build_optimized(w);
-        const RunOutcome r = compile_and_run_prebuilt(optimized, w, machine, v.opt);
+        const RunOutcome r = compile_and_run_prebuilt(cache.get(w), w, machine, v.opt);
         if (std::string(v.name) == "all-on") {
           baseline[w.name] = r.cycles;
           out += format(" %9llu", static_cast<unsigned long long>(r.cycles));

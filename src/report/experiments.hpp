@@ -26,8 +26,11 @@ struct MachineResults {
 /// cross-checked against the reference interpreter.
 class Matrix {
  public:
-  /// Runs the full matrix (compiles and simulates 104 configurations).
-  static Matrix run();
+  /// Runs the full matrix serially (compiles and simulates 104
+  /// configurations; each workload's module is built once and shared
+  /// across machines). ParallelRunner produces the identical matrix using
+  /// a thread pool — this serial path is the determinism reference.
+  static Matrix run(support::Timeline* timeline = nullptr);
 
   const MachineResults& machine(const std::string& name) const;
   const std::vector<MachineResults>& machines() const { return machines_; }
@@ -39,6 +42,8 @@ class Matrix {
   double runtime_us(const std::string& machine, const std::string& workload) const;
 
  private:
+  friend class ParallelRunner;  // fills the same private tables
+
   std::vector<MachineResults> machines_;
   std::vector<std::string> workload_names_;
 };

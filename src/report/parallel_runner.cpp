@@ -1,0 +1,73 @@
+#include "report/parallel_runner.hpp"
+
+#include "mach/configs.hpp"
+
+namespace ttsc::report {
+
+const ir::Module& ModuleCache::get(const workloads::Workload& workload,
+                                   support::Timeline* timeline,
+                                   support::StageSeconds* build_times) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Entry>& slot = entries_[workload.name];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // Build under the entry's own mutex, outside the map lock: concurrent
+  // requests for *different* workloads build in parallel; requests for the
+  // same workload block until the one build completes. A build that threw
+  // leaves the entry unbuilt, so the next caller retries (and the error
+  // reaches every waiter that raced this build attempt via its own retry).
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  if (!entry->built) {
+    entry->module = build_optimized(workload, timeline, &entry->build_times);
+    entry->built = true;
+  }
+  if (build_times != nullptr) *build_times = entry->build_times;
+  return entry->module;
+}
+
+ParallelRunner::ParallelRunner(Options options)
+    : options_(options), pool_(options.threads) {}
+
+Matrix ParallelRunner::run() {
+  return run_grid(mach::all_machines(), workloads::all_workloads());
+}
+
+Matrix ParallelRunner::run_grid(const std::vector<mach::Machine>& machines,
+                                const std::vector<workloads::Workload>& workloads,
+                                const tta::TtaOptions& tta_options) {
+  Matrix m;
+  for (const workloads::Workload& w : workloads) m.workload_names_.push_back(w.name);
+
+  const std::size_t cols = workloads.size();
+  const std::size_t cells = machines.size() * cols;
+  std::vector<RunOutcome> outcomes(cells);
+  support::parallel_for(pool_, cells, [&](std::size_t i) {
+    const mach::Machine& machine = machines[i / cols];
+    const workloads::Workload& w = workloads[i % cols];
+    support::StageSeconds build_times;
+    const ir::Module& optimized = cache_.get(w, options_.timeline, &build_times);
+    RunOutcome out =
+        compile_and_run_prebuilt(optimized, w, machine, tta_options, options_.timeline);
+    out.stage_seconds.frontend = build_times.frontend;
+    out.stage_seconds.opt = build_times.opt;
+    outcomes[i] = std::move(out);
+  });
+
+  // Deterministic reduction: machine-major, workloads in suite order.
+  for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+    MachineResults r;
+    r.machine = machines[mi];
+    r.area = fpga::estimate_area(machines[mi]);
+    r.timing = fpga::estimate_timing(machines[mi]);
+    for (std::size_t wi = 0; wi < cols; ++wi) {
+      r.by_workload[workloads[wi].name] = std::move(outcomes[mi * cols + wi]);
+    }
+    m.machines_.push_back(std::move(r));
+  }
+  return m;
+}
+
+}  // namespace ttsc::report

@@ -1,0 +1,86 @@
+// Parallel experiment engine.
+//
+// ModuleCache compiles each workload's optimized module exactly once
+// (keyed by workload name, shared by every machine and every worker
+// thread); ParallelRunner fans a (machines x workloads) grid of
+// compile_and_run_prebuilt cells out across a support::ThreadPool and
+// reduces the outcomes into the same MachineResults tables the serial
+// driver produces.
+//
+// Determinism contract: cell (i, j) of the grid depends only on
+// (machine i, workload j) — compilation and simulation are pure — and the
+// reduction writes results machine-major in suite order, so every table or
+// figure rendered from a ParallelRunner matrix is byte-identical to the
+// serial Matrix::run() output regardless of thread count or interleaving.
+// Errors are captured per cell and the lowest-numbered cell's exception is
+// rethrown after the whole grid has run (again interleaving-independent).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "report/experiments.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timeline.hpp"
+
+namespace ttsc::report {
+
+/// Thread-safe per-workload cache of optimized modules. Each workload is
+/// built exactly once no matter how many threads or machines request it
+/// (verified by the timeline's "modules_built" counter).
+class ModuleCache {
+ public:
+  /// The optimized module for `workload`, building it on first use. The
+  /// returned reference stays valid for the cache's lifetime. When given,
+  /// `build_times` receives the frontend/opt wall time of the (possibly
+  /// earlier, cached) build.
+  const ir::Module& get(const workloads::Workload& workload,
+                        support::Timeline* timeline = nullptr,
+                        support::StageSeconds* build_times = nullptr);
+
+ private:
+  // Hand-rolled once-per-entry instead of std::call_once: libstdc++'s
+  // call_once can leave waiters hung when the callable throws (PR 66146),
+  // and a failed build must be retryable by the next caller anyway.
+  struct Entry {
+    std::mutex build_mutex;
+    bool built = false;
+    ir::Module module;
+    support::StageSeconds build_times;
+  };
+
+  std::mutex mutex_;                                      // guards the map only
+  std::map<std::string, std::unique_ptr<Entry>> entries_;  // keyed by workload name
+};
+
+class ParallelRunner {
+ public:
+  struct Options {
+    int threads = 0;                         // <= 0: hardware concurrency
+    support::Timeline* timeline = nullptr;   // optional --stats aggregation
+  };
+
+  ParallelRunner() : ParallelRunner(Options{}) {}
+  explicit ParallelRunner(Options options);
+
+  /// The paper's full sweep: all machines x all workloads, byte-identical
+  /// to Matrix::run().
+  Matrix run();
+
+  /// Arbitrary grid. Machines keep their given order in the result.
+  Matrix run_grid(const std::vector<mach::Machine>& machines,
+                  const std::vector<workloads::Workload>& workloads,
+                  const tta::TtaOptions& tta_options = {});
+
+  ModuleCache& cache() { return cache_; }
+  support::ThreadPool& pool() { return pool_; }
+
+ private:
+  Options options_;
+  support::ThreadPool pool_;
+  ModuleCache cache_;
+};
+
+}  // namespace ttsc::report

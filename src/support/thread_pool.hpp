@@ -1,0 +1,79 @@
+// Fixed-size thread pool for the experiment engine.
+//
+// Deliberately minimal: a FIFO queue, N worker threads, futures for result
+// and exception transport, and no work stealing — experiment grids are
+// drained through an atomic index (parallel_for) so there is nothing to
+// steal. Two properties the engine relies on:
+//
+//  * Nested-submit deadlock guard: a task submitted from one of the pool's
+//    own worker threads executes inline on that worker instead of being
+//    queued. A saturated pool whose tasks submit-and-wait therefore cannot
+//    deadlock (the wait observes a completed future).
+//  * Deterministic error propagation: parallel_for captures one exception
+//    per index and, after every index has run, rethrows the lowest-index
+//    failure — independent of thread interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ttsc::support {
+
+class ThreadPool {
+ public:
+  /// `threads <= 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Queue `fn` for execution (FIFO). The future carries the result or the
+  /// exception `fn` threw. Called from a worker of this pool, `fn` runs
+  /// inline immediately (see the deadlock guard above).
+  template <typename F>
+  auto submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    if (on_worker_thread()) {
+      (*task)();
+    } else {
+      enqueue([task] { (*task)(); });
+    }
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Run fn(0) .. fn(n-1) across the pool's workers, blocking until every
+/// index has executed. Indices are claimed through a shared atomic counter,
+/// so the set of executed indices (and hence any side effect written to a
+/// per-index slot) is deterministic even though the interleaving is not.
+/// If one or more invocations throw, the exception of the lowest failing
+/// index is rethrown after the whole range has run.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace ttsc::support

@@ -1,0 +1,174 @@
+// Per-stage timing/counter instrumentation for the toolchain pipeline.
+//
+// A Timeline accumulates wall time and invocation counts for the five
+// pipeline stages (frontend, opt, regalloc, schedule, simulate) plus a set
+// of named counters (modules built, cells run, cycles simulated, spills).
+// All mutation is mutex-protected so one Timeline can be shared by every
+// worker of a parallel sweep; the render() text is the `--stats` section
+// the bench harnesses print.
+//
+// Timing can be recorded two ways: explicitly via add_seconds(), or with an
+// RAII Timeline::Scope. Scopes are nesting-aware per thread: a scope opened
+// inside another scope of the SAME stage on the same thread contributes
+// nothing (the outermost scope already covers its interval), so recursive
+// helpers cannot double-count a stage.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace ttsc::support {
+
+enum class Stage : int { kFrontend = 0, kOpt, kRegalloc, kSchedule, kSimulate };
+
+inline constexpr int kNumStages = 5;
+
+inline const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kFrontend: return "frontend";
+    case Stage::kOpt: return "opt";
+    case Stage::kRegalloc: return "regalloc";
+    case Stage::kSchedule: return "schedule";
+    case Stage::kSimulate: return "simulate";
+  }
+  return "?";
+}
+
+/// Wall time of one pipeline run broken down by stage (seconds). Carried in
+/// report::RunOutcome so every grid cell exposes where its time went.
+struct StageSeconds {
+  double frontend = 0.0;
+  double opt = 0.0;
+  double regalloc = 0.0;
+  double schedule = 0.0;
+  double simulate = 0.0;
+
+  double total() const { return frontend + opt + regalloc + schedule + simulate; }
+};
+
+class Timeline {
+ public:
+  Timeline() = default;
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// Record one timed invocation of `stage`.
+  void add_seconds(Stage stage, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seconds_[index(stage)] += seconds;
+    ++calls_[index(stage)];
+  }
+
+  /// Bump a named counter (creates it at zero on first use).
+  void bump(const std::string& counter, std::uint64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[counter] += delta;
+  }
+
+  double seconds(Stage stage) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seconds_[index(stage)];
+  }
+
+  std::uint64_t calls(Stage stage) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return calls_[index(stage)];
+  }
+
+  /// Value of a named counter; zero when it was never bumped.
+  std::uint64_t counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Fold another timeline's stages and counters into this one.
+  void merge(const Timeline& other) {
+    std::scoped_lock lock(mutex_, other.mutex_);  // deadlock-free ordering
+    for (int i = 0; i < kNumStages; ++i) {
+      seconds_[static_cast<std::size_t>(i)] += other.seconds_[static_cast<std::size_t>(i)];
+      calls_[static_cast<std::size_t>(i)] += other.calls_[static_cast<std::size_t>(i)];
+    }
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  }
+
+  /// The `--stats` report section.
+  std::string render() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "-- stats: toolchain stage profile --\n";
+    out += format("%-10s %8s %10s\n", "stage", "calls", "wall_s");
+    double total = 0.0;
+    for (int i = 0; i < kNumStages; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      out += format("%-10s %8llu %10.3f\n", stage_name(static_cast<Stage>(i)),
+                    static_cast<unsigned long long>(calls_[idx]), seconds_[idx]);
+      total += seconds_[idx];
+    }
+    out += format("%-10s %8s %10.3f\n", "total", "", total);
+    if (!counters_.empty()) {
+      out += "counters:\n";
+      for (const auto& [name, value] : counters_) {
+        out += format("  %-24s %12llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+      }
+    }
+    return out;
+  }
+
+  /// RAII stage timer. Nesting-aware: see the header comment.
+  class Scope {
+   public:
+    Scope(Timeline& timeline, Stage stage)
+        : timeline_(&timeline),
+          stage_(stage),
+          prev_(top()),
+          start_(std::chrono::steady_clock::now()) {
+      for (const Scope* p = prev_; p != nullptr; p = p->prev_) {
+        if (p->timeline_ == timeline_ && p->stage_ == stage_) {
+          nested_ = true;
+          break;
+        }
+      }
+      top() = this;
+    }
+
+    ~Scope() {
+      top() = prev_;
+      if (nested_) return;
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      timeline_->add_seconds(stage_, elapsed.count());
+    }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    static Scope*& top() {
+      thread_local Scope* tls_top = nullptr;
+      return tls_top;
+    }
+
+    Timeline* timeline_;
+    Stage stage_;
+    Scope* prev_;
+    bool nested_ = false;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  static std::size_t index(Stage s) { return static_cast<std::size_t>(s); }
+
+  mutable std::mutex mutex_;
+  std::array<double, kNumStages> seconds_{};
+  std::array<std::uint64_t, kNumStages> calls_{};
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace ttsc::support

@@ -16,6 +16,7 @@
 #include "report/driver.hpp"
 #include "scalar/scalar.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "tta/tta.hpp"
 #include "tta/binary.hpp"
 #include "tta/verify.hpp"
@@ -137,6 +138,77 @@ TEST_P(FreedomEquivalence, EveryOptionMaskMatches) {
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, FreedomEquivalence,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+/// Differential test fleet: a seeded corpus of generated programs, each
+/// compiled through the TTA, VLIW and scalar pipelines and cross-checked
+/// against the reference interpreter (return value + output checksum),
+/// with the corpus fanned out across the experiment engine's thread pool.
+/// Beyond coverage, this hammers the toolchain's thread-safety: many
+/// full pipelines (including the shared golden-outcome cache inside
+/// report::compile_and_run) run concurrently.
+TEST(DifferentialFleet, SeededCorpusMatchesInterpreterOnAllModels) {
+  constexpr std::uint64_t kCorpusSize = 64;
+  // One machine per programming model (plus a partitioned TTA): the fleet
+  // is about cross-model agreement, the per-machine sweep above is about
+  // breadth.
+  const std::vector<mach::Machine> machines = {
+      mach::machine_by_name("mblaze-3"), mach::machine_by_name("m-vliw-2"),
+      mach::machine_by_name("m-tta-2"), mach::machine_by_name("p-tta-3")};
+
+  // gtest assertions are not guaranteed thread-safe: workers write one
+  // failure report per seed, asserted after the fleet drains.
+  std::vector<std::string> failures(kCorpusSize);
+  support::ThreadPool pool(8);
+  support::parallel_for(pool, kCorpusSize, [&](std::size_t idx) {
+    const std::uint64_t seed = 0x5eedc0de + idx;
+    ProgramGenerator gen(seed);
+    ir::Module original = gen.generate();
+    ir::verify(original);
+    const Observed golden = observe_interp(original);
+
+    ir::Module optimized = original;
+    opt::optimize(optimized, "main");
+
+    for (const mach::Machine& machine : machines) {
+      ir::Module prepared = optimized;
+      if (machine.model == mach::Model::Tta && machine.has_guards()) {
+        opt::if_convert_selects(prepared.function("main"));
+      }
+      if (machine.model == mach::Model::Scalar) {
+        codegen::legalize_scalar_operands(prepared.function("main"));
+      }
+      const auto lowered = codegen::lower(prepared, "main", machine);
+      ir::Memory mem = report::make_loaded_memory(prepared);
+      std::uint32_t ret = 0;
+      switch (machine.model) {
+        case mach::Model::Scalar:
+          ret = scalar::ScalarSim(scalar::emit_scalar(lowered.func), machine, mem).run().ret;
+          break;
+        case mach::Model::Vliw:
+          ret = vliw::VliwSim(vliw::schedule_vliw(lowered.func, machine), machine, mem)
+                    .run()
+                    .ret;
+          break;
+        case mach::Model::Tta: {
+          const auto prog = tta::schedule_tta(lowered.func, machine);
+          tta::verify_program(prog, machine);
+          ret = tta::TtaSim(prog, machine, mem).run().ret;
+          break;
+        }
+      }
+      const std::uint64_t checksum = mem.checksum(prepared.layout().address_of("out"), 256);
+      if (ret != golden.ret || checksum != golden.out_checksum) {
+        failures[idx] += "seed " + std::to_string(seed) + " diverges on " + machine.name +
+                         ": ret " + std::to_string(ret) + " vs " + std::to_string(golden.ret) +
+                         ", checksum " + std::to_string(checksum) + " vs " +
+                         std::to_string(golden.out_checksum) + "\n";
+      }
+    }
+  });
+  for (std::size_t i = 0; i < kCorpusSize; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << failures[i];
+  }
+}
 
 /// Binary encode/decode must be a semantic identity on random programs too.
 class RoundTripEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
