@@ -1,21 +1,31 @@
 // Shared command-line handling for the table/figure harnesses.
 //
 // Every paper-artifact binary accepts the same flags:
-//   --threads N   worker threads for the parallel experiment engine
-//                 (default: TTSC_THREADS env var, else hardware concurrency)
-//   --serial      run the serial reference driver instead of the engine
-//   --stats       append the per-stage timing/counter section to the output
+//   --threads N    worker threads for the parallel experiment engine
+//                  (default: TTSC_THREADS env var, else hardware concurrency)
+//   --serial       run the serial reference driver instead of the engine
+//   --stats        append the per-stage timing/counter section to the output
+//   --reference    simulate on the reference interpreter loops instead of
+//                  the predecoded fast path (differential baseline; slower)
+//   --utilization  collect per-FU/bus utilization and opcode histograms
+//                  during simulation and append the merged report
+//   --trace        append a cycle-by-cycle event trace of the first cell
+//                  (first machine x first workload, capped at 200 events)
 //
-// Both paths produce byte-identical table text (the engine's determinism
-// contract, locked in by tests/parallel_runner_test.cpp).
+// Both engine paths produce byte-identical table text (the engine's
+// determinism contract, locked in by tests/parallel_runner_test.cpp).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "mach/configs.hpp"
+#include "report/module_cache.hpp"
 #include "report/parallel_runner.hpp"
+#include "sim/collectors.hpp"
 #include "support/timeline.hpp"
+#include "workloads/workload.hpp"
 
 namespace ttsc::bench {
 
@@ -23,6 +33,9 @@ struct Options {
   int threads = 0;  // <= 0: hardware concurrency
   bool serial = false;
   bool stats = false;
+  bool reference = false;    // --reference: fast_path = false
+  bool utilization = false;  // --utilization
+  bool trace = false;        // --trace
 };
 
 inline Options parse_args(int argc, char** argv) {
@@ -33,26 +46,74 @@ inline Options parse_args(int argc, char** argv) {
       opts.serial = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       opts.stats = true;
+    } else if (std::strcmp(argv[i], "--reference") == 0) {
+      opts.reference = true;
+    } else if (std::strcmp(argv[i], "--utilization") == 0) {
+      opts.utilization = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opts.trace = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       opts.threads = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--serial] [--stats]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--serial] [--stats] [--reference] "
+                   "[--utilization] [--trace]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
   return opts;
 }
 
+inline sim::SimOptions sim_options_of(const Options& opts) {
+  sim::SimOptions sim;
+  sim.fast_path = !opts.reference;
+  sim.collect_utilization = opts.utilization;
+  return sim;
+}
+
 /// The full evaluation matrix through the chosen engine, accumulating
 /// stage timings/counters into `timeline`.
 inline report::Matrix run_matrix(const Options& opts, support::Timeline* timeline) {
-  if (opts.serial) return report::Matrix::run(timeline);
-  report::ParallelRunner runner({.threads = opts.threads, .timeline = timeline});
+  if (opts.serial) return report::Matrix::run(timeline, sim_options_of(opts));
+  report::ParallelRunner runner(
+      {.threads = opts.threads, .timeline = timeline, .sim = sim_options_of(opts)});
   return runner.run();
 }
 
 inline void print_stats(const Options& opts, const support::Timeline& timeline) {
   if (opts.stats) std::fputs(("\n" + timeline.render()).c_str(), stdout);
+}
+
+/// --utilization: merge every cell's execution profile into one suite-wide
+/// report (heterogeneous machines: generic FU/bus labels).
+inline void print_utilization(const Options& opts, const report::Matrix& matrix) {
+  if (!opts.utilization) return;
+  sim::UtilizationReport merged;
+  for (const report::MachineResults& m : matrix.machines()) {
+    for (const auto& [name, outcome] : m.by_workload) {
+      if (outcome.utilization.has_value()) merged.merge(*outcome.utilization);
+    }
+  }
+  std::fputs(("\n" + merged.render()).c_str(), stdout);
+}
+
+/// --trace: re-run the first cell of the matrix with a TraceObserver and
+/// print the event log (the paper grid above is untouched — this is one
+/// extra simulation of one cell).
+inline void print_trace(const Options& opts) {
+  if (!opts.trace) return;
+  const mach::Machine machine = mach::all_machines().front();
+  const workloads::Workload& workload = workloads::all_workloads().front();
+  report::ModuleCache cache;
+  sim::TraceObserver trace;
+  sim::SimOptions sim = sim_options_of(opts);
+  sim.observer = &trace;
+  sim.collect_utilization = false;
+  report::compile_and_run_prebuilt(cache.get(workload), workload, machine, {}, nullptr, sim,
+                                   &cache);
+  std::printf("\ntrace (%s on %s):\n%s", workload.name.c_str(), machine.name.c_str(),
+              trace.text().c_str());
 }
 
 }  // namespace ttsc::bench

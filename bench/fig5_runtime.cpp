@@ -11,5 +11,7 @@ int main(int argc, char** argv) {
   const ttsc::report::Matrix matrix = ttsc::bench::run_matrix(opts, &timeline);
   std::fputs(ttsc::report::render_fig5_runtime(matrix).c_str(), stdout);
   ttsc::bench::print_stats(opts, timeline);
+  ttsc::bench::print_utilization(opts, matrix);
+  ttsc::bench::print_trace(opts);
   return 0;
 }

@@ -93,6 +93,60 @@ void BM_SimulateTta(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateTta);
 
+// Same workload on the original interpretive loop: the ratio against
+// BM_SimulateTta is the fast path's speedup (the ISSUE floor is >= 3x on
+// the full-sweep simulate stage; see BM_FullSweepReference below).
+void BM_SimulateTtaReference(benchmark::State& state) {
+  const ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_m_tta_2();
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  const auto prog = tta::schedule_tta(lowered.func, machine);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    ir::Memory mem = report::make_loaded_memory(optimized);
+    tta::TtaSim sim(prog, machine, mem, {.fast_path = false});
+    cycles = sim.run().cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulateTtaReference);
+
+void BM_SimulateVliw(benchmark::State& state) {
+  const ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_m_vliw_2();
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  const auto prog = vliw::schedule_vliw(lowered.func, machine);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    ir::Memory mem = report::make_loaded_memory(optimized);
+    vliw::VliwSim sim(prog, machine, mem);
+    cycles = sim.run().cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulateVliw);
+
+void BM_SimulateVliwReference(benchmark::State& state) {
+  const ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_m_vliw_2();
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  const auto prog = vliw::schedule_vliw(lowered.func, machine);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    ir::Memory mem = report::make_loaded_memory(optimized);
+    vliw::VliwSim sim(prog, machine, mem, {.fast_path = false});
+    cycles = sim.run().cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulateVliwReference);
+
 void BM_SimulateScalar(benchmark::State& state) {
   ir::Module optimized = report::build_optimized(bench_workload());
   const mach::Machine machine = mach::make_mblaze3();
@@ -110,6 +164,24 @@ void BM_SimulateScalar(benchmark::State& state) {
       static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_SimulateScalar);
+
+void BM_SimulateScalarReference(benchmark::State& state) {
+  ir::Module optimized = report::build_optimized(bench_workload());
+  const mach::Machine machine = mach::make_mblaze3();
+  codegen::legalize_scalar_operands(optimized.function(workloads::entry_point()));
+  const auto lowered = codegen::lower(optimized, workloads::entry_point(), machine);
+  const auto prog = scalar::emit_scalar(lowered.func);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    ir::Memory mem = report::make_loaded_memory(optimized);
+    scalar::ScalarSim sim(prog, machine, mem, {.fast_path = false});
+    cycles = sim.run().cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulateScalarReference);
 
 void BM_InterpreterGolden(benchmark::State& state) {
   for (auto _ : state) {
@@ -136,6 +208,7 @@ void BM_FullSweepSerial(benchmark::State& state) {
     state.counters["module_builds"] =
         static_cast<double>(timeline.counter("modules_built"));
     state.counters["cells_run"] = static_cast<double>(timeline.counter("cells_run"));
+    state.counters["simulate_s"] = timeline.seconds(support::Stage::kSimulate);
   }
 }
 BENCHMARK(BM_FullSweepSerial)->Unit(benchmark::kMillisecond)->Iterations(2);
@@ -153,6 +226,21 @@ void BM_FullSweepParallel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSweepParallel)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+// Full sweep on the reference interpreter loops. The "simulate_s" counters
+// of this bench vs BM_FullSweepSerial measure the predecoded fast path's
+// simulate-stage speedup (>= 3x on the paper sweep) independently of the
+// compile stages, which the two runs share.
+void BM_FullSweepReference(benchmark::State& state) {
+  for (auto _ : state) {
+    support::Timeline timeline;
+    const report::Matrix m = report::Matrix::run(&timeline, {.fast_path = false});
+    benchmark::DoNotOptimize(m.machines().size());
+    state.counters["cells_run"] = static_cast<double>(timeline.counter("cells_run"));
+    state.counters["simulate_s"] = timeline.seconds(support::Stage::kSimulate);
+  }
+}
+BENCHMARK(BM_FullSweepReference)->Unit(benchmark::kMillisecond)->Iterations(2);
 
 }  // namespace
 

@@ -60,6 +60,10 @@ class Memory {
     return {bytes_.data() + addr, len};
   }
 
+  /// Whole-image comparison; used by the differential tests to assert two
+  /// simulations left bit-identical memory.
+  bool operator==(const Memory&) const = default;
+
   /// FNV-1a over a range; used by workloads/tests to compare backend results.
   std::uint64_t checksum(std::uint32_t addr, std::uint32_t len) const {
     check(addr, len);

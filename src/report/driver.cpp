@@ -7,7 +7,9 @@
 #include "codegen/lower.hpp"
 #include "ir/verify.hpp"
 #include "opt/passes.hpp"
+#include "report/module_cache.hpp"
 #include "scalar/scalar.hpp"
+#include "sim/predecode.hpp"
 #include "support/strings.hpp"
 #include "tta/binary.hpp"
 #include "vliw/vliw.hpp"
@@ -97,7 +99,8 @@ ir::Module build_optimized(const Workload& workload, support::Timeline* timeline
 RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload& workload,
                                     const mach::Machine& machine,
                                     const tta::TtaOptions& tta_options,
-                                    support::Timeline* timeline) {
+                                    support::Timeline* timeline,
+                                    const sim::SimOptions& sim_options, ModuleCache* cache) {
   // Backend-specific IR preparation on a copy of the shared optimized
   // module: the scalar model legalizes RISC operand constraints.
   // (opt::if_convert is deliberately NOT applied: without hardware
@@ -125,16 +128,40 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
   out.spills = lowered.spills_inserted;
   out.stage_seconds.regalloc = seconds_since(t_regalloc);
 
+  // Observer plumbing: optionally attach a per-run utilization collector,
+  // teeing with a caller-provided observer when both are requested.
+  sim::SimOptions sim_opts = sim_options;
+  std::unique_ptr<sim::UtilizationCollector> util;
+  sim::TeeObserver tee(nullptr, nullptr);
+  if (sim_opts.collect_utilization) {
+    util = std::make_unique<sim::UtilizationCollector>(machine);
+    if (sim_opts.observer != nullptr) {
+      tee = sim::TeeObserver(sim_opts.observer, util.get());
+      sim_opts.observer = &tee;
+    } else {
+      sim_opts.observer = util.get();
+    }
+  }
+
   ir::Memory mem = make_loaded_memory(module);
   const auto t_schedule = std::chrono::steady_clock::now();
   switch (machine.model) {
     case mach::Model::Scalar: {
       const scalar::ScalarProgram prog = scalar::emit_scalar(lowered.func);
       out.stage_seconds.schedule = seconds_since(t_schedule);
+      scalar::ScalarSim simulator(prog, machine, mem, sim_opts);
+      if (sim_opts.fast_path) {
+        const auto t_pre = std::chrono::steady_clock::now();
+        simulator.use_predecoded(
+            cache != nullptr
+                ? cache->predecoded(prog, machine, timeline)
+                : std::make_shared<const sim::PredecodedScalar>(sim::predecode(prog, machine)));
+        out.stage_seconds.predecode = seconds_since(t_pre);
+      }
       const auto t_sim = std::chrono::steady_clock::now();
-      scalar::ScalarSim sim(prog, machine, mem);
-      const scalar::ExecResult r = sim.run();
+      const scalar::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
+      if (r.timed_out()) throw Error("scalar simulation exceeded cycle limit");
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = scalar::ScalarProgram::kInstrBits;
@@ -145,10 +172,19 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
     case mach::Model::Vliw: {
       const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine);
       out.stage_seconds.schedule = seconds_since(t_schedule);
+      vliw::VliwSim simulator(prog, machine, mem, sim_opts);
+      if (sim_opts.fast_path) {
+        const auto t_pre = std::chrono::steady_clock::now();
+        simulator.use_predecoded(
+            cache != nullptr
+                ? cache->predecoded(prog, machine, timeline)
+                : std::make_shared<const sim::PredecodedVliw>(sim::predecode(prog, machine)));
+        out.stage_seconds.predecode = seconds_since(t_pre);
+      }
       const auto t_sim = std::chrono::steady_clock::now();
-      vliw::VliwSim sim(prog, machine, mem);
-      const vliw::ExecResult r = sim.run();
+      const vliw::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
+      if (r.timed_out()) throw Error("VLIW simulation exceeded cycle limit");
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = vliw::instruction_bits(machine);
@@ -163,10 +199,19 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
       // the literal pool holding wide constants and far branch targets).
       out.image_bits = tta::encode_program(prog, machine).image_bits();
       out.stage_seconds.schedule = seconds_since(t_schedule);
+      tta::TtaSim simulator(prog, machine, mem, sim_opts);
+      if (sim_opts.fast_path) {
+        const auto t_pre = std::chrono::steady_clock::now();
+        simulator.use_predecoded(
+            cache != nullptr
+                ? cache->predecoded(prog, machine, timeline)
+                : std::make_shared<const sim::PredecodedTta>(sim::predecode(prog, machine)));
+        out.stage_seconds.predecode = seconds_since(t_pre);
+      }
       const auto t_sim = std::chrono::steady_clock::now();
-      tta::TtaSim sim(prog, machine, mem);
-      const tta::ExecResult r = sim.run();
+      const tta::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
+      if (r.timed_out()) throw Error("TTA simulation exceeded cycle limit");
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = tta::instruction_bits(machine);
@@ -179,13 +224,27 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
     }
   }
   out.output_checksum = output_checksum(module, workload, mem);
+  if (util != nullptr) {
+    util->add_cycles(out.cycles);
+    out.utilization = util->report();
+  }
   if (timeline != nullptr) {
     timeline->add_seconds(support::Stage::kRegalloc, out.stage_seconds.regalloc);
     timeline->add_seconds(support::Stage::kSchedule, out.stage_seconds.schedule);
+    timeline->add_seconds(support::Stage::kPredecode, out.stage_seconds.predecode);
     timeline->add_seconds(support::Stage::kSimulate, out.stage_seconds.simulate);
     timeline->bump("cells_run");
     timeline->bump("cycles_simulated", out.cycles);
     timeline->bump("spills", static_cast<std::uint64_t>(out.spills));
+    if (util != nullptr) {
+      const sim::UtilizationReport& u = util->report();
+      timeline->bump("sim_triggers", u.total_triggers());
+      timeline->bump("sim_moves", u.moves);
+      timeline->bump("sim_guard_squashes", u.guard_squashes);
+      timeline->bump("sim_rf_reads", u.rf_reads);
+      timeline->bump("sim_rf_writes", u.rf_writes);
+      timeline->bump("sim_stall_cycles", u.stall_cycles);
+    }
   }
 
   // Cross-check against the golden model.

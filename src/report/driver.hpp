@@ -13,11 +13,14 @@
 
 #include "ir/interp.hpp"
 #include "mach/machine.hpp"
+#include "sim/collectors.hpp"
 #include "support/timeline.hpp"
 #include "tta/tta.hpp"
 #include "workloads/workload.hpp"
 
 namespace ttsc::report {
+
+class ModuleCache;
 
 /// Memory image with globals loaded, as every simulator expects it.
 ir::Memory make_loaded_memory(const ir::Module& module, std::size_t size = 1u << 20);
@@ -42,11 +45,14 @@ struct RunOutcome {
   int spills = 0;
 
   // Wall time per pipeline stage. compile_and_run_prebuilt fills regalloc/
-  // schedule/simulate; frontend/opt belong to the shared build_optimized
-  // call and are filled in by whoever owns that call (the experiment
-  // engine's module cache reports the one-time build cost of the cell's
-  // workload there).
+  // schedule/predecode/simulate; frontend/opt belong to the shared
+  // build_optimized call and are filled in by whoever owns that call (the
+  // experiment engine's module cache reports the one-time build cost of the
+  // cell's workload there).
   support::StageSeconds stage_seconds;
+
+  // Execution profile, present when SimOptions::collect_utilization was set.
+  std::optional<sim::UtilizationReport> utilization;
 };
 
 /// Reference-interpreter outcome for a workload (golden model).
@@ -74,13 +80,20 @@ ir::Module build_optimized(const workloads::Workload& workload,
                            support::StageSeconds* build_times = nullptr);
 
 /// As compile_and_run, but reusing a pre-optimized module. When given,
-/// `timeline` accrues the regalloc/schedule/simulate stages and the
-/// "cells_run" / "cycles_simulated" / "spills" counters; the same stage
+/// `timeline` accrues the regalloc/schedule/predecode/simulate stages and
+/// the "cells_run" / "cycles_simulated" / "spills" counters (plus the
+/// sim_* observer counters when utilization is collected); the same stage
 /// times are always reported in the outcome's stage_seconds.
+///
+/// `sim_options` selects the simulator path (fast/reference), an optional
+/// observer and utilization collection; `cache` (when given) memoizes the
+/// fast path's predecoded programs across cells.
 RunOutcome compile_and_run_prebuilt(const ir::Module& optimized,
                                     const workloads::Workload& workload,
                                     const mach::Machine& machine,
                                     const tta::TtaOptions& tta_options = {},
-                                    support::Timeline* timeline = nullptr);
+                                    support::Timeline* timeline = nullptr,
+                                    const sim::SimOptions& sim_options = {},
+                                    ModuleCache* cache = nullptr);
 
 }  // namespace ttsc::report

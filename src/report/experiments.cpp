@@ -25,7 +25,7 @@ std::string header_row(const std::vector<std::string>& workloads) {
 
 }  // namespace
 
-Matrix Matrix::run(support::Timeline* timeline) {
+Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_options) {
   Matrix m;
   for (const workloads::Workload& w : workloads::all_workloads()) {
     m.workload_names_.push_back(w.name);
@@ -33,6 +33,7 @@ Matrix Matrix::run(support::Timeline* timeline) {
   // Each workload's optimized module is machine-independent: build it once
   // and share it across all 13 machines (the cache is what the parallel
   // runner uses too, so serial and parallel sweeps compile identically).
+  // The cache also memoizes the simulator fast path's predecoded programs.
   ModuleCache cache;
   for (const mach::Machine& machine : mach::all_machines()) {
     MachineResults r;
@@ -40,7 +41,8 @@ Matrix Matrix::run(support::Timeline* timeline) {
     r.area = fpga::estimate_area(machine);
     r.timing = fpga::estimate_timing(machine);
     for (const workloads::Workload& w : workloads::all_workloads()) {
-      r.by_workload[w.name] = compile_and_run_prebuilt(cache.get(w, timeline), w, machine, {}, timeline);
+      r.by_workload[w.name] = compile_and_run_prebuilt(cache.get(w, timeline), w, machine, {},
+                                                       timeline, sim_options, &cache);
     }
     m.machines_.push_back(std::move(r));
   }
@@ -278,7 +280,8 @@ std::string render_ablation_tta_freedoms() {
     for (const Variant& v : variants) {
       out += format("%-10s", v.name);
       for (const workloads::Workload& w : workloads::all_workloads()) {
-        const RunOutcome r = compile_and_run_prebuilt(cache.get(w), w, machine, v.opt);
+        const RunOutcome r =
+            compile_and_run_prebuilt(cache.get(w), w, machine, v.opt, nullptr, {}, &cache);
         if (std::string(v.name) == "all-on") {
           baseline[w.name] = r.cycles;
           out += format(" %9llu", static_cast<unsigned long long>(r.cycles));

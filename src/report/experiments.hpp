@@ -30,7 +30,10 @@ class Matrix {
   /// configurations; each workload's module is built once and shared
   /// across machines). ParallelRunner produces the identical matrix using
   /// a thread pool — this serial path is the determinism reference.
-  static Matrix run(support::Timeline* timeline = nullptr);
+  /// `sim_options` selects the simulator path for every cell (e.g.
+  /// fast_path = false for the reference interpreters).
+  static Matrix run(support::Timeline* timeline = nullptr,
+                    const sim::SimOptions& sim_options = {});
 
   const MachineResults& machine(const std::string& name) const;
   const std::vector<MachineResults>& machines() const { return machines_; }

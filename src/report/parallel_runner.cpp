@@ -4,30 +4,6 @@
 
 namespace ttsc::report {
 
-const ir::Module& ModuleCache::get(const workloads::Workload& workload,
-                                   support::Timeline* timeline,
-                                   support::StageSeconds* build_times) {
-  Entry* entry;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::unique_ptr<Entry>& slot = entries_[workload.name];
-    if (slot == nullptr) slot = std::make_unique<Entry>();
-    entry = slot.get();
-  }
-  // Build under the entry's own mutex, outside the map lock: concurrent
-  // requests for *different* workloads build in parallel; requests for the
-  // same workload block until the one build completes. A build that threw
-  // leaves the entry unbuilt, so the next caller retries (and the error
-  // reaches every waiter that raced this build attempt via its own retry).
-  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
-  if (!entry->built) {
-    entry->module = build_optimized(workload, timeline, &entry->build_times);
-    entry->built = true;
-  }
-  if (build_times != nullptr) *build_times = entry->build_times;
-  return entry->module;
-}
-
 ParallelRunner::ParallelRunner(Options options)
     : options_(options), pool_(options.threads) {}
 
@@ -49,8 +25,11 @@ Matrix ParallelRunner::run_grid(const std::vector<mach::Machine>& machines,
     const workloads::Workload& w = workloads[i % cols];
     support::StageSeconds build_times;
     const ir::Module& optimized = cache_.get(w, options_.timeline, &build_times);
-    RunOutcome out =
-        compile_and_run_prebuilt(optimized, w, machine, tta_options, options_.timeline);
+    // Observers are per-run state; never share one across worker threads.
+    sim::SimOptions sim = options_.sim;
+    sim.observer = nullptr;
+    RunOutcome out = compile_and_run_prebuilt(optimized, w, machine, tta_options,
+                                              options_.timeline, sim, &cache_);
     out.stage_seconds.frontend = build_times.frontend;
     out.stage_seconds.opt = build_times.opt;
     outcomes[i] = std::move(out);

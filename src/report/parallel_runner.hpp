@@ -16,50 +16,24 @@
 // rethrown after the whole grid has run (again interleaving-independent).
 #pragma once
 
-#include <map>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "report/experiments.hpp"
+#include "report/module_cache.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timeline.hpp"
 
 namespace ttsc::report {
-
-/// Thread-safe per-workload cache of optimized modules. Each workload is
-/// built exactly once no matter how many threads or machines request it
-/// (verified by the timeline's "modules_built" counter).
-class ModuleCache {
- public:
-  /// The optimized module for `workload`, building it on first use. The
-  /// returned reference stays valid for the cache's lifetime. When given,
-  /// `build_times` receives the frontend/opt wall time of the (possibly
-  /// earlier, cached) build.
-  const ir::Module& get(const workloads::Workload& workload,
-                        support::Timeline* timeline = nullptr,
-                        support::StageSeconds* build_times = nullptr);
-
- private:
-  // Hand-rolled once-per-entry instead of std::call_once: libstdc++'s
-  // call_once can leave waiters hung when the callable throws (PR 66146),
-  // and a failed build must be retryable by the next caller anyway.
-  struct Entry {
-    std::mutex build_mutex;
-    bool built = false;
-    ir::Module module;
-    support::StageSeconds build_times;
-  };
-
-  std::mutex mutex_;                                      // guards the map only
-  std::map<std::string, std::unique_ptr<Entry>> entries_;  // keyed by workload name
-};
 
 class ParallelRunner {
  public:
   struct Options {
     int threads = 0;                         // <= 0: hardware concurrency
     support::Timeline* timeline = nullptr;   // optional --stats aggregation
+    /// Simulator configuration for every cell. A non-null observer is
+    /// ignored (observers are not thread-safe across cells); use
+    /// sim.collect_utilization to get per-cell reports instead.
+    sim::SimOptions sim{};
   };
 
   ParallelRunner() : ParallelRunner(Options{}) {}

@@ -1,5 +1,6 @@
 #include "scalar/scalar.hpp"
 
+#include "sim/predecode.hpp"
 #include "support/bits.hpp"
 
 namespace ttsc::scalar {
@@ -26,10 +27,12 @@ int shift_words(const mach::ScalarTiming& t, const MInstr& in) {
   return t.variable_shift_setup;  // compare/branch/shift/decrement loop body
 }
 
+}  // namespace
+
 /// Instruction words for one operation: 1 plus an IMM prefix when any
 /// immediate operand does not fit the 16-bit immediate field; shifts may
 /// expand into multi-instruction sequences (see shift_words).
-int words_for(const mach::ScalarTiming& t, const MInstr& in) {
+int instr_words(const mach::ScalarTiming& t, const MInstr& in) {
   // Branch targets are PC-relative label fields, not data immediates.
   if (ir::is_branch(in.op)) return 1;
   if (is_shift(in.op)) return shift_words(t, in);
@@ -46,11 +49,9 @@ int dependent_use_stall(const mach::ScalarTiming& t, Opcode op) {
   return 0;
 }
 
-}  // namespace
-
 std::uint64_t ScalarProgram::code_words(const mach::ScalarTiming& timing) const {
   std::uint64_t words = 0;
-  for (const MInstr& in : instrs) words += static_cast<std::uint64_t>(words_for(timing, in));
+  for (const MInstr& in : instrs) words += static_cast<std::uint64_t>(instr_words(timing, in));
   return words;
 }
 
@@ -75,12 +76,144 @@ ScalarProgram emit_scalar(const codegen::MFunction& func) {
 }
 
 ScalarSim::ScalarSim(const ScalarProgram& program, const mach::Machine& machine,
-                     ir::Memory& memory)
-    : program_(program), machine_(machine), mem_(memory) {
+                     ir::Memory& memory, sim::SimOptions options)
+    : program_(program), machine_(machine), mem_(memory), options_(options) {
   TTSC_ASSERT(machine.model == mach::Model::Scalar, "ScalarSim needs a scalar machine");
 }
 
+ScalarSim::~ScalarSim() = default;
+
+void ScalarSim::use_predecoded(std::shared_ptr<const sim::PredecodedScalar> predecoded) {
+  predecoded_ = std::move(predecoded);
+}
+
 ExecResult ScalarSim::run(std::uint64_t max_cycles) {
+  if (!options_.fast_path) return run_reference(max_cycles);
+  if (predecoded_ == nullptr) {
+    predecoded_ =
+        std::make_shared<const sim::PredecodedScalar>(sim::predecode(program_, machine_));
+  }
+  return options_.observer != nullptr ? run_fast<true>(max_cycles) : run_fast<false>(max_cycles);
+}
+
+template <bool kObserve>
+ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
+  using sim::ScalarPInstr;
+  const sim::PredecodedScalar& pre = *predecoded_;
+  sim::ExecObserver* const obs = options_.observer;
+  const mach::ScalarTiming& timing = machine_.scalar;
+
+  std::vector<std::uint32_t> regs(pre.rf_slots, 0u);
+  std::vector<std::uint64_t> ready(pre.rf_slots, 0ull);
+
+  ExecResult result;
+  std::uint64_t cycle = static_cast<std::uint64_t>(timing.pipeline_stages - 1);  // fill
+  std::uint32_t pc = 0;
+
+  while (true) {
+    TTSC_ASSERT(pc < pre.instrs.size(), "scalar PC out of range");
+    const ScalarPInstr& in = pre.instrs[pc];
+
+    std::uint64_t issue = cycle;
+    std::uint32_t a = in.a_val;
+    std::uint32_t b = in.b_val;
+    if (!in.a_imm) {
+      issue = std::max(issue, ready[in.a_slot]);
+      a = regs[in.a_slot];
+      if constexpr (kObserve) obs->on_rf_read(cycle, in.a_rf, in.a_reg);
+    }
+    if (!in.b_imm) {
+      issue = std::max(issue, ready[in.b_slot]);
+      b = regs[in.b_slot];
+      if constexpr (kObserve) obs->on_rf_read(cycle, in.b_rf, in.b_reg);
+    }
+    if constexpr (kObserve) {
+      if (issue > cycle) obs->on_stall(cycle, issue - cycle);
+    }
+    // Multi-word expansions: IMM prefixes, and (without a barrel shifter)
+    // single-bit shift sequences or the variable-shift loop.
+    if (in.var_shift) {
+      issue += static_cast<std::uint64_t>(timing.variable_shift_setup) +
+               static_cast<std::uint64_t>(timing.variable_shift_per_bit) * (b & 31);
+    } else {
+      issue += in.extra_words;
+    }
+    if (issue + 1 > max_cycles) {
+      result.status = sim::ExecStatus::TimedOut;
+      result.cycles = cycle;
+      result.rf_state = regs;
+      return result;
+    }
+    ++result.instrs;
+    if constexpr (kObserve) obs->on_trigger(issue, -1, in.op);
+
+    std::uint32_t value = 0;
+    switch (in.op) {
+      case Opcode::Add: value = a + b; break;
+      case Opcode::Sub: value = a - b; break;
+      case Opcode::Mul: value = a * b; break;
+      case Opcode::And: value = a & b; break;
+      case Opcode::Ior: value = a | b; break;
+      case Opcode::Xor: value = a ^ b; break;
+      case Opcode::Shl: value = a << (b & 31); break;
+      case Opcode::Shru: value = a >> (b & 31); break;
+      case Opcode::Shr:
+        value = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+        break;
+      case Opcode::Eq: value = a == b ? 1 : 0; break;
+      case Opcode::Gt:
+        value = static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b) ? 1 : 0;
+        break;
+      case Opcode::Gtu: value = a > b ? 1 : 0; break;
+      case Opcode::Sxhw: value = static_cast<std::uint32_t>(sign_extend(a, 16)); break;
+      case Opcode::Sxqw: value = static_cast<std::uint32_t>(sign_extend(a, 8)); break;
+      case Opcode::MovI:
+      case Opcode::Copy: value = a; break;
+      case Opcode::Ldw: value = mem_.load32(a); break;
+      case Opcode::Ldh: value = static_cast<std::uint32_t>(sign_extend(mem_.load16(a), 16)); break;
+      case Opcode::Ldhu: value = mem_.load16(a); break;
+      case Opcode::Ldq: value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8)); break;
+      case Opcode::Ldqu: value = mem_.load8(a); break;
+      case Opcode::Stw: mem_.store32(a, b); break;
+      case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
+      case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+      case Opcode::Jump: {
+        cycle = issue + 1 + static_cast<std::uint64_t>(timing.branch_penalty);
+        pc = in.target_pc;
+        result.cycles = cycle;
+        continue;
+      }
+      case Opcode::Bnz: {
+        const bool taken = a != 0;
+        cycle = issue + 1 + (taken ? static_cast<std::uint64_t>(timing.branch_penalty) : 0ull);
+        pc = taken ? in.target_pc : pc + 1;
+        result.cycles = cycle;
+        continue;
+      }
+      case Opcode::Ret: {
+        result.cycles = issue + 1;
+        result.ret = a;
+        result.rf_state = regs;
+        return result;
+      }
+      case Opcode::Call:
+        TTSC_UNREACHABLE("calls must be inlined before scalar emission");
+    }
+
+    cycle = issue + 1;
+    if (in.dst_slot >= 0) {
+      const std::size_t slot = static_cast<std::size_t>(in.dst_slot);
+      regs[slot] = value;
+      ready[slot] =
+          issue + 1 + static_cast<std::uint64_t>(in.stall) + (timing.forwarding ? 0 : 1);
+      if constexpr (kObserve) obs->on_rf_write(issue, in.dst_rf, in.dst_reg, value);
+    }
+    ++pc;
+  }
+}
+
+ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
+  sim::ExecObserver* const obs = options_.observer;
   const mach::ScalarTiming& timing = machine_.scalar;
 
   // Register state, indexed [rf][index].
@@ -98,6 +231,11 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
     return regs[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)];
   };
 
+  auto capture_state = [&](ExecResult& r) {
+    r.rf_state.clear();
+    for (const auto& rf : regs) r.rf_state.insert(r.rf_state.end(), rf.begin(), rf.end());
+  };
+
   ExecResult result;
   std::uint64_t cycle = static_cast<std::uint64_t>(timing.pipeline_stages - 1);  // fill
   std::uint32_t pc = 0;
@@ -105,13 +243,21 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
   while (true) {
     TTSC_ASSERT(pc < program_.instrs.size(), "scalar PC out of range");
     const MInstr& in = program_.instrs[pc];
-    ++result.instrs;
 
     std::uint64_t issue = cycle;
     std::uint32_t a = 0;
     std::uint32_t b = 0;
     if (!in.srcs.empty()) a = read(in.srcs[0], issue);
     if (in.srcs.size() > 1) b = read(in.srcs[1], issue);
+    if (obs != nullptr) {
+      if (!in.srcs.empty() && in.srcs[0].is_reg()) {
+        obs->on_rf_read(cycle, in.srcs[0].reg.rf, in.srcs[0].reg.index);
+      }
+      if (in.srcs.size() > 1 && in.srcs[1].is_reg()) {
+        obs->on_rf_read(cycle, in.srcs[1].reg.rf, in.srcs[1].reg.index);
+      }
+      if (issue > cycle) obs->on_stall(cycle, issue - cycle);
+    }
     // Multi-word expansions: IMM prefixes, and (without a barrel shifter)
     // single-bit shift sequences or the variable-shift loop.
     if (is_shift(in.op) && !timing.barrel_shifter && in.srcs.size() > 1 &&
@@ -119,9 +265,16 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
       issue += static_cast<std::uint64_t>(timing.variable_shift_setup) +
                static_cast<std::uint64_t>(timing.variable_shift_per_bit) * (b & 31);
     } else {
-      issue += static_cast<std::uint64_t>(words_for(timing, in) - 1);
+      issue += static_cast<std::uint64_t>(instr_words(timing, in) - 1);
     }
-    if (issue + 1 > max_cycles) throw Error("scalar simulation exceeded cycle limit");
+    if (issue + 1 > max_cycles) {
+      result.status = sim::ExecStatus::TimedOut;
+      result.cycles = cycle;
+      capture_state(result);
+      return result;
+    }
+    ++result.instrs;
+    if (obs != nullptr) obs->on_trigger(issue, -1, in.op);
 
     std::uint32_t value = 0;
     bool writes = in.has_dst();
@@ -171,6 +324,7 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
       case Opcode::Ret: {
         result.cycles = issue + 1;
         result.ret = in.srcs.empty() ? 0u : a;
+        capture_state(result);
         return result;
       }
       case Opcode::Call:
@@ -185,6 +339,7 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
       const std::uint64_t visible =
           issue + 1 + static_cast<std::uint64_t>(stall) + (timing.forwarding ? 0 : 1);
       ready[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)] = visible;
+      if (obs != nullptr) obs->on_rf_write(issue, r.rf, r.index, value);
     }
     ++pc;
   }

@@ -6,12 +6,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "codegen/lower.hpp"
 #include "ir/memory.hpp"
 #include "ir/module.hpp"
 #include "mach/machine.hpp"
+#include "sim/observer.hpp"
+
+namespace ttsc::sim {
+struct PredecodedScalar;
+}
 
 namespace ttsc::scalar {
 
@@ -33,29 +39,63 @@ struct ScalarProgram {
 /// Immediates representable without an IMM prefix word.
 bool fits_short_imm(std::int32_t value);
 
+/// Instruction words for one operation: 1 plus an IMM prefix when a wide
+/// immediate is used; without a barrel shifter, constant shifts expand into
+/// single-bit sequences (capped). Shared with the simulator predecoder.
+int instr_words(const mach::ScalarTiming& timing, const codegen::MInstr& in);
+
+/// Extra cycles when `op`'s result feeds the immediately following use
+/// (load-use / multiply / shift stalls of mach::ScalarTiming).
+int dependent_use_stall(const mach::ScalarTiming& timing, ir::Opcode op);
+
 /// Linearize an MFunction into a scalar instruction stream. Jumps to the
 /// immediately following block are elided (fallthrough).
 ScalarProgram emit_scalar(const codegen::MFunction& func);
 
 struct ExecResult {
+  /// Ok = the program returned; TimedOut = the cycle budget was exhausted
+  /// and `cycles` holds the cycles actually executed.
+  sim::ExecStatus status = sim::ExecStatus::Ok;
   std::uint64_t cycles = 0;
   std::uint64_t instrs = 0;
   std::uint32_t ret = 0;
+  /// Architectural register state at halt (register files concatenated in
+  /// machine order), for cycle-exact differential testing.
+  std::vector<std::uint32_t> rf_state;
+
+  bool timed_out() const { return status == sim::ExecStatus::TimedOut; }
+  bool operator==(const ExecResult&) const = default;
 };
 
 /// Cycle-approximate in-order pipeline simulation: functional execution plus
 /// the hazard/penalty model of mach::ScalarTiming (forwarding, load-use /
 /// multiply / shift stalls, taken-branch penalty, IMM prefix cycles).
+///
+/// The default fast path executes a predecoded instruction form
+/// (sim/predecode.hpp); SimOptions{.fast_path = false} selects the original
+/// interpretive reference loop, which produces bit-identical ExecResults.
 class ScalarSim {
  public:
-  ScalarSim(const ScalarProgram& program, const mach::Machine& machine, ir::Memory& memory);
+  ScalarSim(const ScalarProgram& program, const mach::Machine& machine, ir::Memory& memory,
+            sim::SimOptions options = {});
+  ~ScalarSim();
+
+  /// Reuse an externally predecoded program (e.g. from report::ModuleCache)
+  /// instead of predecoding on first run.
+  void use_predecoded(std::shared_ptr<const sim::PredecodedScalar> predecoded);
 
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
+  template <bool kObserve>
+  ExecResult run_fast(std::uint64_t max_cycles);
+  ExecResult run_reference(std::uint64_t max_cycles);
+
   const ScalarProgram& program_;
   const mach::Machine& machine_;
   ir::Memory& mem_;
+  sim::SimOptions options_;
+  std::shared_ptr<const sim::PredecodedScalar> predecoded_;
 };
 
 }  // namespace ttsc::scalar

@@ -1,0 +1,109 @@
+// Built-in ExecObserver implementations.
+//
+//  * UtilizationCollector — per-FU trigger counts, per-bus transport
+//    occupancy, dynamic opcode histogram and RF traffic, aggregated into a
+//    UtilizationReport (mergeable across runs, renderable as a table).
+//  * TraceObserver — human-readable cycle-by-cycle event log, capped at a
+//    fixed number of events (--trace in the bench harnesses).
+//  * TeeObserver — fans events out to two observers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "mach/machine.hpp"
+#include "sim/observer.hpp"
+
+namespace ttsc::sim {
+
+/// Aggregated execution profile of one or more simulation runs.
+struct UtilizationReport {
+  std::uint64_t cycles = 0;  // summed across merged runs
+  std::uint64_t moves = 0;   // executed TTA transports
+  std::uint64_t guard_squashes = 0;
+  std::uint64_t rf_reads = 0;
+  std::uint64_t rf_writes = 0;
+  std::uint64_t stall_cycles = 0;
+  std::vector<std::uint64_t> fu_triggers;  // per FU (index -1 → slot 0 of scalar)
+  std::vector<std::uint64_t> bus_busy;     // per bus: executed + squashed moves
+  std::array<std::uint64_t, static_cast<std::size_t>(ir::kNumOpcodes)> op_histogram{};
+
+  std::uint64_t total_triggers() const;
+
+  /// Accumulate another report (e.g. the other workloads of a sweep).
+  /// Vector fields grow to the larger operand.
+  void merge(const UtilizationReport& other);
+
+  /// Render as a table using `machine` for FU/bus names. The machine is
+  /// optional context: pass the machine the runs used, or nullptr for the
+  /// generic layout (merged heterogeneous runs).
+  std::string render(const mach::Machine* machine = nullptr) const;
+};
+
+/// Observer that accumulates a UtilizationReport over a run. The simulators
+/// do not report total cycles through the observer protocol; the driver
+/// records ExecResult::cycles via add_cycles() after the run.
+class UtilizationCollector final : public ExecObserver {
+ public:
+  explicit UtilizationCollector(const mach::Machine& machine);
+
+  void on_move(std::uint64_t cycle, int bus) override;
+  void on_guard_squash(std::uint64_t cycle, int bus) override;
+  void on_trigger(std::uint64_t cycle, int fu, ir::Opcode op) override;
+  void on_rf_read(std::uint64_t cycle, int rf, int index) override;
+  void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
+  void on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) override;
+
+  void add_cycles(std::uint64_t cycles) { report_.cycles += cycles; }
+  const UtilizationReport& report() const { return report_; }
+
+ private:
+  UtilizationReport report_;
+};
+
+/// Observer that formats the first `max_events` events as one line each.
+class TraceObserver final : public ExecObserver {
+ public:
+  explicit TraceObserver(std::size_t max_events = 200) : max_events_(max_events) {}
+
+  void on_move(std::uint64_t cycle, int bus) override;
+  void on_guard_squash(std::uint64_t cycle, int bus) override;
+  void on_trigger(std::uint64_t cycle, int fu, ir::Opcode op) override;
+  void on_rf_read(std::uint64_t cycle, int rf, int index) override;
+  void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
+  void on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) override;
+
+  std::size_t events() const { return events_; }
+  bool truncated() const { return events_ > max_events_; }
+  /// The formatted trace; ends with an ellipsis line when truncated.
+  std::string text() const;
+
+ private:
+  void line(std::uint64_t cycle, const std::string& body);
+
+  std::size_t max_events_;
+  std::size_t events_ = 0;
+  std::string text_;
+};
+
+/// Fans every event out to two observers (either may be null).
+class TeeObserver final : public ExecObserver {
+ public:
+  TeeObserver(ExecObserver* a, ExecObserver* b) : a_(a), b_(b) {}
+
+  void on_move(std::uint64_t cycle, int bus) override;
+  void on_guard_squash(std::uint64_t cycle, int bus) override;
+  void on_trigger(std::uint64_t cycle, int fu, ir::Opcode op) override;
+  void on_rf_read(std::uint64_t cycle, int rf, int index) override;
+  void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
+  void on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) override;
+
+ private:
+  ExecObserver* a_;
+  ExecObserver* b_;
+};
+
+}  // namespace ttsc::sim

@@ -1,0 +1,67 @@
+// Execution observability protocol shared by the three instruction-set
+// simulators (TTA, VLIW, scalar).
+//
+// An ExecObserver receives cycle-level execution events. The fast-path run
+// loops are instantiated twice — once with observer dispatch compiled in,
+// once without — so a null observer costs nothing per cycle (no branch, no
+// virtual call). The reference loops use plain null checks (they are the
+// differential baseline, not a hot path).
+//
+// Event semantics (identical on the fast and reference paths, so observer
+// counts can be differentially tested too):
+//  * on_move         — one executed (non-squashed) TTA transport on `bus`.
+//  * on_guard_squash — a guarded TTA move whose guard disagreed; the move
+//                      occupied its bus but had no effect.
+//  * on_trigger      — an operation fired: a TTA trigger-port write, a VLIW
+//                      operation issue (fu = issue slot's FU), or a scalar
+//                      instruction execution (fu = -1). Control operations
+//                      included; squashed ones are not.
+//  * on_rf_read      — a register-file read by an executing move/operation.
+//  * on_rf_write     — a register-file write at the cycle it commits
+//                      (becomes architecturally visible).
+//  * on_stall        — scalar only: cycles the pipeline waited for an
+//                      operand that was not ready (hazard stalls; multi-word
+//                      expansions and branch penalties are not stalls).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/opcode.hpp"
+
+namespace ttsc::sim {
+
+/// How a simulation ended. TimedOut means the cycle budget (`max_cycles`)
+/// was exhausted before the program returned; the ExecResult then carries
+/// the cycles actually executed, distinguishable from a normal halt.
+enum class ExecStatus : std::uint8_t { Ok, TimedOut };
+
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+
+  virtual void on_move(std::uint64_t /*cycle*/, int /*bus*/) {}
+  virtual void on_guard_squash(std::uint64_t /*cycle*/, int /*bus*/) {}
+  virtual void on_trigger(std::uint64_t /*cycle*/, int /*fu*/, ir::Opcode /*op*/) {}
+  virtual void on_rf_read(std::uint64_t /*cycle*/, int /*rf*/, int /*index*/) {}
+  virtual void on_rf_write(std::uint64_t /*cycle*/, int /*rf*/, int /*index*/,
+                           std::uint32_t /*value*/) {}
+  virtual void on_stall(std::uint64_t /*cycle*/, std::uint64_t /*stall_cycles*/) {}
+};
+
+/// Per-run simulator configuration, accepted by all three simulators.
+struct SimOptions {
+  /// Execute over the predecoded program form (src/sim/predecode.hpp).
+  /// false selects the original interpretive loop — the cycle-exact
+  /// reference the fast path is differentially tested against.
+  bool fast_path = true;
+
+  /// Cycle-level event sink; nullptr disables observation entirely.
+  ExecObserver* observer = nullptr;
+
+  /// Driver-level convenience (report::compile_and_run_prebuilt): attach a
+  /// UtilizationCollector for the run and surface its report through
+  /// RunOutcome::utilization. The simulators themselves ignore this flag.
+  bool collect_utilization = false;
+};
+
+}  // namespace ttsc::sim

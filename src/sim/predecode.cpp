@@ -1,0 +1,347 @@
+#include "sim/predecode.hpp"
+
+#include <algorithm>
+
+namespace ttsc::sim {
+
+namespace {
+
+using ir::Opcode;
+
+/// Flat register-slot bases: one contiguous array spanning all RFs.
+std::vector<std::uint32_t> rf_bases(const mach::Machine& machine, std::uint32_t* total) {
+  std::vector<std::uint32_t> base;
+  std::uint32_t next = 0;
+  for (const mach::RegisterFile& rf : machine.rfs) {
+    base.push_back(next);
+    next += static_cast<std::uint32_t>(rf.size);
+  }
+  *total = next;
+  return base;
+}
+
+int max_result_latency(const mach::Machine& machine) {
+  int lat = 1;
+  for (const mach::FunctionUnit& fu : machine.fus) {
+    for (const mach::Operation& op : fu.ops) lat = std::max(lat, op.latency);
+  }
+  return lat;
+}
+
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+};
+
+}  // namespace
+
+// ---- TTA ---------------------------------------------------------------
+
+PredecodedTta predecode(const tta::TtaProgram& program, const mach::Machine& machine) {
+  PredecodedTta out;
+  out.rf_base = rf_bases(machine, &out.rf_slots);
+  out.ring = max_result_latency(machine) + 1;
+  out.instr_begin.reserve(program.instrs.size() + 1);
+
+  for (const tta::TtaInstruction& instr : program.instrs) {
+    out.instr_begin.push_back(static_cast<std::uint32_t>(out.moves.size()));
+    for (const tta::Move& mv : instr.moves) {
+      TtaPMove p;
+      p.bus = (mv.bus >= 0 && static_cast<std::size_t>(mv.bus) < machine.buses.size())
+                  ? static_cast<std::int16_t>(mv.bus)
+                  : std::int16_t{-1};
+      p.guard = static_cast<std::int16_t>(mv.guard);
+      p.guard_negate = mv.guard_negate;
+
+      switch (mv.src.kind) {
+        case tta::MoveSrc::Kind::Imm:
+          p.src = TtaPMove::Src::Imm;
+          p.imm = static_cast<std::uint32_t>(mv.src.imm);
+          break;
+        case tta::MoveSrc::Kind::FuResult:
+          p.src = TtaPMove::Src::FuResult;
+          p.src_slot = static_cast<std::uint32_t>(mv.src.unit);
+          break;
+        case tta::MoveSrc::Kind::RfRead:
+          p.src = TtaPMove::Src::RfRead;
+          p.src_slot = out.rf_base[static_cast<std::size_t>(mv.src.unit)] +
+                       static_cast<std::uint32_t>(mv.src.reg_index);
+          p.src_rf = static_cast<std::int16_t>(mv.src.unit);
+          p.src_reg = static_cast<std::int16_t>(mv.src.reg_index);
+          break;
+      }
+
+      switch (mv.dst.kind) {
+        case tta::MoveDst::Kind::FuOperand:
+          p.dst = TtaPMove::Dst::FuOperand;
+          p.dst_slot = static_cast<std::uint32_t>(mv.dst.unit);
+          break;
+        case tta::MoveDst::Kind::RfWrite:
+          p.dst = TtaPMove::Dst::RfWrite;
+          p.dst_slot = out.rf_base[static_cast<std::size_t>(mv.dst.unit)] +
+                       static_cast<std::uint32_t>(mv.dst.reg_index);
+          p.dst_rf = static_cast<std::int16_t>(mv.dst.unit);
+          p.dst_reg = static_cast<std::int16_t>(mv.dst.reg_index);
+          break;
+        case tta::MoveDst::Kind::GuardWrite:
+          p.dst = TtaPMove::Dst::GuardWrite;
+          p.dst_slot = static_cast<std::uint32_t>(mv.dst.unit);
+          break;
+        case tta::MoveDst::Kind::FuTrigger: {
+          p.dst_slot = static_cast<std::uint32_t>(mv.dst.unit);
+          p.opcode = mv.dst.opcode;
+          if (mv.is_control) {
+            p.dst = TtaPMove::Dst::ControlTrigger;
+            switch (mv.dst.opcode) {
+              case Opcode::Jump: p.fire = TtaPMove::Fire::Jump; break;
+              case Opcode::Bnz: p.fire = TtaPMove::Fire::Bnz; break;
+              case Opcode::Ret: p.fire = TtaPMove::Fire::Ret; break;
+              default: TTSC_UNREACHABLE("predecode: bad control trigger opcode");
+            }
+            if (p.fire != TtaPMove::Fire::Ret) {
+              TTSC_ASSERT(mv.target < program.block_entry.size(),
+                          "predecode: branch target out of range");
+              p.target_pc = program.block_entry[mv.target];
+            }
+          } else {
+            p.dst = TtaPMove::Dst::FuTrigger;
+            const Opcode op = mv.dst.opcode;
+            if (ir::is_store(op)) {
+              p.fire = TtaPMove::Fire::Store;
+            } else {
+              p.fire = (ir::is_load(op) || op == Opcode::Sxhw || op == Opcode::Sxqw)
+                           ? TtaPMove::Fire::Input
+                           : TtaPMove::Fire::Binary;
+              p.latency = static_cast<std::uint8_t>(
+                  machine.fus[static_cast<std::size_t>(mv.dst.unit)].latency(op));
+            }
+          }
+          break;
+        }
+      }
+      out.moves.push_back(p);
+    }
+  }
+  out.instr_begin.push_back(static_cast<std::uint32_t>(out.moves.size()));
+  return out;
+}
+
+// ---- VLIW --------------------------------------------------------------
+
+namespace {
+
+void decode_operand(const codegen::MOperand& s, const std::vector<std::uint32_t>& rf_base,
+                    bool* is_imm, std::uint32_t* val, std::uint32_t* slot, std::int16_t* rf,
+                    std::int16_t* reg) {
+  if (s.is_imm()) {
+    *is_imm = true;
+    *val = static_cast<std::uint32_t>(s.imm);
+  } else {
+    *is_imm = false;
+    *slot = rf_base[static_cast<std::size_t>(s.reg.rf)] + static_cast<std::uint32_t>(s.reg.index);
+    *rf = s.reg.rf;
+    *reg = s.reg.index;
+  }
+}
+
+}  // namespace
+
+PredecodedVliw predecode(const vliw::VliwProgram& program, const mach::Machine& machine) {
+  PredecodedVliw out;
+  out.rf_base = rf_bases(machine, &out.rf_slots);
+  out.ring = max_result_latency(machine) + 2;  // visible at issue + latency + 1
+  out.bundle_begin.reserve(program.bundles.size() + 1);
+
+  for (const vliw::Bundle& bundle : program.bundles) {
+    out.bundle_begin.push_back(static_cast<std::uint32_t>(out.ops.size()));
+    for (const auto& slot : bundle.slots) {
+      if (!slot.has_value()) continue;
+      const codegen::MInstr& in = slot->instr;
+      VliwPOp p;
+      p.op = in.op;
+      p.fu = static_cast<std::int16_t>(slot->fu);
+      p.nsrcs = static_cast<std::uint8_t>(in.srcs.size());
+      if (!in.srcs.empty()) {
+        decode_operand(in.srcs[0], out.rf_base, &p.a_imm, &p.a_val, &p.a_slot, &p.a_rf, &p.a_reg);
+      }
+      if (in.srcs.size() > 1) {
+        decode_operand(in.srcs[1], out.rf_base, &p.b_imm, &p.b_val, &p.b_slot, &p.b_rf, &p.b_reg);
+      }
+      p.is_control = ir::is_branch(in.op) || in.op == Opcode::Ret;
+      if (ir::is_branch(in.op)) {
+        TTSC_ASSERT(!in.targets.empty() && in.targets[0] < program.block_entry.size(),
+                    "predecode: VLIW branch target out of range");
+        p.target_pc = program.block_entry[in.targets[0]];
+      }
+      if (in.has_dst()) {
+        p.dst_slot = static_cast<std::int32_t>(
+            out.rf_base[static_cast<std::size_t>(in.dst.rf)] +
+            static_cast<std::uint32_t>(in.dst.index));
+        p.dst_rf = in.dst.rf;
+        p.dst_reg = in.dst.index;
+        if (in.op == Opcode::MovI || in.op == Opcode::Copy) {
+          p.latency = 1;
+        } else {
+          const int fu = machine.fu_for(in.op);
+          TTSC_ASSERT(fu >= 0, "predecode: no FU for opcode");
+          p.latency = static_cast<std::uint8_t>(
+              machine.fus[static_cast<std::size_t>(fu)].latency(in.op));
+        }
+      }
+      out.ops.push_back(p);
+    }
+  }
+  out.bundle_begin.push_back(static_cast<std::uint32_t>(out.ops.size()));
+  return out;
+}
+
+// ---- Scalar ------------------------------------------------------------
+
+PredecodedScalar predecode(const scalar::ScalarProgram& program, const mach::Machine& machine) {
+  const mach::ScalarTiming& timing = machine.scalar;
+  PredecodedScalar out;
+  out.rf_base = rf_bases(machine, &out.rf_slots);
+  out.instrs.reserve(program.instrs.size());
+
+  for (const codegen::MInstr& in : program.instrs) {
+    ScalarPInstr p;
+    p.op = in.op;
+    p.nsrcs = static_cast<std::uint8_t>(in.srcs.size());
+    if (!in.srcs.empty()) {
+      decode_operand(in.srcs[0], out.rf_base, &p.a_imm, &p.a_val, &p.a_slot, &p.a_rf, &p.a_reg);
+    }
+    if (in.srcs.size() > 1) {
+      decode_operand(in.srcs[1], out.rf_base, &p.b_imm, &p.b_val, &p.b_slot, &p.b_rf, &p.b_reg);
+    }
+    if (in.has_dst()) {
+      p.dst_slot = static_cast<std::int32_t>(
+          out.rf_base[static_cast<std::size_t>(in.dst.rf)] +
+          static_cast<std::uint32_t>(in.dst.index));
+      p.dst_rf = in.dst.rf;
+      p.dst_reg = in.dst.index;
+    }
+    const bool is_shift =
+        in.op == Opcode::Shl || in.op == Opcode::Shr || in.op == Opcode::Shru;
+    p.var_shift = is_shift && !timing.barrel_shifter && in.srcs.size() > 1 && in.srcs[1].is_reg();
+    p.extra_words = static_cast<std::uint8_t>(scalar::instr_words(timing, in) - 1);
+    p.stall = static_cast<std::uint8_t>(scalar::dependent_use_stall(timing, in.op));
+    if (ir::is_branch(in.op)) {
+      TTSC_ASSERT(!in.targets.empty() && in.targets[0] < program.block_entry.size(),
+                  "predecode: scalar branch target out of range");
+      p.target_pc = program.block_entry[in.targets[0]];
+    }
+    out.instrs.push_back(p);
+  }
+  return out;
+}
+
+// ---- Fingerprints ------------------------------------------------------
+
+std::uint64_t fingerprint(const mach::Machine& machine) {
+  Fnv f;
+  f.add(static_cast<std::uint64_t>(machine.model));
+  f.add(static_cast<std::uint64_t>(machine.delay_slots));
+  f.add(static_cast<std::uint64_t>(machine.guard_regs));
+  f.add(machine.fus.size());
+  for (const mach::FunctionUnit& fu : machine.fus) {
+    f.add(fu.ops.size());
+    for (const mach::Operation& op : fu.ops) {
+      f.add(static_cast<std::uint64_t>(op.opcode));
+      f.add(static_cast<std::uint64_t>(op.latency));
+    }
+  }
+  f.add(machine.rfs.size());
+  for (const mach::RegisterFile& rf : machine.rfs) f.add(static_cast<std::uint64_t>(rf.size));
+  f.add(machine.buses.size());
+  const mach::ScalarTiming& t = machine.scalar;
+  f.add(static_cast<std::uint64_t>(t.pipeline_stages));
+  f.add(static_cast<std::uint64_t>(t.forwarding));
+  f.add(static_cast<std::uint64_t>(t.load_use_stall));
+  f.add(static_cast<std::uint64_t>(t.mul_stall));
+  f.add(static_cast<std::uint64_t>(t.shift_stall));
+  f.add(static_cast<std::uint64_t>(t.branch_penalty));
+  f.add(static_cast<std::uint64_t>(t.barrel_shifter));
+  f.add(static_cast<std::uint64_t>(t.max_unrolled_shift));
+  f.add(static_cast<std::uint64_t>(t.variable_shift_setup));
+  f.add(static_cast<std::uint64_t>(t.variable_shift_per_bit));
+  return f.h;
+}
+
+std::uint64_t fingerprint(const tta::TtaProgram& program) {
+  Fnv f;
+  f.add(0x54);  // 'T': salt the program kind
+  f.add(program.instrs.size());
+  for (const tta::TtaInstruction& instr : program.instrs) {
+    f.add(instr.moves.size());
+    for (const tta::Move& mv : instr.moves) {
+      f.add(static_cast<std::uint64_t>(mv.bus));
+      f.add(static_cast<std::uint64_t>(mv.src.kind));
+      f.add(static_cast<std::uint64_t>(mv.src.unit));
+      f.add(static_cast<std::uint64_t>(mv.src.reg_index));
+      f.add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(mv.src.imm)));
+      f.add(static_cast<std::uint64_t>(mv.dst.kind));
+      f.add(static_cast<std::uint64_t>(mv.dst.unit));
+      f.add(static_cast<std::uint64_t>(mv.dst.reg_index));
+      f.add(static_cast<std::uint64_t>(mv.dst.opcode));
+      f.add(mv.target);
+      f.add(static_cast<std::uint64_t>(mv.is_control));
+      f.add(static_cast<std::uint64_t>(mv.guard));
+      f.add(static_cast<std::uint64_t>(mv.guard_negate));
+    }
+  }
+  for (std::uint32_t e : program.block_entry) f.add(e);
+  return f.h;
+}
+
+namespace {
+
+void add_minstr(Fnv& f, const codegen::MInstr& in) {
+  f.add(static_cast<std::uint64_t>(in.op));
+  f.add(static_cast<std::uint64_t>(in.dst.rf));
+  f.add(static_cast<std::uint64_t>(in.dst.index));
+  f.add(in.srcs.size());
+  for (const codegen::MOperand& s : in.srcs) {
+    f.add(static_cast<std::uint64_t>(s.kind));
+    f.add(static_cast<std::uint64_t>(s.reg.rf));
+    f.add(static_cast<std::uint64_t>(s.reg.index));
+    f.add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.imm)));
+  }
+  for (std::uint32_t t : in.targets) f.add(t);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const vliw::VliwProgram& program) {
+  Fnv f;
+  f.add(0x56);  // 'V'
+  f.add(program.bundles.size());
+  for (const vliw::Bundle& bundle : program.bundles) {
+    f.add(bundle.slots.size());
+    for (const auto& slot : bundle.slots) {
+      f.add(static_cast<std::uint64_t>(slot.has_value()));
+      if (slot.has_value()) {
+        f.add(static_cast<std::uint64_t>(slot->fu));
+        add_minstr(f, slot->instr);
+      }
+    }
+  }
+  for (std::uint32_t e : program.block_entry) f.add(e);
+  return f.h;
+}
+
+std::uint64_t fingerprint(const scalar::ScalarProgram& program) {
+  Fnv f;
+  f.add(0x53);  // 'S'
+  f.add(program.instrs.size());
+  for (const codegen::MInstr& in : program.instrs) add_minstr(f, in);
+  for (std::uint32_t e : program.block_entry) f.add(e);
+  f.add(program.spill_base);
+  return f.h;
+}
+
+}  // namespace ttsc::sim

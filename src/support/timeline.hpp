@@ -1,7 +1,8 @@
 // Per-stage timing/counter instrumentation for the toolchain pipeline.
 //
-// A Timeline accumulates wall time and invocation counts for the five
-// pipeline stages (frontend, opt, regalloc, schedule, simulate) plus a set
+// A Timeline accumulates wall time and invocation counts for the six
+// pipeline stages (frontend, opt, regalloc, schedule, predecode, simulate)
+// plus a set
 // of named counters (modules built, cells run, cycles simulated, spills).
 // All mutation is mutex-protected so one Timeline can be shared by every
 // worker of a parallel sweep; the render() text is the `--stats` section
@@ -25,9 +26,9 @@
 
 namespace ttsc::support {
 
-enum class Stage : int { kFrontend = 0, kOpt, kRegalloc, kSchedule, kSimulate };
+enum class Stage : int { kFrontend = 0, kOpt, kRegalloc, kSchedule, kPredecode, kSimulate };
 
-inline constexpr int kNumStages = 5;
+inline constexpr int kNumStages = 6;
 
 inline const char* stage_name(Stage s) {
   switch (s) {
@@ -35,6 +36,7 @@ inline const char* stage_name(Stage s) {
     case Stage::kOpt: return "opt";
     case Stage::kRegalloc: return "regalloc";
     case Stage::kSchedule: return "schedule";
+    case Stage::kPredecode: return "predecode";
     case Stage::kSimulate: return "simulate";
   }
   return "?";
@@ -47,9 +49,10 @@ struct StageSeconds {
   double opt = 0.0;
   double regalloc = 0.0;
   double schedule = 0.0;
+  double predecode = 0.0;
   double simulate = 0.0;
 
-  double total() const { return frontend + opt + regalloc + schedule + simulate; }
+  double total() const { return frontend + opt + regalloc + schedule + predecode + simulate; }
 };
 
 class Timeline {

@@ -7,8 +7,22 @@
 // fire operations (semi-virtual time latching: an operation starts when its
 // trigger port is written and uses the operand port contents of that
 // cycle).
+//
+// Two implementations of the same semantics live here:
+//  * run_reference — the original interpretive loop over TtaProgram,
+//    selected by SimOptions{.fast_path = false}; the differential baseline.
+//  * run_fast<kObserve> — executes the predecoded flat form
+//    (sim/predecode.hpp): no per-cycle allocation, no latency lookups, FU
+//    in-flight results in a circular buffer instead of a priority queue,
+//    RF/guard write delays as double buffers. Instantiated with and
+//    without observer dispatch so a null observer is free.
+// The two paths are locked together cycle-for-cycle (ExecResult including
+// halt-time RF/guard state) by the differential suite in
+// tests/property_test.cpp.
+#include <algorithm>
 #include <queue>
 
+#include "sim/predecode.hpp"
 #include "support/bits.hpp"
 #include "tta/tta.hpp"
 
@@ -16,9 +30,16 @@ namespace ttsc::tta {
 
 using ir::Opcode;
 
-TtaSim::TtaSim(const TtaProgram& program, const mach::Machine& machine, ir::Memory& memory)
-    : program_(program), machine_(machine), mem_(memory) {
+TtaSim::TtaSim(const TtaProgram& program, const mach::Machine& machine, ir::Memory& memory,
+               sim::SimOptions options)
+    : program_(program), machine_(machine), mem_(memory), options_(options) {
   TTSC_ASSERT(machine.model == mach::Model::Tta, "TtaSim needs a TTA machine");
+}
+
+TtaSim::~TtaSim() = default;
+
+void TtaSim::use_predecoded(std::shared_ptr<const sim::PredecodedTta> predecoded) {
+  predecoded_ = std::move(predecoded);
 }
 
 namespace {
@@ -68,6 +89,245 @@ std::uint32_t compute(Opcode op, std::uint32_t a, std::uint32_t b, ir::Memory& m
 }  // namespace
 
 ExecResult TtaSim::run(std::uint64_t max_cycles) {
+  if (!options_.fast_path) return run_reference(max_cycles);
+  if (predecoded_ == nullptr) {
+    predecoded_ = std::make_shared<const sim::PredecodedTta>(sim::predecode(program_, machine_));
+  }
+  return options_.observer != nullptr ? run_fast<true>(max_cycles) : run_fast<false>(max_cycles);
+}
+
+template <bool kObserve>
+ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
+  using sim::TtaPMove;
+  const sim::PredecodedTta& pre = *predecoded_;
+  sim::ExecObserver* const obs = options_.observer;
+  const std::size_t nfus = machine_.fus.size();
+  const std::uint64_t ring = static_cast<std::uint64_t>(pre.ring);
+  const std::size_t num_instrs = pre.num_instrs();
+
+  // All run state is allocated up front; the cycle loop is allocation-free.
+  std::vector<std::uint32_t> rf(pre.rf_slots, 0u);
+  std::vector<std::uint32_t> fu_operand(nfus, 0u);
+  std::vector<std::uint32_t> fu_result(nfus, 0u);
+  std::vector<std::uint8_t> guard_regs(static_cast<std::size_t>(machine_.guard_regs), 0u);
+
+  // In-flight results as per-completion-column entry lists: column c holds
+  // the results landing when the ring cursor reaches c, at most one entry
+  // per FU (same-FU ties merge at push). Delivery then touches only the
+  // results that actually land instead of scanning every FU every cycle.
+  struct InFlight {
+    std::uint32_t fu;
+    std::uint32_t value;
+  };
+  std::vector<InFlight> ring_entry(ring * nfus);
+  std::vector<std::uint32_t> ring_count(ring, 0u);
+
+  struct RfWrite {
+    std::uint32_t slot;
+    std::uint32_t value;
+    std::int16_t rf;
+    std::int16_t reg;
+  };
+  std::vector<RfWrite> rf_pending[2];
+  struct GuardWrite {
+    std::uint32_t guard;
+    std::uint8_t value;
+  };
+  std::vector<GuardWrite> guard_pending[2];
+  struct Fire {
+    const TtaPMove* mv;
+    std::uint32_t value;
+  };
+  // At most one move (and so one trigger) per instruction move slot.
+  std::uint32_t max_instr_moves = 0;
+  for (std::size_t i = 0; i < num_instrs; ++i) {
+    max_instr_moves = std::max(max_instr_moves, pre.instr_begin[i + 1] - pre.instr_begin[i]);
+  }
+  std::vector<Fire> fires(max_instr_moves + 1);
+
+  ExecResult result;
+  result.bus_moves.assign(machine_.buses.size(), 0);
+  std::uint64_t cycle = 0;
+  std::size_t pc = 0;
+  int transfer_in = -1;
+  std::size_t transfer_target = 0;
+
+  // Transport occupancy (result.moves / bus_moves) counts every move of an
+  // executed instruction, squashed ones included — a static per-instruction
+  // property, so the hot loop only counts instruction executions and the
+  // occupancy totals are folded in at halt.
+  std::vector<std::uint64_t> instr_exec(num_instrs, 0ull);
+  auto capture_state = [&] {
+    result.rf_state = rf;
+    result.guard_state = guard_regs;
+    for (std::size_t i = 0; i < num_instrs; ++i) {
+      const std::uint64_t n = instr_exec[i];
+      if (n == 0) continue;
+      result.moves += n * (pre.instr_begin[i + 1] - pre.instr_begin[i]);
+      for (std::uint32_t m = pre.instr_begin[i]; m < pre.instr_begin[i + 1]; ++m) {
+        const auto bus = pre.moves[m].bus;
+        if (bus >= 0) result.bus_moves[static_cast<std::size_t>(bus)] += n;
+      }
+    }
+  };
+
+  std::size_t ring_idx = 0;
+  while (cycle < max_cycles) {
+    // 1. Results whose latency elapsed land in the result registers.
+    if (ring_count[ring_idx] != 0) {
+      InFlight* const col = &ring_entry[ring_idx * nfus];
+      const std::uint32_t n = ring_count[ring_idx];
+      for (std::uint32_t e = 0; e < n; ++e) fu_result[col[e].fu] = col[e].value;
+      ring_count[ring_idx] = 0;
+    }
+    // 2. RF writes from the previous cycle become readable.
+    std::vector<RfWrite>& commits = rf_pending[cycle & 1];
+    for (const RfWrite& w : commits) {
+      rf[w.slot] = w.value;
+      if constexpr (kObserve) obs->on_rf_write(cycle, w.rf, w.reg, w.value);
+    }
+    commits.clear();
+    // 2b. Guard writes from the previous cycle latch in.
+    std::vector<GuardWrite>& latches = guard_pending[cycle & 1];
+    for (const GuardWrite& g : latches) guard_regs[g.guard] = g.value;
+    latches.clear();
+
+    TTSC_ASSERT(pc < num_instrs || transfer_in >= 0, "TTA PC ran off the end of the program");
+    if (pc < num_instrs) {
+      const std::uint32_t begin = pre.instr_begin[pc];
+      const std::uint32_t end = pre.instr_begin[pc + 1];
+      ++instr_exec[pc];
+      std::size_t nfires = 0;
+      // 3+4a. Sample sources and write non-trigger destinations (RF and
+      // guard writes are deferred a cycle; sources never read a state this
+      // pass mutates, so sampling and writing interleave exactly).
+      for (std::uint32_t m = begin; m < end; ++m) {
+        const TtaPMove& mv = pre.moves[m];
+        if (mv.guard >= 0) {
+          const bool g = guard_regs[static_cast<std::size_t>(mv.guard)] != 0;
+          if (g == mv.guard_negate) {  // squashed
+            if constexpr (kObserve) obs->on_guard_squash(cycle, mv.bus);
+            continue;
+          }
+        }
+        std::uint32_t value = mv.imm;
+        switch (mv.src) {
+          case TtaPMove::Src::Imm: break;
+          case TtaPMove::Src::FuResult: value = fu_result[mv.src_slot]; break;
+          case TtaPMove::Src::RfRead:
+            value = rf[mv.src_slot];
+            if constexpr (kObserve) obs->on_rf_read(cycle, mv.src_rf, mv.src_reg);
+            break;
+        }
+        if constexpr (kObserve) obs->on_move(cycle, mv.bus);
+        switch (mv.dst) {
+          case TtaPMove::Dst::FuOperand: fu_operand[mv.dst_slot] = value; break;
+          case TtaPMove::Dst::RfWrite:
+            rf_pending[(cycle + 1) & 1].push_back(
+                RfWrite{mv.dst_slot, value, mv.dst_rf, mv.dst_reg});
+            break;
+          case TtaPMove::Dst::GuardWrite:
+            guard_pending[(cycle + 1) & 1].push_back(
+                GuardWrite{mv.dst_slot, static_cast<std::uint8_t>(value != 0)});
+            break;
+          case TtaPMove::Dst::FuTrigger:
+          case TtaPMove::Dst::ControlTrigger: fires[nfires++] = Fire{&mv, value}; break;
+        }
+      }
+      // 4b. Triggers fire using this cycle's operand port contents.
+      for (std::size_t fi = 0; fi < nfires; ++fi) {
+        const Fire& f = fires[fi];
+        const TtaPMove& mv = *f.mv;
+        const std::size_t fu = mv.dst_slot;
+        if (mv.dst == TtaPMove::Dst::ControlTrigger) {
+          if (transfer_in >= 0) continue;  // squashed in a transfer shadow
+          if constexpr (kObserve) obs->on_trigger(cycle, static_cast<int>(fu), mv.opcode);
+          switch (mv.fire) {
+            case TtaPMove::Fire::Jump:
+              transfer_in = machine_.delay_slots;
+              transfer_target = mv.target_pc;
+              break;
+            case TtaPMove::Fire::Bnz:
+              if (fu_operand[fu] != 0) {
+                transfer_in = machine_.delay_slots;
+                transfer_target = mv.target_pc;
+              }
+              break;
+            case TtaPMove::Fire::Ret:
+              result.cycles = cycle + 1;
+              result.ret = fu_operand[fu];
+              capture_state();
+              return result;
+            default: TTSC_UNREACHABLE("bad control trigger opcode");
+          }
+          continue;
+        }
+        if constexpr (kObserve) obs->on_trigger(cycle, static_cast<int>(fu), mv.opcode);
+        switch (mv.fire) {
+          // Stores commit their side effect in the trigger cycle.
+          case TtaPMove::Fire::Store:
+            switch (mv.opcode) {
+              case Opcode::Stw: mem_.store32(f.value, fu_operand[fu]); break;
+              case Opcode::Sth:
+                mem_.store16(f.value, static_cast<std::uint16_t>(fu_operand[fu]));
+                break;
+              case Opcode::Stq:
+                mem_.store8(f.value, static_cast<std::uint8_t>(fu_operand[fu]));
+                break;
+              default: TTSC_UNREACHABLE("bad store opcode");
+            }
+            break;
+          case TtaPMove::Fire::Input:
+          case TtaPMove::Fire::Binary: {
+            // Binary ops: operand port is the first input, trigger the
+            // second; loads/unary read only the triggered value.
+            const std::uint32_t a =
+                mv.fire == TtaPMove::Fire::Input ? f.value : fu_operand[fu];
+            const std::uint32_t b = mv.fire == TtaPMove::Fire::Input ? 0 : f.value;
+            const std::uint32_t v = compute(mv.opcode, a, b, mem_);
+            std::size_t col = ring_idx + static_cast<std::size_t>(mv.latency);
+            if (col >= ring) col -= ring;  // latency < ring: one wrap at most
+            InFlight* const entries = &ring_entry[col * nfus];
+            const std::uint32_t n = ring_count[col];
+            // Same-cycle completion ties on one FU resolve to the larger
+            // value, matching the reference priority queue's pop order.
+            std::uint32_t e = 0;
+            while (e < n && entries[e].fu != fu) ++e;
+            if (e < n) {
+              entries[e].value = std::max(entries[e].value, v);
+            } else {
+              entries[n] = InFlight{static_cast<std::uint32_t>(fu), v};
+              ring_count[col] = n + 1;
+            }
+            break;
+          }
+          default: TTSC_UNREACHABLE("bad trigger fire class");
+        }
+      }
+    }
+
+    ++cycle;
+    if (++ring_idx == ring) ring_idx = 0;
+    if (transfer_in >= 0) {
+      if (transfer_in == 0) {
+        pc = transfer_target;
+        transfer_in = -1;
+      } else {
+        --transfer_in;
+        ++pc;
+      }
+    } else {
+      ++pc;
+    }
+  }
+  result.status = sim::ExecStatus::TimedOut;
+  result.cycles = max_cycles;
+  capture_state();
+  return result;
+}
+
+ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
+  sim::ExecObserver* const obs = options_.observer;
   std::vector<std::vector<std::uint32_t>> rfs;
   for (const mach::RegisterFile& rf : machine_.rfs) {
     rfs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
@@ -84,6 +344,13 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
   std::size_t pc = 0;
   int transfer_in = -1;
   std::size_t transfer_target = 0;
+
+  auto capture_state = [&] {
+    result.rf_state.clear();
+    for (const auto& rf : rfs) result.rf_state.insert(result.rf_state.end(), rf.begin(), rf.end());
+    result.guard_state.clear();
+    for (const bool g : guard_regs) result.guard_state.push_back(g ? 1 : 0);
+  };
 
   // Trigger port writes collected per cycle, fired after operand writes.
   struct TriggerFire {
@@ -106,6 +373,7 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
     while (!rf_pending.empty() && rf_pending.top().visible_at <= cycle) {
       const RfWritePending& w = rf_pending.top();
       rfs[static_cast<std::size_t>(w.rf)][static_cast<std::size_t>(w.index)] = w.value;
+      if (obs != nullptr) obs->on_rf_write(cycle, w.rf, w.index, w.value);
       rf_pending.pop();
     }
     // 2b. Guard writes from the previous cycle latch in.
@@ -146,7 +414,16 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
         const Move& mv = instr.moves[m];
         if (mv.guard >= 0) {
           const bool g = guard_regs[static_cast<std::size_t>(mv.guard)];
-          if (g == mv.guard_negate) continue;  // squashed
+          if (g == mv.guard_negate) {  // squashed
+            if (obs != nullptr) obs->on_guard_squash(cycle, mv.bus);
+            continue;
+          }
+        }
+        if (obs != nullptr) {
+          if (mv.src.kind == MoveSrc::Kind::RfRead) {
+            obs->on_rf_read(cycle, mv.src.unit, mv.src.reg_index);
+          }
+          obs->on_move(cycle, mv.bus);
         }
         switch (mv.dst.kind) {
           case MoveDst::Kind::FuOperand:
@@ -169,6 +446,7 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
         FuRuntime& fu = fus[static_cast<std::size_t>(f.fu)];
         if (f.is_control) {
           if (transfer_in >= 0) continue;  // squashed in a transfer shadow
+          if (obs != nullptr) obs->on_trigger(cycle, f.fu, f.op);
           switch (f.op) {
             case Opcode::Jump:
               transfer_in = machine_.delay_slots;
@@ -183,6 +461,7 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
             case Opcode::Ret:
               result.cycles = cycle + 1;
               result.ret = fu.operand;
+              capture_state();
               return result;
             case Opcode::Call:
               TTSC_UNREACHABLE("calls must be inlined before TTA scheduling");
@@ -191,6 +470,7 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
           }
           continue;
         }
+        if (obs != nullptr) obs->on_trigger(cycle, f.fu, f.op);
         const int lat = machine_.fus[static_cast<std::size_t>(f.fu)].latency(f.op);
         switch (f.op) {
           // Stores commit their side effect in the trigger cycle.
@@ -230,7 +510,10 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
       ++pc;
     }
   }
-  throw Error("TTA simulation exceeded cycle limit");
+  result.status = sim::ExecStatus::TimedOut;
+  result.cycles = max_cycles;
+  capture_state();
+  return result;
 }
 
 }  // namespace ttsc::tta

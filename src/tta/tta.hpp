@@ -23,12 +23,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "codegen/lower.hpp"
 #include "ir/memory.hpp"
 #include "mach/machine.hpp"
+#include "sim/observer.hpp"
+
+namespace ttsc::sim {
+struct PredecodedTta;
+}
 
 namespace ttsc::tta {
 
@@ -117,28 +123,56 @@ int bus_slot_bits(const mach::Machine& machine, int bus);
 std::uint64_t image_bits(const TtaProgram& program, const mach::Machine& machine);
 
 struct ExecResult {
+  /// Ok = the program returned; TimedOut = the cycle budget was exhausted
+  /// and `cycles` holds the cycles actually executed.
+  sim::ExecStatus status = sim::ExecStatus::Ok;
   std::uint64_t cycles = 0;
   std::uint64_t moves = 0;
   std::uint32_t ret = 0;
   /// Dynamic transport counts per bus (how often each bus actually moved
   /// data) — the utilization signal IC exploration heuristics feed on.
   std::vector<std::uint64_t> bus_moves;
+  /// Architectural state at halt, for cycle-exact differential testing:
+  /// register files concatenated in machine order, and the guard registers.
+  std::vector<std::uint32_t> rf_state;
+  std::vector<std::uint8_t> guard_state;
+
+  bool timed_out() const { return status == sim::ExecStatus::TimedOut; }
+  bool operator==(const ExecResult&) const = default;
 };
 
 /// Cycle-accurate transport simulator with semi-virtual time latching FU
 /// pipelines (Fig. 3): operand ports are registers, triggers launch
 /// operations, results appear in the FU result register after the
 /// operation latency and stay until replaced.
+///
+/// Two execution paths produce bit-identical ExecResults: the default fast
+/// path runs over a predecoded flat program form (sim/predecode.hpp) with
+/// no per-cycle allocation or lookup, while SimOptions{.fast_path = false}
+/// selects the original interpretive reference loop the fast path is
+/// differentially tested against.
 class TtaSim {
  public:
-  TtaSim(const TtaProgram& program, const mach::Machine& machine, ir::Memory& memory);
+  TtaSim(const TtaProgram& program, const mach::Machine& machine, ir::Memory& memory,
+         sim::SimOptions options = {});
+  ~TtaSim();
+
+  /// Reuse an externally predecoded program (e.g. from report::ModuleCache)
+  /// instead of predecoding on first run.
+  void use_predecoded(std::shared_ptr<const sim::PredecodedTta> predecoded);
 
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
+  template <bool kObserve>
+  ExecResult run_fast(std::uint64_t max_cycles);
+  ExecResult run_reference(std::uint64_t max_cycles);
+
   const TtaProgram& program_;
   const mach::Machine& machine_;
   ir::Memory& mem_;
+  sim::SimOptions options_;
+  std::shared_ptr<const sim::PredecodedTta> predecoded_;
 };
 
 }  // namespace ttsc::tta

@@ -32,6 +32,9 @@ void verify_program(const TtaProgram& program, const Machine& machine) {
       // Source connectivity.
       switch (mv.src.kind) {
         case MoveSrc::Kind::FuResult:
+          if (mv.src.unit < 0 || static_cast<std::size_t>(mv.src.unit) >= machine.fus.size()) {
+            fail("FU result source out of range");
+          }
           if (!bus.has_source({PortRef::Kind::FuResult, mv.src.unit})) {
             fail("bus cannot read FU result " + machine.fus[static_cast<std::size_t>(mv.src.unit)].name);
           }

@@ -1,5 +1,19 @@
+// Cycle-accurate VLIW bundle-stepping simulator.
+//
+// Two implementations of the same semantics live here:
+//  * run_reference — the original interpretive loop over VliwProgram,
+//    selected by SimOptions{.fast_path = false}; the differential baseline.
+//  * run_fast<kObserve> — executes the predecoded flat form
+//    (sim/predecode.hpp): no per-cycle FU-latency scans, registers in one
+//    flat array, and the write-back priority queue replaced by a circular
+//    buffer of per-cycle FIFO lists (append order reproduces the reference
+//    queue's commit-sequence tie-break). Instantiated with and without
+//    observer dispatch so a null observer is free.
+// The two paths are locked together cycle-for-cycle by the differential
+// suite in tests/property_test.cpp.
 #include <queue>
 
+#include "sim/predecode.hpp"
 #include "support/bits.hpp"
 #include "vliw/vliw.hpp"
 
@@ -9,8 +23,15 @@ using codegen::MInstr;
 using codegen::MOperand;
 using ir::Opcode;
 
-VliwSim::VliwSim(const VliwProgram& program, const mach::Machine& machine, ir::Memory& memory)
-    : program_(program), machine_(machine), mem_(memory) {}
+VliwSim::VliwSim(const VliwProgram& program, const mach::Machine& machine, ir::Memory& memory,
+                 sim::SimOptions options)
+    : program_(program), machine_(machine), mem_(memory), options_(options) {}
+
+VliwSim::~VliwSim() = default;
+
+void VliwSim::use_predecoded(std::shared_ptr<const sim::PredecodedVliw> predecoded) {
+  predecoded_ = std::move(predecoded);
+}
 
 namespace {
 
@@ -34,6 +55,168 @@ struct PendingWrite {
 }  // namespace
 
 ExecResult VliwSim::run(std::uint64_t max_cycles) {
+  if (!options_.fast_path) return run_reference(max_cycles);
+  if (predecoded_ == nullptr) {
+    predecoded_ = std::make_shared<const sim::PredecodedVliw>(sim::predecode(program_, machine_));
+  }
+  return options_.observer != nullptr ? run_fast<true>(max_cycles) : run_fast<false>(max_cycles);
+}
+
+template <bool kObserve>
+ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
+  using sim::VliwPOp;
+  const sim::PredecodedVliw& pre = *predecoded_;
+  sim::ExecObserver* const obs = options_.observer;
+  const std::uint64_t ring = static_cast<std::uint64_t>(pre.ring);
+  const std::size_t num_bundles = pre.num_bundles();
+
+  // All run state is allocated up front; the cycle loop only appends to
+  // preallocated ring lists (amortized allocation-free).
+  std::vector<std::uint32_t> regs(pre.rf_slots, 0u);
+  struct Write {
+    std::uint32_t slot;
+    std::uint32_t value;
+    std::int16_t rf;
+    std::int16_t reg;
+  };
+  // Write-back ring: writes issued at `cycle` with latency L land in the
+  // list for cycle + L + 1 (readable one cycle after write-back). Ring size
+  // max latency + 2 makes wraparound collisions impossible; FIFO order
+  // within a list reproduces the reference queue's seq tie-break (pushes
+  // arrive in issue order). Flat fixed-capacity rows: a row can accumulate
+  // one write per issue slot from up to `ring` distinct issue cycles.
+  const std::size_t row_cap = static_cast<std::size_t>(program_.num_slots) * ring;
+  std::vector<Write> wb(ring * row_cap);
+  std::vector<std::uint32_t> wb_count(ring, 0u);
+
+  ExecResult result;
+  std::uint64_t cycle = 0;
+  std::size_t pc = 0;
+  int transfer_in = -1;
+  std::size_t transfer_target = 0;
+
+  auto capture_state = [&] { result.rf_state = regs; };
+
+  std::size_t wb_idx = 0;
+  while (cycle < max_cycles) {
+    // Writes committed in earlier cycles become visible before this cycle's
+    // reads (readable one cycle after write-back).
+    if (wb_count[wb_idx] != 0) {
+      Write* const commits = &wb[wb_idx * row_cap];
+      const std::uint32_t n = wb_count[wb_idx];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Write& w = commits[i];
+        regs[w.slot] = w.value;
+        if constexpr (kObserve) obs->on_rf_write(cycle, w.rf, w.reg, w.value);
+      }
+      wb_count[wb_idx] = 0;
+    }
+
+    TTSC_ASSERT(pc < num_bundles || transfer_in >= 0, "VLIW PC ran off the end of the program");
+    if (pc < num_bundles) {
+      const std::uint32_t begin = pre.bundle_begin[pc];
+      const std::uint32_t end = pre.bundle_begin[pc + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const VliwPOp& op = pre.ops[i];
+        // A resolved transfer squashes younger control ops in its shadow.
+        if (op.is_control && transfer_in >= 0) continue;
+        ++result.ops;
+
+        std::uint32_t a = op.a_val;
+        std::uint32_t b = op.b_val;
+        if (!op.a_imm) {
+          a = regs[op.a_slot];
+          if constexpr (kObserve) obs->on_rf_read(cycle, op.a_rf, op.a_reg);
+        }
+        if (!op.b_imm) {
+          b = regs[op.b_slot];
+          if constexpr (kObserve) obs->on_rf_read(cycle, op.b_rf, op.b_reg);
+        }
+        if constexpr (kObserve) obs->on_trigger(cycle, op.fu, op.op);
+
+        std::uint32_t value = 0;
+        switch (op.op) {
+          case Opcode::Add: value = a + b; break;
+          case Opcode::Sub: value = a - b; break;
+          case Opcode::Mul: value = a * b; break;
+          case Opcode::And: value = a & b; break;
+          case Opcode::Ior: value = a | b; break;
+          case Opcode::Xor: value = a ^ b; break;
+          case Opcode::Shl: value = a << (b & 31); break;
+          case Opcode::Shru: value = a >> (b & 31); break;
+          case Opcode::Shr:
+            value = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+            break;
+          case Opcode::Eq: value = a == b ? 1 : 0; break;
+          case Opcode::Gt:
+            value = static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b) ? 1 : 0;
+            break;
+          case Opcode::Gtu: value = a > b ? 1 : 0; break;
+          case Opcode::Sxhw: value = static_cast<std::uint32_t>(sign_extend(a, 16)); break;
+          case Opcode::Sxqw: value = static_cast<std::uint32_t>(sign_extend(a, 8)); break;
+          case Opcode::MovI:
+          case Opcode::Copy: value = a; break;
+          case Opcode::Ldw: value = mem_.load32(a); break;
+          case Opcode::Ldh:
+            value = static_cast<std::uint32_t>(sign_extend(mem_.load16(a), 16));
+            break;
+          case Opcode::Ldhu: value = mem_.load16(a); break;
+          case Opcode::Ldq:
+            value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8));
+            break;
+          case Opcode::Ldqu: value = mem_.load8(a); break;
+          case Opcode::Stw: mem_.store32(a, b); break;
+          case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
+          case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+          case Opcode::Jump:
+            transfer_in = machine_.delay_slots;
+            transfer_target = op.target_pc;
+            break;
+          case Opcode::Bnz:
+            if (a != 0) {
+              transfer_in = machine_.delay_slots;
+              transfer_target = op.target_pc;
+            }
+            break;
+          case Opcode::Ret:
+            result.cycles = cycle + 1;
+            result.ret = a;
+            capture_state();
+            return result;
+          case Opcode::Call:
+            TTSC_UNREACHABLE("calls must be inlined before VLIW scheduling");
+        }
+        if (op.dst_slot >= 0) {
+          std::size_t row = wb_idx + static_cast<std::size_t>(op.latency) + 1;
+          if (row >= ring) row -= ring;  // latency + 1 < ring: one wrap at most
+          wb[row * row_cap + wb_count[row]++] =
+              Write{static_cast<std::uint32_t>(op.dst_slot), value, op.dst_rf, op.dst_reg};
+        }
+      }
+    }
+
+    ++cycle;
+    if (++wb_idx == ring) wb_idx = 0;
+    if (transfer_in >= 0) {
+      if (transfer_in == 0) {
+        pc = transfer_target;
+        transfer_in = -1;
+      } else {
+        --transfer_in;
+        ++pc;
+      }
+    } else {
+      ++pc;
+    }
+  }
+  result.status = sim::ExecStatus::TimedOut;
+  result.cycles = max_cycles;
+  capture_state();
+  return result;
+}
+
+ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
+  sim::ExecObserver* const obs = options_.observer;
   std::vector<std::vector<std::uint32_t>> regs;
   for (const mach::RegisterFile& rf : machine_.rfs) {
     regs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
@@ -55,11 +238,18 @@ ExecResult VliwSim::run(std::uint64_t max_cycles) {
   int transfer_in = -1;
   std::size_t transfer_target = 0;
 
+  auto capture_state = [&] {
+    result.rf_state.clear();
+    for (const auto& rf : regs) result.rf_state.insert(result.rf_state.end(), rf.begin(), rf.end());
+  };
+
   while (cycle < max_cycles) {
     // Writes committed in earlier cycles become visible before this cycle's
     // reads (readable one cycle after write-back).
     while (!pending.empty() && pending.top().visible_at <= cycle) {
-      reg_ref(pending.top().reg) = pending.top().value;
+      const PendingWrite& w = pending.top();
+      reg_ref(w.reg) = w.value;
+      if (obs != nullptr) obs->on_rf_write(cycle, w.reg.rf, w.reg.index, w.value);
       pending.pop();
     }
 
@@ -77,6 +267,15 @@ ExecResult VliwSim::run(std::uint64_t max_cycles) {
 
         const std::uint32_t a = in.srcs.empty() ? 0 : value_of(in.srcs[0]);
         const std::uint32_t b = in.srcs.size() > 1 ? value_of(in.srcs[1]) : 0;
+        if (obs != nullptr) {
+          if (!in.srcs.empty() && in.srcs[0].is_reg()) {
+            obs->on_rf_read(cycle, in.srcs[0].reg.rf, in.srcs[0].reg.index);
+          }
+          if (in.srcs.size() > 1 && in.srcs[1].is_reg()) {
+            obs->on_rf_read(cycle, in.srcs[1].reg.rf, in.srcs[1].reg.index);
+          }
+          obs->on_trigger(cycle, slot->fu, in.op);
+        }
         std::uint32_t value = 0;
         bool writes = in.has_dst();
         switch (in.op) {
@@ -125,6 +324,7 @@ ExecResult VliwSim::run(std::uint64_t max_cycles) {
           case Opcode::Ret:
             result.cycles = cycle + 1;
             result.ret = in.srcs.empty() ? 0 : a;
+            capture_state();
             return result;
           case Opcode::Call:
             TTSC_UNREACHABLE("calls must be inlined before VLIW scheduling");
@@ -150,7 +350,10 @@ ExecResult VliwSim::run(std::uint64_t max_cycles) {
       ++pc;
     }
   }
-  throw Error("VLIW simulation exceeded cycle limit");
+  result.status = sim::ExecStatus::TimedOut;
+  result.cycles = max_cycles;
+  capture_state();
+  return result;
 }
 
 }  // namespace ttsc::vliw

@@ -11,12 +11,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "codegen/lower.hpp"
 #include "ir/memory.hpp"
 #include "mach/machine.hpp"
+#include "sim/observer.hpp"
+
+namespace ttsc::sim {
+struct PredecodedVliw;
+}
 
 namespace ttsc::vliw {
 
@@ -61,9 +67,18 @@ int instruction_bits(const mach::Machine& machine);
 std::uint64_t image_bits(const VliwProgram& program, const mach::Machine& machine);
 
 struct ExecResult {
+  /// Ok = the program returned; TimedOut = the cycle budget was exhausted
+  /// and `cycles` holds the cycles actually executed.
+  sim::ExecStatus status = sim::ExecStatus::Ok;
   std::uint64_t cycles = 0;
   std::uint64_t ops = 0;   // non-nop operations executed
   std::uint32_t ret = 0;
+  /// Architectural register state at halt (register files concatenated in
+  /// machine order), for cycle-exact differential testing.
+  std::vector<std::uint32_t> rf_state;
+
+  bool timed_out() const { return status == sim::ExecStatus::TimedOut; }
+  bool operator==(const ExecResult&) const = default;
 };
 
 /// Human-readable listing of a scheduled bundle program.
@@ -73,16 +88,32 @@ std::string disassemble(const VliwProgram& program, const mach::Machine& machine
 /// (a result is readable one cycle after its write-back commits), delayed
 /// control transfer with delay-slot execution, and squashing of younger
 /// control operations once a transfer is pending.
+///
+/// The default fast path executes a predecoded flat form
+/// (sim/predecode.hpp); SimOptions{.fast_path = false} selects the original
+/// interpretive reference loop, which produces bit-identical ExecResults.
 class VliwSim {
  public:
-  VliwSim(const VliwProgram& program, const mach::Machine& machine, ir::Memory& memory);
+  VliwSim(const VliwProgram& program, const mach::Machine& machine, ir::Memory& memory,
+          sim::SimOptions options = {});
+  ~VliwSim();
+
+  /// Reuse an externally predecoded program (e.g. from report::ModuleCache)
+  /// instead of predecoding on first run.
+  void use_predecoded(std::shared_ptr<const sim::PredecodedVliw> predecoded);
 
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
+  template <bool kObserve>
+  ExecResult run_fast(std::uint64_t max_cycles);
+  ExecResult run_reference(std::uint64_t max_cycles);
+
   const VliwProgram& program_;
   const mach::Machine& machine_;
   ir::Memory& mem_;
+  sim::SimOptions options_;
+  std::shared_ptr<const sim::PredecodedVliw> predecoded_;
 };
 
 }  // namespace ttsc::vliw

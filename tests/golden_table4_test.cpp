@@ -1,0 +1,72 @@
+// Golden snapshot of the paper's cycle-count grid (Table 4 source data).
+//
+// The full 13-machine x 8-workload matrix is deterministic end to end:
+// module build, lowering, scheduling and simulation have no
+// run-order-dependent state. This test pins the raw cycle counts to a
+// checked-in snapshot so that any change to scheduler tie-breaks, latency
+// modelling or simulator semantics shows up as an explicit diff — not as a
+// silent drift of the reproduced results.
+//
+// To regenerate after an intentional semantics change:
+//   TTSC_UPDATE_GOLDEN=1 ./tests/golden_table4_test
+// and commit the updated tests/golden/table4_cycles.txt with an
+// explanation of why the grid moved.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report/experiments.hpp"
+
+namespace ttsc {
+namespace {
+
+std::string golden_path() { return std::string(TTSC_GOLDEN_DIR) + "/table4_cycles.txt"; }
+
+/// Renders the raw grid: one row per machine, one column per workload,
+/// absolute cycle counts (unlike render_table4_cycles, which prints the
+/// paper's relative-factor layout and rounds).
+std::string render_cycle_grid(const report::Matrix& matrix) {
+  std::ostringstream out;
+  out << "machine";
+  for (const std::string& w : matrix.workload_names()) out << ' ' << w;
+  out << '\n';
+  for (const report::MachineResults& m : matrix.machines()) {
+    out << m.machine.name;
+    for (const std::string& w : matrix.workload_names()) {
+      out << ' ' << matrix.cycles(m.machine.name, w);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(GoldenTable4, CycleGridMatchesSnapshot) {
+  // Serial driver on the default (fast) simulator path: the determinism
+  // reference. The differential suite separately proves fast == reference,
+  // so one sweep pins both paths.
+  const report::Matrix matrix = report::Matrix::run();
+  const std::string got = render_cycle_grid(matrix);
+
+  if (std::getenv("TTSC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << got;
+    GTEST_SKIP() << "golden snapshot regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden snapshot " << golden_path()
+                         << " (regenerate with TTSC_UPDATE_GOLDEN=1)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "cycle grid drifted from tests/golden/table4_cycles.txt; if the "
+         "change is intentional, regenerate with TTSC_UPDATE_GOLDEN=1 and "
+         "explain the drift in the commit message";
+}
+
+}  // namespace
+}  // namespace ttsc

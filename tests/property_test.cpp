@@ -210,6 +210,85 @@ TEST(DifferentialFleet, SeededCorpusMatchesInterpreterOnAllModels) {
   }
 }
 
+/// Cycle-exact differential suite for the predecoded simulator fast path:
+/// every generated program, on every machine configuration the paper
+/// evaluates (all 13) plus the guarded-TTA variants, must produce an
+/// ExecResult — cycles, timeout status, return value, dynamic counts and
+/// the halt-time register-file/guard state — and a memory image
+/// bit-identical between the fast path and the reference interpreter loop
+/// (SimOptions{.fast_path = false}). Any divergence in tie-break handling,
+/// write-back timing or squash semantics shows up here as a field-level
+/// mismatch.
+TEST(FastPathDifferential, CycleExactOnAllMachineConfigs) {
+  constexpr std::uint64_t kCorpusSize = 64;
+  std::vector<mach::Machine> machines = mach::all_machines();
+  machines.push_back(mach::machine_by_name("g-tta-2"));
+  machines.push_back(mach::machine_by_name("g-tta-3"));
+
+  // gtest assertions are not guaranteed thread-safe: workers write one
+  // failure report per seed, asserted after the fleet drains.
+  std::vector<std::string> failures(kCorpusSize);
+  support::ThreadPool pool(8);
+  support::parallel_for(pool, kCorpusSize, [&](std::size_t idx) {
+    const std::uint64_t seed = 0xd1ffc0de + idx;
+    ProgramGenerator gen(seed);
+    ir::Module original = gen.generate();
+    ir::Module optimized = original;
+    opt::optimize(optimized, "main");
+
+    auto fail = [&](const mach::Machine& m, const std::string& what) {
+      failures[idx] +=
+          "seed " + std::to_string(seed) + " on " + m.name + ": " + what + "\n";
+    };
+    auto mismatch = [](std::uint64_t fast_cycles, std::uint64_t ref_cycles) {
+      return "fast path diverges from reference (cycles " + std::to_string(fast_cycles) +
+             " vs " + std::to_string(ref_cycles) + ")";
+    };
+
+    for (const mach::Machine& machine : machines) {
+      ir::Module prepared = optimized;
+      if (machine.model == mach::Model::Tta && machine.has_guards()) {
+        opt::if_convert_selects(prepared.function("main"));
+      }
+      if (machine.model == mach::Model::Scalar) {
+        codegen::legalize_scalar_operands(prepared.function("main"));
+      }
+      const auto lowered = codegen::lower(prepared, "main", machine);
+      ir::Memory fast_mem = report::make_loaded_memory(prepared);
+      ir::Memory ref_mem = report::make_loaded_memory(prepared);
+      switch (machine.model) {
+        case mach::Model::Scalar: {
+          const auto prog = scalar::emit_scalar(lowered.func);
+          const auto fast = scalar::ScalarSim(prog, machine, fast_mem).run();
+          const auto ref =
+              scalar::ScalarSim(prog, machine, ref_mem, {.fast_path = false}).run();
+          if (!(fast == ref)) fail(machine, mismatch(fast.cycles, ref.cycles));
+          break;
+        }
+        case mach::Model::Vliw: {
+          const auto prog = vliw::schedule_vliw(lowered.func, machine);
+          const auto fast = vliw::VliwSim(prog, machine, fast_mem).run();
+          const auto ref =
+              vliw::VliwSim(prog, machine, ref_mem, {.fast_path = false}).run();
+          if (!(fast == ref)) fail(machine, mismatch(fast.cycles, ref.cycles));
+          break;
+        }
+        case mach::Model::Tta: {
+          const auto prog = tta::schedule_tta(lowered.func, machine);
+          const auto fast = tta::TtaSim(prog, machine, fast_mem).run();
+          const auto ref = tta::TtaSim(prog, machine, ref_mem, {.fast_path = false}).run();
+          if (!(fast == ref)) fail(machine, mismatch(fast.cycles, ref.cycles));
+          break;
+        }
+      }
+      if (!(fast_mem == ref_mem)) fail(machine, "memory image mismatch");
+    }
+  });
+  for (std::size_t i = 0; i < kCorpusSize; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << failures[i];
+  }
+}
+
 /// Binary encode/decode must be a semantic identity on random programs too.
 class RoundTripEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -231,7 +231,7 @@ TEST(Sim, CountsMoves) {
   EXPECT_GT(run(built).moves, 0u);
 }
 
-TEST(Sim, CycleLimitEnforced) {
+TEST(Sim, CycleLimitReportsTimeout) {
   Built built = build([](ir::Function& f, IRBuilder& b) {
     const auto loop = b.create_block("loop");
     b.jump(loop);
@@ -241,7 +241,15 @@ TEST(Sim, CycleLimitEnforced) {
   });
   ir::Memory mem = report::make_loaded_memory(built.module);
   TtaSim sim(built.program, built.machine, mem);
-  EXPECT_THROW(sim.run(10000), Error);
+  const auto r = sim.run(10000);
+  EXPECT_TRUE(r.timed_out());
+  EXPECT_EQ(r.status, sim::ExecStatus::TimedOut);
+  EXPECT_EQ(r.cycles, 10000u);  // cycles actually executed, not a throw
+
+  // The reference path reports the identical timeout result.
+  ir::Memory ref_mem = report::make_loaded_memory(built.module);
+  TtaSim ref(built.program, built.machine, ref_mem, {.fast_path = false});
+  EXPECT_EQ(ref.run(10000), r);
 }
 
 // ---- scheduling across machine variants ---------------------------------------------------
