@@ -1,10 +1,8 @@
-// Regenerates the corresponding artifact of the paper's evaluation section.
-#include <cstdio>
-
+// Regenerates the corresponding artifact of the paper's evaluation section
+// through the parallel experiment engine (see bench_util.hpp for flags).
+#include "bench_util.hpp"
 #include "report/experiments.hpp"
 
-int main() {
-  const ttsc::report::Matrix matrix = ttsc::report::Matrix::run();
-  std::fputs(ttsc::report::render_ablation_rf_partitioning(matrix).c_str(), stdout);
-  return 0;
+int main(int argc, char** argv) {
+  return ttsc::bench::run_harness(argc, argv, ttsc::report::render_ablation_rf_partitioning);
 }

@@ -1,28 +1,47 @@
 // Shared command-line handling for the table/figure harnesses.
 //
 // Every paper-artifact binary accepts the same flags:
-//   --threads N    worker threads for the parallel experiment engine
-//                  (default: TTSC_THREADS env var, else hardware concurrency)
-//   --serial       run the serial reference driver instead of the engine
-//   --stats        append the per-stage timing/counter section to the output
-//   --reference    simulate on the reference interpreter loops instead of
-//                  the predecoded fast path (differential baseline; slower)
-//   --utilization  collect per-FU/bus utilization and opcode histograms
-//                  during simulation and append the merged report
-//   --trace        append a cycle-by-cycle event trace of the first cell
-//                  (first machine x first workload, capped at 200 events)
+//   --threads N        worker threads for the parallel experiment engine
+//                      (default: TTSC_THREADS env var, else hardware
+//                      concurrency)
+//   --serial           run the serial reference driver instead of the engine
+//   --stats            print the per-stage timing/counter section
+//   --reference        simulate on the reference interpreter loops instead
+//                      of the predecoded fast path (differential baseline)
+//   --utilization      collect per-FU/bus utilization and opcode histograms
+//                      during simulation and print the merged report
+//   --metrics          print the sweep's merged compiler/scheduler metrics
+//                      registry (opt pass deltas, scheduling freedoms taken,
+//                      failure reasons, spills per RF, NOP density)
+//   --trace            print a cycle-by-cycle event trace of the first cell
+//                      (first machine x first workload, capped at 200 events)
+//   --trace-out=FILE   record compiler/simulator pipeline spans and write a
+//                      Chrome trace-event JSON (load in chrome://tracing or
+//                      Perfetto; worker threads appear as named rows)
+//   --report-json=FILE write the machine-readable run report
+//                      ("ttsc-run-report" v1; see src/report/run_report.hpp)
+//
+// Stream hygiene: the paper artifact (the table/figure text) is the ONLY
+// thing written to stdout, so `table4_cycles > table4.txt` stays clean; all
+// diagnostic sections (--stats, --utilization, --metrics, --trace) go to
+// stderr. tests/bench_output_test.cpp locks this contract.
 //
 // Both engine paths produce byte-identical table text (the engine's
-// determinism contract, locked in by tests/parallel_runner_test.cpp).
+// determinism contract, locked in by tests/parallel_runner_test.cpp), and
+// enabling any observability flag never changes the stdout bytes.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "mach/configs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/module_cache.hpp"
 #include "report/parallel_runner.hpp"
+#include "report/run_report.hpp"
 #include "sim/collectors.hpp"
 #include "support/timeline.hpp"
 #include "workloads/workload.hpp"
@@ -35,13 +54,31 @@ struct Options {
   bool stats = false;
   bool reference = false;    // --reference: fast_path = false
   bool utilization = false;  // --utilization
+  bool metrics = false;      // --metrics
   bool trace = false;        // --trace
+  std::string trace_out;     // --trace-out=FILE (empty: tracer stays off)
+  std::string report_json;   // --report-json=FILE (empty: no report)
 };
+
+/// Match `--name=VALUE` or `--name VALUE`; advances `i` for the latter.
+inline bool flag_value(int argc, char** argv, int& i, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(argv[i], name, n) == 0 && argv[i][n] == '=') {
+    out = argv[i] + n + 1;
+    return true;
+  }
+  if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+    out = argv[++i];
+    return true;
+  }
+  return false;
+}
 
 inline Options parse_args(int argc, char** argv) {
   Options opts;
   if (const char* env = std::getenv("TTSC_THREADS")) opts.threads = std::atoi(env);
   for (int i = 1; i < argc; ++i) {
+    std::string value;
     if (std::strcmp(argv[i], "--serial") == 0) {
       opts.serial = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -50,14 +87,21 @@ inline Options parse_args(int argc, char** argv) {
       opts.reference = true;
     } else if (std::strcmp(argv[i], "--utilization") == 0) {
       opts.utilization = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opts.metrics = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opts.trace = true;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      opts.threads = std::atoi(argv[++i]);
+    } else if (flag_value(argc, argv, i, "--trace-out", value)) {
+      opts.trace_out = value;
+    } else if (flag_value(argc, argv, i, "--report-json", value)) {
+      opts.report_json = value;
+    } else if (flag_value(argc, argv, i, "--threads", value)) {
+      opts.threads = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--serial] [--stats] [--reference] "
-                   "[--utilization] [--trace]\n",
+                   "[--utilization] [--metrics] [--trace] [--trace-out=FILE] "
+                   "[--report-json=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -72,17 +116,27 @@ inline sim::SimOptions sim_options_of(const Options& opts) {
   return sim;
 }
 
+/// True when the sweep should collect into a metrics registry (the
+/// registry is the source for both the --metrics dump and the run report).
+inline bool wants_metrics(const Options& opts) {
+  return opts.metrics || !opts.report_json.empty();
+}
+
 /// The full evaluation matrix through the chosen engine, accumulating
-/// stage timings/counters into `timeline`.
-inline report::Matrix run_matrix(const Options& opts, support::Timeline* timeline) {
-  if (opts.serial) return report::Matrix::run(timeline, sim_options_of(opts));
-  report::ParallelRunner runner(
-      {.threads = opts.threads, .timeline = timeline, .sim = sim_options_of(opts)});
+/// stage timings/counters into `timeline` and (when non-null) the sweep's
+/// compiler/scheduler counters into `registry`.
+inline report::Matrix run_matrix(const Options& opts, support::Timeline* timeline,
+                                 obs::Registry* registry = nullptr) {
+  if (opts.serial) return report::Matrix::run(timeline, sim_options_of(opts), registry);
+  report::ParallelRunner runner({.threads = opts.threads,
+                                 .timeline = timeline,
+                                 .sim = sim_options_of(opts),
+                                 .registry = registry});
   return runner.run();
 }
 
 inline void print_stats(const Options& opts, const support::Timeline& timeline) {
-  if (opts.stats) std::fputs(("\n" + timeline.render()).c_str(), stdout);
+  if (opts.stats) std::fputs(("\n" + timeline.render()).c_str(), stderr);
 }
 
 /// --utilization: merge every cell's execution profile into one suite-wide
@@ -95,7 +149,12 @@ inline void print_utilization(const Options& opts, const report::Matrix& matrix)
       if (outcome.utilization.has_value()) merged.merge(*outcome.utilization);
     }
   }
-  std::fputs(("\n" + merged.render()).c_str(), stdout);
+  std::fputs(("\n" + merged.render()).c_str(), stderr);
+}
+
+/// --metrics: dump the sweep's merged registry.
+inline void print_metrics(const Options& opts, const obs::Registry& registry) {
+  if (opts.metrics) std::fputs(("\n" + registry.render()).c_str(), stderr);
 }
 
 /// --trace: re-run the first cell of the matrix with a TraceObserver and
@@ -112,8 +171,36 @@ inline void print_trace(const Options& opts) {
   sim.collect_utilization = false;
   report::compile_and_run_prebuilt(cache.get(workload), workload, machine, {}, nullptr, sim,
                                    &cache);
-  std::printf("\ntrace (%s on %s):\n%s", workload.name.c_str(), machine.name.c_str(),
-              trace.text().c_str());
+  std::fprintf(stderr, "\ntrace (%s on %s):\n%s", workload.name.c_str(), machine.name.c_str(),
+               trace.text().c_str());
+}
+
+/// Run one paper-artifact harness end to end: parse flags, run the sweep,
+/// write the rendered artifact to stdout, then emit every requested
+/// diagnostic/export. `render` maps the finished Matrix to the artifact
+/// text. All table/figure mains funnel through here so the flag surface
+/// and the stdout-purity contract stay uniform.
+template <typename RenderFn>
+int run_harness(int argc, char** argv, RenderFn&& render) {
+  const Options opts = parse_args(argc, argv);
+  if (!opts.trace_out.empty()) obs::Tracer::instance().start();
+  support::Timeline timeline;
+  obs::Registry registry;
+  obs::Registry* metrics = wants_metrics(opts) ? &registry : nullptr;
+  const report::Matrix matrix = run_matrix(opts, &timeline, metrics);
+  std::fputs(render(matrix).c_str(), stdout);
+  print_stats(opts, timeline);
+  print_utilization(opts, matrix);
+  print_metrics(opts, registry);
+  print_trace(opts);
+  if (!opts.report_json.empty()) {
+    report::write_run_report(opts.report_json, matrix, metrics);
+  }
+  if (!opts.trace_out.empty()) {
+    obs::Tracer::instance().stop();
+    obs::Tracer::instance().write_file(opts.trace_out);
+  }
+  return 0;
 }
 
 }  // namespace ttsc::bench

@@ -1,0 +1,26 @@
+// Compare two ttsc-run-report JSON files (see src/report/run_report.hpp).
+//
+//   report_diff BEFORE.json AFTER.json
+//
+// Prints a path-per-line structural diff. Exit status: 0 when the reports
+// are identical, 1 when they differ, 2 on usage or parse errors — so CI can
+// gate on "the Table IV report matches the golden snapshot".
+#include <cstdio>
+
+#include "report/run_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s BEFORE.json AFTER.json\n", argv[0]);
+    return 2;
+  }
+  try {
+    std::string summary;
+    const bool identical = ttsc::report::diff_report_files(argv[1], argv[2], summary);
+    std::fputs(summary.c_str(), stdout);
+    return identical ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "report_diff: %s\n", e.what());
+    return 2;
+  }
+}

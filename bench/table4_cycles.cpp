@@ -1,17 +1,8 @@
 // Regenerates the corresponding artifact of the paper's evaluation section
 // through the parallel experiment engine (see bench_util.hpp for flags).
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "report/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const ttsc::bench::Options opts = ttsc::bench::parse_args(argc, argv);
-  ttsc::support::Timeline timeline;
-  const ttsc::report::Matrix matrix = ttsc::bench::run_matrix(opts, &timeline);
-  std::fputs(ttsc::report::render_table4_cycles(matrix).c_str(), stdout);
-  ttsc::bench::print_stats(opts, timeline);
-  ttsc::bench::print_utilization(opts, matrix);
-  ttsc::bench::print_trace(opts);
-  return 0;
+  return ttsc::bench::run_harness(argc, argv, ttsc::report::render_table4_cycles);
 }

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "ir/analysis.hpp"
+#include "obs/trace.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 
@@ -86,6 +87,9 @@ struct Allocator {
 }  // namespace
 
 LowerResult lower(const ir::Module& module, const std::string& root, const Machine& machine) {
+  obs::Span span("codegen.lower", [&] {
+    return obs::SpanArgs{{"func", root}, {"machine", machine.name}};
+  });
   const Function& f = module.function(root);
   for (const ir::Block& b : f.blocks()) {
     for (const Instr& in : b.instrs) {
@@ -146,6 +150,7 @@ LowerResult lower(const ir::Module& module, const std::string& root, const Machi
   std::vector<Interval*> active;
   std::int32_t next_spill_slot = 0;
   int values_spilled = 0;
+  std::vector<int> spilled_per_rf(machine.rfs.size(), 0);
 
   for (Interval* iv : order) {
     // Expire finished intervals.
@@ -169,9 +174,11 @@ LowerResult lower(const ir::Module& module, const std::string& root, const Machi
     }
     ++values_spilled;
     if (victim == iv) {
+      ++spilled_per_rf[0];
       iv->spilled = true;
       iv->spill_slot = next_spill_slot++;
     } else {
+      ++spilled_per_rf[static_cast<std::size_t>(victim->assigned.rf)];
       iv->assigned = victim->assigned;
       victim->spilled = true;
       victim->spill_slot = next_spill_slot++;
@@ -273,6 +280,7 @@ LowerResult lower(const ir::Module& module, const std::string& root, const Machi
   result.func = std::move(out);
   result.spills_inserted = spills_inserted;
   result.values_spilled = values_spilled;
+  result.spilled_per_rf = std::move(spilled_per_rf);
   return result;
 }
 

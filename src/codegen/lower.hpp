@@ -10,6 +10,10 @@ struct LowerResult {
   MFunction func;
   int spills_inserted = 0;     // reload/store instructions added
   int values_spilled = 0;      // live ranges sent to memory
+  /// Live ranges evicted per register-file partition (index = RF; sums to
+  /// values_spilled). An interval spilled without ever holding a register
+  /// (every file full, no further-ending victim) is charged to partition 0.
+  std::vector<int> spilled_per_rf;
 };
 
 /// Lower the (fully inlined, call-free) function `root` of `module` onto

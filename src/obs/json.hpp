@@ -1,0 +1,89 @@
+// Minimal JSON support for the observability layer.
+//
+// JsonWriter is a streaming writer with deterministic formatting (integers
+// verbatim, doubles through one fixed "%.10g" conversion) — the run reports
+// and trace exports it produces are byte-identical across runs and thread
+// counts as long as the values fed to it are. JsonValue/parse_json is a
+// small recursive-descent parser used by report::diff_reports and by the
+// tests that validate trace/report exports; it keeps each number's raw
+// source text so integer counters round-trip exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ttsc::obs {
+
+/// Escape `s` for inclusion in a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. Commas and nesting are managed internally; the
+/// caller alternates key()/value calls inside objects and value calls
+/// inside arrays. Misuse (a value where a key is required, unbalanced
+/// end_*) trips TTSC_ASSERT.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  /// Append pre-rendered JSON as one value (caller guarantees validity).
+  void raw_value(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+
+  enum class Frame : std::uint8_t { Object, Array };
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON tree. Numbers keep their raw text so 64-bit counters
+/// round-trip exactly (as_uint parses the text, not the double).
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  // String: the value; Number: the raw source text
+  std::vector<JsonValue> items;                            // Array
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object, source order
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view k) const;
+  /// As find(), but throws ttsc::Error when the member is missing.
+  const JsonValue& at(std::string_view k) const;
+
+  std::uint64_t as_uint() const;  // throws ttsc::Error unless an integer number
+  double as_double() const;       // throws ttsc::Error unless a number
+  const std::string& as_string() const;  // throws ttsc::Error unless a string
+};
+
+/// Parse a complete JSON document. Throws ttsc::Error with position context
+/// on malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace ttsc::obs

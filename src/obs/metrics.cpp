@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+#include "obs/json.hpp"
+#include "support/strings.hpp"
+
+namespace ttsc::obs {
+
+int Histogram::bucket_of(std::uint64_t v) { return std::bit_width(v); }
+
+void Histogram::observe(std::uint64_t v) {
+  ++buckets[bucket_of(v)];
+  ++count;
+  sum += v;
+  if (v < min) min = v;
+  if (v > max) max = v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::gauge_max(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else if (value > it->second) {
+    it->second = value;
+  }
+}
+
+void Registry::observe(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(std::string(name), Histogram{}).first;
+  it->second.observe(value);
+}
+
+void Registry::merge(const Registry& other) {
+  std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, v);
+    } else if (v > it->second) {
+      it->second = v;
+    }
+  }
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, std::uint64_t> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, Histogram> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+std::string Registry::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "-- metrics --\n";
+  for (const auto& [name, v] : counters_) {
+    out += format("  %-44s %14llu\n", name.c_str(), static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges_) {
+    out += format("  %-44s %14llu (max)\n", name.c_str(), static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += format("  %-44s n=%llu sum=%llu min=%llu max=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.count == 0 ? 0 : h.min),
+                  static_cast<unsigned long long>(h.max));
+  }
+  return out;
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters_) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges_) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.count == 0 ? 0 : h.min);
+    w.key("max");
+    w.value(h.max);
+    w.key("buckets");
+    w.begin_array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.begin_array();
+      w.value(i);
+      w.value(h.buckets[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace ttsc::obs

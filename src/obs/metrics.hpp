@@ -1,0 +1,102 @@
+// Hierarchical metrics registry for the toolchain.
+//
+// A Registry holds named counters (monotonic sums), gauges (merged by max)
+// and power-of-two-bucket histograms. Names are dot-hierarchical by
+// convention ("tta.schedule.bypassed_operands", "opt.dce.instrs_removed").
+//
+// Concurrency and determinism contract:
+//
+//  * Every mutator takes the registry mutex, so a Registry may be shared by
+//    all workers of a parallel sweep. Hot paths must NOT bump a shared
+//    registry per event: instrumented code accumulates into local state (a
+//    stack-allocated Registry shard, or a plain stats struct like
+//    tta::TtaScheduleStats) and folds it in with ONE merge() call at stage
+//    end. The experiment driver follows this pattern — one merge per grid
+//    cell — so the shared lock is touched O(cells), not O(instructions).
+//  * All merge operations commute (counter/histogram addition, gauge max),
+//    so a sweep's merged registry is byte-identical for any thread count or
+//    interleaving as long as the same set of shards is produced. This is
+//    the determinism contract tests/obs_test.cpp locks at 1/2/8 threads.
+//  * A disabled pipeline passes `nullptr` wherever a `Registry*` is
+//    accepted; instrumentation sites check the pointer once per stage, so
+//    the disabled cost is a branch (never a lock).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ttsc::obs {
+
+class JsonWriter;
+
+/// Power-of-two-bucket histogram: bucket i counts values whose bit width is
+/// i, i.e. bucket 0 holds value 0, bucket i (i >= 1) holds [2^(i-1), 2^i).
+struct Histogram {
+  static constexpr int kBuckets = 65;
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = UINT64_MAX;
+  std::uint64_t max = 0;
+
+  static int bucket_of(std::uint64_t v);
+  void observe(std::uint64_t v);
+  void merge(const Histogram& other);
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Bump counter `name` by `delta` (created at zero on first use).
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// Raise gauge `name` to at least `value` (merge semantics: max).
+  void gauge_max(std::string_view name, std::uint64_t value);
+  /// Record one sample into histogram `name`.
+  void observe(std::string_view name, std::uint64_t value);
+
+  /// Fold `other` into this registry (commutative; see contract above).
+  void merge(const Registry& other);
+
+  std::uint64_t counter(std::string_view name) const;
+  std::uint64_t gauge(std::string_view name) const;
+
+  /// Sorted snapshots (std::map keeps names ordered — deterministic).
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, std::uint64_t> gauges() const;
+  std::map<std::string, Histogram> histograms() const;
+
+  bool empty() const;
+
+  /// Human-readable dump (the `--metrics` diagnostics section).
+  std::string render() const;
+
+  /// Deterministic JSON object {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,min,max,buckets:[[bit,count],...]}}}
+  /// appended as one value.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, std::uint64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Null-safe helpers for instrumentation sites.
+inline void add(Registry* r, std::string_view name, std::uint64_t delta = 1) {
+  if (r != nullptr) r->add(name, delta);
+}
+inline void observe(Registry* r, std::string_view name, std::uint64_t value) {
+  if (r != nullptr) r->observe(name, value);
+}
+inline void gauge_max(Registry* r, std::string_view name, std::uint64_t value) {
+  if (r != nullptr) r->gauge_max(name, value);
+}
+
+}  // namespace ttsc::obs

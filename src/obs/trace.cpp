@@ -1,0 +1,177 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "obs/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ttsc::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::start() {
+  clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->events.clear();
+  }
+}
+
+Tracer::Shard& Tracer::local_shard() {
+  // The shard this thread appends to, per tracer. A single thread only ever
+  // talks to one tracer in practice (the process-wide instance).
+  thread_local Shard* tls_shard = nullptr;
+  thread_local const Tracer* tls_shard_owner = nullptr;
+  if (tls_shard != nullptr && tls_shard_owner == this) return *tls_shard;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto shard = std::make_unique<Shard>();
+  shard->tid = static_cast<int>(shards_.size());
+  const int worker = support::ThreadPool::current_worker_id();
+  shard->thread_name =
+      worker >= 0 ? "worker-" + std::to_string(worker) : (shards_.empty() ? "main" : "thread");
+  shards_.push_back(std::move(shard));
+  tls_shard = shards_.back().get();
+  tls_shard_owner = this;
+  return *tls_shard;
+}
+
+void Tracer::record(std::string name, std::chrono::steady_clock::time_point t0,
+                    std::chrono::steady_clock::time_point t1, SpanArgs args) {
+  Shard& shard = local_shard();
+  Event ev;
+  ev.name = std::move(name);
+  ev.ts_us = std::chrono::duration<double, std::micro>(t0 - epoch_).count();
+  ev.dur_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    n += shard->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::chrome_json() const {
+  struct Row {
+    int tid;
+    const Event* ev;
+  };
+  std::vector<std::pair<int, std::string>> names;
+  std::vector<Row> rows;
+  // Snapshot under locks, then render unlocked. Event pointers stay valid:
+  // shards only grow and we hold no references across shard mutation (the
+  // caller exports after parallel work quiesced; the locks make a
+  // concurrent append safe, not the pointer math — so copy the events).
+  std::vector<std::vector<Event>> copies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copies.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      names.emplace_back(shard->tid, shard->thread_name);
+      copies.push_back(shard->events);
+    }
+  }
+  for (std::size_t s = 0; s < copies.size(); ++s) {
+    for (const Event& ev : copies[s]) rows.push_back({names[s].first, &ev});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ev->ts_us != b.ev->ts_us) return a.ev->ts_us < b.ev->ts_us;
+    if (a.ev->dur_us != b.ev->dur_us) return a.ev->dur_us > b.ev->dur_us;  // parents first
+    return a.ev->name < b.ev->name;
+  });
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& [tid, name] : names) {
+    w.begin_object();
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(tid);
+    w.key("name");
+    w.value("thread_name");
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Row& row : rows) {
+    w.begin_object();
+    w.key("ph");
+    w.value("X");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(row.tid);
+    w.key("name");
+    w.value(row.ev->name);
+    w.key("ts");
+    w.value(row.ev->ts_us);
+    w.key("dur");
+    w.value(row.ev->dur_us);
+    if (!row.ev->args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const auto& [k, v] : row.ev->args) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  const std::string json = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+void Span::open(const char* name, SpanArgs args) {
+  active_ = true;
+  name_ = name;
+  args_ = std::move(args);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void Span::close() {
+  Tracer::instance().record(std::move(name_), start_, std::chrono::steady_clock::now(),
+                            std::move(args_));
+}
+
+}  // namespace ttsc::obs

@@ -1,0 +1,129 @@
+// Span tracer: nested begin/end events across the toolchain pipeline,
+// exported as Chrome trace-event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Usage: Tracer::instance().start() enables collection process-wide;
+// obs::Span is the RAII recording primitive:
+//
+//   obs::Span span("schedule", [&] {
+//     return obs::SpanArgs{{"machine", machine.name}, {"workload", w.name}};
+//   });
+//
+// When the tracer is disabled a Span costs one relaxed atomic load and a
+// branch — the args lambda is never invoked — so instrumentation can stay
+// compiled into every pipeline stage. When enabled, each thread appends to
+// its own shard (one short uncontended lock per span; shards exist so
+// export is safe while pool threads are still alive), and the export phase
+// merges shards into one event stream. Shards are labelled with
+// support::ThreadPool worker IDs, so a parallel sweep renders as a real
+// per-worker flame view.
+//
+// Spans nest naturally: Chrome's viewer stacks complete ("ph":"X") events
+// of one thread by containment, so a "schedule" span inside a "cell" span
+// draws as a child row. Trace timestamps are wall-clock measurements and
+// are NOT covered by the observability determinism contract (metrics and
+// table outputs are; see obs/metrics.hpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ttsc::obs {
+
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+class Tracer {
+ public:
+  /// The process-wide tracer (--trace-out drives this one). Separate
+  /// instances are only constructed by tests.
+  static Tracer& instance();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Discard previous events and begin collecting.
+  void start();
+  /// Stop collecting (events recorded so far remain exportable).
+  void stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record one complete event. `t0`/`t1` are steady_clock points taken by
+  /// the caller (Span does this); thread attribution is automatic.
+  void record(std::string name, std::chrono::steady_clock::time_point t0,
+              std::chrono::steady_clock::time_point t1, SpanArgs args);
+
+  /// Number of events currently buffered across all shards.
+  std::size_t event_count() const;
+
+  /// The Chrome trace document: {"traceEvents":[...]} with one metadata
+  /// ("thread_name") event per shard and one "X" event per span, ordered by
+  /// (tid, start, duration, name) for stable output.
+  std::string chrome_json() const;
+
+  /// Write chrome_json() to `path`. Returns false (and leaves no partial
+  /// file guarantee) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct Event {
+    std::string name;
+    double ts_us;
+    double dur_us;
+    SpanArgs args;
+  };
+  struct Shard {
+    int tid;
+    std::string thread_name;
+    mutable std::mutex mutex;  // append vs export; never contended cross-thread
+    std::vector<Event> events;
+  };
+
+  Shard& local_shard();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  // guards shards_ vector growth
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII span against Tracer::instance(). Activation is decided once at
+/// construction; a span that outlives a stop() still records (its interval
+/// began inside the session).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::instance().enabled()) open(name, SpanArgs{});
+  }
+  /// Lazy-args form: `args_fn` is only called when the tracer is enabled.
+  template <typename F>
+  Span(const char* name, F&& args_fn) {
+    if (Tracer::instance().enabled()) open(name, std::forward<F>(args_fn)());
+  }
+  ~Span() {
+    if (active_) close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  void open(const char* name, SpanArgs args);
+  void close();
+
+  bool active_ = false;
+  std::string name_;
+  SpanArgs args_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ttsc::obs

@@ -9,6 +9,10 @@
 
 #include "ir/module.hpp"
 
+namespace ttsc::obs {
+class Registry;
+}
+
 namespace ttsc::opt {
 
 /// Inline every call reachable from `root` (whole-program inlining; the
@@ -53,6 +57,13 @@ struct PipelineOptions {
 
 /// Run the standard pipeline: inline_all(root) followed by iterated local
 /// cleanup and LICM until fixpoint. Verifies the module afterwards.
-void optimize(ir::Module& module, const std::string& root, const PipelineOptions& options = {});
+///
+/// When `metrics` is given, the pipeline records per-pass IR deltas into it
+/// ("opt.<pass>.calls" / ".changed" / ".instrs_removed" / ".instrs_added"
+/// counters plus whole-pipeline "opt.instrs_in" / "opt.instrs_out" /
+/// "opt.iterations"). The pipeline is deterministic, so the recorded
+/// metrics are too.
+void optimize(ir::Module& module, const std::string& root, const PipelineOptions& options = {},
+              obs::Registry* metrics = nullptr);
 
 }  // namespace ttsc::opt

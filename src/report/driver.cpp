@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <mutex>
+#include <optional>
 
 #include "codegen/legalize.hpp"
 #include "codegen/lower.hpp"
 #include "ir/verify.hpp"
+#include "obs/trace.hpp"
 #include "opt/passes.hpp"
 #include "report/module_cache.hpp"
 #include "scalar/scalar.hpp"
@@ -46,6 +48,35 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+/// Per-RF spill breakdown -> "regalloc.spills.rf<i>" counters.
+void record_regalloc_metrics(obs::Registry& cell, const codegen::LowerResult& lowered) {
+  cell.add("regalloc.spill_instrs", static_cast<std::uint64_t>(lowered.spills_inserted));
+  cell.add("regalloc.values_spilled", static_cast<std::uint64_t>(lowered.values_spilled));
+  for (std::size_t rf = 0; rf < lowered.spilled_per_rf.size(); ++rf) {
+    if (lowered.spilled_per_rf[rf] != 0) {
+      cell.add(format("regalloc.spills.rf%zu", rf),
+               static_cast<std::uint64_t>(lowered.spilled_per_rf[rf]));
+    }
+  }
+}
+
+/// Move-slot / NOP density of a TTA program: filled bus slots (a wide
+/// immediate fills its extension slot too) against instrs * buses capacity.
+void record_tta_density(obs::Registry& cell, const tta::TtaProgram& prog,
+                        const mach::Machine& machine) {
+  std::uint64_t filled = 0;
+  for (const tta::TtaInstruction& in : prog.instrs) {
+    filled += in.moves.size();
+    for (const tta::Move& mv : in.moves) {
+      if (mv.long_imm) ++filled;
+    }
+  }
+  const std::uint64_t capacity = prog.instrs.size() * machine.buses.size();
+  cell.add("tta.schedule.slots_filled", filled);
+  cell.add("tta.schedule.slot_capacity", capacity);
+  cell.add("tta.schedule.nop_slots", capacity - filled);
+}
+
 }  // namespace
 
 GoldenOutcome run_golden(const Workload& workload) {
@@ -75,14 +106,18 @@ GoldenOutcome run_golden(const Workload& workload) {
 }
 
 ir::Module build_optimized(const Workload& workload, support::Timeline* timeline,
-                           support::StageSeconds* build_times) {
+                           support::StageSeconds* build_times, obs::Registry* metrics) {
   ir::Module module;
   const auto t0 = std::chrono::steady_clock::now();
-  workload.build(module);
-  ir::verify(module);
+  {
+    obs::Span span("frontend", [&] { return obs::SpanArgs{{"workload", workload.name}}; });
+    workload.build(module);
+    ir::verify(module);
+  }
   const double frontend_s = seconds_since(t0);
   const auto t1 = std::chrono::steady_clock::now();
-  opt::optimize(module, workloads::entry_point());
+  // opt::optimize opens its own "opt" span and records "opt.*" metrics.
+  opt::optimize(module, workloads::entry_point(), {}, metrics);
   const double opt_s = seconds_since(t1);
   if (timeline != nullptr) {
     timeline->add_seconds(support::Stage::kFrontend, frontend_s);
@@ -100,13 +135,27 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
                                     const mach::Machine& machine,
                                     const tta::TtaOptions& tta_options,
                                     support::Timeline* timeline,
-                                    const sim::SimOptions& sim_options, ModuleCache* cache) {
+                                    const sim::SimOptions& sim_options, ModuleCache* cache,
+                                    obs::Registry* metrics) {
+  obs::Span cell_span("cell", [&] {
+    return obs::SpanArgs{{"machine", machine.name}, {"workload", workload.name}};
+  });
+  const auto stage_args = [&] {
+    return obs::SpanArgs{{"machine", machine.name}, {"workload", workload.name}};
+  };
+  // Cell-local metric shard: every counter below accumulates here and is
+  // merged into the shared registry exactly once at cell end (see the
+  // obs::Registry concurrency contract).
+  obs::Registry cell_metrics;
+  std::optional<obs::Span> stage_span;
+
   // Backend-specific IR preparation on a copy of the shared optimized
   // module: the scalar model legalizes RISC operand constraints.
   // (opt::if_convert is deliberately NOT applied: without hardware
   // predication the 4-op select expansion costs more than the branch it
   // removes on every machine here — see bench/ablation_tta_freedoms.)
   const auto t_regalloc = std::chrono::steady_clock::now();
+  stage_span.emplace("regalloc", stage_args);
   ir::Module module = optimized;
   if (machine.model == mach::Model::Tta && machine.has_guards()) {
     // Guarded TTAs predicate short conditionals: if-convert to Select ops,
@@ -127,6 +176,8 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
   out.workload = workload.name;
   out.spills = lowered.spills_inserted;
   out.stage_seconds.regalloc = seconds_since(t_regalloc);
+  stage_span.reset();
+  record_regalloc_metrics(cell_metrics, lowered);
 
   // Observer plumbing: optionally attach a per-run utilization collector,
   // teeing with a caller-provided observer when both are requested.
@@ -145,22 +196,29 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
 
   ir::Memory mem = make_loaded_memory(module);
   const auto t_schedule = std::chrono::steady_clock::now();
+  stage_span.emplace("schedule", stage_args);
   switch (machine.model) {
     case mach::Model::Scalar: {
       const scalar::ScalarProgram prog = scalar::emit_scalar(lowered.func);
       out.stage_seconds.schedule = seconds_since(t_schedule);
+      stage_span.reset();
+      cell_metrics.add("scalar.emit.words", prog.code_words(machine.scalar));
       scalar::ScalarSim simulator(prog, machine, mem, sim_opts);
       if (sim_opts.fast_path) {
         const auto t_pre = std::chrono::steady_clock::now();
+        stage_span.emplace("predecode", stage_args);
         simulator.use_predecoded(
             cache != nullptr
                 ? cache->predecoded(prog, machine, timeline)
                 : std::make_shared<const sim::PredecodedScalar>(sim::predecode(prog, machine)));
         out.stage_seconds.predecode = seconds_since(t_pre);
+        stage_span.reset();
       }
       const auto t_sim = std::chrono::steady_clock::now();
+      stage_span.emplace("simulate", stage_args);
       const scalar::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
+      stage_span.reset();
       if (r.timed_out()) throw Error("scalar simulation exceeded cycle limit");
       out.cycles = r.cycles;
       out.ret = r.ret;
@@ -170,20 +228,36 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
       break;
     }
     case mach::Model::Vliw: {
-      const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine);
+      vliw::ScheduleStats stats;
+      const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine, &stats);
       out.stage_seconds.schedule = seconds_since(t_schedule);
+      stage_span.reset();
+      cell_metrics.add("vliw.schedule.bundles", stats.bundles);
+      cell_metrics.add("vliw.schedule.ops", stats.ops);
+      const std::uint64_t capacity =
+          stats.bundles * static_cast<std::uint64_t>(prog.num_slots);
+      cell_metrics.add("vliw.schedule.slot_capacity", capacity);
+      cell_metrics.add("vliw.schedule.nop_slots", capacity - stats.ops);
+      cell_metrics.add("vliw.schedule.fail.rf_read_port", stats.fail_rf_read_port);
+      cell_metrics.add("vliw.schedule.fail.rf_write_port", stats.fail_rf_write_port);
+      cell_metrics.add("vliw.schedule.fail.no_slot", stats.fail_no_slot);
+      cell_metrics.add("vliw.schedule.fail.wide_imm", stats.fail_wide_imm);
       vliw::VliwSim simulator(prog, machine, mem, sim_opts);
       if (sim_opts.fast_path) {
         const auto t_pre = std::chrono::steady_clock::now();
+        stage_span.emplace("predecode", stage_args);
         simulator.use_predecoded(
             cache != nullptr
                 ? cache->predecoded(prog, machine, timeline)
                 : std::make_shared<const sim::PredecodedVliw>(sim::predecode(prog, machine)));
         out.stage_seconds.predecode = seconds_since(t_pre);
+        stage_span.reset();
       }
       const auto t_sim = std::chrono::steady_clock::now();
+      stage_span.emplace("simulate", stage_args);
       const vliw::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
+      stage_span.reset();
       if (r.timed_out()) throw Error("VLIW simulation exceeded cycle limit");
       out.cycles = r.cycles;
       out.ret = r.ret;
@@ -199,18 +273,34 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
       // the literal pool holding wide constants and far branch targets).
       out.image_bits = tta::encode_program(prog, machine).image_bits();
       out.stage_seconds.schedule = seconds_since(t_schedule);
+      stage_span.reset();
+      cell_metrics.add("tta.schedule.instructions", stats.instructions);
+      cell_metrics.add("tta.schedule.moves", stats.moves);
+      cell_metrics.add("tta.schedule.bypassed_operands", stats.bypassed_operands);
+      cell_metrics.add("tta.schedule.eliminated_result_moves", stats.eliminated_result_moves);
+      cell_metrics.add("tta.schedule.shared_operands", stats.shared_operands);
+      cell_metrics.add("tta.schedule.guarded_selects", stats.guarded_selects);
+      cell_metrics.add("tta.schedule.fail.no_bus", stats.fail_no_bus);
+      cell_metrics.add("tta.schedule.fail.long_imm", stats.fail_long_imm);
+      cell_metrics.add("tta.schedule.fail.rf_read_port", stats.fail_rf_read_port);
+      cell_metrics.add("tta.schedule.fail.rf_write_port", stats.fail_rf_write_port);
+      record_tta_density(cell_metrics, prog, machine);
       tta::TtaSim simulator(prog, machine, mem, sim_opts);
       if (sim_opts.fast_path) {
         const auto t_pre = std::chrono::steady_clock::now();
+        stage_span.emplace("predecode", stage_args);
         simulator.use_predecoded(
             cache != nullptr
                 ? cache->predecoded(prog, machine, timeline)
                 : std::make_shared<const sim::PredecodedTta>(sim::predecode(prog, machine)));
         out.stage_seconds.predecode = seconds_since(t_pre);
+        stage_span.reset();
       }
       const auto t_sim = std::chrono::steady_clock::now();
+      stage_span.emplace("simulate", stage_args);
       const tta::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
+      stage_span.reset();
       if (r.timed_out()) throw Error("TTA simulation exceeded cycle limit");
       out.cycles = r.cycles;
       out.ret = r.ret;
@@ -227,6 +317,13 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
   if (util != nullptr) {
     util->add_cycles(out.cycles);
     out.utilization = util->report();
+    out.utilization->export_to(cell_metrics, "sim.");
+  }
+  out.metrics = cell_metrics.counters();
+  if (metrics != nullptr) {
+    metrics->merge(cell_metrics);
+    metrics->observe("cell.cycles", out.cycles);
+    metrics->add("cells.run");
   }
   if (timeline != nullptr) {
     timeline->add_seconds(support::Stage::kRegalloc, out.stage_seconds.regalloc);

@@ -13,6 +13,7 @@
 
 #include "ir/interp.hpp"
 #include "mach/machine.hpp"
+#include "obs/metrics.hpp"
 #include "sim/collectors.hpp"
 #include "support/timeline.hpp"
 #include "tta/tta.hpp"
@@ -53,6 +54,14 @@ struct RunOutcome {
 
   // Execution profile, present when SimOptions::collect_utilization was set.
   std::optional<sim::UtilizationReport> utilization;
+
+  // Per-cell metric snapshot (sorted, deterministic): the scheduler/
+  // regalloc/optimizer-independent counters this cell contributed to the
+  // sweep registry — scheduler freedoms taken ("tta.schedule.*"), slot/NOP
+  // density, scheduling-failure reasons, spills per RF partition
+  // ("regalloc.spills.rf<i>"), and "sim.*" utilization totals when
+  // collected. Exported per cell by --report-json.
+  std::map<std::string, std::uint64_t> metrics;
 };
 
 /// Reference-interpreter outcome for a workload (golden model).
@@ -74,10 +83,12 @@ RunOutcome compile_and_run(const workloads::Workload& workload, const mach::Mach
 /// report::ModuleCache). The returned module contains the fully inlined,
 /// optimized entry function. When given, `timeline` accrues the frontend
 /// and opt stages plus a "modules_built" counter, and `build_times`
-/// receives this call's frontend/opt wall time.
+/// receives this call's frontend/opt wall time. `metrics` (optional)
+/// receives the optimizer's per-pass IR deltas ("opt.*" counters).
 ir::Module build_optimized(const workloads::Workload& workload,
                            support::Timeline* timeline = nullptr,
-                           support::StageSeconds* build_times = nullptr);
+                           support::StageSeconds* build_times = nullptr,
+                           obs::Registry* metrics = nullptr);
 
 /// As compile_and_run, but reusing a pre-optimized module. When given,
 /// `timeline` accrues the regalloc/schedule/predecode/simulate stages and
@@ -88,12 +99,20 @@ ir::Module build_optimized(const workloads::Workload& workload,
 /// `sim_options` selects the simulator path (fast/reference), an optional
 /// observer and utilization collection; `cache` (when given) memoizes the
 /// fast path's predecoded programs across cells.
+///
+/// `metrics` (optional) receives the cell's scheduler/regalloc/sim counters
+/// with ONE merge at cell end (the obs::Registry shard contract) plus a
+/// "cell.cycles" histogram sample; the same counters are always snapshotted
+/// into the outcome's `metrics` map. All recorded values are deterministic
+/// functions of (workload, machine, options), so a sweep's merged registry
+/// is byte-identical for any thread count.
 RunOutcome compile_and_run_prebuilt(const ir::Module& optimized,
                                     const workloads::Workload& workload,
                                     const mach::Machine& machine,
                                     const tta::TtaOptions& tta_options = {},
                                     support::Timeline* timeline = nullptr,
                                     const sim::SimOptions& sim_options = {},
-                                    ModuleCache* cache = nullptr);
+                                    ModuleCache* cache = nullptr,
+                                    obs::Registry* metrics = nullptr);
 
 }  // namespace ttsc::report

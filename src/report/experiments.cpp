@@ -25,7 +25,8 @@ std::string header_row(const std::vector<std::string>& workloads) {
 
 }  // namespace
 
-Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_options) {
+Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_options,
+                   obs::Registry* metrics) {
   Matrix m;
   for (const workloads::Workload& w : workloads::all_workloads()) {
     m.workload_names_.push_back(w.name);
@@ -41,8 +42,9 @@ Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_optio
     r.area = fpga::estimate_area(machine);
     r.timing = fpga::estimate_timing(machine);
     for (const workloads::Workload& w : workloads::all_workloads()) {
-      r.by_workload[w.name] = compile_and_run_prebuilt(cache.get(w, timeline), w, machine, {},
-                                                       timeline, sim_options, &cache);
+      r.by_workload[w.name] =
+          compile_and_run_prebuilt(cache.get(w, timeline, nullptr, metrics), w, machine, {},
+                                   timeline, sim_options, &cache, metrics);
     }
     m.machines_.push_back(std::move(r));
   }

@@ -31,9 +31,14 @@ class Matrix {
   /// across machines). ParallelRunner produces the identical matrix using
   /// a thread pool — this serial path is the determinism reference.
   /// `sim_options` selects the simulator path for every cell (e.g.
-  /// fast_path = false for the reference interpreters).
+  /// fast_path = false for the reference interpreters). `metrics`
+  /// (optional) receives every cell's compiler/scheduler/sim counters; the
+  /// merged registry is byte-identical to a ParallelRunner sweep's at any
+  /// thread count (all merge operations commute and each build/cell
+  /// contributes exactly once).
   static Matrix run(support::Timeline* timeline = nullptr,
-                    const sim::SimOptions& sim_options = {});
+                    const sim::SimOptions& sim_options = {},
+                    obs::Registry* metrics = nullptr);
 
   const MachineResults& machine(const std::string& name) const;
   const std::vector<MachineResults>& machines() const { return machines_; }

@@ -6,7 +6,7 @@ namespace ttsc::report {
 
 const ir::Module& ModuleCache::get(const workloads::Workload& workload,
                                    support::Timeline* timeline,
-                                   support::StageSeconds* build_times) {
+                                   support::StageSeconds* build_times, obs::Registry* metrics) {
   Entry* entry;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -21,7 +21,9 @@ const ir::Module& ModuleCache::get(const workloads::Workload& workload,
   // reaches every waiter that raced this build attempt via its own retry).
   std::lock_guard<std::mutex> build_lock(entry->build_mutex);
   if (!entry->built) {
-    entry->module = build_optimized(workload, timeline, &entry->build_times);
+    // `metrics` is threaded through only on the one real build, so "opt.*"
+    // counters land in the registry exactly once per workload per sweep.
+    entry->module = build_optimized(workload, timeline, &entry->build_times, metrics);
     entry->built = true;
   }
   if (build_times != nullptr) *build_times = entry->build_times;

@@ -21,6 +21,10 @@
 #include "support/timeline.hpp"
 #include "workloads/workload.hpp"
 
+namespace ttsc::obs {
+class Registry;
+}
+
 namespace ttsc::report {
 
 class ModuleCache {
@@ -28,10 +32,13 @@ class ModuleCache {
   /// The optimized module for `workload`, building it on first use. The
   /// returned reference stays valid for the cache's lifetime. When given,
   /// `build_times` receives the frontend/opt wall time of the (possibly
-  /// earlier, cached) build.
+  /// earlier, cached) build, and `metrics` receives the optimizer's "opt.*"
+  /// counters — exactly once per workload regardless of thread count or how
+  /// many cells request the module, so merged registries stay deterministic.
   const ir::Module& get(const workloads::Workload& workload,
                         support::Timeline* timeline = nullptr,
-                        support::StageSeconds* build_times = nullptr);
+                        support::StageSeconds* build_times = nullptr,
+                        obs::Registry* metrics = nullptr);
 
   /// Predecoded form of `program` on `machine`, memoized by structural
   /// fingerprint. When given, `timeline` counts "predecodes_built" /

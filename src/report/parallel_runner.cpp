@@ -24,12 +24,13 @@ Matrix ParallelRunner::run_grid(const std::vector<mach::Machine>& machines,
     const mach::Machine& machine = machines[i / cols];
     const workloads::Workload& w = workloads[i % cols];
     support::StageSeconds build_times;
-    const ir::Module& optimized = cache_.get(w, options_.timeline, &build_times);
+    const ir::Module& optimized =
+        cache_.get(w, options_.timeline, &build_times, options_.registry);
     // Observers are per-run state; never share one across worker threads.
     sim::SimOptions sim = options_.sim;
     sim.observer = nullptr;
     RunOutcome out = compile_and_run_prebuilt(optimized, w, machine, tta_options,
-                                              options_.timeline, sim, &cache_);
+                                              options_.timeline, sim, &cache_, options_.registry);
     out.stage_seconds.frontend = build_times.frontend;
     out.stage_seconds.opt = build_times.opt;
     outcomes[i] = std::move(out);

@@ -34,6 +34,11 @@ class ParallelRunner {
     /// ignored (observers are not thread-safe across cells); use
     /// sim.collect_utilization to get per-cell reports instead.
     sim::SimOptions sim{};
+    /// Optional shared metrics registry. Each cell accumulates into a local
+    /// shard and merges once, so the registry is never touched on simulator
+    /// hot paths; the merged result is byte-identical to a serial
+    /// Matrix::run(..., registry) sweep at any thread count.
+    obs::Registry* registry = nullptr;
   };
 
   ParallelRunner() : ParallelRunner(Options{}) {}

@@ -1,0 +1,51 @@
+// Machine-readable run reports ("ttsc-run-report" schema, version 1).
+//
+// A run report serializes one evaluation matrix — every (machine, workload)
+// cell's cycle count, code-size figures, scheduler counters and spill
+// breakdown, plus the machine's modelled area/timing and the sweep-wide
+// merged metrics registry — as one JSON document.
+//
+// Determinism contract: the report contains NO wall-clock times (stage
+// timings live in --stats output and BENCH_*.json only), so a report is a
+// pure function of (machine set, workload suite, compiler options). Two
+// sweeps of the same grid produce byte-identical reports regardless of
+// thread count, engine (serial/parallel) or whether tracing was enabled —
+// which is what makes reports golden-testable and diffable across commits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "report/experiments.hpp"
+
+namespace ttsc::report {
+
+/// Render the matrix (and optionally the sweep's merged metrics registry)
+/// as a "ttsc-run-report" version-1 JSON document, newline-terminated.
+std::string render_run_report(const Matrix& matrix, const obs::Registry* metrics = nullptr);
+
+/// Write render_run_report() to `path`. Throws ttsc::Error on I/O failure.
+void write_run_report(const std::string& path, const Matrix& matrix,
+                      const obs::Registry* metrics = nullptr);
+
+/// One semantic difference between two reports.
+struct ReportDelta {
+  std::string path;  // e.g. "machines.m-tta-2.cells.blowfish.cycles"
+  std::string before;
+  std::string after;
+};
+
+/// Structural diff of two parsed run reports: every leaf present in either
+/// document is compared by path; missing members are reported with
+/// "(absent)". Array elements are matched by index except "machines", which
+/// is matched by machine name so reordering is not a difference. Numbers
+/// compare by raw token text (exact, no float tolerance).
+std::vector<ReportDelta> diff_reports(const obs::JsonValue& before, const obs::JsonValue& after);
+
+/// Parse and diff two report files; `out` receives a human-readable
+/// summary. Returns true when the reports are identical.
+bool diff_report_files(const std::string& before_path, const std::string& after_path,
+                       std::string& out);
+
+}  // namespace ttsc::report

@@ -1,5 +1,6 @@
 #include "scalar/scalar.hpp"
 
+#include "obs/trace.hpp"
 #include "sim/predecode.hpp"
 #include "support/bits.hpp"
 
@@ -56,6 +57,7 @@ std::uint64_t ScalarProgram::code_words(const mach::ScalarTiming& timing) const 
 }
 
 ScalarProgram emit_scalar(const codegen::MFunction& func) {
+  obs::Span span("scalar.emit");
   ScalarProgram out;
   out.spill_base = func.spill_base;
   out.block_entry.resize(func.blocks.size());

@@ -1,5 +1,7 @@
 #include "sim/collectors.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -36,6 +38,16 @@ void UtilizationReport::merge(const UtilizationReport& other) {
   grow_add(fu_triggers, other.fu_triggers);
   grow_add(bus_busy, other.bus_busy);
   for (std::size_t i = 0; i < op_histogram.size(); ++i) op_histogram[i] += other.op_histogram[i];
+}
+
+void UtilizationReport::export_to(obs::Registry& registry, const std::string& prefix) const {
+  registry.add(prefix + "cycles", cycles);
+  registry.add(prefix + "moves", moves);
+  registry.add(prefix + "guard_squashes", guard_squashes);
+  registry.add(prefix + "rf_reads", rf_reads);
+  registry.add(prefix + "rf_writes", rf_writes);
+  registry.add(prefix + "stall_cycles", stall_cycles);
+  registry.add(prefix + "triggers", total_triggers());
 }
 
 std::string UtilizationReport::render(const mach::Machine* machine) const {

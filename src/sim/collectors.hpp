@@ -17,6 +17,10 @@
 #include "mach/machine.hpp"
 #include "sim/observer.hpp"
 
+namespace ttsc::obs {
+class Registry;
+}
+
 namespace ttsc::sim {
 
 /// Aggregated execution profile of one or more simulation runs.
@@ -41,6 +45,11 @@ struct UtilizationReport {
   /// optional context: pass the machine the runs used, or nullptr for the
   /// generic layout (merged heterogeneous runs).
   std::string render(const mach::Machine* machine = nullptr) const;
+
+  /// Export scalar totals into a metrics registry under `prefix` (e.g.
+  /// "sim." -> "sim.moves", "sim.triggers", "sim.rf_reads", ...). Counts
+  /// are simulation events, hence deterministic; wall time never enters.
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
 };
 
 /// Observer that accumulates a UtilizationReport over a run. The simulators

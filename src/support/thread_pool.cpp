@@ -10,6 +10,9 @@ namespace {
 // Identity of the pool (if any) the current thread works for; the
 // nested-submit deadlock guard keys off this.
 thread_local const ThreadPool* tls_owner = nullptr;
+// Index of the current thread within its owning pool (-1 off-pool); see
+// ThreadPool::current_worker_id().
+thread_local int tls_worker_id = -1;
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
@@ -17,7 +20,7 @@ ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = 1;
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -32,6 +35,8 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() const { return tls_owner == this; }
 
+int ThreadPool::current_worker_id() { return tls_worker_id; }
+
 void ThreadPool::enqueue(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -41,8 +46,9 @@ void ThreadPool::enqueue(std::function<void()> job) {
   wake_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
   tls_owner = this;
+  tls_worker_id = index;
   for (;;) {
     std::function<void()> job;
     {

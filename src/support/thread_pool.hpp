@@ -40,6 +40,12 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
 
+  /// Index of the calling thread within its owning pool, or -1 when the
+  /// caller is not a pool worker. Observability uses this to label trace
+  /// shards ("worker-3") so a parallel sweep renders as a per-worker flame
+  /// view; indices are per-pool (two pools both have a worker 0).
+  static int current_worker_id();
+
   /// Queue `fn` for execution (FIFO). The future carries the result or the
   /// exception `fn` threw. Called from a worker of this pool, `fn` runs
   /// inline immediately (see the deadlock guard above).
@@ -58,7 +64,7 @@ class ThreadPool {
 
  private:
   void enqueue(std::function<void()> job);
-  void worker_loop();
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -15,6 +15,7 @@
 #include <set>
 
 #include "codegen/ddg.hpp"
+#include "obs/trace.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 #include "tta/tta.hpp"
@@ -186,7 +187,10 @@ class BlockScheduler {
             break;
           }
         }
-        if (extra < 0) continue;
+        if (extra < 0) {
+          ++stats_.fail_long_imm;
+          continue;
+        }
         bus_out = static_cast<int>(b);
         extra_out = extra;
         return true;
@@ -195,6 +199,7 @@ class BlockScheduler {
       extra_out = -1;
       return true;
     }
+    ++stats_.fail_no_bus;
     return false;
   }
 
@@ -230,12 +235,16 @@ class BlockScheduler {
   }
 
   bool rf_read_ok(std::int64_t c, int rf) {
-    return cycle_state(c).rf_reads[static_cast<std::size_t>(rf)] <
-           machine_.rfs[static_cast<std::size_t>(rf)].read_ports;
+    const bool ok = cycle_state(c).rf_reads[static_cast<std::size_t>(rf)] <
+                    machine_.rfs[static_cast<std::size_t>(rf)].read_ports;
+    if (!ok) ++stats_.fail_rf_read_port;
+    return ok;
   }
   bool rf_write_ok(std::int64_t c, int rf) {
-    return cycle_state(c).rf_writes[static_cast<std::size_t>(rf)] <
-           machine_.rfs[static_cast<std::size_t>(rf)].write_ports;
+    const bool ok = cycle_state(c).rf_writes[static_cast<std::size_t>(rf)] <
+                    machine_.rfs[static_cast<std::size_t>(rf)].write_ports;
+    if (!ok) ++stats_.fail_rf_write_port;
+    return ok;
   }
 
   // ---- FU state --------------------------------------------------------------
@@ -1014,6 +1023,7 @@ BlockScheduler::Result BlockScheduler::run() {
 TtaProgram schedule_tta(const codegen::MFunction& func, const Machine& machine,
                         const TtaOptions& options, TtaScheduleStats* stats) {
   TTSC_ASSERT(machine.model == mach::Model::Tta, "schedule_tta needs a TTA machine");
+  obs::Span span("tta.schedule", [&] { return obs::SpanArgs{{"machine", machine.name}}; });
   TtaScheduleStats local_stats;
   TtaScheduleStats& st = stats != nullptr ? *stats : local_stats;
 

@@ -105,6 +105,15 @@ struct TtaScheduleStats {
   std::uint64_t eliminated_result_moves = 0;
   std::uint64_t shared_operands = 0;
   std::uint64_t guarded_selects = 0;  // Select ops lowered to guarded moves
+
+  // Scheduling-failure reasons: why a move could not be placed at the cycle
+  // the scheduler probed (each count is one rejected placement attempt; the
+  // move was retried at a later cycle). High values mean the machine's
+  // transport/RF-port resources, not data dependences, bound the schedule.
+  std::uint64_t fail_no_bus = 0;            // no free matching bus this cycle
+  std::uint64_t fail_long_imm = 0;          // wide immediate lacked an extension bus
+  std::uint64_t fail_rf_read_port = 0;      // RF read ports exhausted this cycle
+  std::uint64_t fail_rf_write_port = 0;     // RF write ports exhausted this cycle
 };
 
 /// Schedule `func` onto the TTA `machine`.

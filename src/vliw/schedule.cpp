@@ -2,6 +2,7 @@
 #include <map>
 
 #include "codegen/ddg.hpp"
+#include "obs/trace.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 #include "vliw/vliw.hpp"
@@ -65,8 +66,8 @@ struct CycleResources {
 
 class BlockScheduler {
  public:
-  BlockScheduler(const Machine& m, const codegen::MBlock& block)
-      : machine_(m), block_(block), ddg_(block) {}
+  BlockScheduler(const Machine& m, const codegen::MBlock& block, ScheduleStats& stats)
+      : machine_(m), block_(block), ddg_(block), stats_(stats) {}
 
   /// Schedules every instruction; returns per-instruction cycles plus the
   /// block length in cycles.
@@ -111,7 +112,10 @@ class BlockScheduler {
       if (s.is_reg()) ++reads[static_cast<std::size_t>(s.reg.rf)];
     }
     for (std::size_t f = 0; f < machine_.rfs.size(); ++f) {
-      if (r.rf_reads[f] + reads[f] > machine_.rfs[f].read_ports) return std::nullopt;
+      if (r.rf_reads[f] + reads[f] > machine_.rfs[f].read_ports) {
+        ++stats_.fail_rf_read_port;
+        return std::nullopt;
+      }
     }
     // Write port at commit time.
     std::int64_t commit = -1;
@@ -120,6 +124,7 @@ class BlockScheduler {
       CycleResources& w = res(commit);
       if (w.rf_writes[static_cast<std::size_t>(in.dst.rf)] >=
           machine_.rfs[static_cast<std::size_t>(in.dst.rf)].write_ports) {
+        ++stats_.fail_rf_write_port;
         return std::nullopt;
       }
     }
@@ -136,7 +141,10 @@ class BlockScheduler {
         break;
       }
     }
-    if (chosen_slot < 0) return std::nullopt;
+    if (chosen_slot < 0) {
+      ++stats_.fail_no_slot;
+      return std::nullopt;
+    }
     // A wide immediate is spread over one additional (otherwise idle) slot.
     int imm_slot = -1;
     if (needs_wide_imm(in)) {
@@ -146,7 +154,10 @@ class BlockScheduler {
           break;
         }
       }
-      if (imm_slot < 0) return std::nullopt;
+      if (imm_slot < 0) {
+        ++stats_.fail_wide_imm;
+        return std::nullopt;
+      }
     }
 
     // Commit resources.
@@ -161,6 +172,7 @@ class BlockScheduler {
   const Machine& machine_;
   const codegen::MBlock& block_;
   BlockDdg ddg_;
+  ScheduleStats& stats_;
   std::map<std::int64_t, CycleResources> resources_;
 };
 
@@ -284,8 +296,12 @@ BlockScheduler::Result BlockScheduler::run() {
 
 }  // namespace
 
-VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine) {
+VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine,
+                          ScheduleStats* stats) {
   TTSC_ASSERT(machine.model == mach::Model::Vliw, "schedule_vliw needs a VLIW machine");
+  obs::Span span("vliw.schedule", [&] { return obs::SpanArgs{{"machine", machine.name}}; });
+  ScheduleStats local_stats;
+  ScheduleStats& st = stats != nullptr ? *stats : local_stats;
   VliwProgram prog;
   prog.num_slots = static_cast<int>(machine.vliw_slots.size());
   prog.block_entry.resize(func.blocks.size());
@@ -301,7 +317,7 @@ VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine
     }
     if (block.instrs.empty()) continue;
 
-    BlockScheduler sched(machine, block);
+    BlockScheduler sched(machine, block, st);
     const BlockScheduler::Result r = sched.run();
 
     const std::size_t base = prog.bundles.size();
@@ -317,6 +333,10 @@ VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine
       slot = SlotOp{block.instrs[i], r.fu[i]};
     }
   }
+  const ScheduleStats totals = stats_of(prog);
+  st.bundles = totals.bundles;
+  st.ops = totals.ops;
+  st.fill_rate = totals.fill_rate;
   return prog;
 }
 

@@ -47,11 +47,22 @@ struct ScheduleStats {
   std::uint64_t bundles = 0;
   std::uint64_t ops = 0;
   double fill_rate = 0.0;  // scheduled ops / (bundles * slots)
+
+  // Scheduling-failure reasons (filled by schedule_tta-style list
+  // scheduling, i.e. only when schedule_vliw collects stats): one count per
+  // placement attempt rejected at a probed cycle before the op moved to a
+  // later cycle.
+  std::uint64_t fail_rf_read_port = 0;   // RF read ports exhausted
+  std::uint64_t fail_rf_write_port = 0;  // RF write port exhausted at commit
+  std::uint64_t fail_no_slot = 0;        // no free issue slot with a capable FU
+  std::uint64_t fail_wide_imm = 0;       // wide immediate lacked a spare slot
 };
 
 /// Schedule `func` for the VLIW `machine`. Throws ttsc::Error when an
-/// instruction cannot be mapped (missing FU).
-VliwProgram schedule_vliw(const codegen::MFunction& func, const mach::Machine& machine);
+/// instruction cannot be mapped (missing FU). When given, `stats` receives
+/// the schedule statistics (bundle/op counts, fill rate, failure reasons).
+VliwProgram schedule_vliw(const codegen::MFunction& func, const mach::Machine& machine,
+                          ScheduleStats* stats = nullptr);
 
 ScheduleStats stats_of(const VliwProgram& program);
 

@@ -1,0 +1,121 @@
+// Stream hygiene and export contracts of the paper-artifact harnesses,
+// exercised end to end on the real table2_program_size binary (path baked
+// in by CMake as TTSC_TABLE2_BIN):
+//
+//  * stdout carries ONLY the rendered artifact — `table2 > table.txt` is
+//    pipe-clean no matter which diagnostic flags are set;
+//  * --stats/--metrics diagnostics land on stderr;
+//  * enabling observability (--metrics, --trace-out, --report-json) leaves
+//    the stdout bytes identical to a plain run;
+//  * --trace-out writes a parseable Chrome trace; --report-json writes a
+//    parseable versioned run report.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace ttsc {
+namespace {
+
+struct RunResult {
+  int status = -1;
+  std::string out;
+};
+
+/// Run `cmd` through the shell, capturing stdout; stderr goes to
+/// `stderr_path` (or /dev/null when empty).
+RunResult run(const std::string& cmd, const std::string& stderr_path = "") {
+  const std::string full =
+      cmd + " 2>" + (stderr_path.empty() ? std::string("/dev/null") : stderr_path);
+  RunResult r;
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) r.out.append(buf.data(), n);
+  r.status = pclose(pipe);
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string bin() { return TTSC_TABLE2_BIN; }
+std::string tmp(const std::string& name) {
+  return testing::TempDir() + "bench_output_" + name;
+}
+
+TEST(BenchOutput, StdoutIsPureArtifactUnderAllDiagnosticFlags) {
+  const RunResult plain = run(bin() + " --threads 2");
+  ASSERT_EQ(plain.status, 0);
+  ASSERT_FALSE(plain.out.empty());
+  EXPECT_NE(plain.out.find("TABLE II"), std::string::npos);
+
+  const std::string err_path = tmp("stderr.txt");
+  const RunResult noisy = run(bin() + " --threads 2 --stats --metrics --report-json=" +
+                                  tmp("report.json") + " --trace-out=" + tmp("trace.json"),
+                              err_path);
+  ASSERT_EQ(noisy.status, 0);
+  // The artifact bytes must be identical: diagnostics may not leak into
+  // stdout and observability may not perturb the tables.
+  EXPECT_EQ(plain.out, noisy.out);
+
+  // The diagnostics actually happened — on stderr.
+  const std::string err = slurp(err_path);
+  EXPECT_NE(err.find("-- stats: toolchain stage profile --"), std::string::npos) << err;
+  EXPECT_NE(err.find("-- metrics --"), std::string::npos) << err;
+}
+
+TEST(BenchOutput, SerialAndParallelStdoutMatch) {
+  const RunResult parallel = run(bin() + " --threads 8");
+  const RunResult serial = run(bin() + " --serial");
+  ASSERT_EQ(parallel.status, 0);
+  ASSERT_EQ(serial.status, 0);
+  EXPECT_EQ(parallel.out, serial.out);
+}
+
+TEST(BenchOutput, TraceOutIsValidChromeTraceJson) {
+  const std::string path = tmp("trace2.json");
+  ASSERT_EQ(run(bin() + " --threads 2 --trace-out=" + path).status, 0);
+  const obs::JsonValue doc = obs::parse_json(slurp(path));
+  const obs::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.items.empty());
+  // 104 grid cells must appear as "cell" spans with machine/workload args.
+  std::size_t cells = 0;
+  for (const obs::JsonValue& e : events.items) {
+    if (e.at("ph").as_string() == "X" && e.at("name").as_string() == "cell") {
+      ++cells;
+      EXPECT_TRUE(e.at("args").find("machine") != nullptr);
+      EXPECT_TRUE(e.at("args").find("workload") != nullptr);
+    }
+  }
+  EXPECT_EQ(cells, 104u);
+}
+
+TEST(BenchOutput, ReportJsonIsValidVersionedReport) {
+  const std::string path = tmp("report2.json");
+  ASSERT_EQ(run(bin() + " --threads 2 --report-json=" + path).status, 0);
+  const obs::JsonValue doc = obs::parse_json(slurp(path));
+  EXPECT_EQ(doc.at("schema").as_string(), "ttsc-run-report");
+  EXPECT_EQ(doc.at("version").as_uint(), 1u);
+  EXPECT_EQ(doc.at("machines").items.size(), 13u);
+  EXPECT_EQ(doc.at("metrics").at("counters").at("cells.run").as_uint(), 104u);
+}
+
+TEST(BenchOutput, UnknownFlagFailsWithUsage) {
+  const RunResult r = run(bin() + " --no-such-flag");
+  EXPECT_NE(r.status, 0);
+}
+
+}  // namespace
+}  // namespace ttsc
