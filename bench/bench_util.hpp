@@ -20,6 +20,11 @@
 //                      Perfetto; worker threads appear as named rows)
 //   --report-json=FILE write the machine-readable run report
 //                      ("ttsc-run-report" v1; see src/report/run_report.hpp)
+//   --keep-going       don't abort the sweep on the first failing cell:
+//                      record each failure (simulation timeout/trap,
+//                      reference divergence) per cell, render it as ERR in
+//                      the artifact, list the failures on stderr, and exit
+//                      non-zero
 //
 // Stream hygiene: the paper artifact (the table/figure text) is the ONLY
 // thing written to stdout, so `table4_cycles > table4.txt` stays clean; all
@@ -58,6 +63,7 @@ struct Options {
   bool trace = false;        // --trace
   std::string trace_out;     // --trace-out=FILE (empty: tracer stays off)
   std::string report_json;   // --report-json=FILE (empty: no report)
+  bool keep_going = false;   // --keep-going
 };
 
 /// Match `--name=VALUE` or `--name VALUE`; advances `i` for the latter.
@@ -91,6 +97,8 @@ inline Options parse_args(int argc, char** argv) {
       opts.metrics = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opts.trace = true;
+    } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+      opts.keep_going = true;
     } else if (flag_value(argc, argv, i, "--trace-out", value)) {
       opts.trace_out = value;
     } else if (flag_value(argc, argv, i, "--report-json", value)) {
@@ -100,8 +108,8 @@ inline Options parse_args(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--serial] [--stats] [--reference] "
-                   "[--utilization] [--metrics] [--trace] [--trace-out=FILE] "
-                   "[--report-json=FILE]\n",
+                   "[--utilization] [--metrics] [--trace] [--keep-going] "
+                   "[--trace-out=FILE] [--report-json=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -127,11 +135,14 @@ inline bool wants_metrics(const Options& opts) {
 /// compiler/scheduler counters into `registry`.
 inline report::Matrix run_matrix(const Options& opts, support::Timeline* timeline,
                                  obs::Registry* registry = nullptr) {
-  if (opts.serial) return report::Matrix::run(timeline, sim_options_of(opts), registry);
+  if (opts.serial) {
+    return report::Matrix::run(timeline, sim_options_of(opts), registry, opts.keep_going);
+  }
   report::ParallelRunner runner({.threads = opts.threads,
                                  .timeline = timeline,
                                  .sim = sim_options_of(opts),
-                                 .registry = registry});
+                                 .registry = registry,
+                                 .keep_going = opts.keep_going});
   return runner.run();
 }
 
@@ -199,6 +210,17 @@ int run_harness(int argc, char** argv, RenderFn&& render) {
   if (!opts.trace_out.empty()) {
     obs::Tracer::instance().stop();
     obs::Tracer::instance().write_file(opts.trace_out);
+  }
+  // Under --keep-going the artifact above shows failed cells as ERR; the
+  // summary goes to stderr (stdout purity) and the exit code flags them.
+  const std::vector<const report::RunOutcome*> failures = matrix.failures();
+  if (!failures.empty()) {
+    std::fprintf(stderr, "%zu cell(s) failed:\n", failures.size());
+    for (const report::RunOutcome* f : failures) {
+      std::fprintf(stderr, "  %s/%s: %s\n", f->machine.c_str(), f->workload.c_str(),
+                   f->error.c_str());
+    }
+    return 1;
   }
   return 0;
 }

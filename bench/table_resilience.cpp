@@ -1,0 +1,130 @@
+// SEU fault-injection campaign: the AVF-style resilience table.
+//
+// Unlike the table/figure harnesses this does not sweep the full evaluation
+// matrix — a campaign is thousands of simulations per cell, so the cell set
+// is a flag-selectable subset:
+//   --machines=a,b,c    machines to inject into (default: one per model
+//                       plus a guarded TTA)
+//   --workloads=x,y     workloads per machine (default: blowfish, sha)
+//   --injections N      single-bit faults per (machine, workload) cell
+//   --seed N            campaign seed (decimal or 0x hex); the whole report
+//                       is a pure function of (seed, cell set, injections)
+//   --threads N         worker threads (default: TTSC_THREADS env var, else
+//                       hardware concurrency)
+//   --serial            plain loop, no thread pool (determinism reference —
+//                       byte-identical output to any threaded run)
+//   --metrics           print the campaign's merged "resil.*" counters to
+//                       stderr
+//   --report-json=FILE  write the machine-readable campaign report
+//                       ("ttsc-resil-report" v1; diffable via report_diff)
+//
+// Stream hygiene matches the other harnesses: stdout carries only the
+// table; diagnostics go to stderr. Exits non-zero on any ERR cell or
+// injection infrastructure failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "resil/campaign.hpp"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--machines=a,b,c] [--workloads=x,y] [--injections N] "
+               "[--seed N] [--threads N] [--serial] [--metrics] "
+               "[--report-json=FILE]\n",
+               prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ttsc;
+  resil::CampaignOptions options;
+  if (const char* env = std::getenv("TTSC_THREADS")) options.threads = std::atoi(env);
+  bool metrics = false;
+  std::string report_json;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--serial") == 0) {
+      options.serial = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (bench::flag_value(argc, argv, i, "--machines", value)) {
+      options.machines = split_list(value);
+    } else if (bench::flag_value(argc, argv, i, "--workloads", value)) {
+      options.workloads = split_list(value);
+    } else if (bench::flag_value(argc, argv, i, "--injections", value)) {
+      options.injections_per_cell = std::atoi(value.c_str());
+    } else if (bench::flag_value(argc, argv, i, "--seed", value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (bench::flag_value(argc, argv, i, "--threads", value)) {
+      options.threads = std::atoi(value.c_str());
+    } else if (bench::flag_value(argc, argv, i, "--report-json", value)) {
+      report_json = value;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (options.machines.empty() || options.workloads.empty() ||
+      options.injections_per_cell <= 0) {
+    usage(argv[0]);
+  }
+
+  obs::Registry registry;
+  options.registry = metrics || !report_json.empty() ? &registry : nullptr;
+  resil::CampaignReport report;
+  try {
+    report = resil::run_campaign(options);
+  } catch (const std::exception& e) {
+    // Unknown machine/workload names and unwritable report paths are
+    // configuration errors, not campaign failures — same exit code as a
+    // malformed flag.
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+  std::fputs(resil::render_resilience(report).c_str(), stdout);
+  if (metrics) std::fputs(("\n" + registry.render()).c_str(), stderr);
+  if (!report_json.empty()) {
+    try {
+      resil::write_resil_report(report_json, report);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+  }
+
+  int exit_code = 0;
+  for (const resil::CellReport& c : report.cells) {
+    if (!c.ok) {
+      std::fprintf(stderr, "cell failed: %s/%s: %s\n", c.machine.c_str(),
+                   c.workload.c_str(), c.error.c_str());
+      exit_code = 1;
+    }
+  }
+  const std::uint64_t infra = report.infra_failures();
+  if (infra != 0) {
+    std::fprintf(stderr, "%llu injection(s) hit infrastructure failures\n",
+                 static_cast<unsigned long long>(infra));
+    exit_code = 1;
+  }
+  return exit_code;
+}

@@ -24,7 +24,7 @@ struct Global {
   std::string name;
   std::uint32_t size = 0;            // bytes
   std::uint32_t align = 4;           // power of two
-  std::vector<std::uint8_t> init;    // empty or exactly `size` bytes
+  std::vector<std::uint8_t> init{};  // empty or exactly `size` bytes
   bool read_only = false;
 };
 

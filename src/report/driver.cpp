@@ -29,10 +29,8 @@ ir::Memory make_loaded_memory(const ir::Module& module, std::size_t size) {
   return mem;
 }
 
-namespace {
-
-std::uint64_t output_checksum(const ir::Module& module, const Workload& workload,
-                              const ir::Memory& mem) {
+std::uint64_t workload_output_checksum(const ir::Module& module, const Workload& workload,
+                                       const ir::Memory& mem) {
   const ir::DataLayout layout = module.layout();
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (const std::string& name : workload.output_globals) {
@@ -42,6 +40,13 @@ std::uint64_t output_checksum(const ir::Module& module, const Workload& workload
     h *= 0x100000001b3ull;
   }
   return h;
+}
+
+namespace {
+
+std::uint64_t output_checksum(const ir::Module& module, const Workload& workload,
+                              const ir::Memory& mem) {
+  return workload_output_checksum(module, workload, mem);
 }
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -219,7 +224,14 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
       const scalar::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
       stage_span.reset();
-      if (r.timed_out()) throw Error("scalar simulation exceeded cycle limit");
+      switch (r.status) {
+        case sim::ExecStatus::Ok: break;
+        case sim::ExecStatus::TimedOut: throw Error("scalar simulation exceeded cycle limit");
+        case sim::ExecStatus::Trapped:
+          throw Error(format("scalar simulation trapped: %s (detail %u) at cycle %llu",
+                             sim::trap_reason_name(r.trap.reason), r.trap.detail,
+                             static_cast<unsigned long long>(r.trap.cycle)));
+      }
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = scalar::ScalarProgram::kInstrBits;
@@ -258,7 +270,14 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
       const vliw::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
       stage_span.reset();
-      if (r.timed_out()) throw Error("VLIW simulation exceeded cycle limit");
+      switch (r.status) {
+        case sim::ExecStatus::Ok: break;
+        case sim::ExecStatus::TimedOut: throw Error("VLIW simulation exceeded cycle limit");
+        case sim::ExecStatus::Trapped:
+          throw Error(format("VLIW simulation trapped: %s (unit %d, detail %u) at cycle %llu",
+                             sim::trap_reason_name(r.trap.reason), r.trap.unit, r.trap.detail,
+                             static_cast<unsigned long long>(r.trap.cycle)));
+      }
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = vliw::instruction_bits(machine);
@@ -301,7 +320,14 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
       const tta::ExecResult r = simulator.run();
       out.stage_seconds.simulate = seconds_since(t_sim);
       stage_span.reset();
-      if (r.timed_out()) throw Error("TTA simulation exceeded cycle limit");
+      switch (r.status) {
+        case sim::ExecStatus::Ok: break;
+        case sim::ExecStatus::TimedOut: throw Error("TTA simulation exceeded cycle limit");
+        case sim::ExecStatus::Trapped:
+          throw Error(format("TTA simulation trapped: %s (bus %d, detail %u) at cycle %llu",
+                             sim::trap_reason_name(r.trap.reason), r.trap.unit, r.trap.detail,
+                             static_cast<unsigned long long>(r.trap.cycle)));
+      }
       out.cycles = r.cycles;
       out.ret = r.ret;
       out.instruction_bits = tta::instruction_bits(machine);

@@ -26,9 +26,24 @@ class ModuleCache;
 /// Memory image with globals loaded, as every simulator expects it.
 ir::Memory make_loaded_memory(const ir::Module& module, std::size_t size = 1u << 20);
 
+/// FNV-1a digest over the workload's output globals in `mem` — the
+/// observable-output checksum every backend run is compared on (also used
+/// by the resilience layer to classify silent data corruption).
+std::uint64_t workload_output_checksum(const ir::Module& module,
+                                       const workloads::Workload& workload,
+                                       const ir::Memory& mem);
+
 struct RunOutcome {
   std::string machine;
   std::string workload;
+
+  /// Structured per-cell failure capture: false when the cell's pipeline or
+  /// simulation failed and a keep-going sweep recorded it instead of
+  /// aborting. Only machine/workload/error are meaningful then; renderers
+  /// show such cells as ERR.
+  bool ok = true;
+  std::string error;
+
   std::uint64_t cycles = 0;
   std::uint32_t ret = 0;
   std::uint64_t output_checksum = 0;

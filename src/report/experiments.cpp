@@ -26,7 +26,7 @@ std::string header_row(const std::vector<std::string>& workloads) {
 }  // namespace
 
 Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_options,
-                   obs::Registry* metrics) {
+                   obs::Registry* metrics, bool keep_going) {
   Matrix m;
   for (const workloads::Workload& w : workloads::all_workloads()) {
     m.workload_names_.push_back(w.name);
@@ -42,13 +42,39 @@ Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_optio
     r.area = fpga::estimate_area(machine);
     r.timing = fpga::estimate_timing(machine);
     for (const workloads::Workload& w : workloads::all_workloads()) {
-      r.by_workload[w.name] =
-          compile_and_run_prebuilt(cache.get(w, timeline, nullptr, metrics), w, machine, {},
-                                   timeline, sim_options, &cache, metrics);
+      if (keep_going) {
+        try {
+          r.by_workload[w.name] =
+              compile_and_run_prebuilt(cache.get(w, timeline, nullptr, metrics), w, machine, {},
+                                       timeline, sim_options, &cache, metrics);
+        } catch (const std::exception& e) {
+          RunOutcome failed;
+          failed.machine = machine.name;
+          failed.workload = w.name;
+          failed.ok = false;
+          failed.error = e.what();
+          r.by_workload[w.name] = std::move(failed);
+        }
+      } else {
+        r.by_workload[w.name] =
+            compile_and_run_prebuilt(cache.get(w, timeline, nullptr, metrics), w, machine, {},
+                                     timeline, sim_options, &cache, metrics);
+      }
     }
     m.machines_.push_back(std::move(r));
   }
   return m;
+}
+
+std::vector<const RunOutcome*> Matrix::failures() const {
+  std::vector<const RunOutcome*> out;
+  for (const MachineResults& r : machines_) {
+    for (const std::string& w : workload_names_) {
+      auto it = r.by_workload.find(w);
+      if (it != r.by_workload.end() && !it->second.ok) out.push_back(&it->second);
+    }
+  }
+  return out;
 }
 
 const MachineResults& Matrix::machine(const std::string& name) const {
@@ -79,17 +105,27 @@ std::string render_table2_program_size(const Matrix& m) {
     const MachineResults& baseline = m.machine(base);
     for (const std::string& name : names) {
       const MachineResults& r = m.machine(name);
-      const int width = r.by_workload.at(m.workload_names().front()).instruction_bits;
-      const int base_width = baseline.by_workload.at(m.workload_names().front()).instruction_bits;
-      std::string row = format("%-10s %3db (%.2fx)", name.c_str(), width,
-                               static_cast<double>(width) / base_width);
+      const RunOutcome& first = r.by_workload.at(m.workload_names().front());
+      const RunOutcome& base_first = baseline.by_workload.at(m.workload_names().front());
+      std::string row;
+      if (!first.ok || !base_first.ok) {
+        row = format("%-10s %12s", name.c_str(), "ERR");
+      } else {
+        row = format("%-10s %3db (%.2fx)", name.c_str(), first.instruction_bits,
+                     static_cast<double>(first.instruction_bits) / base_first.instruction_bits);
+      }
       for (const std::string& w : m.workload_names()) {
-        const double bits = static_cast<double>(r.by_workload.at(w).image_bits);
+        const RunOutcome& cell = r.by_workload.at(w);
+        const RunOutcome& base_cell = baseline.by_workload.at(w);
+        if (!cell.ok || (name != base && !base_cell.ok)) {
+          row += format(" %9s ", "ERR");
+          continue;
+        }
+        const double bits = static_cast<double>(cell.image_bits);
         if (name == base) {
           row += format(" %8.0fkb", bits / 1000.0);
         } else {
-          row += format(" %8.2fx ",
-                        bits / static_cast<double>(baseline.by_workload.at(w).image_bits));
+          row += format(" %8.2fx ", bits / static_cast<double>(base_cell.image_bits));
         }
       }
       out += row + "\n";
@@ -134,14 +170,20 @@ std::string render_table4_cycles(const Matrix& m) {
     out += format("%-10s", "machine");
     for (const std::string& w : m.workload_names()) out += format(" %9s", w.c_str());
     out += "\n";
+    const MachineResults& baseline = m.machine(base);
     for (const std::string& name : names) {
+      const MachineResults& r = m.machine(name);
       out += format("%-10s", name.c_str());
       for (const std::string& w : m.workload_names()) {
-        if (name == base) {
-          out += format(" %9llu", static_cast<unsigned long long>(m.cycles(name, w)));
+        const RunOutcome& cell = r.by_workload.at(w);
+        const RunOutcome& base_cell = baseline.by_workload.at(w);
+        if (!cell.ok || (name != base && !base_cell.ok)) {
+          out += format(" %9s", "ERR");
+        } else if (name == base) {
+          out += format(" %9llu", static_cast<unsigned long long>(cell.cycles));
         } else {
-          out += format(" %8.2fx", static_cast<double>(m.cycles(name, w)) /
-                                       static_cast<double>(m.cycles(base, w)));
+          out += format(" %8.2fx",
+                        static_cast<double>(cell.cycles) / static_cast<double>(base_cell.cycles));
         }
       }
       out += "\n";
@@ -166,10 +208,16 @@ std::string render_fig5_runtime(const Matrix& m) {
     out += format("%-10s", "machine");
     for (const std::string& w : m.workload_names()) out += format(" %9s", w.c_str());
     out += "\n";
+    const MachineResults& baseline = m.machine(base);
     for (const std::string& name : names) {
+      const MachineResults& r = m.machine(name);
       out += format("%-10s", name.c_str());
       for (const std::string& w : m.workload_names()) {
-        out += format(" %9.2f", m.runtime_us(name, w) / m.runtime_us(base, w));
+        if (!r.by_workload.at(w).ok || !baseline.by_workload.at(w).ok) {
+          out += format(" %9s", "ERR");
+        } else {
+          out += format(" %9.2f", m.runtime_us(name, w) / m.runtime_us(base, w));
+        }
       }
       out += "\n";
     }
@@ -186,20 +234,30 @@ std::string render_fig6_efficiency(const Matrix& m) {
   std::string out =
       "FIG. 6 equivalent: slice utilization vs overall execution time\n"
       "(geometric mean over the benchmark suite, normalized to m-tta-1).\n\n";
-  // Geomean runtime per machine.
+  // Geomean runtime per machine. Machines with any failed cell are left out
+  // of `geo` and render as ERR below (and are dropped from the scatter).
   std::map<std::string, double> geo;
   for (const MachineResults& r : m.machines()) {
     std::vector<double> times;
+    bool ok = true;
     for (const std::string& w : m.workload_names()) {
+      if (!r.by_workload.at(w).ok) {
+        ok = false;
+        break;
+      }
       times.push_back(m.runtime_us(r.machine.name, w));
     }
-    geo[r.machine.name] = geomean(times);
+    if (ok) geo[r.machine.name] = geomean(times);
   }
-  const double base = geo.at("m-tta-1");
+  const double base = geo.count("m-tta-1") != 0 ? geo.at("m-tta-1") : 1.0;
   out += format("%-10s %8s %12s\n", "machine", "slices", "rel.runtime");
   for (const MachineResults& r : m.machines()) {
-    out += format("%-10s %8d %12.3f\n", r.machine.name.c_str(), r.area.slices,
-                  geo.at(r.machine.name) / base);
+    if (geo.count(r.machine.name) == 0) {
+      out += format("%-10s %8d %12s\n", r.machine.name.c_str(), r.area.slices, "ERR");
+    } else {
+      out += format("%-10s %8d %12.3f\n", r.machine.name.c_str(), r.area.slices,
+                    geo.at(r.machine.name) / base);
+    }
   }
 
   // Coarse ASCII scatter so the "figure" reads as one.
@@ -209,13 +267,16 @@ std::string render_fig6_efficiency(const Matrix& m) {
   int max_slices = 1;
   double max_rt = 0.0;
   for (const MachineResults& r : m.machines()) {
+    if (geo.count(r.machine.name) == 0) continue;
     max_slices = std::max(max_slices, r.area.slices);
     max_rt = std::max(max_rt, geo.at(r.machine.name) / base);
   }
+  if (max_rt <= 0.0) max_rt = 1.0;
   std::vector<std::string> grid(kH, std::string(kW, ' '));
   char label = 'a';
   std::string legend;
   for (const MachineResults& r : m.machines()) {
+    if (geo.count(r.machine.name) == 0) continue;
     const int x = std::min(kW - 1, static_cast<int>(r.area.slices * (kW - 1.0) / max_slices));
     const int y = std::min(
         kH - 1, static_cast<int>(geo.at(r.machine.name) / base * (kH - 1.0) / max_rt));
@@ -306,6 +367,13 @@ std::string render_ablation_rf_partitioning(const Matrix& m) {
   out += format("%-10s %10s %8s %8s %10s\n", "machine", "geo.cycles", "rfLUT", "fmax",
                 "geo.runtime");
   for (const MachineResults& r : m.machines()) {
+    bool ok = true;
+    for (const std::string& w : m.workload_names()) ok = ok && r.by_workload.at(w).ok;
+    if (!ok) {
+      out += format("%-10s %10s %8d %8.0f %10s\n", r.machine.name.c_str(), "ERR", r.area.rf_lut,
+                    r.timing.fmax_mhz, "ERR");
+      continue;
+    }
     std::vector<double> cyc;
     std::vector<double> rt;
     for (const std::string& w : m.workload_names()) {

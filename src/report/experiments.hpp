@@ -36,11 +36,22 @@ class Matrix {
   /// merged registry is byte-identical to a ParallelRunner sweep's at any
   /// thread count (all merge operations commute and each build/cell
   /// contributes exactly once).
+  ///
+  /// `keep_going = false` (the default) rethrows the first cell failure,
+  /// the historical behavior. With `keep_going = true` a cell whose
+  /// pipeline or simulation fails (timeout, trap, divergence) is captured
+  /// as a RunOutcome with ok = false and the error message, the sweep
+  /// continues, and renderers show the cell as ERR.
   static Matrix run(support::Timeline* timeline = nullptr,
                     const sim::SimOptions& sim_options = {},
-                    obs::Registry* metrics = nullptr);
+                    obs::Registry* metrics = nullptr, bool keep_going = false);
 
   const MachineResults& machine(const std::string& name) const;
+
+  /// Failed cells (ok == false), machine-major in suite order. Empty for a
+  /// fully successful sweep; harnesses render these on stderr and exit
+  /// non-zero.
+  std::vector<const RunOutcome*> failures() const;
   const std::vector<MachineResults>& machines() const { return machines_; }
   const std::vector<std::string>& workload_names() const { return workload_names_; }
 

@@ -23,17 +23,33 @@ Matrix ParallelRunner::run_grid(const std::vector<mach::Machine>& machines,
   support::parallel_for(pool_, cells, [&](std::size_t i) {
     const mach::Machine& machine = machines[i / cols];
     const workloads::Workload& w = workloads[i % cols];
-    support::StageSeconds build_times;
-    const ir::Module& optimized =
-        cache_.get(w, options_.timeline, &build_times, options_.registry);
-    // Observers are per-run state; never share one across worker threads.
-    sim::SimOptions sim = options_.sim;
-    sim.observer = nullptr;
-    RunOutcome out = compile_and_run_prebuilt(optimized, w, machine, tta_options,
-                                              options_.timeline, sim, &cache_, options_.registry);
-    out.stage_seconds.frontend = build_times.frontend;
-    out.stage_seconds.opt = build_times.opt;
-    outcomes[i] = std::move(out);
+    auto run_cell = [&] {
+      support::StageSeconds build_times;
+      const ir::Module& optimized =
+          cache_.get(w, options_.timeline, &build_times, options_.registry);
+      // Observers are per-run state; never share one across worker threads.
+      sim::SimOptions sim = options_.sim;
+      sim.observer = nullptr;
+      RunOutcome out = compile_and_run_prebuilt(
+          optimized, w, machine, tta_options, options_.timeline, sim, &cache_, options_.registry);
+      out.stage_seconds.frontend = build_times.frontend;
+      out.stage_seconds.opt = build_times.opt;
+      outcomes[i] = std::move(out);
+    };
+    if (!options_.keep_going) {
+      run_cell();
+      return;
+    }
+    try {
+      run_cell();
+    } catch (const std::exception& e) {
+      RunOutcome failed;
+      failed.machine = machine.name;
+      failed.workload = w.name;
+      failed.ok = false;
+      failed.error = e.what();
+      outcomes[i] = std::move(failed);
+    }
   });
 
   // Deterministic reduction: machine-major, workloads in suite order.

@@ -39,6 +39,11 @@ class ParallelRunner {
     /// hot paths; the merged result is byte-identical to a serial
     /// Matrix::run(..., registry) sweep at any thread count.
     obs::Registry* registry = nullptr;
+    /// Capture a failed cell (timeout/trap/divergence) as a RunOutcome with
+    /// ok = false instead of rethrowing, exactly like
+    /// Matrix::run(..., keep_going = true); the rest of the grid still runs
+    /// and renderers show the cell as ERR.
+    bool keep_going = false;
   };
 
   ParallelRunner() : ParallelRunner(Options{}) {}

@@ -21,6 +21,15 @@ const char* model_name(mach::Model model) {
 
 void write_cell(obs::JsonWriter& w, const RunOutcome& out) {
   w.begin_object();
+  // Failed keep-going cells carry only the error; successful cells keep the
+  // historical layout byte-for-byte (no "ok"/"error" keys), so existing
+  // golden reports stay valid.
+  if (!out.ok) {
+    w.key("error");
+    w.value(out.error);
+    w.end_object();
+    return;
+  }
   w.key("cycles");
   w.value(out.cycles);
   w.key("instruction_count");

@@ -1,0 +1,479 @@
+#include "resil/campaign.hpp"
+
+#include <fstream>
+#include <optional>
+
+#include "codegen/legalize.hpp"
+#include "codegen/lower.hpp"
+#include "mach/configs.hpp"
+#include "obs/json.hpp"
+#include "opt/passes.hpp"
+#include "report/driver.hpp"
+#include "resil/inject.hpp"
+#include "scalar/scalar.hpp"
+#include "sim/predecode.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+#include "tta/tta.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::resil {
+
+namespace {
+
+const workloads::Workload& workload_by_name(const std::string& name) {
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw Error("resil: unknown workload " + name);
+}
+
+/// Fault-free reference outcome of one cell, cached once and diffed against
+/// every injection.
+struct Golden {
+  std::uint64_t cycles = 0;
+  std::uint32_t ret = 0;
+  std::uint64_t out_checksum = 0;
+  std::vector<std::uint32_t> rf;
+  std::vector<std::uint8_t> guards;  // TTA only
+};
+
+/// Everything one cell's injections share: the scheduled program, its
+/// predecoded form (reused by every state-fault run; instruction faults
+/// re-predecode their mutated program) and the golden outcome.
+struct PreparedCell {
+  mach::Machine machine;
+  const workloads::Workload* workload = nullptr;
+  ir::Module module;
+
+  std::optional<tta::TtaProgram> tta_prog;
+  std::optional<vliw::VliwProgram> vliw_prog;
+  std::optional<scalar::ScalarProgram> scalar_prog;
+  std::shared_ptr<const sim::PredecodedTta> tta_pre;
+  std::shared_ptr<const sim::PredecodedVliw> vliw_pre;
+  std::shared_ptr<const sim::PredecodedScalar> scalar_pre;
+
+  Golden golden;
+  std::optional<ir::Memory> golden_mem;
+  std::uint64_t imem_bits = 0;
+};
+
+PreparedCell prepare_cell(const std::string& machine_name, const workloads::Workload& w) {
+  PreparedCell cell;
+  cell.machine = mach::machine_by_name(machine_name);
+  cell.workload = &w;
+  // Same pipeline as report::compile_and_run_prebuilt, minus the report
+  // plumbing: the campaign needs the program form itself for instruction
+  // faults, which the driver does not expose.
+  cell.module = report::build_optimized(w);
+  ir::Function& entry = cell.module.function(workloads::entry_point());
+  if (cell.machine.model == mach::Model::Tta && cell.machine.has_guards()) {
+    opt::if_convert_selects(entry);
+  } else {
+    codegen::expand_selects(entry);
+  }
+  if (cell.machine.model == mach::Model::Scalar) {
+    codegen::legalize_scalar_operands(entry);
+  }
+  const codegen::LowerResult lowered =
+      codegen::lower(cell.module, workloads::entry_point(), cell.machine);
+
+  ir::Memory mem = report::make_loaded_memory(cell.module);
+  switch (cell.machine.model) {
+    case mach::Model::Scalar: {
+      cell.scalar_prog = scalar::emit_scalar(lowered.func);
+      cell.scalar_pre = std::make_shared<const sim::PredecodedScalar>(
+          sim::predecode(*cell.scalar_prog, cell.machine));
+      cell.imem_bits = imem_bits(*cell.scalar_prog);
+      scalar::ScalarSim sim(*cell.scalar_prog, cell.machine, mem);
+      sim.use_predecoded(cell.scalar_pre);
+      const scalar::ExecResult r = sim.run();
+      if (r.status != sim::ExecStatus::Ok) {
+        throw Error(format("golden run did not complete: %s", sim::exec_status_name(r.status)));
+      }
+      cell.golden = {r.cycles, r.ret, 0, r.rf_state, {}};
+      break;
+    }
+    case mach::Model::Vliw: {
+      cell.vliw_prog = vliw::schedule_vliw(lowered.func, cell.machine);
+      cell.vliw_pre = std::make_shared<const sim::PredecodedVliw>(
+          sim::predecode(*cell.vliw_prog, cell.machine));
+      cell.imem_bits = imem_bits(*cell.vliw_prog);
+      vliw::VliwSim sim(*cell.vliw_prog, cell.machine, mem);
+      sim.use_predecoded(cell.vliw_pre);
+      const vliw::ExecResult r = sim.run();
+      if (r.status != sim::ExecStatus::Ok) {
+        throw Error(format("golden run did not complete: %s", sim::exec_status_name(r.status)));
+      }
+      cell.golden = {r.cycles, r.ret, 0, r.rf_state, {}};
+      break;
+    }
+    case mach::Model::Tta: {
+      cell.tta_prog = tta::schedule_tta(lowered.func, cell.machine);
+      cell.tta_pre = std::make_shared<const sim::PredecodedTta>(
+          sim::predecode(*cell.tta_prog, cell.machine));
+      cell.imem_bits = imem_bits(*cell.tta_prog);
+      tta::TtaSim sim(*cell.tta_prog, cell.machine, mem);
+      sim.use_predecoded(cell.tta_pre);
+      const tta::ExecResult r = sim.run();
+      if (r.status != sim::ExecStatus::Ok) {
+        throw Error(format("golden run did not complete: %s", sim::exec_status_name(r.status)));
+      }
+      cell.golden = {r.cycles, r.ret, 0, r.rf_state, r.guard_state};
+      break;
+    }
+  }
+  cell.golden.out_checksum = report::workload_output_checksum(cell.module, w, mem);
+  cell.golden_mem.emplace(std::move(mem));
+  return cell;
+}
+
+template <typename Result>
+Outcome classify(const PreparedCell& cell, const Result& r, const ir::Memory& mem,
+                 bool& latent) {
+  switch (r.status) {
+    case sim::ExecStatus::Trapped: return Outcome::Trap;
+    case sim::ExecStatus::TimedOut: return Outcome::Timeout;
+    case sim::ExecStatus::Ok: break;
+  }
+  const std::uint64_t checksum =
+      report::workload_output_checksum(cell.module, *cell.workload, mem);
+  if (r.ret != cell.golden.ret || checksum != cell.golden.out_checksum) return Outcome::Sdc;
+  latent = r.rf_state != cell.golden.rf || !(mem == *cell.golden_mem);
+  if constexpr (requires { r.guard_state; }) {
+    latent = latent || r.guard_state != cell.golden.guards;
+  }
+  return Outcome::Masked;
+}
+
+Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, bool& latent) {
+  latent = false;
+  // A fault can at most double the dynamic path before it either halts,
+  // traps, or diverges into a hang; anything past 2x golden (+ slack for
+  // short programs) is classified as Timeout.
+  const std::uint64_t budget = cell.golden.cycles * 2 + 256;
+  ir::Memory mem = report::make_loaded_memory(cell.module);
+  sim::SimOptions opts;
+  opts.harden = true;
+  sim::FaultSet fs;
+  if (spec.target != TargetKind::Imem) {
+    fs.faults.push_back(spec.state);
+    opts.faults = &fs;
+  }
+  switch (cell.machine.model) {
+    case mach::Model::Scalar: {
+      if (spec.target == TargetKind::Imem) {
+        const scalar::ScalarProgram mutated = flip_bit(*cell.scalar_prog, spec.imem_bit);
+        scalar::ScalarSim sim(mutated, cell.machine, mem, opts);
+        return classify(cell, sim.run(budget), mem, latent);
+      }
+      scalar::ScalarSim sim(*cell.scalar_prog, cell.machine, mem, opts);
+      sim.use_predecoded(cell.scalar_pre);
+      return classify(cell, sim.run(budget), mem, latent);
+    }
+    case mach::Model::Vliw: {
+      if (spec.target == TargetKind::Imem) {
+        const vliw::VliwProgram mutated = flip_bit(*cell.vliw_prog, spec.imem_bit);
+        vliw::VliwSim sim(mutated, cell.machine, mem, opts);
+        return classify(cell, sim.run(budget), mem, latent);
+      }
+      vliw::VliwSim sim(*cell.vliw_prog, cell.machine, mem, opts);
+      sim.use_predecoded(cell.vliw_pre);
+      return classify(cell, sim.run(budget), mem, latent);
+    }
+    case mach::Model::Tta: {
+      if (spec.target == TargetKind::Imem) {
+        const tta::TtaProgram mutated = flip_bit(*cell.tta_prog, spec.imem_bit);
+        tta::TtaSim sim(mutated, cell.machine, mem, opts);
+        return classify(cell, sim.run(budget), mem, latent);
+      }
+      tta::TtaSim sim(*cell.tta_prog, cell.machine, mem, opts);
+      sim.use_predecoded(cell.tta_pre);
+      return classify(cell, sim.run(budget), mem, latent);
+    }
+  }
+  TTSC_UNREACHABLE("resil: unhandled machine model");
+}
+
+void export_cell_metrics(obs::Registry* registry, const CellReport& cr) {
+  if (registry == nullptr) return;
+  // One shard, one merge per cell (the obs::Registry concurrency contract).
+  obs::Registry shard;
+  for (int t = 0; t < kNumTargetKinds; ++t) {
+    const TargetTally& tt = cr.targets[static_cast<std::size_t>(t)];
+    if (tt.injections == 0) continue;
+    const char* tn = target_kind_name(static_cast<TargetKind>(t));
+    shard.add(format("resil.%s.injections", tn), tt.injections);
+    shard.add(format("resil.%s.masked", tn), tt.masked);
+    shard.add(format("resil.%s.sdc", tn), tt.sdc);
+    shard.add(format("resil.%s.timeout", tn), tt.timeout);
+    shard.add(format("resil.%s.trap", tn), tt.trap);
+    shard.add(format("resil.%s.err", tn), tt.err);
+    shard.add(format("resil.%s.latent", tn), tt.latent);
+  }
+  shard.add("resil.cells.run");
+  if (!cr.ok) shard.add("resil.cells.err");
+  registry->merge(shard);
+}
+
+}  // namespace
+
+void TargetTally::accumulate(const TargetTally& other) {
+  injections += other.injections;
+  masked += other.masked;
+  sdc += other.sdc;
+  timeout += other.timeout;
+  trap += other.trap;
+  err += other.err;
+  latent += other.latent;
+}
+
+TargetTally CellReport::total() const {
+  TargetTally t;
+  for (const TargetTally& tt : targets) t.accumulate(tt);
+  return t;
+}
+
+bool CampaignReport::all_ok() const {
+  for (const CellReport& c : cells) {
+    if (!c.ok || c.total().err != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t CampaignReport::infra_failures() const {
+  std::uint64_t n = 0;
+  for (const CellReport& c : cells) {
+    if (!c.ok) {
+      n += static_cast<std::uint64_t>(injections_per_cell);
+    } else {
+      n += c.total().err;
+    }
+  }
+  return n;
+}
+
+CampaignReport run_campaign(const CampaignOptions& options) {
+  if (options.injections_per_cell <= 0) {
+    throw Error("resil: injections_per_cell must be positive");
+  }
+  // Configuration errors (unknown names) throw up front; anything that
+  // fails later degrades to an ERR cell.
+  std::vector<const workloads::Workload*> cell_workloads;
+  for (const std::string& name : options.workloads) {
+    cell_workloads.push_back(&workload_by_name(name));
+  }
+  for (const std::string& name : options.machines) (void)mach::machine_by_name(name);
+
+  CampaignReport report;
+  report.seed = options.seed;
+  report.injections_per_cell = options.injections_per_cell;
+
+  std::optional<support::ThreadPool> pool;
+  if (!options.serial) pool.emplace(options.threads);
+
+  for (const std::string& machine_name : options.machines) {
+    for (const workloads::Workload* w : cell_workloads) {
+      CellReport cr;
+      cr.machine = machine_name;
+      cr.workload = w->name;
+      try {
+        const PreparedCell cell = prepare_cell(machine_name, *w);
+        cr.golden_cycles = cell.golden.cycles;
+        cr.imem_bits = cell.imem_bits;
+        const FaultPlan plan(cell.machine, cell.machine.model == mach::Model::Tta,
+                             cell.imem_bits, cell.golden.cycles);
+        const std::uint64_t cell_seed =
+            mix_seed(options.seed, hash_name(machine_name + "/" + w->name));
+
+        // Index-addressed result table: the reduction below reads it in
+        // order, so tallies are thread-count independent.
+        struct Slot {
+          TargetKind target = TargetKind::Rf;
+          Outcome outcome = Outcome::Err;
+          bool latent = false;
+        };
+        const std::size_t n = static_cast<std::size_t>(options.injections_per_cell);
+        std::vector<Slot> slots(n);
+        auto body = [&](std::size_t i) {
+          const FaultSpec spec = plan.sample(mix_seed(cell_seed, i));
+          Slot s;
+          s.target = spec.target;
+          for (int attempt = 0; attempt < 2; ++attempt) {
+            try {
+              s.outcome = run_injection(cell, spec, s.latent);
+              break;
+            } catch (const std::exception&) {
+              // Infrastructure failure: retry once, then record Err. The
+              // fault model itself never throws — simulators fail closed.
+              s.outcome = Outcome::Err;
+            }
+          }
+          slots[i] = s;
+        };
+        if (options.serial) {
+          for (std::size_t i = 0; i < n; ++i) body(i);
+        } else {
+          support::parallel_for(*pool, n, body);
+        }
+
+        for (const Slot& s : slots) {
+          TargetTally& tt = cr.targets[static_cast<std::size_t>(s.target)];
+          ++tt.injections;
+          switch (s.outcome) {
+            case Outcome::Masked:
+              ++tt.masked;
+              if (s.latent) ++tt.latent;
+              break;
+            case Outcome::Sdc: ++tt.sdc; break;
+            case Outcome::Timeout: ++tt.timeout; break;
+            case Outcome::Trap: ++tt.trap; break;
+            case Outcome::Err: ++tt.err; break;
+          }
+        }
+      } catch (const std::exception& e) {
+        cr.ok = false;
+        cr.error = e.what();
+      }
+      export_cell_metrics(options.registry, cr);
+      report.cells.push_back(std::move(cr));
+    }
+  }
+  return report;
+}
+
+std::string render_resilience(const CampaignReport& report) {
+  std::string out = format(
+      "SEU resilience (AVF-style): %d single-bit injections per cell, seed 0x%llx.\n"
+      "Targets: rf = register-file bits, fu-result = TTA result/bypass registers,\n"
+      "guard = predicate registers, imem = instruction encodings (through the\n"
+      "decoder). vuln%% = (sdc + timeout + trap) / injections.\n\n",
+      report.injections_per_cell, static_cast<unsigned long long>(report.seed));
+  out += format("%-10s %-9s %-10s %8s %8s %8s %8s %8s %8s %7s\n", "machine", "workload",
+                "target", "inj", "masked", "sdc", "timeout", "trap", "err", "vuln%");
+  auto row = [&](const CellReport& c, const char* name, const TargetTally& t, bool lead) {
+    const double vuln =
+        t.injections == 0 ? 0.0
+                          : 100.0 * static_cast<double>(t.vulnerable()) /
+                                static_cast<double>(t.injections);
+    out += format("%-10s %-9s %-10s %8llu %8llu %8llu %8llu %8llu %8llu %7.1f\n",
+                  lead ? c.machine.c_str() : "", lead ? c.workload.c_str() : "", name,
+                  static_cast<unsigned long long>(t.injections),
+                  static_cast<unsigned long long>(t.masked),
+                  static_cast<unsigned long long>(t.sdc),
+                  static_cast<unsigned long long>(t.timeout),
+                  static_cast<unsigned long long>(t.trap),
+                  static_cast<unsigned long long>(t.err), vuln);
+  };
+  for (const CellReport& c : report.cells) {
+    if (!c.ok) {
+      out += format("%-10s %-9s ERR: %s\n", c.machine.c_str(), c.workload.c_str(),
+                    c.error.c_str());
+      continue;
+    }
+    bool lead = true;
+    for (int t = 0; t < kNumTargetKinds; ++t) {
+      const TargetTally& tt = c.targets[static_cast<std::size_t>(t)];
+      if (tt.injections == 0) continue;
+      row(c, target_kind_name(static_cast<TargetKind>(t)), tt, lead);
+      lead = false;
+    }
+    row(c, "total", c.total(), false);
+  }
+  return out;
+}
+
+namespace {
+
+void write_tally(obs::JsonWriter& w, const TargetTally& t) {
+  w.begin_object();
+  w.key("injections");
+  w.value(t.injections);
+  w.key("masked");
+  w.value(t.masked);
+  w.key("sdc");
+  w.value(t.sdc);
+  w.key("timeout");
+  w.value(t.timeout);
+  w.key("trap");
+  w.value(t.trap);
+  w.key("err");
+  w.value(t.err);
+  w.key("latent");
+  w.value(t.latent);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string render_resil_report_json(const CampaignReport& report) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("ttsc-resil-report");
+  w.key("version");
+  w.value(std::uint64_t{1});
+  w.key("seed");
+  w.value(report.seed);
+  w.key("injections_per_cell");
+  w.value(report.injections_per_cell);
+  // "machines" keyed by "name", like the run report, so report_diff
+  // compares campaigns machine-by-machine, order-insensitively.
+  w.key("machines");
+  w.begin_array();
+  std::vector<std::string> machine_order;
+  for (const CellReport& c : report.cells) {
+    bool seen = false;
+    for (const std::string& m : machine_order) seen = seen || m == c.machine;
+    if (!seen) machine_order.push_back(c.machine);
+  }
+  for (const std::string& machine : machine_order) {
+    w.begin_object();
+    w.key("name");
+    w.value(machine);
+    w.key("cells");
+    w.begin_object();
+    for (const CellReport& c : report.cells) {
+      if (c.machine != machine) continue;
+      w.key(c.workload);
+      w.begin_object();
+      if (!c.ok) {
+        w.key("error");
+        w.value(c.error);
+        w.end_object();
+        continue;
+      }
+      w.key("golden_cycles");
+      w.value(c.golden_cycles);
+      w.key("imem_bits");
+      w.value(c.imem_bits);
+      w.key("targets");
+      w.begin_object();
+      for (int t = 0; t < kNumTargetKinds; ++t) {
+        const TargetTally& tt = c.targets[static_cast<std::size_t>(t)];
+        if (tt.injections == 0) continue;
+        w.key(target_kind_name(static_cast<TargetKind>(t)));
+        write_tally(w, tt);
+      }
+      w.end_object();
+      w.key("total");
+      write_tally(w, c.total());
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take() + "\n";
+}
+
+void write_resil_report(const std::string& path, const CampaignReport& report) {
+  const std::string text = render_resil_report_json(report);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << text) || (out.close(), !out)) {
+    throw Error("cannot write resilience report: " + path);
+  }
+}
+
+}  // namespace ttsc::resil

@@ -1,0 +1,122 @@
+// SEU fault-injection campaigns with an AVF-style resilience report.
+//
+// A campaign runs, for every (machine, workload) cell, thousands of
+// independent single-fault simulations against the hardened (fail-closed)
+// simulators and classifies each injection by diffing against the cell's
+// cached fault-free golden run:
+//
+//  * Masked  — the run returned with the golden return value and output
+//              checksum (a `latent` sub-count records runs whose final
+//              RF/memory image still differed — corrupt state that never
+//              reached an output);
+//  * SDC     — silent data corruption: the run returned but the return
+//              value or output checksum differs;
+//  * Timeout — the run exceeded 2x the golden cycle count (+ slack);
+//  * Trap    — the simulator failed closed (ExecStatus::Trapped);
+//  * Err     — injection infrastructure failure after one retry (never the
+//              workload's fault — a campaign with errors exits non-zero).
+//
+// Determinism contract: every injection's fault is a pure function of
+// (campaign seed, machine name, workload name, injection index) via
+// resil::mix_seed, injections run into an index-addressed result table, and
+// cells are reduced in option order — so the report (table text and JSON)
+// is byte-identical for any thread count, including fully serial.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "resil/fault_plan.hpp"
+
+namespace ttsc::resil {
+
+enum class Outcome : std::uint8_t { Masked, Sdc, Timeout, Trap, Err };
+constexpr int kNumOutcomes = 5;
+
+constexpr const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Masked: return "masked";
+    case Outcome::Sdc: return "sdc";
+    case Outcome::Timeout: return "timeout";
+    case Outcome::Trap: return "trap";
+    case Outcome::Err: return "err";
+  }
+  return "?";
+}
+
+struct TargetTally {
+  std::uint64_t injections = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t trap = 0;
+  std::uint64_t err = 0;
+  /// Masked runs whose final RF/memory image differed from golden.
+  std::uint64_t latent = 0;
+
+  /// Architectural vulnerability: the fraction of injections with any
+  /// externally visible effect (SDC, hang, trap).
+  std::uint64_t vulnerable() const { return sdc + timeout + trap; }
+  void accumulate(const TargetTally& other);
+};
+
+struct CellReport {
+  std::string machine;
+  std::string workload;
+  /// False when the cell itself could not be prepared or its golden run
+  /// failed; `error` holds the message, the tallies are empty, and the
+  /// campaign renders the cell as ERR (and exits non-zero).
+  bool ok = true;
+  std::string error;
+  std::uint64_t golden_cycles = 0;
+  std::uint64_t imem_bits = 0;
+  /// Per fault-target tallies, indexed by TargetKind.
+  std::array<TargetTally, kNumTargetKinds> targets{};
+
+  TargetTally total() const;
+};
+
+struct CampaignOptions {
+  std::uint64_t seed = 0x7715c5eedull;
+  int injections_per_cell = 1000;
+  int threads = 0;      // <= 0: hardware concurrency
+  bool serial = false;  // plain loop, no thread pool (determinism reference)
+  std::vector<std::string> machines = {"mblaze-3", "m-vliw-2", "m-tta-2", "g-tta-2"};
+  std::vector<std::string> workloads = {"blowfish", "sha"};
+  /// Optional metrics sink: "resil.<target>.<outcome>" counters plus
+  /// "resil.cells.run"/"resil.cells.err", merged once per cell.
+  obs::Registry* registry = nullptr;
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  int injections_per_cell = 0;
+  std::vector<CellReport> cells;  // machine-major, in option order
+
+  bool all_ok() const;
+  /// Total infrastructure failures: failed cells count all their
+  /// injections, plus per-injection Err outcomes in healthy cells.
+  std::uint64_t infra_failures() const;
+};
+
+/// Run the campaign. Cells execute sequentially; each cell's injections fan
+/// out over a support::ThreadPool (unless options.serial). Throws
+/// ttsc::Error only for configuration mistakes (unknown machine/workload
+/// name, non-positive injection count) — cell failures degrade to ERR
+/// entries instead.
+CampaignReport run_campaign(const CampaignOptions& options);
+
+/// AVF-style text table (the paper-artifact stdout of table_resilience).
+std::string render_resilience(const CampaignReport& report);
+
+/// Machine-readable report, schema "ttsc-resil-report" v1. The top-level
+/// "machines" array is keyed by each element's "name", so
+/// report::diff_reports / bench report_diff compare campaigns
+/// order-insensitively.
+std::string render_resil_report_json(const CampaignReport& report);
+void write_resil_report(const std::string& path, const CampaignReport& report);
+
+}  // namespace ttsc::resil

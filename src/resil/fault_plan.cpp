@@ -1,0 +1,77 @@
+#include "resil/fault_plan.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace ttsc::resil {
+
+FaultPlan::FaultPlan(const mach::Machine& machine, bool tta_state, std::uint64_t imem_bits,
+                     std::uint64_t golden_cycles)
+    : machine_(&machine), imem_bits_(imem_bits), golden_cycles_(golden_cycles) {
+  for (const mach::RegisterFile& rf : machine.rfs) {
+    rf_bits_ += static_cast<std::uint64_t>(rf.size) * 32;
+  }
+  if (tta_state) fu_result_bits_ = machine.fus.size() * 32;
+  guard_bits_ = static_cast<std::uint64_t>(machine.guard_regs);
+  TTSC_ASSERT(total_bits() > 0, "fault plan over a machine with no sampled state");
+}
+
+FaultSpec FaultPlan::sample(std::uint64_t seed) const {
+  SplitMix64 rng(seed);
+  // One categorical draw over every sampled bit; the draw order below (site
+  // first, then the state-fault cycle) is part of the plan's frozen output
+  // contract — reordering would change every campaign's fault set.
+  TTSC_ASSERT(total_bits() <= UINT32_MAX, "fault site space exceeds 32-bit sampling");
+  std::uint64_t site = rng.next_below_unbiased(static_cast<std::uint32_t>(total_bits()));
+
+  FaultSpec spec;
+  if (site < rf_bits_) {
+    spec.target = TargetKind::Rf;
+    spec.state.kind = sim::FaultKind::RfBit;
+    for (std::size_t rf = 0; rf < machine_->rfs.size(); ++rf) {
+      const std::uint64_t bits = static_cast<std::uint64_t>(machine_->rfs[rf].size) * 32;
+      if (site < bits) {
+        spec.state.unit = static_cast<std::int16_t>(rf);
+        spec.state.index = static_cast<std::int16_t>(site / 32);
+        spec.state.bit = static_cast<std::uint8_t>(site % 32);
+        break;
+      }
+      site -= bits;
+    }
+  } else if (site < rf_bits_ + fu_result_bits_) {
+    site -= rf_bits_;
+    spec.target = TargetKind::FuResult;
+    spec.state.kind = sim::FaultKind::FuResultBit;
+    spec.state.unit = static_cast<std::int16_t>(site / 32);
+    spec.state.bit = static_cast<std::uint8_t>(site % 32);
+  } else if (site < rf_bits_ + fu_result_bits_ + guard_bits_) {
+    site -= rf_bits_ + fu_result_bits_;
+    spec.target = TargetKind::Guard;
+    spec.state.kind = sim::FaultKind::GuardBit;
+    spec.state.unit = static_cast<std::int16_t>(site);
+  } else {
+    spec.target = TargetKind::Imem;
+    spec.imem_bit = site - (rf_bits_ + fu_result_bits_ + guard_bits_);
+    return spec;  // instruction faults are present from cycle 0 — no draw
+  }
+  // State faults strike a uniformly random cycle of the fault-free run.
+  const std::uint64_t range = golden_cycles_ > 0 ? golden_cycles_ : 1;
+  TTSC_ASSERT(range <= UINT32_MAX, "golden run too long for 32-bit cycle sampling");
+  spec.state.cycle = rng.next_below_unbiased(static_cast<std::uint32_t>(range));
+  return spec;
+}
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  return SplitMix64(a ^ (b + 0x9e3779b97f4a7c15ull)).next();
+}
+
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace ttsc::resil

@@ -1,0 +1,92 @@
+// Deterministic SEU fault planning for resilience campaigns.
+//
+// A FaultPlan maps one per-injection seed to one single-bit fault over the
+// machine's architecturally visible soft state, weighted by how many bits
+// each storage class actually holds (the AVF convention: a uniformly random
+// bit of a uniformly random cycle):
+//
+//  * Rf       — register-file bits (every RF, every register, 32 bits);
+//  * FuResult — TTA in-flight/bypass result-register bits (the datapath
+//               state the transport-triggered model exposes; TTA only);
+//  * Guard    — guard (predicate) registers, one bit each;
+//  * Imem     — instruction-memory bits, enumerated over the scheduled
+//               program's encoding fields (src/resil/inject.hpp) and applied
+//               through the validating decoder, so a corrupted encoding
+//               becomes a concrete wrong-but-valid or trapping instruction.
+//
+// Sampling uses SplitMix64::next_below_unbiased throughout: modulo bias
+// towards low bit/cycle indices would systematically skew campaign
+// statistics. Every draw is a pure function of the injection seed, so a
+// plan is bit-exact across threads and platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "mach/machine.hpp"
+#include "sim/fault.hpp"
+
+namespace ttsc::resil {
+
+enum class TargetKind : std::uint8_t { Rf, FuResult, Guard, Imem };
+constexpr int kNumTargetKinds = 4;
+
+constexpr const char* target_kind_name(TargetKind k) {
+  switch (k) {
+    case TargetKind::Rf: return "rf";
+    case TargetKind::FuResult: return "fu-result";
+    case TargetKind::Guard: return "guard";
+    case TargetKind::Imem: return "imem";
+  }
+  return "?";
+}
+
+/// One planned injection: a state fault (Rf/FuResult/Guard, carried as the
+/// sim::StateFault the simulators consume) or an instruction-memory bit
+/// index (Imem, applied to the program form before the run).
+struct FaultSpec {
+  TargetKind target = TargetKind::Rf;
+  sim::StateFault state{};
+  std::uint64_t imem_bit = 0;
+};
+
+class FaultPlan {
+ public:
+  /// `imem_bits` comes from resil::imem_bits(program); `golden_cycles` is
+  /// the fault-free run length — state-fault cycles are drawn uniformly
+  /// from [0, golden_cycles), instruction faults are present from cycle 0.
+  /// FuResult bits are only weighted in for TTA machines (`tta_state`).
+  FaultPlan(const mach::Machine& machine, bool tta_state, std::uint64_t imem_bits,
+            std::uint64_t golden_cycles);
+
+  /// Total sampled bits per class (weights of the categorical draw).
+  std::uint64_t rf_bits() const { return rf_bits_; }
+  std::uint64_t fu_result_bits() const { return fu_result_bits_; }
+  std::uint64_t guard_bits() const { return guard_bits_; }
+  std::uint64_t imem_bits() const { return imem_bits_; }
+  std::uint64_t total_bits() const {
+    return rf_bits_ + fu_result_bits_ + guard_bits_ + imem_bits_;
+  }
+
+  /// The fault for one injection. Pure in `seed`: the same seed yields the
+  /// same fault on any thread, platform or call order.
+  FaultSpec sample(std::uint64_t seed) const;
+
+ private:
+  const mach::Machine* machine_;
+  std::uint64_t rf_bits_ = 0;
+  std::uint64_t fu_result_bits_ = 0;
+  std::uint64_t guard_bits_ = 0;
+  std::uint64_t imem_bits_ = 0;
+  std::uint64_t golden_cycles_ = 0;
+};
+
+/// Deterministic seed combinator (SplitMix64 scramble of a ^ golden(b)):
+/// campaigns derive per-injection seeds as
+/// mix(mix(campaign_seed, cell_hash), injection_index).
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
+
+/// FNV-1a of a string, for hashing (machine, workload) cell names into the
+/// seed chain.
+std::uint64_t hash_name(const std::string& name);
+
+}  // namespace ttsc::resil

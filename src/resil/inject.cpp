@@ -1,0 +1,144 @@
+#include "resil/inject.hpp"
+
+#include "support/assert.hpp"
+
+namespace ttsc::resil {
+
+namespace {
+
+// Field widths of the modelled instruction encoding (see inject.hpp).
+constexpr int kImmBits = 32;
+constexpr int kFuBits = 8;
+constexpr int kRfBits = 4;
+constexpr int kRegBits = 8;
+constexpr int kOpcodeBits = 8;
+constexpr int kTargetBits = 16;
+constexpr int kGuardBits = 4;
+
+/// One walker serves both counting (target out of range: nothing flips,
+/// `pos` accumulates the bit total) and flipping (the field containing
+/// `target` gets one bit XORed). Using the same traversal for both keeps
+/// the bit numbering and the mutation in lockstep by construction.
+struct BitCursor {
+  std::uint64_t target;
+  std::uint64_t pos = 0;
+  bool flipped = false;
+
+  explicit BitCursor(std::uint64_t t = UINT64_MAX) : target(t) {}
+
+  template <typename T>
+  void field(T& v, int width) {
+    if (!flipped && target >= pos && target < pos + static_cast<std::uint64_t>(width)) {
+      v = static_cast<T>(static_cast<std::uint64_t>(v) ^ (1ull << (target - pos)));
+      flipped = true;
+    }
+    pos += static_cast<std::uint64_t>(width);
+  }
+};
+
+void walk_move(tta::Move& mv, BitCursor& cur) {
+  // Guard specifier, encoded as guard+1 (0 = unconditional) so a flip of an
+  // unconditional move can *gain* a guard and vice versa, and the decoded
+  // index can never go below -1.
+  int guard_enc = mv.guard + 1;
+  cur.field(guard_enc, kGuardBits);
+  mv.guard = guard_enc - 1;
+
+  switch (mv.src.kind) {
+    case tta::MoveSrc::Kind::Imm: cur.field(mv.src.imm, kImmBits); break;
+    case tta::MoveSrc::Kind::FuResult: cur.field(mv.src.unit, kFuBits); break;
+    case tta::MoveSrc::Kind::RfRead:
+      cur.field(mv.src.unit, kRfBits);
+      cur.field(mv.src.reg_index, kRegBits);
+      break;
+  }
+
+  switch (mv.dst.kind) {
+    case tta::MoveDst::Kind::FuOperand: cur.field(mv.dst.unit, kFuBits); break;
+    case tta::MoveDst::Kind::FuTrigger: {
+      cur.field(mv.dst.unit, kFuBits);
+      int op = static_cast<int>(mv.dst.opcode);
+      cur.field(op, kOpcodeBits);
+      mv.dst.opcode = static_cast<ir::Opcode>(op);
+      if (mv.is_control) cur.field(mv.target, kTargetBits);
+      break;
+    }
+    case tta::MoveDst::Kind::RfWrite:
+      cur.field(mv.dst.unit, kRfBits);
+      cur.field(mv.dst.reg_index, kRegBits);
+      break;
+    case tta::MoveDst::Kind::GuardWrite: cur.field(mv.dst.unit, kGuardBits); break;
+  }
+}
+
+void walk_minstr(codegen::MInstr& in, BitCursor& cur) {
+  int op = static_cast<int>(in.op);
+  cur.field(op, kOpcodeBits);
+  in.op = static_cast<ir::Opcode>(op);
+  if (in.dst.valid()) {
+    cur.field(in.dst.rf, kRfBits);
+    cur.field(in.dst.index, kRegBits);
+  }
+  for (codegen::MOperand& s : in.srcs) {
+    if (s.is_reg()) {
+      cur.field(s.reg.rf, kRfBits);
+      cur.field(s.reg.index, kRegBits);
+    } else {
+      cur.field(s.imm, kImmBits);
+    }
+  }
+  for (std::uint32_t& t : in.targets) cur.field(t, kTargetBits);
+}
+
+void walk_program(tta::TtaProgram& p, BitCursor& cur) {
+  for (tta::TtaInstruction& in : p.instrs) {
+    for (tta::Move& mv : in.moves) walk_move(mv, cur);
+  }
+}
+
+void walk_program(vliw::VliwProgram& p, BitCursor& cur) {
+  for (vliw::Bundle& b : p.bundles) {
+    for (auto& slot : b.slots) {
+      if (slot.has_value()) walk_minstr(slot->instr, cur);
+    }
+  }
+}
+
+void walk_program(scalar::ScalarProgram& p, BitCursor& cur) {
+  for (codegen::MInstr& in : p.instrs) walk_minstr(in, cur);
+}
+
+template <typename Program>
+std::uint64_t count_bits(const Program& program) {
+  Program copy = program;  // the counting walk never mutates, but keep const-correct
+  BitCursor cur;
+  walk_program(copy, cur);
+  return cur.pos;
+}
+
+template <typename Program>
+Program flip(const Program& program, std::uint64_t bit) {
+  Program copy = program;
+  BitCursor cur(bit);
+  walk_program(copy, cur);
+  TTSC_ASSERT(cur.flipped, "imem fault bit index out of range");
+  return copy;
+}
+
+}  // namespace
+
+std::uint64_t imem_bits(const tta::TtaProgram& program) { return count_bits(program); }
+std::uint64_t imem_bits(const vliw::VliwProgram& program) { return count_bits(program); }
+std::uint64_t imem_bits(const scalar::ScalarProgram& program) { return count_bits(program); }
+
+tta::TtaProgram flip_bit(const tta::TtaProgram& program, std::uint64_t bit) {
+  return flip(program, bit);
+}
+vliw::VliwProgram flip_bit(const vliw::VliwProgram& program, std::uint64_t bit) {
+  return flip(program, bit);
+}
+scalar::ScalarProgram flip_bit(const scalar::ScalarProgram& program, std::uint64_t bit) {
+  return flip(program, bit);
+}
+
+}  // namespace ttsc::resil

@@ -1,0 +1,41 @@
+// Instruction-memory fault injection: single-bit flips of the scheduled
+// program's encoding fields, applied "through the decoder".
+//
+// Rather than flipping bits of an opaque binary image and re-decoding it
+// (which would need a full binary round trip per backend), the injector
+// enumerates the encoding-bearing fields of the program form itself and
+// flips one bit of one field. Field widths mirror what an automatically
+// generated encoding spends on each of them — immediates 32 bits, register
+// indices 8, RF selectors 4, FU selectors and opcodes 8, branch targets 16,
+// TTA guard specifiers 4 (encoded as guard+1 so "unconditional" is a
+// flippable code point) — so every flip lands on a bit a real instruction
+// memory would hold. Derived metadata that a decoder would recompute (move
+// kinds, bus assignments, is_control, long-immediate layout) is not
+// flippable.
+//
+// The mutated program then goes through the normal (validating) predecoder
+// / reference executor: a corrupted encoding becomes either a concrete
+// wrong-but-valid instruction or a structured trap — never UB.
+//
+// Bit indices are stable for a given program: `imem_bits` counts the
+// flippable bits and `flip_bit(program, k)` for k in [0, imem_bits) flips
+// the k-th one, deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "scalar/scalar.hpp"
+#include "tta/tta.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::resil {
+
+std::uint64_t imem_bits(const tta::TtaProgram& program);
+std::uint64_t imem_bits(const vliw::VliwProgram& program);
+std::uint64_t imem_bits(const scalar::ScalarProgram& program);
+
+tta::TtaProgram flip_bit(const tta::TtaProgram& program, std::uint64_t bit);
+vliw::VliwProgram flip_bit(const vliw::VliwProgram& program, std::uint64_t bit);
+scalar::ScalarProgram flip_bit(const scalar::ScalarProgram& program, std::uint64_t bit);
+
+}  // namespace ttsc::resil

@@ -1,6 +1,8 @@
 #include "scalar/scalar.hpp"
 
 #include "obs/trace.hpp"
+#include "sim/fault.hpp"
+#include "sim/harden.hpp"
 #include "sim/predecode.hpp"
 #include "support/bits.hpp"
 
@@ -95,10 +97,14 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
     predecoded_ =
         std::make_shared<const sim::PredecodedScalar>(sim::predecode(program_, machine_));
   }
-  return options_.observer != nullptr ? run_fast<true>(max_cycles) : run_fast<false>(max_cycles);
+  const bool harden = options_.harden || options_.faults != nullptr;
+  if (options_.observer != nullptr) {
+    return harden ? run_fast<true, true>(max_cycles) : run_fast<true, false>(max_cycles);
+  }
+  return harden ? run_fast<false, true>(max_cycles) : run_fast<false, false>(max_cycles);
 }
 
-template <bool kObserve>
+template <bool kObserve, bool kHarden>
 ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
   using sim::ScalarPInstr;
   const sim::PredecodedScalar& pre = *predecoded_;
@@ -112,9 +118,50 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
   std::uint64_t cycle = static_cast<std::uint64_t>(timing.pipeline_stages - 1);  // fill
   std::uint32_t pc = 0;
 
+  auto set_trap = [&](sim::TrapReason reason, std::uint32_t detail) {
+    result.status = sim::ExecStatus::Trapped;
+    result.trap = sim::TrapInfo{reason, cycle, -1, detail};
+    result.cycles = cycle;
+    result.rf_state = regs;
+  };
+
+  // SEU state faults (sim/fault.hpp): the scalar model exposes only RF
+  // state. The loop steps instruction-wise over jumping cycle counts, so
+  // faults apply at the first instruction whose start cycle reached them —
+  // identical in both execution paths, which share the cycle sequence.
+  [[maybe_unused]] const sim::StateFault* fault_next = nullptr;
+  [[maybe_unused]] const sim::StateFault* fault_end = nullptr;
+  if (options_.faults != nullptr) {
+    fault_next = options_.faults->faults.data();
+    fault_end = fault_next + options_.faults->faults.size();
+  }
+  [[maybe_unused]] auto apply_fault = [&](const sim::StateFault& f) {
+    if (f.kind != sim::FaultKind::RfBit) return;
+    if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= machine_.rfs.size()) return;
+    if (f.index < 0 || f.index >= machine_.rfs[static_cast<std::size_t>(f.unit)].size) return;
+    regs[pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index)] ^=
+        1u << (f.bit & 31);
+  };
+
   while (true) {
-    TTSC_ASSERT(pc < pre.instrs.size(), "scalar PC out of range");
+    if constexpr (kHarden) {
+      while (fault_next != fault_end && fault_next->cycle <= cycle) {
+        apply_fault(*fault_next);
+        ++fault_next;
+      }
+    }
+    if (pc >= pre.instrs.size()) {
+      // The PC ran off the end (corrupted fallthrough): fail closed.
+      set_trap(sim::TrapReason::PcOutOfRange, pc);
+      return result;
+    }
     const ScalarPInstr& in = pre.instrs[pc];
+    // Fail-closed: an illegal instruction (decode-time trap marker) traps
+    // before any of its operands are read.
+    if (in.trap != 0) {
+      set_trap(static_cast<sim::TrapReason>(in.trap - 1), in.trap_detail);
+      return result;
+    }
 
     std::uint64_t issue = cycle;
     std::uint32_t a = in.a_val;
@@ -147,6 +194,13 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
       return result;
     }
     ++result.instrs;
+    if constexpr (kHarden) {
+      // `a` is the address of every memory operation.
+      if (ir::is_memory(in.op) && !sim::mem_in_bounds(in.op, a, mem_.size())) {
+        set_trap(sim::TrapReason::MemoryOutOfRange, a);
+        return result;
+      }
+    }
     if constexpr (kObserve) obs->on_trigger(issue, -1, in.op);
 
     std::uint32_t value = 0;
@@ -199,7 +253,10 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
         return result;
       }
       case Opcode::Call:
-        TTSC_UNREACHABLE("calls must be inlined before scalar emission");
+      case Opcode::Select:
+        // Rejected by the fail-closed decode (sim/harden.hpp): a trap
+        // marker fires above before the switch is reached.
+        TTSC_UNREACHABLE("calls/selects are lowered before scalar emission");
     }
 
     cycle = issue + 1;
@@ -242,9 +299,47 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
   std::uint64_t cycle = static_cast<std::uint64_t>(timing.pipeline_stages - 1);  // fill
   std::uint32_t pc = 0;
 
+  auto set_trap = [&](sim::TrapReason reason, std::uint32_t detail) {
+    result.status = sim::ExecStatus::Trapped;
+    result.trap = sim::TrapInfo{reason, cycle, -1, detail};
+    result.cycles = cycle;
+    capture_state(result);
+  };
+
+  // SEU state faults: same application point as the fast loop.
+  const sim::StateFault* fault_next = nullptr;
+  const sim::StateFault* fault_end = nullptr;
+  if (options_.faults != nullptr) {
+    fault_next = options_.faults->faults.data();
+    fault_end = fault_next + options_.faults->faults.size();
+  }
+  auto apply_fault = [&](const sim::StateFault& f) {
+    if (f.kind != sim::FaultKind::RfBit) return;
+    if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= regs.size()) return;
+    auto& file = regs[static_cast<std::size_t>(f.unit)];
+    if (f.index < 0 || static_cast<std::size_t>(f.index) >= file.size()) return;
+    file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
+  };
+
   while (true) {
-    TTSC_ASSERT(pc < program_.instrs.size(), "scalar PC out of range");
+    while (fault_next != fault_end && fault_next->cycle <= cycle) {
+      apply_fault(*fault_next);
+      ++fault_next;
+    }
+    if (pc >= program_.instrs.size()) {
+      // The PC ran off the end (corrupted fallthrough): fail closed.
+      set_trap(sim::TrapReason::PcOutOfRange, pc);
+      return result;
+    }
     const MInstr& in = program_.instrs[pc];
+    // Fail-closed: the execute-time mirror of the decode-time checks on the
+    // predecoded path (sim/harden.hpp), before any operand is read.
+    const sim::DecodeCheck chk =
+        sim::check_minstr(in, machine_, /*needs_fu=*/false, program_.block_entry.size());
+    if (!chk.ok()) {
+      set_trap(chk.reason(), chk.detail);
+      return result;
+    }
 
     std::uint64_t issue = cycle;
     std::uint32_t a = 0;
@@ -276,6 +371,12 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       return result;
     }
     ++result.instrs;
+    // `a` is the address of every memory operation; fail closed on an
+    // out-of-range access (always: this is not a hot path).
+    if (ir::is_memory(in.op) && !sim::mem_in_bounds(in.op, a, mem_.size())) {
+      set_trap(sim::TrapReason::MemoryOutOfRange, a);
+      return result;
+    }
     if (obs != nullptr) obs->on_trigger(issue, -1, in.op);
 
     std::uint32_t value = 0;
@@ -330,7 +431,9 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
         return result;
       }
       case Opcode::Call:
-        TTSC_UNREACHABLE("calls must be inlined before scalar emission");
+      case Opcode::Select:
+        // Rejected by check_minstr above; never reached.
+        TTSC_UNREACHABLE("calls/selects are lowered before scalar emission");
     }
 
     cycle = issue + 1;

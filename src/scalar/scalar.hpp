@@ -54,8 +54,11 @@ ScalarProgram emit_scalar(const codegen::MFunction& func);
 
 struct ExecResult {
   /// Ok = the program returned; TimedOut = the cycle budget was exhausted
-  /// and `cycles` holds the cycles actually executed.
+  /// and `cycles` holds the cycles actually executed; Trapped = the
+  /// simulator failed closed on an illegal state and `trap` says why.
   sim::ExecStatus status = sim::ExecStatus::Ok;
+  /// Valid when status == Trapped (default-initialized otherwise).
+  sim::TrapInfo trap{};
   std::uint64_t cycles = 0;
   std::uint64_t instrs = 0;
   std::uint32_t ret = 0;
@@ -64,6 +67,7 @@ struct ExecResult {
   std::vector<std::uint32_t> rf_state;
 
   bool timed_out() const { return status == sim::ExecStatus::TimedOut; }
+  bool trapped() const { return status == sim::ExecStatus::Trapped; }
   bool operator==(const ExecResult&) const = default;
 };
 
@@ -87,7 +91,7 @@ class ScalarSim {
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
-  template <bool kObserve>
+  template <bool kObserve, bool kHarden>
   ExecResult run_fast(std::uint64_t max_cycles);
   ExecResult run_reference(std::uint64_t max_cycles);
 

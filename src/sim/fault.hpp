@@ -1,0 +1,46 @@
+// Mid-run single-bit state faults (SEU model) consumed by the simulators.
+//
+// A StateFault flips one bit of live architectural state at the start of a
+// given cycle — before result delivery, write-back commits and guard
+// latching — so the flip lands exactly between two architecturally visible
+// cycles and both execution paths (predecoded fast loop and interpretive
+// reference loop) observe the identical corrupted state from then on.
+//
+// Targets mirror the storage a soft core keeps in SRAM/FFs:
+//  * RfBit       — one bit of one register of one register file;
+//  * FuResultBit — one bit of a TTA FU result (bypass) register, the
+//                  datapath state the TTA programming model exposes;
+//  * GuardBit    — one guard (predicate) register (single-bit storage; the
+//                  bit index is ignored).
+//
+// Instruction-memory faults are NOT StateFaults: they are applied to the
+// program form before the run and go through the (validating) decoder — see
+// src/resil/inject.hpp.
+//
+// Faults must be sorted by cycle; each simulator keeps a cursor and applies
+// every fault whose cycle has been reached. A fault cycle past the halt
+// cycle is simply never applied (trivially masked).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ttsc::sim {
+
+enum class FaultKind : std::uint8_t { RfBit, FuResultBit, GuardBit };
+
+struct StateFault {
+  std::uint64_t cycle = 0;
+  FaultKind kind = FaultKind::RfBit;
+  std::int16_t unit = 0;   // register file / FU / guard register index
+  std::int16_t index = 0;  // register index within the RF (RfBit only)
+  std::uint8_t bit = 0;    // bit position (0-31; ignored for GuardBit)
+};
+
+struct FaultSet {
+  std::vector<StateFault> faults;  // sorted by cycle, ascending
+
+  bool empty() const { return faults.empty(); }
+};
+
+}  // namespace ttsc::sim

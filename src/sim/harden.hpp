@@ -1,0 +1,204 @@
+// Fail-closed validation shared by the decoder and the reference loops.
+//
+// A single-bit flip in an instruction encoding either yields another valid
+// instruction (wrong-but-valid: executed normally, classified by output
+// diffing) or an illegal one. These helpers decide which, with ONE rule set
+// used from both sides of the differential pair:
+//
+//  * sim::predecode() runs the checks at decode time and marks illegal
+//    moves/ops with a trap code, which the fast loops surface as
+//    ExecStatus::Trapped at the cycle the corrupted instruction first
+//    executes;
+//  * the interpretive reference loops run the same checks at execute time,
+//    at the same point of the cycle, producing a bit-identical TrapInfo.
+//
+// A move/op with more than one corrupted field cannot occur under the
+// single-event-upset model, so check order never matters for equivalence;
+// it is still fixed (guard, source, destination, opcode, target) so both
+// paths agree by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "codegen/minstr.hpp"
+#include "mach/machine.hpp"
+#include "sim/observer.hpp"
+#include "tta/tta.hpp"
+
+namespace ttsc::sim {
+
+/// Decode-time verdict for one TTA move or one machine instruction.
+/// `trap` is 0 when legal, else TrapReason + 1 (the predecoded forms store
+/// this byte directly so "no trap" tests as zero).
+struct DecodeCheck {
+  std::uint8_t trap = 0;
+  std::uint32_t detail = 0;
+  /// The guard index itself is corrupt: the trap fires unconditionally
+  /// (the guard cannot be evaluated to squash the move).
+  bool guard_trap = false;
+
+  bool ok() const { return trap == 0; }
+  TrapReason reason() const { return static_cast<TrapReason>(trap - 1); }
+};
+
+inline DecodeCheck decode_fail(TrapReason r, std::uint32_t detail, bool guard_trap = false) {
+  return DecodeCheck{static_cast<std::uint8_t>(static_cast<std::uint8_t>(r) + 1), detail,
+                     guard_trap};
+}
+
+/// Bytes touched by a memory opcode (0 for non-memory ops).
+constexpr int mem_access_bytes(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::Ldw:
+    case ir::Opcode::Stw: return 4;
+    case ir::Opcode::Ldh:
+    case ir::Opcode::Ldhu:
+    case ir::Opcode::Sth: return 2;
+    case ir::Opcode::Ldq:
+    case ir::Opcode::Ldqu:
+    case ir::Opcode::Stq: return 1;
+    default: return 0;
+  }
+}
+
+/// Address-range check for a (possibly fault-corrupted) memory access.
+constexpr bool mem_in_bounds(ir::Opcode op, std::uint32_t addr, std::size_t mem_size) {
+  return static_cast<std::uint64_t>(addr) + static_cast<std::uint64_t>(mem_access_bytes(op)) <=
+         static_cast<std::uint64_t>(mem_size);
+}
+
+/// Validate one TTA move against the machine and program shape.
+inline DecodeCheck check_tta_move(const tta::Move& mv, const mach::Machine& machine,
+                                  std::size_t num_blocks) {
+  const std::size_t nfus = machine.fus.size();
+  const std::size_t nrfs = machine.rfs.size();
+
+  // Guard index first: an unevaluable guard cannot squash the move.
+  // (-1 is the unconditional encoding; anything else outside the guard
+  // register range traps.)
+  if (mv.guard < -1 || mv.guard >= machine.guard_regs) {
+    return decode_fail(TrapReason::GuardIndexOutOfRange,
+                       static_cast<std::uint32_t>(mv.guard), /*guard_trap=*/true);
+  }
+
+  switch (mv.src.kind) {
+    case tta::MoveSrc::Kind::Imm: break;
+    case tta::MoveSrc::Kind::FuResult:
+      if (mv.src.unit < 0 || static_cast<std::size_t>(mv.src.unit) >= nfus) {
+        return decode_fail(TrapReason::FuIndexOutOfRange, static_cast<std::uint32_t>(mv.src.unit));
+      }
+      break;
+    case tta::MoveSrc::Kind::RfRead:
+      if (mv.src.unit < 0 || static_cast<std::size_t>(mv.src.unit) >= nrfs) {
+        return decode_fail(TrapReason::RfIndexOutOfRange, static_cast<std::uint32_t>(mv.src.unit));
+      }
+      if (mv.src.reg_index < 0 ||
+          mv.src.reg_index >= machine.rfs[static_cast<std::size_t>(mv.src.unit)].size) {
+        return decode_fail(TrapReason::RfIndexOutOfRange,
+                           static_cast<std::uint32_t>(mv.src.reg_index));
+      }
+      break;
+  }
+
+  switch (mv.dst.kind) {
+    case tta::MoveDst::Kind::FuOperand:
+      if (mv.dst.unit < 0 || static_cast<std::size_t>(mv.dst.unit) >= nfus) {
+        return decode_fail(TrapReason::FuIndexOutOfRange, static_cast<std::uint32_t>(mv.dst.unit));
+      }
+      break;
+    case tta::MoveDst::Kind::RfWrite:
+      if (mv.dst.unit < 0 || static_cast<std::size_t>(mv.dst.unit) >= nrfs) {
+        return decode_fail(TrapReason::RfIndexOutOfRange, static_cast<std::uint32_t>(mv.dst.unit));
+      }
+      if (mv.dst.reg_index < 0 ||
+          mv.dst.reg_index >= machine.rfs[static_cast<std::size_t>(mv.dst.unit)].size) {
+        return decode_fail(TrapReason::RfIndexOutOfRange,
+                           static_cast<std::uint32_t>(mv.dst.reg_index));
+      }
+      break;
+    case tta::MoveDst::Kind::GuardWrite:
+      if (mv.dst.unit < 0 || mv.dst.unit >= machine.guard_regs) {
+        return decode_fail(TrapReason::GuardIndexOutOfRange,
+                           static_cast<std::uint32_t>(mv.dst.unit));
+      }
+      break;
+    case tta::MoveDst::Kind::FuTrigger: {
+      if (mv.dst.unit < 0 || static_cast<std::size_t>(mv.dst.unit) >= nfus) {
+        return decode_fail(TrapReason::FuIndexOutOfRange, static_cast<std::uint32_t>(mv.dst.unit));
+      }
+      const ir::Opcode op = mv.dst.opcode;
+      const auto raw = static_cast<std::uint32_t>(static_cast<std::uint8_t>(op));
+      if (mv.is_control) {
+        // Control triggers execute Jump/Bnz/Ret only (Call is inlined away
+        // before scheduling and has no transport semantics).
+        if (op != ir::Opcode::Jump && op != ir::Opcode::Bnz && op != ir::Opcode::Ret) {
+          return decode_fail(TrapReason::InvalidOpcode, raw);
+        }
+        if (op != ir::Opcode::Ret && mv.target >= num_blocks) {
+          return decode_fail(TrapReason::BadJumpTarget, mv.target);
+        }
+      } else {
+        if (raw >= static_cast<std::uint32_t>(ir::kNumOpcodes) || ir::is_terminator(op) ||
+            op == ir::Opcode::Call ||
+            !machine.fus[static_cast<std::size_t>(mv.dst.unit)].supports(op)) {
+          return decode_fail(TrapReason::InvalidOpcode, raw);
+        }
+      }
+      break;
+    }
+  }
+  return DecodeCheck{};
+}
+
+/// Validate one machine instruction for the VLIW (`needs_fu` = true) or
+/// scalar executor.
+inline DecodeCheck check_minstr(const codegen::MInstr& in, const mach::Machine& machine,
+                                bool needs_fu, std::size_t num_blocks) {
+  const ir::Opcode op = in.op;
+  const auto raw = static_cast<std::uint32_t>(static_cast<std::uint8_t>(op));
+  if (raw >= static_cast<std::uint32_t>(ir::kNumOpcodes)) {
+    return decode_fail(TrapReason::InvalidOpcode, raw);
+  }
+  // Call is inlined away before scheduling and Select is expanded/lowered;
+  // neither has executor semantics, so a flip into them is illegal.
+  if (op == ir::Opcode::Call || op == ir::Opcode::Select) {
+    return decode_fail(TrapReason::InvalidOpcode, raw);
+  }
+  // An opcode flip that raises the arity lands on operand fields the
+  // encoded instruction does not carry: illegal encoding.
+  const int arity = ir::num_inputs(op);
+  if (arity >= 0 && static_cast<std::size_t>(arity) > in.srcs.size()) {
+    return decode_fail(TrapReason::InvalidOpcode, raw);
+  }
+  for (const codegen::MOperand& s : in.srcs) {
+    if (!s.is_reg()) continue;
+    if (s.reg.rf < 0 || static_cast<std::size_t>(s.reg.rf) >= machine.rfs.size()) {
+      return decode_fail(TrapReason::RfIndexOutOfRange, static_cast<std::uint32_t>(s.reg.rf));
+    }
+    if (s.reg.index < 0 || s.reg.index >= machine.rfs[static_cast<std::size_t>(s.reg.rf)].size) {
+      return decode_fail(TrapReason::RfIndexOutOfRange, static_cast<std::uint32_t>(s.reg.index));
+    }
+  }
+  if (in.has_dst()) {
+    if (static_cast<std::size_t>(in.dst.rf) >= machine.rfs.size()) {
+      return decode_fail(TrapReason::RfIndexOutOfRange, static_cast<std::uint32_t>(in.dst.rf));
+    }
+    if (in.dst.index < 0 ||
+        in.dst.index >= machine.rfs[static_cast<std::size_t>(in.dst.rf)].size) {
+      return decode_fail(TrapReason::RfIndexOutOfRange, static_cast<std::uint32_t>(in.dst.index));
+    }
+    if (needs_fu && op != ir::Opcode::MovI && op != ir::Opcode::Copy &&
+        machine.fu_for(op) < 0) {
+      return decode_fail(TrapReason::InvalidOpcode, raw);
+    }
+  }
+  if (ir::is_branch(op)) {
+    if (in.targets.empty()) return decode_fail(TrapReason::BadJumpTarget, 0);
+    if (in.targets[0] >= num_blocks) {
+      return decode_fail(TrapReason::BadJumpTarget, in.targets[0]);
+    }
+  }
+  return DecodeCheck{};
+}
+
+}  // namespace ttsc::sim

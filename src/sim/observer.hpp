@@ -33,7 +33,68 @@ namespace ttsc::sim {
 /// How a simulation ended. TimedOut means the cycle budget (`max_cycles`)
 /// was exhausted before the program returned; the ExecResult then carries
 /// the cycles actually executed, distinguishable from a normal halt.
-enum class ExecStatus : std::uint8_t { Ok, TimedOut };
+/// Trapped means the simulator detected an illegal architectural state —
+/// an out-of-range RF/FU/guard index, an invalid or unsupported opcode, a
+/// branch target outside the program, a memory access outside the address
+/// space, or the PC running off the end — and failed closed instead of
+/// asserting. Traps only arise from malformed or fault-corrupted programs
+/// (see src/resil/); a well-formed program never traps.
+enum class ExecStatus : std::uint8_t { Ok, TimedOut, Trapped };
+
+constexpr const char* exec_status_name(ExecStatus s) {
+  switch (s) {
+    case ExecStatus::Ok: return "ok";
+    case ExecStatus::TimedOut: return "timeout";
+    case ExecStatus::Trapped: return "trap";
+  }
+  return "?";
+}
+
+/// Why a simulator trapped. The reasons mirror the decoder/executor checks:
+/// any single-bit corruption of an instruction encoding or of architectural
+/// state resolves to exactly one of these (or to a wrong-but-valid
+/// execution that the resilience layer classifies by output diffing).
+enum class TrapReason : std::uint8_t {
+  InvalidOpcode,        // opcode outside the ISA, or unsupported by the FU
+  RfIndexOutOfRange,    // register-file or register index out of range
+  FuIndexOutOfRange,    // function-unit index out of range
+  GuardIndexOutOfRange, // guard register index out of range
+  BadJumpTarget,        // branch target outside the program's blocks
+  MemoryOutOfRange,     // load/store address outside the memory image
+  PcOutOfRange,         // PC ran off the end with no transfer pending
+};
+
+constexpr const char* trap_reason_name(TrapReason r) {
+  switch (r) {
+    case TrapReason::InvalidOpcode: return "invalid-opcode";
+    case TrapReason::RfIndexOutOfRange: return "rf-index";
+    case TrapReason::FuIndexOutOfRange: return "fu-index";
+    case TrapReason::GuardIndexOutOfRange: return "guard-index";
+    case TrapReason::BadJumpTarget: return "bad-jump-target";
+    case TrapReason::MemoryOutOfRange: return "memory";
+    case TrapReason::PcOutOfRange: return "pc";
+  }
+  return "?";
+}
+
+/// Structured trap record carried by ExecResult when status == Trapped.
+/// Identical on the fast and reference paths (differentially tested): the
+/// trap fires at the same cycle with the same reason/unit/detail whether
+/// the illegal encoding was caught at predecode time (fast path) or at
+/// execute time (reference path).
+struct TrapInfo {
+  TrapReason reason = TrapReason::InvalidOpcode;
+  std::uint64_t cycle = 0;
+  /// Offending unit: the move's bus (TTA), the issue slot's FU (VLIW),
+  /// -1 (scalar / not applicable).
+  int unit = -1;
+  /// Offending value: the out-of-range index, raw opcode byte, address…
+  std::uint32_t detail = 0;
+
+  bool operator==(const TrapInfo&) const = default;
+};
+
+struct FaultSet;  // sim/fault.hpp: mid-run single-bit state faults
 
 class ExecObserver {
  public:
@@ -62,6 +123,19 @@ struct SimOptions {
   /// UtilizationCollector for the run and surface its report through
   /// RunOutcome::utilization. The simulators themselves ignore this flag.
   bool collect_utilization = false;
+
+  /// Fail-closed execution: bounds-check memory accesses (and apply
+  /// `faults`, when given) on the fast path, turning illegal states into
+  /// ExecStatus::Trapped instead of assertions. Selected automatically
+  /// whenever `faults` is set; the reference loops always fail closed.
+  /// Off (the default) keeps the no-fault fast path's cycle stream and
+  /// instruction mix untouched.
+  bool harden = false;
+
+  /// Mid-run single-bit state faults (sim/fault.hpp), applied at the top of
+  /// their cycle by both execution paths. Implies hardened execution on the
+  /// fast path. The caller owns the set; it must stay alive for the run.
+  const FaultSet* faults = nullptr;
 };
 
 }  // namespace ttsc::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/harden.hpp"
+
 namespace ttsc::sim {
 
 namespace {
@@ -55,6 +57,23 @@ PredecodedTta predecode(const tta::TtaProgram& program, const mach::Machine& mac
       p.bus = (mv.bus >= 0 && static_cast<std::size_t>(mv.bus) < machine.buses.size())
                   ? static_cast<std::int16_t>(mv.bus)
                   : std::int16_t{-1};
+
+      // Fail-closed decode: an illegal move (possible only in malformed or
+      // fault-corrupted programs) becomes a trap marker the run loops raise
+      // when it executes. A valid guard still squashes it first, so the
+      // field decode below is skipped but the guard fields are kept.
+      const DecodeCheck chk = check_tta_move(mv, machine, program.block_entry.size());
+      if (!chk.ok()) {
+        p.trap = chk.trap;
+        p.trap_detail = chk.detail;
+        if (!chk.guard_trap) {
+          p.guard = static_cast<std::int16_t>(mv.guard);
+          p.guard_negate = mv.guard_negate;
+        }
+        out.moves.push_back(p);
+        continue;
+      }
+
       p.guard = static_cast<std::int16_t>(mv.guard);
       p.guard_negate = mv.guard_negate;
 
@@ -104,8 +123,6 @@ PredecodedTta predecode(const tta::TtaProgram& program, const mach::Machine& mac
               default: TTSC_UNREACHABLE("predecode: bad control trigger opcode");
             }
             if (p.fire != TtaPMove::Fire::Ret) {
-              TTSC_ASSERT(mv.target < program.block_entry.size(),
-                          "predecode: branch target out of range");
               p.target_pc = program.block_entry[mv.target];
             }
           } else {
@@ -165,6 +182,20 @@ PredecodedVliw predecode(const vliw::VliwProgram& program, const mach::Machine& 
       VliwPOp p;
       p.op = in.op;
       p.fu = static_cast<std::int16_t>(slot->fu);
+
+      // Fail-closed decode (see check_tta_move above). is_control is kept
+      // so a trap op flipped from a control op still squashes in a transfer
+      // shadow, exactly like the reference loop's execute-time check.
+      const DecodeCheck chk = check_minstr(in, machine, /*needs_fu=*/true,
+                                           program.block_entry.size());
+      if (!chk.ok()) {
+        p.is_control = ir::is_branch(in.op) || in.op == Opcode::Ret;
+        p.trap = chk.trap;
+        p.trap_detail = chk.detail;
+        out.ops.push_back(p);
+        continue;
+      }
+
       p.nsrcs = static_cast<std::uint8_t>(in.srcs.size());
       if (!in.srcs.empty()) {
         decode_operand(in.srcs[0], out.rf_base, &p.a_imm, &p.a_val, &p.a_slot, &p.a_rf, &p.a_reg);
@@ -174,8 +205,6 @@ PredecodedVliw predecode(const vliw::VliwProgram& program, const mach::Machine& 
       }
       p.is_control = ir::is_branch(in.op) || in.op == Opcode::Ret;
       if (ir::is_branch(in.op)) {
-        TTSC_ASSERT(!in.targets.empty() && in.targets[0] < program.block_entry.size(),
-                    "predecode: VLIW branch target out of range");
         p.target_pc = program.block_entry[in.targets[0]];
       }
       if (in.has_dst()) {
@@ -211,6 +240,18 @@ PredecodedScalar predecode(const scalar::ScalarProgram& program, const mach::Mac
   for (const codegen::MInstr& in : program.instrs) {
     ScalarPInstr p;
     p.op = in.op;
+
+    // Fail-closed decode (see check_tta_move above). Timing fields stay
+    // zero: the trap fires before the instruction's issue accounting.
+    const DecodeCheck chk = check_minstr(in, machine, /*needs_fu=*/false,
+                                         program.block_entry.size());
+    if (!chk.ok()) {
+      p.trap = chk.trap;
+      p.trap_detail = chk.detail;
+      out.instrs.push_back(p);
+      continue;
+    }
+
     p.nsrcs = static_cast<std::uint8_t>(in.srcs.size());
     if (!in.srcs.empty()) {
       decode_operand(in.srcs[0], out.rf_base, &p.a_imm, &p.a_val, &p.a_slot, &p.a_rf, &p.a_reg);
@@ -231,8 +272,6 @@ PredecodedScalar predecode(const scalar::ScalarProgram& program, const mach::Mac
     p.extra_words = static_cast<std::uint8_t>(scalar::instr_words(timing, in) - 1);
     p.stall = static_cast<std::uint8_t>(scalar::dependent_use_stall(timing, in.op));
     if (ir::is_branch(in.op)) {
-      TTSC_ASSERT(!in.targets.empty() && in.targets[0] < program.block_entry.size(),
-                  "predecode: scalar branch target out of range");
       p.target_pc = program.block_entry[in.targets[0]];
     }
     out.instrs.push_back(p);

@@ -54,6 +54,11 @@ struct TtaPMove {
   std::uint32_t target_pc = 0;           // control: block_entry already applied
   std::int16_t src_rf = -1, src_reg = -1;  // observer: RF read (rf, index)
   std::int16_t dst_rf = -1, dst_reg = -1;  // observer: RF write (rf, index)
+  /// 0 = legal; else TrapReason + 1 (sim/harden.hpp). The run loops raise
+  /// ExecStatus::Trapped when the move executes (a squashed guard still
+  /// suppresses it, matching execute-time validation in the reference loop).
+  std::uint8_t trap = 0;
+  std::uint32_t trap_detail = 0;
 };
 
 struct PredecodedTta {
@@ -83,6 +88,8 @@ struct VliwPOp {
   std::int16_t a_rf = -1, a_reg = -1, b_rf = -1, b_reg = -1;
   std::int16_t dst_rf = -1, dst_reg = -1;
   std::uint8_t nsrcs = 0;
+  std::uint8_t trap = 0;  // 0 = legal; else TrapReason + 1 (sim/harden.hpp)
+  std::uint32_t trap_detail = 0;
 };
 
 struct PredecodedVliw {
@@ -112,6 +119,8 @@ struct ScalarPInstr {
   std::int16_t a_rf = -1, a_reg = -1, b_rf = -1, b_reg = -1;
   std::int16_t dst_rf = -1, dst_reg = -1;
   std::uint8_t nsrcs = 0;
+  std::uint8_t trap = 0;  // 0 = legal; else TrapReason + 1 (sim/harden.hpp)
+  std::uint32_t trap_detail = 0;
 };
 
 struct PredecodedScalar {

@@ -21,9 +21,34 @@ class SplitMix64 {
     return z ^ (z >> 31);
   }
 
-  /// Uniform value in [0, bound) for bound >= 1.
+  /// Value in [0, bound) for bound >= 1, by modulo reduction. FROZEN: the
+  /// modulo bias (negligible for the small bounds used) is part of the
+  /// generator's output contract — workload inputs and golden checksums are
+  /// bit-exact functions of it, so changing this would invalidate every
+  /// golden file. New samplers that need uniformity use
+  /// next_below_unbiased instead.
   constexpr std::uint32_t next_below(std::uint32_t bound) {
     return static_cast<std::uint32_t>(next() % bound);
+  }
+
+  /// Uniform value in [0, bound) for bound >= 1, without modulo bias
+  /// (Lemire's multiply-shift with rejection of the biased low range).
+  /// Used for fault-site sampling, where a bias towards low bit/cycle
+  /// indices would systematically skew campaign statistics. Draws one u32
+  /// per attempt; rejection probability is < bound / 2^32.
+  constexpr std::uint32_t next_below_unbiased(std::uint32_t bound) {
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    auto low = static_cast<std::uint32_t>(m);
+    if (low < bound) {
+      // Reject draws from the partial (biased) interval: anything below
+      // 2^32 mod bound maps to an over-represented remainder.
+      const std::uint32_t threshold = static_cast<std::uint32_t>(-bound) % bound;
+      while (low < threshold) {
+        m = static_cast<std::uint64_t>(next_u32()) * bound;
+        low = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
   }
 
   constexpr std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }

@@ -22,6 +22,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "sim/fault.hpp"
+#include "sim/harden.hpp"
 #include "sim/predecode.hpp"
 #include "support/bits.hpp"
 #include "tta/tta.hpp"
@@ -93,10 +95,14 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
   if (predecoded_ == nullptr) {
     predecoded_ = std::make_shared<const sim::PredecodedTta>(sim::predecode(program_, machine_));
   }
-  return options_.observer != nullptr ? run_fast<true>(max_cycles) : run_fast<false>(max_cycles);
+  const bool harden = options_.harden || options_.faults != nullptr;
+  if (options_.observer != nullptr) {
+    return harden ? run_fast<true, true>(max_cycles) : run_fast<true, false>(max_cycles);
+  }
+  return harden ? run_fast<false, true>(max_cycles) : run_fast<false, false>(max_cycles);
 }
 
-template <bool kObserve>
+template <bool kObserve, bool kHarden>
 ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
   using sim::TtaPMove;
   const sim::PredecodedTta& pre = *predecoded_;
@@ -171,8 +177,51 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
     }
   };
 
+  auto set_trap = [&](sim::TrapReason reason, int unit, std::uint32_t detail) {
+    result.status = sim::ExecStatus::Trapped;
+    result.trap = sim::TrapInfo{reason, cycle, unit, detail};
+    result.cycles = cycle;
+    capture_state();
+  };
+
+  // SEU state faults (sim/fault.hpp), applied at the top of their cycle.
+  [[maybe_unused]] const sim::StateFault* fault_next = nullptr;
+  [[maybe_unused]] const sim::StateFault* fault_end = nullptr;
+  if (options_.faults != nullptr) {
+    fault_next = options_.faults->faults.data();
+    fault_end = fault_next + options_.faults->faults.size();
+  }
+  [[maybe_unused]] auto apply_fault = [&](const sim::StateFault& f) {
+    switch (f.kind) {
+      case sim::FaultKind::RfBit: {
+        if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= machine_.rfs.size()) return;
+        if (f.index < 0 || f.index >= machine_.rfs[static_cast<std::size_t>(f.unit)].size) return;
+        rf[pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index)] ^=
+            1u << (f.bit & 31);
+        break;
+      }
+      case sim::FaultKind::FuResultBit:
+        if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= nfus) return;
+        fu_result[static_cast<std::size_t>(f.unit)] ^= 1u << (f.bit & 31);
+        break;
+      case sim::FaultKind::GuardBit:
+        if (f.unit < 0 || f.unit >= machine_.guard_regs) return;
+        guard_regs[static_cast<std::size_t>(f.unit)] ^= 1u;
+        break;
+    }
+  };
+
   std::size_t ring_idx = 0;
   while (cycle < max_cycles) {
+    // 0. State faults land between cycles: before result delivery, RF
+    // commits and guard latching, so both execution paths observe the
+    // identical corrupted state from this cycle on.
+    if constexpr (kHarden) {
+      while (fault_next != fault_end && fault_next->cycle <= cycle) {
+        apply_fault(*fault_next);
+        ++fault_next;
+      }
+    }
     // 1. Results whose latency elapsed land in the result registers.
     if (ring_count[ring_idx] != 0) {
       InFlight* const col = &ring_entry[ring_idx * nfus];
@@ -192,7 +241,11 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
     for (const GuardWrite& g : latches) guard_regs[g.guard] = g.value;
     latches.clear();
 
-    TTSC_ASSERT(pc < num_instrs || transfer_in >= 0, "TTA PC ran off the end of the program");
+    if (pc >= num_instrs && transfer_in < 0) {
+      // The PC ran off the end with no transfer pending: fail closed.
+      set_trap(sim::TrapReason::PcOutOfRange, -1, static_cast<std::uint32_t>(pc));
+      return result;
+    }
     if (pc < num_instrs) {
       const std::uint32_t begin = pre.instr_begin[pc];
       const std::uint32_t end = pre.instr_begin[pc + 1];
@@ -209,6 +262,13 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
             if constexpr (kObserve) obs->on_guard_squash(cycle, mv.bus);
             continue;
           }
+        }
+        // Fail-closed: an illegal move (decode-time trap marker) traps when
+        // it executes; a squashed guard suppressed it above. Valid programs
+        // never carry trap moves, so this branch never fires for them.
+        if (mv.trap != 0) {
+          set_trap(static_cast<sim::TrapReason>(mv.trap - 1), mv.bus, mv.trap_detail);
+          return result;
         }
         std::uint32_t value = mv.imm;
         switch (mv.src) {
@@ -261,6 +321,13 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
             default: TTSC_UNREACHABLE("bad control trigger opcode");
           }
           continue;
+        }
+        if constexpr (kHarden) {
+          // The trigger value is the address of every memory operation.
+          if (ir::is_memory(mv.opcode) && !sim::mem_in_bounds(mv.opcode, f.value, mem_.size())) {
+            set_trap(sim::TrapReason::MemoryOutOfRange, static_cast<int>(fu), f.value);
+            return result;
+          }
         }
         if constexpr (kObserve) obs->on_trigger(cycle, static_cast<int>(fu), mv.opcode);
         switch (mv.fire) {
@@ -352,6 +419,40 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
     for (const bool g : guard_regs) result.guard_state.push_back(g ? 1 : 0);
   };
 
+  auto set_trap = [&](sim::TrapReason reason, int unit, std::uint32_t detail) {
+    result.status = sim::ExecStatus::Trapped;
+    result.trap = sim::TrapInfo{reason, cycle, unit, detail};
+    result.cycles = cycle;
+    capture_state();
+  };
+
+  // SEU state faults: same application point as the fast loop.
+  const sim::StateFault* fault_next = nullptr;
+  const sim::StateFault* fault_end = nullptr;
+  if (options_.faults != nullptr) {
+    fault_next = options_.faults->faults.data();
+    fault_end = fault_next + options_.faults->faults.size();
+  }
+  auto apply_fault = [&](const sim::StateFault& f) {
+    switch (f.kind) {
+      case sim::FaultKind::RfBit: {
+        if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= rfs.size()) return;
+        auto& file = rfs[static_cast<std::size_t>(f.unit)];
+        if (f.index < 0 || static_cast<std::size_t>(f.index) >= file.size()) return;
+        file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
+        break;
+      }
+      case sim::FaultKind::FuResultBit:
+        if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= fus.size()) return;
+        fus[static_cast<std::size_t>(f.unit)].result ^= 1u << (f.bit & 31);
+        break;
+      case sim::FaultKind::GuardBit:
+        if (f.unit < 0 || f.unit >= machine_.guard_regs) return;
+        guard_regs[static_cast<std::size_t>(f.unit)] = !guard_regs[static_cast<std::size_t>(f.unit)];
+        break;
+    }
+  };
+
   // Trigger port writes collected per cycle, fired after operand writes.
   struct TriggerFire {
     int fu;
@@ -362,6 +463,11 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
   };
 
   while (cycle < max_cycles) {
+    // 0. State faults land between cycles (see the fast loop).
+    while (fault_next != fault_end && fault_next->cycle <= cycle) {
+      apply_fault(*fault_next);
+      ++fault_next;
+    }
     // 1. Results whose latency elapsed land in the result registers.
     for (FuRuntime& fu : fus) {
       while (!fu.in_flight.empty() && fu.in_flight.top().first <= cycle) {
@@ -380,25 +486,13 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
     for (const auto& [g, v] : guard_pending) guard_regs[static_cast<std::size_t>(g)] = v;
     guard_pending.clear();
 
-    TTSC_ASSERT(pc < program_.instrs.size() || transfer_in >= 0,
-                "TTA PC ran off the end of the program");
+    if (pc >= program_.instrs.size() && transfer_in < 0) {
+      // The PC ran off the end with no transfer pending: fail closed.
+      set_trap(sim::TrapReason::PcOutOfRange, -1, static_cast<std::uint32_t>(pc));
+      return result;
+    }
     if (pc < program_.instrs.size()) {
       const TtaInstruction& instr = program_.instrs[pc];
-      // 3. Sample all sources.
-      std::vector<std::uint32_t> values(instr.moves.size());
-      for (std::size_t m = 0; m < instr.moves.size(); ++m) {
-        const Move& mv = instr.moves[m];
-        switch (mv.src.kind) {
-          case MoveSrc::Kind::Imm: values[m] = static_cast<std::uint32_t>(mv.src.imm); break;
-          case MoveSrc::Kind::FuResult:
-            values[m] = fus[static_cast<std::size_t>(mv.src.unit)].result;
-            break;
-          case MoveSrc::Kind::RfRead:
-            values[m] = rfs[static_cast<std::size_t>(mv.src.unit)]
-                           [static_cast<std::size_t>(mv.src.reg_index)];
-            break;
-        }
-      }
       result.moves += instr.moves.size();
       for (const Move& mv : instr.moves) {
         if (mv.bus >= 0 && static_cast<std::size_t>(mv.bus) < result.bus_moves.size()) {
@@ -406,18 +500,45 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
         }
       }
 
-      // 4a. Non-trigger destinations. A guarded move whose guard register
-      // disagrees is squashed (semi-virtual time latching keeps everything
-      // else untouched).
+      // 3+4a. Sample sources and write non-trigger destinations move by
+      // move, exactly like the fast loop (sources never read a state this
+      // pass mutates, so per-move interleaving equals bulk sampling). Each
+      // move is validated first — the execute-time mirror of the fail-closed
+      // decode on the predecoded path (sim/harden.hpp): a corrupt guard
+      // index traps unconditionally, any other illegal field traps unless a
+      // valid guard squashed the move.
       std::vector<TriggerFire> fires;
-      for (std::size_t m = 0; m < instr.moves.size(); ++m) {
-        const Move& mv = instr.moves[m];
+      for (const Move& mv : instr.moves) {
+        const int bus =
+            (mv.bus >= 0 && static_cast<std::size_t>(mv.bus) < result.bus_moves.size()) ? mv.bus
+                                                                                        : -1;
+        const sim::DecodeCheck chk =
+            sim::check_tta_move(mv, machine_, program_.block_entry.size());
+        if (!chk.ok() && chk.guard_trap) {
+          set_trap(chk.reason(), bus, chk.detail);
+          return result;
+        }
         if (mv.guard >= 0) {
           const bool g = guard_regs[static_cast<std::size_t>(mv.guard)];
           if (g == mv.guard_negate) {  // squashed
             if (obs != nullptr) obs->on_guard_squash(cycle, mv.bus);
             continue;
           }
+        }
+        if (!chk.ok()) {
+          set_trap(chk.reason(), bus, chk.detail);
+          return result;
+        }
+        std::uint32_t value = 0;
+        switch (mv.src.kind) {
+          case MoveSrc::Kind::Imm: value = static_cast<std::uint32_t>(mv.src.imm); break;
+          case MoveSrc::Kind::FuResult:
+            value = fus[static_cast<std::size_t>(mv.src.unit)].result;
+            break;
+          case MoveSrc::Kind::RfRead:
+            value = rfs[static_cast<std::size_t>(mv.src.unit)]
+                       [static_cast<std::size_t>(mv.src.reg_index)];
+            break;
         }
         if (obs != nullptr) {
           if (mv.src.kind == MoveSrc::Kind::RfRead) {
@@ -427,17 +548,17 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
         }
         switch (mv.dst.kind) {
           case MoveDst::Kind::FuOperand:
-            fus[static_cast<std::size_t>(mv.dst.unit)].operand = values[m];
+            fus[static_cast<std::size_t>(mv.dst.unit)].operand = value;
             break;
           case MoveDst::Kind::RfWrite:
-            rf_pending.push(RfWritePending{cycle + 1, mv.dst.unit, mv.dst.reg_index, values[m]});
+            rf_pending.push(RfWritePending{cycle + 1, mv.dst.unit, mv.dst.reg_index, value});
             break;
           case MoveDst::Kind::GuardWrite:
-            guard_pending.emplace_back(mv.dst.unit, values[m] != 0);
+            guard_pending.emplace_back(mv.dst.unit, value != 0);
             break;
           case MoveDst::Kind::FuTrigger:
             fires.push_back(
-                TriggerFire{mv.dst.unit, mv.dst.opcode, values[m], mv.target, mv.is_control});
+                TriggerFire{mv.dst.unit, mv.dst.opcode, value, mv.target, mv.is_control});
             break;
         }
       }
@@ -469,6 +590,12 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
               TTSC_UNREACHABLE("bad control trigger opcode");
           }
           continue;
+        }
+        // The trigger value is the address of every memory operation; fail
+        // closed on an out-of-range access (always: this is not a hot path).
+        if (ir::is_memory(f.op) && !sim::mem_in_bounds(f.op, f.value, mem_.size())) {
+          set_trap(sim::TrapReason::MemoryOutOfRange, f.fu, f.value);
+          return result;
         }
         if (obs != nullptr) obs->on_trigger(cycle, f.fu, f.op);
         const int lat = machine_.fus[static_cast<std::size_t>(f.fu)].latency(f.op);

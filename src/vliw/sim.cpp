@@ -13,6 +13,8 @@
 // suite in tests/property_test.cpp.
 #include <queue>
 
+#include "sim/fault.hpp"
+#include "sim/harden.hpp"
 #include "sim/predecode.hpp"
 #include "support/bits.hpp"
 #include "vliw/vliw.hpp"
@@ -59,10 +61,14 @@ ExecResult VliwSim::run(std::uint64_t max_cycles) {
   if (predecoded_ == nullptr) {
     predecoded_ = std::make_shared<const sim::PredecodedVliw>(sim::predecode(program_, machine_));
   }
-  return options_.observer != nullptr ? run_fast<true>(max_cycles) : run_fast<false>(max_cycles);
+  const bool harden = options_.harden || options_.faults != nullptr;
+  if (options_.observer != nullptr) {
+    return harden ? run_fast<true, true>(max_cycles) : run_fast<true, false>(max_cycles);
+  }
+  return harden ? run_fast<false, true>(max_cycles) : run_fast<false, false>(max_cycles);
 }
 
-template <bool kObserve>
+template <bool kObserve, bool kHarden>
 ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
   using sim::VliwPOp;
   const sim::PredecodedVliw& pre = *predecoded_;
@@ -97,8 +103,38 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
 
   auto capture_state = [&] { result.rf_state = regs; };
 
+  auto set_trap = [&](sim::TrapReason reason, int unit, std::uint32_t detail) {
+    result.status = sim::ExecStatus::Trapped;
+    result.trap = sim::TrapInfo{reason, cycle, unit, detail};
+    result.cycles = cycle;
+    capture_state();
+  };
+
+  // SEU state faults (sim/fault.hpp), applied at the top of their cycle.
+  // Only RfBit faults target VLIW state (no exposed bypass/guard registers).
+  [[maybe_unused]] const sim::StateFault* fault_next = nullptr;
+  [[maybe_unused]] const sim::StateFault* fault_end = nullptr;
+  if (options_.faults != nullptr) {
+    fault_next = options_.faults->faults.data();
+    fault_end = fault_next + options_.faults->faults.size();
+  }
+  [[maybe_unused]] auto apply_fault = [&](const sim::StateFault& f) {
+    if (f.kind != sim::FaultKind::RfBit) return;
+    if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= machine_.rfs.size()) return;
+    if (f.index < 0 || f.index >= machine_.rfs[static_cast<std::size_t>(f.unit)].size) return;
+    regs[pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index)] ^=
+        1u << (f.bit & 31);
+  };
+
   std::size_t wb_idx = 0;
   while (cycle < max_cycles) {
+    // State faults land between cycles, before write-back commits.
+    if constexpr (kHarden) {
+      while (fault_next != fault_end && fault_next->cycle <= cycle) {
+        apply_fault(*fault_next);
+        ++fault_next;
+      }
+    }
     // Writes committed in earlier cycles become visible before this cycle's
     // reads (readable one cycle after write-back).
     if (wb_count[wb_idx] != 0) {
@@ -112,7 +148,11 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
       wb_count[wb_idx] = 0;
     }
 
-    TTSC_ASSERT(pc < num_bundles || transfer_in >= 0, "VLIW PC ran off the end of the program");
+    if (pc >= num_bundles && transfer_in < 0) {
+      // The PC ran off the end with no transfer pending: fail closed.
+      set_trap(sim::TrapReason::PcOutOfRange, -1, static_cast<std::uint32_t>(pc));
+      return result;
+    }
     if (pc < num_bundles) {
       const std::uint32_t begin = pre.bundle_begin[pc];
       const std::uint32_t end = pre.bundle_begin[pc + 1];
@@ -120,6 +160,12 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
         const VliwPOp& op = pre.ops[i];
         // A resolved transfer squashes younger control ops in its shadow.
         if (op.is_control && transfer_in >= 0) continue;
+        // Fail-closed: an illegal op (decode-time trap marker) traps when
+        // it issues; the transfer shadow squashed it above.
+        if (op.trap != 0) {
+          set_trap(static_cast<sim::TrapReason>(op.trap - 1), op.fu, op.trap_detail);
+          return result;
+        }
         ++result.ops;
 
         std::uint32_t a = op.a_val;
@@ -131,6 +177,13 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
         if (!op.b_imm) {
           b = regs[op.b_slot];
           if constexpr (kObserve) obs->on_rf_read(cycle, op.b_rf, op.b_reg);
+        }
+        if constexpr (kHarden) {
+          // `a` is the address of every memory operation.
+          if (ir::is_memory(op.op) && !sim::mem_in_bounds(op.op, a, mem_.size())) {
+            set_trap(sim::TrapReason::MemoryOutOfRange, op.fu, a);
+            return result;
+          }
         }
         if constexpr (kObserve) obs->on_trigger(cycle, op.fu, op.op);
 
@@ -184,7 +237,10 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
             capture_state();
             return result;
           case Opcode::Call:
-            TTSC_UNREACHABLE("calls must be inlined before VLIW scheduling");
+          case Opcode::Select:
+            // Rejected by the fail-closed decode (sim/harden.hpp): a trap
+            // marker fires above before the switch is reached.
+            TTSC_UNREACHABLE("calls/selects are lowered before VLIW scheduling");
         }
         if (op.dst_slot >= 0) {
           std::size_t row = wb_idx + static_cast<std::size_t>(op.latency) + 1;
@@ -243,7 +299,34 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
     for (const auto& rf : regs) result.rf_state.insert(result.rf_state.end(), rf.begin(), rf.end());
   };
 
+  auto set_trap = [&](sim::TrapReason reason, int unit, std::uint32_t detail) {
+    result.status = sim::ExecStatus::Trapped;
+    result.trap = sim::TrapInfo{reason, cycle, unit, detail};
+    result.cycles = cycle;
+    capture_state();
+  };
+
+  // SEU state faults: same application point as the fast loop.
+  const sim::StateFault* fault_next = nullptr;
+  const sim::StateFault* fault_end = nullptr;
+  if (options_.faults != nullptr) {
+    fault_next = options_.faults->faults.data();
+    fault_end = fault_next + options_.faults->faults.size();
+  }
+  auto apply_fault = [&](const sim::StateFault& f) {
+    if (f.kind != sim::FaultKind::RfBit) return;
+    if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= regs.size()) return;
+    auto& file = regs[static_cast<std::size_t>(f.unit)];
+    if (f.index < 0 || static_cast<std::size_t>(f.index) >= file.size()) return;
+    file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
+  };
+
   while (cycle < max_cycles) {
+    // State faults land between cycles (see the fast loop).
+    while (fault_next != fault_end && fault_next->cycle <= cycle) {
+      apply_fault(*fault_next);
+      ++fault_next;
+    }
     // Writes committed in earlier cycles become visible before this cycle's
     // reads (readable one cycle after write-back).
     while (!pending.empty() && pending.top().visible_at <= cycle) {
@@ -253,8 +336,11 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
       pending.pop();
     }
 
-    TTSC_ASSERT(pc < program_.bundles.size() || transfer_in >= 0,
-                "VLIW PC ran off the end of the program");
+    if (pc >= program_.bundles.size() && transfer_in < 0) {
+      // The PC ran off the end with no transfer pending: fail closed.
+      set_trap(sim::TrapReason::PcOutOfRange, -1, static_cast<std::uint32_t>(pc));
+      return result;
+    }
     if (pc < program_.bundles.size()) {
       const Bundle& bundle = program_.bundles[pc];
       for (const auto& slot : bundle.slots) {
@@ -263,6 +349,14 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
         const bool is_control = ir::is_branch(in.op) || in.op == Opcode::Ret;
         // A resolved transfer squashes younger control ops in its shadow.
         if (is_control && transfer_in >= 0) continue;
+        // Fail-closed: the execute-time mirror of the decode-time checks on
+        // the predecoded path (sim/harden.hpp).
+        const sim::DecodeCheck chk =
+            sim::check_minstr(in, machine_, /*needs_fu=*/true, program_.block_entry.size());
+        if (!chk.ok()) {
+          set_trap(chk.reason(), slot->fu, chk.detail);
+          return result;
+        }
         ++result.ops;
 
         const std::uint32_t a = in.srcs.empty() ? 0 : value_of(in.srcs[0]);
@@ -274,8 +368,14 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
           if (in.srcs.size() > 1 && in.srcs[1].is_reg()) {
             obs->on_rf_read(cycle, in.srcs[1].reg.rf, in.srcs[1].reg.index);
           }
-          obs->on_trigger(cycle, slot->fu, in.op);
         }
+        // `a` is the address of every memory operation; fail closed on an
+        // out-of-range access (always: this is not a hot path).
+        if (ir::is_memory(in.op) && !sim::mem_in_bounds(in.op, a, mem_.size())) {
+          set_trap(sim::TrapReason::MemoryOutOfRange, slot->fu, a);
+          return result;
+        }
+        if (obs != nullptr) obs->on_trigger(cycle, slot->fu, in.op);
         std::uint32_t value = 0;
         bool writes = in.has_dst();
         switch (in.op) {
@@ -327,7 +427,9 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
             capture_state();
             return result;
           case Opcode::Call:
-            TTSC_UNREACHABLE("calls must be inlined before VLIW scheduling");
+          case Opcode::Select:
+            // Rejected by check_minstr above; never reached.
+            TTSC_UNREACHABLE("calls/selects are lowered before VLIW scheduling");
         }
         if (writes) {
           pending.push(PendingWrite{

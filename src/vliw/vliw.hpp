@@ -79,8 +79,11 @@ std::uint64_t image_bits(const VliwProgram& program, const mach::Machine& machin
 
 struct ExecResult {
   /// Ok = the program returned; TimedOut = the cycle budget was exhausted
-  /// and `cycles` holds the cycles actually executed.
+  /// and `cycles` holds the cycles actually executed; Trapped = the
+  /// simulator failed closed on an illegal state and `trap` says why.
   sim::ExecStatus status = sim::ExecStatus::Ok;
+  /// Valid when status == Trapped (default-initialized otherwise).
+  sim::TrapInfo trap{};
   std::uint64_t cycles = 0;
   std::uint64_t ops = 0;   // non-nop operations executed
   std::uint32_t ret = 0;
@@ -89,6 +92,7 @@ struct ExecResult {
   std::vector<std::uint32_t> rf_state;
 
   bool timed_out() const { return status == sim::ExecStatus::TimedOut; }
+  bool trapped() const { return status == sim::ExecStatus::Trapped; }
   bool operator==(const ExecResult&) const = default;
 };
 
@@ -116,7 +120,7 @@ class VliwSim {
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
-  template <bool kObserve>
+  template <bool kObserve, bool kHarden>
   ExecResult run_fast(std::uint64_t max_cycles);
   ExecResult run_reference(std::uint64_t max_cycles);
 

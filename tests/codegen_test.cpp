@@ -179,7 +179,9 @@ TEST(Legalize, StoresGetRegisterData) {
   legalize_scalar_operands(m.function("main"));
   for (const ir::Block& blk : m.function("main").blocks()) {
     for (const ir::Instr& in : blk.instrs) {
-      if (ir::is_store(in.op)) EXPECT_TRUE(in.inputs[1].is_reg());
+      if (ir::is_store(in.op)) {
+        EXPECT_TRUE(in.inputs[1].is_reg());
+      }
     }
   }
   ir::Interpreter interp(m);

@@ -1,0 +1,557 @@
+// Fault-injection layer: fail-closed (Trapped, never abort) simulator
+// regressions on all three models and both execution paths, hand-placed
+// single faults with hand-computed classifications, the instruction-memory
+// bit-flip injector, fault-plan sampling bounds, and campaign determinism
+// across thread counts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mach/configs.hpp"
+#include "obs/metrics.hpp"
+#include "resil/campaign.hpp"
+#include "resil/fault_plan.hpp"
+#include "resil/inject.hpp"
+#include "scalar/scalar.hpp"
+#include "sim/fault.hpp"
+#include "tta/tta.hpp"
+#include "tta/verify.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc {
+namespace {
+
+using codegen::MInstr;
+using codegen::MOperand;
+using tta::Move;
+using tta::MoveDst;
+using tta::MoveSrc;
+using tta::TtaInstruction;
+using tta::TtaProgram;
+
+// ---------------------------------------------------------------------------
+// Hand-assembly helpers (m-tta-1 layout: fu0 = lsu, fu1 = alu, fu2 = cu;
+// rf0 = 32x32 — same idiom as sim_semantics_test.cpp).
+
+struct Asm {
+  TtaProgram prog;
+
+  Asm() { prog.block_entry = {0}; }
+
+  TtaInstruction& at(std::size_t pc) {
+    if (prog.instrs.size() <= pc) prog.instrs.resize(pc + 1);
+    return prog.instrs[pc];
+  }
+  Move& mv(std::size_t pc, int bus, MoveSrc src, MoveDst dst) {
+    Move m;
+    m.bus = bus;
+    m.src = src;
+    m.dst = dst;
+    at(pc).moves.push_back(m);
+    return at(pc).moves.back();
+  }
+  void ret(std::size_t pc, int bus_val, int bus_trig, MoveSrc value) {
+    Move v;
+    v.bus = bus_val;
+    v.src = value;
+    v.dst = MoveDst::fu_operand(2);
+    at(pc).moves.push_back(v);
+    Move t;
+    t.bus = bus_trig;
+    t.src = MoveSrc::immediate(0);
+    t.dst = MoveDst::fu_trigger(2, ir::Opcode::Ret);
+    t.is_control = true;
+    at(pc).moves.push_back(t);
+  }
+};
+
+tta::ExecResult run_tta(const TtaProgram& prog, const mach::Machine& machine,
+                        const sim::FaultSet* faults, bool fast_path) {
+  ir::Memory mem(1 << 16);
+  sim::SimOptions opts;
+  opts.fast_path = fast_path;
+  opts.harden = true;
+  opts.faults = faults;
+  tta::TtaSim sim(prog, machine, mem, opts);
+  return sim.run(100000);
+}
+
+scalar::ExecResult run_scalar(const scalar::ScalarProgram& prog, const mach::Machine& machine,
+                              bool fast_path) {
+  ir::Memory mem(1 << 16);
+  sim::SimOptions opts;
+  opts.fast_path = fast_path;
+  opts.harden = true;
+  scalar::ScalarSim sim(prog, machine, mem, opts);
+  return sim.run(100000);
+}
+
+vliw::ExecResult run_vliw(const vliw::VliwProgram& prog, const mach::Machine& machine,
+                          bool fast_path) {
+  ir::Memory mem(1 << 16);
+  sim::SimOptions opts;
+  opts.fast_path = fast_path;
+  opts.harden = true;
+  vliw::VliwSim sim(prog, machine, mem, opts);
+  return sim.run(100000);
+}
+
+MInstr minstr(ir::Opcode op, mach::PhysReg dst, std::vector<MOperand> srcs) {
+  MInstr in;
+  in.op = op;
+  in.dst = dst;
+  in.srcs = std::move(srcs);
+  return in;
+}
+
+constexpr mach::PhysReg kNoDst{};
+
+/// {MovI r1 <- 42 ; <corrupted> ; Ret r1}
+scalar::ScalarProgram scalar_prog_with(MInstr corrupted) {
+  scalar::ScalarProgram p;
+  p.block_entry = {0};
+  p.instrs.push_back(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(42)}));
+  p.instrs.push_back(std::move(corrupted));
+  p.instrs.push_back(minstr(ir::Opcode::Ret, kNoDst, {mach::PhysReg{0, 1}}));
+  return p;
+}
+
+/// m-vliw-2 (slot 0 = lsu+cu, slot 1 = alu): bundle of one op in `slot`.
+vliw::VliwProgram vliw_prog_with(MInstr corrupted, int fu, int slot) {
+  vliw::VliwProgram p;
+  p.num_slots = 2;
+  p.block_entry = {0};
+  auto bundle_of = [&](MInstr in, int f, int s) {
+    vliw::Bundle b;
+    b.slots.resize(2);
+    b.slots[static_cast<std::size_t>(s)] = vliw::SlotOp{std::move(in), f};
+    return b;
+  };
+  p.bundles.push_back(bundle_of(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(42)}), 1, 1));
+  p.bundles.push_back(bundle_of(std::move(corrupted), fu, slot));
+  p.bundles.push_back(bundle_of(minstr(ir::Opcode::Ret, kNoDst, {mach::PhysReg{0, 1}}), 2, 0));
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Fail-closed regressions: a single corrupted field must produce
+// ExecStatus::Trapped — never an assertion/abort — on the fast AND the
+// reference path, with identical TrapInfo (the two paths are differential).
+
+TEST(TrapSafety, ScalarInvalidOpcodeTrapsOnBothPaths) {
+  const mach::Machine m = mach::make_mblaze3();
+  const auto prog = scalar_prog_with(minstr(static_cast<ir::Opcode>(200), {0, 2}, {}));
+  const auto fast = run_scalar(prog, m, true);
+  const auto ref = run_scalar(prog, m, false);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap.reason, sim::TrapReason::InvalidOpcode);
+  EXPECT_EQ(ref.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap, ref.trap);
+}
+
+TEST(TrapSafety, ScalarRfIndexOutOfRangeTrapsOnBothPaths) {
+  const mach::Machine m = mach::make_mblaze3();
+  // Source register index 200 in a 32-register file.
+  const auto prog = scalar_prog_with(minstr(
+      ir::Opcode::Add, {0, 2}, {mach::PhysReg{0, 200}, MOperand::immediate(1)}));
+  const auto fast = run_scalar(prog, m, true);
+  const auto ref = run_scalar(prog, m, false);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap.reason, sim::TrapReason::RfIndexOutOfRange);
+  EXPECT_EQ(fast.trap.detail, 200u);
+  EXPECT_EQ(ref.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap, ref.trap);
+}
+
+TEST(TrapSafety, VliwInvalidOpcodeTrapsOnBothPaths) {
+  const mach::Machine m = mach::make_m_vliw_2();
+  const auto prog = vliw_prog_with(minstr(static_cast<ir::Opcode>(250), {0, 2}, {}), 1, 1);
+  const auto fast = run_vliw(prog, m, true);
+  const auto ref = run_vliw(prog, m, false);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap.reason, sim::TrapReason::InvalidOpcode);
+  EXPECT_EQ(ref.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap, ref.trap);
+}
+
+TEST(TrapSafety, VliwRfIndexOutOfRangeTrapsOnBothPaths) {
+  const mach::Machine m = mach::make_m_vliw_2();
+  const auto prog = vliw_prog_with(
+      minstr(ir::Opcode::Add, {0, 2}, {mach::PhysReg{0, 99}, MOperand::immediate(1)}), 1, 1);
+  const auto fast = run_vliw(prog, m, true);
+  const auto ref = run_vliw(prog, m, false);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap.reason, sim::TrapReason::RfIndexOutOfRange);
+  EXPECT_EQ(ref.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap, ref.trap);
+}
+
+TEST(TrapSafety, TtaInvalidOpcodeTrapsOnBothPaths) {
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(5), MoveDst::fu_operand(1));
+  a.mv(0, 1, MoveSrc::immediate(7), MoveDst::fu_trigger(1, static_cast<ir::Opcode>(200)));
+  a.ret(1, 0, 1, MoveSrc::fu_result(1));
+  const auto fast = run_tta(a.prog, m, nullptr, true);
+  const auto ref = run_tta(a.prog, m, nullptr, false);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap.reason, sim::TrapReason::InvalidOpcode);
+  EXPECT_EQ(ref.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap, ref.trap);
+}
+
+TEST(TrapSafety, TtaRfIndexOutOfRangeTrapsOnBothPaths) {
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::rf_read(0, 200), MoveDst::fu_operand(1));
+  a.ret(1, 0, 1, MoveSrc::immediate(0));
+  const auto fast = run_tta(a.prog, m, nullptr, true);
+  const auto ref = run_tta(a.prog, m, nullptr, false);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap.reason, sim::TrapReason::RfIndexOutOfRange);
+  EXPECT_EQ(fast.trap.detail, 200u);
+  EXPECT_EQ(ref.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap, ref.trap);
+}
+
+TEST(TrapSafety, UnsupportedOpcodeOnFuTraps) {
+  // A valid ISA opcode triggered on an FU that does not implement it
+  // (e.g. a load on the ALU) must also fail closed.
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(0), MoveDst::fu_trigger(1, ir::Opcode::Ldw));
+  a.ret(1, 0, 1, MoveSrc::immediate(0));
+  const auto fast = run_tta(a.prog, m, nullptr, true);
+  const auto ref = run_tta(a.prog, m, nullptr, false);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(fast.trap.reason, sim::TrapReason::InvalidOpcode);
+  EXPECT_EQ(fast.trap, ref.trap);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-placed state faults with hand-computed classifications.
+
+/// cycle0: rf0[3] <- 77 ; cycle3: ret rf0[3].
+TtaProgram rf_return_program() {
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(77), MoveDst::rf_write(0, 3));
+  a.at(2);  // empty instructions at pc 1..2
+  a.ret(3, 0, 1, MoveSrc::rf_read(0, 3));
+  return a.prog;
+}
+
+TEST(HandPlacedFault, RfBitFlipOnLiveRegisterIsSdc) {
+  const mach::Machine m = mach::make_m_tta_1();
+  const TtaProgram prog = rf_return_program();
+  tta::verify_program(prog, m);
+  // Flip bit 1 of rf0[3] at the top of cycle 2: well after the cycle-0
+  // write committed, before the cycle-3 read. 77 ^ 2 = 79.
+  sim::FaultSet fs;
+  fs.faults.push_back({2, sim::FaultKind::RfBit, 0, 3, 1});
+  const auto fast = run_tta(prog, m, &fs, true);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Ok);
+  EXPECT_EQ(fast.ret, 79u);  // silent data corruption, hand-computed
+  // Both paths observe the identical corrupted state from the flip on.
+  const auto ref = run_tta(prog, m, &fs, false);
+  EXPECT_EQ(fast, ref);
+}
+
+TEST(HandPlacedFault, RfBitFlipOnDeadRegisterIsMaskedButLatent) {
+  const mach::Machine m = mach::make_m_tta_1();
+  const TtaProgram prog = rf_return_program();
+  sim::FaultSet fs;
+  fs.faults.push_back({2, sim::FaultKind::RfBit, 0, 9, 1});  // rf0[9]: never read
+  const auto faulted = run_tta(prog, m, &fs, true);
+  const auto golden = run_tta(prog, m, nullptr, true);
+  ASSERT_EQ(faulted.status, sim::ExecStatus::Ok);
+  EXPECT_EQ(faulted.ret, golden.ret);            // masked: output unchanged
+  EXPECT_NE(faulted.rf_state, golden.rf_state);  // ...but latently corrupt
+  EXPECT_EQ(faulted.rf_state[9], 2u);            // 0 ^ (1 << 1)
+}
+
+TEST(HandPlacedFault, FuResultBitFlipPropagatesToConsumer) {
+  const mach::Machine m = mach::make_m_tta_1();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(5), MoveDst::fu_operand(1));
+  a.mv(0, 1, MoveSrc::immediate(7), MoveDst::fu_trigger(1, ir::Opcode::Add));
+  a.at(2);
+  a.ret(3, 0, 1, MoveSrc::fu_result(1));
+  tta::verify_program(a.prog, m);
+  // 12 lands in alu.r at cycle 1; flip bit 0 at the top of cycle 2 -> 13.
+  sim::FaultSet fs;
+  fs.faults.push_back({2, sim::FaultKind::FuResultBit, 1, 0, 0});
+  const auto fast = run_tta(a.prog, m, &fs, true);
+  ASSERT_EQ(fast.status, sim::ExecStatus::Ok);
+  EXPECT_EQ(fast.ret, 13u);
+  EXPECT_EQ(fast, run_tta(a.prog, m, &fs, false));
+}
+
+TEST(HandPlacedFault, GuardBitFlipSquashesGuardedMove) {
+  const mach::Machine m = mach::make_g_tta_2();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(1), MoveDst::guard_write(0));
+  a.at(2);
+  a.mv(3, 0, MoveSrc::immediate(55), MoveDst::rf_write(0, 4)).guard = 0;
+  a.ret(4, 0, 1, MoveSrc::rf_read(0, 4));
+  tta::verify_program(a.prog, m);
+  const auto golden = run_tta(a.prog, m, nullptr, true);
+  ASSERT_EQ(golden.status, sim::ExecStatus::Ok);
+  EXPECT_EQ(golden.ret, 55u);  // guard true: the guarded write executed
+  // Flip guard 0 at the top of cycle 3, before the guarded move: squashed,
+  // rf0[4] keeps its reset value 0.
+  sim::FaultSet fs;
+  fs.faults.push_back({3, sim::FaultKind::GuardBit, 0, 0, 0});
+  const auto faulted = run_tta(a.prog, m, &fs, true);
+  ASSERT_EQ(faulted.status, sim::ExecStatus::Ok);
+  EXPECT_EQ(faulted.ret, 0u);
+  EXPECT_EQ(faulted, run_tta(a.prog, m, &fs, false));
+}
+
+TEST(HandPlacedFault, FaultPastHaltCycleIsMasked) {
+  const mach::Machine m = mach::make_m_tta_1();
+  const TtaProgram prog = rf_return_program();
+  sim::FaultSet fs;
+  fs.faults.push_back({5000, sim::FaultKind::RfBit, 0, 3, 1});
+  const auto faulted = run_tta(prog, m, &fs, true);
+  EXPECT_EQ(faulted, run_tta(prog, m, nullptr, true));
+}
+
+TEST(HandPlacedFault, OutOfRangeFaultTargetIsIgnored) {
+  // The sampler never emits these, but a FaultSet is caller data: an
+  // out-of-range unit/index must be a no-op, not UB.
+  const mach::Machine m = mach::make_m_tta_1();
+  const TtaProgram prog = rf_return_program();
+  sim::FaultSet fs;
+  fs.faults.push_back({1, sim::FaultKind::RfBit, 7, 300, 1});
+  fs.faults.push_back({1, sim::FaultKind::FuResultBit, 90, 0, 0});
+  fs.faults.push_back({1, sim::FaultKind::GuardBit, 5, 0, 0});
+  const auto faulted = run_tta(prog, m, &fs, true);
+  EXPECT_EQ(faulted, run_tta(prog, m, nullptr, true));
+}
+
+// ---------------------------------------------------------------------------
+// Instruction-memory injector: bit accounting and hand-computed flips.
+
+TEST(Inject, ScalarBitLayoutHandComputed) {
+  // {MovI r1 <- 42 ; Ret r1}: MovI = opcode(8) + dst rf(4) + dst idx(8) +
+  // imm(32) = 52 bits; Ret = opcode(8) + src rf(4) + src idx(8) = 20 bits.
+  scalar::ScalarProgram p;
+  p.block_entry = {0};
+  p.instrs.push_back(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(42)}));
+  p.instrs.push_back(minstr(ir::Opcode::Ret, kNoDst, {mach::PhysReg{0, 1}}));
+  ASSERT_EQ(resil::imem_bits(p), 72u);
+
+  const mach::Machine m = mach::make_mblaze3();
+  EXPECT_EQ(run_scalar(p, m, true).ret, 42u);
+
+  // Bit 20 is imm bit 0 of the MovI: 42 ^ 1 = 43. A wrong-but-valid
+  // encoding — the campaign classifies this as SDC.
+  const auto sdc = resil::flip_bit(p, 20);
+  const auto r_sdc = run_scalar(sdc, m, true);
+  ASSERT_EQ(r_sdc.status, sim::ExecStatus::Ok);
+  EXPECT_EQ(r_sdc.ret, 43u);
+
+  // Bit 71 is src-index bit 7 of the Ret: register 1 -> 129, out of range
+  // for the 32-register file -> the decoder fails closed.
+  const auto trap = resil::flip_bit(p, 71);
+  const auto r_trap = run_scalar(trap, m, true);
+  ASSERT_EQ(r_trap.status, sim::ExecStatus::Trapped);
+  EXPECT_EQ(r_trap.trap.reason, sim::TrapReason::RfIndexOutOfRange);
+  EXPECT_EQ(r_trap.trap.detail, 129u);
+  EXPECT_EQ(r_trap.trap, run_scalar(trap, m, false).trap);
+}
+
+TEST(Inject, FlipIsInvolutive) {
+  scalar::ScalarProgram p;
+  p.block_entry = {0};
+  p.instrs.push_back(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(42)}));
+  p.instrs.push_back(minstr(ir::Opcode::Ret, kNoDst, {mach::PhysReg{0, 1}}));
+  const mach::Machine m = mach::make_mblaze3();
+  const auto golden = run_scalar(p, m, true);
+  for (std::uint64_t bit = 0; bit < resil::imem_bits(p); ++bit) {
+    const auto twice = resil::flip_bit(resil::flip_bit(p, bit), bit);
+    EXPECT_EQ(resil::imem_bits(twice), resil::imem_bits(p));
+    EXPECT_EQ(run_scalar(twice, m, true), golden) << "bit " << bit;
+  }
+}
+
+TEST(Inject, EveryScalarImemFlipFailsClosed) {
+  // Exhaustive single-bit sweep of a tiny program: every flip must resolve
+  // to a structured status (never an abort), on both paths, identically.
+  scalar::ScalarProgram p;
+  p.block_entry = {0};
+  p.instrs.push_back(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(42)}));
+  p.instrs.push_back(
+      minstr(ir::Opcode::Add, {0, 2}, {mach::PhysReg{0, 1}, MOperand::immediate(1)}));
+  p.instrs.push_back(minstr(ir::Opcode::Ret, kNoDst, {mach::PhysReg{0, 2}}));
+  const mach::Machine m = mach::make_mblaze3();
+  for (std::uint64_t bit = 0; bit < resil::imem_bits(p); ++bit) {
+    const auto flipped = resil::flip_bit(p, bit);
+    const auto fast = run_scalar(flipped, m, true);
+    const auto ref = run_scalar(flipped, m, false);
+    EXPECT_EQ(fast.status, ref.status) << "bit " << bit;
+    if (fast.status == sim::ExecStatus::Trapped) {
+      EXPECT_EQ(fast.trap, ref.trap) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Inject, TtaGuardEncodingRoundTrips) {
+  // The TTA walk encodes guard as guard+1 so flips can add/remove
+  // predication. Flipping guard bit 0 of an unconditional move makes it
+  // guarded on guard 0; flipping back restores -1.
+  const mach::Machine m = mach::make_g_tta_2();
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(77), MoveDst::rf_write(0, 3));
+  a.ret(1, 0, 1, MoveSrc::rf_read(0, 3));
+  const auto once = resil::flip_bit(a.prog, 0);
+  EXPECT_EQ(once.instrs[0].moves[0].guard, 0);
+  const auto twice = resil::flip_bit(once, 0);
+  EXPECT_EQ(twice.instrs[0].moves[0].guard, -1);
+  // The guard-flipped program still runs to a structured status: guard 0 is
+  // false at reset, so the write is squashed and the return value is 0.
+  const auto r = run_tta(once, m, nullptr, true);
+  ASSERT_EQ(r.status, sim::ExecStatus::Ok);
+  EXPECT_EQ(r.ret, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: bit accounting, sampling bounds, determinism.
+
+TEST(FaultPlan, BitTotalsHandComputed) {
+  // m-tta-1: one 32x32 RF = 1024 bits, 3 FU result registers = 96 bits,
+  // no guards.
+  const mach::Machine m = mach::make_m_tta_1();
+  const resil::FaultPlan plan(m, true, 500, 1000);
+  EXPECT_EQ(plan.rf_bits(), 1024u);
+  EXPECT_EQ(plan.fu_result_bits(), 96u);
+  EXPECT_EQ(plan.guard_bits(), 0u);
+  EXPECT_EQ(plan.imem_bits(), 500u);
+  EXPECT_EQ(plan.total_bits(), 1024u + 96u + 500u);
+  // Non-TTA machines have no architecturally visible FU result registers.
+  const resil::FaultPlan scalar_plan(mach::make_mblaze3(), false, 500, 1000);
+  EXPECT_EQ(scalar_plan.fu_result_bits(), 0u);
+}
+
+TEST(FaultPlan, SamplesAreInBoundsAndDeterministic) {
+  const mach::Machine m = mach::make_g_tta_2();
+  const std::uint64_t imem = 700;
+  const std::uint64_t cycles = 1234;
+  const resil::FaultPlan plan(m, true, imem, cycles);
+  bool saw_rf = false, saw_imem = false;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const std::uint64_t seed = resil::mix_seed(42, i);
+    const resil::FaultSpec a = plan.sample(seed);
+    const resil::FaultSpec b = plan.sample(seed);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.imem_bit, b.imem_bit);
+    EXPECT_EQ(a.state.cycle, b.state.cycle);
+    EXPECT_EQ(a.state.unit, b.state.unit);
+    EXPECT_EQ(a.state.index, b.state.index);
+    EXPECT_EQ(a.state.bit, b.state.bit);
+    switch (a.target) {
+      case resil::TargetKind::Rf:
+        saw_rf = true;
+        ASSERT_LT(a.state.unit, static_cast<int>(m.rfs.size()));
+        ASSERT_LT(a.state.index, m.rfs[static_cast<std::size_t>(a.state.unit)].size);
+        ASSERT_LT(a.state.bit, 32);
+        EXPECT_LT(a.state.cycle, cycles);
+        break;
+      case resil::TargetKind::FuResult:
+        ASSERT_LT(a.state.unit, static_cast<int>(m.fus.size()));
+        ASSERT_LT(a.state.bit, 32);
+        break;
+      case resil::TargetKind::Guard:
+        ASSERT_LT(a.state.unit, m.guard_regs);
+        break;
+      case resil::TargetKind::Imem:
+        saw_imem = true;
+        ASSERT_LT(a.imem_bit, imem);
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_rf);
+  EXPECT_TRUE(saw_imem);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign: classification totals, determinism across thread counts,
+// configuration errors.
+
+resil::CampaignOptions small_campaign() {
+  resil::CampaignOptions opt;
+  opt.machines = {"mblaze-3", "m-tta-1"};
+  opt.workloads = {"sha"};
+  opt.injections_per_cell = 48;
+  opt.seed = 99;
+  return opt;
+}
+
+TEST(Campaign, TalliesAreCompleteAndInfraClean) {
+  resil::CampaignOptions opt = small_campaign();
+  opt.serial = true;
+  obs::Registry registry;
+  opt.registry = &registry;
+  const resil::CampaignReport report = resil::run_campaign(opt);
+  ASSERT_EQ(report.cells.size(), 2u);
+  for (const resil::CellReport& c : report.cells) {
+    ASSERT_TRUE(c.ok) << c.error;
+    EXPECT_GT(c.golden_cycles, 0u);
+    EXPECT_GT(c.imem_bits, 0u);
+    const resil::TargetTally t = c.total();
+    EXPECT_EQ(t.injections, 48u);
+    EXPECT_EQ(t.masked + t.sdc + t.timeout + t.trap + t.err, 48u);
+    EXPECT_EQ(t.err, 0u);  // no aborts, no infra failures
+    EXPECT_LE(t.latent, t.masked);
+  }
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.infra_failures(), 0u);
+  EXPECT_EQ(registry.counter("resil.cells.run"), 2u);
+  EXPECT_EQ(registry.counter("resil.cells.err"), 0u);
+  std::uint64_t injections = 0;
+  for (const char* target : {"rf", "fu-result", "guard", "imem"}) {
+    injections += registry.counter("resil." + std::string(target) + ".injections");
+  }
+  EXPECT_EQ(injections, 96u);
+}
+
+TEST(Campaign, ByteIdenticalAcrossThreadCounts) {
+  resil::CampaignOptions opt = small_campaign();
+  opt.serial = true;
+  const resil::CampaignReport serial = resil::run_campaign(opt);
+  const std::string table = resil::render_resilience(serial);
+  const std::string json = resil::render_resil_report_json(serial);
+  opt.serial = false;
+  for (int threads : {1, 2, 8}) {
+    opt.threads = threads;
+    const resil::CampaignReport r = resil::run_campaign(opt);
+    EXPECT_EQ(resil::render_resilience(r), table) << threads << " threads";
+    EXPECT_EQ(resil::render_resil_report_json(r), json) << threads << " threads";
+  }
+}
+
+TEST(Campaign, SeedChangesTheTable) {
+  resil::CampaignOptions opt = small_campaign();
+  opt.machines = {"mblaze-3"};
+  opt.serial = true;
+  const resil::CampaignReport a = resil::run_campaign(opt);
+  opt.seed = 100;
+  const resil::CampaignReport b = resil::run_campaign(opt);
+  EXPECT_NE(resil::render_resil_report_json(a), resil::render_resil_report_json(b));
+}
+
+TEST(Campaign, UnknownNamesAreConfigurationErrors) {
+  resil::CampaignOptions opt = small_campaign();
+  opt.machines = {"no-such-machine"};
+  EXPECT_THROW(resil::run_campaign(opt), Error);
+  opt = small_campaign();
+  opt.workloads = {"no-such-workload"};
+  EXPECT_THROW(resil::run_campaign(opt), Error);
+  opt = small_campaign();
+  opt.injections_per_cell = 0;
+  EXPECT_THROW(resil::run_campaign(opt), Error);
+}
+
+}  // namespace
+}  // namespace ttsc
