@@ -13,10 +13,18 @@
 //                       hardware concurrency)
 //   --serial            plain loop, no thread pool (determinism reference —
 //                       byte-identical output to any threaded run)
+//   --no-batch          per-injection scalar path instead of the batched
+//                       lockstep stepper (sim/lockstep.hpp); the report is
+//                       byte-identical either way
+//   --batch-lanes N     lockstep lanes per batch (1..64, default 64)
 //   --metrics           print the campaign's merged "resil.*" counters to
 //                       stderr
 //   --report-json=FILE  write the machine-readable campaign report
 //                       ("ttsc-resil-report" v1; diffable via report_diff)
+//   --bench-json=FILE   run the batched-vs-scalar throughput benchmark on
+//                       the configured cell set instead of a campaign and
+//                       write "ttsc-resil-bench" v1 JSON (BENCH_resil.json
+//                       in CI); stdout carries a per-cell speedup table
 //
 // Stream hygiene matches the other harnesses: stdout carries only the
 // table; diagnostics go to stderr. Exits non-zero on any ERR cell or
@@ -48,8 +56,8 @@ std::vector<std::string> split_list(const std::string& csv) {
 [[noreturn]] void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--machines=a,b,c] [--workloads=x,y] [--injections N] "
-               "[--seed N] [--threads N] [--serial] [--metrics] "
-               "[--report-json=FILE]\n",
+               "[--seed N] [--threads N] [--serial] [--no-batch] [--batch-lanes N] "
+               "[--metrics] [--report-json=FILE] [--bench-json=FILE]\n",
                prog);
   std::exit(2);
 }
@@ -62,12 +70,19 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("TTSC_THREADS")) options.threads = std::atoi(env);
   bool metrics = false;
   std::string report_json;
+  std::string bench_json;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--serial") == 0) {
       options.serial = true;
+    } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+      options.batch = false;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (bench::flag_value(argc, argv, i, "--batch-lanes", value)) {
+      options.batch_lanes = std::atoi(value.c_str());
+    } else if (bench::flag_value(argc, argv, i, "--bench-json", value)) {
+      bench_json = value;
     } else if (bench::flag_value(argc, argv, i, "--machines", value)) {
       options.machines = split_list(value);
     } else if (bench::flag_value(argc, argv, i, "--workloads", value)) {
@@ -87,6 +102,37 @@ int main(int argc, char** argv) {
   if (options.machines.empty() || options.workloads.empty() ||
       options.injections_per_cell <= 0) {
     usage(argv[0]);
+  }
+
+  // Benchmark mode: time the batched path against the scalar path on the
+  // configured cell set and emit the BENCH artifact; no campaign table.
+  if (!bench_json.empty()) {
+    resil::BenchReport bench;
+    try {
+      bench = resil::run_batch_benchmark(options);
+      resil::write_resil_bench(bench_json, bench);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+    std::printf("%-10s %-9s %8s %14s %14s %8s\n", "machine", "workload", "inj",
+                "scalar inj/s", "batched inj/s", "speedup");
+    int exit_code = 0;
+    for (const resil::BenchCell& c : bench.cells) {
+      if (!c.ok) {
+        std::fprintf(stderr, "bench cell failed: %s/%s: %s\n", c.machine.c_str(),
+                     c.workload.c_str(), c.error.c_str());
+        exit_code = 1;
+        continue;
+      }
+      const double inj = static_cast<double>(c.injections);
+      std::printf("%-10s %-9s %8llu %14.0f %14.0f %7.1fx\n", c.machine.c_str(),
+                  c.workload.c_str(), static_cast<unsigned long long>(c.injections),
+                  c.scalar_seconds > 0.0 ? inj / c.scalar_seconds : 0.0,
+                  c.batched_seconds > 0.0 ? inj / c.batched_seconds : 0.0,
+                  c.batched_seconds > 0.0 ? c.scalar_seconds / c.batched_seconds : 0.0);
+    }
+    return exit_code;
   }
 
   obs::Registry registry;

@@ -1,5 +1,7 @@
 #include "resil/campaign.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <optional>
 
@@ -11,7 +13,9 @@
 #include "report/driver.hpp"
 #include "resil/inject.hpp"
 #include "scalar/scalar.hpp"
+#include "sim/lockstep.hpp"
 #include "sim/predecode.hpp"
+#include "support/assert.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "tta/tta.hpp"
@@ -54,6 +58,13 @@ struct PreparedCell {
   std::shared_ptr<const sim::PredecodedScalar> scalar_pre;
 
   Golden golden;
+  /// Typed golden ExecResults (one engaged, per model): the lockstep
+  /// reference that lets a batch stop once every lane converged/evicted.
+  std::optional<scalar::ExecResult> scalar_golden;
+  std::optional<vliw::ExecResult> vliw_golden;
+  std::optional<tta::ExecResult> tta_golden;
+  /// Pristine loaded image, copied for every injection / lockstep leader.
+  std::optional<ir::Memory> initial_mem;
   std::optional<ir::Memory> golden_mem;
   std::uint64_t imem_bits = 0;
 };
@@ -78,7 +89,8 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
   const codegen::LowerResult lowered =
       codegen::lower(cell.module, workloads::entry_point(), cell.machine);
 
-  ir::Memory mem = report::make_loaded_memory(cell.module);
+  cell.initial_mem.emplace(report::make_loaded_memory(cell.module));
+  ir::Memory mem = *cell.initial_mem;
   switch (cell.machine.model) {
     case mach::Model::Scalar: {
       cell.scalar_prog = scalar::emit_scalar(lowered.func);
@@ -92,6 +104,7 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
         throw Error(format("golden run did not complete: %s", sim::exec_status_name(r.status)));
       }
       cell.golden = {r.cycles, r.ret, 0, r.rf_state, {}};
+      cell.scalar_golden = r;
       break;
     }
     case mach::Model::Vliw: {
@@ -106,6 +119,7 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
         throw Error(format("golden run did not complete: %s", sim::exec_status_name(r.status)));
       }
       cell.golden = {r.cycles, r.ret, 0, r.rf_state, {}};
+      cell.vliw_golden = r;
       break;
     }
     case mach::Model::Tta: {
@@ -120,6 +134,7 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
         throw Error(format("golden run did not complete: %s", sim::exec_status_name(r.status)));
       }
       cell.golden = {r.cycles, r.ret, 0, r.rf_state, r.guard_state};
+      cell.tta_golden = r;
       break;
     }
   }
@@ -146,13 +161,10 @@ Outcome classify(const PreparedCell& cell, const Result& r, const ir::Memory& me
   return Outcome::Masked;
 }
 
-Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, bool& latent) {
+Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, std::uint64_t budget,
+                      bool& latent) {
   latent = false;
-  // A fault can at most double the dynamic path before it either halts,
-  // traps, or diverges into a hang; anything past 2x golden (+ slack for
-  // short programs) is classified as Timeout.
-  const std::uint64_t budget = cell.golden.cycles * 2 + 256;
-  ir::Memory mem = report::make_loaded_memory(cell.module);
+  ir::Memory mem = *cell.initial_mem;
   sim::SimOptions opts;
   opts.harden = true;
   sim::FaultSet fs;
@@ -195,6 +207,112 @@ Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, bool& lat
   TTSC_UNREACHABLE("resil: unhandled machine model");
 }
 
+/// Output checksum of a lockstep lane's image without materializing it:
+/// report::workload_output_checksum with each global's region checksummed
+/// through the lane's sparse delta over the leader image.
+std::uint64_t delta_output_checksum(const PreparedCell& cell, const ir::Memory& leader_mem,
+                                    const sim::MemDelta& delta) {
+  const ir::DataLayout layout = cell.module.layout();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::string& name : cell.workload->output_globals) {
+    const ir::Global* g = cell.module.find_global(name);
+    TTSC_ASSERT(g != nullptr, "workload output global missing: " + name);
+    h ^= sim::checksum_with_delta(leader_mem, delta, layout.address_of(name),
+                                  static_cast<std::uint32_t>(g->size));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// classify() for a lockstep lane. Equivalent to running the scalar path's
+/// classify on the lane's materialized result/memory, but without paying
+/// for a full memory image per lane: `leader_mem` is the fault-free final
+/// image (== *cell.golden_mem), so "lane memory differs from golden" is
+/// exactly "delta non-empty".
+template <typename Result>
+Outcome classify_lane(const PreparedCell& cell, const sim::LaneOutcome<Result>& lo,
+                      const ir::Memory& leader_mem, bool& latent) {
+  latent = false;
+  if (lo.evicted) return classify(cell, lo.result, *lo.mem, latent);
+  if (lo.converged) return Outcome::Masked;  // bit-identical to golden throughout
+  switch (lo.result.status) {
+    case sim::ExecStatus::Trapped: return Outcome::Trap;
+    case sim::ExecStatus::TimedOut: return Outcome::Timeout;
+    case sim::ExecStatus::Ok: break;
+  }
+  const std::uint64_t checksum = delta_output_checksum(cell, leader_mem, lo.delta);
+  if (lo.result.ret != cell.golden.ret || checksum != cell.golden.out_checksum) {
+    return Outcome::Sdc;
+  }
+  latent = lo.result.rf_state != cell.golden.rf || !lo.delta.empty();
+  if constexpr (requires { lo.result.guard_state; }) {
+    latent = latent || lo.result.guard_state != cell.golden.guards;
+  }
+  return Outcome::Masked;
+}
+
+/// Index-addressed injection outcome: the reduction reads slots in order,
+/// so tallies are thread-count and lane-grouping independent.
+struct Slot {
+  TargetKind target = TargetKind::Rf;
+  Outcome outcome = Outcome::Err;
+  bool latent = false;
+};
+
+struct BatchStats {
+  std::uint64_t lanes = 0;
+  std::uint64_t divergences = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Run one lockstep lane group (state faults only — `idxs` indexes into the
+/// cell's pre-sampled spec table) and classify each lane into its slot.
+/// Throws only on infrastructure failure (the caller retries, then records
+/// Err for the whole group).
+BatchStats run_lane_group(const PreparedCell& cell, const std::vector<FaultSpec>& specs,
+                          const std::vector<std::size_t>& idxs, std::size_t begin,
+                          std::size_t count, std::uint64_t budget, std::vector<Slot>& slots) {
+  TTSC_ASSERT(budget == timeout_budget(cell.golden.cycles),
+              "lockstep lanes in one batch must share the cell's timeout budget");
+  std::vector<sim::FaultSet> lane_faults(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const FaultSpec& spec = specs[idxs[begin + k]];
+    TTSC_ASSERT(spec.target != TargetKind::Imem, "imem faults are never batchable");
+    lane_faults[k].faults.push_back(spec.state);
+  }
+  BatchStats stats;
+  auto classify_all = [&](const auto& br) {
+    stats.lanes = count;
+    stats.divergences = br.divergences;
+    stats.evictions = br.evictions;
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t i = idxs[begin + k];
+      Slot s;
+      s.target = specs[i].target;
+      s.outcome = classify_lane(cell, br.lanes[k], br.leader_mem, s.latent);
+      slots[i] = s;
+    }
+  };
+  switch (cell.machine.model) {
+    case mach::Model::Scalar:
+      classify_all(sim::run_scalar_batch(*cell.scalar_prog, cell.machine, cell.scalar_pre,
+                                         *cell.initial_mem, lane_faults, budget,
+                                         &*cell.scalar_golden, &*cell.golden_mem));
+      break;
+    case mach::Model::Vliw:
+      classify_all(sim::run_vliw_batch(*cell.vliw_prog, cell.machine, cell.vliw_pre,
+                                       *cell.initial_mem, lane_faults, budget,
+                                       &*cell.vliw_golden, &*cell.golden_mem));
+      break;
+    case mach::Model::Tta:
+      classify_all(sim::run_tta_batch(*cell.tta_prog, cell.machine, cell.tta_pre,
+                                      *cell.initial_mem, lane_faults, budget,
+                                      &*cell.tta_golden, &*cell.golden_mem));
+      break;
+  }
+  return stats;
+}
+
 void export_cell_metrics(obs::Registry* registry, const CellReport& cr) {
   if (registry == nullptr) return;
   // One shard, one merge per cell (the obs::Registry concurrency contract).
@@ -210,6 +328,11 @@ void export_cell_metrics(obs::Registry* registry, const CellReport& cr) {
     shard.add(format("resil.%s.trap", tn), tt.trap);
     shard.add(format("resil.%s.err", tn), tt.err);
     shard.add(format("resil.%s.latent", tn), tt.latent);
+  }
+  if (cr.batch_lanes != 0) {
+    shard.add("resil.batch.lanes", cr.batch_lanes);
+    shard.add("resil.batch.divergences", cr.batch_divergences);
+    shard.add("resil.batch.evictions", cr.batch_evictions);
   }
   shard.add("resil.cells.run");
   if (!cr.ok) shard.add("resil.cells.err");
@@ -257,6 +380,9 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   if (options.injections_per_cell <= 0) {
     throw Error("resil: injections_per_cell must be positive");
   }
+  if (options.batch && (options.batch_lanes < 1 || options.batch_lanes > sim::kMaxLanes)) {
+    throw Error(format("resil: batch_lanes must be in 1..%d", sim::kMaxLanes));
+  }
   // Configuration errors (unknown names) throw up front; anything that
   // fails later degrades to an ERR cell.
   std::vector<const workloads::Workload*> cell_workloads;
@@ -286,35 +412,100 @@ CampaignReport run_campaign(const CampaignOptions& options) {
         const std::uint64_t cell_seed =
             mix_seed(options.seed, hash_name(machine_name + "/" + w->name));
 
+        const std::uint64_t budget = timeout_budget(cell.golden.cycles);
+
+        // Pre-sample every injection by index: the spec stream is a pure
+        // function of (seed, cell, index) regardless of batching, thread
+        // count or lane grouping.
+        const std::size_t n = static_cast<std::size_t>(options.injections_per_cell);
+        std::vector<FaultSpec> specs(n);
+        for (std::size_t i = 0; i < n; ++i) specs[i] = plan.sample(mix_seed(cell_seed, i));
+
         // Index-addressed result table: the reduction below reads it in
         // order, so tallies are thread-count independent.
-        struct Slot {
-          TargetKind target = TargetKind::Rf;
-          Outcome outcome = Outcome::Err;
-          bool latent = false;
-        };
-        const std::size_t n = static_cast<std::size_t>(options.injections_per_cell);
         std::vector<Slot> slots(n);
-        auto body = [&](std::size_t i) {
-          const FaultSpec spec = plan.sample(mix_seed(cell_seed, i));
-          Slot s;
-          s.target = spec.target;
+
+        // Retry-once-then-Err wrapper shared by both execution paths. The
+        // fault model itself never throws — simulators fail closed — so a
+        // throw is an infrastructure failure.
+        auto attempt_twice = [](auto&& work, auto&& on_err) {
           for (int attempt = 0; attempt < 2; ++attempt) {
             try {
-              s.outcome = run_injection(cell, spec, s.latent);
-              break;
+              work();
+              return;
             } catch (const std::exception&) {
-              // Infrastructure failure: retry once, then record Err. The
-              // fault model itself never throws — simulators fail closed.
-              s.outcome = Outcome::Err;
             }
           }
+          on_err();
+        };
+
+        auto scalar_injection = [&](std::size_t i) {
+          Slot s;
+          s.target = specs[i].target;
+          attempt_twice([&] { s.outcome = run_injection(cell, specs[i], budget, s.latent); },
+                        [&] { s = Slot{specs[i].target, Outcome::Err, false}; });
           slots[i] = s;
         };
-        if (options.serial) {
-          for (std::size_t i = 0; i < n; ++i) body(i);
+
+        if (!options.batch) {
+          auto body = [&](std::size_t i) { scalar_injection(i); };
+          if (options.serial) {
+            for (std::size_t i = 0; i < n; ++i) body(i);
+          } else {
+            support::parallel_for(*pool, n, body);
+          }
         } else {
-          support::parallel_for(*pool, n, body);
+          // Partition by index order: state faults (rf / fu-result / guard)
+          // pack into lockstep lane groups; imem faults mutate the program
+          // itself, so they stay on the per-injection scalar path.
+          std::vector<std::size_t> state_idx;
+          std::vector<std::size_t> imem_idx;
+          for (std::size_t i = 0; i < n; ++i) {
+            (specs[i].target == TargetKind::Imem ? imem_idx : state_idx).push_back(i);
+          }
+          // Group lanes by fault cycle: a batch whose faults all land early
+          // can settle (or evict) early and take the leader's settled exit,
+          // instead of every batch carrying one late fault to the end. Lane
+          // results are grouping-invariant, so the report is unchanged; the
+          // stable sort keeps the grouping deterministic.
+          std::stable_sort(state_idx.begin(), state_idx.end(),
+                           [&](std::size_t a, std::size_t b) {
+                             return specs[a].state.cycle < specs[b].state.cycle;
+                           });
+          const std::size_t lanes = static_cast<std::size_t>(options.batch_lanes);
+          const std::size_t num_groups = (state_idx.size() + lanes - 1) / lanes;
+          std::vector<BatchStats> group_stats(num_groups);
+          auto body = [&](std::size_t item) {
+            if (item < num_groups) {
+              const std::size_t begin = item * lanes;
+              const std::size_t count = std::min(lanes, state_idx.size() - begin);
+              attempt_twice(
+                  [&] {
+                    group_stats[item] =
+                        run_lane_group(cell, specs, state_idx, begin, count, budget, slots);
+                  },
+                  [&] {
+                    group_stats[item] = BatchStats{};
+                    for (std::size_t k = 0; k < count; ++k) {
+                      const std::size_t i = state_idx[begin + k];
+                      slots[i] = Slot{specs[i].target, Outcome::Err, false};
+                    }
+                  });
+            } else {
+              scalar_injection(imem_idx[item - num_groups]);
+            }
+          };
+          const std::size_t items = num_groups + imem_idx.size();
+          if (options.serial) {
+            for (std::size_t item = 0; item < items; ++item) body(item);
+          } else {
+            support::parallel_for(*pool, items, body);
+          }
+          for (const BatchStats& gs : group_stats) {
+            cr.batch_lanes += gs.lanes;
+            cr.batch_divergences += gs.divergences;
+            cr.batch_evictions += gs.evictions;
+          }
         }
 
         for (const Slot& s : slots) {
@@ -340,6 +531,188 @@ CampaignReport run_campaign(const CampaignOptions& options) {
     }
   }
   return report;
+}
+
+bool BenchReport::all_ok() const {
+  for (const BenchCell& c : cells) {
+    if (!c.ok) return false;
+  }
+  return true;
+}
+
+BenchReport run_batch_benchmark(const CampaignOptions& options) {
+  if (options.injections_per_cell <= 0) {
+    throw Error("resil: injections_per_cell must be positive");
+  }
+  if (options.batch_lanes < 1 || options.batch_lanes > sim::kMaxLanes) {
+    throw Error(format("resil: batch_lanes must be in 1..%d", sim::kMaxLanes));
+  }
+  std::vector<const workloads::Workload*> cell_workloads;
+  for (const std::string& name : options.workloads) {
+    cell_workloads.push_back(&workload_by_name(name));
+  }
+  for (const std::string& name : options.machines) (void)mach::machine_by_name(name);
+
+  BenchReport report;
+  report.seed = options.seed;
+  report.injections_per_cell = static_cast<std::uint64_t>(options.injections_per_cell);
+  report.batch_lanes = options.batch_lanes;
+
+  for (const std::string& machine_name : options.machines) {
+    for (const workloads::Workload* w : cell_workloads) {
+      BenchCell bc;
+      bc.machine = machine_name;
+      bc.workload = w->name;
+      try {
+        const PreparedCell cell = prepare_cell(machine_name, *w);
+        const std::uint64_t budget = timeout_budget(cell.golden.cycles);
+        // State faults only: imem faults take the identical per-injection
+        // path in both modes and would only dilute the measurement.
+        const FaultPlan plan(cell.machine, cell.machine.model == mach::Model::Tta,
+                             /*imem_bits=*/0, cell.golden.cycles);
+        const std::uint64_t cell_seed =
+            mix_seed(options.seed, hash_name(machine_name + "/" + w->name));
+        const std::size_t n = static_cast<std::size_t>(options.injections_per_cell);
+        std::vector<FaultSpec> specs(n);
+        std::vector<std::size_t> idxs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          specs[i] = plan.sample(mix_seed(cell_seed, i));
+          idxs[i] = i;
+        }
+        bc.injections = n;
+        // Same fault-cycle grouping the campaign uses (see run_campaign).
+        std::stable_sort(idxs.begin(), idxs.end(), [&](std::size_t a, std::size_t b) {
+          return specs[a].state.cycle < specs[b].state.cycle;
+        });
+
+        // Wall clock on a shared machine is noisy; run each path three
+        // times and keep its fastest pass — the minimum is the
+        // least-interference estimate of the real cost. The scalar and
+        // batched passes of a rep run back to back so a slow ambient phase
+        // (another tenant, frequency throttling) inflates both paths of the
+        // same rep instead of skewing the ratio.
+        constexpr int kReps = 5;
+        std::vector<Slot> scalar_slots(n);
+        std::vector<Slot> batch_slots(n);
+        const std::size_t lanes = static_cast<std::size_t>(options.batch_lanes);
+        for (int rep = 0; rep < kReps; ++rep) {
+          auto t0 = std::chrono::steady_clock::now();
+          for (std::size_t i = 0; i < n; ++i) {
+            Slot s;
+            s.target = specs[i].target;
+            s.outcome = run_injection(cell, specs[i], budget, s.latent);
+            scalar_slots[i] = s;
+          }
+          const double scalar_sec =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          if (rep == 0 || scalar_sec < bc.scalar_seconds) bc.scalar_seconds = scalar_sec;
+
+          std::uint64_t divergences = 0, evictions = 0;
+          t0 = std::chrono::steady_clock::now();
+          for (std::size_t begin = 0; begin < n; begin += lanes) {
+            const BatchStats gs = run_lane_group(cell, specs, idxs, begin,
+                                                 std::min(lanes, n - begin), budget, batch_slots);
+            divergences += gs.divergences;
+            evictions += gs.evictions;
+          }
+          const double batched_sec =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          if (rep == 0 || batched_sec < bc.batched_seconds) bc.batched_seconds = batched_sec;
+          bc.divergences = divergences;
+          bc.evictions = evictions;
+        }
+        // Cheap differential guard (the full equivalence is locked by the
+        // lockstep/campaign test suites): both paths must classify every
+        // injection identically.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (scalar_slots[i].outcome != batch_slots[i].outcome ||
+              scalar_slots[i].latent != batch_slots[i].latent) {
+            throw Error(format("bench: batched path diverges from scalar at injection %zu", i));
+          }
+        }
+      } catch (const std::exception& e) {
+        bc.ok = false;
+        bc.error = e.what();
+      }
+      report.cells.push_back(std::move(bc));
+    }
+  }
+  return report;
+}
+
+std::string render_resil_bench_json(const BenchReport& report) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("ttsc-resil-bench");
+  w.key("version");
+  w.value(std::uint64_t{1});
+  w.key("seed");
+  w.value(report.seed);
+  w.key("injections_per_cell");
+  w.value(report.injections_per_cell);
+  w.key("batch_lanes");
+  w.value(report.batch_lanes);
+  std::uint64_t total_inj = 0;
+  double total_scalar = 0.0, total_batched = 0.0;
+  w.key("cells");
+  w.begin_array();
+  for (const BenchCell& c : report.cells) {
+    w.begin_object();
+    w.key("machine");
+    w.value(c.machine);
+    w.key("workload");
+    w.value(c.workload);
+    if (!c.ok) {
+      w.key("error");
+      w.value(c.error);
+      w.end_object();
+      continue;
+    }
+    total_inj += c.injections;
+    total_scalar += c.scalar_seconds;
+    total_batched += c.batched_seconds;
+    w.key("injections");
+    w.value(c.injections);
+    w.key("scalar_seconds");
+    w.value(c.scalar_seconds);
+    w.key("batched_seconds");
+    w.value(c.batched_seconds);
+    const double inj = static_cast<double>(c.injections);
+    w.key("scalar_inj_per_sec");
+    w.value(c.scalar_seconds > 0.0 ? inj / c.scalar_seconds : 0.0);
+    w.key("batched_inj_per_sec");
+    w.value(c.batched_seconds > 0.0 ? inj / c.batched_seconds : 0.0);
+    w.key("speedup");
+    w.value(c.batched_seconds > 0.0 ? c.scalar_seconds / c.batched_seconds : 0.0);
+    w.key("divergences");
+    w.value(c.divergences);
+    w.key("evictions");
+    w.value(c.evictions);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total");
+  w.begin_object();
+  w.key("injections");
+  w.value(total_inj);
+  w.key("scalar_seconds");
+  w.value(total_scalar);
+  w.key("batched_seconds");
+  w.value(total_batched);
+  w.key("speedup");
+  w.value(total_batched > 0.0 ? total_scalar / total_batched : 0.0);
+  w.end_object();
+  w.end_object();
+  return w.take() + "\n";
+}
+
+void write_resil_bench(const std::string& path, const BenchReport& report) {
+  const std::string text = render_resil_bench_json(report);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << text) || (out.close(), !out)) {
+    throw Error("cannot write resilience benchmark: " + path);
+  }
 }
 
 std::string render_resilience(const CampaignReport& report) {

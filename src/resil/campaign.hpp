@@ -63,6 +63,15 @@ struct TargetTally {
   void accumulate(const TargetTally& other);
 };
 
+/// Per-cell injection cycle budget. A fault can at most double the dynamic
+/// path before it either halts, traps, or diverges into a hang; anything
+/// past 2x golden (+ slack for short programs) is classified as Timeout.
+/// A pure per-cell function of the golden cycle count — computed once per
+/// cell, shared by every injection and every lane of a lockstep batch.
+constexpr std::uint64_t timeout_budget(std::uint64_t golden_cycles) {
+  return golden_cycles * 2 + 256;
+}
+
 struct CellReport {
   std::string machine;
   std::string workload;
@@ -76,6 +85,13 @@ struct CellReport {
   /// Per fault-target tallies, indexed by TargetKind.
   std::array<TargetTally, kNumTargetKinds> targets{};
 
+  /// Lockstep batching statistics (zero on the scalar `--no-batch` path).
+  /// Exported as "resil.batch.*" counters; deliberately NOT part of the
+  /// report table/JSON, which batching must reproduce byte-for-byte.
+  std::uint64_t batch_lanes = 0;
+  std::uint64_t batch_divergences = 0;
+  std::uint64_t batch_evictions = 0;
+
   TargetTally total() const;
 };
 
@@ -86,6 +102,14 @@ struct CampaignOptions {
   bool serial = false;  // plain loop, no thread pool (determinism reference)
   std::vector<std::string> machines = {"mblaze-3", "m-vliw-2", "m-tta-2", "g-tta-2"};
   std::vector<std::string> workloads = {"blowfish", "sha"};
+  /// Batched lockstep execution (sim/lockstep.hpp) for the non-imem fault
+  /// targets; instruction-memory faults always run the per-injection scalar
+  /// path. The report is byte-identical either way — `batch = false` is the
+  /// `--no-batch` escape hatch and the equivalence-test reference.
+  bool batch = true;
+  /// Lanes per lockstep batch, 1..sim::kMaxLanes (64). All lanes of a batch
+  /// share one fault-free leader run.
+  int batch_lanes = 64;
   /// Optional metrics sink: "resil.<target>.<outcome>" counters plus
   /// "resil.cells.run"/"resil.cells.err", merged once per cell.
   obs::Registry* registry = nullptr;
@@ -108,6 +132,43 @@ struct CampaignReport {
 /// name, non-positive injection count) — cell failures degrade to ERR
 /// entries instead.
 CampaignReport run_campaign(const CampaignOptions& options);
+
+/// One cell of the batched-vs-scalar throughput benchmark: the same
+/// pre-sampled state faults (imem excluded — both modes run those through
+/// the identical per-injection path) executed once through the scalar path
+/// and once through lockstep batches, timed serially, classifications
+/// cross-checked injection-for-injection.
+struct BenchCell {
+  std::string machine;
+  std::string workload;
+  bool ok = true;
+  std::string error;
+  std::uint64_t injections = 0;
+  double scalar_seconds = 0.0;
+  double batched_seconds = 0.0;
+  std::uint64_t divergences = 0;
+  std::uint64_t evictions = 0;
+};
+
+struct BenchReport {
+  std::uint64_t seed = 0;
+  std::uint64_t injections_per_cell = 0;
+  int batch_lanes = 0;
+  std::vector<BenchCell> cells;
+
+  bool all_ok() const;
+};
+
+/// Run the throughput benchmark over the options' cell set (threads are
+/// not used: both paths run serially so the speedup is per-core). Throws
+/// ttsc::Error for configuration mistakes, like run_campaign.
+BenchReport run_batch_benchmark(const CampaignOptions& options);
+
+/// Machine-readable benchmark, schema "ttsc-resil-bench" v1 (the CI
+/// artifact BENCH_resil.json). Timings are wall clock — an inspectable
+/// trend artifact, not a golden-diffed report.
+std::string render_resil_bench_json(const BenchReport& report);
+void write_resil_bench(const std::string& path, const BenchReport& report);
 
 /// AVF-style text table (the paper-artifact stdout of table_resilience).
 std::string render_resilience(const CampaignReport& report);

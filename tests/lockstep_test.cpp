@@ -1,0 +1,483 @@
+// Differential tests for the batched lockstep stepper (sim/lockstep.hpp).
+//
+// The lockstep contract is byte-identity: every lane of a batch must produce
+// exactly the ExecResult and final memory image the scalar hardened fast
+// path produces for the same fault — whether the lane converged, carried
+// live diffs to halt, or was evicted and rerun. The corpus test sweeps that
+// contract across randomly generated programs on all three models; the
+// hand-assembled tests lock the divergence-detection *timing* (which cycle a
+// lane is evicted at) against hand-computed schedules.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/memory.hpp"
+#include "mach/configs.hpp"
+#include "resil/campaign.hpp"
+#include "resil/fault_plan.hpp"
+#include "scalar/scalar.hpp"
+#include "sim/fault.hpp"
+#include "sim/lockstep.hpp"
+#include "sim/predecode.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+#include "tta/tta.hpp"
+#include "vliw/vliw.hpp"
+
+#include "resil_util.hpp"
+
+namespace ttsc {
+namespace {
+
+using resil_util::Asm;
+using tta::Move;
+using tta::MoveDst;
+using tta::MoveSrc;
+
+// ---------------------------------------------------------------------------
+// Lane-vs-scalar byte-identity check, shared by the corpus and hand tests.
+//
+// `leader_mem` is the batch's fault-free final image; an in-diff lane's
+// memory is leader_mem + delta, an evicted lane carries its own image.
+
+template <typename Result>
+std::string check_lane(const sim::LaneOutcome<Result>& lo, const Result& ref,
+                       const ir::Memory& ref_mem, const ir::Memory& leader_mem,
+                       const char* what) {
+  std::string err;
+  if (!(lo.result == ref)) {
+    err += format("%s: lane ExecResult differs from scalar hardened run "
+                  "(status %d vs %d, cycles %llu vs %llu, ret %u vs %u)\n",
+                  what, static_cast<int>(lo.result.status), static_cast<int>(ref.status),
+                  static_cast<unsigned long long>(lo.result.cycles),
+                  static_cast<unsigned long long>(ref.cycles), lo.result.ret, ref.ret);
+  }
+  if (lo.evicted) {
+    if (!lo.mem.has_value()) {
+      err += format("%s: evicted lane has no memory image\n", what);
+    } else if (!(*lo.mem == ref_mem)) {
+      err += format("%s: evicted lane memory differs from scalar run\n", what);
+    }
+    if (!lo.delta.empty()) err += format("%s: evicted lane carries a delta\n", what);
+    if (lo.converged) err += format("%s: lane both evicted and converged\n", what);
+  } else {
+    if (lo.mem.has_value()) err += format("%s: in-lockstep lane carries an image\n", what);
+    if (lo.converged && !lo.delta.empty()) {
+      err += format("%s: converged lane has a non-empty delta\n", what);
+    }
+    const ir::Memory lane_mem = sim::materialize(leader_mem, lo.delta);
+    if (!(lane_mem == ref_mem)) {
+      err += format("%s: materialized lane memory differs from scalar run\n", what);
+    }
+    // checksum_with_delta must agree with checksumming the materialized
+    // image (classify_lane depends on this shortcut).
+    const std::uint32_t size = static_cast<std::uint32_t>(lane_mem.size());
+    if (sim::checksum_with_delta(leader_mem, lo.delta, 0, size) != lane_mem.checksum(0, size)) {
+      err += format("%s: checksum_with_delta != materialized checksum\n", what);
+    }
+  }
+  return err;
+}
+
+// ---------------------------------------------------------------------------
+// Property corpus: for 64 generated programs x {scalar, VLIW, TTA}, run
+// every fault of a sampled FaultPlan through the scalar hardened fast path
+// and through one lockstep batch (both with and without the golden-reference
+// early exit) and require identical results lane for lane.
+
+constexpr int kCorpusSeeds = 64;
+constexpr std::size_t kLanesPerCell = 12;
+
+/// One generated cell on one machine: returns "" or a failure description.
+template <typename Result, typename RunRef, typename RunBatch>
+std::string check_cell_impl(const resil_util::GeneratedCell& cell, const Result& golden,
+                            std::span<const sim::FaultSet> lane_faults, RunRef run_ref,
+                            RunBatch run_batch, const std::string& tag) {
+  // Per-fault scalar hardened references.
+  std::vector<Result> refs(lane_faults.size());
+  std::vector<ir::Memory> ref_mems;
+  ref_mems.reserve(lane_faults.size());
+  for (std::size_t k = 0; k < lane_faults.size(); ++k) {
+    ir::Memory mem = cell.initial_mem;
+    refs[k] = run_ref(lane_faults[k], mem);
+    ref_mems.push_back(std::move(mem));
+  }
+
+  std::string err;
+  // With the golden reference (the campaign configuration: the batch may
+  // stop early once every lane settled) and without it — the lanes must not
+  // be able to tell the difference.
+  const sim::BatchResult<Result> with_ref = run_batch(lane_faults, &golden, &cell.golden_mem);
+  const sim::BatchResult<Result> no_ref = run_batch(lane_faults, nullptr, nullptr);
+  for (const sim::BatchResult<Result>* br : {&with_ref, &no_ref}) {
+    const char* mode = br == &with_ref ? "with-ref" : "no-ref";
+    if (!(br->leader == golden)) {
+      err += format("%s %s: leader result differs from golden\n", tag.c_str(), mode);
+    }
+    if (!(br->leader_mem == cell.golden_mem)) {
+      err += format("%s %s: leader memory differs from golden\n", tag.c_str(), mode);
+    }
+    if (br->lanes.size() != lane_faults.size()) {
+      err += format("%s %s: %zu lanes out, %zu faults in\n", tag.c_str(), mode,
+                    br->lanes.size(), lane_faults.size());
+      continue;
+    }
+    for (std::size_t k = 0; k < br->lanes.size(); ++k) {
+      err += check_lane(br->lanes[k], refs[k], ref_mems[k], br->leader_mem,
+                        format("%s %s lane %zu", tag.c_str(), mode, k).c_str());
+    }
+  }
+  // The eviction decisions are made lane-locally at detection time; the
+  // early exit must not change them.
+  if (with_ref.divergences != no_ref.divergences || with_ref.evictions != no_ref.evictions) {
+    err += format("%s: batch counters differ with/without reference\n", tag.c_str());
+  }
+  return err;
+}
+
+std::string check_seed_machine(std::uint64_t seed, const std::string& machine_name) {
+  const resil_util::GeneratedCell cell = resil_util::make_generated_cell(seed, machine_name);
+  const resil::FaultPlan plan(cell.machine, cell.machine.model == mach::Model::Tta,
+                              /*imem_bits=*/0, cell.golden_cycles);
+  std::vector<sim::FaultSet> lane_faults(kLanesPerCell);
+  for (std::size_t k = 0; k < kLanesPerCell; ++k) {
+    lane_faults[k].faults.push_back(plan.sample(resil::mix_seed(seed, k)).state);
+  }
+  const std::string tag = format("seed %llu %s", static_cast<unsigned long long>(seed),
+                                 machine_name.c_str());
+
+  sim::SimOptions opts;
+  opts.harden = true;
+  switch (cell.machine.model) {
+    case mach::Model::Scalar:
+      return check_cell_impl(
+          cell, cell.scalar_golden, lane_faults,
+          [&](const sim::FaultSet& fs, ir::Memory& mem) {
+            sim::SimOptions o = opts;
+            o.faults = &fs;
+            scalar::ScalarSim sim(*cell.scalar_prog, cell.machine, mem, o);
+            sim.use_predecoded(cell.scalar_pre);
+            return sim.run(cell.budget);
+          },
+          [&](std::span<const sim::FaultSet> lf, const scalar::ExecResult* ref,
+              const ir::Memory* ref_mem) {
+            return sim::run_scalar_batch(*cell.scalar_prog, cell.machine, cell.scalar_pre,
+                                         cell.initial_mem, lf, cell.budget, ref, ref_mem);
+          },
+          tag);
+    case mach::Model::Vliw:
+      return check_cell_impl(
+          cell, cell.vliw_golden, lane_faults,
+          [&](const sim::FaultSet& fs, ir::Memory& mem) {
+            sim::SimOptions o = opts;
+            o.faults = &fs;
+            vliw::VliwSim sim(*cell.vliw_prog, cell.machine, mem, o);
+            sim.use_predecoded(cell.vliw_pre);
+            return sim.run(cell.budget);
+          },
+          [&](std::span<const sim::FaultSet> lf, const vliw::ExecResult* ref,
+              const ir::Memory* ref_mem) {
+            return sim::run_vliw_batch(*cell.vliw_prog, cell.machine, cell.vliw_pre,
+                                       cell.initial_mem, lf, cell.budget, ref, ref_mem);
+          },
+          tag);
+    case mach::Model::Tta:
+      return check_cell_impl(
+          cell, cell.tta_golden, lane_faults,
+          [&](const sim::FaultSet& fs, ir::Memory& mem) {
+            sim::SimOptions o = opts;
+            o.faults = &fs;
+            tta::TtaSim sim(*cell.tta_prog, cell.machine, mem, o);
+            sim.use_predecoded(cell.tta_pre);
+            return sim.run(cell.budget);
+          },
+          [&](std::span<const sim::FaultSet> lf, const tta::ExecResult* ref,
+              const ir::Memory* ref_mem) {
+            return sim::run_tta_batch(*cell.tta_prog, cell.machine, cell.tta_pre,
+                                      cell.initial_mem, lf, cell.budget, ref, ref_mem);
+          },
+          tag);
+  }
+  return "unhandled machine model";
+}
+
+TEST(LockstepCorpus, EveryLaneMatchesScalarHardenedPath) {
+  const std::vector<std::string> machines = {"mblaze-3", "m-vliw-2", "m-tta-2"};
+  std::vector<std::string> failures(kCorpusSeeds);
+  support::ThreadPool pool(8);
+  support::parallel_for(pool, kCorpusSeeds, [&](std::size_t idx) {
+    const std::uint64_t seed = 0x5eedc0deull + idx;
+    for (const std::string& m : machines) failures[idx] += check_seed_machine(seed, m);
+  });
+  for (int idx = 0; idx < kCorpusSeeds; ++idx) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(idx)], "") << "corpus seed index " << idx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-assembled TTA programs on m-tta-1 (fu2 = cu, zero-filled 64 KiB
+// image, same harness as resil_util::run_tta). TTA timing is fully
+// hand-computable: moves execute at their instruction's cycle, RF writes
+// latch one cycle later, and a Ret at cycle c halts with cycles == c + 1.
+
+constexpr std::uint64_t kHandBudget = 100000;
+
+/// block 0: cycle 0 moves rf0[3] into the cu operand and triggers Bnz to
+/// block 1 (pc 5). rf0[3] is 0 in the zero image, so the leader falls
+/// through to ret(7) at pc 3; a lane whose rf0[3] is nonzero takes the
+/// branch (2 delay slots; lands at pc 5) and returns 13.
+tta::TtaProgram bnz_program() {
+  Asm a;
+  a.prog.block_entry = {0, 5};
+  a.mv(0, 0, MoveSrc::rf_read(0, 3), MoveDst::fu_operand(2));
+  Move bnz;
+  bnz.bus = 1;
+  bnz.src = MoveSrc::immediate(0);
+  bnz.dst = MoveDst::fu_trigger(2, ir::Opcode::Bnz);
+  bnz.is_control = true;
+  bnz.target = 1;
+  a.at(0).moves.push_back(bnz);
+  a.ret(3, 0, 1, MoveSrc::immediate(7));   // fallthrough path
+  a.ret(5, 0, 1, MoveSrc::immediate(13));  // taken path
+  return a.prog;
+}
+
+sim::StateFault rf_flip(std::uint64_t cycle, int reg, std::uint8_t bit) {
+  sim::StateFault f;
+  f.cycle = cycle;
+  f.kind = sim::FaultKind::RfBit;
+  f.unit = 0;
+  f.index = static_cast<std::int16_t>(reg);
+  f.bit = bit;
+  return f;
+}
+
+struct TtaBatchHarness {
+  tta::TtaProgram prog;
+  mach::Machine machine = mach::machine_by_name("m-tta-1");
+  std::shared_ptr<const sim::PredecodedTta> pre;
+
+  explicit TtaBatchHarness(tta::TtaProgram p) : prog(std::move(p)) {
+    pre = std::make_shared<const sim::PredecodedTta>(sim::predecode(prog, machine));
+  }
+  sim::TtaBatchResult run(std::span<const sim::FaultSet> lane_faults) const {
+    const ir::Memory mem(1 << 16);
+    return sim::run_tta_batch(prog, machine, pre, mem, lane_faults, kHandBudget);
+  }
+  tta::ExecResult scalar(const sim::FaultSet& fs, ir::Memory* final_mem = nullptr) const {
+    return resil_util::run_tta(prog, machine, &fs, /*fast_path=*/true, final_mem);
+  }
+};
+
+TEST(LockstepTiming, BnzFlipEvictsAtTriggerCycle) {
+  const TtaBatchHarness h(bnz_program());
+  // Fault at the top of cycle 0 flips rf0[3] to 1 before the operand move
+  // samples it; the Bnz trigger fires the same cycle, sees the lane's
+  // decision (taken) differ from the leader's (not taken), and must evict
+  // the lane at exactly cycle 0.
+  std::vector<sim::FaultSet> faults(1);
+  faults[0].faults.push_back(rf_flip(0, 3, 0));
+  const sim::TtaBatchResult br = h.run(faults);
+
+  EXPECT_EQ(br.leader.ret, 7u);
+  EXPECT_EQ(br.leader.cycles, 4u);  // ret at pc 3 -> cycles = 3 + 1
+  ASSERT_EQ(br.lanes.size(), 1u);
+  const sim::LaneOutcome<tta::ExecResult>& lo = br.lanes[0];
+  EXPECT_TRUE(lo.evicted);
+  EXPECT_EQ(lo.diverge_cycle, 0u);
+  EXPECT_EQ(br.divergences, 1u);
+  EXPECT_EQ(br.evictions, 1u);
+  // The rerun takes the branch: 2 delay slots after cycle 0, ret(13) at
+  // pc 5 on cycle 3.
+  EXPECT_EQ(lo.result.ret, 13u);
+  EXPECT_EQ(lo.result.cycles, 4u);
+  ir::Memory ref_mem(0);
+  const tta::ExecResult ref = h.scalar(faults[0], &ref_mem);
+  EXPECT_EQ(check_lane(lo, ref, ref_mem, br.leader_mem, "bnz-flip"), "");
+}
+
+TEST(LockstepTiming, LateFlipOfDeadRegisterConverges) {
+  // rf_return_program: cycle 0 writes 77 into rf0[3] (latches at cycle 1),
+  // ret reads it at cycle 3. A fault at cycle 0 flips the *pre-write* value
+  // (0 -> 1); the cycle-1 latch overwrites it with 77, cancelling the diff:
+  // the lane must converge and return the leader's result verbatim.
+  const TtaBatchHarness h(resil_util::rf_return_program());
+  std::vector<sim::FaultSet> faults(1);
+  faults[0].faults.push_back(rf_flip(0, 3, 0));
+  const sim::TtaBatchResult br = h.run(faults);
+
+  EXPECT_EQ(br.leader.ret, 77u);
+  ASSERT_EQ(br.lanes.size(), 1u);
+  EXPECT_TRUE(br.lanes[0].converged);
+  EXPECT_FALSE(br.lanes[0].evicted);
+  EXPECT_EQ(br.divergences, 0u);
+  EXPECT_EQ(br.evictions, 0u);
+  EXPECT_TRUE(br.lanes[0].result == br.leader);
+  ir::Memory ref_mem(0);
+  const tta::ExecResult ref = h.scalar(faults[0], &ref_mem);
+  EXPECT_EQ(check_lane(br.lanes[0], ref, ref_mem, br.leader_mem, "dead-flip"), "");
+}
+
+TEST(LockstepTiming, LiveFlipStaysInLockstepWithOverlay) {
+  // Same program, fault at cycle 2: 77 is already latched, so the lane's
+  // rf0[3] becomes 77 ^ 2 = 79 and is returned at cycle 3. Data-only
+  // divergence: the lane must stay in lockstep to the end and get the
+  // leader's result with the ret/rf overlays applied — never evicted.
+  const TtaBatchHarness h(resil_util::rf_return_program());
+  std::vector<sim::FaultSet> faults(1);
+  faults[0].faults.push_back(rf_flip(2, 3, 1));
+  const sim::TtaBatchResult br = h.run(faults);
+
+  EXPECT_EQ(br.leader.ret, 77u);
+  ASSERT_EQ(br.lanes.size(), 1u);
+  const sim::LaneOutcome<tta::ExecResult>& lo = br.lanes[0];
+  EXPECT_FALSE(lo.evicted);
+  EXPECT_FALSE(lo.converged);
+  EXPECT_EQ(br.divergences, 0u);
+  EXPECT_EQ(br.evictions, 0u);
+  EXPECT_EQ(lo.result.ret, 79u);
+  EXPECT_EQ(lo.result.cycles, br.leader.cycles);
+  ir::Memory ref_mem(0);
+  const tta::ExecResult ref = h.scalar(faults[0], &ref_mem);
+  EXPECT_EQ(check_lane(lo, ref, ref_mem, br.leader_mem, "live-flip"), "");
+}
+
+TEST(LockstepTiming, AllLanesDivergeWorstCase) {
+  // Every lane of a full-width batch flips the Bnz condition: the batch
+  // degenerates to "leader + kMaxLanes scalar reruns" and must still be
+  // byte-identical, with every lane evicted at cycle 0.
+  const TtaBatchHarness h(bnz_program());
+  std::vector<sim::FaultSet> faults(static_cast<std::size_t>(sim::kMaxLanes));
+  for (std::size_t l = 0; l < faults.size(); ++l) {
+    // Different bit per lane (mod 32): every value is nonzero, so every
+    // lane takes the branch.
+    faults[l].faults.push_back(rf_flip(0, 3, static_cast<std::uint8_t>(l % 32)));
+  }
+  const sim::TtaBatchResult br = h.run(faults);
+
+  EXPECT_EQ(br.divergences, static_cast<std::uint64_t>(sim::kMaxLanes));
+  EXPECT_EQ(br.evictions, static_cast<std::uint64_t>(sim::kMaxLanes));
+  ASSERT_EQ(br.lanes.size(), static_cast<std::size_t>(sim::kMaxLanes));
+  std::string err;
+  for (std::size_t l = 0; l < br.lanes.size(); ++l) {
+    EXPECT_TRUE(br.lanes[l].evicted) << "lane " << l;
+    EXPECT_EQ(br.lanes[l].diverge_cycle, 0u) << "lane " << l;
+    EXPECT_EQ(br.lanes[l].result.ret, 13u) << "lane " << l;
+    ir::Memory ref_mem(0);
+    const tta::ExecResult ref = h.scalar(faults[l], &ref_mem);
+    err += check_lane(br.lanes[l], ref, ref_mem, br.leader_mem,
+                      format("worst-case lane %zu", l).c_str());
+  }
+  EXPECT_EQ(err, "");
+}
+
+TEST(LockstepTiming, GuardFlipEvictsAtSquashDecision) {
+  // g-tta-2 has guard registers. cycle 0 sets guard0 = 1 (latches at
+  // cycle 1); cycles 2 and 3 write opposite-guarded values into rf0[4];
+  // cycle 5 returns rf0[4]. A fault flipping guard0 at cycle 2 makes the
+  // lane squash the guard-true move the leader executes — a proven
+  // divergence at cycle 2, before the write latches.
+  const mach::Machine machine = mach::machine_by_name("g-tta-2");
+  Asm a;
+  a.mv(0, 0, MoveSrc::immediate(1), MoveDst::guard_write(0));
+  {
+    Move t;
+    t.bus = 0;
+    t.src = MoveSrc::immediate(111);
+    t.dst = MoveDst::rf_write(0, 4);
+    t.guard = 0;
+    a.at(2).moves.push_back(t);
+  }
+  {
+    Move f;
+    f.bus = 0;
+    f.src = MoveSrc::immediate(222);
+    f.dst = MoveDst::rf_write(0, 4);
+    f.guard = 0;
+    f.guard_negate = true;
+    a.at(3).moves.push_back(f);
+  }
+  a.ret(5, 0, 1, MoveSrc::rf_read(0, 4));
+
+  auto pre = std::make_shared<const sim::PredecodedTta>(sim::predecode(a.prog, machine));
+  std::vector<sim::FaultSet> faults(1);
+  sim::StateFault gf;
+  gf.cycle = 2;
+  gf.kind = sim::FaultKind::GuardBit;
+  gf.unit = 0;
+  faults[0].faults.push_back(gf);
+  const ir::Memory mem(1 << 16);
+  const sim::TtaBatchResult br =
+      sim::run_tta_batch(a.prog, machine, pre, mem, faults, kHandBudget);
+
+  EXPECT_EQ(br.leader.ret, 111u);
+  ASSERT_EQ(br.lanes.size(), 1u);
+  EXPECT_TRUE(br.lanes[0].evicted);
+  EXPECT_EQ(br.lanes[0].diverge_cycle, 2u);
+  EXPECT_EQ(br.divergences, 1u);
+  EXPECT_EQ(br.lanes[0].result.ret, 222u);
+  ir::Memory ref_mem(0);
+  const tta::ExecResult ref =
+      resil_util::run_tta(a.prog, machine, &faults[0], /*fast_path=*/true, &ref_mem);
+  EXPECT_EQ(check_lane(br.lanes[0], ref, ref_mem, br.leader_mem, "guard-flip"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-model timing: the same Bnz-decision eviction rule on the in-order
+// pipeline (mblaze-3).
+
+TEST(LockstepTiming, ScalarBnzFlipEvictsAtBranchCycle) {
+  using codegen::MInstr;
+  using codegen::MOperand;
+  using resil_util::kNoDst;
+  using resil_util::minstr;
+
+  // block 0: MovI r1 <- 0 ; MovI r2 <- 5 ; Bnz r1 -> block 1 ; Ret 7
+  // block 1: Ret 13
+  // Scalar cycle numbering starts at pipeline_stages - 1 = 2 (pipeline
+  // fill on the 3-stage mblaze-3), so the instructions issue at cycles
+  // 2, 3 and 4. Faults apply at the top of the first instruction whose
+  // start cycle reached them, before that instruction executes: a flip of
+  // r1 at cycle 2 would be overwritten by MovI r1's own write, so the
+  // flip goes in at cycle 4 — after the write, before the Bnz reads r1.
+  const mach::Machine machine = mach::machine_by_name("mblaze-3");
+  scalar::ScalarProgram p;
+  p.block_entry = {0, 4};
+  p.instrs.push_back(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(0)}));
+  p.instrs.push_back(minstr(ir::Opcode::MovI, {0, 2}, {MOperand::immediate(5)}));
+  MInstr bnz = minstr(ir::Opcode::Bnz, kNoDst, {mach::PhysReg{0, 1}});
+  bnz.targets = {1};
+  p.instrs.push_back(std::move(bnz));
+  p.instrs.push_back(minstr(ir::Opcode::Ret, kNoDst, {MOperand::immediate(7)}));
+  p.instrs.push_back(minstr(ir::Opcode::Ret, kNoDst, {MOperand::immediate(13)}));
+
+  auto pre = std::make_shared<const sim::PredecodedScalar>(sim::predecode(p, machine));
+  std::vector<sim::FaultSet> faults(1);
+  faults[0].faults.push_back(rf_flip(4, 1, 0));  // r1: 0 -> 1 before the Bnz issues
+  const ir::Memory mem(1 << 16);
+  const sim::ScalarBatchResult br =
+      sim::run_scalar_batch(p, machine, pre, mem, faults, kHandBudget);
+
+  EXPECT_EQ(br.leader.ret, 7u);
+  ASSERT_EQ(br.lanes.size(), 1u);
+  const sim::LaneOutcome<scalar::ExecResult>& lo = br.lanes[0];
+  EXPECT_TRUE(lo.evicted);
+  // The two MovIs issue at cycles 2 and 3, the Bnz at cycle 4 (single
+  // issue, no stalls on immediate moves); the decision flip is detected
+  // the cycle the Bnz executes.
+  EXPECT_EQ(lo.diverge_cycle, 4u);
+  EXPECT_EQ(br.divergences, 1u);
+  EXPECT_EQ(lo.result.ret, 13u);
+  ir::Memory ref_mem(0);
+  const scalar::ExecResult ref =
+      resil_util::run_scalar(p, machine, /*fast_path=*/true, &faults[0], &ref_mem);
+  EXPECT_EQ(check_lane(lo, ref, ref_mem, br.leader_mem, "scalar-bnz-flip"), "");
+}
+
+}  // namespace
+}  // namespace ttsc

@@ -15,124 +15,19 @@
 #include "resil/inject.hpp"
 #include "scalar/scalar.hpp"
 #include "sim/fault.hpp"
+#include "sim/lockstep.hpp"
 #include "tta/tta.hpp"
 #include "tta/verify.hpp"
 #include "vliw/vliw.hpp"
 
+#include "resil_util.hpp"
+
 namespace ttsc {
 namespace {
 
-using codegen::MInstr;
-using codegen::MOperand;
-using tta::Move;
-using tta::MoveDst;
-using tta::MoveSrc;
-using tta::TtaInstruction;
-using tta::TtaProgram;
-
-// ---------------------------------------------------------------------------
-// Hand-assembly helpers (m-tta-1 layout: fu0 = lsu, fu1 = alu, fu2 = cu;
-// rf0 = 32x32 — same idiom as sim_semantics_test.cpp).
-
-struct Asm {
-  TtaProgram prog;
-
-  Asm() { prog.block_entry = {0}; }
-
-  TtaInstruction& at(std::size_t pc) {
-    if (prog.instrs.size() <= pc) prog.instrs.resize(pc + 1);
-    return prog.instrs[pc];
-  }
-  Move& mv(std::size_t pc, int bus, MoveSrc src, MoveDst dst) {
-    Move m;
-    m.bus = bus;
-    m.src = src;
-    m.dst = dst;
-    at(pc).moves.push_back(m);
-    return at(pc).moves.back();
-  }
-  void ret(std::size_t pc, int bus_val, int bus_trig, MoveSrc value) {
-    Move v;
-    v.bus = bus_val;
-    v.src = value;
-    v.dst = MoveDst::fu_operand(2);
-    at(pc).moves.push_back(v);
-    Move t;
-    t.bus = bus_trig;
-    t.src = MoveSrc::immediate(0);
-    t.dst = MoveDst::fu_trigger(2, ir::Opcode::Ret);
-    t.is_control = true;
-    at(pc).moves.push_back(t);
-  }
-};
-
-tta::ExecResult run_tta(const TtaProgram& prog, const mach::Machine& machine,
-                        const sim::FaultSet* faults, bool fast_path) {
-  ir::Memory mem(1 << 16);
-  sim::SimOptions opts;
-  opts.fast_path = fast_path;
-  opts.harden = true;
-  opts.faults = faults;
-  tta::TtaSim sim(prog, machine, mem, opts);
-  return sim.run(100000);
-}
-
-scalar::ExecResult run_scalar(const scalar::ScalarProgram& prog, const mach::Machine& machine,
-                              bool fast_path) {
-  ir::Memory mem(1 << 16);
-  sim::SimOptions opts;
-  opts.fast_path = fast_path;
-  opts.harden = true;
-  scalar::ScalarSim sim(prog, machine, mem, opts);
-  return sim.run(100000);
-}
-
-vliw::ExecResult run_vliw(const vliw::VliwProgram& prog, const mach::Machine& machine,
-                          bool fast_path) {
-  ir::Memory mem(1 << 16);
-  sim::SimOptions opts;
-  opts.fast_path = fast_path;
-  opts.harden = true;
-  vliw::VliwSim sim(prog, machine, mem, opts);
-  return sim.run(100000);
-}
-
-MInstr minstr(ir::Opcode op, mach::PhysReg dst, std::vector<MOperand> srcs) {
-  MInstr in;
-  in.op = op;
-  in.dst = dst;
-  in.srcs = std::move(srcs);
-  return in;
-}
-
-constexpr mach::PhysReg kNoDst{};
-
-/// {MovI r1 <- 42 ; <corrupted> ; Ret r1}
-scalar::ScalarProgram scalar_prog_with(MInstr corrupted) {
-  scalar::ScalarProgram p;
-  p.block_entry = {0};
-  p.instrs.push_back(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(42)}));
-  p.instrs.push_back(std::move(corrupted));
-  p.instrs.push_back(minstr(ir::Opcode::Ret, kNoDst, {mach::PhysReg{0, 1}}));
-  return p;
-}
-
-/// m-vliw-2 (slot 0 = lsu+cu, slot 1 = alu): bundle of one op in `slot`.
-vliw::VliwProgram vliw_prog_with(MInstr corrupted, int fu, int slot) {
-  vliw::VliwProgram p;
-  p.num_slots = 2;
-  p.block_entry = {0};
-  auto bundle_of = [&](MInstr in, int f, int s) {
-    vliw::Bundle b;
-    b.slots.resize(2);
-    b.slots[static_cast<std::size_t>(s)] = vliw::SlotOp{std::move(in), f};
-    return b;
-  };
-  p.bundles.push_back(bundle_of(minstr(ir::Opcode::MovI, {0, 1}, {MOperand::immediate(42)}), 1, 1));
-  p.bundles.push_back(bundle_of(std::move(corrupted), fu, slot));
-  p.bundles.push_back(bundle_of(minstr(ir::Opcode::Ret, kNoDst, {mach::PhysReg{0, 1}}), 2, 0));
-  return p;
-}
+// Hand-assembly (Asm), hardened run harnesses and campaign fixtures are
+// shared with the lockstep suite via tests/resil_util.hpp.
+using namespace resil_util;
 
 // ---------------------------------------------------------------------------
 // Fail-closed regressions: a single corrupted field must produce
@@ -231,15 +126,6 @@ TEST(TrapSafety, UnsupportedOpcodeOnFuTraps) {
 
 // ---------------------------------------------------------------------------
 // Hand-placed state faults with hand-computed classifications.
-
-/// cycle0: rf0[3] <- 77 ; cycle3: ret rf0[3].
-TtaProgram rf_return_program() {
-  Asm a;
-  a.mv(0, 0, MoveSrc::immediate(77), MoveDst::rf_write(0, 3));
-  a.at(2);  // empty instructions at pc 1..2
-  a.ret(3, 0, 1, MoveSrc::rf_read(0, 3));
-  return a.prog;
-}
 
 TEST(HandPlacedFault, RfBitFlipOnLiveRegisterIsSdc) {
   const mach::Machine m = mach::make_m_tta_1();
@@ -476,17 +362,8 @@ TEST(FaultPlan, SamplesAreInBoundsAndDeterministic) {
 }
 
 // ---------------------------------------------------------------------------
-// Campaign: classification totals, determinism across thread counts,
-// configuration errors.
-
-resil::CampaignOptions small_campaign() {
-  resil::CampaignOptions opt;
-  opt.machines = {"mblaze-3", "m-tta-1"};
-  opt.workloads = {"sha"};
-  opt.injections_per_cell = 48;
-  opt.seed = 99;
-  return opt;
-}
+// Campaign: classification totals, determinism across thread counts and
+// lane-group sizes, batched-vs-scalar equivalence, configuration errors.
 
 TEST(Campaign, TalliesAreCompleteAndInfraClean) {
   resil::CampaignOptions opt = small_campaign();
@@ -514,6 +391,14 @@ TEST(Campaign, TalliesAreCompleteAndInfraClean) {
     injections += registry.counter("resil." + std::string(target) + ".injections");
   }
   EXPECT_EQ(injections, 96u);
+  // Batching is on by default: every non-imem injection ran as a lockstep
+  // lane, and the divergence/eviction tallies are bounded by the lane count.
+  const std::uint64_t lanes = registry.counter("resil.batch.lanes");
+  EXPECT_EQ(lanes, 96u - registry.counter("resil.imem.injections"));
+  EXPECT_GT(lanes, 0u);
+  EXPECT_LE(registry.counter("resil.batch.divergences"),
+            registry.counter("resil.batch.evictions"));
+  EXPECT_LE(registry.counter("resil.batch.evictions"), lanes);
 }
 
 TEST(Campaign, ByteIdenticalAcrossThreadCounts) {
@@ -529,6 +414,81 @@ TEST(Campaign, ByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(resil::render_resilience(r), table) << threads << " threads";
     EXPECT_EQ(resil::render_resil_report_json(r), json) << threads << " threads";
   }
+}
+
+TEST(Campaign, BatchedReportByteIdenticalToScalarPath) {
+  // The seed-7715 smoke campaign (the CI snapshot's cell set): the batched
+  // lockstep path must reproduce the per-injection scalar path's report
+  // byte-for-byte — same classification for every single injection.
+  resil::CampaignOptions opt;
+  opt.machines = {"mblaze-3", "m-vliw-2", "m-tta-2"};
+  opt.workloads = {"sha"};
+  opt.injections_per_cell = 64;
+  opt.seed = 7715;
+  opt.serial = true;
+  opt.batch = false;
+  const resil::CampaignReport scalar_path = resil::run_campaign(opt);
+  opt.batch = true;
+  const resil::CampaignReport batched = resil::run_campaign(opt);
+  EXPECT_EQ(resil::render_resil_report_json(batched),
+            resil::render_resil_report_json(scalar_path));
+  EXPECT_EQ(resil::render_resilience(batched), resil::render_resilience(scalar_path));
+}
+
+TEST(Campaign, BatchedInvariantAcrossLaneGroupSizes) {
+  // Lane grouping is an execution detail: any group size must produce the
+  // identical report (and identical divergence/eviction tallies).
+  resil::CampaignOptions opt = small_campaign();
+  opt.serial = true;
+  obs::Registry base_registry;
+  opt.registry = &base_registry;
+  const resil::CampaignReport base = resil::run_campaign(opt);
+  const std::string json = resil::render_resil_report_json(base);
+  for (int lanes : {1, 4, 16}) {
+    opt.batch_lanes = lanes;
+    obs::Registry registry;
+    opt.registry = &registry;
+    const resil::CampaignReport r = resil::run_campaign(opt);
+    EXPECT_EQ(resil::render_resil_report_json(r), json) << lanes << " lanes";
+    EXPECT_EQ(registry.counter("resil.batch.lanes"), base_registry.counter("resil.batch.lanes"))
+        << lanes << " lanes";
+    EXPECT_EQ(registry.counter("resil.batch.divergences"),
+              base_registry.counter("resil.batch.divergences"))
+        << lanes << " lanes";
+    EXPECT_EQ(registry.counter("resil.batch.evictions"),
+              base_registry.counter("resil.batch.evictions"))
+        << lanes << " lanes";
+  }
+}
+
+TEST(Campaign, TimeoutBudgetIsPerCellAndPinned) {
+  // The budget is a pure per-cell function of the golden cycle count —
+  // hoisted out of the per-injection path so every lane of a batch shares
+  // it. Hand-pinned for the smoke cell: mblaze-3/sha takes 119900 golden
+  // cycles (locked by tests/golden/resil_smoke.json), so its budget is
+  // 119900 * 2 + 256 = 240056.
+  EXPECT_EQ(resil::timeout_budget(119900), 240056u);
+  EXPECT_EQ(resil::timeout_budget(0), 256u);
+
+  resil::CampaignOptions opt;
+  opt.machines = {"mblaze-3"};
+  opt.workloads = {"sha"};
+  opt.injections_per_cell = 1;
+  opt.seed = 7715;
+  opt.serial = true;
+  const resil::CampaignReport r = resil::run_campaign(opt);
+  ASSERT_EQ(r.cells.size(), 1u);
+  ASSERT_TRUE(r.cells[0].ok) << r.cells[0].error;
+  EXPECT_EQ(r.cells[0].golden_cycles, 119900u);
+  EXPECT_EQ(resil::timeout_budget(r.cells[0].golden_cycles), 240056u);
+}
+
+TEST(Campaign, BatchLaneCountIsValidated) {
+  resil::CampaignOptions opt = small_campaign();
+  opt.batch_lanes = 0;
+  EXPECT_THROW(resil::run_campaign(opt), Error);
+  opt.batch_lanes = sim::kMaxLanes + 1;
+  EXPECT_THROW(resil::run_campaign(opt), Error);
 }
 
 TEST(Campaign, SeedChangesTheTable) {
