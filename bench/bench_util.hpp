@@ -25,6 +25,14 @@
 //                      reference divergence) per cell, render it as ERR in
 //                      the artifact, list the failures on stderr, and exit
 //                      non-zero
+//   --superblocks      two-phase profile-guided superblock compile per cell:
+//                      phase 1 runs the ordinary schedule under a profile
+//                      collector, phase 2 forms superblocks along the hot
+//                      acyclic paths and schedules the merged traces; the
+//                      cheaper phase wins each cell (a cell never regresses).
+//                      Per-cell cycle deltas vs the phase-1 baseline go to
+//                      stderr and into the --report-json cells
+//                      ("baseline_cycles" / "superblocks_applied")
 //
 // Stream hygiene: the paper artifact (the table/figure text) is the ONLY
 // thing written to stdout, so `table4_cycles > table4.txt` stays clean; all
@@ -44,6 +52,7 @@
 #include "mach/configs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "opt/superblock.hpp"
 #include "report/module_cache.hpp"
 #include "report/parallel_runner.hpp"
 #include "report/run_report.hpp"
@@ -64,6 +73,7 @@ struct Options {
   std::string trace_out;     // --trace-out=FILE (empty: tracer stays off)
   std::string report_json;   // --report-json=FILE (empty: no report)
   bool keep_going = false;   // --keep-going
+  bool superblocks = false;  // --superblocks
 };
 
 /// Match `--name=VALUE` or `--name VALUE`; advances `i` for the latter.
@@ -99,6 +109,8 @@ inline Options parse_args(int argc, char** argv) {
       opts.trace = true;
     } else if (std::strcmp(argv[i], "--keep-going") == 0) {
       opts.keep_going = true;
+    } else if (std::strcmp(argv[i], "--superblocks") == 0) {
+      opts.superblocks = true;
     } else if (flag_value(argc, argv, i, "--trace-out", value)) {
       opts.trace_out = value;
     } else if (flag_value(argc, argv, i, "--report-json", value)) {
@@ -109,7 +121,7 @@ inline Options parse_args(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--serial] [--stats] [--reference] "
                    "[--utilization] [--metrics] [--trace] [--keep-going] "
-                   "[--trace-out=FILE] [--report-json=FILE]\n",
+                   "[--superblocks] [--trace-out=FILE] [--report-json=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -135,14 +147,18 @@ inline bool wants_metrics(const Options& opts) {
 /// compiler/scheduler counters into `registry`.
 inline report::Matrix run_matrix(const Options& opts, support::Timeline* timeline,
                                  obs::Registry* registry = nullptr) {
+  const opt::SuperblockOptions sb_options{.superblocks = true};
+  const opt::SuperblockOptions* superblocks = opts.superblocks ? &sb_options : nullptr;
   if (opts.serial) {
-    return report::Matrix::run(timeline, sim_options_of(opts), registry, opts.keep_going);
+    return report::Matrix::run(timeline, sim_options_of(opts), registry, opts.keep_going,
+                               superblocks);
   }
   report::ParallelRunner runner({.threads = opts.threads,
                                  .timeline = timeline,
                                  .sim = sim_options_of(opts),
                                  .registry = registry,
-                                 .keep_going = opts.keep_going});
+                                 .keep_going = opts.keep_going,
+                                 .superblocks = superblocks});
   return runner.run();
 }
 
@@ -166,6 +182,39 @@ inline void print_utilization(const Options& opts, const report::Matrix& matrix)
 /// --metrics: dump the sweep's merged registry.
 inline void print_metrics(const Options& opts, const obs::Registry& registry) {
   if (opts.metrics) std::fputs(("\n" + registry.render()).c_str(), stderr);
+}
+
+/// --superblocks: per-cell cycle deltas of the adopted schedule vs the
+/// phase-1 baseline (stderr; the artifact on stdout already shows the
+/// adopted cycles). Cells where no trace formed or the baseline won are
+/// listed as unchanged totals only.
+inline void print_superblock_deltas(const Options& opts, const report::Matrix& matrix) {
+  if (!opts.superblocks) return;
+  std::fputs("\nsuperblock deltas (cycles vs phase-1 baseline):\n", stderr);
+  std::uint64_t base_total = 0;
+  std::uint64_t total = 0;
+  for (const report::MachineResults& m : matrix.machines()) {
+    for (const std::string& name : matrix.workload_names()) {
+      auto it = m.by_workload.find(name);
+      if (it == m.by_workload.end() || !it->second.ok) continue;
+      const report::RunOutcome& out = it->second;
+      base_total += out.baseline_cycles;
+      total += out.cycles;
+      if (out.cycles == out.baseline_cycles) continue;
+      const std::int64_t delta =
+          static_cast<std::int64_t>(out.cycles) - static_cast<std::int64_t>(out.baseline_cycles);
+      std::fprintf(stderr, "  %-10s %-9s %10llu -> %10llu  (%+lld, %+.2f%%)\n",
+                   m.machine.name.c_str(), name.c_str(),
+                   static_cast<unsigned long long>(out.baseline_cycles),
+                   static_cast<unsigned long long>(out.cycles), static_cast<long long>(delta),
+                   100.0 * static_cast<double>(delta) / static_cast<double>(out.baseline_cycles));
+    }
+  }
+  const std::int64_t delta =
+      static_cast<std::int64_t>(total) - static_cast<std::int64_t>(base_total);
+  std::fprintf(stderr, "  total: %llu -> %llu (%+lld)\n",
+               static_cast<unsigned long long>(base_total),
+               static_cast<unsigned long long>(total), static_cast<long long>(delta));
 }
 
 /// --trace: re-run the first cell of the matrix with a TraceObserver and
@@ -203,6 +252,7 @@ int run_harness(int argc, char** argv, RenderFn&& render) {
   print_stats(opts, timeline);
   print_utilization(opts, matrix);
   print_metrics(opts, registry);
+  print_superblock_deltas(opts, matrix);
   print_trace(opts);
   if (!opts.report_json.empty()) {
     report::write_run_report(opts.report_json, matrix, metrics);

@@ -16,6 +16,9 @@
 //   --no-batch          per-injection scalar path instead of the batched
 //                       lockstep stepper (sim/lockstep.hpp); the report is
 //                       byte-identical either way
+//   --superblocks       inject into the two-phase profile-guided superblock
+//                       schedule of each cell (with the driver's no-slower
+//                       fallback) instead of the ordinary schedule
 //   --batch-lanes N     lockstep lanes per batch (1..64, default 64)
 //   --metrics           print the campaign's merged "resil.*" counters to
 //                       stderr
@@ -57,7 +60,7 @@ std::vector<std::string> split_list(const std::string& csv) {
   std::fprintf(stderr,
                "usage: %s [--machines=a,b,c] [--workloads=x,y] [--injections N] "
                "[--seed N] [--threads N] [--serial] [--no-batch] [--batch-lanes N] "
-               "[--metrics] [--report-json=FILE] [--bench-json=FILE]\n",
+               "[--superblocks] [--metrics] [--report-json=FILE] [--bench-json=FILE]\n",
                prog);
   std::exit(2);
 }
@@ -77,6 +80,8 @@ int main(int argc, char** argv) {
       options.serial = true;
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
       options.batch = false;
+    } else if (std::strcmp(argv[i], "--superblocks") == 0) {
+      options.superblocks = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
     } else if (bench::flag_value(argc, argv, i, "--batch-lanes", value)) {

@@ -293,7 +293,8 @@ MLiveness::MLiveness(const MFunction& func, const Machine& machine) {
   const std::size_t nregs = rf_base_.back();
   const std::size_t nb = func.blocks.size();
   live_out_.assign(nb, std::vector<bool>(nregs, false));
-  std::vector<std::vector<bool>> live_in(nb, std::vector<bool>(nregs, false));
+  live_in_.assign(nb, std::vector<bool>(nregs, false));
+  auto& live_in = live_in_;
   std::vector<std::vector<bool>> gen(nb, std::vector<bool>(nregs, false));
   std::vector<std::vector<bool>> kill(nb, std::vector<bool>(nregs, false));
   std::vector<std::vector<std::uint32_t>> succs(nb);

@@ -32,12 +32,20 @@ class MLiveness {
     return live_out_[block][key(reg)];
   }
 
+  /// Live on entry to `block` (used by the trace schedulers to force
+  /// pending results to materialize before a side exit whose target still
+  /// needs them).
+  bool live_in(std::uint32_t block, mach::PhysReg reg) const {
+    return live_in_[block][key(reg)];
+  }
+
  private:
   std::size_t key(mach::PhysReg r) const {
     return rf_base_[static_cast<std::size_t>(r.rf)] + static_cast<std::size_t>(r.index);
   }
   std::vector<std::size_t> rf_base_;
   std::vector<std::vector<bool>> live_out_;
+  std::vector<std::vector<bool>> live_in_;
 };
 
 }  // namespace ttsc::codegen

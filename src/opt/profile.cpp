@@ -1,0 +1,50 @@
+#include "opt/profile.hpp"
+
+#include "obs/json.hpp"
+#include "sim/collectors.hpp"
+
+namespace ttsc::opt {
+
+ProfileData ProfileData::from_collector(const sim::ProfileCollector& collector) {
+  ProfileData data;
+  data.block_counts = collector.block_counts();
+  data.edge_counts = collector.edge_counts();
+  return data;
+}
+
+std::string ProfileData::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("blocks");
+  w.begin_array();
+  for (const std::uint64_t n : block_counts) w.value(n);
+  w.end_array();
+  w.key("edges");
+  w.begin_array();
+  for (const auto& [edge, n] : edge_counts) {
+    w.begin_array();
+    w.value(static_cast<std::uint64_t>(edge.first));
+    w.value(static_cast<std::uint64_t>(edge.second));
+    w.value(n);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+ProfileData ProfileData::from_json(const std::string& text) {
+  const obs::JsonValue doc = obs::parse_json(text);
+  ProfileData data;
+  for (const obs::JsonValue& n : doc.at("blocks").items) {
+    data.block_counts.push_back(n.as_uint());
+  }
+  for (const obs::JsonValue& e : doc.at("edges").items) {
+    if (e.items.size() != 3) throw Error("profile edge entry needs [from, to, count]");
+    data.edge_counts[{static_cast<std::uint32_t>(e.items[0].as_uint()),
+                      static_cast<std::uint32_t>(e.items[1].as_uint())}] = e.items[2].as_uint();
+  }
+  return data;
+}
+
+}  // namespace ttsc::opt

@@ -1,0 +1,54 @@
+// Execution profiles for profile-guided optimization.
+//
+// ProfileData carries per-block execution frequencies and taken
+// control-flow edge counts for one IR function, keyed by block id. It is
+// produced from a sim::ProfileCollector attached to a profiling run
+// (sim::ExecObserver::on_block_enter events) and consumed by superblock
+// formation (opt/superblock.hpp). The data serializes to JSON so a
+// profiling run can feed a later recompile — block ids are only meaningful
+// against the exact IR the profile was gathered on, so the two-phase driver
+// (report::compile_and_run_prebuilt) re-derives the same per-machine module
+// before applying it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ttsc::sim {
+class ProfileCollector;
+}
+
+namespace ttsc::opt {
+
+struct ProfileData {
+  /// Execution count per block id; blocks past the end count as zero.
+  std::vector<std::uint64_t> block_counts;
+  /// Count per observed (from, to) block transition.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> edge_counts;
+
+  bool empty() const { return block_counts.empty(); }
+
+  std::uint64_t block_count(std::uint32_t block) const {
+    return block < block_counts.size() ? block_counts[block] : 0;
+  }
+
+  std::uint64_t edge_count(std::uint32_t from, std::uint32_t to) const {
+    const auto it = edge_counts.find({from, to});
+    return it != edge_counts.end() ? it->second : 0;
+  }
+
+  /// Snapshot a profiling run's collector.
+  static ProfileData from_collector(const sim::ProfileCollector& collector);
+
+  /// Deterministic JSON form ({"blocks": [...], "edges": [[from, to, n]...]}).
+  std::string to_json() const;
+  /// Inverse of to_json. Throws ttsc::Error on malformed input.
+  static ProfileData from_json(const std::string& text);
+
+  bool operator==(const ProfileData&) const = default;
+};
+
+}  // namespace ttsc::opt

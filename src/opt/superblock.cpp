@@ -1,0 +1,365 @@
+#include "opt/superblock.hpp"
+
+#include <algorithm>
+
+#include "ir/verify.hpp"
+
+namespace ttsc::opt {
+
+using ir::Block;
+using ir::BlockId;
+using ir::Function;
+using ir::Instr;
+using ir::Opcode;
+
+namespace {
+
+bool has_call(const Block& b) {
+  for (const Instr& in : b.instrs) {
+    if (in.op == Opcode::Call) return true;
+  }
+  return false;
+}
+
+/// Distinct successors of `b`'s terminator (Bnz with equal targets yields
+/// one entry).
+std::vector<BlockId> succs_of(const Block& b) {
+  std::vector<BlockId> out;
+  for (const BlockId t : b.terminator().targets) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  return out;
+}
+
+/// A free negation of comparison `def` feeding a Bnz's != 0 test, when one
+/// exists: Eq(a,c) <-> Xor(a,c), Sub(a,c) -> Eq(a,c), and for a literal
+/// operand Gt(a,L) -> Gt(L+1,a) / Gt(L,a) -> Gt(a,L-1) (likewise Gtu),
+/// nudging the bound by one and swapping sides — all same-cost duals.
+/// Returns false (leaving `def` untouched) when none applies.
+bool negate_comparison(Instr& def, bool apply) {
+  switch (def.op) {
+    case Opcode::Eq:
+      if (apply) def.op = Opcode::Xor;
+      return true;
+    case Opcode::Xor:
+    case Opcode::Sub:
+      if (apply) def.op = Opcode::Eq;
+      return true;
+    case Opcode::Gt:
+    case Opcode::Gtu: {
+      const bool is_signed = def.op == Opcode::Gt;
+      // !(a > L)  ==  a <= L  ==  L+1 > a   (no overflow at the top bound)
+      if (def.inputs[1].is_literal()) {
+        const std::int64_t lit = def.inputs[1].imm.value;
+        if (is_signed ? lit >= 0x7fffffffll : static_cast<std::uint32_t>(lit) == 0xffffffffu) {
+          return false;
+        }
+        if (apply) {
+          def.inputs[1] = def.inputs[0];
+          def.inputs[0] = ir::Operand(is_signed ? lit + 1
+                                                : static_cast<std::int64_t>(
+                                                      static_cast<std::uint32_t>(lit) + 1));
+        }
+        return true;
+      }
+      // !(L > a)  ==  L <= a  ==  a > L-1   (no overflow at the bottom bound)
+      if (def.inputs[0].is_literal()) {
+        const std::int64_t lit = def.inputs[0].imm.value;
+        if (is_signed ? lit <= static_cast<std::int64_t>(-0x80000000ll)
+                      : static_cast<std::uint32_t>(lit) == 0) {
+          return false;
+        }
+        if (apply) {
+          def.inputs[0] = def.inputs[1];
+          def.inputs[1] = ir::Operand(is_signed ? lit - 1
+                                                : static_cast<std::int64_t>(
+                                                      static_cast<std::uint32_t>(lit) - 1));
+        }
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// The single comparison feeding `b`'s branch condition, eligible for an
+/// in-place flip: defined in `b`, the branch is its only reader and it is
+/// the condition vreg's only writer anywhere (the IR is not SSA, so a
+/// flip must not change another observer). Null when no such def exists.
+Instr* flippable_condition_def(Function& f, Block& b) {
+  Instr& term = b.terminator();
+  if (!term.inputs[0].is_reg()) return nullptr;
+  const ir::Vreg cond = term.inputs[0].reg;
+  Instr* def = nullptr;
+  for (Instr& in : b.instrs) {
+    if (&in != &term && in.has_dst() && in.dst == cond) def = &in;
+  }
+  if (def == nullptr) return nullptr;
+  int uses = 0;
+  int defs = 0;
+  for (BlockId id = 0; id < f.num_blocks(); ++id) {
+    for (const Instr& in : f.block(id).instrs) {
+      if (in.has_dst() && in.dst == cond) ++defs;
+      for (const ir::Operand& op : in.inputs) {
+        if (op.is_reg() && op.reg == cond) ++uses;
+      }
+    }
+  }
+  if (uses != 1 || defs != 1) return nullptr;
+  return def;
+}
+
+/// Invert `b`'s branch condition for free when possible (see
+/// negate_comparison). Returns false when no free flip exists; the caller
+/// then falls back to inserting `Eq cond, 0`.
+bool flip_branch_condition(Function& f, Block& b) {
+  Instr* def = flippable_condition_def(f, b);
+  return def != nullptr && negate_comparison(*def, /*apply=*/true);
+}
+
+/// Would inverting `b`'s branch be free? Pure query used during trace
+/// growth: a trace is not grown through a boundary whose inversion would
+/// need an explicit `Eq cond, 0` — that negation executes on the hot path
+/// every iteration and routinely costs more than merging wins.
+bool can_invert_for_free(Function& f, Block& b) {
+  Instr* def = flippable_condition_def(f, b);
+  return def != nullptr && negate_comparison(*def, /*apply=*/false);
+}
+
+/// Predecessor sets over the whole function in its current state (clones
+/// included), as target-edge sources with duplicates collapsed.
+std::vector<std::vector<BlockId>> compute_preds(const Function& f) {
+  std::vector<std::vector<BlockId>> preds(f.num_blocks());
+  for (BlockId p = 0; p < f.num_blocks(); ++p) {
+    for (const BlockId t : f.block(p).terminator().targets) {
+      auto& list = preds[t];
+      if (std::find(list.begin(), list.end(), p) == list.end()) list.push_back(p);
+    }
+  }
+  return preds;
+}
+
+}  // namespace
+
+SuperblockPlan form_superblocks(Function& func, const ProfileData& profile,
+                                const SuperblockOptions& options) {
+  SuperblockPlan plan;
+  if (!options.superblocks || profile.empty() || func.num_blocks() < 2) return plan;
+
+  const BlockId num_orig = func.num_blocks();
+
+  // --- Trace selection on the unmodified function, hottest seeds first. ---
+  std::vector<BlockId> seeds;
+  for (BlockId b = 0; b < num_orig; ++b) {
+    if (profile.block_count(b) >= options.min_count && !has_call(func.block(b))) seeds.push_back(b);
+  }
+  std::sort(seeds.begin(), seeds.end(), [&](BlockId a, BlockId b) {
+    const std::uint64_t ca = profile.block_count(a);
+    const std::uint64_t cb = profile.block_count(b);
+    return ca != cb ? ca > cb : a < b;
+  });
+
+  std::vector<bool> in_trace(num_orig, false);
+  std::vector<std::vector<BlockId>> selected;
+  for (const BlockId seed : seeds) {
+    if (in_trace[seed]) continue;
+    std::vector<BlockId> trace{seed};
+    BlockId cur = seed;
+    while (trace.size() < options.max_trace_len) {
+      const Instr& term = func.block(cur).terminator();
+      if (term.op == Opcode::Ret) break;
+      // An equal-target Bnz cannot be given a fallthrough by inversion.
+      if (term.op == Opcode::Bnz && term.targets[0] == term.targets[1]) break;
+      const std::vector<BlockId> succs = succs_of(func.block(cur));
+      std::uint64_t total = 0;
+      for (const BlockId s : succs) total += profile.edge_count(cur, s);
+      if (total == 0) break;
+      // Most-likely successor; ties prefer the existing fallthrough, then
+      // the smaller id (deterministic).
+      BlockId best = ir::kInvalidBlock;
+      std::uint64_t best_count = 0;
+      const BlockId fallthrough =
+          term.op == Opcode::Bnz ? term.targets[1] : term.targets[0];
+      for (const BlockId s : succs) {
+        const std::uint64_t c = profile.edge_count(cur, s);
+        const bool wins = best == ir::kInvalidBlock || c > best_count ||
+                          (c == best_count && s == fallthrough && best != fallthrough) ||
+                          (c == best_count && best != fallthrough && s < best);
+        if (wins) {
+          best = s;
+          best_count = c;
+        }
+      }
+      if (static_cast<double>(best_count) < options.bias * static_cast<double>(total)) break;
+      if (best == Function::kEntry || best == cur || in_trace[best]) break;
+      if (std::find(trace.begin(), trace.end(), best) != trace.end()) break;  // stay acyclic
+      if (profile.block_count(best) < options.min_count) break;
+      if (has_call(func.block(best))) break;
+      // Growing through the taken edge needs a branch inversion; only do it
+      // when the inversion is free (comparison flip), never via an Eq
+      // negation on the hot path.
+      if (term.op == Opcode::Bnz && best == term.targets[0] && best != term.targets[1] &&
+          !can_invert_for_free(func, func.block(cur))) {
+        break;
+      }
+      trace.push_back(best);
+      cur = best;
+    }
+    if (trace.size() < 2) continue;
+    for (const BlockId b : trace) in_trace[b] = true;
+    selected.push_back(std::move(trace));
+  }
+  if (selected.empty()) return plan;
+
+  // --- Commit traces one at a time: tail-duplicate side entrances, then
+  // invert branches so every on-trace successor is the fallthrough. ---
+  std::uint64_t dup_budget_used = 0;
+  std::vector<std::vector<BlockId>> committed;
+  for (std::vector<BlockId>& trace : selected) {
+    // First side entrance: an interior block with a predecessor other than
+    // its on-trace predecessor (preds reflect earlier commits' redirects).
+    const std::vector<std::vector<BlockId>> preds = compute_preds(func);
+    std::size_t side = trace.size();
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      for (const BlockId p : preds[trace[i]]) {
+        if (p != trace[i - 1]) {
+          side = i;
+          break;
+        }
+      }
+      if (side != trace.size()) break;
+    }
+    if (side != trace.size()) {
+      std::uint64_t suffix_instrs = 0;
+      for (std::size_t j = side; j < trace.size(); ++j) {
+        suffix_instrs += func.block(trace[j]).instrs.size();
+      }
+      if (dup_budget_used + suffix_instrs > options.tail_dup_budget) {
+        // Over budget: keep the trace only up to the side entrance.
+        trace.resize(side);
+        if (trace.size() < 2) continue;
+        side = trace.size();  // no duplication
+      }
+    }
+
+    // Invert interior Bnz branches whose taken target is the next trace
+    // block: `t = Eq cond, 0; Bnz t, side` makes the on-trace successor the
+    // fallthrough. Done before cloning so clones carry the inverted form.
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+      Block& a = func.block(trace[i]);
+      Instr& term = a.terminator();
+      if (term.op == Opcode::Jump) {
+        TTSC_ASSERT(term.targets[0] == trace[i + 1], "trace successor mismatch");
+        continue;
+      }
+      TTSC_ASSERT(term.op == Opcode::Bnz, "trace block lacks a branch terminator");
+      if (term.targets[1] == trace[i + 1]) continue;
+      TTSC_ASSERT(term.targets[0] == trace[i + 1], "trace successor mismatch");
+      std::swap(term.targets[0], term.targets[1]);
+      // Prefer flipping the comparison that feeds the branch (free); only
+      // fall back to an explicit negation when no free flip exists — the
+      // extra Eq rides the hot path every iteration.
+      if (!flip_branch_condition(func, a)) {
+        Instr negate(Opcode::Eq, func.new_vreg(), {a.terminator().inputs[0], ir::Operand(0)});
+        a.terminator().inputs[0] = ir::Operand(negate.dst);
+        a.instrs.insert(a.instrs.end() - 1, std::move(negate));
+      }
+    }
+
+    if (side != trace.size()) {
+      // Tail-duplicate the suffix from the first side entrance and redirect
+      // every predecessor except the on-trace one to the clones. The clones
+      // are ordinary blocks (scheduled per-block): the compensation code.
+      std::vector<BlockId> clone_of(trace.size(), ir::kInvalidBlock);
+      for (std::size_t j = side; j < trace.size(); ++j) {
+        const BlockId c = func.add_block(func.block(trace[j]).name + ".tail");
+        func.block(c).instrs = func.block(trace[j]).instrs;
+        clone_of[j] = c;
+        plan.tail_dup_instrs += func.block(c).instrs.size();
+        dup_budget_used += func.block(c).instrs.size();
+      }
+      for (BlockId p = 0; p < func.num_blocks(); ++p) {
+        for (BlockId& t : func.block(p).terminator().targets) {
+          for (std::size_t j = side; j < trace.size(); ++j) {
+            if (t == trace[j] && p != trace[j - 1]) t = clone_of[j];
+          }
+        }
+      }
+    }
+    committed.push_back(std::move(trace));
+  }
+  if (committed.empty()) return plan;
+
+  // --- Merge unconditional interior boundaries: after duplication the next
+  // trace block has a single predecessor, so a Jump boundary is a plain
+  // straight-line merge. Remaining boundaries all carry Bnz side exits. ---
+  std::vector<bool> dead(func.num_blocks(), false);
+  for (std::vector<BlockId>& trace : committed) {
+    std::vector<BlockId> survivors{trace[0]};
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      Block& prev = func.block(survivors.back());
+      if (prev.terminator().op == Opcode::Jump) {
+        TTSC_ASSERT(prev.terminator().targets[0] == trace[i], "trace successor mismatch");
+        prev.instrs.pop_back();
+        Block& b = func.block(trace[i]);
+        prev.instrs.insert(prev.instrs.end(), std::make_move_iterator(b.instrs.begin()),
+                           std::make_move_iterator(b.instrs.end()));
+        b.instrs.clear();
+        dead[trace[i]] = true;
+      } else {
+        survivors.push_back(trace[i]);
+      }
+    }
+    trace = std::move(survivors);
+  }
+
+  // --- Relayout: traces become contiguous runs; everything else (clones
+  // included) keeps its relative order. The entry block stays first. ---
+  std::vector<int> trace_pos(func.num_blocks(), -1);  // >0 = interior
+  for (std::size_t t = 0; t < committed.size(); ++t) {
+    for (std::size_t i = 0; i < committed[t].size(); ++i) {
+      trace_pos[committed[t][i]] = static_cast<int>(i);
+    }
+  }
+  std::vector<BlockId> order;
+  std::vector<BlockId> remap(func.num_blocks(), ir::kInvalidBlock);
+  auto emit = [&](BlockId b) {
+    remap[b] = static_cast<BlockId>(order.size());
+    order.push_back(b);
+  };
+  for (BlockId b = 0; b < func.num_blocks(); ++b) {
+    if (dead[b] || trace_pos[b] > 0) continue;
+    if (trace_pos[b] == 0) {
+      for (const auto& trace : committed) {
+        if (trace[0] == b) {
+          for (const BlockId m : trace) emit(m);
+          break;
+        }
+      }
+    } else {
+      emit(b);
+    }
+  }
+  TTSC_ASSERT(remap[Function::kEntry] == 0, "entry block must stay first");
+
+  std::vector<Block> new_blocks(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) new_blocks[i] = std::move(func.block(order[i]));
+  for (Block& b : new_blocks) {
+    for (BlockId& t : b.terminator().targets) {
+      TTSC_ASSERT(remap[t] != ir::kInvalidBlock, "branch into a merged-away block");
+      t = remap[t];
+    }
+  }
+  func.blocks() = std::move(new_blocks);
+
+  for (const auto& trace : committed) {
+    plan.traces.push_back(SuperblockTrace{remap[trace[0]], static_cast<std::uint32_t>(trace.size())});
+  }
+  plan.formed = plan.traces.size();
+  ir::verify(func);
+  return plan;
+}
+
+}  // namespace ttsc::opt

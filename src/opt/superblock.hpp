@@ -1,0 +1,86 @@
+// Profile-guided superblock formation.
+//
+// A superblock is a hot acyclic trace of basic blocks with a single entry
+// (the head) and possibly many side exits: interior branches may leave the
+// trace, but control can only enter at the top. form_superblocks selects
+// traces along the most-biased profile edges, makes every on-trace
+// successor the fallthrough (inverting Bnz conditions with an extra
+// `Eq cond, 0` where needed), and restores the single-entry property with
+// tail duplication: when a trace block other than the head has an external
+// predecessor, the trace suffix from the first such side entrance is cloned
+// and all off-trace predecessors are redirected to the clones. The clones
+// plus the inverted branches ARE the compensation code — every side path
+// re-enters a stand-alone copy of the code it would have run, so program
+// results are unchanged by construction (locked by the differential fleet
+// in tests/property_test.cpp).
+//
+// The IR keeps one terminator per block, so a formed trace is not merged
+// into one ir::Block. Unconditional interior boundaries (Jump to the next
+// trace block, which tail duplication leaves with a single predecessor)
+// are physically merged here; conditional boundaries survive as contiguous
+// block runs recorded in the returned SuperblockPlan, which the TTA/VLIW
+// schedulers consume to schedule across the side exits
+// (tta/schedule.cpp, vliw/schedule.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "opt/profile.hpp"
+
+namespace ttsc::opt {
+
+struct SuperblockOptions {
+  /// Master switch; off leaves the function untouched (default: the
+  /// baseline compile stays byte-identical without a profile).
+  bool superblocks = false;
+  /// Minimum fraction of a block's outgoing profile mass an edge needs to
+  /// extend the trace along it.
+  double bias = 0.6;
+  /// Minimum execution count for a block to join a trace.
+  std::uint64_t min_count = 4;
+  /// Maximum blocks per trace.
+  std::uint32_t max_trace_len = 8;
+  /// Maximum total instructions cloned by tail duplication per function;
+  /// traces are truncated before the side entrance that would exceed it.
+  std::uint32_t tail_dup_budget = 64;
+};
+
+/// One formed trace: `len` contiguous blocks starting at `first` (indices
+/// into the function's post-formation block order). Interior blocks have
+/// exactly one predecessor (the previous trace block) and end in a Bnz
+/// whose fallthrough is the next trace block — the taken target is the
+/// side exit.
+struct SuperblockTrace {
+  std::uint32_t first = 0;
+  std::uint32_t len = 0;
+};
+
+struct SuperblockPlan {
+  std::vector<SuperblockTrace> traces;
+  /// Number of traces formed (== traces.size(); counted for metrics).
+  std::uint64_t formed = 0;
+  /// Total instructions cloned by tail duplication.
+  std::uint64_t tail_dup_instrs = 0;
+
+  /// The trace index whose run contains `block`, or -1.
+  int trace_of(std::uint32_t block) const {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      if (block >= traces[t].first && block < traces[t].first + traces[t].len) {
+        return static_cast<int>(t);
+      }
+    }
+    return -1;
+  }
+};
+
+/// Form superblocks in `func` along `profile` (block ids must refer to
+/// `func`'s current blocks). Reorders blocks so each trace is contiguous;
+/// the entry block stays first. Verifies the rewritten function. Returns
+/// the plan the backend schedulers consume; an empty plan (no formation)
+/// leaves the function byte-identical.
+SuperblockPlan form_superblocks(ir::Function& func, const ProfileData& profile,
+                                const SuperblockOptions& options);
+
+}  // namespace ttsc::opt

@@ -136,12 +136,19 @@ ir::Module build_optimized(const Workload& workload, support::Timeline* timeline
   return module;
 }
 
-RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload& workload,
-                                    const mach::Machine& machine,
-                                    const tta::TtaOptions& tta_options,
-                                    support::Timeline* timeline,
-                                    const sim::SimOptions& sim_options, ModuleCache* cache,
-                                    obs::Registry* metrics) {
+namespace {
+
+/// One full backend compile + simulate of `optimized` on `machine`. When
+/// `profile` is given, superblocks are formed along it (after the backend's
+/// IR preparation, mirroring the profiled phase-1 pipeline so block ids
+/// line up) and the TTA/VLIW schedulers consume the resulting plan;
+/// `plan_out` receives the formation plan.
+RunOutcome compile_cell(const ir::Module& optimized, const Workload& workload,
+                        const mach::Machine& machine, const tta::TtaOptions& tta_options,
+                        support::Timeline* timeline, const sim::SimOptions& sim_options,
+                        ModuleCache* cache, obs::Registry* metrics,
+                        const opt::ProfileData* profile, const opt::SuperblockOptions& sb_options,
+                        opt::SuperblockPlan* plan_out) {
   obs::Span cell_span("cell", [&] {
     return obs::SpanArgs{{"machine", machine.name}, {"workload", workload.name}};
   });
@@ -170,6 +177,17 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
   } else {
     codegen::expand_selects(module.function(workloads::entry_point()));
   }
+
+  // Profile-guided superblock formation: the phase-2 module has gone
+  // through exactly the transforms the profiled phase-1 module did, so the
+  // profile's block ids refer to this function's current blocks.
+  opt::SuperblockPlan plan;
+  if (profile != nullptr) {
+    plan = opt::form_superblocks(module.function(workloads::entry_point()), *profile, sb_options);
+  }
+  const opt::SuperblockPlan* sched_plan = plan.formed > 0 ? &plan : nullptr;
+  if (plan_out != nullptr) *plan_out = plan;
+
   if (machine.model == mach::Model::Scalar) {
     codegen::legalize_scalar_operands(module.function(workloads::entry_point()));
   }
@@ -241,7 +259,7 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
     }
     case mach::Model::Vliw: {
       vliw::ScheduleStats stats;
-      const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine, &stats);
+      const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine, &stats, sched_plan);
       out.stage_seconds.schedule = seconds_since(t_schedule);
       stage_span.reset();
       cell_metrics.add("vliw.schedule.bundles", stats.bundles);
@@ -287,7 +305,12 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
     }
     case mach::Model::Tta: {
       tta::TtaScheduleStats stats;
-      const tta::TtaProgram prog = tta::schedule_tta(lowered.func, machine, tta_options, &stats);
+      const tta::TtaProgram prog =
+          tta::schedule_tta(lowered.func, machine, tta_options, &stats, sched_plan);
+      if (profile != nullptr) {
+        cell_metrics.add("sched.superblock.cross_block_bypass",
+                         stats.superblock_cross_block_bypass);
+      }
       // Image size from the real binary encoder (instruction stream plus
       // the literal pool holding wide constants and far branch targets).
       out.image_bits = tta::encode_program(prog, machine).image_bits();
@@ -378,6 +401,63 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload&
         workload.name.c_str(), machine.name.c_str(), out.ret, golden.ret,
         static_cast<unsigned long long>(out.output_checksum),
         static_cast<unsigned long long>(golden.output_checksum)));
+  }
+  return out;
+}
+
+}  // namespace
+
+RunOutcome compile_and_run_prebuilt(const ir::Module& optimized, const Workload& workload,
+                                    const mach::Machine& machine,
+                                    const tta::TtaOptions& tta_options,
+                                    support::Timeline* timeline,
+                                    const sim::SimOptions& sim_options, ModuleCache* cache,
+                                    obs::Registry* metrics,
+                                    const opt::SuperblockOptions* superblocks) {
+  if (superblocks == nullptr || !superblocks->superblocks) {
+    return compile_cell(optimized, workload, machine, tta_options, timeline, sim_options, cache,
+                        metrics, nullptr, {}, nullptr);
+  }
+
+  // Phase 1: the ordinary schedule, run with a block-frequency collector
+  // attached (tee'd with any caller observer). Its outcome doubles as the
+  // baseline the superblock schedule must beat.
+  sim::ProfileCollector collector;
+  sim::SimOptions phase1 = sim_options;
+  sim::TeeObserver tee(sim_options.observer, &collector);
+  phase1.observer = sim_options.observer != nullptr ? static_cast<sim::ExecObserver*>(&tee)
+                                                    : static_cast<sim::ExecObserver*>(&collector);
+  RunOutcome base = compile_cell(optimized, workload, machine, tta_options, timeline, phase1,
+                                 cache, nullptr, nullptr, {}, nullptr);
+
+  // Phase 2: recompile along the measured edge biases and rerun.
+  const opt::ProfileData profile = opt::ProfileData::from_collector(collector);
+  opt::SuperblockPlan plan;
+  RunOutcome sb = compile_cell(optimized, workload, machine, tta_options, timeline, sim_options,
+                               cache, nullptr, &profile, *superblocks, &plan);
+
+  // Empirical per-cell fallback: adopt the superblock schedule only when it
+  // is no worse than the baseline, so no cell can ever regress (a cold-path
+  // tail duplicate could otherwise outweigh the hot-path win).
+  const bool adopt = sb.cycles <= base.cycles;
+  const std::uint64_t base_cycles = base.cycles;
+  RunOutcome out = adopt ? std::move(sb) : std::move(base);
+  out.baseline_cycles = base_cycles;
+  out.superblocks_applied = adopt && plan.formed > 0;
+  out.metrics["sched.superblock.formed"] = adopt ? plan.formed : 0;
+  out.metrics["sched.superblock.tail_dup_instrs"] = adopt ? plan.tail_dup_instrs : 0;
+  // The cross-block counter only exists on adopted TTA cells; pin it to
+  // zero everywhere else so superblock sweeps report a stable counter set.
+  out.metrics.try_emplace("sched.superblock.cross_block_bypass", 0);
+  if (!adopt) out.metrics["sched.superblock.cross_block_bypass"] = 0;
+  if (metrics != nullptr) {
+    // Merge only the adopted cell's counters (one merge per cell, as the
+    // registry contract requires — the discarded phase never lands).
+    obs::Registry cell;
+    for (const auto& [name, value] : out.metrics) cell.add(name, value);
+    metrics->merge(cell);
+    metrics->observe("cell.cycles", out.cycles);
+    metrics->add("cells.run");
   }
   return out;
 }

@@ -14,6 +14,7 @@
 #include "ir/interp.hpp"
 #include "mach/machine.hpp"
 #include "obs/metrics.hpp"
+#include "opt/superblock.hpp"
 #include "sim/collectors.hpp"
 #include "support/timeline.hpp"
 #include "tta/tta.hpp"
@@ -59,6 +60,14 @@ struct RunOutcome {
   std::uint64_t eliminated_result_moves = 0;
   std::uint64_t shared_operands = 0;
   int spills = 0;
+
+  // Two-phase superblock compile (profile -> recompile -> rerun): cycles of
+  // the phase-1 baseline run, for delta reporting, and whether the phase-2
+  // superblock schedule was adopted (it is kept only when no worse than the
+  // baseline, so `cycles <= baseline_cycles` always holds). Both stay zero/
+  // false when superblocks were not requested.
+  std::uint64_t baseline_cycles = 0;
+  bool superblocks_applied = false;
 
   // Wall time per pipeline stage. compile_and_run_prebuilt fills regalloc/
   // schedule/predecode/simulate; frontend/opt belong to the shared
@@ -121,6 +130,17 @@ ir::Module build_optimized(const workloads::Workload& workload,
 /// into the outcome's `metrics` map. All recorded values are deterministic
 /// functions of (workload, machine, options), so a sweep's merged registry
 /// is byte-identical for any thread count.
+///
+/// `superblocks` (optional) enables the two-phase profile-guided superblock
+/// compile: phase 1 runs the ordinary schedule with a profile collector
+/// attached, phase 2 re-prepares the module, forms superblocks along the
+/// measured edge biases (opt/superblock.hpp) and schedules the traces as
+/// merged blocks. The phase whose run is cheaper wins the cell (ties go to
+/// the superblock schedule), so a cell can never regress; both phases are
+/// cross-checked against the reference interpreter. The adopted cell's
+/// metrics gain "sched.superblock.{formed,tail_dup_instrs,
+/// cross_block_bypass}" counters and the outcome records the baseline
+/// cycles for delta reporting.
 RunOutcome compile_and_run_prebuilt(const ir::Module& optimized,
                                     const workloads::Workload& workload,
                                     const mach::Machine& machine,
@@ -128,6 +148,7 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized,
                                     support::Timeline* timeline = nullptr,
                                     const sim::SimOptions& sim_options = {},
                                     ModuleCache* cache = nullptr,
-                                    obs::Registry* metrics = nullptr);
+                                    obs::Registry* metrics = nullptr,
+                                    const opt::SuperblockOptions* superblocks = nullptr);
 
 }  // namespace ttsc::report

@@ -26,7 +26,8 @@ std::string header_row(const std::vector<std::string>& workloads) {
 }  // namespace
 
 Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_options,
-                   obs::Registry* metrics, bool keep_going) {
+                   obs::Registry* metrics, bool keep_going,
+                   const opt::SuperblockOptions* superblocks) {
   Matrix m;
   for (const workloads::Workload& w : workloads::all_workloads()) {
     m.workload_names_.push_back(w.name);
@@ -46,7 +47,7 @@ Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_optio
         try {
           r.by_workload[w.name] =
               compile_and_run_prebuilt(cache.get(w, timeline, nullptr, metrics), w, machine, {},
-                                       timeline, sim_options, &cache, metrics);
+                                       timeline, sim_options, &cache, metrics, superblocks);
         } catch (const std::exception& e) {
           RunOutcome failed;
           failed.machine = machine.name;
@@ -58,7 +59,7 @@ Matrix Matrix::run(support::Timeline* timeline, const sim::SimOptions& sim_optio
       } else {
         r.by_workload[w.name] =
             compile_and_run_prebuilt(cache.get(w, timeline, nullptr, metrics), w, machine, {},
-                                     timeline, sim_options, &cache, metrics);
+                                     timeline, sim_options, &cache, metrics, superblocks);
       }
     }
     m.machines_.push_back(std::move(r));

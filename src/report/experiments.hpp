@@ -42,9 +42,14 @@ class Matrix {
   /// pipeline or simulation fails (timeout, trap, divergence) is captured
   /// as a RunOutcome with ok = false and the error message, the sweep
   /// continues, and renderers show the cell as ERR.
+  ///
+  /// `superblocks` (optional) runs every cell through the two-phase
+  /// profile-guided superblock compile (see compile_and_run_prebuilt); each
+  /// outcome then carries baseline_cycles for delta reporting.
   static Matrix run(support::Timeline* timeline = nullptr,
                     const sim::SimOptions& sim_options = {},
-                    obs::Registry* metrics = nullptr, bool keep_going = false);
+                    obs::Registry* metrics = nullptr, bool keep_going = false,
+                    const opt::SuperblockOptions* superblocks = nullptr);
 
   const MachineResults& machine(const std::string& name) const;
 

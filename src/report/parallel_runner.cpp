@@ -30,8 +30,9 @@ Matrix ParallelRunner::run_grid(const std::vector<mach::Machine>& machines,
       // Observers are per-run state; never share one across worker threads.
       sim::SimOptions sim = options_.sim;
       sim.observer = nullptr;
-      RunOutcome out = compile_and_run_prebuilt(
-          optimized, w, machine, tta_options, options_.timeline, sim, &cache_, options_.registry);
+      RunOutcome out = compile_and_run_prebuilt(optimized, w, machine, tta_options,
+                                                options_.timeline, sim, &cache_,
+                                                options_.registry, options_.superblocks);
       out.stage_seconds.frontend = build_times.frontend;
       out.stage_seconds.opt = build_times.opt;
       outcomes[i] = std::move(out);

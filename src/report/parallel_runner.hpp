@@ -44,6 +44,11 @@ class ParallelRunner {
     /// Matrix::run(..., keep_going = true); the rest of the grid still runs
     /// and renderers show the cell as ERR.
     bool keep_going = false;
+    /// When non-null, every cell runs the two-phase profile-guided
+    /// superblock compile (see compile_and_run_prebuilt). Both phases are
+    /// deterministic per cell, so the engine's byte-identical-at-any-
+    /// thread-count contract is unchanged.
+    const opt::SuperblockOptions* superblocks = nullptr;
   };
 
   ParallelRunner() : ParallelRunner(Options{}) {}

@@ -50,6 +50,14 @@ void write_cell(obs::JsonWriter& w, const RunOutcome& out) {
   w.value(out.shared_operands);
   w.key("output_checksum");
   w.value(format("%016llx", static_cast<unsigned long long>(out.output_checksum)));
+  // Two-phase superblock cells report the phase-1 baseline for delta
+  // analysis; ordinary cells keep the historical layout byte-for-byte.
+  if (out.baseline_cycles != 0) {
+    w.key("baseline_cycles");
+    w.value(out.baseline_cycles);
+    w.key("superblocks_applied");
+    w.value(out.superblocks_applied);
+  }
   w.key("metrics");
   w.begin_object();
   for (const auto& [name, v] : out.metrics) {

@@ -10,6 +10,8 @@
 #include "mach/configs.hpp"
 #include "obs/json.hpp"
 #include "opt/passes.hpp"
+#include "opt/superblock.hpp"
+#include "sim/collectors.hpp"
 #include "report/driver.hpp"
 #include "resil/inject.hpp"
 #include "scalar/scalar.hpp"
@@ -69,7 +71,52 @@ struct PreparedCell {
   std::uint64_t imem_bits = 0;
 };
 
-PreparedCell prepare_cell(const std::string& machine_name, const workloads::Workload& w) {
+/// Phase-1 profiling run for a superblock cell: ordinary schedule on a
+/// scratch copy of the prepared (select-expanded) module, fast path, with a
+/// sim::ProfileCollector attached. Returns the profile — whose block ids
+/// refer to `prepared`'s current blocks — and the baseline cycle count.
+std::pair<opt::ProfileData, std::uint64_t> profile_cell(const mach::Machine& machine,
+                                                        const ir::Module& prepared) {
+  ir::Module m = prepared;
+  if (machine.model == mach::Model::Scalar) {
+    codegen::legalize_scalar_operands(m.function(workloads::entry_point()));
+  }
+  const codegen::LowerResult lowered = codegen::lower(m, workloads::entry_point(), machine);
+  ir::Memory mem = report::make_loaded_memory(m);
+  sim::ProfileCollector collector;
+  sim::SimOptions opts;
+  opts.observer = &collector;
+  std::uint64_t cycles = 0;
+  sim::ExecStatus status = sim::ExecStatus::Ok;
+  switch (machine.model) {
+    case mach::Model::Scalar: {
+      const auto r = scalar::ScalarSim(scalar::emit_scalar(lowered.func), machine, mem, opts).run();
+      cycles = r.cycles;
+      status = r.status;
+      break;
+    }
+    case mach::Model::Vliw: {
+      const auto r =
+          vliw::VliwSim(vliw::schedule_vliw(lowered.func, machine), machine, mem, opts).run();
+      cycles = r.cycles;
+      status = r.status;
+      break;
+    }
+    case mach::Model::Tta: {
+      const auto r = tta::TtaSim(tta::schedule_tta(lowered.func, machine), machine, mem, opts).run();
+      cycles = r.cycles;
+      status = r.status;
+      break;
+    }
+  }
+  if (status != sim::ExecStatus::Ok) {
+    throw Error(format("profiling run did not complete: %s", sim::exec_status_name(status)));
+  }
+  return {opt::ProfileData::from_collector(collector), cycles};
+}
+
+PreparedCell prepare_cell(const std::string& machine_name, const workloads::Workload& w,
+                          bool superblocks = false) {
   PreparedCell cell;
   cell.machine = mach::machine_by_name(machine_name);
   cell.workload = &w;
@@ -83,6 +130,17 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
   } else {
     codegen::expand_selects(entry);
   }
+  // Two-phase superblock compile: profile an ordinarily scheduled copy,
+  // then form traces here so the scheduled-under-injection program is the
+  // one the --superblocks harnesses ship.
+  opt::SuperblockPlan sb_plan;
+  std::uint64_t baseline_cycles = 0;
+  if (superblocks) {
+    const auto [profile, base] = profile_cell(cell.machine, cell.module);
+    baseline_cycles = base;
+    sb_plan = opt::form_superblocks(entry, profile, {.superblocks = true});
+  }
+  const opt::SuperblockPlan* sched_plan = sb_plan.formed > 0 ? &sb_plan : nullptr;
   if (cell.machine.model == mach::Model::Scalar) {
     codegen::legalize_scalar_operands(entry);
   }
@@ -108,7 +166,7 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
       break;
     }
     case mach::Model::Vliw: {
-      cell.vliw_prog = vliw::schedule_vliw(lowered.func, cell.machine);
+      cell.vliw_prog = vliw::schedule_vliw(lowered.func, cell.machine, nullptr, sched_plan);
       cell.vliw_pre = std::make_shared<const sim::PredecodedVliw>(
           sim::predecode(*cell.vliw_prog, cell.machine));
       cell.imem_bits = imem_bits(*cell.vliw_prog);
@@ -123,7 +181,7 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
       break;
     }
     case mach::Model::Tta: {
-      cell.tta_prog = tta::schedule_tta(lowered.func, cell.machine);
+      cell.tta_prog = tta::schedule_tta(lowered.func, cell.machine, {}, nullptr, sched_plan);
       cell.tta_pre = std::make_shared<const sim::PredecodedTta>(
           sim::predecode(*cell.tta_prog, cell.machine));
       cell.imem_bits = imem_bits(*cell.tta_prog);
@@ -140,6 +198,11 @@ PreparedCell prepare_cell(const std::string& machine_name, const workloads::Work
   }
   cell.golden.out_checksum = report::workload_output_checksum(cell.module, w, mem);
   cell.golden_mem.emplace(std::move(mem));
+  if (superblocks && cell.golden.cycles > baseline_cycles) {
+    // The trace schedule lost on this cell: fall back to the ordinary
+    // schedule, mirroring the two-phase driver's per-cell guarantee.
+    return prepare_cell(machine_name, w, /*superblocks=*/false);
+  }
   return cell;
 }
 
@@ -404,7 +467,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       cr.machine = machine_name;
       cr.workload = w->name;
       try {
-        const PreparedCell cell = prepare_cell(machine_name, *w);
+        const PreparedCell cell = prepare_cell(machine_name, *w, options.superblocks);
         cr.golden_cycles = cell.golden.cycles;
         cr.imem_bits = cell.imem_bits;
         const FaultPlan plan(cell.machine, cell.machine.model == mach::Model::Tta,
@@ -564,7 +627,7 @@ BenchReport run_batch_benchmark(const CampaignOptions& options) {
       bc.machine = machine_name;
       bc.workload = w->name;
       try {
-        const PreparedCell cell = prepare_cell(machine_name, *w);
+        const PreparedCell cell = prepare_cell(machine_name, *w, options.superblocks);
         const std::uint64_t budget = timeout_budget(cell.golden.cycles);
         // State faults only: imem faults take the identical per-injection
         // path in both modes and would only dilute the measurement.

@@ -110,6 +110,13 @@ struct CampaignOptions {
   /// Lanes per lockstep batch, 1..sim::kMaxLanes (64). All lanes of a batch
   /// share one fault-free leader run.
   int batch_lanes = 64;
+  /// Compile each cell through the two-phase profile-guided superblock
+  /// pipeline (opt/superblock.hpp) before injecting: a phase-1 profiling
+  /// run feeds trace formation, and the trace schedule is adopted only when
+  /// it is no slower than the baseline (the driver's per-cell fallback).
+  /// Campaigns then measure the resilience of the code the `--superblocks`
+  /// harnesses actually ship.
+  bool superblocks = false;
   /// Optional metrics sink: "resil.<target>.<outcome>" counters plus
   /// "resil.cells.run"/"resil.cells.err", merged once per cell.
   obs::Registry* registry = nullptr;

@@ -143,6 +143,17 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
         1u << (f.bit & 31);
   };
 
+  // Block-entry lookup for on_block_enter: entry pc -> block id, last block
+  // wins when empty blocks share a pc. Only built when observing.
+  std::vector<std::int32_t> entry_of;
+  if constexpr (kObserve) {
+    entry_of.assign(pre.instrs.size(), -1);
+    for (std::size_t b = 0; b < program_.block_entry.size(); ++b) {
+      const std::size_t entry = program_.block_entry[b];
+      if (entry < pre.instrs.size()) entry_of[entry] = static_cast<std::int32_t>(b);
+    }
+  }
+
   while (true) {
     if constexpr (kHarden) {
       while (fault_next != fault_end && fault_next->cycle <= cycle) {
@@ -154,6 +165,10 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
       // The PC ran off the end (corrupted fallthrough): fail closed.
       set_trap(sim::TrapReason::PcOutOfRange, pc);
       return result;
+    }
+    if constexpr (kObserve) {
+      const std::int32_t blk = entry_of[pc];
+      if (blk >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(blk));
     }
     const ScalarPInstr& in = pre.instrs[pc];
     // Fail-closed: an illegal instruction (decode-time trap marker) traps
@@ -321,6 +336,16 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
     file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
   };
 
+  // Block-entry lookup for on_block_enter (same semantics as the fast loop).
+  std::vector<std::int32_t> entry_of;
+  if (obs != nullptr) {
+    entry_of.assign(program_.instrs.size(), -1);
+    for (std::size_t b = 0; b < program_.block_entry.size(); ++b) {
+      const std::size_t entry = program_.block_entry[b];
+      if (entry < program_.instrs.size()) entry_of[entry] = static_cast<std::int32_t>(b);
+    }
+  }
+
   while (true) {
     while (fault_next != fault_end && fault_next->cycle <= cycle) {
       apply_fault(*fault_next);
@@ -330,6 +355,9 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       // The PC ran off the end (corrupted fallthrough): fail closed.
       set_trap(sim::TrapReason::PcOutOfRange, pc);
       return result;
+    }
+    if (obs != nullptr && entry_of[pc] >= 0) {
+      obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
     }
     const MInstr& in = program_.instrs[pc];
     // Fail-closed: the execute-time mirror of the decode-time checks on the

@@ -211,4 +211,21 @@ void TeeObserver::on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) {
   if (b_ != nullptr) b_->on_stall(cycle, stall_cycles);
 }
 
+void TeeObserver::on_block_enter(std::uint64_t cycle, std::uint32_t block) {
+  if (a_ != nullptr) a_->on_block_enter(cycle, block);
+  if (b_ != nullptr) b_->on_block_enter(cycle, block);
+}
+
+void TraceObserver::on_block_enter(std::uint64_t cycle, std::uint32_t block) {
+  line(cycle, format("block enter b%u", block));
+}
+
+void ProfileCollector::on_block_enter(std::uint64_t, std::uint32_t block) {
+  if (block_counts_.size() <= block) block_counts_.resize(block + 1, 0);
+  ++block_counts_[block];
+  if (have_last_) ++edge_counts_[{last_block_, block}];
+  have_last_ = true;
+  last_block_ = block;
+}
+
 }  // namespace ttsc::sim

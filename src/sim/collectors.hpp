@@ -6,11 +6,16 @@
 //  * TraceObserver — human-readable cycle-by-cycle event log, capped at a
 //    fixed number of events (--trace in the bench harnesses).
 //  * TeeObserver — fans events out to two observers.
+//  * ProfileCollector — per-block execution counts and block-to-block edge
+//    counts from on_block_enter events (the input to opt::ProfileData and
+//    profile-guided superblock formation).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/opcode.hpp"
@@ -84,6 +89,7 @@ class TraceObserver final : public ExecObserver {
   void on_rf_read(std::uint64_t cycle, int rf, int index) override;
   void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
   void on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) override;
+  void on_block_enter(std::uint64_t cycle, std::uint32_t block) override;
 
   std::size_t events() const { return events_; }
   bool truncated() const { return events_ > max_events_; }
@@ -109,10 +115,36 @@ class TeeObserver final : public ExecObserver {
   void on_rf_read(std::uint64_t cycle, int rf, int index) override;
   void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
   void on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) override;
+  void on_block_enter(std::uint64_t cycle, std::uint32_t block) override;
 
  private:
   ExecObserver* a_;
   ExecObserver* b_;
+};
+
+/// Observer that accumulates per-block execution frequencies and taken
+/// control-flow edge counts from on_block_enter events. The collector is
+/// engine-agnostic: block ids are whatever the simulated program's
+/// block_entry table indexes (source IR block ids for all three backends),
+/// so a profile gathered on one engine can drive recompilation for another.
+/// Chains of empty (zero-length) blocks attribute to the last block sharing
+/// the entry pc — see ExecObserver::on_block_enter.
+class ProfileCollector final : public ExecObserver {
+ public:
+  void on_block_enter(std::uint64_t cycle, std::uint32_t block) override;
+
+  /// Execution count per block id (indexable up to the largest observed id).
+  const std::vector<std::uint64_t>& block_counts() const { return block_counts_; }
+  /// Count per observed (from, to) block transition, in block-id order.
+  const std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>& edge_counts() const {
+    return edge_counts_;
+  }
+
+ private:
+  std::vector<std::uint64_t> block_counts_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> edge_counts_;
+  bool have_last_ = false;
+  std::uint32_t last_block_ = 0;
 };
 
 }  // namespace ttsc::sim

@@ -22,6 +22,18 @@
 //  * on_stall        — scalar only: cycles the pipeline waited for an
 //                      operand that was not ready (hazard stalls; multi-word
 //                      expansions and branch penalties are not stalls).
+//  * on_block_enter  — the instruction at a block-entry pc began executing.
+//                      `block` is the source-program block id (an index into
+//                      the program's block_entry table). When several blocks
+//                      share an entry pc (empty or fully-elided blocks), the
+//                      event attributes to the LAST block id with that pc on
+//                      both paths, so profile counts stay differentially
+//                      comparable. Fires only on architectural entries: a
+//                      block-entry pc executing inside a pending control
+//                      transfer's delay-slot shadow is NOT an entry (the
+//                      profile layer depends on this — a taken branch must
+//                      produce one clean (source, target) edge, not a fake
+//                      detour through the fallthrough block).
 #pragma once
 
 #include <cstdint>
@@ -107,6 +119,7 @@ class ExecObserver {
   virtual void on_rf_write(std::uint64_t /*cycle*/, int /*rf*/, int /*index*/,
                            std::uint32_t /*value*/) {}
   virtual void on_stall(std::uint64_t /*cycle*/, std::uint64_t /*stall_cycles*/) {}
+  virtual void on_block_enter(std::uint64_t /*cycle*/, std::uint32_t /*block*/) {}
 };
 
 /// Per-run simulator configuration, accepted by all three simulators.

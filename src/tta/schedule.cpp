@@ -10,12 +10,28 @@
 // the block decides between materializing (value live) and eliminating the
 // move entirely (dead-result-move elimination). MovI values propagate as
 // immediates directly into consumer ports.
+//
+// With a SuperblockPlan, each formed trace is scheduled as ONE merged block
+// whose interior Bnz terminators become side exits. Instructions keep their
+// trace-member index as a *region*; the invariant that makes side exits
+// safe is a per-region cycle floor: every move of a region-r instruction is
+// placed at or after floor_r = T_{exit r-1} + delay_slots + 1, so no
+// later-region move executes on an earlier exit's path. Before an exit is
+// placed, every pending (deferred) result whose register is live into the
+// exit target is forced to the RF, and the exit cycle is bounded below by
+// max_completion - delay_slots so every in-flight FU result lands inside
+// the exit's delay slots — after the transfer, the target block sees
+// exactly the RF/FU state a per-block schedule would hand it. Values NOT
+// live into any exit target stay in FU result registers across the
+// boundary, which is where the cross-block bypass / dead-result wins come
+// from.
 #include <algorithm>
 #include <map>
 #include <set>
 
 #include "codegen/ddg.hpp"
 #include "obs/trace.hpp"
+#include "opt/superblock.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 #include "tta/tta.hpp"
@@ -91,15 +107,24 @@ struct PlannedMove {
 
 class BlockScheduler {
  public:
+  /// `block_id` is the block whose live-out set bounds the end of the
+  /// schedule — for a merged trace, the LAST member. `region_of` (empty for
+  /// a plain block) maps each instruction to its trace-member index and
+  /// `interior_exits` lists the side-exit Bnz instructions in region order
+  /// (one per region except the last).
   BlockScheduler(const Machine& m, const codegen::MBlock& block, const TtaOptions& opt,
-                 const codegen::MLiveness& live, std::uint32_t block_id, TtaScheduleStats& stats)
+                 const codegen::MLiveness& live, std::uint32_t block_id, TtaScheduleStats& stats,
+                 std::vector<std::uint32_t> region_of = {},
+                 std::vector<std::uint32_t> interior_exits = {})
       : machine_(m),
         block_(block),
         options_(opt),
         live_(live),
         block_id_(block_id),
         stats_(stats),
-        ddg_(block) {
+        ddg_(block),
+        region_of_(std::move(region_of)),
+        interior_exits_(std::move(interior_exits)) {
     fu_state_.resize(machine_.fus.size());
     guards_.resize(static_cast<std::size_t>(machine_.guard_regs));
     // Producer map: (consumer node, operand index) -> producer node.
@@ -292,6 +317,28 @@ class BlockScheduler {
     sched_[p].last_result_read = std::max(sched_[p].last_result_read, c);
   }
 
+  // ---- trace regions ---------------------------------------------------------
+
+  std::uint32_t region(std::uint32_t node) const {
+    return region_of_.empty() ? 0 : region_of_[node];
+  }
+
+  /// Earliest cycle any move of `node` may occupy: moves of a region must
+  /// stay past every earlier side exit's delay slots so they never execute
+  /// on an exit path.
+  std::int64_t node_floor(std::uint32_t node) const {
+    return region_floor_.empty() ? 0 : region_floor_[region(node)];
+  }
+
+  /// A result-register read bypassed from producer `prod` into `cons`.
+  void note_bypass(std::int64_t prod, std::uint32_t cons) {
+    ++stats_.bypassed_operands;
+    if (!region_of_.empty() &&
+        region_of_[static_cast<std::uint32_t>(prod)] != region_of_[cons]) {
+      ++stats_.superblock_cross_block_bypass;
+    }
+  }
+
   /// Materialize node p's deferred result move to the register file.
   /// Returns the write cycle.
   std::int64_t materialize(std::uint32_t p) {
@@ -302,10 +349,10 @@ class BlockScheduler {
     TTSC_ASSERT(in.has_dst(), "materializing an op with no destination");
     const PhysReg r = in.dst;
 
-    std::int64_t lower = 0;
+    std::int64_t lower = node_floor(p);
     PlannedMove mv;
     if (ps.fu >= 0) {
-      lower = ps.comp;
+      lower = std::max(lower, ps.comp);
       mv.src = MoveSrc::fu_result(ps.fu);
     } else {
       // Deferred MovI: the move carries the immediate.
@@ -513,6 +560,13 @@ class BlockScheduler {
   std::vector<std::pair<std::int64_t, Move>> moves_;
   std::int64_t max_move_cycle_ = -1;
 
+  // Trace scheduling state (empty / unused for plain single-block runs).
+  std::vector<std::uint32_t> region_of_;
+  std::vector<std::uint32_t> interior_exits_;
+  std::vector<std::int64_t> region_floor_;
+  std::int64_t max_comp_cycle_ = kNoCycle;     // latest FU completion so far
+  std::int64_t max_interior_exit_ = kNoCycle;  // latest side-exit trigger
+
   /// Guard register occupancy: write cycle and the last cycle a guarded
   /// move still relies on the value.
   struct GuardState {
@@ -571,7 +625,7 @@ void BlockScheduler::schedule_copy(std::uint32_t node) {
   const MInstr& in = block_.instrs[node];
   const PhysReg d = in.dst;
 
-  std::int64_t lower = 0;
+  std::int64_t lower = node_floor(node);
   auto lw = last_rf_write_.find(d);
   if (lw != last_rf_write_.end()) lower = std::max(lower, lw->second + 1);
   auto lr = last_rf_read_.find(d);
@@ -595,7 +649,7 @@ void BlockScheduler::schedule_copy(std::uint32_t node) {
     if (src->bypass_of >= 0) {
       if (src->src.kind == MoveSrc::Kind::FuResult) {
         record_result_read(static_cast<std::uint32_t>(src->bypass_of), c);
-        ++stats_.bypassed_operands;
+        note_bypass(src->bypass_of, node);
       }
     }
     OpSched& s = sched_[node];
@@ -620,8 +674,9 @@ void BlockScheduler::schedule_select(std::uint32_t node) {
   // 1. Condition -> guard register.
   int guard = -1;
   std::int64_t guard_write = kNoCycle;
-  for (std::int64_t c = 0;; ++c) {
-    TTSC_ASSERT(c < 100000, "select: no feasible guard-write cycle");
+  const std::int64_t floor = node_floor(node);
+  for (std::int64_t c = floor;; ++c) {
+    TTSC_ASSERT(c < floor + 100000, "select: no feasible guard-write cycle");
     auto cond = resolve_src(node, 0, c);
     if (!cond.has_value()) continue;
     // A guard register whose previous value has no uses after this write.
@@ -645,7 +700,7 @@ void BlockScheduler::schedule_select(std::uint32_t node) {
     commit_move(mv);
     if (cond->bypass_of >= 0 && cond->src.kind == MoveSrc::Kind::FuResult) {
       record_result_read(static_cast<std::uint32_t>(cond->bypass_of), c);
-      ++stats_.bypassed_operands;
+      note_bypass(cond->bypass_of, node);
     }
     guard = g;
     guard_write = c;
@@ -682,7 +737,7 @@ void BlockScheduler::schedule_select(std::uint32_t node) {
       commit_move(mv);
       if (src->bypass_of >= 0 && src->src.kind == MoveSrc::Kind::FuResult) {
         record_result_read(static_cast<std::uint32_t>(src->bypass_of), c);
-        ++stats_.bypassed_operands;
+        note_bypass(src->bypass_of, node);
       }
       guards_[static_cast<std::size_t>(guard)].last_use =
           std::max(guards_[static_cast<std::size_t>(guard)].last_use, c);
@@ -740,6 +795,7 @@ void BlockScheduler::schedule_fu_op(std::uint32_t node, std::int64_t extra_lower
   const int oper_idx = (!control && in.srcs.size() > 1) ? (trig_idx == 0 ? 1 : 0) : -1;
 
   std::int64_t lower = std::max<std::int64_t>(mem_lower_bound(node), extra_lower);
+  lower = std::max(lower, node_floor(node));
   // Producers' completions give a cheap lower bound on the trigger cycle.
   for (std::size_t i = 0; i < in.srcs.size(); ++i) {
     const std::int64_t p = producers_[node][i];
@@ -819,7 +875,7 @@ void BlockScheduler::schedule_fu_op(std::uint32_t node, std::int64_t extra_lower
       if (need_operand) {
         // Try the trigger cycle first, then a few earlier cycles (the
         // operand port is a register; the value stays until overwritten).
-        const std::int64_t earliest = std::max<std::int64_t>(0, t - 6);
+        const std::int64_t earliest = std::max<std::int64_t>(node_floor(node), t - 6);
         for (std::int64_t oc = t; oc >= earliest && !operand_ok; --oc) {
           auto src = resolve_src(node, operand_src_index, oc);
           if (!src.has_value()) continue;
@@ -853,7 +909,7 @@ void BlockScheduler::schedule_fu_op(std::uint32_t node, std::int64_t extra_lower
       commit_move(trig_mv);
       if (!control && trig_src.bypass_of >= 0 && trig_src.src.kind == MoveSrc::Kind::FuResult) {
         record_result_read(static_cast<std::uint32_t>(trig_src.bypass_of), t);
-        ++stats_.bypassed_operands;
+        note_bypass(trig_src.bypass_of, node);
       }
       if (need_operand && !operand_shared) {
         commit_move(oper_mv);
@@ -865,7 +921,7 @@ void BlockScheduler::schedule_fu_op(std::uint32_t node, std::int64_t extra_lower
         fs.operand_writes.push_back(ow);
         if (oper_bypass_of >= 0 && oper_mv.src.kind == MoveSrc::Kind::FuResult) {
           record_result_read(static_cast<std::uint32_t>(oper_bypass_of), oper_mv.cycle);
-          ++stats_.bypassed_operands;
+          note_bypass(oper_bypass_of, node);
         }
       }
 
@@ -883,6 +939,7 @@ void BlockScheduler::schedule_fu_op(std::uint32_t node, std::int64_t extra_lower
         handle_redefinition(node);
         TTSC_ASSERT(fs.pending_node < 0, "clobbering a pending result");
         s.comp = comp;
+        max_comp_cycle_ = std::max(max_comp_cycle_, comp);
         fs.completions[comp] = node;
         fs.pending_node = node;
         pending_def_[in.dst] = node;
@@ -958,61 +1015,106 @@ BlockScheduler::Result BlockScheduler::run() {
     return true;
   };
 
-  while (remaining_datapath > 0) {
-    std::uint32_t best = n;
-    std::int64_t best_height = -1;
+  const std::uint32_t num_regions = static_cast<std::uint32_t>(interior_exits_.size()) + 1;
+  region_floor_.assign(num_regions, 0);
+  std::int64_t last_control = kNoCycle;
+
+  for (std::uint32_t r = 0; r < num_regions; ++r) {
+    // Datapath of region r, critical-path priority. Regions run in trace
+    // order, so every DDG predecessor of a ready node is already placed.
+    std::uint32_t remaining = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (is_control[i] || sched_[i].scheduled) continue;
-      if (!preds_done(i)) continue;
-      if (height[i] > best_height) {
-        best_height = height[i];
-        best = i;
+      if (!is_control[i] && region(i) == r) ++remaining;
+    }
+    while (remaining > 0) {
+      std::uint32_t best = n;
+      std::int64_t best_height = -1;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (is_control[i] || sched_[i].scheduled || region(i) != r) continue;
+        if (!preds_done(i)) continue;
+        if (height[i] > best_height) {
+          best_height = height[i];
+          best = i;
+        }
       }
+      TTSC_ASSERT(best < n, "TTA scheduler: no ready datapath node");
+      const MInstr& in = block_.instrs[best];
+      if (in.op == Opcode::MovI) {
+        schedule_pseudo(best);
+      } else if (in.op == Opcode::Copy) {
+        schedule_copy(best);
+      } else if (in.op == Opcode::Select) {
+        schedule_select(best);
+      } else {
+        schedule_fu_op(best, 0);
+      }
+      --remaining;
     }
-    TTSC_ASSERT(best < n, "TTA scheduler: no ready datapath node");
-    const MInstr& in = block_.instrs[best];
-    if (in.op == Opcode::MovI) {
-      schedule_pseudo(best);
-    } else if (in.op == Opcode::Copy) {
-      schedule_copy(best);
-    } else if (in.op == Opcode::Select) {
-      schedule_select(best);
-    } else {
-      schedule_fu_op(best, 0);
+    if (r + 1 == num_regions) break;
+
+    // Side exit closing region r. Pending results the exit path still
+    // needs must reach the RF first (values dead on the exit path stay in
+    // their FU result registers — that is the cross-block win).
+    const std::uint32_t exit = interior_exits_[r];
+    const std::uint32_t target = block_.instrs[exit].targets[0];
+    std::vector<std::uint32_t> forced;
+    for (const auto& [reg, def] : pending_def_) {
+      if (live_.live_in(target, reg)) forced.push_back(def);
     }
-    --remaining_datapath;
+    for (const std::uint32_t p : forced) materialize(p);
+
+    // Every in-flight FU completion must land inside the exit's delay
+    // slots: a completion arriving after the exit target's first cycle
+    // could collapse a bypass window the target's own schedule relies on.
+    std::int64_t lower = options_.early_control
+                             ? std::max<std::int64_t>(0, max_move_cycle_ - machine_.delay_slots)
+                             : max_move_cycle_ + 1;
+    lower = std::max(lower, max_comp_cycle_ - machine_.delay_slots);
+    lower = std::max(lower, region_floor_[r]);
+    if (last_control != kNoCycle) lower = std::max(lower, last_control + 1);
+    schedule_fu_op(exit, lower);
+    last_control = sched_[exit].trigger;
+    max_interior_exit_ = last_control;
+    region_floor_[r + 1] = last_control + machine_.delay_slots + 1;
   }
 
   // Live-out values must reach the RF before control leaves the block.
   finalize_pending();
 
-  // Control operations, in program order (Bnz then trailing Jump).
-  std::int64_t last_control = kNoCycle;
+  // Final-region control operations, in program order (Bnz then trailing
+  // Jump); interior side exits are already placed.
+  bool have_final_control = false;
   bool is_ret = false;
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (!is_control[i]) continue;
-    std::int64_t lower = 0;
+    if (!is_control[i] || sched_[i].scheduled) continue;
+    std::int64_t lower = region_floor_[num_regions - 1];
     if (options_.early_control) {
-      lower = std::max<std::int64_t>(0, max_move_cycle_ - machine_.delay_slots);
+      lower = std::max(lower, max_move_cycle_ - machine_.delay_slots);
       if (block_.instrs[i].op == Opcode::Ret) lower = std::max(lower, max_move_cycle_);
+      lower = std::max<std::int64_t>(lower, 0);
     } else {
-      lower = max_move_cycle_ + 1;
+      lower = std::max(lower, max_move_cycle_ + 1);
     }
     if (last_control != kNoCycle) lower = std::max(lower, last_control + 1);
     schedule_fu_op(i, lower);
     last_control = sched_[i].trigger;
     is_ret = block_.instrs[i].op == Opcode::Ret;
+    have_final_control = true;
   }
 
   // Settle pseudo ops that were left pending for the control operations.
   finalize_pending();
 
-  if (last_control != kNoCycle) {
+  if (have_final_control) {
     out.length = last_control + 1 + (is_ret ? 0 : machine_.delay_slots);
     TTSC_ASSERT(max_move_cycle_ <= last_control + machine_.delay_slots,
                 "moves scheduled past the control transfer");
   } else {
     out.length = max_move_cycle_ + 1;
+  }
+  if (max_interior_exit_ != kNoCycle) {
+    // A taken side exit's delay slots must stay inside the block.
+    out.length = std::max(out.length, max_interior_exit_ + machine_.delay_slots + 1);
   }
   out.moves = std::move(moves_);
   return out;
@@ -1021,7 +1123,8 @@ BlockScheduler::Result BlockScheduler::run() {
 }  // namespace
 
 TtaProgram schedule_tta(const codegen::MFunction& func, const Machine& machine,
-                        const TtaOptions& options, TtaScheduleStats* stats) {
+                        const TtaOptions& options, TtaScheduleStats* stats,
+                        const opt::SuperblockPlan* plan) {
   TTSC_ASSERT(machine.model == mach::Model::Tta, "schedule_tta needs a TTA machine");
   obs::Span span("tta.schedule", [&] { return obs::SpanArgs{{"machine", machine.name}}; });
   TtaScheduleStats local_stats;
@@ -1031,15 +1134,65 @@ TtaProgram schedule_tta(const codegen::MFunction& func, const Machine& machine,
 
   TtaProgram prog;
   prog.block_entry.resize(func.blocks.size());
-  for (std::size_t b = 0; b < func.blocks.size(); ++b) {
-    prog.block_entry[b] = static_cast<std::uint32_t>(prog.instrs.size());
+  std::size_t b = 0;
+  while (b < func.blocks.size()) {
+    const std::uint32_t base_pc = static_cast<std::uint32_t>(prog.instrs.size());
+    prog.block_entry[b] = base_pc;
 
-    codegen::MBlock block = func.blocks[b];
-    if (!block.instrs.empty() && block.instrs.back().op == ir::Opcode::Jump &&
-        block.instrs.back().targets[0] == b + 1) {
-      block.instrs.pop_back();
+    // A trace from the superblock plan is scheduled as one merged block;
+    // formation made interior members single-predecessor, so only the side
+    // exits' taken targets are ever branched to.
+    std::uint32_t len = 1;
+    if (plan != nullptr) {
+      const int ti = plan->trace_of(static_cast<std::uint32_t>(b));
+      if (ti >= 0) {
+        const opt::SuperblockTrace& tr = plan->traces[static_cast<std::size_t>(ti)];
+        TTSC_ASSERT(b == tr.first, "trace entered mid-run");
+        len = tr.len;
+        for (std::uint32_t m = 1; m < len; ++m) prog.block_entry[b + m] = base_pc;
+      }
     }
-    if (block.instrs.empty()) continue;
+
+    codegen::MBlock block;
+    std::vector<std::uint32_t> region_of;
+    std::vector<std::uint32_t> interior_exits;
+    for (std::uint32_t m = 0; m < len; ++m) {
+      codegen::MBlock member = func.blocks[b + m];
+      // Fallthrough elision: drop a trailing jump to the next block (for
+      // trace interiors that is always the next member).
+      if (!member.instrs.empty() && member.instrs.back().op == ir::Opcode::Jump &&
+          member.instrs.back().targets[0] == b + m + 1) {
+        member.instrs.pop_back();
+      }
+      if (m + 1 < len) {
+        TTSC_ASSERT(!member.instrs.empty() && member.instrs.back().op == ir::Opcode::Bnz,
+                    "trace interior boundary must be a side-exit branch");
+        interior_exits.push_back(
+            static_cast<std::uint32_t>(block.instrs.size() + member.instrs.size() - 1));
+      }
+      for (codegen::MInstr& in : member.instrs) {
+        block.instrs.push_back(std::move(in));
+        region_of.push_back(m);
+      }
+    }
+    if (block.instrs.empty()) {
+      b += len;
+      continue;
+    }
+
+    if (len > 1) {
+      BlockScheduler sched(machine, block, options, live,
+                           static_cast<std::uint32_t>(b + len - 1), st, std::move(region_of),
+                           std::move(interior_exits));
+      BlockScheduler::Result r = sched.run();
+      prog.instrs.resize(base_pc + static_cast<std::size_t>(r.length));
+      for (auto& [cycle, mv] : r.moves) {
+        TTSC_ASSERT(cycle >= 0 && cycle < r.length, "move outside block window");
+        prog.instrs[base_pc + static_cast<std::size_t>(cycle)].moves.push_back(mv);
+      }
+      b += len;
+      continue;
+    }
 
     BlockScheduler sched(machine, block, options, live, static_cast<std::uint32_t>(b), st);
     BlockScheduler::Result r = sched.run();
@@ -1050,6 +1203,7 @@ TtaProgram schedule_tta(const codegen::MFunction& func, const Machine& machine,
       TTSC_ASSERT(cycle >= 0 && cycle < r.length, "move outside block window");
       prog.instrs[base + static_cast<std::size_t>(cycle)].moves.push_back(mv);
     }
+    ++b;
   }
   st.instructions = prog.instrs.size();
   return prog;

@@ -211,6 +211,17 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
     }
   };
 
+  // Block-entry lookup for on_block_enter: entry pc -> block id, last block
+  // wins when empty blocks share a pc. Only built when observing.
+  std::vector<std::int32_t> entry_of;
+  if constexpr (kObserve) {
+    entry_of.assign(num_instrs, -1);
+    for (std::size_t b = 0; b < program_.block_entry.size(); ++b) {
+      const std::size_t entry = program_.block_entry[b];
+      if (entry < num_instrs) entry_of[entry] = static_cast<std::int32_t>(b);
+    }
+  }
+
   std::size_t ring_idx = 0;
   while (cycle < max_cycles) {
     // 0. State faults land between cycles: before result delivery, RF
@@ -247,6 +258,13 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < num_instrs) {
+      if constexpr (kObserve) {
+        // Only architectural block entries: a block-entry pc executing in a
+        // pending transfer's delay-slot shadow does not enter that block
+        // (the profile layer relies on this for clean IR-level edges).
+        const std::int32_t blk = transfer_in < 0 ? entry_of[pc] : -1;
+        if (blk >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(blk));
+      }
       const std::uint32_t begin = pre.instr_begin[pc];
       const std::uint32_t end = pre.instr_begin[pc + 1];
       ++instr_exec[pc];
@@ -453,6 +471,16 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
     }
   };
 
+  // Block-entry lookup for on_block_enter (same semantics as the fast loop).
+  std::vector<std::int32_t> entry_of;
+  if (obs != nullptr) {
+    entry_of.assign(program_.instrs.size(), -1);
+    for (std::size_t b = 0; b < program_.block_entry.size(); ++b) {
+      const std::size_t entry = program_.block_entry[b];
+      if (entry < program_.instrs.size()) entry_of[entry] = static_cast<std::int32_t>(b);
+    }
+  }
+
   // Trigger port writes collected per cycle, fired after operand writes.
   struct TriggerFire {
     int fu;
@@ -492,6 +520,9 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < program_.instrs.size()) {
+      if (obs != nullptr && transfer_in < 0 && entry_of[pc] >= 0) {
+        obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+      }
       const TtaInstruction& instr = program_.instrs[pc];
       result.moves += instr.moves.size();
       for (const Move& mv : instr.moves) {

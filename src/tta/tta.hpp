@@ -36,6 +36,10 @@ namespace ttsc::sim {
 struct PredecodedTta;
 }
 
+namespace ttsc::opt {
+struct SuperblockPlan;
+}
+
 namespace ttsc::tta {
 
 struct MoveSrc {
@@ -106,6 +110,11 @@ struct TtaScheduleStats {
   std::uint64_t shared_operands = 0;
   std::uint64_t guarded_selects = 0;  // Select ops lowered to guarded moves
 
+  // Trace (superblock) scheduling: operand reads bypassed from an FU result
+  // register across a side-exit boundary of a merged trace — transports the
+  // per-block scheduler structurally cannot make.
+  std::uint64_t superblock_cross_block_bypass = 0;
+
   // Scheduling-failure reasons: why a move could not be placed at the cycle
   // the scheduler probed (each count is one rejected placement attempt; the
   // move was retried at a later cycle). High values mean the machine's
@@ -116,9 +125,14 @@ struct TtaScheduleStats {
   std::uint64_t fail_rf_write_port = 0;     // RF write ports exhausted this cycle
 };
 
-/// Schedule `func` onto the TTA `machine`.
+/// Schedule `func` onto the TTA `machine`. When `plan` is given (profile-
+/// guided superblock compile), each formed trace is scheduled as one merged
+/// region sequence: bypassing, dead-result elimination and operand sharing
+/// fire across the trace's side-exit boundaries. A null plan reproduces the
+/// per-block schedule exactly.
 TtaProgram schedule_tta(const codegen::MFunction& func, const mach::Machine& machine,
-                        const TtaOptions& options = {}, TtaScheduleStats* stats = nullptr);
+                        const TtaOptions& options = {}, TtaScheduleStats* stats = nullptr,
+                        const opt::SuperblockPlan* plan = nullptr);
 
 /// Automatically generated instruction format (Section IV: "TCE produces an
 /// instruction encoding automatically"): per bus, a source field of

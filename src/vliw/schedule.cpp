@@ -3,6 +3,7 @@
 
 #include "codegen/ddg.hpp"
 #include "obs/trace.hpp"
+#include "opt/superblock.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 #include "vliw/vliw.hpp"
@@ -66,8 +67,18 @@ struct CycleResources {
 
 class BlockScheduler {
  public:
-  BlockScheduler(const Machine& m, const codegen::MBlock& block, ScheduleStats& stats)
-      : machine_(m), block_(block), ddg_(block), stats_(stats) {}
+  /// `region_of` (empty for a plain block) maps each instruction to its
+  /// trace-member index; `interior_exits` lists the side-exit branches in
+  /// region order (one per region except the last). See schedule_vliw.
+  BlockScheduler(const Machine& m, const codegen::MBlock& block, ScheduleStats& stats,
+                 std::vector<std::uint32_t> region_of = {},
+                 std::vector<std::uint32_t> interior_exits = {})
+      : machine_(m),
+        block_(block),
+        ddg_(block),
+        stats_(stats),
+        region_of_(std::move(region_of)),
+        interior_exits_(std::move(interior_exits)) {}
 
   /// Schedules every instruction; returns per-instruction cycles plus the
   /// block length in cycles.
@@ -174,6 +185,8 @@ class BlockScheduler {
   BlockDdg ddg_;
   ScheduleStats& stats_;
   std::map<std::int64_t, CycleResources> resources_;
+  std::vector<std::uint32_t> region_of_;
+  std::vector<std::uint32_t> interior_exits_;
 };
 
 BlockScheduler::Result BlockScheduler::run() {
@@ -221,53 +234,75 @@ BlockScheduler::Result BlockScheduler::run() {
     }
   };
 
-  // List-schedule the datapath operations by critical-path priority.
-  std::uint32_t remaining = 0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (!is_control[i]) ++remaining;
-  }
-  while (remaining > 0) {
-    std::int64_t best_height = -1;
-    std::uint32_t best = n;
+  auto region = [&](std::uint32_t i) {
+    return region_of_.empty() ? 0u : region_of_[i];
+  };
+  const std::uint32_t num_regions = static_cast<std::uint32_t>(interior_exits_.size()) + 1;
+
+  // List-schedule the datapath operations by critical-path priority,
+  // region by region (one region = one trace member; a plain block is a
+  // single region). `max_completion` tracks the cycle by which every side
+  // effect placed so far commits — results must be readable before any
+  // control transfer leaves the block or crosses a side exit.
+  std::int64_t floor = 0;                 // earliest issue cycle, current region
+  std::int64_t max_completion = 0;
+  std::int64_t last_control = -1;
+  std::int64_t max_interior_exit = -1;
+  for (std::uint32_t r = 0; r < num_regions; ++r) {
+    std::uint32_t remaining = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (is_control[i] || out.cycle[i] >= 0) continue;
-      bool ready = true;
-      for (std::uint32_t e : ddg_.pred_edges(i)) {
-        // Control ops are last in program order, so every predecessor here
-        // is a datapath op.
-        if (out.cycle[ddg_.edge(e).from] < 0) {
-          ready = false;
-          break;
+      if (!is_control[i] && region(i) == r) ++remaining;
+    }
+    while (remaining > 0) {
+      std::int64_t best_height = -1;
+      std::uint32_t best = n;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (is_control[i] || out.cycle[i] >= 0 || region(i) != r) continue;
+        bool ready = true;
+        for (std::uint32_t e : ddg_.pred_edges(i)) {
+          // Predecessors are datapath ops of this or an earlier region, or
+          // an already-placed side exit (anti-dependence on its condition).
+          if (out.cycle[ddg_.edge(e).from] < 0) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) continue;
+        if (height[i] > best_height) {
+          best_height = height[i];
+          best = i;
         }
       }
-      if (!ready) continue;
-      if (height[i] > best_height) {
-        best_height = height[i];
-        best = i;
-      }
+      TTSC_ASSERT(best < n, "no ready node (dependence cycle?)");
+      place(best, std::max(dep_ready(best), floor));
+      max_completion = std::max(
+          max_completion, out.cycle[best] + (block_.instrs[best].has_dst()
+                                                 ? op_latency(machine_, block_.instrs[best].op)
+                                                 : 0));
+      --remaining;
     }
-    TTSC_ASSERT(best < n, "no ready node (dependence cycle?)");
-    place(best, dep_ready(best));
-    --remaining;
+    if (r + 1 == num_regions) break;
+
+    // Side exit closing region r: all earlier write-backs must commit
+    // inside its delay slots (the exit path reads them from the RF), and
+    // every later-region op stays past the slots via the issue floor.
+    const std::uint32_t exit = interior_exits_[r];
+    std::int64_t lower = std::max(dep_ready(exit), max_completion - machine_.delay_slots);
+    lower = std::max(lower, floor);
+    if (last_control >= 0) lower = std::max(lower, last_control + 1);
+    place(exit, std::max<std::int64_t>(lower, 0));
+    last_control = out.cycle[exit];
+    max_interior_exit = last_control;
+    floor = last_control + machine_.delay_slots + 1;
   }
 
-  // Completion bound: every result must be committed (and thus readable)
-  // before control leaves the block.
-  std::int64_t max_completion = 0;  // cycle by which all side effects commit
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (is_control[i]) continue;
-    const std::int64_t done =
-        out.cycle[i] + (block_.instrs[i].has_dst() ? op_latency(machine_, block_.instrs[i].op) : 0);
-    max_completion = std::max(max_completion, done);
-  }
-
-  // Place control operations (at most Bnz then Jump / a single Ret).
-  std::int64_t last_control = -1;
+  // Final-region control operations (at most Bnz then Jump / a single
+  // Ret); interior side exits are already placed.
   bool have_control = false;
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (!is_control[i]) continue;
+    if (!is_control[i] || out.cycle[i] >= 0) continue;
     const Opcode op = block_.instrs[i].op;
-    std::int64_t lower = dep_ready(i);
+    std::int64_t lower = std::max(dep_ready(i), floor);
     if (op == Opcode::Ret) {
       lower = std::max(lower, max_completion);
     } else {
@@ -291,13 +326,17 @@ BlockScheduler::Result BlockScheduler::run() {
       out.length = std::max(out.length, readable);
     }
   }
+  if (max_interior_exit >= 0) {
+    // A taken side exit's delay slots must stay inside the block.
+    out.length = std::max(out.length, max_interior_exit + machine_.delay_slots + 1);
+  }
   return out;
 }
 
 }  // namespace
 
 VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine,
-                          ScheduleStats* stats) {
+                          ScheduleStats* stats, const opt::SuperblockPlan* plan) {
   TTSC_ASSERT(machine.model == mach::Model::Vliw, "schedule_vliw needs a VLIW machine");
   obs::Span span("vliw.schedule", [&] { return obs::SpanArgs{{"machine", machine.name}}; });
   ScheduleStats local_stats;
@@ -306,18 +345,53 @@ VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine
   prog.num_slots = static_cast<int>(machine.vliw_slots.size());
   prog.block_entry.resize(func.blocks.size());
 
-  for (std::size_t b = 0; b < func.blocks.size(); ++b) {
-    prog.block_entry[b] = static_cast<std::uint32_t>(prog.bundles.size());
+  std::size_t b = 0;
+  while (b < func.blocks.size()) {
+    const std::uint32_t base_pc = static_cast<std::uint32_t>(prog.bundles.size());
+    prog.block_entry[b] = base_pc;
 
-    // Fallthrough elision: drop a trailing jump to the next block.
-    codegen::MBlock block = func.blocks[b];
-    if (!block.instrs.empty() && block.instrs.back().op == Opcode::Jump &&
-        block.instrs.back().targets[0] == b + 1) {
-      block.instrs.pop_back();
+    // A trace from the superblock plan is scheduled as one merged block;
+    // formation made interior members single-predecessor, so only the side
+    // exits' taken targets are ever branched to.
+    std::uint32_t len = 1;
+    if (plan != nullptr) {
+      const int ti = plan->trace_of(static_cast<std::uint32_t>(b));
+      if (ti >= 0) {
+        const opt::SuperblockTrace& tr = plan->traces[static_cast<std::size_t>(ti)];
+        TTSC_ASSERT(b == tr.first, "trace entered mid-run");
+        len = tr.len;
+        for (std::uint32_t m = 1; m < len; ++m) prog.block_entry[b + m] = base_pc;
+      }
     }
-    if (block.instrs.empty()) continue;
 
-    BlockScheduler sched(machine, block, st);
+    codegen::MBlock block;
+    std::vector<std::uint32_t> region_of;
+    std::vector<std::uint32_t> interior_exits;
+    for (std::uint32_t m = 0; m < len; ++m) {
+      codegen::MBlock member = func.blocks[b + m];
+      // Fallthrough elision: drop a trailing jump to the next block (for
+      // trace interiors that is always the next member).
+      if (!member.instrs.empty() && member.instrs.back().op == Opcode::Jump &&
+          member.instrs.back().targets[0] == b + m + 1) {
+        member.instrs.pop_back();
+      }
+      if (m + 1 < len) {
+        TTSC_ASSERT(!member.instrs.empty() && member.instrs.back().op == Opcode::Bnz,
+                    "trace interior boundary must be a side-exit branch");
+        interior_exits.push_back(
+            static_cast<std::uint32_t>(block.instrs.size() + member.instrs.size() - 1));
+      }
+      for (codegen::MInstr& in : member.instrs) {
+        block.instrs.push_back(std::move(in));
+        region_of.push_back(m);
+      }
+    }
+    if (block.instrs.empty()) {
+      b += len;
+      continue;
+    }
+
+    BlockScheduler sched(machine, block, st, std::move(region_of), std::move(interior_exits));
     const BlockScheduler::Result r = sched.run();
 
     const std::size_t base = prog.bundles.size();
@@ -332,6 +406,7 @@ VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine
       TTSC_ASSERT(!slot.has_value(), "slot double-booked");
       slot = SlotOp{block.instrs[i], r.fu[i]};
     }
+    b += len;
   }
   const ScheduleStats totals = stats_of(prog);
   st.bundles = totals.bundles;

@@ -126,6 +126,17 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
         1u << (f.bit & 31);
   };
 
+  // Block-entry lookup for on_block_enter: entry pc -> block id, last block
+  // wins when empty blocks share a pc. Only built when observing.
+  std::vector<std::int32_t> entry_of;
+  if constexpr (kObserve) {
+    entry_of.assign(num_bundles, -1);
+    for (std::size_t b = 0; b < program_.block_entry.size(); ++b) {
+      const std::size_t entry = program_.block_entry[b];
+      if (entry < num_bundles) entry_of[entry] = static_cast<std::int32_t>(b);
+    }
+  }
+
   std::size_t wb_idx = 0;
   while (cycle < max_cycles) {
     // State faults land between cycles, before write-back commits.
@@ -154,6 +165,12 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < num_bundles) {
+      if constexpr (kObserve) {
+        // Only architectural block entries (not delay-slot shadows); see
+        // the TTA fast loop.
+        const std::int32_t blk = transfer_in < 0 ? entry_of[pc] : -1;
+        if (blk >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(blk));
+      }
       const std::uint32_t begin = pre.bundle_begin[pc];
       const std::uint32_t end = pre.bundle_begin[pc + 1];
       for (std::uint32_t i = begin; i < end; ++i) {
@@ -321,6 +338,16 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
     file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
   };
 
+  // Block-entry lookup for on_block_enter (same semantics as the fast loop).
+  std::vector<std::int32_t> entry_of;
+  if (obs != nullptr) {
+    entry_of.assign(program_.bundles.size(), -1);
+    for (std::size_t b = 0; b < program_.block_entry.size(); ++b) {
+      const std::size_t entry = program_.block_entry[b];
+      if (entry < program_.bundles.size()) entry_of[entry] = static_cast<std::int32_t>(b);
+    }
+  }
+
   while (cycle < max_cycles) {
     // State faults land between cycles (see the fast loop).
     while (fault_next != fault_end && fault_next->cycle <= cycle) {
@@ -342,6 +369,9 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < program_.bundles.size()) {
+      if (obs != nullptr && transfer_in < 0 && entry_of[pc] >= 0) {
+        obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+      }
       const Bundle& bundle = program_.bundles[pc];
       for (const auto& slot : bundle.slots) {
         if (!slot.has_value()) continue;

@@ -24,6 +24,10 @@ namespace ttsc::sim {
 struct PredecodedVliw;
 }
 
+namespace ttsc::opt {
+struct SuperblockPlan;
+}
+
 namespace ttsc::vliw {
 
 struct SlotOp {
@@ -61,8 +65,15 @@ struct ScheduleStats {
 /// Schedule `func` for the VLIW `machine`. Throws ttsc::Error when an
 /// instruction cannot be mapped (missing FU). When given, `stats` receives
 /// the schedule statistics (bundle/op counts, fill rate, failure reasons).
+/// When `plan` is given (profile-guided superblock compile), each formed
+/// trace is scheduled as one merged block whose interior branches become
+/// side exits: every operation issued after a side exit stays past that
+/// exit's delay slots, and all earlier write-backs commit inside them, so
+/// the exit path observes exactly the per-block architectural state. A null
+/// plan reproduces the per-block schedule exactly.
 VliwProgram schedule_vliw(const codegen::MFunction& func, const mach::Machine& machine,
-                          ScheduleStats* stats = nullptr);
+                          ScheduleStats* stats = nullptr,
+                          const opt::SuperblockPlan* plan = nullptr);
 
 ScheduleStats stats_of(const VliwProgram& program);
 

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "opt/superblock.hpp"
 #include "report/experiments.hpp"
 
 namespace ttsc {
@@ -66,6 +67,73 @@ TEST(GoldenTable4, CycleGridMatchesSnapshot) {
       << "cycle grid drifted from tests/golden/table4_cycles.txt; if the "
          "change is intentional, regenerate with TTSC_UPDATE_GOLDEN=1 and "
          "explain the drift in the commit message";
+}
+
+/// The two-phase profile-guided superblock sweep, pinned the same way.
+/// Beyond drift detection, this grid is the acceptance gate for superblock
+/// scheduling: every cell must be no worse than its phase-1 baseline (the
+/// per-cell fallback guarantees it — a schedule that loses is discarded),
+/// and on the paper's hand-optimized m-tta-2 row at least half the
+/// workloads must strictly improve.
+TEST(GoldenTable4, SuperblockGridMatchesSnapshotAndNeverRegresses) {
+  const std::string path = std::string(TTSC_GOLDEN_DIR) + "/table4_superblock.txt";
+  const opt::SuperblockOptions sb_options{.superblocks = true};
+  const report::Matrix matrix =
+      report::Matrix::run(nullptr, {}, nullptr, /*keep_going=*/false, &sb_options);
+
+  std::size_t mtta2_strict_wins = 0;
+  for (const report::MachineResults& m : matrix.machines()) {
+    for (const std::string& w : matrix.workload_names()) {
+      const report::RunOutcome& out = m.by_workload.at(w);
+      ASSERT_NE(out.baseline_cycles, 0u)
+          << m.machine.name << '/' << w << ": two-phase cell lost its baseline";
+      EXPECT_LE(out.cycles, out.baseline_cycles)
+          << m.machine.name << '/' << w
+          << ": superblock schedule regressed past the per-cell fallback";
+      // A strict win can only come from an adopted superblock schedule.
+      EXPECT_TRUE(out.cycles == out.baseline_cycles || out.superblocks_applied)
+          << m.machine.name << '/' << w;
+      if (m.machine.name == "m-tta-2" && out.cycles < out.baseline_cycles) {
+        ++mtta2_strict_wins;
+      }
+    }
+  }
+  EXPECT_GE(mtta2_strict_wins, matrix.workload_names().size() / 2)
+      << "superblock scheduling must strictly improve at least half the "
+         "m-tta-2 workload cells";
+
+  // Golden grid: `baseline->cycles` per cell so a drift diff shows both
+  // phases at a glance.
+  std::ostringstream grid;
+  grid << "machine";
+  for (const std::string& w : matrix.workload_names()) grid << ' ' << w;
+  grid << '\n';
+  for (const report::MachineResults& m : matrix.machines()) {
+    grid << m.machine.name;
+    for (const std::string& w : matrix.workload_names()) {
+      const report::RunOutcome& out = m.by_workload.at(w);
+      grid << ' ' << out.baseline_cycles << "->" << out.cycles;
+    }
+    grid << '\n';
+  }
+  const std::string got = grid.str();
+
+  if (std::getenv("TTSC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "golden snapshot regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden snapshot " << path
+                         << " (regenerate with TTSC_UPDATE_GOLDEN=1)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "superblock cycle grid drifted from tests/golden/table4_superblock.txt; "
+         "if the change is intentional, regenerate with TTSC_UPDATE_GOLDEN=1 "
+         "and explain the drift in the commit message";
 }
 
 }  // namespace

@@ -20,6 +20,20 @@ class ProgramGenerator {
  public:
   explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
 
+  /// Branch-condition mask for generated diamonds. Superblock formation
+  /// (opt/superblock.hpp) only follows edges with >= 60% of a block's
+  /// profile mass, so a pure 50/50 `reg & 1` condition would leave the
+  /// differential fleet with nothing to form. Three quarters of diamonds
+  /// draw a wider mask: testing all k mask bits of a uniform register is
+  /// true with probability 2^-k, skewing the branch 3:1 (mask 3) or 7:1
+  /// (mask 7). One quarter keeps mask 1 so unbiased diamonds stay covered.
+  /// The exact distribution is pinned by GeneratorBias.MaskDistributionIsPinned
+  /// in tests/property_test.cpp.
+  static std::uint32_t branch_bias_mask(SplitMix64& rng) {
+    static constexpr std::uint32_t kMasks[] = {1, 3, 7, 7};
+    return kMasks[rng.next_below(std::size(kMasks))];
+  }
+
   ir::Module generate() {
     ir::Module m;
     std::vector<std::uint8_t> init(256);
@@ -122,8 +136,16 @@ class ProgramGenerator {
         });
         budget -= 3;
       } else if (depth < 2 && rng_.next_below(6) == 0) {
-        // Branchy diamond.
-        Vreg cond = b.band(random_reg(b), 1);
+        // Branchy diamond with a (usually) biased condition. The two
+        // directions exercise both superblock growth modes: a mostly-false
+        // condition makes the fallthrough edge hot (trace grows straight
+        // through), a mostly-true one makes the taken edge hot (trace
+        // growth needs the free branch-condition inversion).
+        const std::uint32_t mask = branch_bias_mask(rng_);
+        const auto m = static_cast<std::int32_t>(mask);
+        Vreg masked = b.band(random_reg(b), m);
+        Vreg cond = rng_.next_below(2) == 0 ? b.eq(masked, m)  // true w.p. 2^-k
+                                            : b.gtu(masked, 0);  // true w.p. 1-2^-k
         workloads::if_else(
             b, cond, [&] { emit_body(b, 3, depth + 1); },
             [&] { emit_body(b, 3, depth + 1); });

@@ -6,6 +6,8 @@
 // fidelity — across program shapes no hand-written test covers.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "codegen/legalize.hpp"
 #include "codegen/lower.hpp"
 #include "ir/builder.hpp"
@@ -13,7 +15,9 @@
 #include "ir/verify.hpp"
 #include "mach/configs.hpp"
 #include "opt/passes.hpp"
+#include "opt/superblock.hpp"
 #include "report/driver.hpp"
+#include "sim/collectors.hpp"
 #include "scalar/scalar.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -106,6 +110,28 @@ TEST_P(BackendEquivalence, AllBackendsMatchInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, BackendEquivalence,
                          ::testing::Range<std::uint64_t>(1, 33));
+
+/// The generator's branch-bias mask distribution is pinned: superblock
+/// formation needs biased (non-50/50) branches to form traces, so a quiet
+/// regression back to uniform conditions would hollow out the superblock
+/// differential fleet below without failing it. kMasks changes must come
+/// with a deliberate update here.
+TEST(GeneratorBias, MaskDistributionIsPinned) {
+  SplitMix64 rng(0xb1a5);
+  constexpr int kDraws = 4096;
+  int counts[8] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint32_t mask = ProgramGenerator::branch_bias_mask(rng);
+    ASSERT_TRUE(mask == 1 || mask == 3 || mask == 7) << "undeclared mask " << mask;
+    ++counts[mask];
+  }
+  // Masks 1 and 3 each ~25% of draws, mask 7 ~50%, with sampling slack.
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.25, 0.05);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.25, 0.05);
+  EXPECT_NEAR(counts[7] / static_cast<double>(kDraws), 0.50, 0.05);
+  // The load-bearing property: biased diamonds dominate the corpus.
+  EXPECT_GE((counts[3] + counts[7]) / static_cast<double>(kDraws), 0.65);
+}
 
 /// The TTA freedoms individually toggled must preserve random-program
 /// semantics too (beyond the fixed workloads).
@@ -287,6 +313,166 @@ TEST(FastPathDifferential, CycleExactOnAllMachineConfigs) {
   for (std::size_t i = 0; i < kCorpusSize; ++i) {
     EXPECT_TRUE(failures[i].empty()) << failures[i];
   }
+}
+
+/// Superblock differential fleet: the profile → recompile pipeline must be
+/// invisible to program results. Each corpus seed runs the full two-phase
+/// compile on one machine per programming model — phase 1 schedules
+/// ordinarily under a sim::ProfileCollector, phase 2 forms superblocks from
+/// that profile (tail duplication + branch inversion + trace scheduling) —
+/// and the phase-2 run must reproduce the interpreter's results (return
+/// value and output region) exactly. When no trace forms, formation
+/// guarantees the function is untouched, so the entire ExecResult and the
+/// halt-time memory image must be identical too. The corpus is re-run at
+/// pool widths 1, 2 and 8 and every
+/// per-seed outcome digest must match across widths: the pipeline stays
+/// deterministic under concurrency.
+TEST(SuperblockDifferentialFleet, TwoPhaseCompileMatchesBaselineOnAllModels) {
+  constexpr std::uint64_t kCorpusSize = 64;
+  const std::vector<mach::Machine> machines = {
+      mach::machine_by_name("mblaze-3"), mach::machine_by_name("m-vliw-2"),
+      mach::machine_by_name("m-tta-2")};
+
+  // gtest assertions are not guaranteed thread-safe: workers write one
+  // failure report per seed, asserted after the fleet drains.
+  std::vector<std::string> failures(kCorpusSize);
+  std::vector<std::vector<std::string>> digests;
+  std::atomic<std::uint64_t> traces_formed{0};
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::string> run(kCorpusSize);
+    support::ThreadPool pool(threads);
+    support::parallel_for(pool, kCorpusSize, [&](std::size_t idx) {
+      const std::uint64_t seed = 0x5bd1ff00 + idx;
+      ProgramGenerator gen(seed);
+      ir::Module original = gen.generate();
+      ir::verify(original);
+      const Observed golden = observe_interp(original);
+
+      ir::Module optimized = original;
+      opt::optimize(optimized, "main");
+
+      auto fail = [&](const mach::Machine& m, const std::string& what) {
+        failures[idx] += "seed " + std::to_string(seed) + " on " + m.name + " (pool " +
+                         std::to_string(threads) + "): " + what + "\n";
+      };
+
+      for (const mach::Machine& machine : machines) {
+        // Mirror the driver's preparation order (report/driver.cpp): select
+        // expansion first (none of these machines has guards), superblock
+        // formation on that IR, scalar legalization after formation.
+        ir::Module prepared = optimized;
+        codegen::expand_selects(prepared.function("main"));
+
+        // Phase 1: ordinary schedule, profiled run.
+        sim::ProfileCollector collector;
+        sim::SimOptions profiled;
+        profiled.observer = &collector;
+        ir::Module p1 = prepared;
+        if (machine.model == mach::Model::Scalar) {
+          codegen::legalize_scalar_operands(p1.function("main"));
+        }
+        const auto lowered1 = codegen::lower(p1, "main", machine);
+        ir::Memory mem1 = report::make_loaded_memory(p1);
+
+        // Phase 2: formation from the phase-1 profile, on the same IR the
+        // profile's block ids were gathered against.
+        ir::Module p2 = prepared;
+        opt::SuperblockPlan plan;
+
+        // Both phases share the per-model switch; `check` compares the
+        // phase results once the typed ExecResults are in scope.
+        auto check = [&](const auto& base, const auto& sb, const ir::Memory& mem2,
+                         const ir::Module& mod2) {
+          if (base.ret != golden.ret ||
+              mem1.checksum(p1.layout().address_of("out"), 256) != golden.out_checksum) {
+            fail(machine, "phase-1 baseline diverges from interpreter");
+          }
+          const std::uint64_t checksum =
+              mem2.checksum(mod2.layout().address_of("out"), 256);
+          if (sb.ret != golden.ret || checksum != golden.out_checksum) {
+            fail(machine, "superblock phase diverges from interpreter (ret " +
+                              std::to_string(sb.ret) + " vs " + std::to_string(golden.ret) +
+                              ")");
+          }
+          // With formation the code layout changes, so stack traffic (spill
+          // slots) may legally differ; the byte-identical-image guarantee
+          // only holds when no trace formed (the program is then identical).
+          if (plan.formed == 0 && (!(sb == base) || !(mem2 == mem1))) {
+            fail(machine, "no trace formed but execution state changed");
+          }
+          run[idx] += machine.name + (":" + std::to_string(plan.formed)) + ":" +
+                      std::to_string(plan.tail_dup_instrs) + ":" +
+                      std::to_string(base.cycles) + ":" + std::to_string(sb.cycles) + ":" +
+                      std::to_string(sb.ret) + ":" + std::to_string(checksum) + ";";
+        };
+
+        switch (machine.model) {
+          case mach::Model::Scalar: {
+            const auto prog1 = scalar::emit_scalar(lowered1.func);
+            const auto base = scalar::ScalarSim(prog1, machine, mem1, profiled).run();
+            plan = opt::form_superblocks(p2.function("main"),
+                                         opt::ProfileData::from_collector(collector),
+                                         {.superblocks = true});
+            codegen::legalize_scalar_operands(p2.function("main"));
+            const auto lowered2 = codegen::lower(p2, "main", machine);
+            ir::Memory mem2 = report::make_loaded_memory(p2);
+            // Scalar in-order issue has no cross-block freedoms: formation
+            // (trace layout + tail duplication) is the whole transform.
+            const auto prog2 = scalar::emit_scalar(lowered2.func);
+            const auto sb = scalar::ScalarSim(prog2, machine, mem2).run();
+            check(base, sb, mem2, p2);
+            break;
+          }
+          case mach::Model::Vliw: {
+            const auto prog1 = vliw::schedule_vliw(lowered1.func, machine);
+            const auto base = vliw::VliwSim(prog1, machine, mem1, profiled).run();
+            plan = opt::form_superblocks(p2.function("main"),
+                                         opt::ProfileData::from_collector(collector),
+                                         {.superblocks = true});
+            const auto lowered2 = codegen::lower(p2, "main", machine);
+            ir::Memory mem2 = report::make_loaded_memory(p2);
+            const auto prog2 = vliw::schedule_vliw(lowered2.func, machine, nullptr,
+                                                   plan.formed > 0 ? &plan : nullptr);
+            const auto sb = vliw::VliwSim(prog2, machine, mem2).run();
+            check(base, sb, mem2, p2);
+            break;
+          }
+          case mach::Model::Tta: {
+            const auto prog1 = tta::schedule_tta(lowered1.func, machine);
+            tta::verify_program(prog1, machine);
+            const auto base = tta::TtaSim(prog1, machine, mem1, profiled).run();
+            plan = opt::form_superblocks(p2.function("main"),
+                                         opt::ProfileData::from_collector(collector),
+                                         {.superblocks = true});
+            const auto lowered2 = codegen::lower(p2, "main", machine);
+            ir::Memory mem2 = report::make_loaded_memory(p2);
+            const auto prog2 = tta::schedule_tta(lowered2.func, machine, {}, nullptr,
+                                                 plan.formed > 0 ? &plan : nullptr);
+            tta::verify_program(prog2, machine);
+            const auto sb = tta::TtaSim(prog2, machine, mem2).run();
+            check(base, sb, mem2, p2);
+            break;
+          }
+        }
+        traces_formed += plan.formed;
+      }
+    });
+    digests.push_back(std::move(run));
+  }
+
+  for (std::size_t i = 0; i < kCorpusSize; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << failures[i];
+  }
+  // Determinism under concurrency: all pool widths saw identical outcomes.
+  for (std::size_t r = 1; r < digests.size(); ++r) {
+    for (std::size_t i = 0; i < kCorpusSize; ++i) {
+      EXPECT_EQ(digests[r][i], digests[0][i]) << "pool-width-dependent outcome, seed index " << i;
+    }
+  }
+  // The biased generator (program_generator.hpp) must actually feed the
+  // fleet formable traces — a corpus that never forms tests nothing.
+  EXPECT_GT(traces_formed.load(), 0u);
 }
 
 /// Binary encode/decode must be a semantic identity on random programs too.

@@ -5,6 +5,9 @@
 // across thread counts.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -459,6 +462,54 @@ TEST(Campaign, BatchedInvariantAcrossLaneGroupSizes) {
               base_registry.counter("resil.batch.evictions"))
         << lanes << " lanes";
   }
+}
+
+TEST(Campaign, SuperblockSmokeCellMatchesGolden) {
+  // One superblock-scheduled cell through the batched lockstep engine:
+  // m-tta-2/sha, a strict superblock win on the Table IV grid. The campaign
+  // injects into the code the --superblocks harnesses actually ship, and
+  // its report is pinned to tests/golden/resil_superblock.json so a trace-
+  // schedule change shows up as an explicit resilience diff. Regenerate
+  // with TTSC_UPDATE_GOLDEN=1 after an intentional scheduler change.
+  resil::CampaignOptions opt;
+  opt.machines = {"m-tta-2"};
+  opt.workloads = {"sha"};
+  opt.injections_per_cell = 48;
+  opt.seed = 7715;
+  opt.serial = true;
+  opt.superblocks = true;
+  const resil::CampaignReport batched = resil::run_campaign(opt);
+  ASSERT_TRUE(batched.all_ok());
+  ASSERT_EQ(batched.cells.size(), 1u);
+  // The injected program is the ADOPTED trace schedule: its fault-free run
+  // is the superblock cycle count pinned by tests/golden/table4_superblock.txt
+  // (80470 -> 80373 on this cell), not the phase-1 baseline.
+  EXPECT_EQ(batched.cells[0].golden_cycles, 80373u);
+
+  // The per-injection scalar path must classify every injection of the
+  // superblock schedule identically to the lockstep batch.
+  opt.batch = false;
+  const resil::CampaignReport scalar_path = resil::run_campaign(opt);
+  EXPECT_EQ(resil::render_resil_report_json(batched),
+            resil::render_resil_report_json(scalar_path));
+
+  const std::string got = resil::render_resil_report_json(batched);
+  const std::string path = std::string(TTSC_GOLDEN_DIR) + "/resil_superblock.json";
+  if (std::getenv("TTSC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "golden snapshot regenerated at " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden snapshot " << path
+                         << " (regenerate with TTSC_UPDATE_GOLDEN=1)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "superblock-cell campaign drifted from tests/golden/resil_superblock.json; "
+         "if intentional, regenerate with TTSC_UPDATE_GOLDEN=1 and explain the "
+         "drift in the commit message";
 }
 
 TEST(Campaign, TimeoutBudgetIsPerCellAndPinned) {

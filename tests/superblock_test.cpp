@@ -1,0 +1,369 @@
+// Hand-computed superblock formation and trace-scheduling cases.
+//
+// The differential fleet (tests/property_test.cpp) proves the two-phase
+// pipeline preserves semantics at scale; these tests pin HOW it gets there:
+// the exact compensation code tail duplication emits (instruction by
+// instruction), the free branch-condition flip on taken-edge growth, the
+// hand-counted tail-duplication budget arithmetic, and the scheduler
+// contract that a side exit still receives a value whose on-trace result
+// move was a dead-result-elimination candidate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codegen/lower.hpp"
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/verify.hpp"
+#include "mach/configs.hpp"
+#include "opt/profile.hpp"
+#include "opt/superblock.hpp"
+#include "report/driver.hpp"
+#include "sim/collectors.hpp"
+#include "support/assert.hpp"
+#include "tta/tta.hpp"
+#include "tta/verify.hpp"
+
+namespace ttsc {
+namespace {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Operand;
+using ir::Vreg;
+
+bool same_instr(const ir::Instr& a, const ir::Instr& b) {
+  return a.op == b.op && a.dst == b.dst && a.inputs == b.inputs &&
+         a.targets == b.targets && a.callee == b.callee;
+}
+
+bool same_function(const ir::Function& a, const ir::Function& b) {
+  if (a.num_blocks() != b.num_blocks()) return false;
+  for (ir::BlockId id = 0; id < a.num_blocks(); ++id) {
+    const auto& ia = a.block(id).instrs;
+    const auto& ib = b.block(id).instrs;
+    if (ia.size() != ib.size()) return false;
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+      if (!same_instr(ia[i], ib[i])) return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t run_interp(const ir::Module& m) {
+  ir::Interpreter interp(m);
+  return interp.run("main", {}).value;
+}
+
+/// A diamond whose join block B has a hot predecessor A and a cold one C:
+///
+///   entry: s = ldw data; t = s; bnz s -> C (cold) | A (hot fallthrough)
+///   A:     t = s + 1; jump B
+///   B:     v = t * 3; stw out, v; ret v
+///   C:     t = s - 5; jump B
+///
+/// The hot trace is [A, B]; C's edge into B is the side entrance that
+/// forces the compensation copy of B.
+struct JoinDiamond {
+  ir::Module module;
+  Vreg s, t, v;
+
+  explicit JoinDiamond(std::int32_t data_word) {
+    std::vector<std::uint8_t> init(8);
+    std::memcpy(init.data(), &data_word, 4);
+    module.add_global(ir::Global{.name = "data", .size = 8, .align = 4, .init = init});
+    module.add_global(ir::Global{.name = "out", .size = 8, .align = 4});
+    ir::Function& f = module.add_function("main", 0);
+    IRBuilder b(f);
+    const ir::BlockId entry = b.create_block("entry");
+    const ir::BlockId a = b.create_block("A");
+    const ir::BlockId join = b.create_block("B");
+    const ir::BlockId c = b.create_block("C");
+    b.set_insert_point(entry);
+    s = b.ldw(b.ga("data"));
+    t = b.copy(s);
+    b.bnz(s, c, a);
+    b.set_insert_point(a);
+    b.emit_into(t, Opcode::Add, {Operand(s), Operand(1)});
+    b.jump(join);
+    b.set_insert_point(join);
+    v = b.mul(t, 3);
+    b.stw(b.ga("out"), v);
+    b.ret(v);
+    b.set_insert_point(c);
+    b.emit_into(t, Opcode::Sub, {Operand(s), Operand(5)});
+    b.jump(join);
+    ir::verify(module);
+  }
+
+  /// Hot A and B, cold C: the trace selector must pick [A, B].
+  static opt::ProfileData hot_join_profile() {
+    opt::ProfileData p;
+    p.block_counts = {1, 100, 101, 1};  // entry, A, B, C
+    p.edge_counts[{0, 1}] = 1;    // entry -> A
+    p.edge_counts[{1, 2}] = 100;  // A -> B (hot)
+    p.edge_counts[{3, 2}] = 1;    // C -> B (side entrance)
+    return p;
+  }
+};
+
+TEST(SuperblockFormation, CompensationCopyIsInstructionExact) {
+  JoinDiamond d(0);  // data word 0: the hot A path runs
+  ir::Function& f = d.module.function("main");
+  // Keep a copy of B's body: the compensation clone must replicate it
+  // exactly (same ops, same operands, same destination registers).
+  const std::vector<ir::Instr> join_body = f.block(2).instrs;
+  ASSERT_EQ(join_body.size(), 4u);  // mul, movi &out, stw, ret
+
+  const opt::SuperblockPlan plan =
+      opt::form_superblocks(f, JoinDiamond::hot_join_profile(), {.superblocks = true});
+
+  ASSERT_EQ(plan.formed, 1u);
+  EXPECT_EQ(plan.tail_dup_instrs, 4u);
+  ASSERT_EQ(plan.traces.size(), 1u);
+  // A's Jump boundary into the (now single-predecessor) join is physically
+  // merged, so the committed trace is one block starting right after entry.
+  EXPECT_EQ(plan.traces[0].first, 1u);
+  EXPECT_EQ(plan.traces[0].len, 1u);
+
+  // Layout after formation: entry, merged A+B, C, B.tail.
+  ASSERT_EQ(f.num_blocks(), 4u);
+  EXPECT_EQ(f.block(3).name, "B.tail");
+
+  // The merged hot block: A's body followed by B's body, Jump elided.
+  const auto& hot = f.block(1).instrs;
+  ASSERT_EQ(hot.size(), 5u);
+  EXPECT_EQ(hot[0].op, Opcode::Add);
+  EXPECT_EQ(hot[0].dst, d.t);
+  for (std::size_t i = 0; i < join_body.size(); ++i) {
+    EXPECT_TRUE(same_instr(hot[1 + i], join_body[i])) << "merged instr " << i;
+  }
+
+  // The compensation copy: B's body, verbatim, instruction by instruction.
+  const auto& tail = f.block(3).instrs;
+  ASSERT_EQ(tail.size(), join_body.size());
+  for (std::size_t i = 0; i < join_body.size(); ++i) {
+    EXPECT_TRUE(same_instr(tail[i], join_body[i])) << "compensation instr " << i;
+  }
+
+  // The cold predecessor was redirected into the copy, and only it.
+  EXPECT_EQ(f.block(2).terminator().op, Opcode::Jump);
+  EXPECT_EQ(f.block(2).terminator().targets[0], 3u);
+  EXPECT_EQ(f.block(0).terminator().targets, (std::vector<ir::BlockId>{2, 1}));
+
+  // Semantics on both paths, against fresh (unformed) references.
+  EXPECT_EQ(run_interp(d.module), run_interp(JoinDiamond(0).module));  // hot: (0+1)*3
+  EXPECT_EQ(run_interp(d.module), 3u);
+  JoinDiamond cold(4);
+  opt::form_superblocks(cold.module.function("main"), JoinDiamond::hot_join_profile(),
+                        {.superblocks = true});
+  EXPECT_EQ(run_interp(cold.module), run_interp(JoinDiamond(4).module));  // cold: (4-5)*3
+  EXPECT_EQ(run_interp(cold.module), static_cast<std::uint32_t>(-3));
+}
+
+TEST(SuperblockFormation, TailDuplicationBudgetIsCountedExactly) {
+  // The suffix to duplicate is B's 4 instructions (mul, movi &out, stw,
+  // ret). A budget of exactly 4 admits the duplication; a budget of 3 must
+  // truncate the trace before the side entrance, leaving nothing (and the
+  // function untouched).
+  {
+    JoinDiamond d(0);
+    const opt::SuperblockPlan plan =
+        opt::form_superblocks(d.module.function("main"), JoinDiamond::hot_join_profile(),
+                              {.superblocks = true, .tail_dup_budget = 4});
+    EXPECT_EQ(plan.formed, 1u);
+    EXPECT_EQ(plan.tail_dup_instrs, 4u);
+  }
+  {
+    JoinDiamond d(0);
+    const ir::Function before = d.module.function("main");
+    const opt::SuperblockPlan plan =
+        opt::form_superblocks(d.module.function("main"), JoinDiamond::hot_join_profile(),
+                              {.superblocks = true, .tail_dup_budget = 3});
+    EXPECT_EQ(plan.formed, 0u);
+    EXPECT_EQ(plan.tail_dup_instrs, 0u);
+    EXPECT_TRUE(same_function(d.module.function("main"), before))
+        << "a dropped trace must leave the function byte-identical";
+  }
+}
+
+/// A two-exit chain whose hot successor is the TAKEN branch target:
+///
+///   entry: s = ldw data; c = s > 10; bnz c -> B (hot) | C (cold)
+///   B:     ret s + 1
+///   C:     ret s - 1
+struct TakenEdgeChain {
+  ir::Module module;
+  Vreg s, c;
+
+  /// `flippable` selects the condition: a Gt against a literal (free dual
+  /// exists) or an And mask (no free negation).
+  TakenEdgeChain(std::int32_t data_word, bool flippable) {
+    std::vector<std::uint8_t> init(8);
+    std::memcpy(init.data(), &data_word, 4);
+    module.add_global(ir::Global{.name = "data", .size = 8, .align = 4, .init = init});
+    module.add_global(ir::Global{.name = "out", .size = 8, .align = 4});
+    ir::Function& f = module.add_function("main", 0);
+    IRBuilder b(f);
+    const ir::BlockId entry = b.create_block("entry");
+    const ir::BlockId hot = b.create_block("B");
+    const ir::BlockId cold = b.create_block("C");
+    b.set_insert_point(entry);
+    s = b.ldw(b.ga("data"));
+    c = flippable ? b.gt(s, 10) : b.band(s, 1);
+    b.bnz(c, hot, cold);
+    b.set_insert_point(hot);
+    b.ret(b.add(s, 1));
+    b.set_insert_point(cold);
+    b.ret(b.sub(s, 1));
+    ir::verify(module);
+  }
+
+  static opt::ProfileData hot_taken_profile() {
+    opt::ProfileData p;
+    p.block_counts = {100, 95, 5};
+    p.edge_counts[{0, 1}] = 95;  // the taken edge is hot
+    p.edge_counts[{0, 2}] = 5;
+    return p;
+  }
+};
+
+TEST(SuperblockFormation, TakenEdgeGrowthFlipsTheComparisonForFree) {
+  TakenEdgeChain chain(12, /*flippable=*/true);
+  ir::Function& f = chain.module.function("main");
+  const std::size_t entry_size = f.block(0).instrs.size();
+
+  const opt::SuperblockPlan plan = opt::form_superblocks(
+      f, TakenEdgeChain::hot_taken_profile(), {.superblocks = true});
+
+  ASSERT_EQ(plan.formed, 1u);
+  EXPECT_EQ(plan.traces[0].first, 0u);
+  EXPECT_EQ(plan.traces[0].len, 2u);
+  EXPECT_EQ(plan.tail_dup_instrs, 0u);  // no side entrance anywhere
+
+  // The inversion must be the free dual — `s > 10` becomes `11 > s` in
+  // place — with the branch targets swapped and NOT ONE instruction added.
+  const auto& entry = f.block(0).instrs;
+  ASSERT_EQ(entry.size(), entry_size);
+  const ir::Instr& cmp = entry[2];  // movi &data, ldw, THE COMPARISON, bnz
+  EXPECT_EQ(cmp.op, Opcode::Gt);
+  EXPECT_EQ(cmp.dst, chain.c);
+  ASSERT_TRUE(cmp.inputs[0].is_literal());
+  EXPECT_EQ(cmp.inputs[0].imm.value, 11);
+  ASSERT_TRUE(cmp.inputs[1].is_reg());
+  EXPECT_EQ(cmp.inputs[1].reg, chain.s);
+  // Hot block B is now the fallthrough; cold C is the taken target.
+  EXPECT_EQ(f.block(0).terminator().targets, (std::vector<ir::BlockId>{2, 1}));
+
+  // Both sides of the flipped bound agree with untouched references.
+  EXPECT_EQ(run_interp(chain.module), 13u);  // 12 > 10: hot path
+  TakenEdgeChain cold(10, /*flippable=*/true);
+  opt::form_superblocks(cold.module.function("main"),
+                        TakenEdgeChain::hot_taken_profile(), {.superblocks = true});
+  EXPECT_EQ(run_interp(cold.module), 9u);  // 10 > 10 is false: cold path
+}
+
+TEST(SuperblockFormation, TakenEdgeGrowthIsGatedWithoutAFreeFlip) {
+  // `s & 1` has no free negation, so growing through the hot taken edge
+  // would put an `Eq cond, 0` on the hot path every iteration. Growth must
+  // stop instead: no trace, function untouched.
+  TakenEdgeChain chain(12, /*flippable=*/false);
+  ir::Function& f = chain.module.function("main");
+  const ir::Function before = f;
+
+  const opt::SuperblockPlan plan = opt::form_superblocks(
+      f, TakenEdgeChain::hot_taken_profile(), {.superblocks = true});
+
+  EXPECT_EQ(plan.formed, 0u);
+  EXPECT_TRUE(same_function(f, before));
+}
+
+/// The scheduler-side compensation invariant, on real TTA hardware: a value
+/// produced on the trace and consumed past a side exit must be written to
+/// its register even though every ON-trace use was satisfied by a bypass
+/// (which normally makes the result move a dead-result-elimination
+/// candidate). The side-exit path otherwise reads a stale register.
+///
+///   entry: s = ldw data; v = s + 5; bnz s -> cold | hot (fallthrough)
+///   hot:   ret v * 3
+///   cold:  ret v - 1       <- v must survive the side exit
+TEST(SuperblockSchedule, SideExitStillReceivesBypassedValue) {
+  const mach::Machine machine = mach::machine_by_name("m-tta-2");
+  for (const std::int32_t data_word : {0, 7}) {
+    ir::Module m;
+    std::vector<std::uint8_t> init(8);
+    std::memcpy(init.data(), &data_word, 4);
+    m.add_global(ir::Global{.name = "data", .size = 8, .align = 4, .init = init});
+    m.add_global(ir::Global{.name = "out", .size = 8, .align = 4});
+    ir::Function& f = m.add_function("main", 0);
+    IRBuilder b(f);
+    const ir::BlockId entry = b.create_block("entry");
+    const ir::BlockId hot = b.create_block("hot");
+    const ir::BlockId cold = b.create_block("cold");
+    b.set_insert_point(entry);
+    const Vreg s = b.ldw(b.ga("data"));
+    const Vreg v = b.add(s, 5);
+    b.bnz(s, cold, hot);
+    b.set_insert_point(hot);
+    b.ret(b.mul(v, 3));
+    b.set_insert_point(cold);
+    b.ret(b.sub(v, 1));
+    ir::verify(m);
+    const std::uint32_t golden = run_interp(m);
+
+    opt::ProfileData profile;
+    profile.block_counts = {100, 95, 5};
+    profile.edge_counts[{0, 1}] = 95;  // fallthrough-hot: no inversion needed
+    profile.edge_counts[{0, 2}] = 5;
+    const opt::SuperblockPlan plan =
+        opt::form_superblocks(f, profile, {.superblocks = true});
+    ASSERT_EQ(plan.formed, 1u);
+    ASSERT_EQ(plan.traces[0].len, 2u);
+
+    const auto lowered = codegen::lower(m, "main", machine);
+    tta::TtaScheduleStats stats;
+    const auto prog = tta::schedule_tta(lowered.func, machine, {}, &stats, &plan);
+    tta::verify_program(prog, machine);
+    ir::Memory mem = report::make_loaded_memory(m);
+    const auto r = tta::TtaSim(prog, machine, mem).run();
+    ASSERT_EQ(r.status, sim::ExecStatus::Ok);
+    EXPECT_EQ(r.ret, golden) << "data word " << data_word
+                             << (data_word == 0 ? " (on-trace path)" : " (side-exit path)");
+  }
+}
+
+TEST(ProfileCollector, CountsBlocksAndEdges) {
+  sim::ProfileCollector c;
+  std::uint64_t cycle = 0;
+  for (const std::uint32_t block : {0u, 1u, 1u, 2u, 0u}) {
+    c.on_block_enter(cycle++, block);
+  }
+  EXPECT_EQ(c.block_counts(), (std::vector<std::uint64_t>{2, 2, 1}));
+  const opt::ProfileData p = opt::ProfileData::from_collector(c);
+  EXPECT_EQ(p.block_count(0), 2u);
+  EXPECT_EQ(p.block_count(1), 2u);
+  EXPECT_EQ(p.block_count(2), 1u);
+  EXPECT_EQ(p.block_count(99), 0u);  // past the end counts as zero
+  EXPECT_EQ(p.edge_count(0, 1), 1u);
+  EXPECT_EQ(p.edge_count(1, 1), 1u);
+  EXPECT_EQ(p.edge_count(1, 2), 1u);
+  EXPECT_EQ(p.edge_count(2, 0), 1u);
+  EXPECT_EQ(p.edge_count(0, 2), 0u);
+}
+
+TEST(ProfileData, JsonRoundTripIsIdentity) {
+  opt::ProfileData p;
+  p.block_counts = {3, 0, 1000000007};
+  p.edge_counts[{0, 2}] = 42;
+  p.edge_counts[{2, 0}] = 7;
+  EXPECT_EQ(opt::ProfileData::from_json(p.to_json()), p);
+
+  const opt::ProfileData empty;
+  EXPECT_EQ(opt::ProfileData::from_json(empty.to_json()), empty);
+
+  EXPECT_THROW(opt::ProfileData::from_json("not json"), Error);
+  EXPECT_THROW(opt::ProfileData::from_json("{\"blocks\": 3}"), Error);
+}
+
+}  // namespace
+}  // namespace ttsc
