@@ -20,6 +20,19 @@
 //                      Perfetto; worker threads appear as named rows)
 //   --report-json=FILE write the machine-readable run report
 //                      ("ttsc-run-report" v1; see src/report/run_report.hpp)
+//   --profile-json=FILE
+//                      run every cell with the cycle-attribution profiler
+//                      attached and write the machine-readable profile
+//                      report ("ttsc-profile-report" v1; see
+//                      src/report/profile_report.hpp): the nine-way cycle
+//                      partition, top-down stall tree, per-unit counters
+//                      and hottest blocks per cell. Profiled run reports
+//                      also name each cell's "binding" resource
+//   --profile-folded=FILE
+//                      write the same attribution as folded stacks
+//                      (machine;workload;block<id>;<cause> count), the
+//                      flamegraph.pl / inferno input format. Implies
+//                      profiling like --profile-json
 //   --keep-going       don't abort the sweep on the first failing cell:
 //                      record each failure (simulation timeout/trap,
 //                      reference divergence) per cell, render it as ERR in
@@ -55,6 +68,7 @@
 #include "opt/superblock.hpp"
 #include "report/module_cache.hpp"
 #include "report/parallel_runner.hpp"
+#include "report/profile_report.hpp"
 #include "report/run_report.hpp"
 #include "sim/collectors.hpp"
 #include "support/timeline.hpp"
@@ -72,8 +86,12 @@ struct Options {
   bool trace = false;        // --trace
   std::string trace_out;     // --trace-out=FILE (empty: tracer stays off)
   std::string report_json;   // --report-json=FILE (empty: no report)
+  std::string profile_json;    // --profile-json=FILE (empty: no profile report)
+  std::string profile_folded;  // --profile-folded=FILE (empty: no folded export)
   bool keep_going = false;   // --keep-going
   bool superblocks = false;  // --superblocks
+
+  bool wants_profile() const { return !profile_json.empty() || !profile_folded.empty(); }
 };
 
 /// Match `--name=VALUE` or `--name VALUE`; advances `i` for the latter.
@@ -115,13 +133,18 @@ inline Options parse_args(int argc, char** argv) {
       opts.trace_out = value;
     } else if (flag_value(argc, argv, i, "--report-json", value)) {
       opts.report_json = value;
+    } else if (flag_value(argc, argv, i, "--profile-json", value)) {
+      opts.profile_json = value;
+    } else if (flag_value(argc, argv, i, "--profile-folded", value)) {
+      opts.profile_folded = value;
     } else if (flag_value(argc, argv, i, "--threads", value)) {
       opts.threads = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--serial] [--stats] [--reference] "
                    "[--utilization] [--metrics] [--trace] [--keep-going] "
-                   "[--superblocks] [--trace-out=FILE] [--report-json=FILE]\n",
+                   "[--superblocks] [--trace-out=FILE] [--report-json=FILE] "
+                   "[--profile-json=FILE] [--profile-folded=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -133,6 +156,7 @@ inline sim::SimOptions sim_options_of(const Options& opts) {
   sim::SimOptions sim;
   sim.fast_path = !opts.reference;
   sim.collect_utilization = opts.utilization;
+  sim.collect_profile = opts.wants_profile();
   return sim;
 }
 
@@ -256,6 +280,12 @@ int run_harness(int argc, char** argv, RenderFn&& render) {
   print_trace(opts);
   if (!opts.report_json.empty()) {
     report::write_run_report(opts.report_json, matrix, metrics);
+  }
+  if (!opts.profile_json.empty()) {
+    report::write_profile_report(opts.profile_json, matrix);
+  }
+  if (!opts.profile_folded.empty()) {
+    report::write_profile_folded(opts.profile_folded, matrix);
   }
   if (!opts.trace_out.empty()) {
     obs::Tracer::instance().stop();

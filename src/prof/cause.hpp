@@ -1,0 +1,64 @@
+// Cycle-attribution cause taxonomy shared by the schedulers (static
+// empty-slot annotation) and the dynamic profiler (src/prof/prof.hpp).
+//
+// Every simulated cycle of every engine is attributed to exactly ONE cause
+// — the attribution is a partition of the cycle count, not a sample — and
+// every empty issue slot inside a busy cycle is likewise attributed. The
+// causes, in attribution-priority order (a cycle that qualifies for several
+// is charged to the highest-priority one; see DESIGN.md "Cycle attribution
+// & top-down analysis"):
+//
+//  * Busy        — the cycle issued at least one useful move/operation.
+//  * RfWritePort — scheduling failed here because an RF write port was taken.
+//  * RfReadPort  — scheduling failed here because an RF read port was taken.
+//  * LongImm     — a long-immediate extension word occupied the slot(s).
+//  * Bus         — all buses / issue slots at this cycle were occupied.
+//  * Branch      — control-transfer overhead: delay-slot shadows with
+//                  nothing useful to fill them, residual cycles after the
+//                  last instruction while a transfer drains, and the scalar
+//                  taken-branch penalty.
+//  * FuLatency   — the cycle sat inside a multi-cycle FU's latency shadow.
+//  * Dep         — a true dependence left nothing ready to issue (scalar
+//                  hazard stalls; scheduler slack not explained above).
+//  * Frontend    — pipeline fill (scalar) / cycles the schedule charged to
+//                  instruction delivery rather than any datapath resource.
+//
+// The numeric values are part of the profile-report schema (arrays are
+// indexed by cause) — append, never renumber.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ttsc::prof {
+
+enum class Cause : std::uint8_t {
+  Busy = 0,
+  Dep,
+  FuLatency,
+  RfReadPort,
+  RfWritePort,
+  Bus,
+  LongImm,
+  Branch,
+  Frontend,
+};
+
+inline constexpr std::size_t kNumCauses = 9;
+
+constexpr const char* cause_name(Cause c) {
+  switch (c) {
+    case Cause::Busy: return "busy";
+    case Cause::Dep: return "dep";
+    case Cause::FuLatency: return "fu_latency";
+    case Cause::RfReadPort: return "rf_read_port";
+    case Cause::RfWritePort: return "rf_write_port";
+    case Cause::Bus: return "bus";
+    case Cause::LongImm: return "long_imm";
+    case Cause::Branch: return "branch";
+    case Cause::Frontend: return "frontend";
+  }
+  return "?";
+}
+
+}  // namespace ttsc::prof

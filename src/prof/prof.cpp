@@ -1,0 +1,676 @@
+#include "prof/prof.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "scalar/scalar.hpp"
+#include "tta/tta.hpp"
+#include "vliw/vliw.hpp"
+
+namespace ttsc::prof {
+
+namespace {
+
+void fill_names(StaticProfile& p, const mach::Machine& machine) {
+  for (const mach::FunctionUnit& fu : machine.fus) p.fu_names.push_back(fu.name);
+  for (const mach::Bus& bus : machine.buses) p.bus_names.push_back(bus.name);
+  for (const mach::RegisterFile& rf : machine.rfs) p.rf_names.push_back(rf.name);
+}
+
+/// Static cause per pc: the scheduler's table when recorded, else the
+/// hand-built-program fallback (Frontend for occupied pcs, Dep for empty).
+std::uint8_t cause_at(const std::vector<std::uint8_t>& table, std::size_t pc, bool occupied) {
+  if (pc < table.size()) return table[pc];
+  return static_cast<std::uint8_t>(occupied ? Cause::Frontend : Cause::Dep);
+}
+
+void finalize_static(StaticProfile& p) {
+  for (std::size_t pc = 0; pc < p.filled.size(); ++pc) {
+    p.static_slots_filled += p.filled[pc] + p.ext[pc];
+  }
+  p.static_slot_capacity =
+      static_cast<std::uint64_t>(p.filled.size()) * static_cast<std::uint64_t>(p.width);
+}
+
+/// Per-pc attribution block: the last block whose entry pc is <= pc, later
+/// blocks winning a shared entry pc — exactly the block on_block_enter
+/// would have made current when pc executes architecturally.
+template <typename EntryVec>
+void fill_block_of(StaticProfile& p, const EntryVec& block_entry, std::size_t pcs) {
+  std::vector<std::int32_t> entry_of(pcs, -1);
+  for (std::size_t b = 0; b < block_entry.size(); ++b) {
+    const std::size_t entry = static_cast<std::size_t>(block_entry[b]);
+    if (entry < pcs) entry_of[entry] = static_cast<std::int32_t>(b);
+  }
+  p.block_of.assign(pcs, 0);
+  std::uint32_t cur = 0;
+  for (std::size_t pc = 0; pc < pcs; ++pc) {
+    if (entry_of[pc] >= 0) cur = static_cast<std::uint32_t>(entry_of[pc]);
+    p.block_of[pc] = cur;
+  }
+}
+
+void append_u64(std::string& s, std::uint64_t v) { s += std::to_string(v); }
+
+}  // namespace
+
+StaticProfile build_static_profile(const tta::TtaProgram& program, const mach::Machine& machine) {
+  StaticProfile p;
+  p.model = mach::Model::Tta;
+  p.width = std::max(1, static_cast<int>(machine.buses.size()));
+  p.num_blocks = static_cast<std::uint32_t>(program.block_entry.size());
+  p.cause.reserve(program.instrs.size());
+  p.filled.reserve(program.instrs.size());
+  p.ext.reserve(program.instrs.size());
+  p.delay_slots = machine.delay_slots;
+  for (std::size_t pc = 0; pc < program.instrs.size(); ++pc) {
+    const tta::TtaInstruction& in = program.instrs[pc];
+    std::uint16_t ext = 0;
+    p.op_begin.push_back(static_cast<std::uint32_t>(p.ops.size()));
+    for (const tta::Move& mv : in.moves) {
+      if (mv.long_imm) ++ext;
+      StaticSlotOp op;
+      op.bus = (mv.bus >= 0 && static_cast<std::size_t>(mv.bus) < machine.buses.size())
+                   ? static_cast<std::int16_t>(mv.bus)
+                   : std::int16_t{-1};
+      if (mv.src.kind == tta::MoveSrc::Kind::RfRead) {
+        op.read_rf0 = static_cast<std::int16_t>(mv.src.unit);
+      }
+      switch (mv.dst.kind) {
+        case tta::MoveDst::Kind::RfWrite:
+          op.write_rf = static_cast<std::int16_t>(mv.dst.unit);
+          break;
+        case tta::MoveDst::Kind::FuTrigger:
+          op.triggers = true;
+          op.trigger_fu = static_cast<std::int16_t>(mv.dst.unit);
+          op.control = mv.is_control;
+          op.ret = mv.is_control && mv.dst.opcode == ir::Opcode::Ret;
+          if (op.control && !op.ret && mv.target < program.block_entry.size()) {
+            op.target_pc = static_cast<std::int32_t>(program.block_entry[mv.target]);
+          }
+          break;
+        case tta::MoveDst::Kind::FuOperand:
+        case tta::MoveDst::Kind::GuardWrite: break;
+      }
+      p.ops.push_back(op);
+    }
+    p.filled.push_back(static_cast<std::uint16_t>(in.moves.size()));
+    p.ext.push_back(ext);
+    p.cause.push_back(cause_at(program.stall_cause, pc, !in.moves.empty()));
+  }
+  p.op_begin.push_back(static_cast<std::uint32_t>(p.ops.size()));
+  fill_block_of(p, program.block_entry, program.instrs.size());
+  fill_names(p, machine);
+  finalize_static(p);
+  return p;
+}
+
+StaticProfile build_static_profile(const vliw::VliwProgram& program, const mach::Machine& machine) {
+  StaticProfile p;
+  p.model = mach::Model::Vliw;
+  p.width = std::max(1, program.num_slots);
+  p.num_blocks = static_cast<std::uint32_t>(program.block_entry.size());
+  p.cause.reserve(program.bundles.size());
+  p.filled.reserve(program.bundles.size());
+  p.ext.reserve(program.bundles.size());
+  p.delay_slots = machine.delay_slots;
+  for (std::size_t pc = 0; pc < program.bundles.size(); ++pc) {
+    const vliw::Bundle& bun = program.bundles[pc];
+    std::uint16_t filled = 0;
+    std::uint16_t ext = 0;
+    p.op_begin.push_back(static_cast<std::uint32_t>(p.ops.size()));
+    for (const auto& slot : bun.slots) {
+      if (!slot.has_value()) continue;
+      ++filled;
+      // A wide immediate spread over one additional (empty-looking) slot.
+      if (vliw::needs_wide_imm(slot->instr)) ++ext;
+      const codegen::MInstr& in = slot->instr;
+      StaticSlotOp op;
+      op.triggers = true;
+      op.trigger_fu = static_cast<std::int16_t>(slot->fu);
+      op.control = ir::is_branch(in.op) || in.op == ir::Opcode::Ret;
+      op.ret = in.op == ir::Opcode::Ret;
+      if (op.control && !op.ret && !in.targets.empty() &&
+          in.targets[0] < program.block_entry.size()) {
+        op.target_pc = static_cast<std::int32_t>(program.block_entry[in.targets[0]]);
+      }
+      if (!in.srcs.empty() && in.srcs[0].is_reg()) {
+        op.read_rf0 = static_cast<std::int16_t>(in.srcs[0].reg.rf);
+      }
+      if (in.srcs.size() > 1 && in.srcs[1].is_reg()) {
+        op.read_rf1 = static_cast<std::int16_t>(in.srcs[1].reg.rf);
+      }
+      if (in.has_dst()) op.write_rf = static_cast<std::int16_t>(in.dst.rf);
+      p.ops.push_back(op);
+    }
+    p.filled.push_back(filled);
+    p.ext.push_back(ext);
+    p.cause.push_back(cause_at(program.stall_cause, pc, filled > 0));
+  }
+  p.op_begin.push_back(static_cast<std::uint32_t>(p.ops.size()));
+  fill_block_of(p, program.block_entry, program.bundles.size());
+  fill_names(p, machine);
+  finalize_static(p);
+  return p;
+}
+
+StaticProfile build_static_profile(const scalar::ScalarProgram& program,
+                                   const mach::Machine& machine) {
+  StaticProfile p;
+  p.model = mach::Model::Scalar;
+  p.width = 1;
+  p.num_blocks = static_cast<std::uint32_t>(program.block_entry.size());
+  // Single-issue: every pc occupies its one slot; all stall causes arrive
+  // dynamically via on_stall / on_overhead.
+  p.cause.assign(program.instrs.size(), static_cast<std::uint8_t>(Cause::Frontend));
+  p.filled.assign(program.instrs.size(), 1);
+  p.ext.assign(program.instrs.size(), 0);
+  for (const codegen::MInstr& in : program.instrs) {
+    p.op_begin.push_back(static_cast<std::uint32_t>(p.ops.size()));
+    StaticSlotOp op;
+    op.triggers = true;  // trigger_fu stays -1: the scalar core itself
+    op.control = ir::is_branch(in.op) || in.op == ir::Opcode::Ret;
+    op.ret = in.op == ir::Opcode::Ret;
+    if (op.control && !op.ret && !in.targets.empty() &&
+        in.targets[0] < program.block_entry.size()) {
+      op.target_pc = static_cast<std::int32_t>(program.block_entry[in.targets[0]]);
+    }
+    if (!in.srcs.empty() && in.srcs[0].is_reg()) {
+      op.read_rf0 = static_cast<std::int16_t>(in.srcs[0].reg.rf);
+    }
+    if (in.srcs.size() > 1 && in.srcs[1].is_reg()) {
+      op.read_rf1 = static_cast<std::int16_t>(in.srcs[1].reg.rf);
+    }
+    if (in.has_dst()) op.write_rf = static_cast<std::int16_t>(in.dst.rf);
+    p.ops.push_back(op);
+  }
+  p.op_begin.push_back(static_cast<std::uint32_t>(p.ops.size()));
+  fill_block_of(p, program.block_entry, program.instrs.size());
+  fill_names(p, machine);
+  finalize_static(p);
+  return p;
+}
+
+sim::ProfileCounts make_profile_counts(const StaticProfile& sp) {
+  sim::ProfileCounts c;
+  const std::size_t pcs = sp.filled.size();
+  c.taken.assign(sp.ops.size(), 0);
+  if (sp.model == mach::Model::Tta) c.squash.assign(sp.ops.size() * 2, 0);
+  if (sp.model == mach::Model::Scalar) {
+    c.stall.assign(pcs, 0);
+    c.var_shift.assign(pcs, 0);
+    c.imm_words.assign(pcs, 0);
+    c.branch_penalty.assign(pcs, 0);
+  }
+  c.uncommitted_rf_writes.assign(sp.rf_names.size(), 0);
+  return c;
+}
+
+CellProfile derive_profile(const StaticProfile& sp, const sim::ProfileCounts& counts,
+                           std::uint64_t total_cycles, sim::ExecStatus status) {
+  CellProfile p;
+  p.num_blocks = std::max(1u, sp.num_blocks);
+  p.block_cause_cycles.assign(static_cast<std::size_t>(p.num_blocks) * kNumCauses, 0);
+  p.fu_triggers.assign(sp.fu_names.size() + 1, 0);
+  p.bus_moves.assign(sp.bus_names.size(), 0);
+  p.bus_squashes.assign(sp.bus_names.size(), 0);
+  p.rf_reads.assign(sp.rf_names.size(), 0);
+  p.rf_writes.assign(sp.rf_names.size(), 0);
+  p.fu_names = sp.fu_names;
+  p.bus_names = sp.bus_names;
+  p.rf_names = sp.rf_names;
+  p.static_slots_filled = sp.static_slots_filled;
+  p.static_slot_capacity = sp.static_slot_capacity;
+  p.cycles = total_cycles;
+  const std::uint64_t width = static_cast<std::uint64_t>(sp.width);
+  p.slot_capacity = total_cycles * width;
+
+  const std::size_t pcs = sp.filled.size();
+  const std::size_t d = static_cast<std::size_t>(sp.delay_slots);
+
+  // Reconstruct the per-pc execution counts from the taken-transfer
+  // counters. Control enters at pc 0 and flows straight-line; each taken
+  // transfer at branch pc b stops the architectural flow after b, executes
+  // the d delay-slot pcs b+1..b+d in shadow, and resumes the flow at its
+  // target. Prefix-summing the resulting difference array yields exactly
+  // the counts a per-cycle counter would have collected, at zero per-cycle
+  // cost during simulation.
+  std::vector<std::uint64_t> exec(pcs, 0);
+  std::vector<std::uint64_t> shadow(d * pcs, 0);
+  {
+    std::vector<std::int64_t> diff(pcs + 1, 0);
+    diff[0] += 1;
+    for (std::size_t pc = 0; pc < pcs; ++pc) {
+      for (std::uint32_t m = sp.op_begin[pc]; m < sp.op_begin[pc + 1]; ++m) {
+        const StaticSlotOp& op = sp.ops[m];
+        const std::uint64_t c = counts.taken[m];
+        if (c == 0 || !op.control || op.target_pc < 0) continue;
+        diff[std::min<std::size_t>(static_cast<std::size_t>(op.target_pc), pcs)] +=
+            static_cast<std::int64_t>(c);
+        diff[pc + 1] -= static_cast<std::int64_t>(c);
+        for (std::size_t k = 1; k <= d && pc + k < pcs; ++k) {
+          shadow[(k - 1) * pcs + (pc + k)] += c;
+        }
+      }
+    }
+    // Close the final flow segment where the architectural flow stopped.
+    if (sp.model == mach::Model::Scalar || status == sim::ExecStatus::Ok) {
+      const std::size_t fpc = static_cast<std::size_t>(counts.final_pc);
+      if (fpc < pcs) diff[fpc + 1] -= 1;
+    } else {
+      // TTA/VLIW timeout: end_pc is the pc about to execute next. With a
+      // transfer still in flight the final taken count over-credited the
+      // landing and the not-yet-executed shadow tail; back both out.
+      const std::int32_t ti = counts.end_transfer_in;
+      const std::size_t epc = static_cast<std::size_t>(counts.end_pc);
+      if (ti >= 0 && counts.end_transfer_target >= 0) {
+        diff[std::min<std::size_t>(static_cast<std::size_t>(counts.end_transfer_target), pcs)] -=
+            1;
+        const std::size_t done = d - static_cast<std::size_t>(ti);  // shadows k < done ran
+        const std::size_t bpc = epc - done;  // the in-flight transfer's branch pc
+        for (std::size_t k = done; k <= d; ++k) {
+          if (bpc + k < pcs) shadow[(k - 1) * pcs + (bpc + k)] -= 1;
+        }
+      } else {
+        diff[std::min<std::size_t>(epc, pcs)] -= 1;
+      }
+    }
+    std::int64_t run = 0;
+    for (std::size_t pc = 0; pc < pcs; ++pc) {
+      run += diff[pc];
+      exec[pc] = static_cast<std::uint64_t>(std::max<std::int64_t>(0, run));
+    }
+  }
+
+  std::uint64_t attributed = 0;
+  const auto attr = [&](std::uint32_t block, Cause cause, std::uint64_t n) {
+    if (n == 0) return;
+    const std::size_t c = static_cast<std::size_t>(cause);
+    p.cause_cycles[c] += n;
+    if (block >= p.num_blocks) block = 0;
+    p.block_cause_cycles[static_cast<std::size_t>(block) * kNumCauses + c] += n;
+    attributed += n;
+  };
+
+  // The cycle partition: each executed cycle of pc goes to Busy (occupied)
+  // or its static stall cause. Architectural executions attribute to pc's
+  // block; shadow executions at offset k to the block of the branch at
+  // pc - k (shadows never enter blocks, matching on_block_enter).
+  std::vector<std::uint64_t> exec_total(pcs, 0);
+  for (std::size_t pc = 0; pc < pcs; ++pc) {
+    const std::uint16_t filled = sp.filled[pc];
+    const std::uint16_t ext = sp.ext[pc];
+    const std::uint8_t raw = sp.cause[pc];
+    const Cause cause = filled > 0 ? Cause::Busy : static_cast<Cause>(raw);
+    const std::uint64_t ns = exec[pc];
+    attr(sp.block_of[pc], cause, ns);
+    std::uint64_t sh = 0;
+    for (std::size_t k = 1; k <= d; ++k) {
+      const std::uint64_t n = shadow[(k - 1) * pcs + pc];
+      if (n == 0) continue;
+      sh += n;
+      attr(pc >= k ? sp.block_of[pc - k] : 0u, cause, n);
+    }
+    const std::uint64_t tot = ns + sh;
+    exec_total[pc] = tot;
+    if (tot == 0) continue;
+    p.shadow_cycles += sh;
+    p.imm_ext_slots += static_cast<std::uint64_t>(ext) * tot;
+    const std::uint64_t empty =
+        width - std::min<std::uint64_t>(
+                    width, static_cast<std::uint64_t>(filled) + static_cast<std::uint64_t>(ext));
+    p.empty_slot_causes[raw] += empty * tot;
+  }
+
+  // Scalar timing-model cycles, counted at the event sites (data-dependent).
+  if (sp.model == mach::Model::Scalar) {
+    attr(0, Cause::Frontend, counts.frontend_fill);
+    p.empty_slot_causes[static_cast<std::size_t>(Cause::Frontend)] += counts.frontend_fill;
+    for (std::size_t pc = 0; pc < pcs; ++pc) {
+      const std::uint32_t b = sp.block_of[pc];
+      attr(b, Cause::Dep, counts.stall[pc]);
+      p.empty_slot_causes[static_cast<std::size_t>(Cause::Dep)] += counts.stall[pc];
+      attr(b, Cause::FuLatency, counts.var_shift[pc]);
+      p.empty_slot_causes[static_cast<std::size_t>(Cause::FuLatency)] += counts.var_shift[pc];
+      attr(b, Cause::LongImm, counts.imm_words[pc]);
+      p.empty_slot_causes[static_cast<std::size_t>(Cause::LongImm)] += counts.imm_words[pc];
+      attr(b, Cause::Branch, counts.branch_penalty[pc]);
+      p.empty_slot_causes[static_cast<std::size_t>(Cause::Branch)] += counts.branch_penalty[pc];
+    }
+  }
+
+  // Per-unit counters, folded from execution counts over the static slot
+  // occupants. Control triggers only fire architecturally (a pending
+  // transfer squashes them), and TTA guard squashes suppress the move's
+  // whole footprint (transport, reads, writes, trigger).
+  for (std::size_t pc = 0; pc < pcs; ++pc) {
+    const std::uint64_t ns = exec[pc];
+    const std::uint64_t tot = exec_total[pc];
+    for (std::uint32_t m = sp.op_begin[pc]; m < sp.op_begin[pc + 1]; ++m) {
+      const StaticSlotOp& op = sp.ops[m];
+      std::uint64_t sq_ns = 0;
+      std::uint64_t sq = 0;
+      if (sp.model == mach::Model::Tta) {
+        sq_ns = counts.squash[2 * m];
+        sq = sq_ns + counts.squash[2 * m + 1];
+        const std::uint64_t live = tot - sq;
+        p.useful_slots += live;
+        p.squashed_slots += sq;
+        if (op.bus >= 0) {
+          p.bus_moves[static_cast<std::size_t>(op.bus)] += live;
+          p.bus_squashes[static_cast<std::size_t>(op.bus)] += sq;
+        }
+        if (op.read_rf0 >= 0) p.rf_reads[static_cast<std::size_t>(op.read_rf0)] += live;
+        if (op.write_rf >= 0) p.rf_writes[static_cast<std::size_t>(op.write_rf)] += live;
+        if (op.triggers) {
+          const std::uint64_t fires = op.control ? ns - sq_ns : live;
+          p.fu_triggers[static_cast<std::size_t>(op.trigger_fu) + 1] += fires;
+        }
+      } else {
+        // Operation-triggered models: every issue is a trigger and a useful
+        // slot; reads/writes ride the issue.
+        const std::uint64_t issues = op.control ? ns : tot;
+        p.useful_slots += issues;
+        p.fu_triggers[static_cast<std::size_t>(op.trigger_fu + 1)] += issues;
+        if (op.read_rf0 >= 0) p.rf_reads[static_cast<std::size_t>(op.read_rf0)] += issues;
+        if (op.read_rf1 >= 0) p.rf_reads[static_cast<std::size_t>(op.read_rf1)] += issues;
+        if (op.write_rf >= 0) p.rf_writes[static_cast<std::size_t>(op.write_rf)] += issues;
+      }
+    }
+  }
+
+  // End-of-run adjustments the aggregate counts cannot see.
+  const std::size_t fpc = static_cast<std::size_t>(counts.final_pc);
+  if (status == sim::ExecStatus::Ok && fpc < pcs) {
+    // A Ret cuts its own cycle short: occupants after the returning trigger
+    // in program order never fired (TTA: their on_trigger; VLIW/scalar: the
+    // whole issue) in that final architectural execution.
+    std::uint32_t ret_m = sp.op_begin[fpc + 1];
+    for (std::uint32_t m = sp.op_begin[fpc]; m < sp.op_begin[fpc + 1]; ++m) {
+      if (sp.ops[m].ret) {
+        ret_m = m;
+        break;
+      }
+    }
+    for (std::uint32_t m = ret_m + 1; m < sp.op_begin[fpc + 1]; ++m) {
+      const StaticSlotOp& op = sp.ops[m];
+      if (sp.model == mach::Model::Tta) {
+        if (op.triggers && p.fu_triggers[static_cast<std::size_t>(op.trigger_fu) + 1] > 0) {
+          --p.fu_triggers[static_cast<std::size_t>(op.trigger_fu) + 1];
+        }
+      } else {
+        if (p.useful_slots > 0) --p.useful_slots;
+        if (p.fu_triggers[static_cast<std::size_t>(op.trigger_fu + 1)] > 0) {
+          --p.fu_triggers[static_cast<std::size_t>(op.trigger_fu + 1)];
+        }
+        if (op.read_rf0 >= 0 && p.rf_reads[static_cast<std::size_t>(op.read_rf0)] > 0) {
+          --p.rf_reads[static_cast<std::size_t>(op.read_rf0)];
+        }
+        if (op.read_rf1 >= 0 && p.rf_reads[static_cast<std::size_t>(op.read_rf1)] > 0) {
+          --p.rf_reads[static_cast<std::size_t>(op.read_rf1)];
+        }
+        if (op.write_rf >= 0 && p.rf_writes[static_cast<std::size_t>(op.write_rf)] > 0) {
+          --p.rf_writes[static_cast<std::size_t>(op.write_rf)];
+        }
+      }
+    }
+  }
+  if (status == sim::ExecStatus::TimedOut && sp.model == mach::Model::Scalar && fpc < pcs) {
+    // The timed-out instruction was fetched (exec, reads, stalls counted)
+    // but never issued: no trigger, no write.
+    const StaticSlotOp& op = sp.ops[sp.op_begin[fpc]];
+    if (p.useful_slots > 0) --p.useful_slots;
+    if (p.fu_triggers[0] > 0) --p.fu_triggers[0];
+    if (op.write_rf >= 0 && p.rf_writes[static_cast<std::size_t>(op.write_rf)] > 0) {
+      --p.rf_writes[static_cast<std::size_t>(op.write_rf)];
+    }
+  }
+  // Writes still in flight at halt never committed, so the observer never
+  // saw them either.
+  for (std::size_t r = 0; r < p.rf_writes.size(); ++r) {
+    p.rf_writes[r] -= std::min(p.rf_writes[r], counts.uncommitted_rf_writes[r]);
+  }
+
+  // Residual: cycles with no execution at all — the final transfer draining
+  // past the program end. Branch overhead, charged to the block of the last
+  // architecturally-executed pc (the block on_block_enter left current).
+  if (total_cycles > attributed) {
+    const std::uint64_t residual = total_cycles - attributed;
+    attr(fpc < pcs ? sp.block_of[fpc] : 0u, Cause::Branch, residual);
+    p.empty_slot_causes[static_cast<std::size_t>(Cause::Branch)] += residual * width;
+  }
+  return p;
+}
+
+std::uint64_t CellProfile::attributed() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : cause_cycles) sum += v;
+  return sum;
+}
+
+std::uint64_t CellProfile::block_cycles(std::uint32_t b) const {
+  std::uint64_t sum = 0;
+  const std::size_t base = static_cast<std::size_t>(b) * kNumCauses;
+  for (std::size_t c = 0; c < kNumCauses; ++c) sum += block_cause_cycles[base + c];
+  return sum;
+}
+
+Cause CellProfile::binding() const {
+  std::size_t best = 0;  // Busy: returned when nothing stalled at all
+  std::uint64_t best_cycles = 0;
+  for (std::size_t c = 1; c < kNumCauses; ++c) {
+    if (cause_cycles[c] > best_cycles) {
+      best_cycles = cause_cycles[c];
+      best = c;
+    }
+  }
+  return static_cast<Cause>(best);
+}
+
+std::string CellProfile::serialize() const {
+  std::string s;
+  s.reserve(512);
+  s += "cycles ";
+  append_u64(s, cycles);
+  s += '\n';
+  for (std::size_t c = 0; c < kNumCauses; ++c) {
+    s += "cause ";
+    s += cause_name(static_cast<Cause>(c));
+    s += ' ';
+    append_u64(s, cause_cycles[c]);
+    s += '\n';
+  }
+  s += "slots ";
+  append_u64(s, slot_capacity);
+  s += ' ';
+  append_u64(s, useful_slots);
+  s += ' ';
+  append_u64(s, squashed_slots);
+  s += ' ';
+  append_u64(s, imm_ext_slots);
+  s += ' ';
+  append_u64(s, shadow_cycles);
+  s += '\n';
+  for (std::size_t c = 0; c < kNumCauses; ++c) {
+    if (empty_slot_causes[c] == 0) continue;
+    s += "empty ";
+    s += cause_name(static_cast<Cause>(c));
+    s += ' ';
+    append_u64(s, empty_slot_causes[c]);
+    s += '\n';
+  }
+  for (std::size_t f = 0; f < fu_triggers.size(); ++f) {
+    if (fu_triggers[f] == 0) continue;
+    s += "fu ";
+    s += f == 0 ? std::string("core") : fu_names[f - 1];
+    s += ' ';
+    append_u64(s, fu_triggers[f]);
+    s += '\n';
+  }
+  for (std::size_t b = 0; b < bus_moves.size(); ++b) {
+    if (bus_moves[b] == 0 && bus_squashes[b] == 0) continue;
+    s += "bus ";
+    s += bus_names[b];
+    s += ' ';
+    append_u64(s, bus_moves[b]);
+    s += ' ';
+    append_u64(s, bus_squashes[b]);
+    s += '\n';
+  }
+  for (std::size_t r = 0; r < rf_reads.size(); ++r) {
+    if (rf_reads[r] == 0 && rf_writes[r] == 0) continue;
+    s += "rf ";
+    s += rf_names[r];
+    s += ' ';
+    append_u64(s, rf_reads[r]);
+    s += ' ';
+    append_u64(s, rf_writes[r]);
+    s += '\n';
+  }
+  s += "static ";
+  append_u64(s, static_slots_filled);
+  s += ' ';
+  append_u64(s, static_slot_capacity);
+  s += '\n';
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    if (block_cycles(b) == 0) continue;
+    s += "block ";
+    append_u64(s, b);
+    for (std::size_t c = 0; c < kNumCauses; ++c) {
+      s += ' ';
+      append_u64(s, block_cause_cycles[static_cast<std::size_t>(b) * kNumCauses + c]);
+    }
+    s += '\n';
+  }
+  s += "binding ";
+  s += cause_name(binding());
+  s += '\n';
+  return s;
+}
+
+void CellProfile::export_to(obs::Registry& registry, const std::string& prefix) const {
+  for (std::size_t c = 0; c < kNumCauses; ++c) {
+    registry.add(prefix + "cycles." + cause_name(static_cast<Cause>(c)), cause_cycles[c]);
+  }
+  registry.add(prefix + "slots.capacity", slot_capacity);
+  registry.add(prefix + "slots.useful", useful_slots);
+  registry.add(prefix + "slots.squashed", squashed_slots);
+  registry.add(prefix + "slots.imm_ext", imm_ext_slots);
+  registry.add(prefix + "shadow_cycles", shadow_cycles);
+  registry.add(prefix + "static.slots_filled", static_slots_filled);
+  registry.add(prefix + "static.slot_capacity", static_slot_capacity);
+}
+
+CycleProfiler::CycleProfiler(StaticProfile static_profile) : static_(std::move(static_profile)) {
+  profile_.num_blocks = std::max(1u, static_.num_blocks);
+  profile_.block_cause_cycles.assign(
+      static_cast<std::size_t>(profile_.num_blocks) * kNumCauses, 0);
+  profile_.fu_triggers.assign(static_.fu_names.size() + 1, 0);
+  profile_.bus_moves.assign(static_.bus_names.size(), 0);
+  profile_.bus_squashes.assign(static_.bus_names.size(), 0);
+  profile_.rf_reads.assign(static_.rf_names.size(), 0);
+  profile_.rf_writes.assign(static_.rf_names.size(), 0);
+  profile_.fu_names = static_.fu_names;
+  profile_.bus_names = static_.bus_names;
+  profile_.rf_names = static_.rf_names;
+  profile_.static_slots_filled = static_.static_slots_filled;
+  profile_.static_slot_capacity = static_.static_slot_capacity;
+}
+
+void CycleProfiler::attribute(Cause cause, std::uint64_t cycles) {
+  const std::size_t c = static_cast<std::size_t>(cause);
+  profile_.cause_cycles[c] += cycles;
+  profile_.block_cause_cycles[static_cast<std::size_t>(cur_block_) * kNumCauses + c] += cycles;
+  attributed_ += cycles;
+}
+
+void CycleProfiler::on_move(std::uint64_t /*cycle*/, int bus) {
+  ++profile_.useful_slots;
+  if (bus >= 0 && static_cast<std::size_t>(bus) < profile_.bus_moves.size()) {
+    ++profile_.bus_moves[static_cast<std::size_t>(bus)];
+  }
+}
+
+void CycleProfiler::on_guard_squash(std::uint64_t /*cycle*/, int bus) {
+  ++profile_.squashed_slots;
+  if (bus >= 0 && static_cast<std::size_t>(bus) < profile_.bus_squashes.size()) {
+    ++profile_.bus_squashes[static_cast<std::size_t>(bus)];
+  }
+}
+
+void CycleProfiler::on_trigger(std::uint64_t /*cycle*/, int fu, ir::Opcode /*op*/) {
+  const std::size_t slot = static_cast<std::size_t>(fu + 1);
+  if (slot < profile_.fu_triggers.size()) ++profile_.fu_triggers[slot];
+  // Operation-triggered models issue ops, not moves: they are the useful
+  // work the slot accounting counts.
+  if (static_.model != mach::Model::Tta) ++profile_.useful_slots;
+}
+
+void CycleProfiler::on_rf_read(std::uint64_t /*cycle*/, int rf, int /*index*/) {
+  if (rf >= 0 && static_cast<std::size_t>(rf) < profile_.rf_reads.size()) {
+    ++profile_.rf_reads[static_cast<std::size_t>(rf)];
+  }
+}
+
+void CycleProfiler::on_rf_write(std::uint64_t /*cycle*/, int rf, int /*index*/,
+                                std::uint32_t /*value*/) {
+  if (rf >= 0 && static_cast<std::size_t>(rf) < profile_.rf_writes.size()) {
+    ++profile_.rf_writes[static_cast<std::size_t>(rf)];
+  }
+}
+
+void CycleProfiler::on_stall(std::uint64_t /*cycle*/, std::uint64_t stall_cycles) {
+  attribute(Cause::Dep, stall_cycles);
+  profile_.empty_slot_causes[static_cast<std::size_t>(Cause::Dep)] += stall_cycles;
+}
+
+void CycleProfiler::on_block_enter(std::uint64_t /*cycle*/, std::uint32_t block) {
+  if (block < profile_.num_blocks) cur_block_ = block;
+}
+
+void CycleProfiler::on_exec(std::uint64_t /*cycle*/, std::uint32_t pc, bool shadow) {
+  if (shadow) ++profile_.shadow_cycles;
+  std::uint16_t filled = 0;
+  std::uint16_t ext = 0;
+  std::uint8_t cause = static_cast<std::uint8_t>(Cause::Dep);
+  if (pc < static_.filled.size()) {
+    filled = static_.filled[pc];
+    ext = static_.ext[pc];
+    cause = static_.cause[pc];
+  }
+  attribute(filled > 0 ? Cause::Busy : static_cast<Cause>(cause), 1);
+  profile_.imm_ext_slots += ext;
+  const std::uint64_t empty =
+      static_cast<std::uint64_t>(static_.width) - std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(static_.width),
+          static_cast<std::uint64_t>(filled) + static_cast<std::uint64_t>(ext));
+  profile_.empty_slot_causes[cause] += empty;
+}
+
+void CycleProfiler::on_overhead(std::uint64_t /*cycle*/, sim::OverheadKind kind,
+                                std::uint64_t cycles) {
+  Cause cause = Cause::Frontend;
+  switch (kind) {
+    case sim::OverheadKind::FrontendFill: cause = Cause::Frontend; break;
+    case sim::OverheadKind::ImmWords: cause = Cause::LongImm; break;
+    case sim::OverheadKind::VarShift: cause = Cause::FuLatency; break;
+    case sim::OverheadKind::BranchPenalty: cause = Cause::Branch; break;
+  }
+  attribute(cause, cycles);
+  profile_.empty_slot_causes[static_cast<std::size_t>(cause)] += cycles;
+}
+
+void CycleProfiler::finish(std::uint64_t total_cycles) {
+  profile_.cycles = total_cycles;
+  profile_.slot_capacity = total_cycles * static_cast<std::uint64_t>(static_.width);
+  if (total_cycles > attributed_) {
+    // Cycles with no on_exec event: the final control transfer draining
+    // past the program end. Branch overhead, charged to the current block.
+    const std::uint64_t residual = total_cycles - attributed_;
+    attribute(Cause::Branch, residual);
+    profile_.empty_slot_causes[static_cast<std::size_t>(Cause::Branch)] +=
+        residual * static_cast<std::uint64_t>(static_.width);
+  }
+}
+
+}  // namespace ttsc::prof

@@ -1,0 +1,217 @@
+// Cycle-attribution profiler: architectural performance counters with an
+// exact top-down decomposition of every simulated cycle.
+//
+// The profiler is an ExecObserver (sim/observer.hpp) fed by the same event
+// stream on the fast and reference simulation paths, so profiles are
+// byte-identical across paths and thread counts. It combines two inputs:
+//
+//  * a StaticProfile built from the scheduled program — per-pc slot
+//    occupancy plus the scheduler's recorded stall cause for every empty
+//    cycle slot (prof/cause.hpp), and
+//  * the dynamic event stream — on_exec classifies each executed cycle,
+//    on_block_enter attributes it to a source basic block (delay-slot
+//    shadows never fire block entries, so a taken branch's shadow cycles
+//    stay with the branching block), on_stall / on_overhead carry the
+//    scalar timing model's non-issue cycles, and the move/trigger/RF
+//    events feed per-unit counters.
+//
+// The invariant (tested): for an Ok run, the nine cause buckets partition
+// the run's total cycle count exactly — every cycle lands in exactly one
+// bucket, no sampling, no residue. All per-event work is O(1) and
+// allocation-free; with observation compiled out the cost is zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mach/machine.hpp"
+#include "prof/cause.hpp"
+#include "sim/observer.hpp"
+
+namespace ttsc::obs {
+class Registry;
+}
+namespace ttsc::tta {
+struct TtaProgram;
+}
+namespace ttsc::vliw {
+struct VliwProgram;
+}
+namespace ttsc::scalar {
+struct ScalarProgram;
+}
+
+namespace ttsc::prof {
+
+/// Static shape of one cycle-slot occupant — a transport move (TTA) or an
+/// issued operation (VLIW / scalar) — in flat program order. derive_profile
+/// folds dynamic execution counts over these records to reconstruct the
+/// per-unit counters without any per-event work during simulation.
+struct StaticSlotOp {
+  std::int16_t bus = -1;       // TTA: transport bus of the move
+  std::int16_t read_rf0 = -1;  // RF read by the first register source
+  std::int16_t read_rf1 = -1;  // RF read by the second register source
+  std::int16_t write_rf = -1;  // RF written by the result (committed later)
+  std::int16_t trigger_fu = -1;  // unit fired when `triggers` (-1: the core)
+  bool triggers = false;  // fires an operation (FU/CU trigger, issued op)
+  bool control = false;   // control trigger: squashed in transfer shadows
+  bool ret = false;       // terminates the run when it fires
+  /// Branch target pc when `control` and not `ret` (-1 otherwise): where a
+  /// taken transfer counted in ProfileCounts::taken redirects the flow.
+  std::int32_t target_pc = -1;
+};
+
+/// Static (schedule-time) view of the program a CycleProfiler runs against:
+/// per-pc slot occupancy and the scheduler's empty-cycle cause table, plus
+/// the machine's unit names for report rendering. `width` is the issue
+/// capacity per cycle: transport buses (TTA), issue slots (VLIW), 1
+/// (scalar).
+struct StaticProfile {
+  mach::Model model = mach::Model::Tta;
+  int width = 1;
+  /// Per pc: why this cycle slot stalls when it executes empty
+  /// (prof::Cause byte; schedulers record Frontend for non-empty cycles).
+  std::vector<std::uint8_t> cause;
+  /// Per pc: useful slots statically occupied (moves / ops; 1 for scalar).
+  std::vector<std::uint16_t> filled;
+  /// Per pc: extra slots consumed by long-immediate extensions.
+  std::vector<std::uint16_t> ext;
+  std::uint32_t num_blocks = 0;
+  /// Static schedule fill: occupied slots (incl. long-imm extensions) vs
+  /// pc-count * width — the scheduler's expected fill the dynamic counters
+  /// are compared against.
+  std::uint64_t static_slots_filled = 0;
+  std::uint64_t static_slot_capacity = 0;
+  std::vector<std::string> fu_names;
+  std::vector<std::string> bus_names;
+  std::vector<std::string> rf_names;
+
+  // Derivation tables for the counts-based collection mode (zero per-event
+  // cost; see sim::ProfileCounts and derive_profile below).
+  int delay_slots = 0;
+  /// Flat per-slot-op records in program order; op_begin[pc] .. op_begin[pc+1]
+  /// are the occupants of cycle-slot pc.
+  std::vector<StaticSlotOp> ops;
+  std::vector<std::uint32_t> op_begin;
+  /// Per pc: the block an architectural execution of pc attributes to — the
+  /// most recently entered block, i.e. the last block whose entry pc is <=
+  /// pc (ties at one entry pc resolve to the last such block, matching
+  /// on_block_enter).
+  std::vector<std::uint32_t> block_of;
+};
+
+/// Build the static side from a scheduled program. Programs without a
+/// scheduler-recorded stall_cause table (hand-built tests) fall back to
+/// Frontend for occupied pcs and Dep for empty ones.
+StaticProfile build_static_profile(const tta::TtaProgram& program, const mach::Machine& machine);
+StaticProfile build_static_profile(const vliw::VliwProgram& program, const mach::Machine& machine);
+StaticProfile build_static_profile(const scalar::ScalarProgram& program,
+                                   const mach::Machine& machine);
+
+/// Allocate a sim::ProfileCounts correctly sized for `sp`'s program — the
+/// cheap collection mode (SimOptions::profile). The run loops then count
+/// only rare events (taken transfers, guard squashes, scalar overheads) —
+/// no per-cycle work at all; derive_profile reconstructs the per-pc
+/// execution counts from the transfer counts.
+sim::ProfileCounts make_profile_counts(const StaticProfile& sp);
+
+/// Cycle-attribution profile of one (machine, workload) cell. All counts
+/// are simulation events — deterministic, wall-time free.
+struct CellProfile {
+  std::uint64_t cycles = 0;
+  /// The partition: cause_cycles[c] cycles attributed to Cause c; sums to
+  /// `cycles` for an Ok run.
+  std::array<std::uint64_t, kNumCauses> cause_cycles{};
+
+  // Slot-level accounting (informational; the cycle partition above is the
+  // exact one). Capacity = cycles * width.
+  std::uint64_t slot_capacity = 0;
+  std::uint64_t useful_slots = 0;    // executed moves (TTA) / issued ops
+  std::uint64_t squashed_slots = 0;  // guarded moves whose guard disagreed
+  std::uint64_t imm_ext_slots = 0;   // long-immediate extension slots
+  std::uint64_t shadow_cycles = 0;   // cycles executed in delay-slot shadows
+  /// Empty slots by the static cause of their cycle.
+  std::array<std::uint64_t, kNumCauses> empty_slot_causes{};
+
+  // Per-unit counters ([0] of fu_triggers is the scalar core; [i+1] is
+  // machine FU i).
+  std::vector<std::uint64_t> fu_triggers;
+  std::vector<std::uint64_t> bus_moves;
+  std::vector<std::uint64_t> bus_squashes;
+  std::vector<std::uint64_t> rf_reads;
+  std::vector<std::uint64_t> rf_writes;
+  std::vector<std::string> fu_names;
+  std::vector<std::string> bus_names;
+  std::vector<std::string> rf_names;
+
+  /// Per-block attribution, flat [block * kNumCauses + cause]. Blocks that
+  /// never executed stay zero.
+  std::uint32_t num_blocks = 0;
+  std::vector<std::uint64_t> block_cause_cycles;
+
+  // Static schedule fill (from StaticProfile), for expected-vs-achieved.
+  std::uint64_t static_slots_filled = 0;
+  std::uint64_t static_slot_capacity = 0;
+
+  /// Sum of the cause buckets (== cycles for an Ok run).
+  std::uint64_t attributed() const;
+  /// Total cycles attributed to block `b`.
+  std::uint64_t block_cycles(std::uint32_t b) const;
+  /// The binding resource: the dominant non-Busy cause (ties break toward
+  /// the lower enum value). Busy when nothing stalled at all.
+  Cause binding() const;
+  /// Canonical line-oriented text form — the byte-equality surface the
+  /// differential tests compare across simulation paths and thread counts.
+  std::string serialize() const;
+  /// Export scalar totals into a metrics registry under `prefix` (e.g.
+  /// "prof." -> "prof.cycles.dep", "prof.slots.useful", ...). All counts
+  /// are deterministic simulation events; wall time never enters.
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
+};
+
+/// Fold collected counts over the static schedule into the same CellProfile
+/// the event-driven CycleProfiler produces — byte-identical serialize() for
+/// Ok and TimedOut runs (differentially tested against the observer on all
+/// three engines; trapped runs of corrupted programs are not covered, and
+/// the fault-injection campaigns never collect profiles). `status` selects
+/// the end-of-run adjustment: a Ret cuts the final instruction short after
+/// the returning trigger, so later triggers in it never fired.
+CellProfile derive_profile(const StaticProfile& sp, const sim::ProfileCounts& counts,
+                           std::uint64_t total_cycles, sim::ExecStatus status);
+
+/// The observer. Attach to a run (sim::SimOptions::observer, possibly via a
+/// TeeObserver), then call finish() with the run's total cycles; residual
+/// cycles the event stream cannot see (transfer drain past the program end)
+/// are attributed to Branch in the current block.
+class CycleProfiler final : public sim::ExecObserver {
+ public:
+  explicit CycleProfiler(StaticProfile static_profile);
+
+  void on_move(std::uint64_t cycle, int bus) override;
+  void on_guard_squash(std::uint64_t cycle, int bus) override;
+  void on_trigger(std::uint64_t cycle, int fu, ir::Opcode op) override;
+  void on_rf_read(std::uint64_t cycle, int rf, int index) override;
+  void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
+  void on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) override;
+  void on_block_enter(std::uint64_t cycle, std::uint32_t block) override;
+  void on_exec(std::uint64_t cycle, std::uint32_t pc, bool shadow) override;
+  void on_overhead(std::uint64_t cycle, sim::OverheadKind kind, std::uint64_t cycles) override;
+
+  /// Close the run: record the total cycle count and attribute the residual
+  /// (cycles with no on_exec event — the final transfer's drain) to Branch.
+  void finish(std::uint64_t total_cycles);
+
+  const CellProfile& profile() const { return profile_; }
+
+ private:
+  void attribute(Cause cause, std::uint64_t cycles);
+
+  StaticProfile static_;
+  CellProfile profile_;
+  std::uint32_t cur_block_ = 0;
+  std::uint64_t attributed_ = 0;
+};
+
+}  // namespace ttsc::prof

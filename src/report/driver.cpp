@@ -217,6 +217,20 @@ RunOutcome compile_cell(const ir::Module& optimized, const Workload& workload,
     }
   }
 
+  // Cycle-attribution profiler: built per model below (it needs the
+  // scheduled program's static profile). Collection uses the counts mode
+  // (sim::ProfileCounts — two array increments per cycle, no observer
+  // dispatch); the profile is derived from the counts after the run, byte-
+  // identical to the event-driven prof::CycleProfiler (differentially
+  // tested in tests/property_test.cpp).
+  std::unique_ptr<prof::StaticProfile> static_prof;
+  sim::ProfileCounts prof_counts;
+  const auto attach_profiler = [&](prof::StaticProfile sp) {
+    static_prof = std::make_unique<prof::StaticProfile>(std::move(sp));
+    prof_counts = prof::make_profile_counts(*static_prof);
+    sim_opts.profile = &prof_counts;
+  };
+
   ir::Memory mem = make_loaded_memory(module);
   const auto t_schedule = std::chrono::steady_clock::now();
   stage_span.emplace("schedule", stage_args);
@@ -226,6 +240,7 @@ RunOutcome compile_cell(const ir::Module& optimized, const Workload& workload,
       out.stage_seconds.schedule = seconds_since(t_schedule);
       stage_span.reset();
       cell_metrics.add("scalar.emit.words", prog.code_words(machine.scalar));
+      if (sim_opts.collect_profile) attach_profiler(prof::build_static_profile(prog, machine));
       scalar::ScalarSim simulator(prog, machine, mem, sim_opts);
       if (sim_opts.fast_path) {
         const auto t_pre = std::chrono::steady_clock::now();
@@ -272,6 +287,7 @@ RunOutcome compile_cell(const ir::Module& optimized, const Workload& workload,
       cell_metrics.add("vliw.schedule.fail.rf_write_port", stats.fail_rf_write_port);
       cell_metrics.add("vliw.schedule.fail.no_slot", stats.fail_no_slot);
       cell_metrics.add("vliw.schedule.fail.wide_imm", stats.fail_wide_imm);
+      if (sim_opts.collect_profile) attach_profiler(prof::build_static_profile(prog, machine));
       vliw::VliwSim simulator(prog, machine, mem, sim_opts);
       if (sim_opts.fast_path) {
         const auto t_pre = std::chrono::steady_clock::now();
@@ -327,6 +343,7 @@ RunOutcome compile_cell(const ir::Module& optimized, const Workload& workload,
       cell_metrics.add("tta.schedule.fail.rf_read_port", stats.fail_rf_read_port);
       cell_metrics.add("tta.schedule.fail.rf_write_port", stats.fail_rf_write_port);
       record_tta_density(cell_metrics, prog, machine);
+      if (sim_opts.collect_profile) attach_profiler(prof::build_static_profile(prog, machine));
       tta::TtaSim simulator(prog, machine, mem, sim_opts);
       if (sim_opts.fast_path) {
         const auto t_pre = std::chrono::steady_clock::now();
@@ -367,6 +384,12 @@ RunOutcome compile_cell(const ir::Module& optimized, const Workload& workload,
     util->add_cycles(out.cycles);
     out.utilization = util->report();
     out.utilization->export_to(cell_metrics, "sim.");
+  }
+  if (static_prof != nullptr) {
+    // Only Ok runs reach this point (timeouts and traps throw above).
+    out.profile =
+        prof::derive_profile(*static_prof, prof_counts, out.cycles, sim::ExecStatus::Ok);
+    out.profile->export_to(cell_metrics, "prof.");
   }
   out.metrics = cell_metrics.counters();
   if (metrics != nullptr) {

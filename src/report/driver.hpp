@@ -15,6 +15,7 @@
 #include "mach/machine.hpp"
 #include "obs/metrics.hpp"
 #include "opt/superblock.hpp"
+#include "prof/prof.hpp"
 #include "sim/collectors.hpp"
 #include "support/timeline.hpp"
 #include "tta/tta.hpp"
@@ -78,6 +79,11 @@ struct RunOutcome {
 
   // Execution profile, present when SimOptions::collect_utilization was set.
   std::optional<sim::UtilizationReport> utilization;
+
+  // Cycle-attribution profile (prof/prof.hpp), present when
+  // SimOptions::collect_profile was set: every cycle of the run classified
+  // into exactly one stall/busy cause, per source block and per unit.
+  std::optional<prof::CellProfile> profile;
 
   // Per-cell metric snapshot (sorted, deterministic): the scheduler/
   // regalloc/optimizer-independent counters this cell contributed to the

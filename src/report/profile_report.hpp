@@ -1,0 +1,41 @@
+// Cycle-attribution profile reports ("ttsc-profile-report" schema,
+// version 1) and folded-stack flamegraph export.
+//
+// Rendered from a Matrix whose cells were run with
+// SimOptions::collect_profile: per cell the nine-way cycle-attribution
+// table (an exact partition of the run's cycles), the top-down tree the
+// table rolls up into, per-unit counters, slot-level fill against the
+// scheduler's static expectation, and the hottest source basic blocks.
+//
+// Determinism contract: like the run report, a profile report contains NO
+// wall-clock times — it is a pure function of (machine set, workload suite,
+// compiler options), byte-identical across simulation paths (fast vs
+// reference) and sweep thread counts, so it is golden-testable via
+// report_diff (the "machines" array diffs by element name).
+#pragma once
+
+#include <string>
+
+#include "report/experiments.hpp"
+
+namespace ttsc::report {
+
+/// Render the matrix's cycle-attribution profiles as a
+/// "ttsc-profile-report" version-1 JSON document, newline-terminated.
+/// Cells without a profile (failed, or profiling was off) are omitted.
+std::string render_profile_report(const Matrix& matrix);
+
+/// Write render_profile_report() to `path`. Throws ttsc::Error on I/O
+/// failure.
+void write_profile_report(const std::string& path, const Matrix& matrix);
+
+/// Folded-stack export (one "frame1;frame2;... count" line per stack, the
+/// flamegraph.pl / inferno input format): stacks are
+/// machine;workload;block<id>;<cause> with the attributed cycle count.
+std::string render_profile_folded(const Matrix& matrix);
+
+/// Write render_profile_folded() to `path`. Throws ttsc::Error on I/O
+/// failure.
+void write_profile_folded(const std::string& path, const Matrix& matrix);
+
+}  // namespace ttsc::report

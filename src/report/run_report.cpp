@@ -58,6 +58,12 @@ void write_cell(obs::JsonWriter& w, const RunOutcome& out) {
     w.key("superblocks_applied");
     w.value(out.superblocks_applied);
   }
+  // Profiled cells name their binding resource (the dominant stall cause);
+  // unprofiled cells keep the historical layout byte-for-byte.
+  if (out.profile.has_value()) {
+    w.key("binding");
+    w.value(prof::cause_name(out.profile->binding()));
+  }
   w.key("metrics");
   w.begin_object();
   for (const auto& [name, v] : out.metrics) {

@@ -98,18 +98,32 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
         std::make_shared<const sim::PredecodedScalar>(sim::predecode(program_, machine_));
   }
   const bool harden = options_.harden || options_.faults != nullptr;
-  if (options_.observer != nullptr) {
-    return harden ? run_fast<true, true>(max_cycles) : run_fast<true, false>(max_cycles);
+  if (options_.profile != nullptr) {
+    if (options_.observer != nullptr) {
+      return harden ? run_fast<true, true, true>(max_cycles)
+                    : run_fast<true, false, true>(max_cycles);
+    }
+    return harden ? run_fast<false, true, true>(max_cycles)
+                  : run_fast<false, false, true>(max_cycles);
   }
-  return harden ? run_fast<false, true>(max_cycles) : run_fast<false, false>(max_cycles);
+  if (options_.observer != nullptr) {
+    return harden ? run_fast<true, true, false>(max_cycles)
+                  : run_fast<true, false, false>(max_cycles);
+  }
+  return harden ? run_fast<false, true, false>(max_cycles)
+                : run_fast<false, false, false>(max_cycles);
 }
 
-template <bool kObserve, bool kHarden>
+template <bool kObserve, bool kHarden, bool kProfile>
 ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
   using sim::ScalarPInstr;
   const sim::PredecodedScalar& pre = *predecoded_;
   sim::ExecObserver* const obs = options_.observer;
+  sim::ProfileCounts* const prof = options_.profile;
   const mach::ScalarTiming& timing = machine_.scalar;
+  if constexpr (kProfile) {
+    prof->frontend_fill = static_cast<std::uint64_t>(timing.pipeline_stages - 1);
+  }
 
   std::vector<std::uint32_t> regs(pre.rf_slots, 0u);
   std::vector<std::uint64_t> ready(pre.rf_slots, 0ull);
@@ -152,6 +166,11 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
       const std::size_t entry = program_.block_entry[b];
       if (entry < pre.instrs.size()) entry_of[entry] = static_cast<std::int32_t>(b);
     }
+    // Pipeline-fill cycles before the first instruction issues.
+    if (timing.pipeline_stages > 1) {
+      obs->on_overhead(0, sim::OverheadKind::FrontendFill,
+                       static_cast<std::uint64_t>(timing.pipeline_stages - 1));
+    }
   }
 
   while (true) {
@@ -169,6 +188,7 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
     if constexpr (kObserve) {
       const std::int32_t blk = entry_of[pc];
       if (blk >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(blk));
+      obs->on_exec(cycle, pc, false);
     }
     const ScalarPInstr& in = pre.instrs[pc];
     // Fail-closed: an illegal instruction (decode-time trap marker) traps
@@ -194,15 +214,38 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
     if constexpr (kObserve) {
       if (issue > cycle) obs->on_stall(cycle, issue - cycle);
     }
+    if constexpr (kProfile) {
+      if (issue > cycle) prof->stall[pc] += issue - cycle;
+    }
     // Multi-word expansions: IMM prefixes, and (without a barrel shifter)
     // single-bit shift sequences or the variable-shift loop.
     if (in.var_shift) {
-      issue += static_cast<std::uint64_t>(timing.variable_shift_setup) +
-               static_cast<std::uint64_t>(timing.variable_shift_per_bit) * (b & 31);
+      const std::uint64_t extra = static_cast<std::uint64_t>(timing.variable_shift_setup) +
+                                  static_cast<std::uint64_t>(timing.variable_shift_per_bit) *
+                                      (b & 31);
+      issue += extra;
+      if constexpr (kObserve) {
+        if (extra > 0) obs->on_overhead(cycle, sim::OverheadKind::VarShift, extra);
+      }
+      if constexpr (kProfile) prof->var_shift[pc] += extra;
     } else {
       issue += in.extra_words;
+      if constexpr (kObserve) {
+        if (in.extra_words > 0) {
+          obs->on_overhead(cycle,
+                           is_shift(in.op) ? sim::OverheadKind::VarShift
+                                           : sim::OverheadKind::ImmWords,
+                           in.extra_words);
+        }
+      }
+      if constexpr (kProfile) {
+        if (in.extra_words > 0) {
+          (is_shift(in.op) ? prof->var_shift[pc] : prof->imm_words[pc]) += in.extra_words;
+        }
+      }
     }
     if (issue + 1 > max_cycles) {
+      if constexpr (kProfile) prof->final_pc = pc;
       result.status = sim::ExecStatus::TimedOut;
       result.cycles = cycle;
       result.rf_state = regs;
@@ -249,6 +292,16 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
       case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
       case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
       case Opcode::Jump: {
+        if constexpr (kObserve) {
+          if (timing.branch_penalty > 0) {
+            obs->on_overhead(issue, sim::OverheadKind::BranchPenalty,
+                             static_cast<std::uint64_t>(timing.branch_penalty));
+          }
+        }
+        if constexpr (kProfile) {
+          ++prof->taken[pc];
+          prof->branch_penalty[pc] += static_cast<std::uint64_t>(timing.branch_penalty);
+        }
         cycle = issue + 1 + static_cast<std::uint64_t>(timing.branch_penalty);
         pc = in.target_pc;
         result.cycles = cycle;
@@ -256,12 +309,25 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
       }
       case Opcode::Bnz: {
         const bool taken = a != 0;
+        if constexpr (kObserve) {
+          if (taken && timing.branch_penalty > 0) {
+            obs->on_overhead(issue, sim::OverheadKind::BranchPenalty,
+                             static_cast<std::uint64_t>(timing.branch_penalty));
+          }
+        }
+        if constexpr (kProfile) {
+          if (taken) {
+            ++prof->taken[pc];
+            prof->branch_penalty[pc] += static_cast<std::uint64_t>(timing.branch_penalty);
+          }
+        }
         cycle = issue + 1 + (taken ? static_cast<std::uint64_t>(timing.branch_penalty) : 0ull);
         pc = taken ? in.target_pc : pc + 1;
         result.cycles = cycle;
         continue;
       }
       case Opcode::Ret: {
+        if constexpr (kProfile) prof->final_pc = pc;
         result.cycles = issue + 1;
         result.ret = a;
         result.rf_state = regs;
@@ -288,7 +354,11 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
 
 ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
   sim::ExecObserver* const obs = options_.observer;
+  sim::ProfileCounts* const prof = options_.profile;
   const mach::ScalarTiming& timing = machine_.scalar;
+  if (prof != nullptr) {
+    prof->frontend_fill = static_cast<std::uint64_t>(timing.pipeline_stages - 1);
+  }
 
   // Register state, indexed [rf][index].
   std::vector<std::vector<std::uint32_t>> regs;
@@ -344,6 +414,11 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       const std::size_t entry = program_.block_entry[b];
       if (entry < program_.instrs.size()) entry_of[entry] = static_cast<std::int32_t>(b);
     }
+    // Pipeline-fill cycles before the first instruction issues.
+    if (timing.pipeline_stages > 1) {
+      obs->on_overhead(0, sim::OverheadKind::FrontendFill,
+                       static_cast<std::uint64_t>(timing.pipeline_stages - 1));
+    }
   }
 
   while (true) {
@@ -356,8 +431,9 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       set_trap(sim::TrapReason::PcOutOfRange, pc);
       return result;
     }
-    if (obs != nullptr && entry_of[pc] >= 0) {
-      obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+    if (obs != nullptr) {
+      if (entry_of[pc] >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+      obs->on_exec(cycle, pc, false);
     }
     const MInstr& in = program_.instrs[pc];
     // Fail-closed: the execute-time mirror of the decode-time checks on the
@@ -383,16 +459,34 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       }
       if (issue > cycle) obs->on_stall(cycle, issue - cycle);
     }
+    if (prof != nullptr && issue > cycle) prof->stall[pc] += issue - cycle;
     // Multi-word expansions: IMM prefixes, and (without a barrel shifter)
     // single-bit shift sequences or the variable-shift loop.
     if (is_shift(in.op) && !timing.barrel_shifter && in.srcs.size() > 1 &&
         in.srcs[1].is_reg()) {
-      issue += static_cast<std::uint64_t>(timing.variable_shift_setup) +
-               static_cast<std::uint64_t>(timing.variable_shift_per_bit) * (b & 31);
+      const std::uint64_t extra = static_cast<std::uint64_t>(timing.variable_shift_setup) +
+                                  static_cast<std::uint64_t>(timing.variable_shift_per_bit) *
+                                      (b & 31);
+      issue += extra;
+      if (obs != nullptr && extra > 0) {
+        obs->on_overhead(cycle, sim::OverheadKind::VarShift, extra);
+      }
+      if (prof != nullptr) prof->var_shift[pc] += extra;
     } else {
-      issue += static_cast<std::uint64_t>(instr_words(timing, in) - 1);
+      const std::uint64_t extra = static_cast<std::uint64_t>(instr_words(timing, in) - 1);
+      issue += extra;
+      if (obs != nullptr && extra > 0) {
+        obs->on_overhead(cycle,
+                         is_shift(in.op) ? sim::OverheadKind::VarShift
+                                         : sim::OverheadKind::ImmWords,
+                         extra);
+      }
+      if (prof != nullptr && extra > 0) {
+        (is_shift(in.op) ? prof->var_shift[pc] : prof->imm_words[pc]) += extra;
+      }
     }
     if (issue + 1 > max_cycles) {
+      if (prof != nullptr) prof->final_pc = pc;
       result.status = sim::ExecStatus::TimedOut;
       result.cycles = cycle;
       capture_state(result);
@@ -439,6 +533,14 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
       case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
       case Opcode::Jump: {
+        if (obs != nullptr && timing.branch_penalty > 0) {
+          obs->on_overhead(issue, sim::OverheadKind::BranchPenalty,
+                           static_cast<std::uint64_t>(timing.branch_penalty));
+        }
+        if (prof != nullptr) {
+          ++prof->taken[pc];
+          prof->branch_penalty[pc] += static_cast<std::uint64_t>(timing.branch_penalty);
+        }
         cycle = issue + 1 + static_cast<std::uint64_t>(timing.branch_penalty);
         pc = program_.block_entry[in.targets[0]];
         result.cycles = cycle;
@@ -446,6 +548,14 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       }
       case Opcode::Bnz: {
         const bool taken = a != 0;
+        if (obs != nullptr && taken && timing.branch_penalty > 0) {
+          obs->on_overhead(issue, sim::OverheadKind::BranchPenalty,
+                           static_cast<std::uint64_t>(timing.branch_penalty));
+        }
+        if (prof != nullptr && taken) {
+          ++prof->taken[pc];
+          prof->branch_penalty[pc] += static_cast<std::uint64_t>(timing.branch_penalty);
+        }
         cycle = issue + 1 +
                 (taken ? static_cast<std::uint64_t>(timing.branch_penalty) : 0ull);
         pc = taken ? program_.block_entry[in.targets[0]] : pc + 1;
@@ -453,6 +563,7 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
         continue;
       }
       case Opcode::Ret: {
+        if (prof != nullptr) prof->final_pc = pc;
         result.cycles = issue + 1;
         result.ret = in.srcs.empty() ? 0u : a;
         capture_state(result);

@@ -91,7 +91,7 @@ class ScalarSim {
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
-  template <bool kObserve, bool kHarden>
+  template <bool kObserve, bool kHarden, bool kProfile>
   ExecResult run_fast(std::uint64_t max_cycles);
   ExecResult run_reference(std::uint64_t max_cycles);
 

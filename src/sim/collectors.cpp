@@ -216,6 +216,16 @@ void TeeObserver::on_block_enter(std::uint64_t cycle, std::uint32_t block) {
   if (b_ != nullptr) b_->on_block_enter(cycle, block);
 }
 
+void TeeObserver::on_exec(std::uint64_t cycle, std::uint32_t pc, bool shadow) {
+  if (a_ != nullptr) a_->on_exec(cycle, pc, shadow);
+  if (b_ != nullptr) b_->on_exec(cycle, pc, shadow);
+}
+
+void TeeObserver::on_overhead(std::uint64_t cycle, OverheadKind kind, std::uint64_t cycles) {
+  if (a_ != nullptr) a_->on_overhead(cycle, kind, cycles);
+  if (b_ != nullptr) b_->on_overhead(cycle, kind, cycles);
+}
+
 void TraceObserver::on_block_enter(std::uint64_t cycle, std::uint32_t block) {
   line(cycle, format("block enter b%u", block));
 }

@@ -116,6 +116,8 @@ class TeeObserver final : public ExecObserver {
   void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
   void on_stall(std::uint64_t cycle, std::uint64_t stall_cycles) override;
   void on_block_enter(std::uint64_t cycle, std::uint32_t block) override;
+  void on_exec(std::uint64_t cycle, std::uint32_t pc, bool shadow) override;
+  void on_overhead(std::uint64_t cycle, OverheadKind kind, std::uint64_t cycles) override;
 
  private:
   ExecObserver* a_;

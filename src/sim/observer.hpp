@@ -34,9 +34,25 @@
 //                      profile layer depends on this — a taken branch must
 //                      produce one clean (source, target) edge, not a fake
 //                      detour through the fallthrough block).
+//  * on_exec         — one instruction/bundle execution cycle: the TTA/VLIW
+//                      instruction at `pc` executed this cycle (`shadow` set
+//                      when inside a pending control transfer's delay-slot
+//                      shadow), or the scalar instruction at `pc` issued
+//                      (shadow always false; the issue cycle is reported,
+//                      after any hazard stall). The cycle-attribution
+//                      profiler keys its per-cycle classification off this
+//                      event plus the program's static stall_cause table.
+//  * on_overhead     — scalar only: non-stall overhead cycles folded into
+//                      the instruction-stepped timing model, by kind —
+//                      pipeline fill before the first instruction,
+//                      multi-word immediate fetch, unrolled/variable shift
+//                      sequencing, and the taken-branch penalty. Together
+//                      with on_exec and on_stall these partition a scalar
+//                      run's cycle count exactly.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ir/opcode.hpp"
 
@@ -108,6 +124,69 @@ struct TrapInfo {
 
 struct FaultSet;  // sim/fault.hpp: mid-run single-bit state faults
 
+/// Scalar timing-model overhead categories, reported via on_overhead. The
+/// pipelined cores have no equivalent events: their overhead cycles are
+/// classified from the static schedule instead (prof/cause.hpp).
+enum class OverheadKind : std::uint8_t {
+  FrontendFill,   // pipeline fill before the first instruction issues
+  ImmWords,       // extra instruction words fetched for wide immediates
+  VarShift,       // unrolled / data-dependent shift sequencing cycles
+  BranchPenalty,  // taken-branch redirect penalty
+};
+
+/// Flat execution tallies the run loops fill when SimOptions::profile is
+/// set — the cheap collection mode behind the cycle-attribution profiler
+/// (src/prof). Unlike an ExecObserver there is no per-event virtual
+/// dispatch — and no per-cycle work at all: the loops count only *taken
+/// control transfers* (rare), guard squashes (rare), the scalar timing
+/// model's overhead events (rare), and a one-time state capture at halt.
+/// prof::derive_profile() reconstructs the per-pc execution counts from the
+/// transfer counts by prefix-summing a difference array over the program's
+/// straight-line flow (control enters at pc 0 and only the counted
+/// transfers redirect it), then folds the static schedule over them.
+///
+/// Sizing contract (prof::make_profile_counts sizes all of this): `taken`
+/// holds one slot per flat slot-op in program order (only control ops ever
+/// count — a slot's completed taken transfers, i.e. those whose landing at
+/// the target actually executed); `squash` holds two slots per TTA move in
+/// flat program order (2*move for architectural squashes, 2*move+1 for
+/// squashes inside a shadow); the scalar arrays hold one slot per pc; and
+/// `uncommitted_rf_writes` holds one slot per register file, filled at halt
+/// with writes still in flight (issued, never committed — so never seen by
+/// ExecObserver::on_rf_write either).
+struct ProfileCounts {
+  /// Per flat slot-op: taken control transfers that completed (landed and
+  /// executed their target). A transfer still in flight at a timeout is
+  /// counted here too and backed out via the end_* capture below.
+  std::vector<std::uint64_t> taken;
+  std::vector<std::uint64_t> squash;
+
+  // Scalar timing-model events (data-dependent, so counted at the event
+  // sites rather than derived): hazard stalls, variable/unrolled shift
+  // cycles, extra immediate fetch words, taken-branch penalties — each a
+  // per-pc cycle total — and the one-time pipeline fill.
+  std::vector<std::uint64_t> stall;
+  std::vector<std::uint64_t> var_shift;
+  std::vector<std::uint64_t> imm_words;
+  std::vector<std::uint64_t> branch_penalty;
+  std::uint64_t frontend_fill = 0;
+
+  // Filled once at run exit.
+  std::vector<std::uint64_t> uncommitted_rf_writes;
+  /// Last architecturally-executed pc (shadow executions excluded): closes
+  /// the final straight-line flow segment, and the residual drain past the
+  /// program end is attributed to its block.
+  std::uint32_t final_pc = 0;
+  /// TTA/VLIW halt state: the pc about to execute next (`end_pc`) and the
+  /// pending control transfer, if any (`end_transfer_in` cycles left until
+  /// redirect to `end_transfer_target`; -1 when none). A timeout can halt
+  /// mid-shadow; derive_profile backs the unexecuted tail of the final
+  /// taken transfer out of the reconstruction with these.
+  std::uint32_t end_pc = 0;
+  std::int32_t end_transfer_in = -1;
+  std::int32_t end_transfer_target = -1;
+};
+
 class ExecObserver {
  public:
   virtual ~ExecObserver() = default;
@@ -120,6 +199,9 @@ class ExecObserver {
                            std::uint32_t /*value*/) {}
   virtual void on_stall(std::uint64_t /*cycle*/, std::uint64_t /*stall_cycles*/) {}
   virtual void on_block_enter(std::uint64_t /*cycle*/, std::uint32_t /*block*/) {}
+  virtual void on_exec(std::uint64_t /*cycle*/, std::uint32_t /*pc*/, bool /*shadow*/) {}
+  virtual void on_overhead(std::uint64_t /*cycle*/, OverheadKind /*kind*/,
+                           std::uint64_t /*cycles*/) {}
 };
 
 /// Per-run simulator configuration, accepted by all three simulators.
@@ -132,10 +214,20 @@ struct SimOptions {
   /// Cycle-level event sink; nullptr disables observation entirely.
   ExecObserver* observer = nullptr;
 
+  /// Cheap profile-collection sink; nullptr disables it entirely (the fast
+  /// paths template it out, so the off cost is zero). Must be sized for the
+  /// program being run — see ProfileCounts / prof::make_profile_counts.
+  ProfileCounts* profile = nullptr;
+
   /// Driver-level convenience (report::compile_and_run_prebuilt): attach a
   /// UtilizationCollector for the run and surface its report through
   /// RunOutcome::utilization. The simulators themselves ignore this flag.
   bool collect_utilization = false;
+
+  /// Driver-level convenience: attach a prof::CycleProfiler for the run and
+  /// surface its cycle-attribution profile through RunOutcome::profile.
+  /// The simulators themselves ignore this flag.
+  bool collect_profile = false;
 
   /// Fail-closed execution: bounds-check memory accesses (and apply
   /// `faults`, when given) on the fast path, turning illegal states into

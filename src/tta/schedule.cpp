@@ -32,6 +32,7 @@
 #include "codegen/ddg.hpp"
 #include "obs/trace.hpp"
 #include "opt/superblock.hpp"
+#include "prof/cause.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 #include "tta/tta.hpp"
@@ -67,6 +68,20 @@ bool trace_enabled() {
 
 int fu_latency(const Machine& m, int fu, Opcode op) {
   return m.fus[static_cast<std::size_t>(fu)].latency(op);
+}
+
+/// Attribution priority among recorded per-cycle resource conflicts: when
+/// several placement attempts failed at the same cycle for different
+/// reasons, the cycle is charged to the scarcest resource (DESIGN.md
+/// "Cycle attribution & top-down analysis").
+int conflict_rank(prof::Cause c) {
+  switch (c) {
+    case prof::Cause::RfWritePort: return 4;
+    case prof::Cause::RfReadPort: return 3;
+    case prof::Cause::LongImm: return 2;
+    case prof::Cause::Bus: return 1;
+    default: return 0;
+  }
 }
 
 /// Operand-port/trigger-port split of an instruction's inputs:
@@ -151,6 +166,8 @@ class BlockScheduler {
   struct Result {
     std::vector<std::pair<std::int64_t, Move>> moves;  // (cycle, move)
     std::int64_t length = 0;
+    /// Static empty-slot cause per cycle 0..length-1 (prof::Cause bytes).
+    std::vector<std::uint8_t> cycle_cause;
   };
 
   Result run();
@@ -172,6 +189,15 @@ class BlockScheduler {
       it->second.rf_writes.assign(machine_.rfs.size(), 0);
     }
     return it->second;
+  }
+
+  /// Record a rejected placement attempt at cycle `c`; the highest-priority
+  /// conflict per cycle wins (conflict_rank).
+  void note_conflict(std::int64_t c, prof::Cause cause) {
+    auto [it, inserted] = conflict_.try_emplace(c, static_cast<std::uint8_t>(cause));
+    if (!inserted && conflict_rank(cause) > conflict_rank(static_cast<prof::Cause>(it->second))) {
+      it->second = static_cast<std::uint8_t>(cause);
+    }
   }
 
   bool src_matches(const mach::Bus& bus, const MoveSrc& src) const {
@@ -214,6 +240,7 @@ class BlockScheduler {
         }
         if (extra < 0) {
           ++stats_.fail_long_imm;
+          note_conflict(c, prof::Cause::LongImm);
           continue;
         }
         bus_out = static_cast<int>(b);
@@ -225,6 +252,7 @@ class BlockScheduler {
       return true;
     }
     ++stats_.fail_no_bus;
+    note_conflict(c, prof::Cause::Bus);
     return false;
   }
 
@@ -262,13 +290,19 @@ class BlockScheduler {
   bool rf_read_ok(std::int64_t c, int rf) {
     const bool ok = cycle_state(c).rf_reads[static_cast<std::size_t>(rf)] <
                     machine_.rfs[static_cast<std::size_t>(rf)].read_ports;
-    if (!ok) ++stats_.fail_rf_read_port;
+    if (!ok) {
+      ++stats_.fail_rf_read_port;
+      note_conflict(c, prof::Cause::RfReadPort);
+    }
     return ok;
   }
   bool rf_write_ok(std::int64_t c, int rf) {
     const bool ok = cycle_state(c).rf_writes[static_cast<std::size_t>(rf)] <
                     machine_.rfs[static_cast<std::size_t>(rf)].write_ports;
-    if (!ok) ++stats_.fail_rf_write_port;
+    if (!ok) {
+      ++stats_.fail_rf_write_port;
+      note_conflict(c, prof::Cause::RfWritePort);
+    }
     return ok;
   }
 
@@ -559,6 +593,8 @@ class BlockScheduler {
   std::map<PhysReg, std::uint32_t> pending_def_;
   std::vector<std::pair<std::int64_t, Move>> moves_;
   std::int64_t max_move_cycle_ = -1;
+  /// Rejected-placement causes per cycle (highest conflict_rank wins).
+  std::map<std::int64_t, std::uint8_t> conflict_;
 
   // Trace scheduling state (empty / unused for plain single-block runs).
   std::vector<std::uint32_t> region_of_;
@@ -1116,6 +1152,56 @@ BlockScheduler::Result BlockScheduler::run() {
     // A taken side exit's delay slots must stay inside the block.
     out.length = std::max(out.length, max_interior_exit_ + machine_.delay_slots + 1);
   }
+
+  // Static per-cycle empty-slot cause annotation (prof/cause.hpp). Recorded
+  // resource conflicts win; an unexplained empty cycle inside a control
+  // transfer's delay slots is branch overhead, inside an FU's latency
+  // shadow it is a latency wait, and anything left is a dependence stall.
+  // Cycles that carry moves keep their conflict cause (why the REST of the
+  // cycle's slots went unused) or default to Frontend.
+  {
+    const std::size_t len = static_cast<std::size_t>(out.length);
+    std::vector<bool> busy(len, false);
+    for (const auto& [cycle, mv] : moves_) {
+      if (cycle >= 0 && static_cast<std::size_t>(cycle) < len) {
+        busy[static_cast<std::size_t>(cycle)] = true;
+      }
+    }
+    std::vector<bool> branch_shadow(len, false);
+    std::vector<bool> fu_shadow(len, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const OpSched& s = sched_[i];
+      if (s.trigger == kNoCycle) continue;
+      if (is_control[i]) {
+        for (std::int64_t c = s.trigger + 1;
+             c <= s.trigger + machine_.delay_slots && c < out.length; ++c) {
+          branch_shadow[static_cast<std::size_t>(c)] = true;
+        }
+      } else if (s.fu >= 0 && s.comp != kNoCycle) {
+        for (std::int64_t c = s.trigger + 1; c < s.comp && c < out.length; ++c) {
+          fu_shadow[static_cast<std::size_t>(c)] = true;
+        }
+      }
+    }
+    out.cycle_cause.resize(len);
+    for (std::size_t c = 0; c < len; ++c) {
+      const auto it = conflict_.find(static_cast<std::int64_t>(c));
+      std::uint8_t cause;
+      if (it != conflict_.end()) {
+        cause = it->second;
+      } else if (busy[c]) {
+        cause = static_cast<std::uint8_t>(prof::Cause::Frontend);
+      } else if (branch_shadow[c]) {
+        cause = static_cast<std::uint8_t>(prof::Cause::Branch);
+      } else if (fu_shadow[c]) {
+        cause = static_cast<std::uint8_t>(prof::Cause::FuLatency);
+      } else {
+        cause = static_cast<std::uint8_t>(prof::Cause::Dep);
+      }
+      out.cycle_cause[c] = cause;
+    }
+  }
+
   out.moves = std::move(moves_);
   return out;
 }
@@ -1186,6 +1272,11 @@ TtaProgram schedule_tta(const codegen::MFunction& func, const Machine& machine,
                            std::move(interior_exits));
       BlockScheduler::Result r = sched.run();
       prog.instrs.resize(base_pc + static_cast<std::size_t>(r.length));
+      prog.stall_cause.resize(prog.instrs.size(),
+                              static_cast<std::uint8_t>(prof::Cause::Dep));
+      for (std::size_t i = 0; i < r.cycle_cause.size(); ++i) {
+        prog.stall_cause[base_pc + i] = r.cycle_cause[i];
+      }
       for (auto& [cycle, mv] : r.moves) {
         TTSC_ASSERT(cycle >= 0 && cycle < r.length, "move outside block window");
         prog.instrs[base_pc + static_cast<std::size_t>(cycle)].moves.push_back(mv);
@@ -1199,6 +1290,11 @@ TtaProgram schedule_tta(const codegen::MFunction& func, const Machine& machine,
 
     const std::size_t base = prog.instrs.size();
     prog.instrs.resize(base + static_cast<std::size_t>(r.length));
+    prog.stall_cause.resize(prog.instrs.size(),
+                            static_cast<std::uint8_t>(prof::Cause::Dep));
+    for (std::size_t i = 0; i < r.cycle_cause.size(); ++i) {
+      prog.stall_cause[base + i] = r.cycle_cause[i];
+    }
     for (auto& [cycle, mv] : r.moves) {
       TTSC_ASSERT(cycle >= 0 && cycle < r.length, "move outside block window");
       prog.instrs[base + static_cast<std::size_t>(cycle)].moves.push_back(mv);

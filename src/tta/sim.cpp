@@ -96,17 +96,28 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
     predecoded_ = std::make_shared<const sim::PredecodedTta>(sim::predecode(program_, machine_));
   }
   const bool harden = options_.harden || options_.faults != nullptr;
-  if (options_.observer != nullptr) {
-    return harden ? run_fast<true, true>(max_cycles) : run_fast<true, false>(max_cycles);
+  if (options_.profile != nullptr) {
+    if (options_.observer != nullptr) {
+      return harden ? run_fast<true, true, true>(max_cycles)
+                    : run_fast<true, false, true>(max_cycles);
+    }
+    return harden ? run_fast<false, true, true>(max_cycles)
+                  : run_fast<false, false, true>(max_cycles);
   }
-  return harden ? run_fast<false, true>(max_cycles) : run_fast<false, false>(max_cycles);
+  if (options_.observer != nullptr) {
+    return harden ? run_fast<true, true, false>(max_cycles)
+                  : run_fast<true, false, false>(max_cycles);
+  }
+  return harden ? run_fast<false, true, false>(max_cycles)
+                : run_fast<false, false, false>(max_cycles);
 }
 
-template <bool kObserve, bool kHarden>
+template <bool kObserve, bool kHarden, bool kProfile>
 ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
   using sim::TtaPMove;
   const sim::PredecodedTta& pre = *predecoded_;
   sim::ExecObserver* const obs = options_.observer;
+  sim::ProfileCounts* const prof = options_.profile;
   const std::size_t nfus = machine_.fus.size();
   const std::uint64_t ring = static_cast<std::uint64_t>(pre.ring);
   const std::size_t num_instrs = pre.num_instrs();
@@ -157,6 +168,7 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
   std::size_t pc = 0;
   int transfer_in = -1;
   std::size_t transfer_target = 0;
+  [[maybe_unused]] std::uint32_t last_arch = 0;
 
   // Transport occupancy (result.moves / bus_moves) counts every move of an
   // executed instruction, squashed ones included — a static per-instruction
@@ -164,6 +176,20 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
   // occupancy totals are folded in at halt.
   std::vector<std::uint64_t> instr_exec(num_instrs, 0ull);
   auto capture_state = [&] {
+    if constexpr (kProfile) {
+      // Writes still pending at halt never commit (the observer's
+      // on_rf_write never fires for them either).
+      for (const std::vector<RfWrite>& pend : rf_pending) {
+        for (const RfWrite& w : pend) {
+          ++prof->uncommitted_rf_writes[static_cast<std::size_t>(w.rf)];
+        }
+      }
+      prof->final_pc = last_arch;
+      prof->end_pc = static_cast<std::uint32_t>(pc);
+      prof->end_transfer_in = transfer_in;
+      prof->end_transfer_target =
+          transfer_in >= 0 ? static_cast<std::int32_t>(transfer_target) : -1;
+    }
     result.rf_state = rf;
     result.guard_state = guard_regs;
     for (std::size_t i = 0; i < num_instrs; ++i) {
@@ -264,6 +290,13 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
         // (the profile layer relies on this for clean IR-level edges).
         const std::int32_t blk = transfer_in < 0 ? entry_of[pc] : -1;
         if (blk >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(blk));
+        obs->on_exec(cycle, static_cast<std::uint32_t>(pc), transfer_in >= 0);
+      }
+      if constexpr (kProfile) {
+        // Register-only: derive_profile reconstructs the per-pc execution
+        // counts from the taken-transfer counters, so the hot loop touches
+        // no profile memory per cycle.
+        if (transfer_in < 0) last_arch = static_cast<std::uint32_t>(pc);
       }
       const std::uint32_t begin = pre.instr_begin[pc];
       const std::uint32_t end = pre.instr_begin[pc + 1];
@@ -278,6 +311,9 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
           const bool g = guard_regs[static_cast<std::size_t>(mv.guard)] != 0;
           if (g == mv.guard_negate) {  // squashed
             if constexpr (kObserve) obs->on_guard_squash(cycle, mv.bus);
+            if constexpr (kProfile) {
+              ++prof->squash[2 * static_cast<std::size_t>(m) + (transfer_in >= 0 ? 1u : 0u)];
+            }
             continue;
           }
         }
@@ -324,11 +360,17 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
             case TtaPMove::Fire::Jump:
               transfer_in = machine_.delay_slots;
               transfer_target = mv.target_pc;
+              if constexpr (kProfile) {
+                ++prof->taken[static_cast<std::size_t>(f.mv - pre.moves.data())];
+              }
               break;
             case TtaPMove::Fire::Bnz:
               if (fu_operand[fu] != 0) {
                 transfer_in = machine_.delay_slots;
                 transfer_target = mv.target_pc;
+                if constexpr (kProfile) {
+                  ++prof->taken[static_cast<std::size_t>(f.mv - pre.moves.data())];
+                }
               }
               break;
             case TtaPMove::Fire::Ret:
@@ -413,6 +455,21 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
 
 ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
   sim::ExecObserver* const obs = options_.observer;
+  sim::ProfileCounts* const prof = options_.profile;
+  // Flat program-order move indices for the squash and taken-transfer
+  // counters — the same numbering the predecoded path gets for free
+  // (predecode emits exactly one record per source move, trap markers
+  // included).
+  std::vector<std::uint32_t> move_begin;
+  if (prof != nullptr) {
+    move_begin.reserve(program_.instrs.size() + 1);
+    std::uint32_t flat = 0;
+    move_begin.push_back(0);
+    for (const TtaInstruction& in : program_.instrs) {
+      flat += static_cast<std::uint32_t>(in.moves.size());
+      move_begin.push_back(flat);
+    }
+  }
   std::vector<std::vector<std::uint32_t>> rfs;
   for (const mach::RegisterFile& rf : machine_.rfs) {
     rfs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
@@ -429,8 +486,23 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
   std::size_t pc = 0;
   int transfer_in = -1;
   std::size_t transfer_target = 0;
+  std::uint32_t last_arch = 0;
 
   auto capture_state = [&] {
+    if (prof != nullptr) {
+      // Writes still in flight at halt were issued but never committed —
+      // same one-time fill as the fast loop's capture_state.
+      auto pend = rf_pending;
+      while (!pend.empty()) {
+        ++prof->uncommitted_rf_writes[static_cast<std::size_t>(pend.top().rf)];
+        pend.pop();
+      }
+      prof->final_pc = last_arch;
+      prof->end_pc = static_cast<std::uint32_t>(pc);
+      prof->end_transfer_in = transfer_in;
+      prof->end_transfer_target =
+          transfer_in >= 0 ? static_cast<std::int32_t>(transfer_target) : -1;
+    }
     result.rf_state.clear();
     for (const auto& rf : rfs) result.rf_state.insert(result.rf_state.end(), rf.begin(), rf.end());
     result.guard_state.clear();
@@ -487,6 +559,7 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
     Opcode op;
     std::uint32_t value;
     std::uint32_t target_block;
+    std::uint32_t flat;  // flat program-order move index (profiling only)
     bool is_control;
   };
 
@@ -520,9 +593,13 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < program_.instrs.size()) {
-      if (obs != nullptr && transfer_in < 0 && entry_of[pc] >= 0) {
-        obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+      if (obs != nullptr) {
+        if (transfer_in < 0 && entry_of[pc] >= 0) {
+          obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+        }
+        obs->on_exec(cycle, static_cast<std::uint32_t>(pc), transfer_in >= 0);
       }
+      if (prof != nullptr && transfer_in < 0) last_arch = static_cast<std::uint32_t>(pc);
       const TtaInstruction& instr = program_.instrs[pc];
       result.moves += instr.moves.size();
       for (const Move& mv : instr.moves) {
@@ -539,7 +616,8 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
       // index traps unconditionally, any other illegal field traps unless a
       // valid guard squashed the move.
       std::vector<TriggerFire> fires;
-      for (const Move& mv : instr.moves) {
+      for (std::size_t mi = 0; mi < instr.moves.size(); ++mi) {
+        const Move& mv = instr.moves[mi];
         const int bus =
             (mv.bus >= 0 && static_cast<std::size_t>(mv.bus) < result.bus_moves.size()) ? mv.bus
                                                                                         : -1;
@@ -553,6 +631,10 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
           const bool g = guard_regs[static_cast<std::size_t>(mv.guard)];
           if (g == mv.guard_negate) {  // squashed
             if (obs != nullptr) obs->on_guard_squash(cycle, mv.bus);
+            if (prof != nullptr) {
+              ++prof->squash[2 * static_cast<std::size_t>(move_begin[pc] + mi) +
+                             (transfer_in >= 0 ? 1u : 0u)];
+            }
             continue;
           }
         }
@@ -588,8 +670,10 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
             guard_pending.emplace_back(mv.dst.unit, value != 0);
             break;
           case MoveDst::Kind::FuTrigger:
-            fires.push_back(
-                TriggerFire{mv.dst.unit, mv.dst.opcode, value, mv.target, mv.is_control});
+            fires.push_back(TriggerFire{
+                mv.dst.unit, mv.dst.opcode, value, mv.target,
+                prof != nullptr ? move_begin[pc] + static_cast<std::uint32_t>(mi) : 0u,
+                mv.is_control});
             break;
         }
       }
@@ -603,11 +687,13 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
             case Opcode::Jump:
               transfer_in = machine_.delay_slots;
               transfer_target = program_.block_entry[f.target_block];
+              if (prof != nullptr) ++prof->taken[f.flat];
               break;
             case Opcode::Bnz:
               if (fu.operand != 0) {
                 transfer_in = machine_.delay_slots;
                 transfer_target = program_.block_entry[f.target_block];
+                if (prof != nullptr) ++prof->taken[f.flat];
               }
               break;
             case Opcode::Ret:

@@ -93,6 +93,12 @@ struct TtaInstruction {
 struct TtaProgram {
   std::vector<TtaInstruction> instrs;
   std::vector<std::uint32_t> block_entry;
+  /// Static empty-slot cause per instruction (one prof::Cause byte per pc),
+  /// recorded by the scheduler: why this cycle slot was not (fully) used —
+  /// a recorded resource conflict, a control delay slot, an FU-latency
+  /// shadow, or a plain dependence. Empty for hand-built programs; the
+  /// profiler then falls back to Dep/Frontend defaults.
+  std::vector<std::uint8_t> stall_cause;
 };
 
 struct TtaOptions {
@@ -191,7 +197,7 @@ class TtaSim {
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
-  template <bool kObserve, bool kHarden>
+  template <bool kObserve, bool kHarden, bool kProfile>
   ExecResult run_fast(std::uint64_t max_cycles);
   ExecResult run_reference(std::uint64_t max_cycles);
 

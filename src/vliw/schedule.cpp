@@ -4,6 +4,7 @@
 #include "codegen/ddg.hpp"
 #include "obs/trace.hpp"
 #include "opt/superblock.hpp"
+#include "prof/cause.hpp"
 #include "support/bits.hpp"
 #include "support/strings.hpp"
 #include "vliw/vliw.hpp"
@@ -19,7 +20,17 @@ using mach::Machine;
 
 namespace {
 
-constexpr int kVliwSimmBits = 8;
+/// Attribution priority among recorded per-cycle resource conflicts (see
+/// the identical helper in tta/schedule.cpp and DESIGN.md).
+int conflict_rank(prof::Cause c) {
+  switch (c) {
+    case prof::Cause::RfWritePort: return 4;
+    case prof::Cause::RfReadPort: return 3;
+    case prof::Cause::LongImm: return 2;
+    case prof::Cause::Bus: return 1;
+    default: return 0;
+  }
+}
 
 /// Latency used for scheduling: pseudo ops (MovI/Copy) execute on an ALU as
 /// single-cycle operations in the operation-triggered models.
@@ -87,6 +98,10 @@ class BlockScheduler {
     std::vector<int> fu;              // chosen FU
     std::vector<int> slot;            // chosen slot
     std::int64_t length = 0;
+    /// Per-cycle static attribution (prof::Cause byte per bundle): recorded
+    /// resource conflict > Frontend (cycle has issued ops) > Branch (delay
+    /// slot) > FuLatency (result shadow) > Dep.
+    std::vector<std::uint8_t> cycle_cause;
   };
 
   Result run();
@@ -103,12 +118,13 @@ class BlockScheduler {
     return it->second;
   }
 
-  bool needs_wide_imm(const MInstr& in) const {
-    if (ir::is_branch(in.op) || in.op == Opcode::Ret) return false;
-    for (const MOperand& s : in.srcs) {
-      if (s.is_imm() && !fits_signed(s.imm, kVliwSimmBits)) return true;
+  /// Record a rejected placement attempt at cycle `c`; the highest-priority
+  /// conflict per cycle wins (conflict_rank).
+  void note_conflict(std::int64_t c, prof::Cause cause) {
+    auto [it, inserted] = conflict_.try_emplace(c, static_cast<std::uint8_t>(cause));
+    if (!inserted && conflict_rank(cause) > conflict_rank(static_cast<prof::Cause>(it->second))) {
+      it->second = static_cast<std::uint8_t>(cause);
     }
-    return false;
   }
 
   /// Try to place instruction `node` at `cycle`; returns (slot, fu) or
@@ -125,6 +141,7 @@ class BlockScheduler {
     for (std::size_t f = 0; f < machine_.rfs.size(); ++f) {
       if (r.rf_reads[f] + reads[f] > machine_.rfs[f].read_ports) {
         ++stats_.fail_rf_read_port;
+        note_conflict(cycle, prof::Cause::RfReadPort);
         return std::nullopt;
       }
     }
@@ -136,6 +153,7 @@ class BlockScheduler {
       if (w.rf_writes[static_cast<std::size_t>(in.dst.rf)] >=
           machine_.rfs[static_cast<std::size_t>(in.dst.rf)].write_ports) {
         ++stats_.fail_rf_write_port;
+        note_conflict(commit, prof::Cause::RfWritePort);
         return std::nullopt;
       }
     }
@@ -154,6 +172,7 @@ class BlockScheduler {
     }
     if (chosen_slot < 0) {
       ++stats_.fail_no_slot;
+      note_conflict(cycle, prof::Cause::Bus);
       return std::nullopt;
     }
     // A wide immediate is spread over one additional (otherwise idle) slot.
@@ -167,6 +186,7 @@ class BlockScheduler {
       }
       if (imm_slot < 0) {
         ++stats_.fail_wide_imm;
+        note_conflict(cycle, prof::Cause::LongImm);
         return std::nullopt;
       }
     }
@@ -187,6 +207,8 @@ class BlockScheduler {
   std::map<std::int64_t, CycleResources> resources_;
   std::vector<std::uint32_t> region_of_;
   std::vector<std::uint32_t> interior_exits_;
+  /// Highest-priority placement conflict recorded per probed cycle.
+  std::map<std::int64_t, std::uint8_t> conflict_;
 };
 
 BlockScheduler::Result BlockScheduler::run() {
@@ -330,6 +352,48 @@ BlockScheduler::Result BlockScheduler::run() {
     // A taken side exit's delay slots must stay inside the block.
     out.length = std::max(out.length, max_interior_exit + machine_.delay_slots + 1);
   }
+
+  // Static per-cycle attribution for the profiler: why is each bundle
+  // cycle in this block not (fully) issuing useful work? Priority:
+  // recorded resource conflict > Frontend (ops did issue here; remaining
+  // empty slots are an encoding/issue-width artifact) > Branch delay slot >
+  // FU-latency shadow > plain dependence.
+  {
+    const std::size_t len = static_cast<std::size_t>(out.length);
+    std::vector<bool> busy(len, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (out.cycle[i] >= 0 && static_cast<std::size_t>(out.cycle[i]) < len) {
+        busy[static_cast<std::size_t>(out.cycle[i])] = true;
+      }
+    }
+    std::vector<bool> branch_shadow(len, false);
+    std::vector<bool> fu_shadow(len, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (out.cycle[i] < 0) continue;
+      if (is_control[i]) {
+        for (std::int64_t c = out.cycle[i] + 1;
+             c <= out.cycle[i] + machine_.delay_slots && c < out.length; ++c) {
+          branch_shadow[static_cast<std::size_t>(c)] = true;
+        }
+      } else if (block_.instrs[i].has_dst()) {
+        const std::int64_t lat = op_latency(machine_, block_.instrs[i].op);
+        for (std::int64_t c = out.cycle[i] + 1; c < out.cycle[i] + lat && c < out.length; ++c) {
+          fu_shadow[static_cast<std::size_t>(c)] = true;
+        }
+      }
+    }
+    out.cycle_cause.resize(len);
+    for (std::size_t c = 0; c < len; ++c) {
+      const auto it = conflict_.find(static_cast<std::int64_t>(c));
+      std::uint8_t cause;
+      if (it != conflict_.end()) cause = it->second;
+      else if (busy[c]) cause = static_cast<std::uint8_t>(prof::Cause::Frontend);
+      else if (branch_shadow[c]) cause = static_cast<std::uint8_t>(prof::Cause::Branch);
+      else if (fu_shadow[c]) cause = static_cast<std::uint8_t>(prof::Cause::FuLatency);
+      else cause = static_cast<std::uint8_t>(prof::Cause::Dep);
+      out.cycle_cause[c] = cause;
+    }
+  }
   return out;
 }
 
@@ -396,6 +460,10 @@ VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine
 
     const std::size_t base = prog.bundles.size();
     prog.bundles.resize(base + static_cast<std::size_t>(r.length));
+    prog.stall_cause.resize(prog.bundles.size(), static_cast<std::uint8_t>(prof::Cause::Dep));
+    for (std::size_t i = 0; i < r.cycle_cause.size(); ++i) {
+      prog.stall_cause[base + i] = r.cycle_cause[i];
+    }
     for (std::size_t i = base; i < prog.bundles.size(); ++i) {
       prog.bundles[i].slots.resize(static_cast<std::size_t>(prog.num_slots));
     }
@@ -413,6 +481,14 @@ VliwProgram schedule_vliw(const codegen::MFunction& func, const Machine& machine
   st.ops = totals.ops;
   st.fill_rate = totals.fill_rate;
   return prog;
+}
+
+bool needs_wide_imm(const codegen::MInstr& in) {
+  if (ir::is_branch(in.op) || in.op == Opcode::Ret) return false;
+  for (const MOperand& s : in.srcs) {
+    if (s.is_imm() && !fits_signed(s.imm, kVliwSimmBits)) return true;
+  }
+  return false;
 }
 
 ScheduleStats stats_of(const VliwProgram& program) {

@@ -62,17 +62,28 @@ ExecResult VliwSim::run(std::uint64_t max_cycles) {
     predecoded_ = std::make_shared<const sim::PredecodedVliw>(sim::predecode(program_, machine_));
   }
   const bool harden = options_.harden || options_.faults != nullptr;
-  if (options_.observer != nullptr) {
-    return harden ? run_fast<true, true>(max_cycles) : run_fast<true, false>(max_cycles);
+  if (options_.profile != nullptr) {
+    if (options_.observer != nullptr) {
+      return harden ? run_fast<true, true, true>(max_cycles)
+                    : run_fast<true, false, true>(max_cycles);
+    }
+    return harden ? run_fast<false, true, true>(max_cycles)
+                  : run_fast<false, false, true>(max_cycles);
   }
-  return harden ? run_fast<false, true>(max_cycles) : run_fast<false, false>(max_cycles);
+  if (options_.observer != nullptr) {
+    return harden ? run_fast<true, true, false>(max_cycles)
+                  : run_fast<true, false, false>(max_cycles);
+  }
+  return harden ? run_fast<false, true, false>(max_cycles)
+                : run_fast<false, false, false>(max_cycles);
 }
 
-template <bool kObserve, bool kHarden>
+template <bool kObserve, bool kHarden, bool kProfile>
 ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
   using sim::VliwPOp;
   const sim::PredecodedVliw& pre = *predecoded_;
   sim::ExecObserver* const obs = options_.observer;
+  sim::ProfileCounts* const prof = options_.profile;
   const std::uint64_t ring = static_cast<std::uint64_t>(pre.ring);
   const std::size_t num_bundles = pre.num_bundles();
 
@@ -100,8 +111,26 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
   std::size_t pc = 0;
   int transfer_in = -1;
   std::size_t transfer_target = 0;
+  [[maybe_unused]] std::uint32_t last_arch = 0;
 
-  auto capture_state = [&] { result.rf_state = regs; };
+  auto capture_state = [&] {
+    if constexpr (kProfile) {
+      // Writes still in the ring at halt were issued but never committed —
+      // the one-time fill the derivation needs to truncate rf_writes.
+      for (std::size_t r = 0; r < ring; ++r) {
+        const Write* const row = &wb[r * row_cap];
+        for (std::uint32_t i = 0; i < wb_count[r]; ++i) {
+          ++prof->uncommitted_rf_writes[static_cast<std::size_t>(row[i].rf)];
+        }
+      }
+      prof->final_pc = last_arch;
+      prof->end_pc = static_cast<std::uint32_t>(pc);
+      prof->end_transfer_in = transfer_in;
+      prof->end_transfer_target =
+          transfer_in >= 0 ? static_cast<std::int32_t>(transfer_target) : -1;
+    }
+    result.rf_state = regs;
+  };
 
   auto set_trap = [&](sim::TrapReason reason, int unit, std::uint32_t detail) {
     result.status = sim::ExecStatus::Trapped;
@@ -170,6 +199,13 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
         // the TTA fast loop.
         const std::int32_t blk = transfer_in < 0 ? entry_of[pc] : -1;
         if (blk >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(blk));
+        obs->on_exec(cycle, static_cast<std::uint32_t>(pc), transfer_in >= 0);
+      }
+      if constexpr (kProfile) {
+        // Register-only: derive_profile reconstructs the per-pc execution
+        // counts from the taken-transfer counters, so the hot loop touches
+        // no profile memory per cycle.
+        if (transfer_in < 0) last_arch = static_cast<std::uint32_t>(pc);
       }
       const std::uint32_t begin = pre.bundle_begin[pc];
       const std::uint32_t end = pre.bundle_begin[pc + 1];
@@ -241,11 +277,13 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
           case Opcode::Jump:
             transfer_in = machine_.delay_slots;
             transfer_target = op.target_pc;
+            if constexpr (kProfile) ++prof->taken[i];
             break;
           case Opcode::Bnz:
             if (a != 0) {
               transfer_in = machine_.delay_slots;
               transfer_target = op.target_pc;
+              if constexpr (kProfile) ++prof->taken[i];
             }
             break;
           case Opcode::Ret:
@@ -290,6 +328,22 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
 
 ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
   sim::ExecObserver* const obs = options_.observer;
+  sim::ProfileCounts* const prof = options_.profile;
+  // Flat program-order op indices over the filled slots, for the
+  // taken-transfer counters — the same numbering the predecoded path gets
+  // for free (predecode emits exactly one record per filled slot, trap
+  // markers included).
+  std::vector<std::uint32_t> op_begin;
+  if (prof != nullptr) {
+    op_begin.reserve(program_.bundles.size());
+    std::uint32_t flat = 0;
+    for (const Bundle& bun : program_.bundles) {
+      op_begin.push_back(flat);
+      for (const auto& slot : bun.slots) {
+        if (slot.has_value()) ++flat;
+      }
+    }
+  }
   std::vector<std::vector<std::uint32_t>> regs;
   for (const mach::RegisterFile& rf : machine_.rfs) {
     regs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
@@ -310,8 +364,22 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
   // Pending control transfer: counts down delay slots.
   int transfer_in = -1;
   std::size_t transfer_target = 0;
+  std::uint32_t last_arch = 0;
 
   auto capture_state = [&] {
+    if (prof != nullptr) {
+      // Same one-time uncommitted-writes fill as the fast loop.
+      auto pend = pending;
+      while (!pend.empty()) {
+        ++prof->uncommitted_rf_writes[static_cast<std::size_t>(pend.top().reg.rf)];
+        pend.pop();
+      }
+      prof->final_pc = last_arch;
+      prof->end_pc = static_cast<std::uint32_t>(pc);
+      prof->end_transfer_in = transfer_in;
+      prof->end_transfer_target =
+          transfer_in >= 0 ? static_cast<std::int32_t>(transfer_target) : -1;
+    }
     result.rf_state.clear();
     for (const auto& rf : regs) result.rf_state.insert(result.rf_state.end(), rf.begin(), rf.end());
   };
@@ -369,12 +437,18 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < program_.bundles.size()) {
-      if (obs != nullptr && transfer_in < 0 && entry_of[pc] >= 0) {
-        obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+      if (obs != nullptr) {
+        if (transfer_in < 0 && entry_of[pc] >= 0) {
+          obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
+        }
+        obs->on_exec(cycle, static_cast<std::uint32_t>(pc), transfer_in >= 0);
       }
+      if (prof != nullptr && transfer_in < 0) last_arch = static_cast<std::uint32_t>(pc);
       const Bundle& bundle = program_.bundles[pc];
+      std::uint32_t flat = prof != nullptr ? op_begin[pc] : 0u;
       for (const auto& slot : bundle.slots) {
         if (!slot.has_value()) continue;
+        const std::uint32_t my_flat = flat++;
         const MInstr& in = slot->instr;
         const bool is_control = ir::is_branch(in.op) || in.op == Opcode::Ret;
         // A resolved transfer squashes younger control ops in its shadow.
@@ -444,11 +518,13 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
           case Opcode::Jump:
             transfer_in = machine_.delay_slots;
             transfer_target = program_.block_entry[in.targets[0]];
+            if (prof != nullptr) ++prof->taken[my_flat];
             break;
           case Opcode::Bnz:
             if (a != 0) {
               transfer_in = machine_.delay_slots;
               transfer_target = program_.block_entry[in.targets[0]];
+              if (prof != nullptr) ++prof->taken[my_flat];
             }
             break;
           case Opcode::Ret:

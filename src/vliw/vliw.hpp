@@ -43,9 +43,22 @@ struct VliwProgram {
   std::vector<Bundle> bundles;
   std::vector<std::uint32_t> block_entry;  // block -> first bundle index
   int num_slots = 0;
+  /// Static empty-slot cause per bundle (one prof::Cause byte per pc),
+  /// recorded by the scheduler: why this issue cycle was not (fully) used.
+  /// Empty for hand-built programs; the profiler then falls back to
+  /// Dep/Frontend defaults.
+  std::vector<std::uint8_t> stall_cause;
 
   std::uint64_t num_bundles() const { return bundles.size(); }
 };
+
+/// Signed short-immediate width of a VLIW slot's source fields; a wider
+/// immediate spreads over one additional (otherwise idle) issue slot.
+inline constexpr int kVliwSimmBits = 8;
+
+/// Whether `in` carries an immediate operand too wide for the slot's
+/// short-immediate field (branch targets are label fields, never wide).
+bool needs_wide_imm(const codegen::MInstr& in);
 
 struct ScheduleStats {
   std::uint64_t bundles = 0;
@@ -131,7 +144,7 @@ class VliwSim {
   ExecResult run(std::uint64_t max_cycles = 2'000'000'000ull);
 
  private:
-  template <bool kObserve, bool kHarden>
+  template <bool kObserve, bool kHarden, bool kProfile>
   ExecResult run_fast(std::uint64_t max_cycles);
   ExecResult run_reference(std::uint64_t max_cycles);
 

@@ -1,0 +1,92 @@
+// Counter-name hygiene: every metric name any subsystem records must be
+// documented in obs/counter_names.hpp, names must not collide, and the
+// pattern matcher must behave. The sweep test runs the full grid with
+// every collector enabled, so adding an instrumentation site without
+// documenting its name fails here.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "obs/counter_names.hpp"
+#include "obs/metrics.hpp"
+#include "report/parallel_runner.hpp"
+#include "resil/campaign.hpp"
+
+namespace ttsc::obs {
+namespace {
+
+TEST(Table, NoCollisions) {
+  std::set<std::string> seen;
+  for (const CounterDoc& doc : counter_docs()) {
+    EXPECT_TRUE(seen.insert(doc.name).second) << "duplicate documented name: " << doc.name;
+    EXPECT_FALSE(doc.doc.empty()) << doc.name << " has no documentation";
+  }
+  // No exact name may also be matched by another entry's <i> pattern —
+  // that would make the table ambiguous about which doc applies.
+  for (const CounterDoc& pattern : counter_docs()) {
+    if (pattern.name.find("<i>") == std::string::npos) continue;
+    for (const CounterDoc& doc : counter_docs()) {
+      if (&doc == &pattern) continue;
+      EXPECT_FALSE(matches_counter_pattern(pattern.name, doc.name))
+          << doc.name << " shadowed by pattern " << pattern.name;
+    }
+  }
+}
+
+TEST(Patterns, DigitPlaceholderMatching) {
+  EXPECT_TRUE(matches_counter_pattern("regalloc.spills.rf<i>", "regalloc.spills.rf0"));
+  EXPECT_TRUE(matches_counter_pattern("regalloc.spills.rf<i>", "regalloc.spills.rf12"));
+  EXPECT_FALSE(matches_counter_pattern("regalloc.spills.rf<i>", "regalloc.spills.rf"));
+  EXPECT_FALSE(matches_counter_pattern("regalloc.spills.rf<i>", "regalloc.spills.rfx"));
+  EXPECT_FALSE(matches_counter_pattern("regalloc.spills.rf<i>", "regalloc.spills.rf0x"));
+  EXPECT_TRUE(matches_counter_pattern("plain.name", "plain.name"));
+  EXPECT_FALSE(matches_counter_pattern("plain.name", "plain.names"));
+}
+
+TEST(Patterns, SpotChecksAgainstTheTable) {
+  EXPECT_TRUE(is_documented_counter("cells.run"));
+  EXPECT_TRUE(is_documented_counter("cell.cycles"));
+  EXPECT_TRUE(is_documented_counter("opt.licm.calls"));
+  EXPECT_TRUE(is_documented_counter("regalloc.spills.rf3"));
+  EXPECT_TRUE(is_documented_counter("tta.schedule.fail.rf_write_port"));
+  EXPECT_TRUE(is_documented_counter("sched.superblock.formed"));
+  EXPECT_TRUE(is_documented_counter("sim.guard_squashes"));
+  EXPECT_TRUE(is_documented_counter("prof.cycles.bus"));
+  EXPECT_TRUE(is_documented_counter("prof.static.slot_capacity"));
+  EXPECT_TRUE(is_documented_counter("resil.fu-result.sdc"));
+  EXPECT_FALSE(is_documented_counter("bogus.counter"));
+  EXPECT_FALSE(is_documented_counter("prof.cycles.bogus"));
+}
+
+/// The enforcement sweep: the full grid with utilization and profile
+/// collection on, plus a resilience campaign — every name landing in the
+/// merged registries must be documented.
+TEST(Sweep, EveryRecordedNameIsDocumented) {
+  Registry registry;
+  sim::SimOptions sim;
+  sim.collect_utilization = true;
+  sim.collect_profile = true;
+  report::ParallelRunner runner({.threads = 4, .sim = sim, .registry = &registry});
+  runner.run();
+
+  resil::CampaignOptions campaign;
+  campaign.injections_per_cell = 8;
+  campaign.machines = {"m-tta-2"};
+  campaign.workloads = {"sha"};
+  campaign.registry = &registry;
+  resil::run_campaign(campaign);
+
+  EXPECT_FALSE(registry.empty());
+  for (const auto& [name, value] : registry.counters()) {
+    EXPECT_TRUE(is_documented_counter(name)) << "undocumented counter: " << name;
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    EXPECT_TRUE(is_documented_counter(name)) << "undocumented histogram: " << name;
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    EXPECT_TRUE(is_documented_counter(name)) << "undocumented gauge: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace ttsc::obs

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <type_traits>
 
 #include "codegen/legalize.hpp"
+#include "prof/prof.hpp"
 #include "codegen/lower.hpp"
 #include "ir/builder.hpp"
 #include "ir/interp.hpp"
@@ -308,6 +310,117 @@ TEST(FastPathDifferential, CycleExactOnAllMachineConfigs) {
         }
       }
       if (!(fast_mem == ref_mem)) fail(machine, "memory image mismatch");
+    }
+  });
+  for (std::size_t i = 0; i < kCorpusSize; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << failures[i];
+  }
+}
+
+/// Profile differential fleet: the cycle-attribution profiler consumes the
+/// same observer event stream on the fast path and the reference
+/// interpreter loop, so for every corpus seed, on every machine the paper
+/// evaluates (plus the guarded-TTA variants), the serialized CellProfile
+/// must be byte-identical between the two paths — and on every Ok run the
+/// nine cause buckets must partition the cycle count exactly. Any
+/// path-dependent event (a move reported on one path but not the other, an
+/// exec cycle classified differently, a block entry firing inside a delay
+/// shadow) shows up here as a serialize() diff.
+TEST(ProfileDifferential, ByteIdenticalFastVsReferenceOnAllMachineConfigs) {
+  constexpr std::uint64_t kCorpusSize = 64;
+  std::vector<mach::Machine> machines = mach::all_machines();
+  machines.push_back(mach::machine_by_name("g-tta-2"));
+  machines.push_back(mach::machine_by_name("g-tta-3"));
+
+  // gtest assertions are not guaranteed thread-safe: workers write one
+  // failure report per seed, asserted after the fleet drains.
+  std::vector<std::string> failures(kCorpusSize);
+  support::ThreadPool pool(8);
+  support::parallel_for(pool, kCorpusSize, [&](std::size_t idx) {
+    const std::uint64_t seed = 0xd1ffc0de + idx;
+    ProgramGenerator gen(seed);
+    ir::Module original = gen.generate();
+    ir::Module optimized = original;
+    opt::optimize(optimized, "main");
+
+    auto fail = [&](const mach::Machine& m, const std::string& what) {
+      failures[idx] += "seed " + std::to_string(seed) + " on " + m.name + ": " + what + "\n";
+    };
+    // Runs one path with both collection modes attached — the event-driven
+    // CycleProfiler observer and the counts mode (sim::ProfileCounts +
+    // derive_profile) the driver uses — and checks that the derived profile
+    // is byte-identical to the observer's. Returns the canonical profile
+    // text plus the partition check result.
+    auto profile_run = [&](const auto& prog, const mach::Machine& m, const ir::Module& mod,
+                           bool fast) {
+      const prof::StaticProfile sp = prof::build_static_profile(prog, m);
+      prof::CycleProfiler profiler(sp);
+      sim::ProfileCounts counts = prof::make_profile_counts(sp);
+      sim::SimOptions opts;
+      opts.fast_path = fast;
+      opts.observer = &profiler;
+      opts.profile = &counts;
+      ir::Memory mem = report::make_loaded_memory(mod);
+      std::uint64_t cycles = 0;
+      sim::ExecStatus status = sim::ExecStatus::Trapped;
+      if constexpr (std::is_same_v<std::decay_t<decltype(prog)>, scalar::ScalarProgram>) {
+        const auto r = scalar::ScalarSim(prog, m, mem, opts).run();
+        cycles = r.cycles;
+        status = r.status;
+      } else if constexpr (std::is_same_v<std::decay_t<decltype(prog)>, vliw::VliwProgram>) {
+        const auto r = vliw::VliwSim(prog, m, mem, opts).run();
+        cycles = r.cycles;
+        status = r.status;
+      } else {
+        const auto r = tta::TtaSim(prog, m, mem, opts).run();
+        cycles = r.cycles;
+        status = r.status;
+      }
+      const bool run_ok = status == sim::ExecStatus::Ok;
+      profiler.finish(cycles);
+      const prof::CellProfile& p = profiler.profile();
+      if (run_ok && p.attributed() != p.cycles) {
+        fail(m, "partition broken on " + std::string(fast ? "fast" : "reference") + " path: " +
+                    std::to_string(p.attributed()) + " attributed of " +
+                    std::to_string(p.cycles) + " cycles");
+      }
+      if (status != sim::ExecStatus::Trapped) {
+        const prof::CellProfile derived = prof::derive_profile(sp, counts, cycles, status);
+        const std::string ds = derived.serialize();
+        const std::string os = p.serialize();
+        if (ds != os) {
+          fail(m, "counts-derived profile diverges from observer on " +
+                      std::string(fast ? "fast" : "reference") + " path:\n" + ds + "--\n" + os);
+        }
+      }
+      return p.serialize();
+    };
+    auto check = [&](const auto& prog, const mach::Machine& m, const ir::Module& mod) {
+      const std::string fast = profile_run(prog, m, mod, true);
+      const std::string ref = profile_run(prog, m, mod, false);
+      if (fast != ref) fail(m, "profile diverges between paths:\n" + fast + "--\n" + ref);
+    };
+
+    for (const mach::Machine& machine : machines) {
+      ir::Module prepared = optimized;
+      if (machine.model == mach::Model::Tta && machine.has_guards()) {
+        opt::if_convert_selects(prepared.function("main"));
+      }
+      if (machine.model == mach::Model::Scalar) {
+        codegen::legalize_scalar_operands(prepared.function("main"));
+      }
+      const auto lowered = codegen::lower(prepared, "main", machine);
+      switch (machine.model) {
+        case mach::Model::Scalar:
+          check(scalar::emit_scalar(lowered.func), machine, prepared);
+          break;
+        case mach::Model::Vliw:
+          check(vliw::schedule_vliw(lowered.func, machine), machine, prepared);
+          break;
+        case mach::Model::Tta:
+          check(tta::schedule_tta(lowered.func, machine), machine, prepared);
+          break;
+      }
     }
   });
   for (std::size_t i = 0; i < kCorpusSize; ++i) {
