@@ -38,6 +38,17 @@
 //                      reference divergence) per cell, render it as ERR in
 //                      the artifact, list the failures on stderr, and exit
 //                      non-zero
+//   --vcd-out=FILE     re-run the first cell (first machine x first
+//                      workload) with the flight recorder attached and
+//                      write the retained window as a deterministic VCD
+//                      waveform (report/vcd.hpp; open in GTKWave). Honors
+//                      --reference: both paths produce byte-identical VCD
+//   --flight-dump=FILE replay one cell with the flight recorder attached
+//                      and write the last-N-cycles forensic dump
+//                      ("ttsc-flight-dump" v1 JSON). Under --keep-going
+//                      with failing cells the first failed cell is
+//                      replayed (the dump captures the cycles leading into
+//                      the trap/timeout); otherwise the first cell
 //   --superblocks      two-phase profile-guided superblock compile per cell:
 //                      phase 1 runs the ordinary schedule under a profile
 //                      collector, phase 2 forms superblocks along the hot
@@ -60,11 +71,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "mach/configs.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "report/vcd.hpp"
 #include "opt/superblock.hpp"
 #include "report/module_cache.hpp"
 #include "report/parallel_runner.hpp"
@@ -88,6 +102,8 @@ struct Options {
   std::string report_json;   // --report-json=FILE (empty: no report)
   std::string profile_json;    // --profile-json=FILE (empty: no profile report)
   std::string profile_folded;  // --profile-folded=FILE (empty: no folded export)
+  std::string vcd_out;       // --vcd-out=FILE (empty: no waveform export)
+  std::string flight_dump;   // --flight-dump=FILE (empty: no forensic dump)
   bool keep_going = false;   // --keep-going
   bool superblocks = false;  // --superblocks
 
@@ -137,6 +153,10 @@ inline Options parse_args(int argc, char** argv) {
       opts.profile_json = value;
     } else if (flag_value(argc, argv, i, "--profile-folded", value)) {
       opts.profile_folded = value;
+    } else if (flag_value(argc, argv, i, "--vcd-out", value)) {
+      opts.vcd_out = value;
+    } else if (flag_value(argc, argv, i, "--flight-dump", value)) {
+      opts.flight_dump = value;
     } else if (flag_value(argc, argv, i, "--threads", value)) {
       opts.threads = std::atoi(value.c_str());
     } else {
@@ -144,7 +164,8 @@ inline Options parse_args(int argc, char** argv) {
                    "usage: %s [--threads N] [--serial] [--stats] [--reference] "
                    "[--utilization] [--metrics] [--trace] [--keep-going] "
                    "[--superblocks] [--trace-out=FILE] [--report-json=FILE] "
-                   "[--profile-json=FILE] [--profile-folded=FILE]\n",
+                   "[--profile-json=FILE] [--profile-folded=FILE] "
+                   "[--vcd-out=FILE] [--flight-dump=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -259,6 +280,75 @@ inline void print_trace(const Options& opts) {
                trace.text().c_str());
 }
 
+/// --vcd-out / --flight-dump: replay one cell with a flight recorder
+/// attached and write the requested exports. The VCD always renders the
+/// first cell of the matrix; the forensic dump prefers the first *failed*
+/// cell (under --keep-going) so the dump captures the cycles leading into
+/// the trap/timeout. One extra simulation per export target; the paper
+/// artifact on stdout is untouched.
+inline void write_flight_exports(const Options& opts, const report::Matrix& matrix) {
+  if (opts.vcd_out.empty() && opts.flight_dump.empty()) return;
+  const auto model_name = [](mach::Model m) -> const char* {
+    switch (m) {
+      case mach::Model::Scalar: return "scalar";
+      case mach::Model::Vliw: return "vliw";
+      case mach::Model::Tta: return "tta";
+    }
+    return "?";
+  };
+  const auto find_workload = [&](const std::string& name) -> const workloads::Workload& {
+    for (const workloads::Workload& w : workloads::all_workloads()) {
+      if (w.name == name) return w;
+    }
+    return workloads::all_workloads().front();
+  };
+  const auto replay_and_write = [&](const mach::Machine& machine,
+                                    const workloads::Workload& workload, const char* path,
+                                    bool want_vcd) {
+    obs::FlightRecorder recorder(machine);
+    const report::ReplayOutcome r =
+        report::replay_with_observer(workload, machine, &recorder, !opts.reference);
+    std::string text;
+    if (want_vcd) {
+      text = report::render_vcd(recorder);
+    } else {
+      obs::FlightDumpInfo info;
+      info.machine = machine.name;
+      info.workload = workload.name;
+      info.engine = model_name(machine.model);
+      info.path = opts.reference ? "reference" : "fast";
+      info.status = sim::exec_status_name(r.status);
+      if (r.status == sim::ExecStatus::Trapped) {
+        info.trap_reason = sim::trap_reason_name(r.trap.reason);
+        info.trap_cycle = r.trap.cycle;
+      }
+      info.cycles = r.cycles;
+      info.ret = r.ret;
+      text = obs::render_flight_dump(recorder, info);
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << text) || (out.close(), !out)) {
+      std::fprintf(stderr, "cannot write flight export: %s\n", path);
+      std::exit(2);
+    }
+  };
+  if (!opts.vcd_out.empty()) {
+    replay_and_write(mach::all_machines().front(), workloads::all_workloads().front(),
+                     opts.vcd_out.c_str(), /*want_vcd=*/true);
+  }
+  if (!opts.flight_dump.empty()) {
+    const std::vector<const report::RunOutcome*> failures = matrix.failures();
+    if (!failures.empty()) {
+      const report::RunOutcome* f = failures.front();
+      replay_and_write(mach::machine_by_name(f->machine), find_workload(f->workload),
+                       opts.flight_dump.c_str(), /*want_vcd=*/false);
+    } else {
+      replay_and_write(mach::all_machines().front(), workloads::all_workloads().front(),
+                       opts.flight_dump.c_str(), /*want_vcd=*/false);
+    }
+  }
+}
+
 /// Run one paper-artifact harness end to end: parse flags, run the sweep,
 /// write the rendered artifact to stdout, then emit every requested
 /// diagnostic/export. `render` maps the finished Matrix to the artifact
@@ -291,6 +381,7 @@ int run_harness(int argc, char** argv, RenderFn&& render) {
     obs::Tracer::instance().stop();
     obs::Tracer::instance().write_file(opts.trace_out);
   }
+  write_flight_exports(opts, matrix);
   // Under --keep-going the artifact above shows failed cells as ERR; the
   // summary goes to stderr (stdout purity) and the exit code flags them.
   const std::vector<const report::RunOutcome*> failures = matrix.failures();

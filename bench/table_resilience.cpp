@@ -20,6 +20,14 @@
 //                       schedule of each cell (with the driver's no-slower
 //                       fallback) instead of the ordinary schedule
 //   --batch-lanes N     lockstep lanes per batch (1..64, default 64)
+//   --forensics         first-divergence forensics: replay SDC/latent
+//                       injections golden-vs-faulty with paired commit
+//                       recorders; stdout gains a per-injection table and
+//                       the report JSON per-cell "forensics" sections (in
+//                       bench mode, time the replay pass and record its
+//                       overhead in the bench JSON)
+//   --forensics-budget N  forensic replays per cell (default: automatic,
+//                       max(1, injections/64) — keeps overhead under 5%)
 //   --metrics           print the campaign's merged "resil.*" counters to
 //                       stderr
 //   --report-json=FILE  write the machine-readable campaign report
@@ -60,7 +68,8 @@ std::vector<std::string> split_list(const std::string& csv) {
   std::fprintf(stderr,
                "usage: %s [--machines=a,b,c] [--workloads=x,y] [--injections N] "
                "[--seed N] [--threads N] [--serial] [--no-batch] [--batch-lanes N] "
-               "[--superblocks] [--metrics] [--report-json=FILE] [--bench-json=FILE]\n",
+               "[--superblocks] [--forensics] [--forensics-budget N] [--metrics] "
+               "[--report-json=FILE] [--bench-json=FILE]\n",
                prog);
   std::exit(2);
 }
@@ -82,8 +91,12 @@ int main(int argc, char** argv) {
       options.batch = false;
     } else if (std::strcmp(argv[i], "--superblocks") == 0) {
       options.superblocks = true;
+    } else if (std::strcmp(argv[i], "--forensics") == 0) {
+      options.forensics = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (bench::flag_value(argc, argv, i, "--forensics-budget", value)) {
+      options.forensics_budget = std::atoi(value.c_str());
     } else if (bench::flag_value(argc, argv, i, "--batch-lanes", value)) {
       options.batch_lanes = std::atoi(value.c_str());
     } else if (bench::flag_value(argc, argv, i, "--bench-json", value)) {
@@ -136,6 +149,13 @@ int main(int argc, char** argv) {
                   c.scalar_seconds > 0.0 ? inj / c.scalar_seconds : 0.0,
                   c.batched_seconds > 0.0 ? inj / c.batched_seconds : 0.0,
                   c.batched_seconds > 0.0 ? c.scalar_seconds / c.batched_seconds : 0.0);
+      if (options.forensics) {
+        std::printf("%-10s %-9s   forensics: %llu analyzed in %.3fs (%.1f%% of batched)\n",
+                    "", "", static_cast<unsigned long long>(c.forensics_analyzed),
+                    c.forensics_seconds,
+                    c.batched_seconds > 0.0 ? 100.0 * c.forensics_seconds / c.batched_seconds
+                                            : 0.0);
+      }
     }
     return exit_code;
   }
@@ -153,6 +173,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::fputs(resil::render_resilience(report).c_str(), stdout);
+  if (options.forensics) std::fputs(("\n" + resil::render_forensics(report)).c_str(), stdout);
   if (metrics) std::fputs(("\n" + registry.render()).c_str(), stderr);
   if (!report_json.empty()) {
     try {

@@ -114,6 +114,21 @@ inline const std::vector<CounterDoc>& counter_docs() {
     d.push_back({"resil.batch.evictions", "lanes evicted to scalar replay"});
     d.push_back({"resil.cells.run", "resilience cells campaigned"});
     d.push_back({"resil.cells.err", "resilience cells that failed"});
+
+    // --- first-divergence forensics (resil/campaign.cpp) ---
+    d.push_back({"forensics.candidates", "SDC/latent injections eligible for replay"});
+    d.push_back({"forensics.analyzed", "injections replayed golden-vs-faulty"});
+    d.push_back({"forensics.replays", "forensic simulations run (2 per analysis)"});
+    d.push_back({"forensics.diverged", "analyses with a first divergence in window"});
+    d.push_back({"forensics.beyond_window", "analyses whose divergence lies past the window"});
+    d.push_back({"forensics.skipped_budget", "candidates past the replay budget"});
+
+    // --- flight recorder (obs/flight.cpp) ---
+    d.push_back({"flight.events", "events offered to the flight recorder"});
+    d.push_back({"flight.retained_events", "events in the retained window"});
+    d.push_back({"flight.dropped_events", "events evicted from the ring"});
+    d.push_back({"flight.dropped_cycles", "whole cycles evicted from the ring"});
+    d.push_back({"flight.window_cycles", "cycle span of the retained window"});
     return d;
   }();
   return docs;

@@ -491,4 +491,65 @@ RunOutcome compile_and_run(const Workload& workload, const mach::Machine& machin
   return compile_and_run_prebuilt(optimized, workload, machine, tta_options);
 }
 
+ReplayOutcome replay_with_observer(const Workload& workload, const mach::Machine& machine,
+                                   sim::ExecObserver* observer, bool fast_path) {
+  // The standard pipeline, minus the report plumbing and the golden
+  // cross-check: the replayed run's own status IS the result.
+  ir::Module module = build_optimized(workload);
+  ir::Function& entry = module.function(workloads::entry_point());
+  if (machine.model == mach::Model::Tta && machine.has_guards()) {
+    opt::if_convert_selects(entry);
+  } else {
+    codegen::expand_selects(entry);
+  }
+  if (machine.model == mach::Model::Scalar) {
+    codegen::legalize_scalar_operands(entry);
+  }
+  const codegen::LowerResult lowered = codegen::lower(module, workloads::entry_point(), machine);
+  ir::Memory mem = make_loaded_memory(module);
+  sim::SimOptions opts;
+  opts.fast_path = fast_path;
+  opts.observer = observer;
+  ReplayOutcome out;
+  const auto capture = [&](const auto& r) {
+    out.status = r.status;
+    out.trap = r.trap;
+    out.cycles = r.cycles;
+    out.ret = r.ret;
+  };
+  switch (machine.model) {
+    case mach::Model::Scalar: {
+      const scalar::ScalarProgram prog = scalar::emit_scalar(lowered.func);
+      scalar::ScalarSim sim(prog, machine, mem, opts);
+      if (fast_path) {
+        sim.use_predecoded(
+            std::make_shared<const sim::PredecodedScalar>(sim::predecode(prog, machine)));
+      }
+      capture(sim.run());
+      break;
+    }
+    case mach::Model::Vliw: {
+      const vliw::VliwProgram prog = vliw::schedule_vliw(lowered.func, machine);
+      vliw::VliwSim sim(prog, machine, mem, opts);
+      if (fast_path) {
+        sim.use_predecoded(
+            std::make_shared<const sim::PredecodedVliw>(sim::predecode(prog, machine)));
+      }
+      capture(sim.run());
+      break;
+    }
+    case mach::Model::Tta: {
+      const tta::TtaProgram prog = tta::schedule_tta(lowered.func, machine);
+      tta::TtaSim sim(prog, machine, mem, opts);
+      if (fast_path) {
+        sim.use_predecoded(
+            std::make_shared<const sim::PredecodedTta>(sim::predecode(prog, machine)));
+      }
+      capture(sim.run());
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace ttsc::report

@@ -157,4 +157,23 @@ RunOutcome compile_and_run_prebuilt(const ir::Module& optimized,
                                     obs::Registry* metrics = nullptr,
                                     const opt::SuperblockOptions* superblocks = nullptr);
 
+/// Raw single-cell replay result for the flight-recorder exports: the
+/// simulator's own verdict, never cross-checked against the reference
+/// interpreter and never thrown as an error.
+struct ReplayOutcome {
+  sim::ExecStatus status = sim::ExecStatus::Ok;
+  sim::TrapInfo trap{};  // valid when status == Trapped
+  std::uint64_t cycles = 0;
+  std::uint32_t ret = 0;
+};
+
+/// Compile `workload` for `machine` through the standard pipeline and run
+/// it once on the chosen path with `observer` attached, returning the raw
+/// result. Unlike compile_and_run, a Trapped or TimedOut run is a *result*
+/// here, not an error — the flight-recorder exports (--vcd-out,
+/// --flight-dump) replay healthy and failing cells alike through this.
+ReplayOutcome replay_with_observer(const workloads::Workload& workload,
+                                   const mach::Machine& machine, sim::ExecObserver* observer,
+                                   bool fast_path = true);
+
 }  // namespace ttsc::report

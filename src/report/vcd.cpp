@@ -1,0 +1,285 @@
+#include "report/vcd.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ttsc::report {
+
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightEventKind;
+using obs::FlightRecorder;
+
+/// VCD identifier for signal `n`: base-94 over the printable ASCII range
+/// '!'..'~', shortest-first — unique by construction.
+std::string vcd_id(std::size_t n) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+/// VCD scope/reference names: letters, digits and underscores only.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+struct Signal {
+  std::string name;
+  int width = 1;
+  std::uint32_t idle = 0;     // value outside any event (pulses reset to it)
+  std::uint32_t cur = 0;      // pending value for the open timestep
+  std::uint32_t emitted = 0;  // value as of the last flushed timestep
+  bool touched = false;
+};
+
+/// Accumulates value changes per timestep and emits only net changes: a
+/// pulse signal held at the same active value across consecutive cycles
+/// renders as one continuous level (a value-change dump cannot express
+/// "same value again" anyway), and a reset that an event immediately
+/// overrides produces no line at all.
+class VcdBuilder {
+ public:
+  std::size_t add(std::string name, int width, std::uint32_t idle = 0) {
+    signals_.push_back(Signal{std::move(name), width, idle, idle, idle, false});
+    return signals_.size() - 1;
+  }
+
+  std::string header(const std::string& scope_name) const {
+    std::string out;
+    out += "$date\n  deterministic export (simulation cycles, no wall clock)\n$end\n";
+    out += "$version\n  ttsc flight recorder vcd 1\n$end\n";
+    out += "$timescale 1 ns $end\n";
+    out += "$scope module " + scope_name + " $end\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      const Signal& s = signals_[i];
+      out += "$var wire " + std::to_string(s.width) + " " + vcd_id(i) + " " + s.name;
+      if (s.width > 1) out += " [" + std::to_string(s.width - 1) + ":0]";
+      out += " $end\n";
+    }
+    out += "$upscope $end\n";
+    out += "$enddefinitions $end\n";
+    return out;
+  }
+
+  /// Initial-value section: every signal at its idle level.
+  std::string dumpvars() const {
+    std::string out = "$dumpvars\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i) out += change_text(i, signals_[i].idle);
+    out += "$end\n";
+    return out;
+  }
+
+  /// Queue a value change for the open timestep.
+  void set(std::size_t sig, std::uint32_t value) {
+    Signal& s = signals_[sig];
+    if (s.cur == value) return;
+    s.cur = value;
+    if (!s.touched) {
+      s.touched = true;
+      touched_.push_back(sig);
+    }
+  }
+
+  /// Queue a pulse: the value now, the idle level at the next timestep.
+  void pulse(std::size_t sig, std::uint32_t value) {
+    set(sig, value);
+    resets_.push_back(sig);
+  }
+
+  /// Emit the open timestep's net changes under `#time` (nothing if the
+  /// queued changes cancelled out).
+  void flush(std::string& out, std::uint64_t time) {
+    std::string body;
+    for (const std::size_t sig : touched_) {
+      Signal& s = signals_[sig];
+      s.touched = false;
+      if (s.cur != s.emitted) {
+        body += change_text(sig, s.cur);
+        s.emitted = s.cur;
+      }
+    }
+    touched_.clear();
+    if (!body.empty()) {
+      out += '#' + std::to_string(time) + '\n';
+      out += body;
+    }
+  }
+
+  /// Queue the idle level of every pulsed signal (call at the timestep
+  /// after the pulses fired; an event re-pulsing the signal overrides it).
+  void queue_resets() {
+    for (const std::size_t sig : resets_) set(sig, signals_[sig].idle);
+    resets_.clear();
+  }
+
+  bool has_pending_resets() const { return !resets_.empty(); }
+
+ private:
+  std::string change_text(std::size_t sig, std::uint32_t value) const {
+    const Signal& s = signals_[sig];
+    if (s.width == 1) return std::string(1, value != 0 ? '1' : '0') + vcd_id(sig) + "\n";
+    std::string bits;
+    if (value == 0) {
+      bits = "0";
+    } else {
+      for (std::uint32_t v = value; v != 0; v >>= 1) bits += static_cast<char>('0' + (v & 1));
+      std::string rev(bits.rbegin(), bits.rend());
+      bits = std::move(rev);
+    }
+    return "b" + bits + " " + vcd_id(sig) + "\n";
+  }
+
+  std::vector<Signal> signals_;
+  std::vector<std::size_t> touched_;
+  std::vector<std::size_t> resets_;
+};
+
+}  // namespace
+
+std::string render_vcd(const FlightRecorder& recorder) {
+  const mach::Machine& m = recorder.machine();
+  VcdBuilder b;
+
+  // Signal layout (declaration order is the waveform viewer's default
+  // display order): control first, then datapath, then memory traffic.
+  const std::size_t sig_pc = b.add("pc", 32);
+  const std::size_t sig_shadow = b.add("shadow", 1);
+  std::vector<std::size_t> sig_bus;
+  for (const mach::Bus& bus : m.buses) sig_bus.push_back(b.add("bus_" + sanitize(bus.name), 2));
+  std::vector<std::size_t> sig_fu;
+  for (const mach::FunctionUnit& fu : m.fus)
+    sig_fu.push_back(b.add("fu_" + sanitize(fu.name) + "_op", 8));
+  // Scalar machines have no explicit FU list; triggers arrive with fu = -1.
+  const std::size_t sig_cpu =
+      m.model == mach::Model::Scalar ? b.add("cpu_op", 8) : static_cast<std::size_t>(-1);
+  struct RfPort {
+    std::size_t we, addr, data;
+  };
+  std::vector<std::vector<RfPort>> sig_rf(m.rfs.size());
+  for (std::size_t r = 0; r < m.rfs.size(); ++r) {
+    const int ports = m.rfs[r].write_ports > 0 ? m.rfs[r].write_ports : 1;
+    const std::string base = "rf_" + sanitize(m.rfs[r].name);
+    for (int p = 0; p < ports; ++p) {
+      const std::string port = base + "_w" + std::to_string(p);
+      sig_rf[r].push_back(
+          RfPort{b.add(port + "_we", 1), b.add(port + "_addr", 16), b.add(port + "_data", 32)});
+    }
+  }
+  std::vector<std::size_t> sig_guard;
+  for (int g = 0; g < m.guard_regs; ++g)
+    sig_guard.push_back(b.add("guard" + std::to_string(g), 1));
+  const std::size_t sig_stall =
+      m.model == mach::Model::Scalar ? b.add("stall", 16) : static_cast<std::size_t>(-1);
+  const std::size_t sig_store_we = b.add("store_we", 1);
+  const std::size_t sig_store_addr = b.add("store_addr", 32);
+  const std::size_t sig_store_data = b.add("store_data", 32);
+  const std::size_t sig_store_width = b.add("store_width", 3);
+
+  std::string out = b.header(sanitize(m.name));
+  out += b.dumpvars();
+
+  // Walk the retained window cycle group by cycle group. Pulse signals
+  // reset one cycle after they fired; when the event stream skips cycles
+  // the reset gets its own timestep.
+  std::size_t i = 0;
+  std::uint64_t prev_cycle = 0;
+  bool have_prev = false;
+  while (i < recorder.size()) {
+    const std::uint64_t cycle = recorder.at(i).cycle;
+    if (have_prev && b.has_pending_resets() && prev_cycle + 1 < cycle) {
+      b.queue_resets();
+      b.flush(out, prev_cycle + 1);
+    }
+    b.queue_resets();  // same-timestep resets merge with this cycle's events
+
+    // Per-cycle RF write port rotation: successive commits to the same RF
+    // within one cycle land on successive write ports (clamped to the
+    // machine's port count — the schedulers respect it, so the clamp only
+    // matters for fault-corrupted runs).
+    std::vector<int> rf_port(m.rfs.size(), 0);
+    for (; i < recorder.size() && recorder.at(i).cycle == cycle; ++i) {
+      const FlightEvent& ev = recorder.at(i);
+      switch (ev.kind) {
+        case FlightEventKind::Exec:
+          b.set(sig_pc, static_cast<std::uint32_t>(ev.index));
+          b.set(sig_shadow, ev.aux);
+          break;
+        case FlightEventKind::Move:
+        case FlightEventKind::GuardSquash: {
+          const std::size_t bus = static_cast<std::size_t>(ev.unit);
+          if (ev.unit >= 0 && bus < sig_bus.size()) {
+            b.pulse(sig_bus[bus], ev.kind == FlightEventKind::Move ? 1 : 2);
+          }
+          break;
+        }
+        case FlightEventKind::Trigger: {
+          const std::uint32_t op = (ev.value + 1) & 0xffu;
+          if (ev.unit < 0) {
+            if (sig_cpu != static_cast<std::size_t>(-1)) b.pulse(sig_cpu, op);
+          } else if (static_cast<std::size_t>(ev.unit) < sig_fu.size()) {
+            b.pulse(sig_fu[static_cast<std::size_t>(ev.unit)], op);
+          }
+          break;
+        }
+        case FlightEventKind::RfWrite: {
+          const std::size_t rf = static_cast<std::size_t>(ev.unit);
+          if (ev.unit >= 0 && rf < sig_rf.size()) {
+            const int last = static_cast<int>(sig_rf[rf].size()) - 1;
+            const int p = rf_port[rf] < last ? rf_port[rf] : last;
+            ++rf_port[rf];
+            const RfPort& port = sig_rf[rf][static_cast<std::size_t>(p)];
+            b.pulse(port.we, 1);
+            b.set(port.addr, static_cast<std::uint32_t>(ev.index) & 0xffffu);
+            b.set(port.data, ev.value);
+          }
+          break;
+        }
+        case FlightEventKind::GuardWrite: {
+          const std::size_t g = static_cast<std::size_t>(ev.unit);
+          if (ev.unit >= 0 && g < sig_guard.size()) b.set(sig_guard[g], ev.value != 0 ? 1 : 0);
+          break;
+        }
+        case FlightEventKind::Store:
+          b.pulse(sig_store_we, 1);
+          b.set(sig_store_addr, static_cast<std::uint32_t>(ev.index));
+          b.set(sig_store_data, ev.value);
+          b.set(sig_store_width, ev.aux);
+          break;
+        case FlightEventKind::Stall:
+          if (sig_stall != static_cast<std::size_t>(-1)) {
+            b.pulse(sig_stall, ev.value & 0xffffu);
+          }
+          break;
+        case FlightEventKind::BlockEnter:
+        case FlightEventKind::RfRead:
+        case FlightEventKind::Overhead:
+          break;  // JSON-dump-only events; no waveform signal
+      }
+    }
+    b.flush(out, cycle);
+    prev_cycle = cycle;
+    have_prev = true;
+  }
+  if (have_prev && b.has_pending_resets()) {
+    b.queue_resets();
+    b.flush(out, prev_cycle + 1);
+  }
+  return out;
+}
+
+}  // namespace ttsc::report

@@ -1,0 +1,26 @@
+// Deterministic VCD (Value Change Dump, IEEE 1364) waveform export of a
+// flight recording — the GTKWave-compatible view of a simulated run.
+//
+// The signal set is derived purely from the recording's machine
+// description: pc and the delay-slot shadow flag, one 2-bit activity signal
+// per transport bus (0 idle / 1 move / 2 squashed), one 8-bit operation
+// signal per FU trigger port (opcode + 1; 0 = idle; scalar machines get a
+// single "cpu_op" port), we/addr/data signals per RF write port, one level
+// signal per guard bit, a scalar stall counter, and a store commit port.
+// The output is a pure function of (recording, machine): fixed $date and
+// $version strings, no wall-clock anywhere — so fast-path and
+// reference-path recordings of the same run render byte-identical VCD, and
+// golden snapshots can gate it in CI.
+#pragma once
+
+#include <string>
+
+#include "obs/flight.hpp"
+
+namespace ttsc::report {
+
+/// Render `recorder`'s retained window as a complete VCD document.
+/// Timestamps are absolute simulation cycles (1 cycle = 1 ns of VCD time).
+std::string render_vcd(const obs::FlightRecorder& recorder);
+
+}  // namespace ttsc::report

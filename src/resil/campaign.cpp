@@ -270,6 +270,106 @@ Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, std::uint
   TTSC_UNREACHABLE("resil: unhandled machine model");
 }
 
+/// One forensic replay pair: the fault-free and the faulted run, both
+/// hardened and predecoded exactly like run_injection, each with a
+/// CommitRecorder attached from the fault cycle (cycle 0 for imem faults,
+/// which corrupt the program before it starts). Faults apply at the top of
+/// their cycle, before that cycle's commits, so starting the window at the
+/// fault cycle loses nothing (see resil/forensics.hpp).
+DivergenceRecord run_forensic_replay(const PreparedCell& cell, const FaultSpec& spec,
+                                     std::uint64_t budget, std::uint64_t window_cycles) {
+  ForensicsWindow window;
+  window.start_cycle = spec.target == TargetKind::Imem ? 0 : spec.state.cycle;
+  window.window_cycles = window_cycles;
+  CommitRecorder golden_rec(window);
+  CommitRecorder faulty_rec(window);
+
+  // Bounded replay: nothing after the window end can change the verdict, so
+  // cap the simulation one cycle past it (the slack lets an immediate
+  // post-window commit mark truncation naturally). A replay cut off at the
+  // cap was still committing — mark it truncated so an identical prefix
+  // reads "beyond window", never "no divergence". This cap is what keeps a
+  // forensic analysis a small fixed multiple of one injection instead of
+  // two full program runs.
+  const std::uint64_t replay_budget =
+      std::min(budget, window.start_cycle + window_cycles + 1);
+  const auto note_cutoff = [](const auto& r, CommitRecorder& rec) {
+    if (r.status == sim::ExecStatus::TimedOut) rec.mark_truncated();
+  };
+
+  sim::SimOptions golden_opts;
+  golden_opts.harden = true;
+  golden_opts.observer = &golden_rec;
+  sim::SimOptions faulty_opts;
+  faulty_opts.harden = true;
+  faulty_opts.observer = &faulty_rec;
+  sim::FaultSet fs;
+  if (spec.target != TargetKind::Imem) {
+    fs.faults.push_back(spec.state);
+    faulty_opts.faults = &fs;
+  }
+  switch (cell.machine.model) {
+    case mach::Model::Scalar: {
+      {
+        ir::Memory mem = *cell.initial_mem;
+        scalar::ScalarSim sim(*cell.scalar_prog, cell.machine, mem, golden_opts);
+        sim.use_predecoded(cell.scalar_pre);
+        note_cutoff(sim.run(replay_budget), golden_rec);
+      }
+      ir::Memory mem = *cell.initial_mem;
+      if (spec.target == TargetKind::Imem) {
+        const scalar::ScalarProgram mutated = flip_bit(*cell.scalar_prog, spec.imem_bit);
+        note_cutoff(scalar::ScalarSim(mutated, cell.machine, mem, faulty_opts).run(replay_budget),
+                    faulty_rec);
+      } else {
+        scalar::ScalarSim sim(*cell.scalar_prog, cell.machine, mem, faulty_opts);
+        sim.use_predecoded(cell.scalar_pre);
+        note_cutoff(sim.run(replay_budget), faulty_rec);
+      }
+      break;
+    }
+    case mach::Model::Vliw: {
+      {
+        ir::Memory mem = *cell.initial_mem;
+        vliw::VliwSim sim(*cell.vliw_prog, cell.machine, mem, golden_opts);
+        sim.use_predecoded(cell.vliw_pre);
+        note_cutoff(sim.run(replay_budget), golden_rec);
+      }
+      ir::Memory mem = *cell.initial_mem;
+      if (spec.target == TargetKind::Imem) {
+        const vliw::VliwProgram mutated = flip_bit(*cell.vliw_prog, spec.imem_bit);
+        note_cutoff(vliw::VliwSim(mutated, cell.machine, mem, faulty_opts).run(replay_budget),
+                    faulty_rec);
+      } else {
+        vliw::VliwSim sim(*cell.vliw_prog, cell.machine, mem, faulty_opts);
+        sim.use_predecoded(cell.vliw_pre);
+        note_cutoff(sim.run(replay_budget), faulty_rec);
+      }
+      break;
+    }
+    case mach::Model::Tta: {
+      {
+        ir::Memory mem = *cell.initial_mem;
+        tta::TtaSim sim(*cell.tta_prog, cell.machine, mem, golden_opts);
+        sim.use_predecoded(cell.tta_pre);
+        note_cutoff(sim.run(replay_budget), golden_rec);
+      }
+      ir::Memory mem = *cell.initial_mem;
+      if (spec.target == TargetKind::Imem) {
+        const tta::TtaProgram mutated = flip_bit(*cell.tta_prog, spec.imem_bit);
+        note_cutoff(tta::TtaSim(mutated, cell.machine, mem, faulty_opts).run(replay_budget),
+                    faulty_rec);
+      } else {
+        tta::TtaSim sim(*cell.tta_prog, cell.machine, mem, faulty_opts);
+        sim.use_predecoded(cell.tta_pre);
+        note_cutoff(sim.run(replay_budget), faulty_rec);
+      }
+      break;
+    }
+  }
+  return first_divergence(golden_rec, faulty_rec);
+}
+
 /// Output checksum of a lockstep lane's image without materializing it:
 /// report::workload_output_checksum with each global's region checksummed
 /// through the lane's sparse delta over the leader image.
@@ -397,6 +497,19 @@ void export_cell_metrics(obs::Registry* registry, const CellReport& cr) {
     shard.add("resil.batch.divergences", cr.batch_divergences);
     shard.add("resil.batch.evictions", cr.batch_evictions);
   }
+  if (cr.forensics_candidates != 0) {
+    std::uint64_t diverged = 0, beyond = 0;
+    for (const ForensicRecord& r : cr.forensics) {
+      if (r.divergence.found) ++diverged;
+      if (r.divergence.beyond_window) ++beyond;
+    }
+    shard.add("forensics.candidates", cr.forensics_candidates);
+    shard.add("forensics.analyzed", cr.forensics.size());
+    shard.add("forensics.replays", cr.forensics.size() * 2);  // golden + faulty
+    shard.add("forensics.diverged", diverged);
+    shard.add("forensics.beyond_window", beyond);
+    shard.add("forensics.skipped_budget", cr.forensics_skipped);
+  }
   shard.add("resil.cells.run");
   if (!cr.ok) shard.add("resil.cells.err");
   registry->merge(shard);
@@ -457,6 +570,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   CampaignReport report;
   report.seed = options.seed;
   report.injections_per_cell = options.injections_per_cell;
+  report.forensics = options.forensics;
 
   std::optional<support::ThreadPool> pool;
   if (!options.serial) pool.emplace(options.threads);
@@ -585,6 +699,39 @@ CampaignReport run_campaign(const CampaignOptions& options) {
             case Outcome::Err: ++tt.err; break;
           }
         }
+
+        if (options.forensics) {
+          // First-divergence pass: serially replay the SDC/latent slots in
+          // injection-index order (deterministic regardless of thread count)
+          // up to the replay budget. Candidates past the budget are counted
+          // but not replayed, bounding the pass at 2*budget hardened runs.
+          const int fbudget = options.effective_forensics_budget();
+          for (std::size_t i = 0; i < n; ++i) {
+            const Slot& s = slots[i];
+            if (s.outcome != Outcome::Sdc && !(s.outcome == Outcome::Masked && s.latent)) {
+              continue;
+            }
+            ++cr.forensics_candidates;
+            if (cr.forensics.size() >= static_cast<std::size_t>(fbudget)) {
+              ++cr.forensics_skipped;
+              continue;
+            }
+            ForensicRecord rec;
+            rec.injection = i;
+            rec.target = s.target;
+            rec.outcome = s.outcome;
+            rec.latent = s.latent;
+            rec.fault_cycle =
+                specs[i].target == TargetKind::Imem ? 0 : specs[i].state.cycle;
+            attempt_twice(
+                [&] {
+                  rec.divergence =
+                      run_forensic_replay(cell, specs[i], budget, options.forensics_window);
+                },
+                [&] { rec.divergence = DivergenceRecord{}; });
+            cr.forensics.push_back(rec);
+          }
+        }
       } catch (const std::exception& e) {
         cr.ok = false;
         cr.error = e.what();
@@ -693,6 +840,25 @@ BenchReport run_batch_benchmark(const CampaignOptions& options) {
             throw Error(format("bench: batched path diverges from scalar at injection %zu", i));
           }
         }
+        if (options.forensics) {
+          // Forensics overhead pass: the same budgeted replay loop the
+          // campaign runs, timed once. The acceptance bar is
+          // forensics_seconds / batched_seconds < 5%.
+          const int fbudget = options.effective_forensics_budget();
+          std::uint64_t analyzed = 0;
+          const auto f0 = std::chrono::steady_clock::now();
+          for (std::size_t i = 0; i < n && analyzed < static_cast<std::uint64_t>(fbudget); ++i) {
+            const Slot& s = batch_slots[i];
+            if (s.outcome != Outcome::Sdc && !(s.outcome == Outcome::Masked && s.latent)) {
+              continue;
+            }
+            (void)run_forensic_replay(cell, specs[i], budget, options.forensics_window);
+            ++analyzed;
+          }
+          bc.forensics_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - f0).count();
+          bc.forensics_analyzed = analyzed;
+        }
       } catch (const std::exception& e) {
         bc.ok = false;
         bc.error = e.what();
@@ -752,6 +918,14 @@ std::string render_resil_bench_json(const BenchReport& report) {
     w.value(c.divergences);
     w.key("evictions");
     w.value(c.evictions);
+    if (c.forensics_analyzed > 0 || c.forensics_seconds > 0.0) {
+      w.key("forensics_analyzed");
+      w.value(c.forensics_analyzed);
+      w.key("forensics_seconds");
+      w.value(c.forensics_seconds);
+      w.key("forensics_overhead");
+      w.value(c.batched_seconds > 0.0 ? c.forensics_seconds / c.batched_seconds : 0.0);
+    }
     w.end_object();
   }
   w.end_array();
@@ -815,6 +989,53 @@ std::string render_resilience(const CampaignReport& report) {
       lead = false;
     }
     row(c, "total", c.total(), false);
+  }
+  return out;
+}
+
+std::string render_forensics(const CampaignReport& report) {
+  if (!report.forensics) return {};
+  std::string out =
+      "First-divergence forensics: SDC/latent injections replayed golden-vs-\n"
+      "faulty with paired commit recorders (budgeted per cell). cycle = first\n"
+      "architecturally divergent commit; elem = diverging state element\n"
+      "(pc / rf cell / guard / memory byte / early halt).\n\n";
+  out += format("%-10s %-9s %6s %-9s %-7s %10s %-6s %-14s %-10s %-10s\n", "machine", "workload",
+                "inj", "target", "outcome", "cycle", "elem", "coord", "golden", "faulty");
+  auto coord_text = [](const DivergenceRecord& d) -> std::string {
+    switch (d.element) {
+      case DivergedElement::RfCell: return format("rf%d[%d]", d.unit, d.index);
+      case DivergedElement::Guard: return format("g%d", d.unit);
+      case DivergedElement::MemByte: return format("@0x%x", d.addr);
+      case DivergedElement::Pc:
+      case DivergedElement::Halt: return "-";
+    }
+    return "-";
+  };
+  for (const CellReport& c : report.cells) {
+    if (!c.ok) continue;
+    for (const ForensicRecord& r : c.forensics) {
+      const DivergenceRecord& d = r.divergence;
+      if (d.found) {
+        out += format("%-10s %-9s %6llu %-9s %-7s %10llu %-6s %-14s 0x%08x 0x%08x\n",
+                      c.machine.c_str(), c.workload.c_str(),
+                      static_cast<unsigned long long>(r.injection), target_kind_name(r.target),
+                      outcome_name(r.outcome), static_cast<unsigned long long>(d.cycle),
+                      diverged_element_name(d.element), coord_text(d).c_str(), d.golden_value,
+                      d.faulty_value);
+      } else {
+        out += format("%-10s %-9s %6llu %-9s %-7s %10s %-6s %-14s %-10s %-10s\n",
+                      c.machine.c_str(), c.workload.c_str(),
+                      static_cast<unsigned long long>(r.injection), target_kind_name(r.target),
+                      outcome_name(r.outcome), "-", d.beyond_window ? "beyond" : "none", "-", "-",
+                      "-");
+      }
+    }
+    if (c.forensics_skipped != 0) {
+      out += format("%-10s %-9s   (%llu more candidate(s) past the replay budget)\n",
+                    c.machine.c_str(), c.workload.c_str(),
+                    static_cast<unsigned long long>(c.forensics_skipped));
+    }
   }
   return out;
 }
@@ -894,6 +1115,73 @@ std::string render_resil_report_json(const CampaignReport& report) {
       w.end_object();
       w.key("total");
       write_tally(w, c.total());
+      // Per-cell forensics only when the campaign ran with forensics on:
+      // forensics-off reports stay byte-identical to the pre-forensics
+      // schema (the existing resil_smoke.json golden depends on it).
+      if (report.forensics) {
+        w.key("forensics");
+        w.begin_object();
+        w.key("candidates");
+        w.value(c.forensics_candidates);
+        w.key("analyzed");
+        w.value(static_cast<std::uint64_t>(c.forensics.size()));
+        w.key("skipped_budget");
+        w.value(c.forensics_skipped);
+        w.key("records");
+        w.begin_array();
+        for (const ForensicRecord& r : c.forensics) {
+          const DivergenceRecord& d = r.divergence;
+          w.begin_object();
+          w.key("injection");
+          w.value(r.injection);
+          w.key("target");
+          w.value(target_kind_name(r.target));
+          w.key("outcome");
+          w.value(outcome_name(r.outcome));
+          w.key("latent");
+          w.value(r.latent);
+          w.key("fault_cycle");
+          w.value(r.fault_cycle);
+          w.key("found");
+          w.value(d.found);
+          w.key("beyond_window");
+          w.value(d.beyond_window);
+          if (d.found) {
+            w.key("cycle");
+            w.value(d.cycle);
+            w.key("element");
+            w.value(diverged_element_name(d.element));
+            switch (d.element) {
+              case DivergedElement::RfCell:
+                w.key("rf");
+                w.value(d.unit);
+                w.key("reg");
+                w.value(d.index);
+                break;
+              case DivergedElement::Guard:
+                w.key("guard");
+                w.value(d.unit);
+                break;
+              case DivergedElement::MemByte:
+                w.key("addr");
+                w.value(std::uint64_t{d.addr});
+                break;
+              case DivergedElement::Pc:
+              case DivergedElement::Halt:
+                break;
+            }
+            w.key("golden_value");
+            w.value(std::uint64_t{d.golden_value});
+            w.key("faulty_value");
+            w.value(std::uint64_t{d.faulty_value});
+          }
+          w.key("compared_events");
+          w.value(d.compared_events);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
       w.end_object();
     }
     w.end_object();

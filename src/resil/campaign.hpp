@@ -30,6 +30,7 @@
 
 #include "obs/metrics.hpp"
 #include "resil/fault_plan.hpp"
+#include "resil/forensics.hpp"
 
 namespace ttsc::resil {
 
@@ -72,6 +73,17 @@ constexpr std::uint64_t timeout_budget(std::uint64_t golden_cycles) {
   return golden_cycles * 2 + 256;
 }
 
+/// First-divergence forensics of one analyzed injection (SDC or latent):
+/// the fault's identity plus where golden and faulty replays first differ.
+struct ForensicRecord {
+  std::uint64_t injection = 0;  // injection index within the cell
+  TargetKind target = TargetKind::Rf;
+  Outcome outcome = Outcome::Sdc;
+  bool latent = false;
+  std::uint64_t fault_cycle = 0;
+  DivergenceRecord divergence;
+};
+
 struct CellReport {
   std::string machine;
   std::string workload;
@@ -91,6 +103,13 @@ struct CellReport {
   std::uint64_t batch_lanes = 0;
   std::uint64_t batch_divergences = 0;
   std::uint64_t batch_evictions = 0;
+
+  /// First-divergence forensics (CampaignOptions::forensics): one record
+  /// per analyzed SDC/latent injection, in injection-index order, bounded
+  /// by the replay budget. Candidates past the budget are only counted.
+  std::vector<ForensicRecord> forensics;
+  std::uint64_t forensics_candidates = 0;
+  std::uint64_t forensics_skipped = 0;
 
   TargetTally total() const;
 };
@@ -117,14 +136,36 @@ struct CampaignOptions {
   /// Campaigns then measure the resilience of the code the `--superblocks`
   /// harnesses actually ship.
   bool superblocks = false;
+  /// First-divergence forensics: replay each SDC/latent-classified
+  /// injection (up to the budget) golden-vs-faulty with paired commit
+  /// recorders and report the first divergent cycle and state element.
+  bool forensics = false;
+  /// Forensic replays per cell; <= 0 selects the automatic budget
+  /// max(1, injections_per_cell / 64), which keeps the two hardened
+  /// replays per analyzed injection within ~5% of campaign throughput.
+  int forensics_budget = 0;
+  /// Commit-recording window in cycles past the fault cycle.
+  std::uint64_t forensics_window = 4096;
   /// Optional metrics sink: "resil.<target>.<outcome>" counters plus
-  /// "resil.cells.run"/"resil.cells.err", merged once per cell.
+  /// "resil.cells.run"/"resil.cells.err", merged once per cell; with
+  /// forensics on, also "forensics.*".
   obs::Registry* registry = nullptr;
+
+  /// Effective forensic replay budget per cell.
+  int effective_forensics_budget() const {
+    if (forensics_budget > 0) return forensics_budget;
+    const int autob = injections_per_cell / 64;
+    return autob > 0 ? autob : 1;
+  }
 };
 
 struct CampaignReport {
   std::uint64_t seed = 0;
   int injections_per_cell = 0;
+  /// Forensics enabled for this campaign: gates the report's per-cell
+  /// "forensics" sections (absent otherwise, so forensics-off reports stay
+  /// byte-identical to earlier schema revisions).
+  bool forensics = false;
   std::vector<CellReport> cells;  // machine-major, in option order
 
   bool all_ok() const;
@@ -155,6 +196,11 @@ struct BenchCell {
   double batched_seconds = 0.0;
   std::uint64_t divergences = 0;
   std::uint64_t evictions = 0;
+  /// Forensics overhead pass (CampaignOptions::forensics): wall time of the
+  /// budgeted replay pass and the injections it analyzed. The acceptance
+  /// bar is forensics_seconds / batched_seconds < 5%.
+  double forensics_seconds = 0.0;
+  std::uint64_t forensics_analyzed = 0;
 };
 
 struct BenchReport {
@@ -179,6 +225,10 @@ void write_resil_bench(const std::string& path, const BenchReport& report);
 
 /// AVF-style text table (the paper-artifact stdout of table_resilience).
 std::string render_resilience(const CampaignReport& report);
+
+/// Human-readable first-divergence table (stdout section of
+/// `table_resilience --forensics`; empty string when forensics was off).
+std::string render_forensics(const CampaignReport& report);
 
 /// Machine-readable report, schema "ttsc-resil-report" v1. The top-level
 /// "machines" array is keyed by each element's "name", so

@@ -1,0 +1,158 @@
+#include "resil/forensics.hpp"
+
+#include <algorithm>
+
+namespace ttsc::resil {
+
+using obs::FlightEvent;
+using obs::FlightEventKind;
+
+CommitRecorder::CommitRecorder(const ForensicsWindow& window) : window_(window) {
+  events_.reserve(window.max_events);
+}
+
+void CommitRecorder::push(const FlightEvent& ev) {
+  if (ev.cycle < window_.start_cycle) return;
+  if (ev.cycle >= window_.start_cycle + window_.window_cycles || events_.size() >= window_.max_events) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+void CommitRecorder::on_exec(std::uint64_t cycle, std::uint32_t pc, bool shadow) {
+  FlightEvent ev;
+  ev.cycle = cycle;
+  ev.kind = FlightEventKind::Exec;
+  ev.index = static_cast<std::int32_t>(pc);
+  ev.aux = shadow ? 1 : 0;
+  push(ev);
+}
+
+void CommitRecorder::on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) {
+  FlightEvent ev;
+  ev.cycle = cycle;
+  ev.kind = FlightEventKind::RfWrite;
+  ev.unit = static_cast<std::int16_t>(rf);
+  ev.index = index;
+  ev.value = value;
+  push(ev);
+}
+
+void CommitRecorder::on_guard_write(std::uint64_t cycle, int guard, std::uint32_t value) {
+  FlightEvent ev;
+  ev.cycle = cycle;
+  ev.kind = FlightEventKind::GuardWrite;
+  ev.unit = static_cast<std::int16_t>(guard);
+  ev.value = value;
+  push(ev);
+}
+
+void CommitRecorder::on_store(std::uint64_t cycle, std::uint32_t addr, std::uint32_t value,
+                              std::uint8_t width) {
+  FlightEvent ev;
+  ev.cycle = cycle;
+  ev.kind = FlightEventKind::Store;
+  ev.index = static_cast<std::int32_t>(addr);
+  ev.value = value;
+  ev.aux = width;
+  push(ev);
+}
+
+namespace {
+
+DivergedElement element_of(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::Exec: return DivergedElement::Pc;
+    case FlightEventKind::RfWrite: return DivergedElement::RfCell;
+    case FlightEventKind::GuardWrite: return DivergedElement::Guard;
+    case FlightEventKind::Store: return DivergedElement::MemByte;
+    default: return DivergedElement::Pc;  // CommitRecorder records no other kind
+  }
+}
+
+std::uint32_t element_value(const FlightEvent& ev) {
+  // The "value" of the diverging element: the executed pc for control flow,
+  // the committed value for everything else.
+  return ev.kind == FlightEventKind::Exec ? static_cast<std::uint32_t>(ev.index) : ev.value;
+}
+
+void fill_coordinates(DivergenceRecord& rec, const FlightEvent& ev) {
+  rec.element = element_of(ev.kind);
+  rec.cycle = ev.cycle;
+  switch (ev.kind) {
+    case FlightEventKind::RfWrite:
+      rec.unit = ev.unit;
+      rec.index = ev.index;
+      break;
+    case FlightEventKind::GuardWrite:
+      rec.unit = ev.unit;
+      break;
+    case FlightEventKind::Store:
+      rec.addr = static_cast<std::uint32_t>(ev.index);
+      break;
+    case FlightEventKind::Exec:
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+DivergenceRecord first_divergence(const CommitRecorder& golden, const CommitRecorder& faulty) {
+  const std::vector<FlightEvent>& g = golden.events();
+  const std::vector<FlightEvent>& f = faulty.events();
+  DivergenceRecord rec;
+  const std::size_t common = std::min(g.size(), f.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (g[i] == f[i]) continue;
+    rec.found = true;
+    rec.compared_events = i;
+    // The first differing commit position. Attribute the divergence to the
+    // event that happens earlier in simulation time; on a same-cycle,
+    // same-element mismatch both values are meaningful.
+    const FlightEvent& lead = f[i].cycle <= g[i].cycle ? f[i] : g[i];
+    fill_coordinates(rec, lead);
+    const bool same_element = g[i].kind == f[i].kind && g[i].cycle == f[i].cycle &&
+                              g[i].unit == f[i].unit &&
+                              (g[i].kind != FlightEventKind::RfWrite || g[i].index == f[i].index);
+    if (same_element) {
+      rec.golden_value = element_value(g[i]);
+      rec.faulty_value = element_value(f[i]);
+    } else if (&lead == &f[i]) {
+      rec.faulty_value = element_value(f[i]);
+    } else {
+      rec.golden_value = element_value(g[i]);
+    }
+    return rec;
+  }
+  rec.compared_events = common;
+  if (g.size() != f.size()) {
+    // Identical prefix, one stream ended early: the shorter run stopped
+    // committing (returned, trapped, or went architecturally quiet) at the
+    // cycle of the other's next commit. When the shorter side was merely
+    // truncated by its bounds the verdict is beyond-window instead.
+    const bool faulty_shorter = f.size() < g.size();
+    const CommitRecorder& shorter = faulty_shorter ? faulty : golden;
+    if (shorter.truncated()) {
+      rec.beyond_window = true;
+      return rec;
+    }
+    rec.found = true;
+    const FlightEvent& next = faulty_shorter ? g[common] : f[common];
+    rec.cycle = next.cycle;
+    rec.element = DivergedElement::Halt;
+    if (faulty_shorter) {
+      rec.golden_value = element_value(next);
+    } else {
+      rec.faulty_value = element_value(next);
+    }
+    return rec;
+  }
+  // Byte-identical recordings: either genuinely no architectural divergence
+  // (complete recordings) or the divergence lies past the shared bounds.
+  rec.beyond_window = golden.truncated() || faulty.truncated();
+  return rec;
+}
+
+}  // namespace ttsc::resil

@@ -1,0 +1,126 @@
+// First-divergence fault forensics: where, cycle-exactly, did an injected
+// fault first change architectural state?
+//
+// The campaign layer classifies an injection by diffing end states (return
+// value, output checksum, final RF/memory image). For SDC and latent
+// outcomes that says *that* the run corrupted state but not *where*: the
+// first architecturally divergent cycle and the diverging state element are
+// what a debugging session actually needs. This header provides the
+// primitives: a bounded CommitRecorder observer that captures the commit
+// stream — executed pcs, RF writes, guard latches, memory stores — from the
+// fault cycle onward, and first_divergence(), which compares a golden and a
+// faulty recording event-for-event and maps the first mismatch to a state
+// element (pc / RF cell / guard / memory byte) or to an early halt.
+//
+// Soundness: state faults apply at the top of their cycle, before that
+// cycle's result delivery, RF commits and guard latches (sim/fault.hpp), so
+// commits up to and including the fault cycle equal the golden run's —
+// recording both replays from the fault cycle loses nothing. Both replays
+// are deterministic, so the comparison is exact, and the window/event
+// bounds keep a forensic replay's cost within a fixed multiple of a plain
+// injection (the campaign's replay budget does the rest).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "sim/observer.hpp"
+
+namespace ttsc::resil {
+
+/// Which architectural state element diverged first.
+enum class DivergedElement : std::uint8_t {
+  Pc,       // control flow: a different instruction executed
+  RfCell,   // a register-file cell committed a different value
+  Guard,    // a guard register latched a different value
+  MemByte,  // a store wrote different bytes (or a different address)
+  Halt,     // one run stopped committing (returned/trapped/hung) early
+};
+
+constexpr const char* diverged_element_name(DivergedElement e) {
+  switch (e) {
+    case DivergedElement::Pc: return "pc";
+    case DivergedElement::RfCell: return "rf";
+    case DivergedElement::Guard: return "guard";
+    case DivergedElement::MemByte: return "mem";
+    case DivergedElement::Halt: return "halt";
+  }
+  return "?";
+}
+
+/// Result of comparing a golden and a faulty commit recording.
+struct DivergenceRecord {
+  /// True when a first divergent commit was found inside the recorded
+  /// window. False with beyond_window set means both recordings were
+  /// identical but bounded (the divergence, which the SDC classification
+  /// proves exists, lies past the window); false without beyond_window
+  /// means the streams were identical and complete (no architectural
+  /// divergence at all — a latent fault that never reached the commit
+  /// stream, e.g. a flipped dead register).
+  bool found = false;
+  bool beyond_window = false;
+  std::uint64_t cycle = 0;
+  DivergedElement element = DivergedElement::Pc;
+  /// Element coordinates: RF index / guard index (unit), register index
+  /// (index), store address (addr) — unused fields zero.
+  int unit = 0;
+  int index = 0;
+  std::uint32_t addr = 0;
+  /// The two values of the diverging element (pc, cell value, latched
+  /// guard, stored word). When the element exists on only one side (extra
+  /// or missing commit), the absent side reads 0.
+  std::uint32_t golden_value = 0;
+  std::uint32_t faulty_value = 0;
+  /// Commits compared before the verdict (diagnostic).
+  std::uint64_t compared_events = 0;
+};
+
+/// Bounds for one forensic replay pair.
+struct ForensicsWindow {
+  /// Record commits in [start_cycle, start_cycle + window_cycles).
+  std::uint64_t start_cycle = 0;
+  std::uint64_t window_cycles = 4096;
+  /// Hard event cap per recording (a window of dense TTA cycles can carry
+  /// several commits per cycle).
+  std::size_t max_events = 1u << 15;
+};
+
+/// Observer that records the commit stream — Exec, RfWrite, GuardWrite and
+/// Store events — inside a ForensicsWindow. Storage is preallocated to the
+/// event cap; recording past the cap or the window sets truncated().
+class CommitRecorder final : public sim::ExecObserver {
+ public:
+  explicit CommitRecorder(const ForensicsWindow& window);
+
+  void on_exec(std::uint64_t cycle, std::uint32_t pc, bool shadow) override;
+  void on_rf_write(std::uint64_t cycle, int rf, int index, std::uint32_t value) override;
+  void on_guard_write(std::uint64_t cycle, int guard, std::uint32_t value) override;
+  void on_store(std::uint64_t cycle, std::uint32_t addr, std::uint32_t value,
+                std::uint8_t width) override;
+
+  const std::vector<obs::FlightEvent>& events() const { return events_; }
+  /// True when commits inside the window were dropped (event cap hit) or
+  /// the run kept committing past the window end: an identical-prefix
+  /// verdict is then "beyond window", not "no divergence".
+  bool truncated() const { return truncated_; }
+  /// External truncation: the replay driver caps its simulation budget at
+  /// the window end (simulating further can only distinguish "stream
+  /// complete" from "more commits later"), so a replay cut off mid-run is
+  /// marked truncated here to keep the identical-prefix verdict honest.
+  void mark_truncated() { truncated_ = true; }
+
+ private:
+  void push(const obs::FlightEvent& ev);
+
+  ForensicsWindow window_;
+  std::vector<obs::FlightEvent> events_;
+  bool truncated_ = false;
+};
+
+/// Compare two commit recordings (same engine, same window) and report the
+/// first architectural divergence.
+DivergenceRecord first_divergence(const CommitRecorder& golden, const CommitRecorder& faulty);
+
+}  // namespace ttsc::resil

@@ -288,9 +288,18 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
       case Opcode::Ldhu: value = mem_.load16(a); break;
       case Opcode::Ldq: value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8)); break;
       case Opcode::Ldqu: value = mem_.load8(a); break;
-      case Opcode::Stw: mem_.store32(a, b); break;
-      case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
-      case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+      case Opcode::Stw:
+        mem_.store32(a, b);
+        if constexpr (kObserve) obs->on_store(issue, a, b, 4);
+        break;
+      case Opcode::Sth:
+        mem_.store16(a, static_cast<std::uint16_t>(b));
+        if constexpr (kObserve) obs->on_store(issue, a, b & 0xffffu, 2);
+        break;
+      case Opcode::Stq:
+        mem_.store8(a, static_cast<std::uint8_t>(b));
+        if constexpr (kObserve) obs->on_store(issue, a, b & 0xffu, 1);
+        break;
       case Opcode::Jump: {
         if constexpr (kObserve) {
           if (timing.branch_penalty > 0) {
@@ -529,9 +538,18 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       case Opcode::Ldhu: value = mem_.load16(a); break;
       case Opcode::Ldq: value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8)); break;
       case Opcode::Ldqu: value = mem_.load8(a); break;
-      case Opcode::Stw: mem_.store32(a, b); break;
-      case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
-      case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+      case Opcode::Stw:
+        mem_.store32(a, b);
+        if (obs != nullptr) obs->on_store(issue, a, b, 4);
+        break;
+      case Opcode::Sth:
+        mem_.store16(a, static_cast<std::uint16_t>(b));
+        if (obs != nullptr) obs->on_store(issue, a, b & 0xffffu, 2);
+        break;
+      case Opcode::Stq:
+        mem_.store8(a, static_cast<std::uint8_t>(b));
+        if (obs != nullptr) obs->on_store(issue, a, b & 0xffu, 1);
+        break;
       case Opcode::Jump: {
         if (obs != nullptr && timing.branch_penalty > 0) {
           obs->on_overhead(issue, sim::OverheadKind::BranchPenalty,

@@ -226,6 +226,17 @@ void TeeObserver::on_overhead(std::uint64_t cycle, OverheadKind kind, std::uint6
   if (b_ != nullptr) b_->on_overhead(cycle, kind, cycles);
 }
 
+void TeeObserver::on_guard_write(std::uint64_t cycle, int guard, std::uint32_t value) {
+  if (a_ != nullptr) a_->on_guard_write(cycle, guard, value);
+  if (b_ != nullptr) b_->on_guard_write(cycle, guard, value);
+}
+
+void TeeObserver::on_store(std::uint64_t cycle, std::uint32_t addr, std::uint32_t value,
+                           std::uint8_t width) {
+  if (a_ != nullptr) a_->on_store(cycle, addr, value, width);
+  if (b_ != nullptr) b_->on_store(cycle, addr, value, width);
+}
+
 void TraceObserver::on_block_enter(std::uint64_t cycle, std::uint32_t block) {
   line(cycle, format("block enter b%u", block));
 }

@@ -118,6 +118,9 @@ class TeeObserver final : public ExecObserver {
   void on_block_enter(std::uint64_t cycle, std::uint32_t block) override;
   void on_exec(std::uint64_t cycle, std::uint32_t pc, bool shadow) override;
   void on_overhead(std::uint64_t cycle, OverheadKind kind, std::uint64_t cycles) override;
+  void on_guard_write(std::uint64_t cycle, int guard, std::uint32_t value) override;
+  void on_store(std::uint64_t cycle, std::uint32_t addr, std::uint32_t value,
+                std::uint8_t width) override;
 
  private:
   ExecObserver* a_;

@@ -22,6 +22,17 @@
 //  * on_stall        — scalar only: cycles the pipeline waited for an
 //                      operand that was not ready (hazard stalls; multi-word
 //                      expansions and branch penalties are not stalls).
+//                      The statically-scheduled cores have no dynamic
+//                      stall event: their equivalent of a stall is an
+//                      *empty slot* baked into the schedule — a VLIW bundle
+//                      slot or TTA bus with no operation in a cycle — which
+//                      is visible as the complement of on_trigger/on_move
+//                      occupancy and is classified per cause by the static
+//                      stall_cause tables (prof/cause.hpp). Consumers that
+//                      need per-cycle idleness (the flight recorder's VCD
+//                      export renders idle buses/FUs as their idle level)
+//                      reconstruct it from the absence of events at a
+//                      cycle rather than from a callback.
 //  * on_block_enter  — the instruction at a block-entry pc began executing.
 //                      `block` is the source-program block id (an index into
 //                      the program's block_entry table). When several blocks
@@ -49,6 +60,21 @@
 //                      sequencing, and the taken-branch penalty. Together
 //                      with on_exec and on_stall these partition a scalar
 //                      run's cycle count exactly.
+//  * on_guard_write  — TTA only: a guard register latched a new value at
+//                      the cycle it becomes architecturally visible (one
+//                      cycle after the guard-write move executed), mirroring
+//                      on_rf_write's commit-cycle convention. `value` is the
+//                      latched boolean (guard writes latch `v != 0`).
+//  * on_store        — a memory store became architecturally visible: the
+//                      byte/halfword/word at `addr` now holds `value`
+//                      (low `width` bytes). Fires on all three engines at
+//                      the commit cycle (scalar reports the issue cycle,
+//                      like its on_trigger/on_rf_write), after the
+//                      operation's on_trigger. Together with on_rf_write
+//                      and on_guard_write this makes the observer stream a
+//                      complete commit log of architectural state changes —
+//                      what the flight recorder and the resilience layer's
+//                      first-divergence forensics replay against.
 #pragma once
 
 #include <cstdint>
@@ -202,6 +228,9 @@ class ExecObserver {
   virtual void on_exec(std::uint64_t /*cycle*/, std::uint32_t /*pc*/, bool /*shadow*/) {}
   virtual void on_overhead(std::uint64_t /*cycle*/, OverheadKind /*kind*/,
                            std::uint64_t /*cycles*/) {}
+  virtual void on_guard_write(std::uint64_t /*cycle*/, int /*guard*/, std::uint32_t /*value*/) {}
+  virtual void on_store(std::uint64_t /*cycle*/, std::uint32_t /*addr*/,
+                        std::uint32_t /*value*/, std::uint8_t /*width*/) {}
 };
 
 /// Per-run simulator configuration, accepted by all three simulators.

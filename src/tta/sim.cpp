@@ -275,7 +275,10 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
     commits.clear();
     // 2b. Guard writes from the previous cycle latch in.
     std::vector<GuardWrite>& latches = guard_pending[cycle & 1];
-    for (const GuardWrite& g : latches) guard_regs[g.guard] = g.value;
+    for (const GuardWrite& g : latches) {
+      guard_regs[g.guard] = g.value;
+      if constexpr (kObserve) obs->on_guard_write(cycle, static_cast<int>(g.guard), g.value);
+    }
     latches.clear();
 
     if (pc >= num_instrs && transfer_in < 0) {
@@ -394,12 +397,19 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
           // Stores commit their side effect in the trigger cycle.
           case TtaPMove::Fire::Store:
             switch (mv.opcode) {
-              case Opcode::Stw: mem_.store32(f.value, fu_operand[fu]); break;
+              case Opcode::Stw:
+                mem_.store32(f.value, fu_operand[fu]);
+                if constexpr (kObserve) obs->on_store(cycle, f.value, fu_operand[fu], 4);
+                break;
               case Opcode::Sth:
                 mem_.store16(f.value, static_cast<std::uint16_t>(fu_operand[fu]));
+                if constexpr (kObserve)
+                  obs->on_store(cycle, f.value, fu_operand[fu] & 0xffffu, 2);
                 break;
               case Opcode::Stq:
                 mem_.store8(f.value, static_cast<std::uint8_t>(fu_operand[fu]));
+                if constexpr (kObserve)
+                  obs->on_store(cycle, f.value, fu_operand[fu] & 0xffu, 1);
                 break;
               default: TTSC_UNREACHABLE("bad store opcode");
             }
@@ -584,7 +594,10 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
       rf_pending.pop();
     }
     // 2b. Guard writes from the previous cycle latch in.
-    for (const auto& [g, v] : guard_pending) guard_regs[static_cast<std::size_t>(g)] = v;
+    for (const auto& [g, v] : guard_pending) {
+      guard_regs[static_cast<std::size_t>(g)] = v;
+      if (obs != nullptr) obs->on_guard_write(cycle, g, v ? 1u : 0u);
+    }
     guard_pending.clear();
 
     if (pc >= program_.instrs.size() && transfer_in < 0) {
@@ -718,9 +731,18 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
         const int lat = machine_.fus[static_cast<std::size_t>(f.fu)].latency(f.op);
         switch (f.op) {
           // Stores commit their side effect in the trigger cycle.
-          case Opcode::Stw: mem_.store32(f.value, fu.operand); break;
-          case Opcode::Sth: mem_.store16(f.value, static_cast<std::uint16_t>(fu.operand)); break;
-          case Opcode::Stq: mem_.store8(f.value, static_cast<std::uint8_t>(fu.operand)); break;
+          case Opcode::Stw:
+            mem_.store32(f.value, fu.operand);
+            if (obs != nullptr) obs->on_store(cycle, f.value, fu.operand, 4);
+            break;
+          case Opcode::Sth:
+            mem_.store16(f.value, static_cast<std::uint16_t>(fu.operand));
+            if (obs != nullptr) obs->on_store(cycle, f.value, fu.operand & 0xffffu, 2);
+            break;
+          case Opcode::Stq:
+            mem_.store8(f.value, static_cast<std::uint8_t>(fu.operand));
+            if (obs != nullptr) obs->on_store(cycle, f.value, fu.operand & 0xffu, 1);
+            break;
           default: {
             // Binary ops: operand port is the first input, trigger the
             // second — except loads/unary where the trigger is the input,

@@ -271,9 +271,18 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
             value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8));
             break;
           case Opcode::Ldqu: value = mem_.load8(a); break;
-          case Opcode::Stw: mem_.store32(a, b); break;
-          case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
-          case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+          case Opcode::Stw:
+            mem_.store32(a, b);
+            if constexpr (kObserve) obs->on_store(cycle, a, b, 4);
+            break;
+          case Opcode::Sth:
+            mem_.store16(a, static_cast<std::uint16_t>(b));
+            if constexpr (kObserve) obs->on_store(cycle, a, b & 0xffffu, 2);
+            break;
+          case Opcode::Stq:
+            mem_.store8(a, static_cast<std::uint8_t>(b));
+            if constexpr (kObserve) obs->on_store(cycle, a, b & 0xffu, 1);
+            break;
           case Opcode::Jump:
             transfer_in = machine_.delay_slots;
             transfer_target = op.target_pc;
@@ -512,9 +521,18 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
             value = static_cast<std::uint32_t>(sign_extend(mem_.load8(a), 8));
             break;
           case Opcode::Ldqu: value = mem_.load8(a); break;
-          case Opcode::Stw: mem_.store32(a, b); break;
-          case Opcode::Sth: mem_.store16(a, static_cast<std::uint16_t>(b)); break;
-          case Opcode::Stq: mem_.store8(a, static_cast<std::uint8_t>(b)); break;
+          case Opcode::Stw:
+            mem_.store32(a, b);
+            if (obs != nullptr) obs->on_store(cycle, a, b, 4);
+            break;
+          case Opcode::Sth:
+            mem_.store16(a, static_cast<std::uint16_t>(b));
+            if (obs != nullptr) obs->on_store(cycle, a, b & 0xffffu, 2);
+            break;
+          case Opcode::Stq:
+            mem_.store8(a, static_cast<std::uint8_t>(b));
+            if (obs != nullptr) obs->on_store(cycle, a, b & 0xffu, 1);
+            break;
           case Opcode::Jump:
             transfer_in = machine_.delay_slots;
             transfer_target = program_.block_entry[in.targets[0]];

@@ -7,7 +7,9 @@
 
 #include <set>
 
+#include "mach/configs.hpp"
 #include "obs/counter_names.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "report/parallel_runner.hpp"
 #include "resil/campaign.hpp"
@@ -54,8 +56,14 @@ TEST(Patterns, SpotChecksAgainstTheTable) {
   EXPECT_TRUE(is_documented_counter("prof.cycles.bus"));
   EXPECT_TRUE(is_documented_counter("prof.static.slot_capacity"));
   EXPECT_TRUE(is_documented_counter("resil.fu-result.sdc"));
+  EXPECT_TRUE(is_documented_counter("forensics.analyzed"));
+  EXPECT_TRUE(is_documented_counter("forensics.skipped_budget"));
+  EXPECT_TRUE(is_documented_counter("flight.events"));
+  EXPECT_TRUE(is_documented_counter("flight.dropped_cycles"));
   EXPECT_FALSE(is_documented_counter("bogus.counter"));
   EXPECT_FALSE(is_documented_counter("prof.cycles.bogus"));
+  EXPECT_FALSE(is_documented_counter("flight.bogus"));
+  EXPECT_FALSE(is_documented_counter("forensics.bogus"));
 }
 
 /// The enforcement sweep: the full grid with utilization and profile
@@ -74,7 +82,16 @@ TEST(Sweep, EveryRecordedNameIsDocumented) {
   campaign.machines = {"m-tta-2"};
   campaign.workloads = {"sha"};
   campaign.registry = &registry;
+  campaign.forensics = true;  // exercise the forensics.* counter family
   resil::run_campaign(campaign);
+
+  // The flight.* family (obs/flight.cpp export_to) — record a tiny run.
+  {
+    const mach::Machine machine = mach::machine_by_name("m-tta-2");
+    FlightRecorder recorder(machine, /*capacity=*/16);
+    recorder.on_exec(0, 0, false);
+    recorder.export_to(registry);
+  }
 
   EXPECT_FALSE(registry.empty());
   for (const auto& [name, value] : registry.counters()) {

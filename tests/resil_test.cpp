@@ -564,5 +564,65 @@ TEST(Campaign, UnknownNamesAreConfigurationErrors) {
   EXPECT_THROW(resil::run_campaign(opt), Error);
 }
 
+TEST(Campaign, ForensicsSmokeCellsMatchGolden) {
+  // The CI forensics smoke campaign: SDC/latent injections replayed
+  // golden-vs-faulty, first-divergence verdicts pinned to
+  // tests/golden/resil_forensics.json. Regenerate with TTSC_UPDATE_GOLDEN=1
+  // after an intentional change and explain the drift in the commit message.
+  resil::CampaignOptions opt;
+  opt.machines = {"mblaze-3", "m-vliw-2", "m-tta-2"};
+  opt.workloads = {"sha"};
+  opt.injections_per_cell = 64;
+  opt.seed = 7715;
+  opt.forensics = true;
+  opt.forensics_budget = 8;
+  const resil::CampaignReport r = resil::run_campaign(opt);
+  ASSERT_TRUE(r.all_ok());
+  ASSERT_EQ(r.cells.size(), 3u);
+
+  for (const resil::CellReport& cell : r.cells) {
+    // The budget caps analyzed records; every candidate is either analyzed
+    // or explicitly counted as skipped.
+    EXPECT_LE(cell.forensics.size(),
+              static_cast<std::size_t>(opt.effective_forensics_budget()));
+    EXPECT_EQ(cell.forensics.size() + cell.forensics_skipped, cell.forensics_candidates);
+    for (const resil::ForensicRecord& rec : cell.forensics) {
+      // Only SDC and latent-masked injections are eligible.
+      EXPECT_TRUE(rec.outcome == resil::Outcome::Sdc ||
+                  (rec.outcome == resil::Outcome::Masked && rec.latent));
+      // A found divergence can never precede the fault.
+      if (rec.divergence.found) EXPECT_GE(rec.divergence.cycle, rec.fault_cycle);
+    }
+  }
+
+  // The replay pass must not perturb classification: with the forensics
+  // sections masked out of the render, the report is byte-identical to a
+  // forensics-off campaign's.
+  resil::CampaignOptions plain_opt = opt;
+  plain_opt.forensics = false;
+  const resil::CampaignReport plain = resil::run_campaign(plain_opt);
+  resil::CampaignReport masked = r;
+  masked.forensics = false;
+  EXPECT_EQ(resil::render_resil_report_json(masked), resil::render_resil_report_json(plain));
+
+  const std::string got = resil::render_resil_report_json(r);
+  const std::string path = std::string(TTSC_GOLDEN_DIR) + "/resil_forensics.json";
+  if (std::getenv("TTSC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "golden snapshot regenerated at " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden snapshot " << path
+                         << " (regenerate with TTSC_UPDATE_GOLDEN=1)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "forensics campaign drifted from tests/golden/resil_forensics.json; "
+         "if intentional, regenerate with TTSC_UPDATE_GOLDEN=1 and explain the "
+         "drift in the commit message";
+}
+
 }  // namespace
 }  // namespace ttsc
