@@ -28,6 +28,25 @@
 //                       overhead in the bench JSON)
 //   --forensics-budget N  forensic replays per cell (default: automatic,
 //                       max(1, injections/64) — keeps overhead under 5%)
+//   --protect=p1,p2     also inject into the named protection variants of
+//                       every machine in the set: for each machine M and
+//                       profile p, append "M+p" (parity | eccdmr | full —
+//                       see mach::Protection) to the machine list; the
+//                       stdout table and report gain the
+//                       corrected/recovered/detected outcome columns and
+//                       the protection-efficiency section
+//   --double-bit N      adjacent double-bit upset rate in permille (0..1000,
+//                       default 0 — the historical single-bit plan)
+//   --retry-budget N    override Protection::retry_budget on every
+//                       protected cell (rollback retries before degrading
+//                       to detected-unrecoverable)
+//   --checkpoint N      override Protection::checkpoint_interval (cycles
+//                       between rollback checkpoints)
+//   --cell-timeout S    per-cell wall-clock watchdog in seconds (0 = off);
+//                       an expired cell aborts the campaign, or degrades to
+//                       a structured ERR cell under --keep-going
+//   --keep-going        keep running the remaining cells after a watchdog
+//                       expiry (the report still exits non-zero)
 //   --metrics           print the campaign's merged "resil.*" counters to
 //                       stderr
 //   --report-json=FILE  write the machine-readable campaign report
@@ -40,6 +59,11 @@
 // Stream hygiene matches the other harnesses: stdout carries only the
 // table; diagnostics go to stderr. Exits non-zero on any ERR cell or
 // injection infrastructure failure.
+//
+// SIGINT/SIGTERM are caught: the campaign stops at the next cell boundary
+// and the completed prefix is still rendered (and written to --report-json)
+// as a truncated partial report, exiting non-zero.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +74,10 @@
 #include "resil/campaign.hpp"
 
 namespace {
+
+volatile std::sig_atomic_t g_cancel = 0;
+
+extern "C" void on_signal(int) { g_cancel = 1; }
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -68,7 +96,9 @@ std::vector<std::string> split_list(const std::string& csv) {
   std::fprintf(stderr,
                "usage: %s [--machines=a,b,c] [--workloads=x,y] [--injections N] "
                "[--seed N] [--threads N] [--serial] [--no-batch] [--batch-lanes N] "
-               "[--superblocks] [--forensics] [--forensics-budget N] [--metrics] "
+               "[--superblocks] [--forensics] [--forensics-budget N] "
+               "[--protect=p1,p2] [--double-bit N] [--retry-budget N] [--checkpoint N] "
+               "[--cell-timeout S] [--keep-going] [--metrics] "
                "[--report-json=FILE] [--bench-json=FILE]\n",
                prog);
   std::exit(2);
@@ -83,6 +113,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   std::string report_json;
   std::string bench_json;
+  std::vector<std::string> protect_profiles;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--serial") == 0) {
@@ -93,8 +124,20 @@ int main(int argc, char** argv) {
       options.superblocks = true;
     } else if (std::strcmp(argv[i], "--forensics") == 0) {
       options.forensics = true;
+    } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+      options.keep_going = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (bench::flag_value(argc, argv, i, "--protect", value)) {
+      protect_profiles = split_list(value);
+    } else if (bench::flag_value(argc, argv, i, "--double-bit", value)) {
+      options.double_bit_permille = std::atoi(value.c_str());
+    } else if (bench::flag_value(argc, argv, i, "--retry-budget", value)) {
+      options.retry_budget_override = std::atoi(value.c_str());
+    } else if (bench::flag_value(argc, argv, i, "--checkpoint", value)) {
+      options.checkpoint_override = std::atoi(value.c_str());
+    } else if (bench::flag_value(argc, argv, i, "--cell-timeout", value)) {
+      options.cell_timeout_seconds = std::atof(value.c_str());
     } else if (bench::flag_value(argc, argv, i, "--forensics-budget", value)) {
       options.forensics_budget = std::atoi(value.c_str());
     } else if (bench::flag_value(argc, argv, i, "--batch-lanes", value)) {
@@ -121,6 +164,21 @@ int main(int argc, char** argv) {
       options.injections_per_cell <= 0) {
     usage(argv[0]);
   }
+  if (options.double_bit_permille < 0 || options.double_bit_permille > 1000) usage(argv[0]);
+  // Expand --protect: every base machine plus its "M+profile" variants, base
+  // first so the efficiency table can pair each variant with its base cell.
+  if (!protect_profiles.empty()) {
+    std::vector<std::string> expanded;
+    for (const std::string& m : options.machines) {
+      expanded.push_back(m);
+      for (const std::string& p : protect_profiles) expanded.push_back(m + "+" + p);
+    }
+    options.machines = std::move(expanded);
+  }
+
+  options.cancel = &g_cancel;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   // Benchmark mode: time the batched path against the scalar path on the
   // configured cell set and emit the BENCH artifact; no campaign table.
@@ -156,6 +214,13 @@ int main(int argc, char** argv) {
                     c.batched_seconds > 0.0 ? 100.0 * c.forensics_seconds / c.batched_seconds
                                             : 0.0);
       }
+      if (c.protected_machine) {
+        std::printf("%-10s %-9s   protection: %.3fs protected vs %.3fs scalar (%+.1f%%)\n", "",
+                    "", c.protected_seconds, c.scalar_seconds,
+                    c.scalar_seconds > 0.0
+                        ? 100.0 * (c.protected_seconds / c.scalar_seconds - 1.0)
+                        : 0.0);
+      }
     }
     return exit_code;
   }
@@ -173,6 +238,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::fputs(resil::render_resilience(report).c_str(), stdout);
+  if (report.protection) {
+    const std::string eff = resil::render_protection_efficiency(report);
+    if (!eff.empty()) std::fputs(("\n" + eff).c_str(), stdout);
+  }
   if (options.forensics) std::fputs(("\n" + resil::render_forensics(report)).c_str(), stdout);
   if (metrics) std::fputs(("\n" + registry.render()).c_str(), stderr);
   if (!report_json.empty()) {
@@ -196,6 +265,10 @@ int main(int argc, char** argv) {
   if (infra != 0) {
     std::fprintf(stderr, "%llu injection(s) hit infrastructure failures\n",
                  static_cast<unsigned long long>(infra));
+    exit_code = 1;
+  }
+  if (report.truncated) {
+    std::fprintf(stderr, "campaign truncated by signal; partial report flushed\n");
     exit_code = 1;
   }
   return exit_code;

@@ -188,6 +188,101 @@ int ic_ff_cost(const Machine& m) {
   return static_cast<int>(m.buses.size()) * 8;
 }
 
+// ---- fault-protection hardware (mach::Protection) ---------------------------
+//
+// Structural like everything else: parity is an XOR tree per RF port
+// (~width/5 LUT6s), SEC-DED a (39,32) Hsiao code — the stored word widens
+// by 7 check bits (scaling the LUT-RAM replicas), each write port pays an
+// encoder and each read port a syndrome decoder/corrector. DMR duplicates
+// the checked FU and adds a word comparator; the mod-3 residue checker is a
+// narrow end-around-carry adder tree. TMR triplicates the 1-bit guard
+// latches with a majority voter. Rollback keeps a shadow copy of every RF
+// (same LaForest-style LUT RAM), a small store-buffer FIFO and the
+// checkpoint/restore FSM.
+constexpr double kParityLutPerPortBit = 1.0 / 5.0;  // XOR tree, LUT6 fabric
+constexpr double kSecDedStorageScale = 7.0 / 32.0;  // 39-bit codeword replicas
+constexpr int kSecDedEncodeLut = 28;                // per write port
+constexpr int kSecDedDecodeLut = 70;                // syndrome + corrector per read port
+constexpr int kDmrCompareLut = 11;                  // 32-bit equality reduce
+constexpr int kDmrStageFf = 32;                     // duplicate result register
+constexpr int kResidueLut = 16;                     // mod-3 residue + compare
+constexpr int kResidueFf = 2;
+constexpr int kTmrVoterLut = 1;                     // per guard: 3-input majority
+constexpr int kImemParityCheckLut = 7;              // fetch-path word check
+constexpr int kImemSecDedCheckLut = 70;             // fetch-path decode/correct
+constexpr int kRollbackFifoLut = 64;                // store buffer between checkpoints
+constexpr int kRollbackFsmLut = 80;                 // checkpoint/restore sequencing
+constexpr int kRollbackFsmFf = 48;
+
+// Timing: the decoder/checker sits on the consumer side of the protected
+// read path, so the slowest enabled mechanism stretches the critical path.
+constexpr double kParityCheckNs = 0.5;
+constexpr double kSecDedCheckNs = 1.1;
+constexpr double kDmrCompareNs = 0.7;
+constexpr double kResidueCheckNs = 0.45;
+
+struct ProtectCost {
+  int lut = 0;
+  int ff = 0;
+};
+
+ProtectCost protect_cost(const Machine& m) {
+  ProtectCost c;
+  const mach::Protection& p = m.protect;
+  if (p.rf == mach::Protection::Code::Parity) {
+    for (const mach::RegisterFile& rf : m.rfs) {
+      const int ports = rf.read_ports + rf.write_ports;
+      c.lut += static_cast<int>(std::lround(ports * rf.width * kParityLutPerPortBit));
+    }
+  } else if (p.rf == mach::Protection::Code::SecDed) {
+    for (const mach::RegisterFile& rf : m.rfs) {
+      c.lut += static_cast<int>(std::lround(rf_cost(rf).lut_as_ram * kSecDedStorageScale));
+      c.lut += rf.write_ports * kSecDedEncodeLut + rf.read_ports * kSecDedDecodeLut;
+    }
+  }
+  if (p.fu != mach::Protection::FuCheck::None) {
+    const bool barrel = m.model != mach::Model::Scalar || m.scalar.barrel_shifter;
+    for (const mach::FunctionUnit& fu : m.fus) {
+      if (fu.is_control_unit()) continue;
+      if (p.fu == mach::Protection::FuCheck::Dmr) {
+        c.lut += fu_lut_cost(fu, barrel) + kDmrCompareLut;
+        c.ff += kDmrStageFf;
+      } else {
+        c.lut += kResidueLut;
+        c.ff += kResidueFf;
+      }
+    }
+  }
+  if (p.guard_tmr) {
+    c.lut += m.guard_regs * kTmrVoterLut;
+    c.ff += m.guard_regs * 2;  // two extra copies of each 1-bit latch
+  }
+  if (p.imem == mach::Protection::Code::Parity) {
+    c.lut += kImemParityCheckLut;
+  } else if (p.imem == mach::Protection::Code::SecDed) {
+    c.lut += kImemSecDedCheckLut;
+  }
+  if (p.rollback) {
+    for (const mach::RegisterFile& rf : m.rfs) c.lut += rf_cost(rf).lut_total;
+    c.lut += kRollbackFifoLut + kRollbackFsmLut;
+    c.ff += kRollbackFsmFf;
+  }
+  return c;
+}
+
+double protect_path_ns(const mach::Protection& p) {
+  double ns = 0.0;
+  if (p.rf == mach::Protection::Code::Parity || p.imem == mach::Protection::Code::Parity) {
+    ns = std::max(ns, kParityCheckNs);
+  }
+  if (p.rf == mach::Protection::Code::SecDed || p.imem == mach::Protection::Code::SecDed) {
+    ns = std::max(ns, kSecDedCheckNs);
+  }
+  if (p.fu == mach::Protection::FuCheck::Dmr) ns = std::max(ns, kDmrCompareNs);
+  if (p.fu == mach::Protection::FuCheck::Residue3) ns = std::max(ns, kResidueCheckNs);
+  return ns;
+}
+
 }  // namespace
 
 AreaReport estimate_area(const Machine& m) {
@@ -234,7 +329,15 @@ AreaReport estimate_area(const Machine& m) {
     a.ff += m.guard_regs * 2;
   }
 
-  a.core_lut = a.rf_lut + a.ic_lut + a.fu_lut + a.control_lut;
+  // Declared fault protection: purely additive and gated on the machine
+  // actually declaring any, so every unprotected estimate is bit-unchanged.
+  if (m.protect.any()) {
+    const ProtectCost pc = protect_cost(m);
+    a.protect_lut = pc.lut;
+    a.ff += pc.ff;
+  }
+
+  a.core_lut = a.rf_lut + a.ic_lut + a.fu_lut + a.control_lut + a.protect_lut;
   a.slices = static_cast<int>(std::lround(
       std::max(a.core_lut / 4.0, a.ff / 8.0) * 1.35));
   return a;
@@ -278,6 +381,8 @@ TimingReport estimate_timing(const Machine& m) {
   } else if (m.model == mach::Model::Vliw) {
     ns += kVliwDecodeBaseNs + kVliwDecodePerSlotNs * static_cast<double>(m.vliw_slots.size());
   }
+
+  if (m.protect.any()) ns += protect_path_ns(m.protect);
 
   TimingReport t;
   t.critical_path_ns = ns;

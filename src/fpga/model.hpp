@@ -29,6 +29,13 @@ struct AreaReport {
   int ic_lut = 0;
   int fu_lut = 0;
   int control_lut = 0;
+  /// Fault-protection hardware (mach::Protection): code encoders/decoders
+  /// on RF ports and the fetch path, FU result checkers, TMR guard voters
+  /// and the checkpoint-rollback shadow state. Zero for unprotected
+  /// machines and included in core_lut, so every unprotected estimate is
+  /// unchanged and the protection overhead is directly reportable as
+  /// ΔLUT in the resilience-efficiency tables.
+  int protect_lut = 0;
   int ff = 0;
   int dsp = 0;
   int slices = 0;  // for the Fig. 6 efficiency scatter

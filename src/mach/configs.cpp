@@ -295,7 +295,45 @@ std::vector<Machine> all_machines() {
           make_m_tta_3(),  make_p_tta_3(),  make_bm_tta_3()};
 }
 
+Protection protection_profile(const std::string& profile) {
+  Protection p;
+  if (profile == "parity") {
+    // Cheapest detect-only hardening: fail-stop on any odd storage flip.
+    p.rf = Protection::Code::Parity;
+    p.imem = Protection::Code::Parity;
+  } else if (profile == "eccdmr") {
+    // Correcting codes on storage plus full datapath duplication, still
+    // fail-stop on anything the codes cannot correct.
+    p.rf = Protection::Code::SecDed;
+    p.imem = Protection::Code::SecDed;
+    p.fu = Protection::FuCheck::Dmr;
+    p.guard_tmr = true;
+  } else if (profile == "full") {
+    // eccdmr plus checkpoint-rollback recovery on detection.
+    p.rf = Protection::Code::SecDed;
+    p.imem = Protection::Code::SecDed;
+    p.fu = Protection::FuCheck::Dmr;
+    p.guard_tmr = true;
+    p.rollback = true;
+  } else {
+    throw Error("unknown protection profile: +" + profile +
+                " (expected +parity, +eccdmr or +full)");
+  }
+  return p;
+}
+
 Machine machine_by_name(const std::string& name) {
+  // "<base>+<profile>" names a protected variant: the base machine with a
+  // named mach::Protection profile applied. The suffixed string stays the
+  // machine's name, so campaign cells, reports and FPGA tables key the
+  // protected variant without any schema change.
+  const std::size_t plus = name.find('+');
+  if (plus != std::string::npos) {
+    Machine m = machine_by_name(name.substr(0, plus));
+    m.protect = protection_profile(name.substr(plus + 1));
+    m.name = name;
+    return m;
+  }
   for (Machine& m : all_machines()) {
     if (m.name == name) return m;
   }

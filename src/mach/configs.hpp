@@ -43,8 +43,16 @@ Machine make_g_tta_3();
 /// All 13 configurations in the paper's reporting order.
 std::vector<Machine> all_machines();
 
-/// Look up by paper name (e.g. "m-tta-2"). Throws ttsc::Error if unknown.
+/// Look up by paper name (e.g. "m-tta-2"). A "+<profile>" suffix yields the
+/// protected variant: "+parity" (parity on RFs and imem, fail-stop),
+/// "+eccdmr" (SEC-DED on RFs and imem, DMR on FU results, TMR guards,
+/// fail-stop) or "+full" ("+eccdmr" plus checkpoint-rollback recovery).
+/// Throws ttsc::Error if unknown.
 Machine machine_by_name(const std::string& name);
+
+/// The named protection profile behind a "+<profile>" machine suffix.
+/// Throws ttsc::Error for unknown profile names.
+Protection protection_profile(const std::string& profile);
 
 /// 1, 2 or 3 parallel datapath issues (for report grouping).
 int issue_width(const Machine& machine);

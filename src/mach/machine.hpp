@@ -113,6 +113,44 @@ struct ScalarTiming {
 
 enum class Model : std::uint8_t { Tta, Vliw, Scalar };
 
+/// Per-structure SEU hardening a machine description can declare (the
+/// mitigation side of the src/resil fault model). Every option is costed by
+/// the src/fpga area/fmax model and simulated architecturally by all three
+/// simulators (src/sim/protect.hpp): codes detect (parity) or correct
+/// (SEC-DED) storage bit flips when the corrupted element is *read*, result
+/// checking (DMR / mod-3 residue) detects datapath flips when the corrupted
+/// FU result register is consumed, and TMR guard latches outvote a flipped
+/// predicate bit. Detection without `rollback` fails stop (a structured
+/// ProtectionDetected trap); with `rollback` the recovery policy re-executes
+/// from the last periodic architectural checkpoint, degrading to a
+/// DetectedUnrecoverable trap when the retry budget is exhausted.
+struct Protection {
+  /// Storage code on RF partitions / instruction memory.
+  enum class Code : std::uint8_t { None, Parity, SecDed };
+  /// FU result checking: duplicate-and-compare or a mod-3 residue check.
+  enum class FuCheck : std::uint8_t { None, Residue3, Dmr };
+
+  Code rf = Code::None;
+  Code imem = Code::None;
+  FuCheck fu = FuCheck::None;
+  /// Triplicated guard latches with a majority voter (single flips masked).
+  bool guard_tmr = false;
+
+  /// Checkpoint-rollback recovery on detection (vs fail-stop).
+  bool rollback = false;
+  /// Cycles between architectural checkpoints.
+  std::uint32_t checkpoint_interval = 256;
+  /// Re-execution attempts before degrading to DetectedUnrecoverable.
+  int retry_budget = 3;
+  /// Cycles to restore a checkpoint before re-execution starts.
+  std::uint32_t rollback_penalty = 16;
+
+  bool any() const {
+    return rf != Code::None || imem != Code::None || fu != FuCheck::None || guard_tmr;
+  }
+  bool operator==(const Protection&) const = default;
+};
+
 struct Machine {
   std::string name;
   Model model = Model::Tta;
@@ -138,6 +176,11 @@ struct Machine {
   bool has_guards() const { return guard_regs > 0; }
 
   ScalarTiming scalar;
+
+  /// Declared SEU hardening (default: none — the paper's machines are
+  /// unprotected; the `+parity`/`+eccdmr`/`+full` name suffixes parsed by
+  /// mach::machine_by_name enable the profiled variants).
+  Protection protect;
 
   int control_unit() const {
     for (std::size_t i = 0; i < fus.size(); ++i)

@@ -103,8 +103,8 @@ inline const std::vector<CounterDoc>& counter_docs() {
 
     // --- resilience campaigns (resil/campaign.cpp) ---
     for (const char* target : {"rf", "fu-result", "guard", "imem"}) {
-      for (const char* leaf :
-           {"injections", "masked", "sdc", "timeout", "trap", "err", "latent"}) {
+      for (const char* leaf : {"injections", "masked", "sdc", "timeout", "trap", "err", "latent",
+                               "corrected", "recovered", "detected"}) {
         d.push_back({std::string("resil.") + target + "." + leaf,
                      "per-target fault-injection tally"});
       }
@@ -114,6 +114,19 @@ inline const std::vector<CounterDoc>& counter_docs() {
     d.push_back({"resil.batch.evictions", "lanes evicted to scalar replay"});
     d.push_back({"resil.cells.run", "resilience cells campaigned"});
     d.push_back({"resil.cells.err", "resilience cells that failed"});
+
+    // --- fault protection & recovery (resil/campaign.cpp, protected cells) ---
+    d.push_back({"protect.rf.corrected", "RF reads scrubbed by SEC-DED"});
+    d.push_back({"protect.rf.detected", "RF reads detected uncorrectable"});
+    d.push_back({"protect.fu.detected", "FU results failing DMR/residue check"});
+    d.push_back({"protect.guard.corrected", "guard flips outvoted by TMR"});
+    d.push_back({"protect.imem.corrected", "imem fetches scrubbed by SEC-DED"});
+    d.push_back({"protect.imem.detected", "imem fetches detected uncorrectable"});
+    d.push_back({"recovery.rollbacks", "checkpoint rollbacks performed"});
+    d.push_back({"recovery.retries", "re-execution retries after rollback"});
+    d.push_back({"recovery.recovered", "detections recovered to golden state"});
+    d.push_back({"recovery.unrecoverable", "detections degraded to a safe stop"});
+    d.push_back({"recovery.cycles", "total detection-to-restore latency"});
 
     // --- first-divergence forensics (resil/campaign.cpp) ---
     d.push_back({"forensics.candidates", "SDC/latent injections eligible for replay"});

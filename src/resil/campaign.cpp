@@ -1,12 +1,14 @@
 #include "resil/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <optional>
 
 #include "codegen/legalize.hpp"
 #include "codegen/lower.hpp"
+#include "fpga/model.hpp"
 #include "mach/configs.hpp"
 #include "obs/json.hpp"
 #include "opt/passes.hpp"
@@ -17,6 +19,7 @@
 #include "scalar/scalar.hpp"
 #include "sim/lockstep.hpp"
 #include "sim/predecode.hpp"
+#include "sim/protect.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
@@ -224,6 +227,15 @@ Outcome classify(const PreparedCell& cell, const Result& r, const ir::Memory& me
   return Outcome::Masked;
 }
 
+/// Apply an imem fault to the program form: one flipped encoding bit, or an
+/// adjacent pair for double-bit upsets (FaultSpec::imem_width).
+template <typename Program>
+Program mutate_imem(const Program& program, const FaultSpec& spec) {
+  Program mutated = flip_bit(program, spec.imem_bit);
+  if (spec.imem_width >= 2) mutated = flip_bit(mutated, spec.imem_bit + 1);
+  return mutated;
+}
+
 Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, std::uint64_t budget,
                       bool& latent) {
   latent = false;
@@ -238,7 +250,7 @@ Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, std::uint
   switch (cell.machine.model) {
     case mach::Model::Scalar: {
       if (spec.target == TargetKind::Imem) {
-        const scalar::ScalarProgram mutated = flip_bit(*cell.scalar_prog, spec.imem_bit);
+        const scalar::ScalarProgram mutated = mutate_imem(*cell.scalar_prog, spec);
         scalar::ScalarSim sim(mutated, cell.machine, mem, opts);
         return classify(cell, sim.run(budget), mem, latent);
       }
@@ -248,7 +260,7 @@ Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, std::uint
     }
     case mach::Model::Vliw: {
       if (spec.target == TargetKind::Imem) {
-        const vliw::VliwProgram mutated = flip_bit(*cell.vliw_prog, spec.imem_bit);
+        const vliw::VliwProgram mutated = mutate_imem(*cell.vliw_prog, spec);
         vliw::VliwSim sim(mutated, cell.machine, mem, opts);
         return classify(cell, sim.run(budget), mem, latent);
       }
@@ -258,13 +270,183 @@ Outcome run_injection(const PreparedCell& cell, const FaultSpec& spec, std::uint
     }
     case mach::Model::Tta: {
       if (spec.target == TargetKind::Imem) {
-        const tta::TtaProgram mutated = flip_bit(*cell.tta_prog, spec.imem_bit);
+        const tta::TtaProgram mutated = mutate_imem(*cell.tta_prog, spec);
         tta::TtaSim sim(mutated, cell.machine, mem, opts);
         return classify(cell, sim.run(budget), mem, latent);
       }
       tta::TtaSim sim(*cell.tta_prog, cell.machine, mem, opts);
       sim.use_predecoded(cell.tta_pre);
       return classify(cell, sim.run(budget), mem, latent);
+    }
+  }
+  TTSC_UNREACHABLE("resil: unhandled machine model");
+}
+
+/// Decide what the imem code does with the corrupted codeword(s) and poison
+/// the fetch path accordingly. Returns true when the corruption escapes the
+/// code entirely and the *mutated* program must actually run (no code, or a
+/// parity-even flip confined to one codeword).
+bool poison_imem(mach::Protection::Code code, std::uint8_t width, std::uint32_t pc0,
+                 std::uint32_t pc1, sim::ProtectState& prot) {
+  switch (code) {
+    case mach::Protection::Code::None:
+      return true;
+    case mach::Protection::Code::Parity:
+      // An adjacent pair inside one codeword flips two bits: even parity —
+      // the classic escape. Split across codewords each word has an odd
+      // flip, so both are detectable.
+      if (width >= 2 && pc0 == pc1) return true;
+      prot.poison_imem_detectable(pc0);
+      if (width >= 2) prot.poison_imem_detectable(pc1);
+      return false;
+    case mach::Protection::Code::SecDed:
+      // Double flip in one codeword: detected-uncorrectable. Split across
+      // codewords each is a single-bit flip: both scrub on fetch.
+      if (width >= 2 && pc0 == pc1) {
+        prot.poison_imem_detectable(pc0);
+        return false;
+      }
+      prot.poison_imem_correctable(pc0);
+      if (width >= 2) prot.poison_imem_correctable(pc1);
+      return false;
+  }
+  return true;
+}
+
+/// Analytic checkpoint-rollback resolution of a detected fault.
+///
+/// Sound because a protected faulty run never architecturally diverges from
+/// golden *before* the detection trap: the only divergent state is the
+/// poisoned element itself, and every consumption of it goes through a
+/// read-site check (sim/protect.hpp) that fires before the value is used.
+/// So the checkpoint at cycle c_k = floor(c_d / K) * K is clean exactly
+/// when the fault landed at or after c_k (imem corruption is persistent —
+/// re-execution refetches the same corrupted codeword, so it is never
+/// clean), and a rollback from a clean checkpoint deterministically
+/// re-executes the golden run from c_k.
+Outcome resolve_detection(const FaultSpec& spec, const mach::Protection& cfg,
+                          std::uint64_t detect_cycle, ProtectStats& stats) {
+  if (!cfg.rollback) {
+    // Fail-stop DUE: detected, reported, no recovery hardware.
+    return Outcome::Detected;
+  }
+  const std::uint64_t interval = cfg.checkpoint_interval > 0 ? cfg.checkpoint_interval : 1;
+  const std::uint64_t checkpoint = (detect_cycle / interval) * interval;
+  const bool clean = spec.target != TargetKind::Imem && spec.state.cycle >= checkpoint;
+  const std::uint64_t replay_cycles = detect_cycle - checkpoint + cfg.rollback_penalty;
+  if (clean) {
+    ++stats.rollbacks;
+    ++stats.recovered;
+    stats.recovery_cycles += replay_cycles;
+    if (replay_cycles > stats.recovery_cycles_max) stats.recovery_cycles_max = replay_cycles;
+    return Outcome::Recovered;
+  }
+  // The corruption predates the checkpoint (or lives in imem): every
+  // re-execution detects again at the same cycle until the retry budget
+  // runs out, then the core degrades to a detected-unrecoverable stop.
+  const std::uint64_t retries =
+      cfg.retry_budget > 0 ? static_cast<std::uint64_t>(cfg.retry_budget) : 0;
+  stats.rollbacks += retries;
+  stats.retries += retries;
+  ++stats.unrecoverable;
+  return Outcome::Detected;
+}
+
+/// run_injection for a protected machine: the same hardened simulators with
+/// a sim::ProtectState attached, plus campaign-side imem codeword decisions
+/// and analytic checkpoint-rollback resolution of detections.
+Outcome run_protected_injection(const PreparedCell& cell, const FaultSpec& spec,
+                                std::uint64_t budget, const mach::Protection& cfg,
+                                bool& latent, ProtectStats& stats) {
+  latent = false;
+  sim::ProtectState prot(cfg);
+  ir::Memory mem = *cell.initial_mem;
+  sim::SimOptions opts;
+  opts.harden = true;
+  opts.protect = &prot;
+  sim::FaultSet fs;
+  if (spec.target != TargetKind::Imem) {
+    fs.faults.push_back(spec.state);
+    opts.faults = &fs;
+  }
+
+  // Imem faults: locate the corrupted codeword(s) and let the declared code
+  // decide — escape (run the mutated program), correctable or detectable
+  // poison (run the pristine program; the fetch check fires if and when the
+  // pc actually reaches the poisoned index, so never-fetched corruption
+  // stays masked exactly like the unprotected model).
+  bool imem_escape = false;
+  if (spec.target == TargetKind::Imem) {
+    std::uint32_t pc0 = 0;
+    std::uint32_t pc1 = 0;
+    switch (cell.machine.model) {
+      case mach::Model::Scalar:
+        pc0 = imem_instr_of_bit(*cell.scalar_prog, spec.imem_bit);
+        pc1 = spec.imem_width >= 2 ? imem_instr_of_bit(*cell.scalar_prog, spec.imem_bit + 1)
+                                   : pc0;
+        break;
+      case mach::Model::Vliw:
+        pc0 = imem_instr_of_bit(*cell.vliw_prog, spec.imem_bit);
+        pc1 = spec.imem_width >= 2 ? imem_instr_of_bit(*cell.vliw_prog, spec.imem_bit + 1)
+                                   : pc0;
+        break;
+      case mach::Model::Tta:
+        pc0 = imem_instr_of_bit(*cell.tta_prog, spec.imem_bit);
+        pc1 = spec.imem_width >= 2 ? imem_instr_of_bit(*cell.tta_prog, spec.imem_bit + 1)
+                                   : pc0;
+        break;
+    }
+    imem_escape = poison_imem(cfg.imem, spec.imem_width, pc0, pc1, prot);
+  }
+
+  auto finish = [&](const auto& r) -> Outcome {
+    stats.rf_corrected += prot.rf_corrected;
+    stats.rf_detected += prot.rf_detected;
+    stats.fu_detected += prot.fu_detected;
+    stats.guard_corrected += prot.guard_corrected;
+    stats.imem_corrected += prot.imem_corrected;
+    stats.imem_detected += prot.imem_detected;
+    if (r.status == sim::ExecStatus::Trapped &&
+        r.trap.reason == sim::TrapReason::ProtectionDetected) {
+      return resolve_detection(spec, cfg, r.trap.cycle, stats);
+    }
+    const Outcome o = classify(cell, r, mem, latent);
+    if (o == Outcome::Masked && !latent && prot.corrections() > 0) {
+      return Outcome::Corrected;
+    }
+    return o;
+  };
+
+  switch (cell.machine.model) {
+    case mach::Model::Scalar: {
+      if (spec.target == TargetKind::Imem && imem_escape) {
+        const scalar::ScalarProgram mutated = mutate_imem(*cell.scalar_prog, spec);
+        scalar::ScalarSim sim(mutated, cell.machine, mem, opts);
+        return finish(sim.run(budget));
+      }
+      scalar::ScalarSim sim(*cell.scalar_prog, cell.machine, mem, opts);
+      sim.use_predecoded(cell.scalar_pre);
+      return finish(sim.run(budget));
+    }
+    case mach::Model::Vliw: {
+      if (spec.target == TargetKind::Imem && imem_escape) {
+        const vliw::VliwProgram mutated = mutate_imem(*cell.vliw_prog, spec);
+        vliw::VliwSim sim(mutated, cell.machine, mem, opts);
+        return finish(sim.run(budget));
+      }
+      vliw::VliwSim sim(*cell.vliw_prog, cell.machine, mem, opts);
+      sim.use_predecoded(cell.vliw_pre);
+      return finish(sim.run(budget));
+    }
+    case mach::Model::Tta: {
+      if (spec.target == TargetKind::Imem && imem_escape) {
+        const tta::TtaProgram mutated = mutate_imem(*cell.tta_prog, spec);
+        tta::TtaSim sim(mutated, cell.machine, mem, opts);
+        return finish(sim.run(budget));
+      }
+      tta::TtaSim sim(*cell.tta_prog, cell.machine, mem, opts);
+      sim.use_predecoded(cell.tta_pre);
+      return finish(sim.run(budget));
     }
   }
   TTSC_UNREACHABLE("resil: unhandled machine model");
@@ -318,7 +500,7 @@ DivergenceRecord run_forensic_replay(const PreparedCell& cell, const FaultSpec& 
       }
       ir::Memory mem = *cell.initial_mem;
       if (spec.target == TargetKind::Imem) {
-        const scalar::ScalarProgram mutated = flip_bit(*cell.scalar_prog, spec.imem_bit);
+        const scalar::ScalarProgram mutated = mutate_imem(*cell.scalar_prog, spec);
         note_cutoff(scalar::ScalarSim(mutated, cell.machine, mem, faulty_opts).run(replay_budget),
                     faulty_rec);
       } else {
@@ -337,7 +519,7 @@ DivergenceRecord run_forensic_replay(const PreparedCell& cell, const FaultSpec& 
       }
       ir::Memory mem = *cell.initial_mem;
       if (spec.target == TargetKind::Imem) {
-        const vliw::VliwProgram mutated = flip_bit(*cell.vliw_prog, spec.imem_bit);
+        const vliw::VliwProgram mutated = mutate_imem(*cell.vliw_prog, spec);
         note_cutoff(vliw::VliwSim(mutated, cell.machine, mem, faulty_opts).run(replay_budget),
                     faulty_rec);
       } else {
@@ -356,7 +538,7 @@ DivergenceRecord run_forensic_replay(const PreparedCell& cell, const FaultSpec& 
       }
       ir::Memory mem = *cell.initial_mem;
       if (spec.target == TargetKind::Imem) {
-        const tta::TtaProgram mutated = flip_bit(*cell.tta_prog, spec.imem_bit);
+        const tta::TtaProgram mutated = mutate_imem(*cell.tta_prog, spec);
         note_cutoff(tta::TtaSim(mutated, cell.machine, mem, faulty_opts).run(replay_budget),
                     faulty_rec);
       } else {
@@ -420,6 +602,33 @@ struct Slot {
   TargetKind target = TargetKind::Rf;
   Outcome outcome = Outcome::Err;
   bool latent = false;
+  /// Per-injection protection/recovery activity (protected machines only) —
+  /// reduced into CellReport::protect in index order.
+  ProtectStats prot{};
+};
+
+void accumulate(ProtectStats& into, const ProtectStats& s) {
+  into.rf_corrected += s.rf_corrected;
+  into.rf_detected += s.rf_detected;
+  into.fu_detected += s.fu_detected;
+  into.guard_corrected += s.guard_corrected;
+  into.imem_corrected += s.imem_corrected;
+  into.imem_detected += s.imem_detected;
+  into.rollbacks += s.rollbacks;
+  into.retries += s.retries;
+  into.recovered += s.recovered;
+  into.unrecoverable += s.unrecoverable;
+  into.recovery_cycles += s.recovery_cycles;
+  if (s.recovery_cycles_max > into.recovery_cycles_max) {
+    into.recovery_cycles_max = s.recovery_cycles_max;
+  }
+}
+
+/// Per-cell watchdog expiry (CampaignOptions::cell_timeout_seconds).
+/// Distinct from Error so run_campaign can honor keep_going for watchdog
+/// hits specifically while configuration errors still abort.
+struct CellTimeoutError : Error {
+  using Error::Error;
 };
 
 struct BatchStats {
@@ -491,6 +700,24 @@ void export_cell_metrics(obs::Registry* registry, const CellReport& cr) {
     shard.add(format("resil.%s.trap", tn), tt.trap);
     shard.add(format("resil.%s.err", tn), tt.err);
     shard.add(format("resil.%s.latent", tn), tt.latent);
+    if (cr.protected_machine) {
+      shard.add(format("resil.%s.corrected", tn), tt.corrected);
+      shard.add(format("resil.%s.recovered", tn), tt.recovered);
+      shard.add(format("resil.%s.detected", tn), tt.detected);
+    }
+  }
+  if (cr.protected_machine) {
+    shard.add("protect.rf.corrected", cr.protect.rf_corrected);
+    shard.add("protect.rf.detected", cr.protect.rf_detected);
+    shard.add("protect.fu.detected", cr.protect.fu_detected);
+    shard.add("protect.guard.corrected", cr.protect.guard_corrected);
+    shard.add("protect.imem.corrected", cr.protect.imem_corrected);
+    shard.add("protect.imem.detected", cr.protect.imem_detected);
+    shard.add("recovery.rollbacks", cr.protect.rollbacks);
+    shard.add("recovery.retries", cr.protect.retries);
+    shard.add("recovery.recovered", cr.protect.recovered);
+    shard.add("recovery.unrecoverable", cr.protect.unrecoverable);
+    shard.add("recovery.cycles", cr.protect.recovery_cycles);
   }
   if (cr.batch_lanes != 0) {
     shard.add("resil.batch.lanes", cr.batch_lanes);
@@ -525,6 +752,9 @@ void TargetTally::accumulate(const TargetTally& other) {
   trap += other.trap;
   err += other.err;
   latent += other.latent;
+  corrected += other.corrected;
+  recovered += other.recovered;
+  detected += other.detected;
 }
 
 TargetTally CellReport::total() const {
@@ -565,9 +795,14 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   for (const std::string& name : options.workloads) {
     cell_workloads.push_back(&workload_by_name(name));
   }
-  for (const std::string& name : options.machines) (void)mach::machine_by_name(name);
-
   CampaignReport report;
+  for (const std::string& name : options.machines) {
+    // Configuration validation doubles as the protection-schema gate: one
+    // protected machine anywhere flips the whole report into the extended
+    // (corrected/recovered/detected) form.
+    report.protection = report.protection || mach::machine_by_name(name).protect.any();
+  }
+
   report.seed = options.seed;
   report.injections_per_cell = options.injections_per_cell;
   report.forensics = options.forensics;
@@ -577,6 +812,12 @@ CampaignReport run_campaign(const CampaignOptions& options) {
 
   for (const std::string& machine_name : options.machines) {
     for (const workloads::Workload* w : cell_workloads) {
+      if (options.cancel != nullptr && *options.cancel != 0) {
+        // Cooperative cancellation (SIGINT/SIGTERM): stop at the cell
+        // boundary and flush what completed as a truncated report.
+        report.truncated = true;
+        return report;
+      }
       CellReport cr;
       cr.machine = machine_name;
       cr.workload = w->name;
@@ -584,12 +825,37 @@ CampaignReport run_campaign(const CampaignOptions& options) {
         const PreparedCell cell = prepare_cell(machine_name, *w, options.superblocks);
         cr.golden_cycles = cell.golden.cycles;
         cr.imem_bits = cell.imem_bits;
+        mach::Protection prot_cfg = cell.machine.protect;
+        if (options.retry_budget_override > 0) prot_cfg.retry_budget = options.retry_budget_override;
+        if (options.checkpoint_override > 0) {
+          prot_cfg.checkpoint_interval = static_cast<std::uint32_t>(options.checkpoint_override);
+        }
+        cr.protected_machine = prot_cfg.any();
         const FaultPlan plan(cell.machine, cell.machine.model == mach::Model::Tta,
-                             cell.imem_bits, cell.golden.cycles);
+                             cell.imem_bits, cell.golden.cycles, options.double_bit_permille);
         const std::uint64_t cell_seed =
             mix_seed(options.seed, hash_name(machine_name + "/" + w->name));
 
         const std::uint64_t budget = timeout_budget(cell.golden.cycles);
+
+        // Per-cell wall-clock watchdog. Checked at the top of every work
+        // item; once tripped the remaining items record Err without running
+        // and the cell degrades to a structured error after the loop.
+        const bool watchdog_on = options.cell_timeout_seconds > 0.0;
+        const auto cell_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(watchdog_on ? options.cell_timeout_seconds : 0.0));
+        std::atomic<bool> cell_expired{false};
+        auto expired = [&]() -> bool {
+          if (!watchdog_on) return false;
+          if (cell_expired.load(std::memory_order_relaxed)) return true;
+          if (std::chrono::steady_clock::now() >= cell_deadline) {
+            cell_expired.store(true, std::memory_order_relaxed);
+            return true;
+          }
+          return false;
+        };
 
         // Pre-sample every injection by index: the spec stream is a pure
         // function of (seed, cell, index) regardless of batching, thread
@@ -617,14 +883,36 @@ CampaignReport run_campaign(const CampaignOptions& options) {
         };
 
         auto scalar_injection = [&](std::size_t i) {
+          if (expired()) {
+            slots[i] = Slot{specs[i].target, Outcome::Err, false};
+            return;
+          }
           Slot s;
           s.target = specs[i].target;
-          attempt_twice([&] { s.outcome = run_injection(cell, specs[i], budget, s.latent); },
-                        [&] { s = Slot{specs[i].target, Outcome::Err, false}; });
+          if (cr.protected_machine) {
+            attempt_twice(
+                [&] {
+                  // Retry hygiene: a second attempt must not inherit the
+                  // first attempt's partial protection stats.
+                  s.latent = false;
+                  s.prot = ProtectStats{};
+                  s.outcome =
+                      run_protected_injection(cell, specs[i], budget, prot_cfg, s.latent, s.prot);
+                },
+                [&] { s = Slot{specs[i].target, Outcome::Err, false}; });
+          } else {
+            attempt_twice([&] { s.outcome = run_injection(cell, specs[i], budget, s.latent); },
+                          [&] { s = Slot{specs[i].target, Outcome::Err, false}; });
+          }
           slots[i] = s;
         };
 
-        if (!options.batch) {
+        // Protected cells always take the per-injection path: each injection
+        // owns a private sim::ProtectState (thread safety) and detection
+        // traps are per-lane control flow the lockstep batcher does not
+        // model. The unprotected report is unaffected.
+        const bool use_batch = options.batch && !cr.protected_machine;
+        if (!use_batch) {
           auto body = [&](std::size_t i) { scalar_injection(i); };
           if (options.serial) {
             for (std::size_t i = 0; i < n; ++i) body(i);
@@ -656,6 +944,13 @@ CampaignReport run_campaign(const CampaignOptions& options) {
             if (item < num_groups) {
               const std::size_t begin = item * lanes;
               const std::size_t count = std::min(lanes, state_idx.size() - begin);
+              if (expired()) {
+                for (std::size_t k = 0; k < count; ++k) {
+                  const std::size_t i = state_idx[begin + k];
+                  slots[i] = Slot{specs[i].target, Outcome::Err, false};
+                }
+                return;
+              }
               attempt_twice(
                   [&] {
                     group_stats[item] =
@@ -685,6 +980,12 @@ CampaignReport run_campaign(const CampaignOptions& options) {
           }
         }
 
+        if (cell_expired.load(std::memory_order_relaxed)) {
+          throw CellTimeoutError(
+              format("cell watchdog expired after %.1fs (%s/%s)", options.cell_timeout_seconds,
+                     machine_name.c_str(), w->name.c_str()));
+        }
+
         for (const Slot& s : slots) {
           TargetTally& tt = cr.targets[static_cast<std::size_t>(s.target)];
           ++tt.injections;
@@ -693,11 +994,15 @@ CampaignReport run_campaign(const CampaignOptions& options) {
               ++tt.masked;
               if (s.latent) ++tt.latent;
               break;
+            case Outcome::Corrected: ++tt.corrected; break;
+            case Outcome::Recovered: ++tt.recovered; break;
+            case Outcome::Detected: ++tt.detected; break;
             case Outcome::Sdc: ++tt.sdc; break;
             case Outcome::Timeout: ++tt.timeout; break;
             case Outcome::Trap: ++tt.trap; break;
             case Outcome::Err: ++tt.err; break;
           }
+          accumulate(cr.protect, s.prot);
         }
 
         if (options.forensics) {
@@ -732,6 +1037,12 @@ CampaignReport run_campaign(const CampaignOptions& options) {
             cr.forensics.push_back(rec);
           }
         }
+      } catch (const CellTimeoutError& e) {
+        // Watchdog expiry aborts the campaign by default; --keep-going
+        // degrades it to a structured ERR cell so the rest of the grid runs.
+        if (!options.keep_going) throw;
+        cr.ok = false;
+        cr.error = e.what();
       } catch (const std::exception& e) {
         cr.ok = false;
         cr.error = e.what();
@@ -776,10 +1087,11 @@ BenchReport run_batch_benchmark(const CampaignOptions& options) {
       try {
         const PreparedCell cell = prepare_cell(machine_name, *w, options.superblocks);
         const std::uint64_t budget = timeout_budget(cell.golden.cycles);
+        bc.protected_machine = cell.machine.protect.any();
         // State faults only: imem faults take the identical per-injection
         // path in both modes and would only dilute the measurement.
         const FaultPlan plan(cell.machine, cell.machine.model == mach::Model::Tta,
-                             /*imem_bits=*/0, cell.golden.cycles);
+                             /*imem_bits=*/0, cell.golden.cycles, options.double_bit_permille);
         const std::uint64_t cell_seed =
             mix_seed(options.seed, hash_name(machine_name + "/" + w->name));
         const std::size_t n = static_cast<std::size_t>(options.injections_per_cell);
@@ -830,6 +1142,24 @@ BenchReport run_batch_benchmark(const CampaignOptions& options) {
           if (rep == 0 || batched_sec < bc.batched_seconds) bc.batched_seconds = batched_sec;
           bc.divergences = divergences;
           bc.evictions = evictions;
+
+          if (bc.protected_machine) {
+            // Protection overhead: the same state faults through the
+            // per-injection protected path (the one protected campaigns
+            // run — protected cells never batch). Same min-of-reps policy.
+            t0 = std::chrono::steady_clock::now();
+            for (std::size_t i = 0; i < n; ++i) {
+              bool latent = false;
+              ProtectStats ps;
+              (void)run_protected_injection(cell, specs[i], budget, cell.machine.protect, latent,
+                                            ps);
+            }
+            const double protected_sec =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+            if (rep == 0 || protected_sec < bc.protected_seconds) {
+              bc.protected_seconds = protected_sec;
+            }
+          }
         }
         // Cheap differential guard (the full equivalence is locked by the
         // lockstep/campaign test suites): both paths must classify every
@@ -926,6 +1256,12 @@ std::string render_resil_bench_json(const BenchReport& report) {
       w.key("forensics_overhead");
       w.value(c.batched_seconds > 0.0 ? c.forensics_seconds / c.batched_seconds : 0.0);
     }
+    if (c.protected_machine) {
+      w.key("protected_seconds");
+      w.value(c.protected_seconds);
+      w.key("protect_overhead");
+      w.value(c.scalar_seconds > 0.0 ? c.protected_seconds / c.scalar_seconds - 1.0 : 0.0);
+    }
     w.end_object();
   }
   w.end_array();
@@ -953,23 +1289,75 @@ void write_resil_bench(const std::string& path, const BenchReport& report) {
 }
 
 std::string render_resilience(const CampaignReport& report) {
+  if (!report.protection) {
+    // Unprotected campaigns keep the historical table byte-for-byte.
+    std::string out = format(
+        "SEU resilience (AVF-style): %d single-bit injections per cell, seed 0x%llx.\n"
+        "Targets: rf = register-file bits, fu-result = TTA result/bypass registers,\n"
+        "guard = predicate registers, imem = instruction encodings (through the\n"
+        "decoder). vuln%% = (sdc + timeout + trap) / injections.\n\n",
+        report.injections_per_cell, static_cast<unsigned long long>(report.seed));
+    out += format("%-10s %-9s %-10s %8s %8s %8s %8s %8s %8s %7s\n", "machine", "workload",
+                  "target", "inj", "masked", "sdc", "timeout", "trap", "err", "vuln%");
+    auto row = [&](const CellReport& c, const char* name, const TargetTally& t, bool lead) {
+      const double vuln =
+          t.injections == 0 ? 0.0
+                            : 100.0 * static_cast<double>(t.vulnerable()) /
+                                  static_cast<double>(t.injections);
+      out += format("%-10s %-9s %-10s %8llu %8llu %8llu %8llu %8llu %8llu %7.1f\n",
+                    lead ? c.machine.c_str() : "", lead ? c.workload.c_str() : "", name,
+                    static_cast<unsigned long long>(t.injections),
+                    static_cast<unsigned long long>(t.masked),
+                    static_cast<unsigned long long>(t.sdc),
+                    static_cast<unsigned long long>(t.timeout),
+                    static_cast<unsigned long long>(t.trap),
+                    static_cast<unsigned long long>(t.err), vuln);
+    };
+    for (const CellReport& c : report.cells) {
+      if (!c.ok) {
+        out += format("%-10s %-9s ERR: %s\n", c.machine.c_str(), c.workload.c_str(),
+                      c.error.c_str());
+        continue;
+      }
+      bool lead = true;
+      for (int t = 0; t < kNumTargetKinds; ++t) {
+        const TargetTally& tt = c.targets[static_cast<std::size_t>(t)];
+        if (tt.injections == 0) continue;
+        row(c, target_kind_name(static_cast<TargetKind>(t)), tt, lead);
+        lead = false;
+      }
+      row(c, "total", c.total(), false);
+    }
+    if (report.truncated) out += "\n(campaign truncated by cancellation — partial report)\n";
+    return out;
+  }
+
+  // Protected variant: wider machine column ("+profile" suffixes) and the
+  // three protection outcome columns. corr/recov end with the golden
+  // outcome; detect is the safe detected-unrecoverable stop — none count
+  // as vulnerable.
   std::string out = format(
-      "SEU resilience (AVF-style): %d single-bit injections per cell, seed 0x%llx.\n"
+      "SEU resilience (AVF-style): %d injections per cell, seed 0x%llx.\n"
       "Targets: rf = register-file bits, fu-result = TTA result/bypass registers,\n"
       "guard = predicate registers, imem = instruction encodings (through the\n"
-      "decoder). vuln%% = (sdc + timeout + trap) / injections.\n\n",
+      "decoder). corr = code-corrected, recov = rollback-recovered, detect =\n"
+      "detected-unrecoverable stop. vuln%% = (sdc + timeout + trap) / injections.\n\n",
       report.injections_per_cell, static_cast<unsigned long long>(report.seed));
-  out += format("%-10s %-9s %-10s %8s %8s %8s %8s %8s %8s %7s\n", "machine", "workload",
-                "target", "inj", "masked", "sdc", "timeout", "trap", "err", "vuln%");
+  out += format("%-16s %-9s %-10s %7s %7s %7s %7s %7s %7s %7s %6s %5s %7s\n", "machine",
+                "workload", "target", "inj", "masked", "corr", "recov", "detect", "sdc",
+                "timeout", "trap", "err", "vuln%");
   auto row = [&](const CellReport& c, const char* name, const TargetTally& t, bool lead) {
     const double vuln =
         t.injections == 0 ? 0.0
                           : 100.0 * static_cast<double>(t.vulnerable()) /
                                 static_cast<double>(t.injections);
-    out += format("%-10s %-9s %-10s %8llu %8llu %8llu %8llu %8llu %8llu %7.1f\n",
+    out += format("%-16s %-9s %-10s %7llu %7llu %7llu %7llu %7llu %7llu %7llu %6llu %5llu %7.1f\n",
                   lead ? c.machine.c_str() : "", lead ? c.workload.c_str() : "", name,
                   static_cast<unsigned long long>(t.injections),
                   static_cast<unsigned long long>(t.masked),
+                  static_cast<unsigned long long>(t.corrected),
+                  static_cast<unsigned long long>(t.recovered),
+                  static_cast<unsigned long long>(t.detected),
                   static_cast<unsigned long long>(t.sdc),
                   static_cast<unsigned long long>(t.timeout),
                   static_cast<unsigned long long>(t.trap),
@@ -977,7 +1365,7 @@ std::string render_resilience(const CampaignReport& report) {
   };
   for (const CellReport& c : report.cells) {
     if (!c.ok) {
-      out += format("%-10s %-9s ERR: %s\n", c.machine.c_str(), c.workload.c_str(),
+      out += format("%-16s %-9s ERR: %s\n", c.machine.c_str(), c.workload.c_str(),
                     c.error.c_str());
       continue;
     }
@@ -989,6 +1377,62 @@ std::string render_resilience(const CampaignReport& report) {
       lead = false;
     }
     row(c, "total", c.total(), false);
+  }
+  if (report.truncated) out += "\n(campaign truncated by cancellation — partial report)\n";
+  return out;
+}
+
+std::string render_protection_efficiency(const CampaignReport& report) {
+  if (!report.protection) return {};
+  std::string out =
+      "Protection efficiency: each protected machine against its unprotected\n"
+      "base (same name before '+', same workload). d-avf = vulnerability drop in\n"
+      "percentage points; lut+ = protection hardware (fpga model); the figure of\n"
+      "merit is d-avf per 1000 extra LUTs. recov-avg/max = detection-to-restore\n"
+      "latency in cycles over rollback-recovered injections.\n\n";
+  out += format("%-16s %-9s %7s %7s %7s %7s %7s %9s %9s %9s\n", "machine", "workload", "lut+",
+                "fmax-d%", "base-v%", "vuln%", "d-avf", "davf/kLUT", "recov-avg", "recov-max");
+  auto vuln_pct = [](const TargetTally& t) {
+    return t.injections == 0 ? 0.0
+                             : 100.0 * static_cast<double>(t.vulnerable()) /
+                                   static_cast<double>(t.injections);
+  };
+  for (const CellReport& c : report.cells) {
+    if (!c.ok || !c.protected_machine) continue;
+    const std::size_t plus = c.machine.find('+');
+    const std::string base_name = plus == std::string::npos ? c.machine : c.machine.substr(0, plus);
+    const CellReport* base = nullptr;
+    for (const CellReport& b : report.cells) {
+      if (b.ok && !b.protected_machine && b.machine == base_name && b.workload == c.workload) {
+        base = &b;
+        break;
+      }
+    }
+    const mach::Machine m = mach::machine_by_name(c.machine);
+    const mach::Machine bm = mach::machine_by_name(base_name);
+    const fpga::AreaReport area = fpga::estimate_area(m);
+    const double fmax = fpga::estimate_timing(m).fmax_mhz;
+    const double base_fmax = fpga::estimate_timing(bm).fmax_mhz;
+    const double fmax_drop = base_fmax > 0.0 ? 100.0 * (base_fmax - fmax) / base_fmax : 0.0;
+    const double vuln = vuln_pct(c.total());
+    const double recov_avg =
+        c.protect.recovered > 0 ? static_cast<double>(c.protect.recovery_cycles) /
+                                      static_cast<double>(c.protect.recovered)
+                                : 0.0;
+    if (base == nullptr) {
+      out += format("%-16s %-9s %7d %7.1f %7s %7.1f %7s %9s %9.1f %9llu\n", c.machine.c_str(),
+                    c.workload.c_str(), area.protect_lut, fmax_drop, "-", vuln, "-", "-",
+                    recov_avg, static_cast<unsigned long long>(c.protect.recovery_cycles_max));
+      continue;
+    }
+    const double base_vuln = vuln_pct(base->total());
+    const double davf = base_vuln - vuln;
+    const double davf_per_klut =
+        area.protect_lut > 0 ? davf / (static_cast<double>(area.protect_lut) / 1000.0) : 0.0;
+    out += format("%-16s %-9s %7d %7.1f %7.1f %7.1f %7.2f %9.2f %9.1f %9llu\n", c.machine.c_str(),
+                  c.workload.c_str(), area.protect_lut, fmax_drop, base_vuln, vuln, davf,
+                  davf_per_klut, recov_avg,
+                  static_cast<unsigned long long>(c.protect.recovery_cycles_max));
   }
   return out;
 }
@@ -1042,12 +1486,22 @@ std::string render_forensics(const CampaignReport& report) {
 
 namespace {
 
-void write_tally(obs::JsonWriter& w, const TargetTally& t) {
+void write_tally(obs::JsonWriter& w, const TargetTally& t, bool protection) {
   w.begin_object();
   w.key("injections");
   w.value(t.injections);
   w.key("masked");
   w.value(t.masked);
+  // Protection outcome keys only in protected campaigns: unprotected
+  // reports stay byte-identical to earlier schema revisions.
+  if (protection) {
+    w.key("corrected");
+    w.value(t.corrected);
+    w.key("recovered");
+    w.value(t.recovered);
+    w.key("detected");
+    w.value(t.detected);
+  }
   w.key("sdc");
   w.value(t.sdc);
   w.key("timeout");
@@ -1074,6 +1528,16 @@ std::string render_resil_report_json(const CampaignReport& report) {
   w.value(report.seed);
   w.key("injections_per_cell");
   w.value(report.injections_per_cell);
+  // Both markers appear only when set, keeping unprotected / completed
+  // reports byte-identical to earlier schema revisions.
+  if (report.protection) {
+    w.key("protection");
+    w.value(true);
+  }
+  if (report.truncated) {
+    w.key("truncated");
+    w.value(true);
+  }
   // "machines" keyed by "name", like the run report, so report_diff
   // compares campaigns machine-by-machine, order-insensitively.
   w.key("machines");
@@ -1110,11 +1574,40 @@ std::string render_resil_report_json(const CampaignReport& report) {
         const TargetTally& tt = c.targets[static_cast<std::size_t>(t)];
         if (tt.injections == 0) continue;
         w.key(target_kind_name(static_cast<TargetKind>(t)));
-        write_tally(w, tt);
+        write_tally(w, tt, report.protection);
       }
       w.end_object();
       w.key("total");
-      write_tally(w, c.total());
+      write_tally(w, c.total(), report.protection);
+      if (c.protected_machine) {
+        w.key("protect");
+        w.begin_object();
+        w.key("rf_corrected");
+        w.value(c.protect.rf_corrected);
+        w.key("rf_detected");
+        w.value(c.protect.rf_detected);
+        w.key("fu_detected");
+        w.value(c.protect.fu_detected);
+        w.key("guard_corrected");
+        w.value(c.protect.guard_corrected);
+        w.key("imem_corrected");
+        w.value(c.protect.imem_corrected);
+        w.key("imem_detected");
+        w.value(c.protect.imem_detected);
+        w.key("rollbacks");
+        w.value(c.protect.rollbacks);
+        w.key("retries");
+        w.value(c.protect.retries);
+        w.key("recovered");
+        w.value(c.protect.recovered);
+        w.key("unrecoverable");
+        w.value(c.protect.unrecoverable);
+        w.key("recovery_cycles");
+        w.value(c.protect.recovery_cycles);
+        w.key("recovery_cycles_max");
+        w.value(c.protect.recovery_cycles_max);
+        w.end_object();
+      }
       // Per-cell forensics only when the campaign ran with forensics on:
       // forensics-off reports stay byte-identical to the pre-forensics
       // schema (the existing resil_smoke.json golden depends on it).

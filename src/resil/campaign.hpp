@@ -24,6 +24,7 @@
 #pragma once
 
 #include <array>
+#include <csignal>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,12 +35,36 @@
 
 namespace ttsc::resil {
 
-enum class Outcome : std::uint8_t { Masked, Sdc, Timeout, Trap, Err };
-constexpr int kNumOutcomes = 5;
+/// Injection outcomes. The first four are the unprotected classification;
+/// protected machines (mach::Protection) add three non-vulnerable classes:
+///
+///  * Corrected — a protection code absorbed the fault with no architectural
+///                effect (SEC-DED single-bit scrub, TMR guard vote, imem
+///                codeword scrub) and the run matched golden exactly;
+///  * Recovered — the fault was *detected* and checkpoint-rollback replayed
+///                from a clean checkpoint to the golden outcome;
+///  * Detected  — the fault was detected but not recovered (no rollback
+///                configured, the checkpoint was already corrupted, or the
+///                retry budget ran out): a structured
+///                detected-unrecoverable stop, the safe DUE class.
+enum class Outcome : std::uint8_t {
+  Masked,
+  Corrected,
+  Recovered,
+  Detected,
+  Sdc,
+  Timeout,
+  Trap,
+  Err,
+};
+constexpr int kNumOutcomes = 8;
 
 constexpr const char* outcome_name(Outcome o) {
   switch (o) {
     case Outcome::Masked: return "masked";
+    case Outcome::Corrected: return "corrected";
+    case Outcome::Recovered: return "recovered";
+    case Outcome::Detected: return "detected";
     case Outcome::Sdc: return "sdc";
     case Outcome::Timeout: return "timeout";
     case Outcome::Trap: return "trap";
@@ -57,9 +82,16 @@ struct TargetTally {
   std::uint64_t err = 0;
   /// Masked runs whose final RF/memory image differed from golden.
   std::uint64_t latent = 0;
+  /// Protected-machine outcomes (always zero on unprotected machines).
+  std::uint64_t corrected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t detected = 0;
 
   /// Architectural vulnerability: the fraction of injections with any
-  /// externally visible effect (SDC, hang, trap).
+  /// externally visible *uncontrolled* effect (SDC, hang, fail-closed
+  /// trap). Corrected/Recovered runs end with the golden outcome and
+  /// Detected is the safe detected-unrecoverable stop, so none of the
+  /// protected classes count as vulnerable.
   std::uint64_t vulnerable() const { return sdc + timeout + trap; }
   void accumulate(const TargetTally& other);
 };
@@ -82,6 +114,34 @@ struct ForensicRecord {
   bool latent = false;
   std::uint64_t fault_cycle = 0;
   DivergenceRecord divergence;
+};
+
+/// Aggregated protection/recovery activity of one protected cell, reduced
+/// from the per-injection slots in index order (thread-count independent).
+/// Exported as "protect.*" / "recovery.*" counters and, for protected
+/// campaigns, rendered into the report's per-cell "protect" section.
+struct ProtectStats {
+  std::uint64_t rf_corrected = 0;
+  std::uint64_t rf_detected = 0;
+  std::uint64_t fu_detected = 0;
+  std::uint64_t guard_corrected = 0;
+  std::uint64_t imem_corrected = 0;
+  std::uint64_t imem_detected = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t unrecoverable = 0;
+  /// Total and worst-case detection-to-recovery latency over recovered
+  /// runs: rollback penalty plus the re-executed cycles back to the
+  /// detection point.
+  std::uint64_t recovery_cycles = 0;
+  std::uint64_t recovery_cycles_max = 0;
+
+  bool any() const {
+    return rf_corrected != 0 || rf_detected != 0 || fu_detected != 0 || guard_corrected != 0 ||
+           imem_corrected != 0 || imem_detected != 0 || rollbacks != 0 || retries != 0 ||
+           recovered != 0 || unrecoverable != 0;
+  }
 };
 
 struct CellReport {
@@ -110,6 +170,11 @@ struct CellReport {
   std::vector<ForensicRecord> forensics;
   std::uint64_t forensics_candidates = 0;
   std::uint64_t forensics_skipped = 0;
+
+  /// True when the cell's machine declares any protection (a "+profile"
+  /// variant); gates the protect/recovery report sections and counters.
+  bool protected_machine = false;
+  ProtectStats protect;
 
   TargetTally total() const;
 };
@@ -146,9 +211,28 @@ struct CampaignOptions {
   int forensics_budget = 0;
   /// Commit-recording window in cycles past the fault cycle.
   std::uint64_t forensics_window = 4096;
+  /// Adjacent double-bit upset fraction in permille (FaultPlan): 0 keeps
+  /// the historical all-single-bit plan bit-identical.
+  int double_bit_permille = 0;
+  /// Override the machine's Protection::retry_budget /
+  /// checkpoint_interval for every protected cell; <= 0 keeps each
+  /// machine's declared value.
+  int retry_budget_override = 0;
+  int checkpoint_override = 0;
+  /// Cooperative cancellation (SIGINT/SIGTERM in table_resilience): polled
+  /// at cell boundaries; when it becomes non-zero the campaign stops after
+  /// the current cell and the report is marked truncated.
+  const volatile std::sig_atomic_t* cancel = nullptr;
+  /// Per-cell wall-clock watchdog; <= 0 disables. An expired cell stops
+  /// injecting (remaining injections never run), and either aborts the
+  /// campaign (throws) or — with keep_going — degrades to a structured ERR
+  /// cell so the rest of the grid still runs.
+  double cell_timeout_seconds = 0.0;
+  bool keep_going = false;
   /// Optional metrics sink: "resil.<target>.<outcome>" counters plus
   /// "resil.cells.run"/"resil.cells.err", merged once per cell; with
-  /// forensics on, also "forensics.*".
+  /// forensics on, also "forensics.*"; for protected cells, also
+  /// "protect.*" / "recovery.*".
   obs::Registry* registry = nullptr;
 
   /// Effective forensic replay budget per cell.
@@ -166,6 +250,15 @@ struct CampaignReport {
   /// "forensics" sections (absent otherwise, so forensics-off reports stay
   /// byte-identical to earlier schema revisions).
   bool forensics = false;
+  /// Any machine in the campaign declares protection: gates the protected
+  /// outcome columns/keys (corrected/recovered/detected) and the per-cell
+  /// "protect" sections, so unprotected campaigns render byte-identically
+  /// to earlier schema revisions.
+  bool protection = false;
+  /// The campaign was cancelled (CampaignOptions::cancel) before every cell
+  /// ran: the report holds the completed prefix and renders a
+  /// "truncated": true marker (the key is absent otherwise).
+  bool truncated = false;
   std::vector<CellReport> cells;  // machine-major, in option order
 
   bool all_ok() const;
@@ -201,6 +294,12 @@ struct BenchCell {
   /// bar is forensics_seconds / batched_seconds < 5%.
   double forensics_seconds = 0.0;
   std::uint64_t forensics_analyzed = 0;
+  /// Protection overhead pass (machines with mach::Protection declared):
+  /// wall time of the same injections through the per-injection protected
+  /// path (checks + analytic rollback resolution). Zero / absent from the
+  /// JSON for unprotected machines.
+  bool protected_machine = false;
+  double protected_seconds = 0.0;
 };
 
 struct BenchReport {
@@ -229,6 +328,14 @@ std::string render_resilience(const CampaignReport& report);
 /// Human-readable first-divergence table (stdout section of
 /// `table_resilience --forensics`; empty string when forensics was off).
 std::string render_forensics(const CampaignReport& report);
+
+/// Protection-efficiency table: every protected machine paired with its
+/// unprotected base (same base name, same workload) with ΔAVF
+/// (percentage-point vulnerability reduction), the fpga model's LUT/fmax
+/// overhead for the protection hardware, the resulting ΔAVF-per-kLUT
+/// figure of merit, and the measured recovery-cycle overhead. Empty string
+/// when the campaign had no protected machine.
+std::string render_protection_efficiency(const CampaignReport& report);
 
 /// Machine-readable report, schema "ttsc-resil-report" v1. The top-level
 /// "machines" array is keyed by each element's "name", so

@@ -6,8 +6,13 @@
 namespace ttsc::resil {
 
 FaultPlan::FaultPlan(const mach::Machine& machine, bool tta_state, std::uint64_t imem_bits,
-                     std::uint64_t golden_cycles)
-    : machine_(&machine), imem_bits_(imem_bits), golden_cycles_(golden_cycles) {
+                     std::uint64_t golden_cycles, int double_bit_permille)
+    : machine_(&machine),
+      imem_bits_(imem_bits),
+      golden_cycles_(golden_cycles),
+      double_bit_permille_(double_bit_permille) {
+  TTSC_ASSERT(double_bit_permille >= 0 && double_bit_permille <= 1000,
+              "double_bit_permille must be in [0, 1000]");
   for (const mach::RegisterFile& rf : machine.rfs) {
     rf_bits_ += static_cast<std::uint64_t>(rf.size) * 32;
   }
@@ -52,12 +57,29 @@ FaultSpec FaultPlan::sample(std::uint64_t seed) const {
   } else {
     spec.target = TargetKind::Imem;
     spec.imem_bit = site - (rf_bits_ + fu_result_bits_ + guard_bits_);
+    // Adjacent double-bit upset: the width draw comes after the site draw
+    // (and only when the option is on) so the default plan's stream is
+    // bit-identical to earlier revisions. The pair {bit, bit + 1} must stay
+    // in range, so the start bit is clamped.
+    if (double_bit_permille_ > 0 && imem_bits_ >= 2 &&
+        rng.next_below_unbiased(1000) < static_cast<std::uint64_t>(double_bit_permille_)) {
+      spec.imem_width = 2;
+      if (spec.imem_bit > imem_bits_ - 2) spec.imem_bit = imem_bits_ - 2;
+    }
     return spec;  // instruction faults are present from cycle 0 — no draw
   }
   // State faults strike a uniformly random cycle of the fault-free run.
   const std::uint64_t range = golden_cycles_ > 0 ? golden_cycles_ : 1;
   TTSC_ASSERT(range <= UINT32_MAX, "golden run too long for 32-bit cycle sampling");
   spec.state.cycle = rng.next_below_unbiased(static_cast<std::uint32_t>(range));
+  // Adjacent double-bit upset for the word-shaped state classes (guards are
+  // single-bit latches — always width 1). Drawn last, gated on the option,
+  // for the same stream-stability reason as the imem branch; sim::fault_mask
+  // clamps the start bit so the pair stays inside the 32-bit word.
+  if (double_bit_permille_ > 0 && spec.target != TargetKind::Guard &&
+      rng.next_below_unbiased(1000) < static_cast<std::uint64_t>(double_bit_permille_)) {
+    spec.state.width = 2;
+  }
   return spec;
 }
 

@@ -42,11 +42,16 @@ constexpr const char* target_kind_name(TargetKind k) {
 
 /// One planned injection: a state fault (Rf/FuResult/Guard, carried as the
 /// sim::StateFault the simulators consume) or an instruction-memory bit
-/// index (Imem, applied to the program form before the run).
+/// index (Imem, applied to the program form before the run). Adjacent
+/// double-bit faults (FaultPlan double_bit_permille) widen the state fault
+/// (state.width == 2) or flip imem bits {imem_bit, imem_bit + 1}
+/// (imem_width == 2) — the multi-cell upsets that separate SEC-DED's
+/// correct regime from its detect-only regime.
 struct FaultSpec {
   TargetKind target = TargetKind::Rf;
   sim::StateFault state{};
   std::uint64_t imem_bit = 0;
+  std::uint8_t imem_width = 1;
 };
 
 class FaultPlan {
@@ -55,8 +60,13 @@ class FaultPlan {
   /// the fault-free run length — state-fault cycles are drawn uniformly
   /// from [0, golden_cycles), instruction faults are present from cycle 0.
   /// FuResult bits are only weighted in for TTA machines (`tta_state`).
+  /// `double_bit_permille` in [0, 1000] upgrades that fraction of Rf,
+  /// FuResult and Imem faults to adjacent double-bit upsets (guards are
+  /// single-bit latches — always width 1). The width draw happens after all
+  /// existing draws and only when the option is non-zero, so the default
+  /// plan's fault stream is bit-identical to earlier revisions.
   FaultPlan(const mach::Machine& machine, bool tta_state, std::uint64_t imem_bits,
-            std::uint64_t golden_cycles);
+            std::uint64_t golden_cycles, int double_bit_permille = 0);
 
   /// Total sampled bits per class (weights of the categorical draw).
   std::uint64_t rf_bits() const { return rf_bits_; }
@@ -78,6 +88,7 @@ class FaultPlan {
   std::uint64_t guard_bits_ = 0;
   std::uint64_t imem_bits_ = 0;
   std::uint64_t golden_cycles_ = 0;
+  int double_bit_permille_ = 0;
 };
 
 /// Deterministic seed combinator (SplitMix64 scramble of a ^ golden(b)):

@@ -141,4 +141,44 @@ scalar::ScalarProgram flip_bit(const scalar::ScalarProgram& program, std::uint64
   return flip(program, bit);
 }
 
+// Fetch-unit lookup via the same walker that defines the bit numbering (one
+// unit at a time, so the boundary bookkeeping can never drift from
+// flip_bit). The walk mutates nothing: the cursor's default target is out of
+// range.
+
+std::uint32_t imem_instr_of_bit(const tta::TtaProgram& program, std::uint64_t bit) {
+  tta::TtaProgram copy = program;
+  BitCursor cur;
+  for (std::size_t i = 0; i < copy.instrs.size(); ++i) {
+    for (tta::Move& mv : copy.instrs[i].moves) walk_move(mv, cur);
+    if (bit < cur.pos) return static_cast<std::uint32_t>(i);
+  }
+  TTSC_ASSERT(false, "imem fault bit index out of range");
+  return 0;
+}
+
+std::uint32_t imem_instr_of_bit(const vliw::VliwProgram& program, std::uint64_t bit) {
+  vliw::VliwProgram copy = program;
+  BitCursor cur;
+  for (std::size_t i = 0; i < copy.bundles.size(); ++i) {
+    for (auto& slot : copy.bundles[i].slots) {
+      if (slot.has_value()) walk_minstr(slot->instr, cur);
+    }
+    if (bit < cur.pos) return static_cast<std::uint32_t>(i);
+  }
+  TTSC_ASSERT(false, "imem fault bit index out of range");
+  return 0;
+}
+
+std::uint32_t imem_instr_of_bit(const scalar::ScalarProgram& program, std::uint64_t bit) {
+  scalar::ScalarProgram copy = program;
+  BitCursor cur;
+  for (std::size_t i = 0; i < copy.instrs.size(); ++i) {
+    walk_minstr(copy.instrs[i], cur);
+    if (bit < cur.pos) return static_cast<std::uint32_t>(i);
+  }
+  TTSC_ASSERT(false, "imem fault bit index out of range");
+  return 0;
+}
+
 }  // namespace ttsc::resil

@@ -38,4 +38,13 @@ tta::TtaProgram flip_bit(const tta::TtaProgram& program, std::uint64_t bit);
 vliw::VliwProgram flip_bit(const vliw::VliwProgram& program, std::uint64_t bit);
 scalar::ScalarProgram flip_bit(const scalar::ScalarProgram& program, std::uint64_t bit);
 
+/// The pc-granular fetch unit holding encoding bit `bit` — the TTA/scalar
+/// instruction or VLIW bundle index, i.e. the codeword an imem ECC/parity
+/// code would protect. The protection layer keys imem poisons on this index
+/// (sim/protect.hpp check_imem_fetch), so two bits map to the same codeword
+/// exactly when this returns the same value for both.
+std::uint32_t imem_instr_of_bit(const tta::TtaProgram& program, std::uint64_t bit);
+std::uint32_t imem_instr_of_bit(const vliw::VliwProgram& program, std::uint64_t bit);
+std::uint32_t imem_instr_of_bit(const scalar::ScalarProgram& program, std::uint64_t bit);
+
 }  // namespace ttsc::resil

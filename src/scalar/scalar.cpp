@@ -4,6 +4,7 @@
 #include "sim/fault.hpp"
 #include "sim/harden.hpp"
 #include "sim/predecode.hpp"
+#include "sim/protect.hpp"
 #include "support/bits.hpp"
 
 namespace ttsc::scalar {
@@ -97,7 +98,8 @@ ExecResult ScalarSim::run(std::uint64_t max_cycles) {
     predecoded_ =
         std::make_shared<const sim::PredecodedScalar>(sim::predecode(program_, machine_));
   }
-  const bool harden = options_.harden || options_.faults != nullptr;
+  const bool harden =
+      options_.harden || options_.faults != nullptr || options_.protect != nullptr;
   if (options_.profile != nullptr) {
     if (options_.observer != nullptr) {
       return harden ? run_fast<true, true, true>(max_cycles)
@@ -149,12 +151,16 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
     fault_next = options_.faults->faults.data();
     fault_end = fault_next + options_.faults->faults.size();
   }
+  [[maybe_unused]] sim::ProtectState* const prot = options_.protect;
   [[maybe_unused]] auto apply_fault = [&](const sim::StateFault& f) {
     if (f.kind != sim::FaultKind::RfBit) return;
     if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= machine_.rfs.size()) return;
     if (f.index < 0 || f.index >= machine_.rfs[static_cast<std::size_t>(f.unit)].size) return;
-    regs[pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index)] ^=
-        1u << (f.bit & 31);
+    const std::uint32_t slot =
+        pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index);
+    const std::uint32_t mask = sim::fault_mask(f);
+    regs[slot] ^= mask;
+    if (prot != nullptr) prot->on_rf_flip(slot, mask);
   };
 
   // Block-entry lookup for on_block_enter: entry pc -> block id, last block
@@ -185,6 +191,13 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
       set_trap(sim::TrapReason::PcOutOfRange, pc);
       return result;
     }
+    if constexpr (kHarden) {
+      if (prot != nullptr &&
+          prot->check_imem_fetch(pc) == sim::ProtectState::ImemAction::Detected) {
+        set_trap(sim::TrapReason::ProtectionDetected, pc);
+        return result;
+      }
+    }
     if constexpr (kObserve) {
       const std::int32_t blk = entry_of[pc];
       if (blk >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(blk));
@@ -203,11 +216,23 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
     std::uint32_t b = in.b_val;
     if (!in.a_imm) {
       issue = std::max(issue, ready[in.a_slot]);
+      if constexpr (kHarden) {
+        if (prot != nullptr && prot->check_rf_read(in.a_slot, &regs[in.a_slot])) {
+          set_trap(sim::TrapReason::ProtectionDetected, in.a_slot);
+          return result;
+        }
+      }
       a = regs[in.a_slot];
       if constexpr (kObserve) obs->on_rf_read(cycle, in.a_rf, in.a_reg);
     }
     if (!in.b_imm) {
       issue = std::max(issue, ready[in.b_slot]);
+      if constexpr (kHarden) {
+        if (prot != nullptr && prot->check_rf_read(in.b_slot, &regs[in.b_slot])) {
+          set_trap(sim::TrapReason::ProtectionDetected, in.b_slot);
+          return result;
+        }
+      }
       b = regs[in.b_slot];
       if constexpr (kObserve) obs->on_rf_read(cycle, in.b_rf, in.b_reg);
     }
@@ -353,6 +378,9 @@ ExecResult ScalarSim::run_fast(std::uint64_t max_cycles) {
     if (in.dst_slot >= 0) {
       const std::size_t slot = static_cast<std::size_t>(in.dst_slot);
       regs[slot] = value;
+      if constexpr (kHarden) {
+        if (prot != nullptr) prot->clear_rf(static_cast<std::uint32_t>(slot));
+      }
       ready[slot] =
           issue + 1 + static_cast<std::uint64_t>(in.stall) + (timing.forwarding ? 0 : 1);
       if constexpr (kObserve) obs->on_rf_write(issue, in.dst_rf, in.dst_reg, value);
@@ -376,6 +404,17 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
     regs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
     ready.emplace_back(static_cast<std::size_t>(rf.size), 0ull);
   }
+
+  // Flat-slot numbering matching sim/predecode.hpp rf_base, so protection
+  // poison keys agree byte-for-byte with the fast path.
+  std::vector<std::uint32_t> rf_base(machine_.rfs.size() + 1, 0u);
+  for (std::size_t i = 0; i < machine_.rfs.size(); ++i) {
+    rf_base[i + 1] = rf_base[i] + static_cast<std::uint32_t>(machine_.rfs[i].size);
+  }
+  sim::ProtectState* const prot = options_.protect;
+  auto flat_slot = [&](const mach::PhysReg& r) {
+    return rf_base[static_cast<std::size_t>(r.rf)] + static_cast<std::uint32_t>(r.index);
+  };
 
   auto read = [&](const MOperand& s, std::uint64_t& at) -> std::uint32_t {
     if (s.is_imm()) return static_cast<std::uint32_t>(s.imm);
@@ -412,7 +451,12 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
     if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= regs.size()) return;
     auto& file = regs[static_cast<std::size_t>(f.unit)];
     if (f.index < 0 || static_cast<std::size_t>(f.index) >= file.size()) return;
-    file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
+    const std::uint32_t mask = sim::fault_mask(f);
+    file[static_cast<std::size_t>(f.index)] ^= mask;
+    if (prot != nullptr) {
+      prot->on_rf_flip(
+          rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index), mask);
+    }
   };
 
   // Block-entry lookup for on_block_enter (same semantics as the fast loop).
@@ -440,6 +484,11 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
       set_trap(sim::TrapReason::PcOutOfRange, pc);
       return result;
     }
+    if (prot != nullptr &&
+        prot->check_imem_fetch(pc) == sim::ProtectState::ImemAction::Detected) {
+      set_trap(sim::TrapReason::ProtectionDetected, pc);
+      return result;
+    }
     if (obs != nullptr) {
       if (entry_of[pc] >= 0) obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
       obs->on_exec(cycle, pc, false);
@@ -457,7 +506,21 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
     std::uint64_t issue = cycle;
     std::uint32_t a = 0;
     std::uint32_t b = 0;
+    auto check_read = [&](const MOperand& s) {
+      return s.is_reg() && prot != nullptr &&
+             prot->check_rf_read(flat_slot(s.reg),
+                                 &regs[static_cast<std::size_t>(s.reg.rf)]
+                                      [static_cast<std::size_t>(s.reg.index)]);
+    };
+    if (!in.srcs.empty() && check_read(in.srcs[0])) {
+      set_trap(sim::TrapReason::ProtectionDetected, flat_slot(in.srcs[0].reg));
+      return result;
+    }
     if (!in.srcs.empty()) a = read(in.srcs[0], issue);
+    if (in.srcs.size() > 1 && check_read(in.srcs[1])) {
+      set_trap(sim::TrapReason::ProtectionDetected, flat_slot(in.srcs[1].reg));
+      return result;
+    }
     if (in.srcs.size() > 1) b = read(in.srcs[1], issue);
     if (obs != nullptr) {
       if (!in.srcs.empty() && in.srcs[0].is_reg()) {
@@ -597,6 +660,7 @@ ExecResult ScalarSim::run_reference(std::uint64_t max_cycles) {
     if (writes) {
       auto& r = in.dst;
       regs[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)] = value;
+      if (prot != nullptr) prot->clear_rf(flat_slot(r));
       const int stall = dependent_use_stall(timing, in.op);
       const std::uint64_t visible =
           issue + 1 + static_cast<std::uint64_t>(stall) + (timing.forwarding ? 0 : 1);

@@ -35,7 +35,23 @@ struct StateFault {
   std::int16_t unit = 0;   // register file / FU / guard register index
   std::int16_t index = 0;  // register index within the RF (RfBit only)
   std::uint8_t bit = 0;    // bit position (0-31; ignored for GuardBit)
+  /// Bits flipped starting at `bit`: 1 (classic SEU) or 2 (adjacent double
+  /// bit, the multi-cell upset that separates SEC-DED correct from detect).
+  /// Guard registers hold one bit, so a width-2 guard fault degrades to a
+  /// single flip.
+  std::uint8_t width = 1;
 };
+
+/// The XOR mask a fault applies to its 32-bit word. Width-2 faults clamp the
+/// start bit to 30 so both flipped bits stay inside the word (the sampler
+/// draws bit < 31 for double faults; the clamp keeps hand-built faults
+/// well-defined too).
+constexpr std::uint32_t fault_mask(const StateFault& f) {
+  const std::uint32_t start = f.width >= 2 ? (f.bit & 31u) > 30u ? 30u : (f.bit & 31u)
+                                           : (f.bit & 31u);
+  const std::uint32_t bits = f.width >= 2 ? 3u : 1u;
+  return bits << start;
+}
 
 struct FaultSet {
   std::vector<StateFault> faults;  // sorted by cycle, ascending

@@ -426,7 +426,7 @@ scalar::ExecResult run_scalar_tail(const PredecodedScalar& pre, const mach::Mach
     if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= machine.rfs.size()) return;
     if (f.index < 0 || f.index >= machine.rfs[static_cast<std::size_t>(f.unit)].size) return;
     regs[pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index)] ^=
-        1u << (f.bit & 31);
+        fault_mask(f);
   };
 
   while (true) {
@@ -638,7 +638,7 @@ ScalarBatchResult run_scalar_batch(const scalar::ScalarProgram& program,
     if (f.index < 0 || f.index >= machine.rfs[static_cast<std::size_t>(f.unit)].size) return;
     const std::size_t slot =
         pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index);
-    const std::uint32_t lv = d.get(lane, slot, regs[slot]) ^ (1u << (f.bit & 31));
+    const std::uint32_t lv = d.get(lane, slot, regs[slot]) ^ fault_mask(f);
     d.set(lane, slot, lv, regs[slot]);
   };
 
@@ -962,7 +962,7 @@ VliwBatchResult run_vliw_batch(const vliw::VliwProgram& program, const mach::Mac
     if (f.index < 0 || f.index >= machine.rfs[static_cast<std::size_t>(f.unit)].size) return;
     const std::size_t slot =
         pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index);
-    const std::uint32_t lv = d.get(lane, slot, regs[slot]) ^ (1u << (f.bit & 31));
+    const std::uint32_t lv = d.get(lane, slot, regs[slot]) ^ fault_mask(f);
     d.set(lane, slot, lv, regs[slot]);
   };
 
@@ -1350,14 +1350,14 @@ TtaBatchResult run_tta_batch(const tta::TtaProgram& program, const mach::Machine
         if (f.index < 0 || f.index >= machine.rfs[static_cast<std::size_t>(f.unit)].size) return;
         const std::size_t slot =
             pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index);
-        d.set(lane, slot, d.get(lane, slot, rf[slot]) ^ (1u << (f.bit & 31)), rf[slot]);
+        d.set(lane, slot, d.get(lane, slot, rf[slot]) ^ fault_mask(f), rf[slot]);
         break;
       }
       case FaultKind::FuResultBit: {
         if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= nfus) return;
         const std::size_t id = frbase + static_cast<std::size_t>(f.unit);
         const std::uint32_t leader = fu_result[static_cast<std::size_t>(f.unit)];
-        d.set(lane, id, d.get(lane, id, leader) ^ (1u << (f.bit & 31)), leader);
+        d.set(lane, id, d.get(lane, id, leader) ^ fault_mask(f), leader);
         break;
       }
       case FaultKind::GuardBit: {

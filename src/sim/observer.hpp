@@ -116,6 +116,13 @@ enum class TrapReason : std::uint8_t {
   BadJumpTarget,        // branch target outside the program's blocks
   MemoryOutOfRange,     // load/store address outside the memory image
   PcOutOfRange,         // PC ran off the end with no transfer pending
+  ProtectionDetected,   // a declared protection mechanism (parity, SEC-DED
+                        // detect, DMR/residue compare, imem code) caught a
+                        // corrupted element at its read/fetch site; the
+                        // recovery policy decides what happens next
+  DetectedUnrecoverable,// detection with rollback enabled, but re-execution
+                        // exhausted the retry budget (or rollback was
+                        // impossible) — the structured "DUE" end state
 };
 
 constexpr const char* trap_reason_name(TrapReason r) {
@@ -127,6 +134,8 @@ constexpr const char* trap_reason_name(TrapReason r) {
     case TrapReason::BadJumpTarget: return "bad-jump-target";
     case TrapReason::MemoryOutOfRange: return "memory";
     case TrapReason::PcOutOfRange: return "pc";
+    case TrapReason::ProtectionDetected: return "protect-detected";
+    case TrapReason::DetectedUnrecoverable: return "detect-unrecoverable";
   }
   return "?";
 }
@@ -148,7 +157,8 @@ struct TrapInfo {
   bool operator==(const TrapInfo&) const = default;
 };
 
-struct FaultSet;  // sim/fault.hpp: mid-run single-bit state faults
+struct FaultSet;      // sim/fault.hpp: mid-run single-bit state faults
+struct ProtectState;  // sim/protect.hpp: architectural protection semantics
 
 /// Scalar timing-model overhead categories, reported via on_overhead. The
 /// pipelined cores have no equivalent events: their overhead cycles are
@@ -270,6 +280,16 @@ struct SimOptions {
   /// their cycle by both execution paths. Implies hardened execution on the
   /// fast path. The caller owns the set; it must stay alive for the run.
   const FaultSet* faults = nullptr;
+
+  /// Architectural fault-protection semantics (sim/protect.hpp): filters
+  /// applied faults (TMR suppression, parity masking), tracks poisoned
+  /// elements, and turns read/fetch-site detections into
+  /// ProtectionDetected traps. Implies hardened execution on the fast path.
+  /// With no faults applied a protected run is byte-identical to an
+  /// unprotected one (the mechanisms only ever react to corruption). The
+  /// caller owns the state; it must stay alive for the run and be reset
+  /// between runs.
+  ProtectState* protect = nullptr;
 };
 
 }  // namespace ttsc::sim

@@ -25,6 +25,7 @@
 #include "sim/fault.hpp"
 #include "sim/harden.hpp"
 #include "sim/predecode.hpp"
+#include "sim/protect.hpp"
 #include "support/bits.hpp"
 #include "tta/tta.hpp"
 
@@ -95,7 +96,8 @@ ExecResult TtaSim::run(std::uint64_t max_cycles) {
   if (predecoded_ == nullptr) {
     predecoded_ = std::make_shared<const sim::PredecodedTta>(sim::predecode(program_, machine_));
   }
-  const bool harden = options_.harden || options_.faults != nullptr;
+  const bool harden =
+      options_.harden || options_.faults != nullptr || options_.protect != nullptr;
   if (options_.profile != nullptr) {
     if (options_.observer != nullptr) {
       return harden ? run_fast<true, true, true>(max_cycles)
@@ -217,22 +219,34 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
     fault_next = options_.faults->faults.data();
     fault_end = fault_next + options_.faults->faults.size();
   }
+  // Declared protection semantics (sim/protect.hpp): fault filters at the
+  // apply sites, code/checker checks at the read sites, poison clears at
+  // the commit sites. Null on unprotected runs.
+  [[maybe_unused]] sim::ProtectState* const prot = options_.protect;
   [[maybe_unused]] auto apply_fault = [&](const sim::StateFault& f) {
     switch (f.kind) {
       case sim::FaultKind::RfBit: {
         if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= machine_.rfs.size()) return;
         if (f.index < 0 || f.index >= machine_.rfs[static_cast<std::size_t>(f.unit)].size) return;
-        rf[pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index)] ^=
-            1u << (f.bit & 31);
+        const std::uint32_t slot =
+            pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index);
+        const std::uint32_t mask = sim::fault_mask(f);
+        if (prot != nullptr) prot->on_rf_flip(slot, mask);
+        rf[slot] ^= mask;
         break;
       }
-      case sim::FaultKind::FuResultBit:
+      case sim::FaultKind::FuResultBit: {
         if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= nfus) return;
-        fu_result[static_cast<std::size_t>(f.unit)] ^= 1u << (f.bit & 31);
+        const std::uint32_t mask = sim::fault_mask(f);
+        if (prot != nullptr) prot->on_fu_flip(static_cast<std::uint32_t>(f.unit), mask);
+        fu_result[static_cast<std::size_t>(f.unit)] ^= mask;
         break;
+      }
       case sim::FaultKind::GuardBit:
         if (f.unit < 0 || f.unit >= machine_.guard_regs) return;
-        guard_regs[static_cast<std::size_t>(f.unit)] ^= 1u;
+        if (prot == nullptr || prot->on_guard_flip()) {
+          guard_regs[static_cast<std::size_t>(f.unit)] ^= 1u;
+        }
         break;
     }
   };
@@ -263,13 +277,21 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
     if (ring_count[ring_idx] != 0) {
       InFlight* const col = &ring_entry[ring_idx * nfus];
       const std::uint32_t n = ring_count[ring_idx];
-      for (std::uint32_t e = 0; e < n; ++e) fu_result[col[e].fu] = col[e].value;
+      for (std::uint32_t e = 0; e < n; ++e) {
+        fu_result[col[e].fu] = col[e].value;
+        if constexpr (kHarden) {
+          if (prot != nullptr) prot->clear_fu(col[e].fu);
+        }
+      }
       ring_count[ring_idx] = 0;
     }
     // 2. RF writes from the previous cycle become readable.
     std::vector<RfWrite>& commits = rf_pending[cycle & 1];
     for (const RfWrite& w : commits) {
       rf[w.slot] = w.value;
+      if constexpr (kHarden) {
+        if (prot != nullptr) prot->clear_rf(w.slot);
+      }
       if constexpr (kObserve) obs->on_rf_write(cycle, w.rf, w.reg, w.value);
     }
     commits.clear();
@@ -287,6 +309,16 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < num_instrs) {
+      if constexpr (kHarden) {
+        // Protected imem: the fetch either scrubs a correctable codeword
+        // (counted once) or detects an uncorrectable one and fails closed.
+        if (prot != nullptr &&
+            prot->check_imem_fetch(static_cast<std::uint32_t>(pc)) ==
+                sim::ProtectState::ImemAction::Detected) {
+          set_trap(sim::TrapReason::ProtectionDetected, -1, static_cast<std::uint32_t>(pc));
+          return result;
+        }
+      }
       if constexpr (kObserve) {
         // Only architectural block entries: a block-entry pc executing in a
         // pending transfer's delay-slot shadow does not enter that block
@@ -330,8 +362,24 @@ ExecResult TtaSim::run_fast(std::uint64_t max_cycles) {
         std::uint32_t value = mv.imm;
         switch (mv.src) {
           case TtaPMove::Src::Imm: break;
-          case TtaPMove::Src::FuResult: value = fu_result[mv.src_slot]; break;
+          case TtaPMove::Src::FuResult:
+            if constexpr (kHarden) {
+              // DMR/residue checkers compare when the result is consumed.
+              if (prot != nullptr && prot->check_fu_read(mv.src_slot, fu_result[mv.src_slot])) {
+                set_trap(sim::TrapReason::ProtectionDetected, -1, mv.src_slot);
+                return result;
+              }
+            }
+            value = fu_result[mv.src_slot];
+            break;
           case TtaPMove::Src::RfRead:
+            if constexpr (kHarden) {
+              // Storage codes check (and SEC-DED scrubs) on read.
+              if (prot != nullptr && prot->check_rf_read(mv.src_slot, &rf[mv.src_slot])) {
+                set_trap(sim::TrapReason::ProtectionDetected, -1, mv.src_slot);
+                return result;
+              }
+            }
             value = rf[mv.src_slot];
             if constexpr (kObserve) obs->on_rf_read(cycle, mv.src_rf, mv.src_reg);
             break;
@@ -481,10 +529,17 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
     }
   }
   std::vector<std::vector<std::uint32_t>> rfs;
+  // Flat-slot bases mirroring sim/predecode.hpp's rf_base numbering, so
+  // protection poison keys agree byte-for-byte with the fast path.
+  std::vector<std::uint32_t> rf_base;
+  std::uint32_t rf_slots = 0;
   for (const mach::RegisterFile& rf : machine_.rfs) {
     rfs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
+    rf_base.push_back(rf_slots);
+    rf_slots += static_cast<std::uint32_t>(rf.size);
   }
   std::vector<FuRuntime> fus(machine_.fus.size());
+  sim::ProtectState* const prot = options_.protect;
   std::priority_queue<RfWritePending, std::vector<RfWritePending>, std::greater<>> rf_pending;
 
   ExecResult result;
@@ -539,16 +594,28 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
         if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= rfs.size()) return;
         auto& file = rfs[static_cast<std::size_t>(f.unit)];
         if (f.index < 0 || static_cast<std::size_t>(f.index) >= file.size()) return;
-        file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
+        const std::uint32_t mask = sim::fault_mask(f);
+        if (prot != nullptr) {
+          prot->on_rf_flip(
+              rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index),
+              mask);
+        }
+        file[static_cast<std::size_t>(f.index)] ^= mask;
         break;
       }
-      case sim::FaultKind::FuResultBit:
+      case sim::FaultKind::FuResultBit: {
         if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= fus.size()) return;
-        fus[static_cast<std::size_t>(f.unit)].result ^= 1u << (f.bit & 31);
+        const std::uint32_t mask = sim::fault_mask(f);
+        if (prot != nullptr) prot->on_fu_flip(static_cast<std::uint32_t>(f.unit), mask);
+        fus[static_cast<std::size_t>(f.unit)].result ^= mask;
         break;
+      }
       case sim::FaultKind::GuardBit:
         if (f.unit < 0 || f.unit >= machine_.guard_regs) return;
-        guard_regs[static_cast<std::size_t>(f.unit)] = !guard_regs[static_cast<std::size_t>(f.unit)];
+        if (prot == nullptr || prot->on_guard_flip()) {
+          guard_regs[static_cast<std::size_t>(f.unit)] =
+              !guard_regs[static_cast<std::size_t>(f.unit)];
+        }
         break;
     }
   };
@@ -580,16 +647,22 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
       ++fault_next;
     }
     // 1. Results whose latency elapsed land in the result registers.
-    for (FuRuntime& fu : fus) {
+    for (std::size_t fi = 0; fi < fus.size(); ++fi) {
+      FuRuntime& fu = fus[fi];
       while (!fu.in_flight.empty() && fu.in_flight.top().first <= cycle) {
         fu.result = fu.in_flight.top().second;
         fu.in_flight.pop();
+        if (prot != nullptr) prot->clear_fu(static_cast<std::uint32_t>(fi));
       }
     }
     // 2. RF writes from earlier cycles become readable.
     while (!rf_pending.empty() && rf_pending.top().visible_at <= cycle) {
       const RfWritePending& w = rf_pending.top();
       rfs[static_cast<std::size_t>(w.rf)][static_cast<std::size_t>(w.index)] = w.value;
+      if (prot != nullptr) {
+        prot->clear_rf(rf_base[static_cast<std::size_t>(w.rf)] +
+                       static_cast<std::uint32_t>(w.index));
+      }
       if (obs != nullptr) obs->on_rf_write(cycle, w.rf, w.index, w.value);
       rf_pending.pop();
     }
@@ -606,6 +679,13 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < program_.instrs.size()) {
+      // Protected imem: same fetch check as the fast loop.
+      if (prot != nullptr &&
+          prot->check_imem_fetch(static_cast<std::uint32_t>(pc)) ==
+              sim::ProtectState::ImemAction::Detected) {
+        set_trap(sim::TrapReason::ProtectionDetected, -1, static_cast<std::uint32_t>(pc));
+        return result;
+      }
       if (obs != nullptr) {
         if (transfer_in < 0 && entry_of[pc] >= 0) {
           obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
@@ -659,12 +739,29 @@ ExecResult TtaSim::run_reference(std::uint64_t max_cycles) {
         switch (mv.src.kind) {
           case MoveSrc::Kind::Imm: value = static_cast<std::uint32_t>(mv.src.imm); break;
           case MoveSrc::Kind::FuResult:
+            if (prot != nullptr &&
+                prot->check_fu_read(static_cast<std::uint32_t>(mv.src.unit),
+                                    fus[static_cast<std::size_t>(mv.src.unit)].result)) {
+              set_trap(sim::TrapReason::ProtectionDetected, -1,
+                       static_cast<std::uint32_t>(mv.src.unit));
+              return result;
+            }
             value = fus[static_cast<std::size_t>(mv.src.unit)].result;
             break;
-          case MoveSrc::Kind::RfRead:
-            value = rfs[static_cast<std::size_t>(mv.src.unit)]
-                       [static_cast<std::size_t>(mv.src.reg_index)];
+          case MoveSrc::Kind::RfRead: {
+            std::uint32_t& stored = rfs[static_cast<std::size_t>(mv.src.unit)]
+                                       [static_cast<std::size_t>(mv.src.reg_index)];
+            if (prot != nullptr) {
+              const std::uint32_t slot = rf_base[static_cast<std::size_t>(mv.src.unit)] +
+                                         static_cast<std::uint32_t>(mv.src.reg_index);
+              if (prot->check_rf_read(slot, &stored)) {
+                set_trap(sim::TrapReason::ProtectionDetected, -1, slot);
+                return result;
+              }
+            }
+            value = stored;
             break;
+          }
         }
         if (obs != nullptr) {
           if (mv.src.kind == MoveSrc::Kind::RfRead) {

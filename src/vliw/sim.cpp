@@ -16,6 +16,7 @@
 #include "sim/fault.hpp"
 #include "sim/harden.hpp"
 #include "sim/predecode.hpp"
+#include "sim/protect.hpp"
 #include "support/bits.hpp"
 #include "vliw/vliw.hpp"
 
@@ -61,7 +62,8 @@ ExecResult VliwSim::run(std::uint64_t max_cycles) {
   if (predecoded_ == nullptr) {
     predecoded_ = std::make_shared<const sim::PredecodedVliw>(sim::predecode(program_, machine_));
   }
-  const bool harden = options_.harden || options_.faults != nullptr;
+  const bool harden =
+      options_.harden || options_.faults != nullptr || options_.protect != nullptr;
   if (options_.profile != nullptr) {
     if (options_.observer != nullptr) {
       return harden ? run_fast<true, true, true>(max_cycles)
@@ -147,12 +149,17 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
     fault_next = options_.faults->faults.data();
     fault_end = fault_next + options_.faults->faults.size();
   }
+  // Declared protection semantics (sim/protect.hpp); null when unprotected.
+  [[maybe_unused]] sim::ProtectState* const prot = options_.protect;
   [[maybe_unused]] auto apply_fault = [&](const sim::StateFault& f) {
     if (f.kind != sim::FaultKind::RfBit) return;
     if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= machine_.rfs.size()) return;
     if (f.index < 0 || f.index >= machine_.rfs[static_cast<std::size_t>(f.unit)].size) return;
-    regs[pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index)] ^=
-        1u << (f.bit & 31);
+    const std::uint32_t slot =
+        pre.rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index);
+    const std::uint32_t mask = sim::fault_mask(f);
+    if (prot != nullptr) prot->on_rf_flip(slot, mask);
+    regs[slot] ^= mask;
   };
 
   // Block-entry lookup for on_block_enter: entry pc -> block id, last block
@@ -183,6 +190,9 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
       for (std::uint32_t i = 0; i < n; ++i) {
         const Write& w = commits[i];
         regs[w.slot] = w.value;
+        if constexpr (kHarden) {
+          if (prot != nullptr) prot->clear_rf(w.slot);
+        }
         if constexpr (kObserve) obs->on_rf_write(cycle, w.rf, w.reg, w.value);
       }
       wb_count[wb_idx] = 0;
@@ -194,6 +204,15 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < num_bundles) {
+      if constexpr (kHarden) {
+        // Protected imem: scrub or detect the bundle's codeword at fetch.
+        if (prot != nullptr &&
+            prot->check_imem_fetch(static_cast<std::uint32_t>(pc)) ==
+                sim::ProtectState::ImemAction::Detected) {
+          set_trap(sim::TrapReason::ProtectionDetected, -1, static_cast<std::uint32_t>(pc));
+          return result;
+        }
+      }
       if constexpr (kObserve) {
         // Only architectural block entries (not delay-slot shadows); see
         // the TTA fast loop.
@@ -224,10 +243,22 @@ ExecResult VliwSim::run_fast(std::uint64_t max_cycles) {
         std::uint32_t a = op.a_val;
         std::uint32_t b = op.b_val;
         if (!op.a_imm) {
+          if constexpr (kHarden) {
+            if (prot != nullptr && prot->check_rf_read(op.a_slot, &regs[op.a_slot])) {
+              set_trap(sim::TrapReason::ProtectionDetected, -1, op.a_slot);
+              return result;
+            }
+          }
           a = regs[op.a_slot];
           if constexpr (kObserve) obs->on_rf_read(cycle, op.a_rf, op.a_reg);
         }
         if (!op.b_imm) {
+          if constexpr (kHarden) {
+            if (prot != nullptr && prot->check_rf_read(op.b_slot, &regs[op.b_slot])) {
+              set_trap(sim::TrapReason::ProtectionDetected, -1, op.b_slot);
+              return result;
+            }
+          }
           b = regs[op.b_slot];
           if constexpr (kObserve) obs->on_rf_read(cycle, op.b_rf, op.b_reg);
         }
@@ -354,17 +385,32 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
     }
   }
   std::vector<std::vector<std::uint32_t>> regs;
+  // Flat-slot bases mirroring sim/predecode.hpp's rf_base numbering, so
+  // protection poison keys agree byte-for-byte with the fast path.
+  std::vector<std::uint32_t> rf_base;
+  std::uint32_t rf_slots = 0;
   for (const mach::RegisterFile& rf : machine_.rfs) {
     regs.emplace_back(static_cast<std::size_t>(rf.size), 0u);
+    rf_base.push_back(rf_slots);
+    rf_slots += static_cast<std::uint32_t>(rf.size);
   }
   std::priority_queue<PendingWrite, std::vector<PendingWrite>, std::greater<>> pending;
   std::uint64_t seq = 0;
+  sim::ProtectState* const prot = options_.protect;
 
   auto reg_ref = [&](mach::PhysReg r) -> std::uint32_t& {
     return regs[static_cast<std::size_t>(r.rf)][static_cast<std::size_t>(r.index)];
   };
+  auto flat_slot = [&](mach::PhysReg r) {
+    return rf_base[static_cast<std::size_t>(r.rf)] + static_cast<std::uint32_t>(r.index);
+  };
   auto value_of = [&](const MOperand& s) -> std::uint32_t {
     return s.is_imm() ? static_cast<std::uint32_t>(s.imm) : reg_ref(s.reg);
+  };
+  // Protection read check for a register operand: true = detection (the
+  // caller traps with detail = flat slot). SEC-DED scrubs in place first.
+  auto check_read = [&](const MOperand& s) {
+    return s.is_reg() && prot != nullptr && prot->check_rf_read(flat_slot(s.reg), &reg_ref(s.reg));
   };
 
   ExecResult result;
@@ -412,7 +458,12 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
     if (f.unit < 0 || static_cast<std::size_t>(f.unit) >= regs.size()) return;
     auto& file = regs[static_cast<std::size_t>(f.unit)];
     if (f.index < 0 || static_cast<std::size_t>(f.index) >= file.size()) return;
-    file[static_cast<std::size_t>(f.index)] ^= 1u << (f.bit & 31);
+    const std::uint32_t mask = sim::fault_mask(f);
+    if (prot != nullptr) {
+      prot->on_rf_flip(
+          rf_base[static_cast<std::size_t>(f.unit)] + static_cast<std::uint32_t>(f.index), mask);
+    }
+    file[static_cast<std::size_t>(f.index)] ^= mask;
   };
 
   // Block-entry lookup for on_block_enter (same semantics as the fast loop).
@@ -436,6 +487,7 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
     while (!pending.empty() && pending.top().visible_at <= cycle) {
       const PendingWrite& w = pending.top();
       reg_ref(w.reg) = w.value;
+      if (prot != nullptr) prot->clear_rf(flat_slot(w.reg));
       if (obs != nullptr) obs->on_rf_write(cycle, w.reg.rf, w.reg.index, w.value);
       pending.pop();
     }
@@ -446,6 +498,13 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
       return result;
     }
     if (pc < program_.bundles.size()) {
+      // Protected imem: same fetch check as the fast loop.
+      if (prot != nullptr &&
+          prot->check_imem_fetch(static_cast<std::uint32_t>(pc)) ==
+              sim::ProtectState::ImemAction::Detected) {
+        set_trap(sim::TrapReason::ProtectionDetected, -1, static_cast<std::uint32_t>(pc));
+        return result;
+      }
       if (obs != nullptr) {
         if (transfer_in < 0 && entry_of[pc] >= 0) {
           obs->on_block_enter(cycle, static_cast<std::uint32_t>(entry_of[pc]));
@@ -472,7 +531,18 @@ ExecResult VliwSim::run_reference(std::uint64_t max_cycles) {
         }
         ++result.ops;
 
+        // Storage codes check (and SEC-DED scrubs) each register operand at
+        // the read, in operand order — same detection order as the fast
+        // loop's a-then-b checks.
+        if (!in.srcs.empty() && check_read(in.srcs[0])) {
+          set_trap(sim::TrapReason::ProtectionDetected, -1, flat_slot(in.srcs[0].reg));
+          return result;
+        }
         const std::uint32_t a = in.srcs.empty() ? 0 : value_of(in.srcs[0]);
+        if (in.srcs.size() > 1 && check_read(in.srcs[1])) {
+          set_trap(sim::TrapReason::ProtectionDetected, -1, flat_slot(in.srcs[1].reg));
+          return result;
+        }
         const std::uint32_t b = in.srcs.size() > 1 ? value_of(in.srcs[1]) : 0;
         if (obs != nullptr) {
           if (!in.srcs.empty() && in.srcs[0].is_reg()) {
